@@ -1,0 +1,82 @@
+// B+-tree micro-benchmarks: insert/lookup/scan throughput over both
+// storage managers, and the fanout trade-off (bigger nodes mean fewer
+// levels but more bytes rewritten per update).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "common/random.h"
+#include "objstore/btree.h"
+
+namespace ode {
+namespace bench {
+namespace {
+
+struct TreeHarness {
+  explicit TreeHarness(size_t max_keys, int preload) {
+    auto opened = Database::Open(StorageKind::kMainMemory, "");
+    BENCH_CHECK_OK(opened.status());
+    db = std::move(opened).value();
+    auto t = db->txns()->Begin();
+    BENCH_CHECK_OK(t.status());
+    txn = *t;
+    auto tr = BTree::Open(db.get(), txn, "bench", max_keys);
+    BENCH_CHECK_OK(tr.status());
+    tree = std::move(tr).value();
+    Random rng(1);
+    for (int i = 0; i < preload; ++i) {
+      BENCH_CHECK_OK(tree->Put(
+          txn, Slice(btree_key::FromU64(rng.Next() % 1000000)), Oid(i + 1)));
+    }
+  }
+  ~TreeHarness() { BENCH_CHECK_OK(db->txns()->Commit(txn)); }
+
+  std::unique_ptr<Database> db;
+  Transaction* txn = nullptr;
+  std::unique_ptr<BTree> tree;
+};
+
+void BM_BTreeInsert(benchmark::State& state) {
+  size_t fanout = static_cast<size_t>(state.range(0));
+  TreeHarness h(fanout, 0);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    BENCH_CHECK_OK(
+        h.tree->Put(h.txn, Slice(btree_key::FromU64(i++)), Oid(i)));
+  }
+  state.counters["fanout"] = static_cast<double>(fanout);
+  state.counters["entries"] = static_cast<double>(i);
+}
+BENCHMARK(BM_BTreeInsert)->Arg(4)->Arg(32)->Arg(128);
+
+void BM_BTreeLookup(benchmark::State& state) {
+  size_t fanout = static_cast<size_t>(state.range(0));
+  TreeHarness h(fanout, 20000);
+  Random rng(2);
+  for (auto _ : state) {
+    auto found = h.tree->Lookup(
+        h.txn, Slice(btree_key::FromU64(rng.Next() % 1000000)));
+    benchmark::DoNotOptimize(found);
+  }
+  state.counters["fanout"] = static_cast<double>(fanout);
+}
+BENCHMARK(BM_BTreeLookup)->Arg(4)->Arg(32)->Arg(128);
+
+void BM_BTreeScan1000(benchmark::State& state) {
+  TreeHarness h(32, 20000);
+  for (auto _ : state) {
+    size_t seen = 0;
+    BENCH_CHECK_OK(h.tree->Scan(h.txn, Slice(), Slice(),
+                                [&](Slice, Oid) {
+                                  return ++seen < 1000;
+                                }));
+    benchmark::DoNotOptimize(seen);
+  }
+}
+BENCHMARK(BM_BTreeScan1000);
+
+}  // namespace
+}  // namespace bench
+}  // namespace ode
+
+BENCHMARK_MAIN();

@@ -1,0 +1,107 @@
+#ifndef ODE_BENCH_BENCH_COMMON_H_
+#define ODE_BENCH_BENCH_COMMON_H_
+
+// Shared fixtures for the benchmark harness (see DESIGN.md §4 for the
+// experiment index and EXPERIMENTS.md for results and interpretation).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "odepp/params.h"
+#include "odepp/session.h"
+
+namespace ode {
+namespace bench {
+
+#define BENCH_CHECK_OK(expr)                                            \
+  do {                                                                  \
+    ::ode::Status _st = (expr);                                         \
+    if (!_st.ok()) {                                                    \
+      std::fprintf(stderr, "BENCH FAILED at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, _st.ToString().c_str());                   \
+      std::abort();                                                     \
+    }                                                                   \
+  } while (0)
+
+/// A counter object whose Hit() method is the benchmark workhorse.
+struct Counter {
+  int64_t hits = 0;
+  int64_t fires = 0;
+
+  void Hit() { ++hits; }
+
+  void Encode(Encoder& enc) const {
+    enc.PutI64(hits);
+    enc.PutI64(fires);
+  }
+  static Result<Counter> Decode(Decoder& dec) {
+    Counter c;
+    ODE_RETURN_NOT_OK(dec.GetI64(&c.hits));
+    ODE_RETURN_NOT_OK(dec.GetI64(&c.fires));
+    return c;
+  }
+};
+
+/// Declares Counter with `num_triggers` perpetual triggers named T0..Tn-1
+/// on the given event expression. The action is a no-op (so benchmarks
+/// measure trigger machinery, not action work).
+inline void DeclareCounter(Schema* schema, int num_triggers,
+                           const std::string& expr = "after Hit",
+                           CouplingMode coupling = CouplingMode::kImmediate,
+                           bool masked = false) {
+  auto def = schema->DeclareClass<Counter>("Counter");
+  def.Event("after Hit").Event("Poke").Method("Hit", &Counter::Hit);
+  if (masked) {
+    def.Mask("Positive()",
+             [](const Counter& c, MaskEvalContext&) -> Result<bool> {
+               return c.hits >= 0;
+             });
+  }
+  for (int i = 0; i < num_triggers; ++i) {
+    def.Trigger("T" + std::to_string(i), expr,
+                [](Counter&, TriggerFireContext&) -> Status {
+                  return Status::OK();
+                },
+                coupling, /*perpetual=*/true);
+  }
+}
+
+/// A Session over a volatile main-memory store with the Counter schema,
+/// one Counter object, and `active` of the declared triggers activated.
+struct CounterHarness {
+  CounterHarness(int declared, int active,
+                 const std::string& expr = "after Hit",
+                 CouplingMode coupling = CouplingMode::kImmediate,
+                 bool masked = false) {
+    DeclareCounter(&schema, declared, expr, coupling, masked);
+    BENCH_CHECK_OK(schema.Freeze());
+    Session::Options options;
+    options.auto_cluster = false;
+    auto s = Session::Open(StorageKind::kMainMemory, "", &schema, options);
+    BENCH_CHECK_OK(s.status());
+    session = std::move(s).value();
+    BENCH_CHECK_OK(session->WithTransaction([&](Transaction* txn) -> Status {
+      auto r = session->New(txn, Counter{});
+      ODE_RETURN_NOT_OK(r.status());
+      counter = *r;
+      for (int i = 0; i < active; ++i) {
+        ODE_RETURN_NOT_OK(
+            session->Activate(txn, counter, "T" + std::to_string(i))
+                .status());
+      }
+      return Status::OK();
+    }));
+  }
+
+  Schema schema;
+  std::unique_ptr<Session> session;
+  PRef<Counter> counter;
+};
+
+}  // namespace bench
+}  // namespace ode
+
+#endif  // ODE_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,74 @@
+// Experiment E4 (§4.2, §5.5): cost of the four ECA coupling modes.
+//
+// Each iteration is a full transaction (begin, one triggering Invoke,
+// commit). `immediate` runs the action inline; `end` queues it for
+// commit processing; `dependent` and `!dependent` spawn a system
+// transaction after commit — the paper's architecture makes that an
+// entire extra transaction, which is the dominant cost.
+
+#include "bench_common.h"
+
+namespace ode {
+namespace bench {
+namespace {
+
+void RunTxnPerIteration(benchmark::State& state, CounterHarness& h) {
+  for (auto _ : state) {
+    BENCH_CHECK_OK(h.session->WithTransaction([&](Transaction* txn) {
+      return h.session->Invoke(txn, h.counter, &Counter::Hit);
+    }));
+  }
+  state.counters["fires"] =
+      static_cast<double>(h.session->triggers()->stats().fires.load());
+  state.counters["txn_commits"] =
+      static_cast<double>(h.session->db()->txns()->commits());
+}
+
+void BM_TxnNoTrigger(benchmark::State& state) {
+  CounterHarness h(/*declared=*/1, /*active=*/0);
+  RunTxnPerIteration(state, h);
+}
+BENCHMARK(BM_TxnNoTrigger);
+
+void BM_TxnImmediate(benchmark::State& state) {
+  CounterHarness h(1, 1, "after Hit", CouplingMode::kImmediate);
+  RunTxnPerIteration(state, h);
+}
+BENCHMARK(BM_TxnImmediate);
+
+void BM_TxnDeferred(benchmark::State& state) {
+  CounterHarness h(1, 1, "after Hit", CouplingMode::kDeferred);
+  RunTxnPerIteration(state, h);
+}
+BENCHMARK(BM_TxnDeferred);
+
+void BM_TxnDependent(benchmark::State& state) {
+  CounterHarness h(1, 1, "after Hit", CouplingMode::kDependent);
+  RunTxnPerIteration(state, h);
+}
+BENCHMARK(BM_TxnDependent);
+
+void BM_TxnIndependent(benchmark::State& state) {
+  CounterHarness h(1, 1, "after Hit", CouplingMode::kIndependent);
+  RunTxnPerIteration(state, h);
+}
+BENCHMARK(BM_TxnIndependent);
+
+/// An aborting transaction with a queued !dependent action still runs a
+/// system transaction (§5.5) — measure the abort path.
+void BM_TxnAbortWithIndependent(benchmark::State& state) {
+  CounterHarness h(1, 1, "after Hit", CouplingMode::kIndependent);
+  for (auto _ : state) {
+    auto txn = h.session->Begin();
+    BENCH_CHECK_OK(txn.status());
+    BENCH_CHECK_OK(h.session->Invoke(*txn, h.counter, &Counter::Hit));
+    BENCH_CHECK_OK(h.session->Abort(*txn));
+  }
+}
+BENCHMARK(BM_TxnAbortWithIndependent);
+
+}  // namespace
+}  // namespace bench
+}  // namespace ode
+
+BENCHMARK_MAIN();

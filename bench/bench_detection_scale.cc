@@ -1,0 +1,136 @@
+// Experiment E6 (design goal 2: "detection of composite events should be
+// efficient"): how detection cost scales.
+//
+//   * FSM advance is O(1) in the history length; the naive baseline that
+//     re-scans the object's whole event history is O(n) per event — the
+//     crossover is immediate and the gap grows without bound.
+//   * Full-stack PostEvent cost vs the number of active triggers on the
+//     object (index lookup + one FSM advance per trigger).
+//   * FSM advance cost vs machine size (binary search in the sparse
+//     transition list).
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/history_scan_detector.h"
+#include "bench_common.h"
+#include "common/random.h"
+#include "events/event_parser.h"
+#include "events/fsm.h"
+
+namespace ode {
+namespace bench {
+namespace {
+
+constexpr Symbol kSymA = 2, kSymB = 3, kSymC = 4;
+
+CompileInput PatternInput() {
+  auto parsed = ParseEventExpr("a, b+, c");
+  CompileInput input;
+  input.expr = parsed->expr;
+  input.alphabet = {kSymA, kSymB, kSymC};
+  input.event_symbols = {{"a", kSymA}, {"b", kSymB}, {"c", kSymC}};
+  return input;
+}
+
+/// FSM: cost of the n-th event is independent of n.
+void BM_FsmDetection_AtHistoryLength(benchmark::State& state) {
+  size_t history = static_cast<size_t>(state.range(0));
+  auto fsm = CompileFsm(PatternInput());
+  Random rng(1);
+  int32_t s = fsm->start();
+  // Pre-play `history` events (irrelevant for the FSM, by construction).
+  for (size_t i = 0; i < history; ++i) {
+    s = fsm->Move(s, static_cast<Symbol>(kSymA + rng.Uniform(3)));
+  }
+  size_t i = 0;
+  Symbol syms[] = {kSymA, kSymB, kSymC};
+  for (auto _ : state) {
+    s = fsm->Move(s, syms[i++ % 3]);
+    benchmark::DoNotOptimize(s);
+  }
+  state.counters["history"] = static_cast<double>(history);
+}
+BENCHMARK(BM_FsmDetection_AtHistoryLength)
+    ->Arg(0)->Arg(100)->Arg(1000)->Arg(10000);
+
+/// Baseline: the n-th event costs O(n) — the whole history is re-scanned.
+void BM_HistoryScan_AtHistoryLength(benchmark::State& state) {
+  size_t history = static_cast<size_t>(state.range(0));
+  CompileInput input = PatternInput();
+  auto nfa = BuildNfa(input);
+  HistoryScanDetector scan(std::move(nfa).value());
+  Random rng(1);
+  for (size_t i = 0; i < history; ++i) {
+    scan.Post(static_cast<Symbol>(kSymA + rng.Uniform(3)));
+  }
+  size_t i = 0;
+  Symbol syms[] = {kSymA, kSymB, kSymC};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scan.Post(syms[i++ % 3]));
+    state.PauseTiming();
+    // Keep the history length fixed so the measurement is "cost of one
+    // event at history length H".
+    scan.Reset();
+    Random replay(1);
+    for (size_t j = 0; j < history; ++j) {
+      scan.Post(static_cast<Symbol>(kSymA + replay.Uniform(3)));
+    }
+    state.ResumeTiming();
+  }
+  state.counters["history"] = static_cast<double>(history);
+}
+BENCHMARK(BM_HistoryScan_AtHistoryLength)->Arg(0)->Arg(100)->Arg(1000);
+
+/// Full stack: one member-function event posted to an object with N
+/// active triggers, inside a long transaction.
+void BM_PostEvent_ActiveTriggers(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  CounterHarness h(n, n);
+  auto txn = h.session->Begin();
+  BENCH_CHECK_OK(txn.status());
+  for (auto _ : state) {
+    BENCH_CHECK_OK(h.session->Invoke(*txn, h.counter, &Counter::Hit));
+  }
+  BENCH_CHECK_OK(h.session->Abort(*txn));
+  state.counters["triggers"] = n;
+  state.counters["fsm_moves"] = static_cast<double>(
+      h.session->triggers()->stats().fsm_moves.load());
+}
+BENCHMARK(BM_PostEvent_ActiveTriggers)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+/// FSM advance vs machine size: sequences of length N give N+1 states.
+void BM_FsmMove_VsStates(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  CompileInput input;
+  ExprPtr expr;
+  for (int i = 0; i < n; ++i) {
+    std::string name = "e" + std::to_string(i);
+    Symbol sym = static_cast<Symbol>(kFirstEventSymbol + i);
+    input.alphabet.push_back(sym);
+    input.event_symbols[name] = sym;
+    ExprPtr basic = Basic(name);
+    expr = expr == nullptr ? basic : Seq(expr, basic);
+  }
+  input.expr = expr;
+  auto fsm = CompileFsm(input);
+  Random rng(2);
+  std::vector<Symbol> stream;
+  for (int i = 0; i < 4096; ++i) {
+    stream.push_back(
+        static_cast<Symbol>(kFirstEventSymbol + rng.Uniform(n)));
+  }
+  int32_t s = fsm->start();
+  size_t i = 0;
+  for (auto _ : state) {
+    s = fsm->Move(s, stream[i++ & 4095]);
+    benchmark::DoNotOptimize(s);
+  }
+  state.counters["states"] = static_cast<double>(fsm->NumStates());
+}
+BENCHMARK(BM_FsmMove_VsStates)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace bench
+}  // namespace ode
+
+BENCHMARK_MAIN();

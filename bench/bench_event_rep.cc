@@ -1,0 +1,107 @@
+// Experiment E2 (§7, Ode vs Sentinel): event representation cost.
+//
+// "Ode's mapping of basic events to globally unique integers is likely to
+// have significantly lower event posting overhead than Sentinel's method
+// of representing an event as a triple of strings: the class name, the
+// member function prototype, and the string 'begin' or 'end'."
+//
+// Ode's wrapper passes a pre-interned integer (CredCardEvents[1]); the
+// event-identification cost at posting time is essentially zero, and the
+// FSM consumes the integer directly. A Sentinel-style runtime builds and
+// hashes the string triple on every posting.
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/string_event_rep.h"
+#include "events/event_parser.h"
+#include "events/fsm.h"
+#include "trigger/event_registry.h"
+
+namespace ode {
+namespace {
+
+constexpr Symbol kSymA = 2, kSymB = 3, kSymC = 4;
+
+Fsm MakeFsm() {
+  auto parsed = ParseEventExpr("a, b, c");
+  CompileInput input;
+  input.expr = parsed->expr;
+  input.alphabet = {kSymA, kSymB, kSymC};
+  input.event_symbols = {{"a", kSymA}, {"b", kSymB}, {"c", kSymC}};
+  auto fsm = CompileFsm(input);
+  return std::move(fsm).value();
+}
+
+/// Ode: the posting site already holds the interned integer; identifying
+/// the event plus advancing the FSM is an integer binary search.
+void BM_OdeIntegerRep_PostAndMove(benchmark::State& state) {
+  Fsm fsm = MakeFsm();
+  Symbol events[] = {kSymA, kSymB, kSymC};
+  int32_t s = fsm.start();
+  size_t i = 0;
+  for (auto _ : state) {
+    s = fsm.Move(s, events[i++ % 3]);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_OdeIntegerRep_PostAndMove);
+
+/// Sentinel: every posting constructs the (class, prototype, position)
+/// triple and resolves it through a hash table before the detector can
+/// consume it.
+void BM_SentinelStringRep_PostAndMove(benchmark::State& state) {
+  Fsm fsm = MakeFsm();
+  StringEventTable table;
+  const char* protos[] = {"void a()", "void b()", "void c()"};
+  for (int i = 0; i < 3; ++i) {
+    table.Intern({"Counter", protos[i], "end"});
+  }
+  int32_t s = fsm.start();
+  size_t i = 0;
+  for (auto _ : state) {
+    // The per-posting work a string-triple runtime cannot avoid:
+    StringEventRep rep{"Counter", protos[i % 3], "end"};
+    uint32_t id = table.Lookup(rep);
+    s = fsm.Move(s, kSymA + id - 1);
+    benchmark::DoNotOptimize(s);
+    ++i;
+  }
+}
+BENCHMARK(BM_SentinelStringRep_PostAndMove);
+
+/// Interning cost at startup (paid once per event in Ode, §5.2).
+void BM_OdeIntern_Startup(benchmark::State& state) {
+  for (auto _ : state) {
+    EventRegistry registry;
+    for (int i = 0; i < 16; ++i) {
+      benchmark::DoNotOptimize(
+          registry.Intern("CredCard", "after f" + std::to_string(i)));
+    }
+  }
+}
+BENCHMARK(BM_OdeIntern_Startup);
+
+/// Pure identification comparison, no FSM: integer pass-through vs
+/// triple construction + hash lookup.
+void BM_IdentifyOnly_Integer(benchmark::State& state) {
+  Symbol symbol = kSymB;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(symbol);
+  }
+}
+BENCHMARK(BM_IdentifyOnly_Integer);
+
+void BM_IdentifyOnly_StringTriple(benchmark::State& state) {
+  StringEventTable table;
+  table.Intern({"CredCard", "void PayBill(float)", "end"});
+  for (auto _ : state) {
+    StringEventRep rep{"CredCard", "void PayBill(float)", "end"};
+    benchmark::DoNotOptimize(table.Lookup(rep));
+  }
+}
+BENCHMARK(BM_IdentifyOnly_StringTriple);
+
+}  // namespace
+}  // namespace ode
+
+BENCHMARK_MAIN();

@@ -1,0 +1,138 @@
+// Experiment F1 (Figure 1): reproduces the paper's only figure — the
+// finite state machine compiled for
+//
+//   trigger AutoRaiseLimit(float amount) :
+//       relative((after Buy & MoreCred()), after PayBill)
+//
+// The binary first prints the machine (4 states: start, mask state *,
+// armed, accept — exactly the shape of Figure 1), then measures the
+// compilation pipeline (§5.1.3: FSMs are recompiled at every program
+// start, so compile cost is a real startup cost).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "events/event_parser.h"
+#include "events/fsm.h"
+#include "events/minimize.h"
+
+namespace ode {
+namespace {
+
+constexpr Symbol kBigBuy = 2, kAfterPayBill = 3, kAfterBuy = 4;
+
+CompileInput AutoRaiseLimitInput() {
+  auto parsed =
+      ParseEventExpr("relative((after Buy & MoreCred()), after PayBill)");
+  CompileInput input;
+  input.expr = parsed->expr;
+  input.anchored = parsed->anchored;
+  input.alphabet = {kBigBuy, kAfterPayBill, kAfterBuy};
+  input.event_symbols = {{"BigBuy", kBigBuy},
+                         {"after PayBill", kAfterPayBill},
+                         {"after Buy", kAfterBuy}};
+  input.mask_ids = {{"MoreCred()", 0}};
+  return input;
+}
+
+void PrintFigure1() {
+  auto fsm = CompileFsm(AutoRaiseLimitInput());
+  if (!fsm.ok()) {
+    std::fprintf(stderr, "figure 1 compile failed: %s\n",
+                 fsm.status().ToString().c_str());
+    std::abort();
+  }
+  std::printf(
+      "== Figure 1: AutoRaiseLimit's finite state machine "
+      "(paper shape: 4 states, state 1 masked, state 3 accepting) ==\n%s\n",
+      fsm->ToTable({{kBigBuy, "BigBuy"},
+                    {kAfterPayBill, "after PayBill"},
+                    {kAfterBuy, "after Buy"}},
+                   {{0, "MoreCred()"}})
+          .c_str());
+}
+
+void BM_CompileAutoRaiseLimit(benchmark::State& state) {
+  CompileInput input = AutoRaiseLimitInput();
+  size_t states = 0;
+  for (auto _ : state) {
+    auto fsm = CompileFsm(input);
+    benchmark::DoNotOptimize(fsm);
+    states = fsm->NumStates();
+  }
+  state.counters["fsm_states"] = static_cast<double>(states);
+}
+BENCHMARK(BM_CompileAutoRaiseLimit);
+
+void BM_ParseAutoRaiseLimit(benchmark::State& state) {
+  for (auto _ : state) {
+    auto parsed = ParseEventExpr(
+        "relative((after Buy & MoreCred()), after PayBill)");
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_ParseAutoRaiseLimit);
+
+/// Compile cost vs expression size: a sequence of N basic events over an
+/// alphabet of N symbols.
+void BM_CompileSequenceOfN(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  CompileInput input;
+  input.anchored = false;
+  ExprPtr expr;
+  for (int i = 0; i < n; ++i) {
+    std::string name = "e" + std::to_string(i);
+    Symbol sym = static_cast<Symbol>(kFirstEventSymbol + i);
+    input.alphabet.push_back(sym);
+    input.event_symbols[name] = sym;
+    ExprPtr basic = Basic(name);
+    expr = expr == nullptr ? basic : Seq(expr, basic);
+  }
+  input.expr = expr;
+  size_t states = 0;
+  for (auto _ : state) {
+    auto fsm = CompileFsm(input);
+    benchmark::DoNotOptimize(fsm);
+    states = fsm->NumStates();
+  }
+  state.counters["fsm_states"] = static_cast<double>(states);
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_CompileSequenceOfN)->RangeMultiplier(2)->Range(2, 64)
+    ->Complexity();
+
+/// Compile cost of alternation-heavy expressions: (e0 || e1 || ... ), eN.
+void BM_CompileAlternationOfN(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  CompileInput input;
+  ExprPtr expr;
+  for (int i = 0; i < n; ++i) {
+    std::string name = "e" + std::to_string(i);
+    Symbol sym = static_cast<Symbol>(kFirstEventSymbol + i);
+    input.alphabet.push_back(sym);
+    input.event_symbols[name] = sym;
+    ExprPtr basic = Basic(name);
+    expr = expr == nullptr ? basic : Or(expr, basic);
+  }
+  input.expr = Seq(Star(expr), Basic("e0"));
+  size_t states = 0;
+  for (auto _ : state) {
+    auto fsm = CompileFsm(input);
+    benchmark::DoNotOptimize(fsm);
+    states = fsm->NumStates();
+  }
+  state.counters["fsm_states"] = static_cast<double>(states);
+}
+BENCHMARK(BM_CompileAlternationOfN)->RangeMultiplier(4)->Range(2, 128);
+
+}  // namespace
+}  // namespace ode
+
+int main(int argc, char** argv) {
+  ode::PrintFigure1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Experiment E8 (§5.1.3): the paper compiles every trigger's FSM on every
+// program start rather than persisting compiled machines ("we chose to
+// compile an FSM every time"). This benchmark measures that startup cost:
+// declaring and freezing a schema with N triggers.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace ode {
+namespace bench {
+namespace {
+
+/// A plausible mix of trigger expressions (cycled).
+const char* kExpressions[] = {
+    "after Hit",
+    "after Hit, Poke",
+    "after Hit & Positive()",
+    "Poke || after Hit",
+    "relative((after Hit & Positive()), Poke)",
+    "(after Hit, Poke)+",
+};
+
+void BM_SchemaFreeze_NTriggers(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  size_t total_states = 0;
+  for (auto _ : state) {
+    Schema schema;
+    auto def = schema.DeclareClass<Counter>("Counter");
+    def.Event("after Hit").Event("Poke").Method("Hit", &Counter::Hit);
+    def.Mask("Positive()",
+             [](const Counter& c, MaskEvalContext&) -> Result<bool> {
+               return c.hits >= 0;
+             });
+    for (int i = 0; i < n; ++i) {
+      def.Trigger("T" + std::to_string(i), kExpressions[i % 6],
+                  [](Counter&, TriggerFireContext&) -> Status {
+                    return Status::OK();
+                  },
+                  CouplingMode::kImmediate, true);
+    }
+    BENCH_CHECK_OK(schema.Freeze());
+    benchmark::DoNotOptimize(schema);
+    total_states = 0;
+    for (const TriggerInfo& t :
+         schema.RecordByName("Counter")->descriptor->triggers()) {
+      total_states += t.fsm.NumStates();
+    }
+  }
+  state.counters["triggers"] = n;
+  state.counters["total_fsm_states"] = static_cast<double>(total_states);
+}
+BENCHMARK(BM_SchemaFreeze_NTriggers)->Arg(1)->Arg(10)->Arg(100)->Arg(500);
+
+/// Session open on an existing database: recovery + priming the active-
+/// trigger counts, the other component of program-start cost.
+void BM_SessionOpen_WithActiveTriggers(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Schema schema;
+  DeclareCounter(&schema, 1);
+  BENCH_CHECK_OK(schema.Freeze());
+  std::string path = "/tmp/ode_bench_open.db";
+  std::remove(path.c_str());
+  {
+    Session::Options options;
+    options.auto_cluster = false;
+    auto session =
+        Session::Open(StorageKind::kMainMemory, path, &schema, options);
+    BENCH_CHECK_OK(session.status());
+    BENCH_CHECK_OK(
+        (*session)->WithTransaction([&](Transaction* txn) -> Status {
+          for (int i = 0; i < n; ++i) {
+            auto r = (*session)->New(txn, Counter{});
+            ODE_RETURN_NOT_OK(r.status());
+            ODE_RETURN_NOT_OK(
+                (*session)->Activate(txn, *r, "T0").status());
+          }
+          return Status::OK();
+        }));
+    BENCH_CHECK_OK((*session)->Close());
+  }
+  for (auto _ : state) {
+    Session::Options options;
+    options.auto_cluster = false;
+    auto session =
+        Session::Open(StorageKind::kMainMemory, path, &schema, options);
+    BENCH_CHECK_OK(session.status());
+    benchmark::DoNotOptimize(session);
+    BENCH_CHECK_OK((*session)->Close());
+  }
+  state.counters["active_triggers"] = n;
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_SessionOpen_WithActiveTriggers)->Arg(10)->Arg(100)->Arg(1000);
+
+}  // namespace
+}  // namespace bench
+}  // namespace ode
+
+BENCHMARK_MAIN();

@@ -1,0 +1,105 @@
+// Experiment E1 (design goals 3–4, §5.3): who pays for triggers?
+//
+//   * volatile objects: plain C++ calls, zero trigger overhead;
+//   * persistent objects of a class with NO declared events/triggers:
+//     object load/store cost, but no posting;
+//   * persistent objects with declared events but no ACTIVE triggers:
+//     one posting that short-circuits on the footnote-3 fast path;
+//   * persistent objects with N active triggers: index lookup + N FSM
+//     advances (+ write-back of advanced TriggerStates).
+
+#include "bench_common.h"
+
+namespace ode {
+namespace bench {
+namespace {
+
+/// Baseline: a volatile object — the wrapper machinery must never touch
+/// it (design goal 4).
+void BM_VolatileCall(benchmark::State& state) {
+  Counter counter;
+  for (auto _ : state) {
+    counter.Hit();
+    benchmark::DoNotOptimize(counter);
+  }
+}
+BENCHMARK(BM_VolatileCall);
+
+/// A class with no events or triggers declared at all: Invoke does the
+/// load/call/store dance but posts nothing (design goal 3: only classes
+/// with triggers pay).
+void BM_PersistentCall_EventlessClass(benchmark::State& state) {
+  Schema schema;
+  schema.DeclareClass<Counter>("Counter").Method("Hit", &Counter::Hit);
+  BENCH_CHECK_OK(schema.Freeze());
+  Session::Options options;
+  options.auto_cluster = false;
+  auto session =
+      Session::Open(StorageKind::kMainMemory, "", &schema, options);
+  BENCH_CHECK_OK(session.status());
+  PRef<Counter> ref;
+  BENCH_CHECK_OK((*session)->WithTransaction([&](Transaction* txn) -> Status {
+    auto r = (*session)->New(txn, Counter{});
+    ODE_RETURN_NOT_OK(r.status());
+    ref = *r;
+    return Status::OK();
+  }));
+  auto txn = (*session)->Begin();
+  BENCH_CHECK_OK(txn.status());
+  for (auto _ : state) {
+    BENCH_CHECK_OK((*session)->Invoke(*txn, ref, &Counter::Hit));
+  }
+  BENCH_CHECK_OK((*session)->Abort(*txn));
+}
+BENCHMARK(BM_PersistentCall_EventlessClass);
+
+/// Declared events, zero active triggers: the posting hits the fast path.
+void BM_PersistentCall_NoActiveTriggers(benchmark::State& state) {
+  CounterHarness h(/*declared=*/4, /*active=*/0);
+  auto txn = h.session->Begin();
+  BENCH_CHECK_OK(txn.status());
+  for (auto _ : state) {
+    BENCH_CHECK_OK(h.session->Invoke(*txn, h.counter, &Counter::Hit));
+  }
+  BENCH_CHECK_OK(h.session->Abort(*txn));
+  state.counters["fast_path_skips"] = static_cast<double>(
+      h.session->triggers()->stats().fast_path_skips.load());
+}
+BENCHMARK(BM_PersistentCall_NoActiveTriggers);
+
+/// N active perpetual triggers advancing on every call.
+void BM_PersistentCall_ActiveTriggers(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  CounterHarness h(/*declared=*/n, /*active=*/n);
+  auto txn = h.session->Begin();
+  BENCH_CHECK_OK(txn.status());
+  for (auto _ : state) {
+    BENCH_CHECK_OK(h.session->Invoke(*txn, h.counter, &Counter::Hit));
+  }
+  BENCH_CHECK_OK(h.session->Abort(*txn));
+  state.counters["triggers"] = n;
+}
+BENCHMARK(BM_PersistentCall_ActiveTriggers)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Arg(16);
+
+/// Same with a masked expression — adds one predicate evaluation (an
+/// object load + user lambda) per posting per trigger.
+void BM_PersistentCall_MaskedTrigger(benchmark::State& state) {
+  CounterHarness h(/*declared=*/1, /*active=*/1, "after Hit & Positive()",
+                   CouplingMode::kImmediate, /*masked=*/true);
+  auto txn = h.session->Begin();
+  BENCH_CHECK_OK(txn.status());
+  for (auto _ : state) {
+    BENCH_CHECK_OK(h.session->Invoke(*txn, h.counter, &Counter::Hit));
+  }
+  BENCH_CHECK_OK(h.session->Abort(*txn));
+  state.counters["mask_evals"] = static_cast<double>(
+      h.session->triggers()->stats().mask_evaluations.load());
+}
+BENCHMARK(BM_PersistentCall_MaskedTrigger);
+
+}  // namespace
+}  // namespace bench
+}  // namespace ode
+
+BENCHMARK_MAIN();

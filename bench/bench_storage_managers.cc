@@ -1,0 +1,149 @@
+// Experiment E7 (§5.6, MM-Ode): the same trigger workload over the
+// main-memory (Dali analogue) and disk (EOS analogue) storage managers.
+// The two are source-compatible; the disk manager adds page I/O and (when
+// sync_commits is on) an fsync per commit.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "storage/disk_storage_manager.h"
+#include "storage/mm_storage_manager.h"
+
+namespace ode {
+namespace bench {
+namespace {
+
+enum class Backend { kMM, kDiskSync, kDiskNoSync };
+
+std::unique_ptr<StorageManager> MakeStore(Backend backend,
+                                          const std::string& path) {
+  switch (backend) {
+    case Backend::kMM:
+      return std::make_unique<MMStorageManager>("");
+    case Backend::kDiskSync: {
+      DiskStorageManager::Options options;
+      options.sync_commits = true;
+      return std::make_unique<DiskStorageManager>(path, options);
+    }
+    case Backend::kDiskNoSync: {
+      DiskStorageManager::Options options;
+      options.sync_commits = false;
+      return std::make_unique<DiskStorageManager>(path, options);
+    }
+  }
+  return nullptr;
+}
+
+struct BackendHarness {
+  explicit BackendHarness(Backend backend) {
+    path = ::std::string("/tmp/ode_bench_storage.db");
+    std::remove(path.c_str());
+    std::remove((path + ".wal").c_str());
+    DeclareCounter(&schema, /*num_triggers=*/1);
+    BENCH_CHECK_OK(schema.Freeze());
+    Session::Options options;
+    options.auto_cluster = false;
+    auto s = Session::OpenWith(MakeStore(backend, path), &schema, options);
+    BENCH_CHECK_OK(s.status());
+    session = std::move(s).value();
+    BENCH_CHECK_OK(session->WithTransaction([&](Transaction* txn) -> Status {
+      auto r = session->New(txn, Counter{});
+      ODE_RETURN_NOT_OK(r.status());
+      counter = *r;
+      return session->Activate(txn, counter, "T0").status();
+    }));
+  }
+  ~BackendHarness() {
+    session.reset();
+    std::remove(path.c_str());
+    std::remove((path + ".wal").c_str());
+  }
+
+  std::string path;
+  Schema schema;
+  std::unique_ptr<Session> session;
+  PRef<Counter> counter;
+};
+
+/// One triggered update transaction per iteration.
+void TriggeredTxn(benchmark::State& state, Backend backend) {
+  BackendHarness h(backend);
+  for (auto _ : state) {
+    BENCH_CHECK_OK(h.session->WithTransaction([&](Transaction* txn) {
+      return h.session->Invoke(txn, h.counter, &Counter::Hit);
+    }));
+  }
+  StorageStats stats = h.session->db()->store()->stats();
+  state.counters["page_writes"] = static_cast<double>(stats.page_writes);
+  state.counters["wal_records"] = static_cast<double>(stats.wal_records);
+}
+
+void BM_TriggeredTxn_MainMemory(benchmark::State& state) {
+  TriggeredTxn(state, Backend::kMM);
+}
+BENCHMARK(BM_TriggeredTxn_MainMemory);
+
+void BM_TriggeredTxn_DiskNoSync(benchmark::State& state) {
+  TriggeredTxn(state, Backend::kDiskNoSync);
+}
+BENCHMARK(BM_TriggeredTxn_DiskNoSync);
+
+void BM_TriggeredTxn_DiskFsync(benchmark::State& state) {
+  TriggeredTxn(state, Backend::kDiskSync);
+}
+BENCHMARK(BM_TriggeredTxn_DiskFsync);
+
+/// Raw storage-manager object writes (no triggers, no session), batched
+/// 64 per transaction.
+void RawWrites(benchmark::State& state, Backend backend) {
+  std::string path = "/tmp/ode_bench_storage_raw.db";
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+  auto store = MakeStore(backend, path);
+  BENCH_CHECK_OK(store->Open());
+  TxnId txn = 1;
+  BENCH_CHECK_OK(store->BeginTxn(txn));
+  auto oid = store->Allocate(txn, Slice(std::string(128, 'x')));
+  BENCH_CHECK_OK(oid.status());
+  BENCH_CHECK_OK(store->CommitTxn(txn));
+  ++txn;
+
+  std::string payload(128, 'y');
+  int in_batch = 0;
+  BENCH_CHECK_OK(store->BeginTxn(txn));
+  for (auto _ : state) {
+    BENCH_CHECK_OK(store->Write(txn, *oid, Slice(payload)));
+    if (++in_batch == 64) {
+      BENCH_CHECK_OK(store->CommitTxn(txn));
+      BENCH_CHECK_OK(store->BeginTxn(++txn));
+      in_batch = 0;
+    }
+  }
+  BENCH_CHECK_OK(store->CommitTxn(txn));
+  BENCH_CHECK_OK(store->Close());
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+}
+
+void BM_RawWrite_MainMemory(benchmark::State& state) {
+  RawWrites(state, Backend::kMM);
+}
+BENCHMARK(BM_RawWrite_MainMemory);
+
+void BM_RawWrite_DiskNoSync(benchmark::State& state) {
+  RawWrites(state, Backend::kDiskNoSync);
+}
+BENCHMARK(BM_RawWrite_DiskNoSync);
+
+void BM_RawWrite_DiskFsync(benchmark::State& state) {
+  RawWrites(state, Backend::kDiskSync);
+}
+BENCHMARK(BM_RawWrite_DiskFsync);
+
+}  // namespace
+}  // namespace bench
+}  // namespace ode
+
+BENCHMARK_MAIN();

@@ -1,0 +1,189 @@
+// The paper's §4 credit-card monitoring example, end to end:
+//
+//   persistent class CredCard {
+//     ...
+//     event after Buy, after PayBill, BigBuy;
+//     trigger DenyCredit() : perpetual
+//         after Buy & (currBal > credLim) ==> { BlackMark(...); tabort; }
+//     trigger AutoRaiseLimit(float amount) :
+//         relative((after Buy & MoreCred()), after PayBill)
+//             ==> RaiseLimit(amount);
+//   };
+//
+// The program walks the exact scenario the paper narrates and also prints
+// the AutoRaiseLimit finite state machine — Figure 1.
+
+#include <cstdio>
+
+#include "odepp/params.h"
+#include "odepp/session.h"
+#include "trigger/event_registry.h"
+
+namespace {
+
+using namespace ode;
+
+struct CredCard {
+  float cred_lim = 0;
+  float curr_bal = 0;
+  int32_t black_marks = 0;
+  bool good_hist = true;
+
+  void Buy(float amount) { curr_bal += amount; }
+  void PayBill(float amount) { curr_bal -= amount; }
+  void RaiseLimit(float amount) { cred_lim += amount; }
+  bool MoreCred() const { return curr_bal > 0.8f * cred_lim && good_hist; }
+
+  void Encode(Encoder& enc) const {
+    enc.PutFloat(cred_lim);
+    enc.PutFloat(curr_bal);
+    enc.PutI32(black_marks);
+    enc.PutBool(good_hist);
+  }
+  static Result<CredCard> Decode(Decoder& dec) {
+    CredCard c;
+    ODE_RETURN_NOT_OK(dec.GetFloat(&c.cred_lim));
+    ODE_RETURN_NOT_OK(dec.GetFloat(&c.curr_bal));
+    ODE_RETURN_NOT_OK(dec.GetI32(&c.black_marks));
+    ODE_RETURN_NOT_OK(dec.GetBool(&c.good_hist));
+    return c;
+  }
+};
+
+#define CHECK_OK(expr)                                                  \
+  do {                                                                  \
+    ::ode::Status _st = (expr);                                         \
+    if (!_st.ok()) {                                                    \
+      std::fprintf(stderr, "FAILED at %s:%d: %s\n", __FILE__, __LINE__, \
+                   _st.ToString().c_str());                             \
+      std::exit(1);                                                     \
+    }                                                                   \
+  } while (0)
+
+}  // namespace
+
+int main() {
+  Schema schema;
+  schema.DeclareClass<CredCard>("CredCard")
+      .Event("after Buy")
+      .Event("after PayBill")
+      .Event("BigBuy")
+      .Method("Buy", &CredCard::Buy)
+      .Method("PayBill", &CredCard::PayBill)
+      .Mask("(currBal>credLim)",
+            [](const CredCard& c, MaskEvalContext&) -> Result<bool> {
+              return c.curr_bal > c.cred_lim;
+            })
+      .Mask("MoreCred()",
+            [](const CredCard& c, MaskEvalContext&) -> Result<bool> {
+              return c.MoreCred();
+            })
+      .Trigger(
+          "DenyCredit", "after Buy & (currBal>credLim)",
+          [](CredCard& c, TriggerFireContext& ctx) -> Status {
+            ++c.black_marks;  // BlackMark("Over Limit", today())
+            std::printf("    [DenyCredit] over limit (bal %.0f > lim %.0f)"
+                        " -> black mark + tabort\n",
+                        c.curr_bal, c.cred_lim);
+            ctx.Tabort("over limit");
+            return Status::OK();
+          },
+          CouplingMode::kImmediate, /*perpetual=*/true)
+      .Trigger(
+          "AutoRaiseLimit",
+          "relative((after Buy & MoreCred()), after PayBill)",
+          [](CredCard& c, TriggerFireContext& ctx) -> Status {
+            auto params = UnpackParams<float>(ctx.params());
+            if (!params.ok()) return params.status();
+            float amount = std::get<0>(*params);
+            c.RaiseLimit(amount);
+            std::printf("    [AutoRaiseLimit] customer may need credit:"
+                        " limit +%.0f -> %.0f\n",
+                        amount, c.cred_lim);
+            return Status::OK();
+          },
+          CouplingMode::kImmediate, /*perpetual=*/false);
+  CHECK_OK(schema.Freeze());
+
+  // Print Figure 1: the FSM compiled for AutoRaiseLimit.
+  {
+    const ClassRecord* rec = schema.RecordByName("CredCard");
+    const TriggerInfo* info =
+        rec->descriptor->FindTrigger("AutoRaiseLimit", nullptr);
+    std::unordered_map<Symbol, std::string> names;
+    for (const EventDecl& e : rec->descriptor->AllEvents()) {
+      names[e.symbol] = e.name;
+    }
+    std::printf("Figure 1 — AutoRaiseLimit's finite state machine:\n%s\n",
+                info->fsm.ToTable(names, {{0, "MoreCred()"}}).c_str());
+  }
+
+  auto session = Session::Open(StorageKind::kMainMemory, "", &schema);
+  CHECK_OK(session.status());
+  Session& s = **session;
+
+  PRef<CredCard> card;
+  CHECK_OK(s.WithTransaction([&](Transaction* txn) -> Status {
+    CredCard c;
+    c.cred_lim = 1000;
+    auto r = s.New(txn, c);
+    ODE_RETURN_NOT_OK(r.status());
+    card = *r;
+    // credcard->DenyCredit(); credcard->AutoRaiseLimit(500.0);
+    ODE_RETURN_NOT_OK(s.Activate(txn, card, "DenyCredit").status());
+    ODE_RETURN_NOT_OK(
+        s.Activate(txn, card, "AutoRaiseLimit", PackParams(500.0f))
+            .status());
+    return Status::OK();
+  }));
+  std::printf("issued card: limit 1000, both triggers activated\n\n");
+
+  auto buy = [&](float amount) {
+    std::printf("  pcred->Buy(%.0f)\n", amount);
+    return s.WithTransaction([&](Transaction* txn) -> Status {
+      return s.Invoke(txn, card, &CredCard::Buy, amount);
+    });
+  };
+  auto pay = [&](float amount) {
+    std::printf("  pcred->PayBill(%.0f)\n", amount);
+    return s.WithTransaction([&](Transaction* txn) -> Status {
+      return s.Invoke(txn, card, &CredCard::PayBill, amount);
+    });
+  };
+  auto show = [&] {
+    CredCard c;
+    CHECK_OK(s.WithTransaction([&](Transaction* txn) -> Status {
+      auto r = s.Load(txn, card);
+      ODE_RETURN_NOT_OK(r.status());
+      c = *r;
+      return Status::OK();
+    }));
+    std::printf("  -> balance %.0f, limit %.0f, black marks %d\n\n",
+                c.curr_bal, c.cred_lim, c.black_marks);
+  };
+
+  std::printf("scenario 1: ordinary purchases under the limit\n");
+  CHECK_OK(buy(300));
+  CHECK_OK(buy(200));
+  show();
+
+  std::printf("scenario 2: a purchase that would exceed the limit\n");
+  Status st = buy(900);
+  if (!st.IsTransactionAborted()) CHECK_OK(st);
+  std::printf("  purchase status: %s\n", st.ToString().c_str());
+  show();  // balance unchanged: DenyCredit aborted the purchase
+
+  std::printf("scenario 3: heavy usage arms AutoRaiseLimit...\n");
+  CHECK_OK(buy(400));  // balance 900 > 80%% of 1000: MoreCred() true
+  std::printf("...and the next bill payment fires it\n");
+  CHECK_OK(pay(250));
+  show();  // limit is now 1500
+
+  std::printf("scenario 4: AutoRaiseLimit was once-only; it is gone now\n");
+  CHECK_OK(buy(800));  // balance 1450 > 80%% of 1500
+  CHECK_OK(pay(100));
+  show();  // limit still 1500
+
+  std::printf("credit card example ok\n");
+  return 0;
+}

@@ -1,0 +1,171 @@
+// Fraud watch — demonstrates the §8 "future work" features this
+// reproduction implements beyond the paper's shipping system:
+//
+//   * event attributes — masks inspect the arguments of the invocation
+//     that posted the event ("after Charge & LargeAmount()");
+//   * local rules — a transient trigger active only inside one batch
+//     transaction, with no persistent storage;
+//   * timed triggers — a scheduled user event ("CardExpired") fires when
+//     the logical clock passes its due time;
+//   * constraints — "balance never exceeds 2x the limit", checked at
+//     commit, aborting violating transactions.
+
+#include <cstdio>
+
+#include "odepp/params.h"
+#include "odepp/session.h"
+
+namespace {
+
+using namespace ode;
+
+struct Card {
+  float limit = 1000;
+  float balance = 0;
+  int32_t alerts = 0;
+  bool frozen = false;
+
+  void Charge(float amount) { balance += amount; }
+  void Freeze() { frozen = true; }
+
+  void Encode(Encoder& enc) const {
+    enc.PutFloat(limit);
+    enc.PutFloat(balance);
+    enc.PutI32(alerts);
+    enc.PutBool(frozen);
+  }
+  static Result<Card> Decode(Decoder& dec) {
+    Card c;
+    ODE_RETURN_NOT_OK(dec.GetFloat(&c.limit));
+    ODE_RETURN_NOT_OK(dec.GetFloat(&c.balance));
+    ODE_RETURN_NOT_OK(dec.GetI32(&c.alerts));
+    ODE_RETURN_NOT_OK(dec.GetBool(&c.frozen));
+    return c;
+  }
+};
+
+#define CHECK_OK(expr)                                                  \
+  do {                                                                  \
+    ::ode::Status _st = (expr);                                         \
+    if (!_st.ok()) {                                                    \
+      std::fprintf(stderr, "FAILED at %s:%d: %s\n", __FILE__, __LINE__, \
+                   _st.ToString().c_str());                             \
+      std::exit(1);                                                     \
+    }                                                                   \
+  } while (0)
+
+}  // namespace
+
+int main() {
+  Schema schema;
+  schema.DeclareClass<Card>("Card")
+      .Event("after Charge")
+      .Event("CardExpired")
+      .Method("Charge", &Card::Charge)
+      .Method("Freeze", &Card::Freeze)
+      // Event attribute mask: looks at the Charge() argument, not the
+      // object state.
+      .Mask("LargeAmount()",
+            [](const Card&, MaskEvalContext& ctx) -> Result<bool> {
+              auto args = UnpackParams<float>(ctx.event_args());
+              if (!args.ok()) return args.status();
+              return std::get<0>(*args) > 500.0f;
+            })
+      .Trigger("LargeChargeAlert", "after Charge & LargeAmount()",
+               [](Card& c, TriggerFireContext& ctx) -> Status {
+                 auto args = UnpackParams<float>(ctx.event_args());
+                 if (!args.ok()) return args.status();
+                 ++c.alerts;
+                 std::printf("    [LargeChargeAlert] charge of %.0f "
+                             "flagged (alert #%d)\n",
+                             std::get<0>(*args), c.alerts);
+                 return Status::OK();
+               },
+               CouplingMode::kImmediate, /*perpetual=*/true)
+      // Three large charges in one monitored window -> freeze the card.
+      .Trigger("VelocityCheck",
+               "(after Charge & LargeAmount()), any*, "
+               "(after Charge & LargeAmount()), any*, "
+               "(after Charge & LargeAmount())",
+               [](Card& c, TriggerFireContext&) -> Status {
+                 c.Freeze();
+                 std::printf("    [VelocityCheck] 3 large charges -> "
+                             "card frozen\n");
+                 return Status::OK();
+               },
+               CouplingMode::kImmediate, /*perpetual=*/false)
+      .Trigger("Expiry", "CardExpired",
+               [](Card& c, TriggerFireContext&) -> Status {
+                 c.Freeze();
+                 std::printf("    [Expiry] card expired -> frozen\n");
+                 return Status::OK();
+               },
+               CouplingMode::kImmediate, /*perpetual=*/false)
+      .Constraint("WithinHardLimit",
+                  [](const Card& c, MaskEvalContext&) -> Result<bool> {
+                    return c.balance <= 2 * c.limit;
+                  },
+                  "balance exceeded the hard limit");
+  CHECK_OK(schema.Freeze());
+
+  auto session = Session::Open(StorageKind::kMainMemory, "", &schema);
+  CHECK_OK(session.status());
+  Session& s = **session;
+
+  PRef<Card> card;
+  CHECK_OK(s.WithTransaction([&](Transaction* txn) -> Status {
+    auto r = s.New(txn, Card{});
+    ODE_RETURN_NOT_OK(r.status());
+    card = *r;
+    ODE_RETURN_NOT_OK(s.Activate(txn, card, "LargeChargeAlert").status());
+    ODE_RETURN_NOT_OK(s.Activate(txn, card, "WithinHardLimit").status());
+    // Expiry at logical day 30.
+    ODE_RETURN_NOT_OK(s.Activate(txn, card, "Expiry").status());
+    return s.ScheduleUserEvent(txn, card, "CardExpired", 30);
+  }));
+  std::printf("card issued; alerts, hard-limit constraint, and day-30 "
+              "expiry armed\n\n");
+
+  std::printf("event attributes: small charges pass, large ones alert\n");
+  CHECK_OK(s.WithTransaction([&](Transaction* txn) -> Status {
+    ODE_RETURN_NOT_OK(s.Invoke(txn, card, &Card::Charge, 100.0f));
+    ODE_RETURN_NOT_OK(s.Invoke(txn, card, &Card::Charge, 800.0f));
+    return s.Invoke(txn, card, &Card::Charge, 50.0f);
+  }));
+
+  std::printf("\nlocal rule: batch import with a transaction-scoped "
+              "velocity check\n");
+  Status st = s.WithTransaction([&](Transaction* txn) -> Status {
+    // Transient activation: alive only inside this batch.
+    ODE_RETURN_NOT_OK(s.ActivateLocal(txn, card, "VelocityCheck").status());
+    ODE_RETURN_NOT_OK(s.Invoke(txn, card, &Card::Charge, 600.0f));
+    ODE_RETURN_NOT_OK(s.Invoke(txn, card, &Card::Charge, 700.0f));
+    return s.Invoke(txn, card, &Card::Charge, 900.0f);
+  });
+  // The batch blew the hard-limit constraint at commit: rolled back, and
+  // the local rule died with the transaction.
+  std::printf("  batch status: %s\n", st.ToString().c_str());
+
+  std::printf("\nconstraint kept the card consistent:\n");
+  CHECK_OK(s.WithTransaction([&](Transaction* txn) -> Status {
+    auto c = s.Load(txn, card);
+    ODE_RETURN_NOT_OK(c.status());
+    std::printf("  balance %.0f (limit %.0f), alerts %d, frozen=%d\n",
+                c->balance, c->limit, c->alerts, c->frozen ? 1 : 0);
+    return Status::OK();
+  }));
+
+  std::printf("\ntimed trigger: advancing the clock past day 30\n");
+  CHECK_OK(s.WithTransaction([&](Transaction* txn) -> Status {
+    return s.AdvanceTime(txn, 31);
+  }));
+  CHECK_OK(s.WithTransaction([&](Transaction* txn) -> Status {
+    auto c = s.Load(txn, card);
+    ODE_RETURN_NOT_OK(c.status());
+    std::printf("  frozen=%d after expiry\n", c->frozen ? 1 : 0);
+    return Status::OK();
+  }));
+
+  std::printf("fraud watch example ok\n");
+  return 0;
+}

@@ -1,0 +1,178 @@
+// Inventory monitoring: demonstrates the ECA coupling modes (§4.2) and
+// transaction events (§5.5) on a warehouse schema, plus cluster
+// iteration over the class extent.
+//
+//   * ReorderCheck (end/deferred)  — when stock drops below the reorder
+//     point, place a purchase order just before the transaction commits
+//     (so a ship-then-restock within one transaction orders only once,
+//     based on the final quantity).
+//   * AuditTrail (!dependent)      — every large shipment is recorded in
+//     a separate, independent transaction: even if the shipment itself
+//     is rolled back, the attempt stays on the audit record.
+//   * CommitStamp (before tcomplete, immediate) — counts the committed
+//     transactions that touched the item.
+
+#include <cstdio>
+
+#include "odepp/params.h"
+#include "odepp/session.h"
+
+namespace {
+
+using namespace ode;
+
+struct Item {
+  int32_t quantity = 0;
+  int32_t reorder_point = 20;
+  int32_t orders_placed = 0;
+  int32_t audit_entries = 0;
+  int32_t commits_seen = 0;
+
+  void Ship(int32_t n) { quantity -= n; }
+  void Restock(int32_t n) { quantity += n; }
+
+  void Encode(Encoder& enc) const {
+    enc.PutI32(quantity);
+    enc.PutI32(reorder_point);
+    enc.PutI32(orders_placed);
+    enc.PutI32(audit_entries);
+    enc.PutI32(commits_seen);
+  }
+  static Result<Item> Decode(Decoder& dec) {
+    Item it;
+    ODE_RETURN_NOT_OK(dec.GetI32(&it.quantity));
+    ODE_RETURN_NOT_OK(dec.GetI32(&it.reorder_point));
+    ODE_RETURN_NOT_OK(dec.GetI32(&it.orders_placed));
+    ODE_RETURN_NOT_OK(dec.GetI32(&it.audit_entries));
+    ODE_RETURN_NOT_OK(dec.GetI32(&it.commits_seen));
+    return it;
+  }
+};
+
+#define CHECK_OK(expr)                                                  \
+  do {                                                                  \
+    ::ode::Status _st = (expr);                                         \
+    if (!_st.ok()) {                                                    \
+      std::fprintf(stderr, "FAILED at %s:%d: %s\n", __FILE__, __LINE__, \
+                   _st.ToString().c_str());                             \
+      std::exit(1);                                                     \
+    }                                                                   \
+  } while (0)
+
+}  // namespace
+
+int main() {
+  Schema schema;
+  schema.DeclareClass<Item>("Item")
+      .Event("after Ship")
+      .Event("after Restock")
+      .Event("before tcomplete")
+      .Method("Ship", &Item::Ship)
+      .Method("Restock", &Item::Restock)
+      .Mask("LowStock()",
+            [](const Item& it, MaskEvalContext&) -> Result<bool> {
+              return it.quantity < it.reorder_point;
+            })
+      .Mask("BigShipment()",
+            [](const Item& it, MaskEvalContext&) -> Result<bool> {
+              // Heuristic: a big shipment leaves the quantity well down.
+              return it.quantity < it.reorder_point / 2;
+            })
+      .Trigger(
+          "ReorderCheck", "after Ship & LowStock()",
+          [](Item& it, TriggerFireContext&) -> Status {
+            if (it.quantity >= it.reorder_point) {
+              std::printf("    [ReorderCheck@commit] restocked in the "
+                          "meantime (qty %d): no order\n",
+                          it.quantity);
+              return Status::OK();
+            }
+            ++it.orders_placed;
+            std::printf("    [ReorderCheck@commit] qty %d below %d -> "
+                        "purchase order #%d\n",
+                        it.quantity, it.reorder_point, it.orders_placed);
+            return Status::OK();
+          },
+          CouplingMode::kDeferred, /*perpetual=*/true)
+      .Trigger(
+          "AuditTrail", "after Ship & BigShipment()",
+          [](Item& it, TriggerFireContext&) -> Status {
+            ++it.audit_entries;
+            std::printf("    [AuditTrail/!dependent] big shipment "
+                        "recorded (entry #%d)\n",
+                        it.audit_entries);
+            return Status::OK();
+          },
+          CouplingMode::kIndependent, /*perpetual=*/true)
+      .Trigger(
+          "CommitStamp", "before tcomplete",
+          [](Item& it, TriggerFireContext&) -> Status {
+            ++it.commits_seen;
+            return Status::OK();
+          },
+          CouplingMode::kImmediate, /*perpetual=*/true);
+  CHECK_OK(schema.Freeze());
+
+  auto session = Session::Open(StorageKind::kMainMemory, "", &schema);
+  CHECK_OK(session.status());
+  Session& s = **session;
+
+  // A small warehouse of items; triggers activated per object.
+  std::vector<PRef<Item>> items;
+  CHECK_OK(s.WithTransaction([&](Transaction* txn) -> Status {
+    for (int i = 0; i < 3; ++i) {
+      Item it;
+      it.quantity = 50;
+      auto r = s.New(txn, it);
+      ODE_RETURN_NOT_OK(r.status());
+      ODE_RETURN_NOT_OK(s.Activate(txn, *r, "ReorderCheck").status());
+      ODE_RETURN_NOT_OK(s.Activate(txn, *r, "AuditTrail").status());
+      ODE_RETURN_NOT_OK(s.Activate(txn, *r, "CommitStamp").status());
+      items.push_back(*r);
+    }
+    return Status::OK();
+  }));
+  std::printf("3 items stocked at 50; triggers active\n\n");
+
+  std::printf("case 1: ship-then-restock in ONE transaction — the "
+              "deferred trigger sees the final quantity, no order\n");
+  CHECK_OK(s.WithTransaction([&](Transaction* txn) -> Status {
+    ODE_RETURN_NOT_OK(s.Invoke(txn, items[0], &Item::Ship, 40));
+    ODE_RETURN_NOT_OK(s.Invoke(txn, items[0], &Item::Restock, 35));
+    return Status::OK();
+  }));
+
+  std::printf("\ncase 2: plain shipment below the reorder point — "
+              "ordered at commit\n");
+  CHECK_OK(s.WithTransaction([&](Transaction* txn) -> Status {
+    return s.Invoke(txn, items[1], &Item::Ship, 35);
+  }));
+
+  std::printf("\ncase 3: big shipment that the user then aborts — the "
+              "!dependent audit entry survives the rollback\n");
+  Status st = s.WithTransaction([&](Transaction* txn) -> Status {
+    ODE_RETURN_NOT_OK(s.Invoke(txn, items[2], &Item::Ship, 45));
+    std::printf("    ...user changes their mind: tabort\n");
+    if (Status ab = s.Abort(txn); !ab.ok()) return ab;
+    return Status::TransactionAborted("user abort");
+  });
+  if (!st.IsTransactionAborted()) CHECK_OK(st);
+
+  std::printf("\nwarehouse state (via the Item cluster):\n");
+  CHECK_OK(s.WithTransaction([&](Transaction* txn) -> Status {
+    auto cluster = s.Cluster<Item>(txn);
+    ODE_RETURN_NOT_OK(cluster.status());
+    int i = 0;
+    for (PRef<Item> ref : *cluster) {
+      auto it = s.Load(txn, ref);
+      ODE_RETURN_NOT_OK(it.status());
+      std::printf("  item %d: qty=%d orders=%d audits=%d commits=%d\n",
+                  i++, it->quantity, it->orders_placed, it->audit_entries,
+                  it->commits_seen);
+    }
+    return Status::OK();
+  }));
+
+  std::printf("inventory example ok\n");
+  return 0;
+}

@@ -1,0 +1,215 @@
+// Program trading — the paper's motivating application for composite
+// events (§3: "applications such as program trading whose actions are
+// triggered based on patterns of event occurrences as opposed to single
+// basic events").
+//
+// Each Stock object receives Tick(price) events. Triggers watch for
+// patterns:
+//   * DipBuyer   — three consecutive drops followed by a rise, with the
+//                  price still below the moving anchor: buy the dip
+//                  (sequence + masks, perpetual).
+//   * StopLoss   — any tick under the stop price while holding a
+//                  position: liquidate (mask, perpetual).
+//   * Momentum   — relative(breakout over threshold, volume spike):
+//                  once a breakout happened, any later volume spike
+//                  confirms the momentum (the paper's `relative`).
+
+#include <cstdio>
+
+#include "odepp/params.h"
+#include "odepp/session.h"
+
+namespace {
+
+using namespace ode;
+
+struct Stock {
+  float price = 100;
+  float prev_price = 100;
+  int32_t drops_in_a_row = 0;
+  int32_t drops_before_rise = 0;
+  bool rose_last = false;
+  int32_t shares = 0;
+  float cash_spent = 0;
+  int32_t buys = 0, sells = 0, momentum_alerts = 0;
+
+  void Tick(float new_price) {
+    prev_price = price;
+    if (new_price < price) {
+      ++drops_in_a_row;
+      rose_last = false;
+    } else if (new_price > price) {
+      drops_before_rise = drops_in_a_row;
+      drops_in_a_row = 0;
+      rose_last = true;
+    }
+    price = new_price;
+  }
+
+  void VolumeSpike() {}  // event-only method
+
+  void BuyShares(int32_t n) {
+    shares += n;
+    cash_spent += n * price;
+    ++buys;
+  }
+  void Liquidate() {
+    shares = 0;
+    ++sells;
+  }
+
+  void Encode(Encoder& enc) const {
+    enc.PutFloat(price);
+    enc.PutFloat(prev_price);
+    enc.PutI32(drops_in_a_row);
+    enc.PutI32(drops_before_rise);
+    enc.PutBool(rose_last);
+    enc.PutI32(shares);
+    enc.PutFloat(cash_spent);
+    enc.PutI32(buys);
+    enc.PutI32(sells);
+    enc.PutI32(momentum_alerts);
+  }
+  static Result<Stock> Decode(Decoder& dec) {
+    Stock s;
+    ODE_RETURN_NOT_OK(dec.GetFloat(&s.price));
+    ODE_RETURN_NOT_OK(dec.GetFloat(&s.prev_price));
+    ODE_RETURN_NOT_OK(dec.GetI32(&s.drops_in_a_row));
+    ODE_RETURN_NOT_OK(dec.GetI32(&s.drops_before_rise));
+    ODE_RETURN_NOT_OK(dec.GetBool(&s.rose_last));
+    ODE_RETURN_NOT_OK(dec.GetI32(&s.shares));
+    ODE_RETURN_NOT_OK(dec.GetFloat(&s.cash_spent));
+    ODE_RETURN_NOT_OK(dec.GetI32(&s.buys));
+    ODE_RETURN_NOT_OK(dec.GetI32(&s.sells));
+    ODE_RETURN_NOT_OK(dec.GetI32(&s.momentum_alerts));
+    return s;
+  }
+};
+
+#define CHECK_OK(expr)                                                  \
+  do {                                                                  \
+    ::ode::Status _st = (expr);                                         \
+    if (!_st.ok()) {                                                    \
+      std::fprintf(stderr, "FAILED at %s:%d: %s\n", __FILE__, __LINE__, \
+                   _st.ToString().c_str());                             \
+      std::exit(1);                                                     \
+    }                                                                   \
+  } while (0)
+
+}  // namespace
+
+int main() {
+  Schema schema;
+  schema.DeclareClass<Stock>("Stock")
+      .Event("after Tick")
+      .Event("after VolumeSpike")
+      .Method("Tick", &Stock::Tick)
+      .Method("VolumeSpike", &Stock::VolumeSpike)
+      .Mask("DippedThrice()",
+            [](const Stock& s, MaskEvalContext&) -> Result<bool> {
+              // After the rising tick, we need: just rose, and before
+              // that at least 3 consecutive drops.
+              return s.rose_last && s.drops_before_rise >= 3;
+            })
+      .Mask("UnderStop()",
+            [](const Stock& s, MaskEvalContext& ctx) -> Result<bool> {
+              auto stop = UnpackParams<float>(ctx.params());
+              if (!stop.ok()) return stop.status();
+              return s.shares > 0 && s.price < std::get<0>(*stop);
+            })
+      .Mask("Breakout()",
+            [](const Stock& s, MaskEvalContext& ctx) -> Result<bool> {
+              auto level = UnpackParams<float>(ctx.params());
+              if (!level.ok()) return level.status();
+              return s.price > std::get<0>(*level);
+            })
+      .Trigger(
+          "DipBuyer", "after Tick & DippedThrice()",
+          [](Stock& s, TriggerFireContext&) -> Status {
+            s.BuyShares(100);
+            std::printf("    [DipBuyer] 3 drops then a rise at %.2f ->"
+                        " buy 100 (now %d shares)\n",
+                        s.price, s.shares);
+            return Status::OK();
+          },
+          CouplingMode::kImmediate, /*perpetual=*/true)
+      .Trigger(
+          "StopLoss", "after Tick & UnderStop()",
+          [](Stock& s, TriggerFireContext&) -> Status {
+            std::printf("    [StopLoss] price %.2f under stop ->"
+                        " liquidate %d shares\n",
+                        s.price, s.shares);
+            s.Liquidate();
+            return Status::OK();
+          },
+          CouplingMode::kImmediate, /*perpetual=*/true)
+      .Trigger(
+          "Momentum",
+          "relative((after Tick & Breakout()), after VolumeSpike)",
+          [](Stock& s, TriggerFireContext&) -> Status {
+            ++s.momentum_alerts;
+            std::printf("    [Momentum] breakout earlier + volume spike"
+                        " now: alert #%d\n",
+                        s.momentum_alerts);
+            return Status::OK();
+          },
+          CouplingMode::kImmediate, /*perpetual=*/false);
+  CHECK_OK(schema.Freeze());
+
+  auto session = Session::Open(StorageKind::kMainMemory, "", &schema);
+  CHECK_OK(session.status());
+  Session& s = **session;
+
+  PRef<Stock> stock;
+  CHECK_OK(s.WithTransaction([&](Transaction* txn) -> Status {
+    auto r = s.New(txn, Stock{});
+    ODE_RETURN_NOT_OK(r.status());
+    stock = *r;
+    ODE_RETURN_NOT_OK(s.Activate(txn, stock, "DipBuyer").status());
+    ODE_RETURN_NOT_OK(
+        s.Activate(txn, stock, "StopLoss", PackParams(85.0f)).status());
+    ODE_RETURN_NOT_OK(
+        s.Activate(txn, stock, "Momentum", PackParams(110.0f)).status());
+    return Status::OK();
+  }));
+  std::printf("monitoring stock: DipBuyer, StopLoss(85), "
+              "Momentum(breakout 110)\n\n");
+
+  auto tick = [&](float price) {
+    std::printf("  tick %.2f\n", price);
+    CHECK_OK(s.WithTransaction([&](Transaction* txn) -> Status {
+      return s.Invoke(txn, stock, &Stock::Tick, price);
+    }));
+  };
+  auto spike = [&] {
+    std::printf("  volume spike\n");
+    CHECK_OK(s.WithTransaction([&](Transaction* txn) -> Status {
+      return s.Invoke(txn, stock, &Stock::VolumeSpike);
+    }));
+  };
+
+  std::printf("phase 1: a dip with recovery (DipBuyer pattern)\n");
+  for (float p : {99.f, 97.f, 94.f, 92.f, 95.f}) tick(p);
+
+  std::printf("\nphase 2: crash through the stop (StopLoss)\n");
+  for (float p : {90.f, 84.f}) tick(p);
+
+  std::printf("\nphase 3: breakout, then later a volume spike "
+              "(relative/Momentum)\n");
+  for (float p : {95.f, 105.f, 112.f, 108.f}) tick(p);
+  spike();
+
+  Stock final_state;
+  CHECK_OK(s.WithTransaction([&](Transaction* txn) -> Status {
+    auto r = s.Load(txn, stock);
+    ODE_RETURN_NOT_OK(r.status());
+    final_state = *r;
+    return Status::OK();
+  }));
+  std::printf("\nsummary: buys=%d sells=%d momentum_alerts=%d "
+              "(final price %.2f)\n",
+              final_state.buys, final_state.sells,
+              final_state.momentum_alerts, final_state.price);
+  std::printf("program trading example ok\n");
+  return 0;
+}

@@ -1,0 +1,20 @@
+#include "baselines/dense_fsm.h"
+
+#include "common/logging.h"
+
+namespace ode {
+
+DenseFsm::DenseFsm(const Fsm& fsm, Symbol width) : width_(width) {
+  const auto& states = fsm.states();
+  table_.assign(states.size() * width, 0);
+  accept_.assign(states.size(), 0);
+  for (size_t s = 0; s < states.size(); ++s) {
+    accept_[s] = states[s].accept ? 1 : 0;
+    int32_t state = static_cast<int32_t>(s);
+    for (Symbol sym = 0; sym < width; ++sym) {
+      table_[s * width + sym] = fsm.Move(state, sym);
+    }
+  }
+}
+
+}  // namespace ode

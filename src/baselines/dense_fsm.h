@@ -1,0 +1,49 @@
+#ifndef ODE_BASELINES_DENSE_FSM_H_
+#define ODE_BASELINES_DENSE_FSM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "events/fsm.h"
+
+namespace ode {
+
+/// The transition representation the authors "originally planned" (§6): a
+/// dense two-dimensional array indexed by (state, event integer). It was
+/// abandoned because with globally-unique event integers the array is
+/// extremely sparse; benchmark E3 reproduces the trade-off (dense lookup
+/// is an array index; sparse saves the memory).
+///
+/// `width` is the size of the event-integer space the table must cover —
+/// pass the class-local alphabet size to model per-class renumbering (the
+/// authors' fallback that broke under multiple inheritance), or the whole
+/// global symbol range to model unique integers.
+class DenseFsm {
+ public:
+  DenseFsm(const Fsm& fsm, Symbol width);
+
+  /// Two array indexes; out-of-width or missing symbols keep the state.
+  int32_t Move(int32_t state, Symbol symbol) const {
+    if (state < 0 || symbol >= width_) return state;
+    return table_[static_cast<size_t>(state) * width_ + symbol];
+  }
+
+  bool Accepting(int32_t state) const {
+    return state >= 0 && accept_[static_cast<size_t>(state)];
+  }
+
+  size_t MemoryBytes() const {
+    return table_.size() * sizeof(int32_t) + accept_.size();
+  }
+
+  Symbol width() const { return width_; }
+
+ private:
+  Symbol width_;
+  std::vector<int32_t> table_;  // states x width, row-major
+  std::vector<char> accept_;
+};
+
+}  // namespace ode
+
+#endif  // ODE_BASELINES_DENSE_FSM_H_

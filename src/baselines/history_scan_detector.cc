@@ -1,0 +1,3 @@
+#include "baselines/history_scan_detector.h"
+
+// Header-only implementation; this file anchors the target in the build.

@@ -1,0 +1,38 @@
+#ifndef ODE_BASELINES_HISTORY_SCAN_DETECTOR_H_
+#define ODE_BASELINES_HISTORY_SCAN_DETECTOR_H_
+
+#include <vector>
+
+#include "events/nfa.h"
+
+namespace ode {
+
+/// Naive composite-event detection baseline for benchmark E6: keep the
+/// object's whole event history and, on each posting, re-simulate the
+/// expression's NFA over it from the start — O(history) per event versus
+/// the compiled FSM's O(1) state advance (paper design goal 2: "detection
+/// of composite events should be efficient").
+class HistoryScanDetector {
+ public:
+  explicit HistoryScanDetector(Nfa nfa) : nfa_(std::move(nfa)) {}
+
+  /// Appends the event and returns whether the expression is satisfied
+  /// at this position.
+  bool Post(Symbol symbol) {
+    history_.push_back(symbol);
+    std::vector<std::vector<bool>> no_masks(history_.size());
+    std::vector<bool> accepts = SimulateNfa(nfa_, history_, no_masks);
+    return !accepts.empty() && accepts.back();
+  }
+
+  void Reset() { history_.clear(); }
+  size_t history_size() const { return history_.size(); }
+
+ private:
+  Nfa nfa_;
+  std::vector<Symbol> history_;
+};
+
+}  // namespace ode
+
+#endif  // ODE_BASELINES_HISTORY_SCAN_DETECTOR_H_

@@ -1,0 +1,27 @@
+#include "baselines/string_event_rep.h"
+
+#include "common/hash.h"
+
+namespace ode {
+
+size_t StringEventRepHash::operator()(const StringEventRep& e) const {
+  uint64_t h = Hash64(e.class_name.data(), e.class_name.size());
+  h = Hash64(e.prototype.data(), e.prototype.size(), h);
+  h = Hash64(e.position.data(), e.position.size(), h);
+  return static_cast<size_t>(h);
+}
+
+uint32_t StringEventTable::Intern(const StringEventRep& rep) {
+  auto it = table_.find(rep);
+  if (it != table_.end()) return it->second;
+  uint32_t id = next_++;
+  table_.emplace(rep, id);
+  return id;
+}
+
+uint32_t StringEventTable::Lookup(const StringEventRep& rep) const {
+  auto it = table_.find(rep);
+  return it == table_.end() ? 0 : it->second;
+}
+
+}  // namespace ode

@@ -1,0 +1,50 @@
+#ifndef ODE_BASELINES_STRING_EVENT_REP_H_
+#define ODE_BASELINES_STRING_EVENT_REP_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+namespace ode {
+
+/// Sentinel-style event representation (paper §7): an event is "a triple
+/// of strings: the class name, the member function prototype, and the
+/// string 'begin' (before) or 'end' (after)". Posting an event requires
+/// building and hashing/comparing the triple, versus Ode's single interned
+/// integer — benchmark E2 measures the difference the paper claims
+/// ("significantly lower event posting overhead").
+struct StringEventRep {
+  std::string class_name;
+  std::string prototype;  // e.g. "void Buy(Merchant*, float)"
+  std::string position;   // "begin" or "end"
+
+  friend bool operator==(const StringEventRep& a, const StringEventRep& b) {
+    return a.class_name == b.class_name && a.prototype == b.prototype &&
+           a.position == b.position;
+  }
+};
+
+struct StringEventRepHash {
+  size_t operator()(const StringEventRep& e) const;
+};
+
+/// Event table keyed by string triples: the lookup a Sentinel-style
+/// runtime performs on every posting to identify the event.
+class StringEventTable {
+ public:
+  /// Registers the triple; returns its id.
+  uint32_t Intern(const StringEventRep& rep);
+
+  /// The per-posting lookup: resolves a triple to its id (0 if unknown).
+  uint32_t Lookup(const StringEventRep& rep) const;
+
+  size_t size() const { return table_.size(); }
+
+ private:
+  std::unordered_map<StringEventRep, uint32_t, StringEventRepHash> table_;
+  uint32_t next_ = 1;
+};
+
+}  // namespace ode
+
+#endif  // ODE_BASELINES_STRING_EVENT_REP_H_

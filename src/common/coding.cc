@@ -1,0 +1,142 @@
+#include "common/coding.h"
+
+#include <cstring>
+
+namespace ode {
+
+void Encoder::PutDouble(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void Encoder::PutFloat(float v) {
+  uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU32(bits);
+}
+
+void Encoder::PutVarint(uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<char>(v));
+}
+
+void Encoder::PutBytes(Slice s) {
+  PutVarint(s.size());
+  PutRaw(s.data(), s.size());
+}
+
+void Encoder::PutRaw(const void* data, size_t size) {
+  const char* p = static_cast<const char*>(data);
+  buf_.insert(buf_.end(), p, p + size);
+}
+
+template <typename T>
+Status Decoder::GetFixed(T* v) {
+  if (remaining() < sizeof(T)) {
+    return Status::Corruption("decoder: truncated fixed-width value");
+  }
+  T out = 0;
+  for (size_t i = 0; i < sizeof(T); ++i) {
+    out |= static_cast<T>(static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+  }
+  pos_ += sizeof(T);
+  *v = out;
+  return Status::OK();
+}
+
+Status Decoder::GetU8(uint8_t* v) { return GetFixed(v); }
+Status Decoder::GetU16(uint16_t* v) { return GetFixed(v); }
+Status Decoder::GetU32(uint32_t* v) { return GetFixed(v); }
+Status Decoder::GetU64(uint64_t* v) { return GetFixed(v); }
+
+Status Decoder::GetI32(int32_t* v) {
+  uint32_t u;
+  ODE_RETURN_NOT_OK(GetU32(&u));
+  *v = static_cast<int32_t>(u);
+  return Status::OK();
+}
+
+Status Decoder::GetI64(int64_t* v) {
+  uint64_t u;
+  ODE_RETURN_NOT_OK(GetU64(&u));
+  *v = static_cast<int64_t>(u);
+  return Status::OK();
+}
+
+Status Decoder::GetBool(bool* v) {
+  uint8_t b;
+  ODE_RETURN_NOT_OK(GetU8(&b));
+  *v = (b != 0);
+  return Status::OK();
+}
+
+Status Decoder::GetDouble(double* v) {
+  uint64_t bits;
+  ODE_RETURN_NOT_OK(GetU64(&bits));
+  std::memcpy(v, &bits, sizeof(bits));
+  return Status::OK();
+}
+
+Status Decoder::GetFloat(float* v) {
+  uint32_t bits;
+  ODE_RETURN_NOT_OK(GetU32(&bits));
+  std::memcpy(v, &bits, sizeof(bits));
+  return Status::OK();
+}
+
+Status Decoder::GetVarint(uint64_t* v) {
+  uint64_t out = 0;
+  int shift = 0;
+  while (true) {
+    if (pos_ >= data_.size()) {
+      return Status::Corruption("decoder: truncated varint");
+    }
+    if (shift > 63) {
+      return Status::Corruption("decoder: varint too long");
+    }
+    uint8_t byte = static_cast<unsigned char>(data_[pos_++]);
+    out |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+  }
+  *v = out;
+  return Status::OK();
+}
+
+Status Decoder::GetString(std::string* s) {
+  uint64_t len;
+  ODE_RETURN_NOT_OK(GetVarint(&len));
+  if (remaining() < len) {
+    return Status::Corruption("decoder: truncated string");
+  }
+  s->assign(data_.data() + pos_, len);
+  pos_ += len;
+  return Status::OK();
+}
+
+Status Decoder::GetBytes(std::vector<char>* out) {
+  uint64_t len;
+  ODE_RETURN_NOT_OK(GetVarint(&len));
+  if (remaining() < len) {
+    return Status::Corruption("decoder: truncated bytes");
+  }
+  out->assign(data_.data() + pos_, data_.data() + pos_ + len);
+  pos_ += len;
+  return Status::OK();
+}
+
+Status Decoder::GetRaw(void* out, size_t size) {
+  if (remaining() < size) {
+    return Status::Corruption("decoder: truncated raw read");
+  }
+  std::memcpy(out, data_.data() + pos_, size);
+  pos_ += size;
+  return Status::OK();
+}
+
+}  // namespace ode

@@ -1,0 +1,89 @@
+#ifndef ODE_COMMON_CODING_H_
+#define ODE_COMMON_CODING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace ode {
+
+/// Appends primitive values to a byte buffer in a fixed little-endian
+/// format. Used to serialize persistent objects, trigger states, catalog
+/// entries, and WAL records.
+class Encoder {
+ public:
+  Encoder() = default;
+
+  void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void PutU16(uint16_t v) { PutFixed(v); }
+  void PutU32(uint32_t v) { PutFixed(v); }
+  void PutU64(uint64_t v) { PutFixed(v); }
+  void PutI32(int32_t v) { PutFixed(static_cast<uint32_t>(v)); }
+  void PutI64(int64_t v) { PutFixed(static_cast<uint64_t>(v)); }
+  void PutBool(bool v) { PutU8(v ? 1 : 0); }
+  void PutDouble(double v);
+  void PutFloat(float v);
+
+  /// Unsigned LEB128; compact for small values (event numbers, state ids).
+  void PutVarint(uint64_t v);
+
+  /// Length-prefixed (varint) byte string.
+  void PutString(const std::string& s) { PutBytes(Slice(s)); }
+  void PutBytes(Slice s);
+
+  /// Raw bytes with no length prefix (caller knows the size).
+  void PutRaw(const void* data, size_t size);
+
+  const std::vector<char>& buffer() const { return buf_; }
+  std::vector<char> Release() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+  void Clear() { buf_.clear(); }
+
+ private:
+  template <typename T>
+  void PutFixed(T v) {
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  }
+
+  std::vector<char> buf_;
+};
+
+/// Reads values written by Encoder. All getters return Status so corrupt
+/// or truncated images surface as kCorruption rather than UB.
+class Decoder {
+ public:
+  explicit Decoder(Slice data) : data_(data) {}
+
+  Status GetU8(uint8_t* v);
+  Status GetU16(uint16_t* v);
+  Status GetU32(uint32_t* v);
+  Status GetU64(uint64_t* v);
+  Status GetI32(int32_t* v);
+  Status GetI64(int64_t* v);
+  Status GetBool(bool* v);
+  Status GetDouble(double* v);
+  Status GetFloat(float* v);
+  Status GetVarint(uint64_t* v);
+  Status GetString(std::string* s);
+  Status GetBytes(std::vector<char>* out);
+  Status GetRaw(void* out, size_t size);
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  template <typename T>
+  Status GetFixed(T* v);
+
+  Slice data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace ode
+
+#endif  // ODE_COMMON_CODING_H_

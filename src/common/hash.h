@@ -1,0 +1,19 @@
+#ifndef ODE_COMMON_HASH_H_
+#define ODE_COMMON_HASH_H_
+
+#include <cstdint>
+#include <cstddef>
+
+namespace ode {
+
+/// 64-bit FNV-1a over an arbitrary byte range. Used by the persistent
+/// trigger index buckets and by WAL record checksums.
+uint64_t Hash64(const void* data, size_t size, uint64_t seed = 14695981039346656037ull);
+
+/// Mixes a 64-bit value (splitmix64 finalizer); good for integer keys
+/// such as Oids.
+uint64_t MixU64(uint64_t x);
+
+}  // namespace ode
+
+#endif  // ODE_COMMON_HASH_H_

@@ -1,0 +1,70 @@
+#ifndef ODE_COMMON_LOGGING_H_
+#define ODE_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace ode {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the minimum level that LogMessage emits to stderr. Defaults to
+/// kWarn so library internals are quiet in tests and benches.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink; flushes one line to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Like LogMessage but aborts the process on destruction. Used by
+/// ODE_CHECK for invariant violations (programming errors, not runtime
+/// failures — those return Status).
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalMessage();
+
+  template <typename T>
+  FatalMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace ode
+
+#define ODE_LOG(level)                                              \
+  ::ode::internal::LogMessage(::ode::LogLevel::level, __FILE__, __LINE__)
+
+#define ODE_CHECK(cond)                                             \
+  if (cond) {                                                       \
+  } else                                                            \
+    ::ode::internal::FatalMessage(__FILE__, __LINE__, #cond)
+
+#ifdef NDEBUG
+#define ODE_DCHECK(cond) ODE_CHECK(true || (cond))
+#else
+#define ODE_DCHECK(cond) ODE_CHECK(cond)
+#endif
+
+#endif  // ODE_COMMON_LOGGING_H_

@@ -1,0 +1,52 @@
+#ifndef ODE_COMMON_RANDOM_H_
+#define ODE_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace ode {
+
+/// Small deterministic PRNG (xorshift128+). Tests and benchmarks use this
+/// instead of std::mt19937 so workloads are reproducible across platforms
+/// and cheap to seed.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x5eed) {
+    s0_ = seed ^ 0x9e3779b97f4a7c15ull;
+    s1_ = (seed << 1) | 1;
+    // Warm up so small seeds diverge quickly.
+    for (int i = 0; i < 8; ++i) Next();
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// True with probability p (0..1).
+  bool Bernoulli(double p) {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0) < p;
+  }
+
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  uint64_t s0_, s1_;
+};
+
+}  // namespace ode
+
+#endif  // ODE_COMMON_RANDOM_H_

@@ -1,0 +1,71 @@
+#ifndef ODE_COMMON_RESULT_H_
+#define ODE_COMMON_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace ode {
+
+/// A value-or-Status, in the style of arrow::Result. A `Result<T>` either
+/// holds a `T` (and `ok()` is true) or an error `Status`.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value and from error Status, so functions can
+  /// `return value;` or `return Status::NotFound(...);` interchangeably.
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT
+    ODE_CHECK(!std::get<Status>(rep_).ok())
+        << "Result constructed from OK status";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(rep_);
+  }
+
+  T& value() & {
+    ODE_CHECK(ok()) << "Result::value on error: " << status().ToString();
+    return std::get<T>(rep_);
+  }
+  const T& value() const& {
+    ODE_CHECK(ok()) << "Result::value on error: " << status().ToString();
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    ODE_CHECK(ok()) << "Result::value on error: " << status().ToString();
+    return std::move(std::get<T>(rep_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  T ValueOr(T fallback) const {
+    return ok() ? std::get<T>(rep_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+}  // namespace ode
+
+/// Evaluates `expr` (a Result<T>), propagating its Status on error,
+/// otherwise assigning the value to `lhs`.
+#define ODE_ASSIGN_OR_RETURN(lhs, expr)          \
+  auto ODE_CONCAT_(_res_, __LINE__) = (expr);    \
+  if (!ODE_CONCAT_(_res_, __LINE__).ok())        \
+    return ODE_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(ODE_CONCAT_(_res_, __LINE__)).value()
+
+#define ODE_CONCAT_IMPL_(a, b) a##b
+#define ODE_CONCAT_(a, b) ODE_CONCAT_IMPL_(a, b)
+
+#endif  // ODE_COMMON_RESULT_H_

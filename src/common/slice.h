@@ -1,0 +1,44 @@
+#ifndef ODE_COMMON_SLICE_H_
+#define ODE_COMMON_SLICE_H_
+
+#include <cstddef>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace ode {
+
+/// A non-owning view of a byte range, RocksDB-style. Used at storage-layer
+/// boundaries where copying object images would be wasteful.
+class Slice {
+ public:
+  Slice() : data_(nullptr), size_(0) {}
+  Slice(const char* data, size_t size) : data_(data), size_(size) {}
+  Slice(const std::string& s) : data_(s.data()), size_(s.size()) {}  // NOLINT
+  Slice(const std::vector<char>& v)  // NOLINT
+      : data_(v.data()), size_(v.size()) {}
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  char operator[](size_t i) const { return data_[i]; }
+
+  std::string ToString() const { return std::string(data_, size_); }
+  std::vector<char> ToVector() const {
+    return std::vector<char>(data_, data_ + size_);
+  }
+
+  friend bool operator==(const Slice& a, const Slice& b) {
+    return a.size_ == b.size_ &&
+           (a.size_ == 0 || std::memcmp(a.data_, b.data_, a.size_) == 0);
+  }
+
+ private:
+  const char* data_;
+  size_t size_;
+};
+
+}  // namespace ode
+
+#endif  // ODE_COMMON_SLICE_H_

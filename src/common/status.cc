@@ -1,0 +1,45 @@
+#include "common/status.h"
+
+namespace ode {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid argument";
+    case StatusCode::kNotFound:
+      return "not found";
+    case StatusCode::kAlreadyExists:
+      return "already exists";
+    case StatusCode::kCorruption:
+      return "corruption";
+    case StatusCode::kIOError:
+      return "io error";
+    case StatusCode::kTransactionAborted:
+      return "transaction aborted";
+    case StatusCode::kDeadlock:
+      return "deadlock";
+    case StatusCode::kLockTimeout:
+      return "lock timeout";
+    case StatusCode::kNotSupported:
+      return "not supported";
+    case StatusCode::kInternal:
+      return "internal";
+    case StatusCode::kParseError:
+      return "parse error";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "ok";
+  std::string out = StatusCodeToString(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace ode

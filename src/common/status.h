@@ -1,0 +1,104 @@
+#ifndef ODE_COMMON_STATUS_H_
+#define ODE_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace ode {
+
+/// Error categories used throughout the Ode reproduction. The library does
+/// not throw exceptions; every fallible operation returns a `Status` or a
+/// `Result<T>` (see result.h), in the style of Arrow/RocksDB.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kCorruption,
+  kIOError,
+  kTransactionAborted,
+  kDeadlock,
+  kLockTimeout,
+  kNotSupported,
+  kInternal,
+  kParseError,
+};
+
+/// Returns the canonical lowercase name of a status code ("ok", "io error"…).
+const char* StatusCodeToString(StatusCode code);
+
+/// A cheap, copyable success-or-error value. OK statuses carry no
+/// allocation; error statuses carry a code and a human-readable message.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status TransactionAborted(std::string msg) {
+    return Status(StatusCode::kTransactionAborted, std::move(msg));
+  }
+  static Status Deadlock(std::string msg) {
+    return Status(StatusCode::kDeadlock, std::move(msg));
+  }
+  static Status LockTimeout(std::string msg) {
+    return Status(StatusCode::kLockTimeout, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsDeadlock() const { return code_ == StatusCode::kDeadlock; }
+  bool IsTransactionAborted() const {
+    return code_ == StatusCode::kTransactionAborted;
+  }
+
+  /// "ok" or "<code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+}  // namespace ode
+
+/// Propagates a non-OK Status from the current function.
+#define ODE_RETURN_NOT_OK(expr)                  \
+  do {                                           \
+    ::ode::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+#endif  // ODE_COMMON_STATUS_H_

@@ -1,0 +1,178 @@
+#include "events/dfa.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/logging.h"
+
+namespace ode {
+
+namespace {
+
+constexpr int kNormalizeBound = 4096;
+
+using StateSet = std::vector<int>;  // sorted, unique
+
+class SubsetBuilder {
+ public:
+  explicit SubsetBuilder(const Nfa& nfa) : nfa_(nfa) {}
+
+  Result<Dfa> Build() {
+    std::set<int> start{nfa_.start};
+    Closure(&start);
+    ODE_ASSIGN_OR_RETURN(int32_t start_id, GetStateId(Canonical(start)));
+    dfa_.start = start_id;
+
+    while (!worklist_.empty()) {
+      int32_t id = worklist_.back();
+      worklist_.pop_back();
+      ODE_RETURN_NOT_OK(Realize(id));
+    }
+    return std::move(dfa_);
+  }
+
+ private:
+  struct NormResult {
+    StateSet set;            // final set (mask-collapsed prefix applied)
+    int32_t mask = -1;       // lowest remaining mask id, or -1
+    StateSet true_set;       // valid when mask >= 0
+    StateSet false_set;      // valid when mask >= 0
+  };
+
+  void Closure(std::set<int>* states) const {
+    std::vector<int> stack(states->begin(), states->end());
+    while (!stack.empty()) {
+      int s = stack.back();
+      stack.pop_back();
+      for (int t : nfa_.states[s].eps) {
+        if (states->insert(t).second) stack.push_back(t);
+      }
+    }
+  }
+
+  /// Canonical form of an (epsilon-closed) set: inert NFA nodes — no
+  /// consuming edges, no mask, not the accept node — contribute nothing
+  /// once their epsilon-closure is materialized, so dropping them makes
+  /// behaviorally-equal sets compare equal. This is what collapses the
+  /// post-mask "re-evaluation" superpositions into the plain self-loops
+  /// of the paper's Figure 1.
+  StateSet Canonical(const std::set<int>& closed) const {
+    StateSet out;
+    out.reserve(closed.size());
+    for (int s : closed) {
+      const Nfa::State& st = nfa_.states[s];
+      if (st.edges.empty() && st.mask < 0 && s != nfa_.accept) continue;
+      out.push_back(s);
+    }
+    return out;
+  }
+
+  int32_t LowestMask(const StateSet& set) const {
+    int32_t lowest = -1;
+    for (int s : set) {
+      int32_t m = nfa_.states[s].mask;
+      if (m >= 0 && (lowest < 0 || m < lowest)) lowest = m;
+    }
+    return lowest;
+  }
+
+  /// Splits `set` on its lowest mask id: fills true/false successor sets.
+  void ResolveLowestMask(const StateSet& set, int32_t m, StateSet* t_set,
+                         StateSet* f_set) const {
+    std::set<int> f, true_targets;
+    for (int s : set) {
+      if (nfa_.states[s].mask == m) {
+        true_targets.insert(nfa_.states[s].mask_true);
+      } else {
+        f.insert(s);
+      }
+    }
+    Closure(&true_targets);
+    std::set<int> t = f;
+    t.insert(true_targets.begin(), true_targets.end());
+    *t_set = Canonical(t);
+    *f_set = Canonical(f);
+  }
+
+  /// Collapses irrelevant masks (True and False converge) repeatedly; if
+  /// a genuine mask remains, reports it with its successor sets.
+  Result<NormResult> Normalize(StateSet set) const {
+    NormResult out;
+    for (int iter = 0; iter < kNormalizeBound; ++iter) {
+      int32_t m = LowestMask(set);
+      if (m < 0) {
+        out.set = std::move(set);
+        return out;
+      }
+      StateSet t_set, f_set;
+      ResolveLowestMask(set, m, &t_set, &f_set);
+      if (t_set == f_set) {
+        set = std::move(t_set);  // mask is irrelevant here; collapse
+        continue;
+      }
+      out.set = std::move(set);
+      out.mask = m;
+      out.true_set = std::move(t_set);
+      out.false_set = std::move(f_set);
+      return out;
+    }
+    return Status::Internal(
+        "mask normalization did not converge (pathological expression)");
+  }
+
+  /// Interns a (normalized) set as a DFA state id, queueing realization.
+  Result<int32_t> GetStateId(StateSet raw) {
+    ODE_ASSIGN_OR_RETURN(NormResult norm, Normalize(std::move(raw)));
+    auto it = ids_.find(norm.set);
+    if (it != ids_.end()) return it->second;
+    int32_t id = static_cast<int32_t>(dfa_.states.size());
+    dfa_.states.emplace_back();
+    dfa_.states[id].accept =
+        std::binary_search(norm.set.begin(), norm.set.end(), nfa_.accept);
+    ids_.emplace(norm.set, id);
+    sets_.push_back(norm.set);
+    pending_.push_back(std::move(norm));
+    worklist_.push_back(id);
+    return id;
+  }
+
+  Status Realize(int32_t id) {
+    // pending_ and sets_ are indexed by id (appended in GetStateId).
+    NormResult norm = pending_[id];
+    if (norm.mask >= 0) {
+      dfa_.states[id].mask = norm.mask;
+      ODE_ASSIGN_OR_RETURN(int32_t t_id, GetStateId(norm.true_set));
+      dfa_.states[id].true_next = t_id;
+      ODE_ASSIGN_OR_RETURN(int32_t f_id, GetStateId(norm.false_set));
+      dfa_.states[id].false_next = f_id;
+      return Status::OK();  // mask states have no consuming transitions
+    }
+    // Group moves by symbol.
+    std::map<Symbol, std::set<int>> moves;
+    for (int s : norm.set) {
+      for (const auto& [sym, target] : nfa_.states[s].edges) {
+        moves[sym].insert(target);
+      }
+    }
+    for (auto& [sym, targets] : moves) {
+      Closure(&targets);
+      ODE_ASSIGN_OR_RETURN(int32_t target_id, GetStateId(Canonical(targets)));
+      dfa_.states[id].transitions.emplace_back(sym, target_id);
+    }
+    return Status::OK();
+  }
+
+  const Nfa& nfa_;
+  Dfa dfa_;
+  std::map<StateSet, int32_t> ids_;
+  std::vector<StateSet> sets_;
+  std::vector<NormResult> pending_;
+  std::vector<int32_t> worklist_;
+};
+
+}  // namespace
+
+Result<Dfa> BuildDfa(const Nfa& nfa) { return SubsetBuilder(nfa).Build(); }
+
+}  // namespace ode

@@ -1,0 +1,50 @@
+#ifndef ODE_EVENTS_DFA_H_
+#define ODE_EVENTS_DFA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "events/nfa.h"
+
+namespace ode {
+
+/// Deterministic automaton with mask states (paper §5.1.2). A state with
+/// `mask >= 0` evaluates that predicate immediately upon entry and moves
+/// to `true_next` / `false_next` on the True/False pseudo-events; mask
+/// states have no consuming transitions ("it must evaluate the mask to
+/// produce pseudo-events rather than wait for external events").
+///
+/// Consuming transitions are stored sparsely; a symbol with no entry is
+/// dead (possible only for anchored expressions — the `(any*,)` prefix
+/// makes unanchored machines total over their alphabet).
+struct Dfa {
+  struct State {
+    bool accept = false;
+    int32_t mask = -1;
+    int32_t true_next = -1;
+    int32_t false_next = -1;
+    std::vector<std::pair<Symbol, int32_t>> transitions;  // sorted
+  };
+
+  std::vector<State> states;
+  int32_t start = 0;
+};
+
+/// Subset construction extended for mask nodes. Two refinements keep the
+/// result in the shape the paper draws (Figure 1):
+///
+///  1. A set's lowest-id mask is resolved at construction time into
+///     True/False successor sets: True keeps the rest of the set and adds
+///     the closure of the mask node's True targets; False just drops the
+///     mask nodes (the `(any*,)` search states already in the set provide
+///     the "back to searching" behaviour).
+///  2. If both outcomes yield the same set the mask is irrelevant in that
+///     context and the state collapses into the successor, which prunes
+///     the re-evaluation superposition states a naive construction
+///     produces after a mask has already been passed.
+Result<Dfa> BuildDfa(const Nfa& nfa);
+
+}  // namespace ode
+
+#endif  // ODE_EVENTS_DFA_H_

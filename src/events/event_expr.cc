@@ -1,0 +1,212 @@
+#include "events/event_expr.h"
+
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace ode {
+
+namespace {
+ExprPtr Make(EventExpr::Kind kind, ExprPtr left = nullptr,
+             ExprPtr right = nullptr) {
+  auto e = std::make_shared<EventExpr>();
+  e->kind = kind;
+  e->left = std::move(left);
+  e->right = std::move(right);
+  return e;
+}
+}  // namespace
+
+ExprPtr Basic(std::string event_name) {
+  auto e = std::make_shared<EventExpr>();
+  e->kind = EventExpr::Kind::kBasic;
+  e->event_name = std::move(event_name);
+  return e;
+}
+
+ExprPtr Any() { return Make(EventExpr::Kind::kAny); }
+
+ExprPtr Seq(ExprPtr a, ExprPtr b) {
+  ODE_CHECK(a && b);
+  return Make(EventExpr::Kind::kSeq, std::move(a), std::move(b));
+}
+
+ExprPtr Or(ExprPtr a, ExprPtr b) {
+  ODE_CHECK(a && b);
+  return Make(EventExpr::Kind::kOr, std::move(a), std::move(b));
+}
+
+ExprPtr Star(ExprPtr e) {
+  ODE_CHECK(e != nullptr);
+  return Make(EventExpr::Kind::kStar, std::move(e));
+}
+
+ExprPtr Plus(ExprPtr e) {
+  ODE_CHECK(e != nullptr);
+  return Make(EventExpr::Kind::kPlus, std::move(e));
+}
+
+ExprPtr Opt(ExprPtr e) {
+  ODE_CHECK(e != nullptr);
+  return Make(EventExpr::Kind::kOpt, std::move(e));
+}
+
+ExprPtr Mask(ExprPtr e, std::string mask_name) {
+  ODE_CHECK(e != nullptr);
+  auto m = std::make_shared<EventExpr>();
+  m->kind = EventExpr::Kind::kMask;
+  m->mask_name = std::move(mask_name);
+  m->left = std::move(e);
+  return m;
+}
+
+ExprPtr Relative(ExprPtr a, ExprPtr b) {
+  ODE_CHECK(a && b);
+  return Make(EventExpr::Kind::kRelative, std::move(a), std::move(b));
+}
+
+namespace {
+
+// Precedence used for parenthesization: ',' (1) < '||' (2) < '&' (3) <
+// postfix (4) < primary (5).
+int Precedence(EventExpr::Kind kind) {
+  switch (kind) {
+    case EventExpr::Kind::kSeq:
+      return 1;
+    case EventExpr::Kind::kOr:
+      return 2;
+    case EventExpr::Kind::kMask:
+      return 3;
+    case EventExpr::Kind::kStar:
+    case EventExpr::Kind::kPlus:
+    case EventExpr::Kind::kOpt:
+      return 4;
+    default:
+      return 5;
+  }
+}
+
+void Render(const ExprPtr& e, int parent_prec, std::string* out) {
+  int prec = Precedence(e->kind);
+  bool parens = prec < parent_prec;
+  if (parens) out->push_back('(');
+  switch (e->kind) {
+    case EventExpr::Kind::kBasic:
+      *out += e->event_name;
+      break;
+    case EventExpr::Kind::kAny:
+      *out += "any";
+      break;
+    case EventExpr::Kind::kSeq:
+      Render(e->left, prec, out);
+      *out += ", ";
+      Render(e->right, prec + 1, out);
+      break;
+    case EventExpr::Kind::kOr:
+      Render(e->left, prec, out);
+      *out += " || ";
+      Render(e->right, prec + 1, out);
+      break;
+    case EventExpr::Kind::kMask:
+      Render(e->left, prec, out);
+      *out += " & ";
+      *out += e->mask_name;
+      break;
+    case EventExpr::Kind::kStar:
+      Render(e->left, prec + 1, out);
+      *out += "*";
+      break;
+    case EventExpr::Kind::kPlus:
+      Render(e->left, prec + 1, out);
+      *out += "+";
+      break;
+    case EventExpr::Kind::kOpt:
+      Render(e->left, prec + 1, out);
+      *out += "?";
+      break;
+    case EventExpr::Kind::kRelative:
+      *out += "relative(";
+      Render(e->left, 0, out);
+      *out += ", ";
+      Render(e->right, 0, out);
+      *out += ")";
+      break;
+  }
+  if (parens) out->push_back(')');
+}
+
+void CollectEvents(const ExprPtr& e, std::unordered_set<std::string>* seen,
+                   std::vector<std::string>* out) {
+  if (e == nullptr) return;
+  if (e->kind == EventExpr::Kind::kBasic) {
+    if (seen->insert(e->event_name).second) out->push_back(e->event_name);
+  }
+  CollectEvents(e->left, seen, out);
+  CollectEvents(e->right, seen, out);
+}
+
+void CollectMasks(const ExprPtr& e, std::unordered_set<std::string>* seen,
+                  std::vector<std::string>* out) {
+  if (e == nullptr) return;
+  if (e->kind == EventExpr::Kind::kMask) {
+    if (seen->insert(e->mask_name).second) out->push_back(e->mask_name);
+  }
+  CollectMasks(e->left, seen, out);
+  CollectMasks(e->right, seen, out);
+}
+
+}  // namespace
+
+std::string ToString(const ExprPtr& e) {
+  std::string out;
+  Render(e, 0, &out);
+  return out;
+}
+
+bool ExprEquals(const ExprPtr& a, const ExprPtr& b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr) return false;
+  if (a->kind != b->kind || a->event_name != b->event_name ||
+      a->mask_name != b->mask_name) {
+    return false;
+  }
+  return ExprEquals(a->left, b->left) && ExprEquals(a->right, b->right);
+}
+
+std::vector<std::string> ReferencedEvents(const ExprPtr& e) {
+  std::unordered_set<std::string> seen;
+  std::vector<std::string> out;
+  CollectEvents(e, &seen, &out);
+  return out;
+}
+
+std::vector<std::string> ReferencedMasks(const ExprPtr& e) {
+  std::unordered_set<std::string> seen;
+  std::vector<std::string> out;
+  CollectMasks(e, &seen, &out);
+  return out;
+}
+
+bool Nullable(const ExprPtr& e) {
+  switch (e->kind) {
+    case EventExpr::Kind::kBasic:
+    case EventExpr::Kind::kAny:
+      return false;
+    case EventExpr::Kind::kSeq:
+      return Nullable(e->left) && Nullable(e->right);
+    case EventExpr::Kind::kOr:
+      return Nullable(e->left) || Nullable(e->right);
+    case EventExpr::Kind::kStar:
+    case EventExpr::Kind::kOpt:
+      return true;
+    case EventExpr::Kind::kPlus:
+      return Nullable(e->left);
+    case EventExpr::Kind::kMask:
+      return Nullable(e->left);
+    case EventExpr::Kind::kRelative:
+      return Nullable(e->left) && Nullable(e->right);
+  }
+  return false;
+}
+
+}  // namespace ode

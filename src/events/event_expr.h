@@ -1,0 +1,93 @@
+#ifndef ODE_EVENTS_EVENT_EXPR_H_
+#define ODE_EVENTS_EVENT_EXPR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace ode {
+
+/// An interned basic-event identifier (see trigger/event_registry.h).
+/// Symbols 0 and 1 are reserved for the True/False pseudo-events of the
+/// paper's mask states; real events start at kFirstEventSymbol.
+using Symbol = uint32_t;
+inline constexpr Symbol kTrueSymbol = 0;
+inline constexpr Symbol kFalseSymbol = 1;
+inline constexpr Symbol kFirstEventSymbol = 2;
+
+/// Abstract syntax of the Ode event language (paper §5.1):
+///
+///   basic event    `after Buy`, `before PayBill`, `BigBuy`,
+///                  `before tcomplete`, `before tabort`
+///   sequence       `E1 , E2`           (the regular `;`, renamed in Ode)
+///   union          `E1 || E2`
+///   repetition     `E*`                (zero or more)
+///   mask           `E & pred`          (predicate evaluated when E matches)
+///   relative       `relative(E1, E2)`  == `E1 , any* , E2`
+///   wildcard       `any`               (any declared event of the class)
+///
+/// `+` (one or more) and `?` (optional) are provided as conventional
+/// regular-language extensions.
+///
+/// Expressions are immutable trees shared via shared_ptr; the builder
+/// functions below are the only way to make them.
+struct EventExpr;
+using ExprPtr = std::shared_ptr<const EventExpr>;
+
+struct EventExpr {
+  enum class Kind {
+    kBasic,
+    kAny,
+    kSeq,
+    kOr,
+    kStar,
+    kPlus,
+    kOpt,
+    kMask,
+    kRelative,
+  };
+
+  Kind kind;
+  /// kBasic: the event's declared name, e.g. "after Buy" or "BigBuy".
+  std::string event_name;
+  /// kMask: key of the predicate, e.g. "MoreCred()" or "(currBal>credLim)".
+  std::string mask_name;
+  ExprPtr left;
+  ExprPtr right;
+};
+
+ExprPtr Basic(std::string event_name);
+ExprPtr Any();
+ExprPtr Seq(ExprPtr a, ExprPtr b);
+ExprPtr Or(ExprPtr a, ExprPtr b);
+ExprPtr Star(ExprPtr e);
+ExprPtr Plus(ExprPtr e);
+ExprPtr Opt(ExprPtr e);
+ExprPtr Mask(ExprPtr e, std::string mask_name);
+ExprPtr Relative(ExprPtr a, ExprPtr b);
+
+/// Renders the expression in the concrete syntax accepted by the parser.
+std::string ToString(const ExprPtr& e);
+
+/// Structural equality.
+bool ExprEquals(const ExprPtr& a, const ExprPtr& b);
+
+/// Collects the distinct basic-event names referenced by the expression,
+/// in first-appearance order.
+std::vector<std::string> ReferencedEvents(const ExprPtr& e);
+
+/// Collects the distinct mask keys referenced by the expression.
+std::vector<std::string> ReferencedMasks(const ExprPtr& e);
+
+/// True if the expression can match the empty event sequence (needed to
+/// reject pathological masked operands and to warn on always-armed
+/// triggers).
+bool Nullable(const ExprPtr& e);
+
+}  // namespace ode
+
+#endif  // ODE_EVENTS_EVENT_EXPR_H_

@@ -1,0 +1,276 @@
+#include "events/event_parser.h"
+
+#include <cctype>
+
+namespace ode {
+
+namespace {
+
+/// Recursive-descent parser over the raw text. Whitespace-insensitive
+/// except inside raw `(...)` masks, whose text is kept verbatim (modulo
+/// trimming) as the mask key.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<ParsedEvent> Parse() {
+    ParsedEvent out;
+    SkipSpace();
+    if (Peek() == '^') {
+      ++pos_;
+      out.anchored = true;
+    }
+    auto expr = ParseSeq();
+    if (!expr.ok()) return expr.status();
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Fail("unexpected trailing input");
+    }
+    out.expr = std::move(expr).value();
+    return out;
+  }
+
+ private:
+  Status Fail(const std::string& what) {
+    return Status::ParseError(what + " at offset " + std::to_string(pos_) +
+                              " in \"" + text_ + "\"");
+  }
+
+  char Peek() { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  char PeekAt(size_t ahead) {
+    return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool ConsumeChar(char c) {
+    SkipSpace();
+    if (Peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string PeekIdent() {
+    SkipSpace();
+    size_t p = pos_;
+    if (p >= text_.size()) return "";
+    char c = text_[p];
+    if (!std::isalpha(static_cast<unsigned char>(c)) && c != '_') return "";
+    size_t start = p;
+    while (p < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[p])) ||
+            text_[p] == '_')) {
+      ++p;
+    }
+    return text_.substr(start, p - start);
+  }
+
+  std::string TakeIdent() {
+    std::string id = PeekIdent();
+    SkipSpace();
+    pos_ += id.size();
+    return id;
+  }
+
+  Result<ExprPtr> ParseSeq() {
+    auto left = ParseAlt();
+    if (!left.ok()) return left;
+    ExprPtr expr = std::move(left).value();
+    while (ConsumeChar(',')) {
+      auto right = ParseAlt();
+      if (!right.ok()) return right;
+      expr = Seq(std::move(expr), std::move(right).value());
+    }
+    return expr;
+  }
+
+  Result<ExprPtr> ParseAlt() {
+    auto left = ParseMasked();
+    if (!left.ok()) return left;
+    ExprPtr expr = std::move(left).value();
+    while (true) {
+      SkipSpace();
+      if (Peek() == '|' && PeekAt(1) == '|') {
+        pos_ += 2;
+        auto right = ParseMasked();
+        if (!right.ok()) return right;
+        expr = Or(std::move(expr), std::move(right).value());
+      } else {
+        break;
+      }
+    }
+    return expr;
+  }
+
+  Result<ExprPtr> ParseMasked() {
+    auto left = ParsePostfix();
+    if (!left.ok()) return left;
+    ExprPtr expr = std::move(left).value();
+    while (ConsumeChar('&')) {
+      auto key = ParseMaskKey();
+      if (!key.ok()) return key.status();
+      expr = Mask(std::move(expr), std::move(key).value());
+    }
+    return expr;
+  }
+
+  Result<std::string> ParseMaskKey() {
+    SkipSpace();
+    if (Peek() == '(') {
+      // Raw predicate text; keep everything to the matching ')'.
+      ++pos_;
+      size_t depth = 1;
+      size_t start = pos_;
+      while (pos_ < text_.size() && depth > 0) {
+        if (text_[pos_] == '(') ++depth;
+        if (text_[pos_] == ')') --depth;
+        ++pos_;
+      }
+      if (depth != 0) return Fail("unbalanced parentheses in mask");
+      std::string raw = text_.substr(start, pos_ - 1 - start);
+      // Trim outer whitespace; interior is significant.
+      size_t b = raw.find_first_not_of(" \t");
+      size_t e = raw.find_last_not_of(" \t");
+      if (b == std::string::npos) return Fail("empty mask predicate");
+      return "(" + raw.substr(b, e - b + 1) + ")";
+    }
+    std::string id = TakeIdent();
+    if (id.empty()) return Fail("expected mask predicate");
+    SkipSpace();
+    if (Peek() == '(') {
+      ++pos_;
+      SkipSpace();
+      if (Peek() != ')') return Fail("mask call must have no arguments");
+      ++pos_;
+    }
+    return id + "()";
+  }
+
+  Result<ExprPtr> ParsePostfix() {
+    auto prim = ParsePrimary();
+    if (!prim.ok()) return prim;
+    ExprPtr expr = std::move(prim).value();
+    while (true) {
+      SkipSpace();
+      char c = Peek();
+      if (c == '*') {
+        ++pos_;
+        expr = Star(std::move(expr));
+      } else if (c == '+') {
+        ++pos_;
+        expr = Plus(std::move(expr));
+      } else if (c == '?') {
+        ++pos_;
+        expr = Opt(std::move(expr));
+      } else if (c == '{') {
+        auto bounded = ParseBoundedRepetition(std::move(expr));
+        if (!bounded.ok()) return bounded;
+        expr = std::move(bounded).value();
+      } else {
+        break;
+      }
+    }
+    return expr;
+  }
+
+  /// e{n} — exactly n occurrences; e{m,n} — between m and n. Desugared
+  /// into sequence/optional chains, so downstream machinery (and
+  /// ToString) sees only core operators.
+  Result<ExprPtr> ParseBoundedRepetition(ExprPtr operand) {
+    ++pos_;  // consume '{'
+    auto lo = ParseNumber();
+    if (!lo.ok()) return lo.status();
+    uint64_t m = lo.value(), n = lo.value();
+    SkipSpace();
+    if (Peek() == ',') {
+      ++pos_;
+      auto hi = ParseNumber();
+      if (!hi.ok()) return hi.status();
+      n = hi.value();
+    }
+    if (!ConsumeChar('}')) return Fail("expected '}' after repetition");
+    if (n == 0) return Fail("repetition bound must be positive");
+    if (m > n) return Fail("repetition lower bound exceeds upper bound");
+    if (n > 64) return Fail("repetition bound too large (max 64)");
+
+    ExprPtr result;
+    for (uint64_t i = 0; i < m; ++i) {
+      result = result == nullptr ? operand : Seq(result, operand);
+    }
+    for (uint64_t i = m; i < n; ++i) {
+      ExprPtr optional = Opt(operand);
+      result = result == nullptr ? optional : Seq(result, optional);
+    }
+    return result;
+  }
+
+  Result<uint64_t> ParseNumber() {
+    SkipSpace();
+    if (!std::isdigit(static_cast<unsigned char>(Peek()))) {
+      return Fail("expected number");
+    }
+    uint64_t value = 0;
+    while (std::isdigit(static_cast<unsigned char>(Peek()))) {
+      value = value * 10 + static_cast<uint64_t>(Peek() - '0');
+      if (value > 1000000) return Fail("number too large");
+      ++pos_;
+    }
+    return value;
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    SkipSpace();
+    if (ConsumeChar('(')) {
+      auto inner = ParseSeq();
+      if (!inner.ok()) return inner;
+      if (!ConsumeChar(')')) return Fail("expected ')'");
+      return inner;
+    }
+    std::string id = PeekIdent();
+    if (id.empty()) return Fail("expected event");
+    if (id == "any") {
+      TakeIdent();
+      return Any();
+    }
+    if (id == "relative") {
+      TakeIdent();
+      if (!ConsumeChar('(')) return Fail("expected '(' after relative");
+      // ',' doubles as the sequence operator, so the first argument stops
+      // at alternation level — parenthesize it to pass a sequence, as the
+      // paper's own example does.
+      auto a = ParseAlt();
+      if (!a.ok()) return a;
+      if (!ConsumeChar(',')) return Fail("expected ',' in relative");
+      auto b = ParseSeq();
+      if (!b.ok()) return b;
+      if (!ConsumeChar(')')) return Fail("expected ')' after relative");
+      return Relative(std::move(a).value(), std::move(b).value());
+    }
+    if (id == "before" || id == "after") {
+      TakeIdent();
+      std::string fn = TakeIdent();
+      if (fn.empty()) return Fail("expected function name after " + id);
+      return Basic(id + " " + fn);
+    }
+    TakeIdent();
+    return Basic(id);  // user-defined event
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ParsedEvent> ParseEventExpr(const std::string& text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace ode

@@ -1,0 +1,38 @@
+#ifndef ODE_EVENTS_EVENT_PARSER_H_
+#define ODE_EVENTS_EVENT_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "events/event_expr.h"
+
+namespace ode {
+
+/// A parsed trigger event specification: the expression plus whether it
+/// was anchored with `^` (paper §5.1.1 — anchored triggers search from the
+/// activation point "with nothing ignored"; unanchored ones get `(any*,)`
+/// prepended at FSM-construction time).
+struct ParsedEvent {
+  ExprPtr expr;
+  bool anchored = false;
+};
+
+/// Parses the concrete event-language syntax used in O++ class bodies:
+///
+///   expr    := seq
+///   seq     := alt (',' alt)*
+///   alt     := masked ('||' masked)*
+///   masked  := postfix ('&' mask)*
+///   postfix := primary ('*' | '+' | '?')*
+///   primary := '(' expr ')' | 'any' | 'relative' '(' expr ',' expr ')'
+///            | ('before' | 'after') IDENT | IDENT
+///   mask    := IDENT '(' ')'              e.g.  MoreCred()
+///            | '(' raw text ')'           e.g.  (currBal > credLim)
+///
+/// Masks are recorded by their textual key (normalized of outer spaces);
+/// the schema layer resolves keys to registered predicate functions.
+Result<ParsedEvent> ParseEventExpr(const std::string& text);
+
+}  // namespace ode
+
+#endif  // ODE_EVENTS_EVENT_PARSER_H_

@@ -1,0 +1,172 @@
+#include "events/fsm.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "common/logging.h"
+#include "events/minimize.h"
+
+namespace ode {
+
+namespace {
+// Mask-state chains are short in practice (one per nested '&'); the bound
+// only guards against pathological constructions.
+constexpr int kMaxMaskWalk = 1024;
+}  // namespace
+
+Fsm::Fsm(const Dfa& dfa, std::vector<Symbol> alphabet)
+    : alphabet_(std::move(alphabet)) {
+  std::sort(alphabet_.begin(), alphabet_.end());
+  states_.reserve(dfa.states.size());
+  for (size_t i = 0; i < dfa.states.size(); ++i) {
+    const Dfa::State& src = dfa.states[i];
+    State s;
+    s.statenum = static_cast<int32_t>(i);
+    s.accept = src.accept;
+    s.mask = src.mask;
+    s.true_next = src.true_next;
+    s.false_next = src.false_next;
+    s.transitions.reserve(src.transitions.size());
+    for (const auto& [sym, target] : src.transitions) {
+      s.transitions.push_back(Transition{sym, target});
+    }
+    std::sort(s.transitions.begin(), s.transitions.end(),
+              [](const Transition& a, const Transition& b) {
+                return a.eventnum < b.eventnum;
+              });
+    states_.push_back(std::move(s));
+  }
+}
+
+int32_t Fsm::Move(int32_t state, Symbol symbol) const {
+  if (state == kDeadState) return kDeadState;
+  ODE_DCHECK(state >= 0 && static_cast<size_t>(state) < states_.size());
+  if (!std::binary_search(alphabet_.begin(), alphabet_.end(), symbol)) {
+    return state;  // not our alphabet: ignore (paper §5.4.3)
+  }
+  const State& s = states_[static_cast<size_t>(state)];
+  auto it = std::lower_bound(
+      s.transitions.begin(), s.transitions.end(), symbol,
+      [](const Transition& t, Symbol sym) { return t.eventnum < sym; });
+  if (it == s.transitions.end() || it->eventnum != symbol) {
+    return kDeadState;  // alphabet symbol with no transition (anchored)
+  }
+  return it->newstate;
+}
+
+Result<int32_t> Fsm::ResolveMasks(int32_t state, const MaskEvaluator& eval,
+                                  int* evaluations) const {
+  int walked = 0;
+  while (state != kDeadState &&
+         states_[static_cast<size_t>(state)].mask >= 0) {
+    if (++walked > kMaxMaskWalk) {
+      return Status::Internal("mask-state walk did not quiesce");
+    }
+    const State& s = states_[static_cast<size_t>(state)];
+    auto value = eval(s.mask);
+    if (!value.ok()) return value.status();
+    if (evaluations != nullptr) ++*evaluations;
+    state = value.value() ? s.true_next : s.false_next;
+  }
+  return state;
+}
+
+size_t Fsm::NumTransitions() const {
+  size_t n = 0;
+  for (const State& s : states_) n += s.transitions.size();
+  return n;
+}
+
+size_t Fsm::MemoryBytes() const {
+  size_t bytes = sizeof(Fsm) + alphabet_.size() * sizeof(Symbol);
+  for (const State& s : states_) {
+    bytes += sizeof(State) + s.transitions.size() * sizeof(Transition);
+  }
+  return bytes;
+}
+
+std::string Fsm::ToTable(
+    const std::unordered_map<Symbol, std::string>& event_names,
+    const std::unordered_map<int32_t, std::string>& mask_names) const {
+  auto event_name = [&](Symbol s) {
+    auto it = event_names.find(s);
+    return it != event_names.end() ? it->second
+                                   : "ev" + std::to_string(s);
+  };
+  std::ostringstream out;
+  for (const State& s : states_) {
+    out << "state " << s.statenum;
+    if (s.statenum == 0) out << " (start)";
+    if (s.mask >= 0) out << " *";  // the paper's mask-state marker
+    if (s.accept) out << " [accept]";
+    out << "\n";
+    if (s.mask >= 0) {
+      auto it = mask_names.find(s.mask);
+      std::string mname = it != mask_names.end()
+                              ? it->second
+                              : "mask" + std::to_string(s.mask);
+      out << "  evaluates " << mname << ": True -> " << s.true_next
+          << ", False -> " << s.false_next << "\n";
+    }
+    for (const Transition& t : s.transitions) {
+      out << "  " << event_name(t.eventnum) << " -> " << t.newstate << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string Fsm::ToDot(
+    const std::unordered_map<Symbol, std::string>& event_names,
+    const std::unordered_map<int32_t, std::string>& mask_names) const {
+  auto event_name = [&](Symbol s) {
+    auto it = event_names.find(s);
+    return it != event_names.end() ? it->second
+                                   : "ev" + std::to_string(s);
+  };
+  std::ostringstream out;
+  out << "digraph fsm {\n  rankdir=LR;\n  node [shape=circle];\n";
+  for (const State& s : states_) {
+    out << "  s" << s.statenum << " [";
+    if (s.mask >= 0) {
+      auto it = mask_names.find(s.mask);
+      std::string mname = it != mask_names.end()
+                              ? it->second
+                              : "mask" + std::to_string(s.mask);
+      out << "shape=diamond, label=\"" << s.statenum << "*\\n" << mname
+          << "\"";
+    } else {
+      out << "label=\"" << s.statenum << "\"";
+      if (s.accept) out << ", shape=doublecircle";
+    }
+    out << "];\n";
+    if (s.mask >= 0) {
+      out << "  s" << s.statenum << " -> s" << s.true_next
+          << " [label=\"True\", style=dashed];\n";
+      out << "  s" << s.statenum << " -> s" << s.false_next
+          << " [label=\"False\", style=dashed];\n";
+    }
+    // Group transitions by target so parallel edges share a label.
+    std::map<int32_t, std::string> by_target;
+    for (const Transition& t : s.transitions) {
+      std::string& label = by_target[t.newstate];
+      if (!label.empty()) label += " || ";
+      label += event_name(t.eventnum);
+    }
+    for (const auto& [target, label] : by_target) {
+      out << "  s" << s.statenum << " -> s" << target << " [label=\""
+          << label << "\"];\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+Result<Fsm> CompileFsm(const CompileInput& input) {
+  ODE_ASSIGN_OR_RETURN(Nfa nfa, BuildNfa(input));
+  ODE_ASSIGN_OR_RETURN(Dfa dfa, BuildDfa(nfa));
+  Dfa minimized = MinimizeDfa(dfa);
+  return Fsm(minimized, input.alphabet);
+}
+
+}  // namespace ode

@@ -1,0 +1,110 @@
+#ifndef ODE_EVENTS_FSM_H_
+#define ODE_EVENTS_FSM_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "events/dfa.h"
+#include "events/nfa.h"
+
+namespace ode {
+
+/// The run-time finite state machine of paper §5.4.3: an array of states,
+/// each with a sparse transition list, an accept flag, and (for mask
+/// states) the mask to evaluate plus True/False successors. One Fsm is
+/// shared by all objects of the class; per-activation state is just the
+/// current state number stored in the persistent TriggerState.
+class Fsm {
+ public:
+  /// "when the event represented by eventnum is posted in the state the
+  /// transition belongs to, move to the newstate" (§5.4.3).
+  struct Transition {
+    Symbol eventnum;
+    int32_t newstate;
+  };
+
+  struct State {
+    int32_t statenum = 0;
+    bool accept = false;
+    int32_t mask = -1;  // NoMask == -1
+    int32_t true_next = -1;
+    int32_t false_next = -1;
+    std::vector<Transition> transitions;  // sorted by eventnum
+  };
+
+  /// State number of a dead machine (anchored expression that failed).
+  static constexpr int32_t kDeadState = -1;
+
+  /// Evaluates mask `mask_id` in the context of one trigger activation.
+  using MaskEvaluator = std::function<Result<bool>(int32_t mask_id)>;
+
+  Fsm() = default;
+  Fsm(const Dfa& dfa, std::vector<Symbol> alphabet);
+
+  int32_t start() const { return 0; }
+  size_t NumStates() const { return states_.size(); }
+  const std::vector<State>& states() const { return states_; }
+  const std::vector<Symbol>& alphabet() const { return alphabet_; }
+
+  /// Advances on an external event. Implements the paper's posting rules:
+  ///  * an event outside the alphabet is ignored (stay) — this is how
+  ///    base-class triggers skip derived-class events (§5.4.3);
+  ///  * an alphabet event with no transition kills the machine (possible
+  ///    only for anchored expressions);
+  ///  * a dead machine stays dead.
+  /// The returned state may be a mask state; callers must then run
+  /// ResolveMasks before inspecting acceptance.
+  int32_t Move(int32_t state, Symbol symbol) const;
+
+  /// Walks mask states, evaluating predicates and following the True /
+  /// False pseudo-event successors until a non-mask state is reached
+  /// ("multiple mask events must be posted before the system quiesces",
+  /// §5.4.5). `evaluations`, if non-null, counts predicate evaluations.
+  Result<int32_t> ResolveMasks(int32_t state, const MaskEvaluator& eval,
+                               int* evaluations = nullptr) const;
+
+  bool Accepting(int32_t state) const {
+    return state >= 0 && states_[static_cast<size_t>(state)].accept;
+  }
+  bool IsMaskState(int32_t state) const {
+    return state >= 0 && states_[static_cast<size_t>(state)].mask >= 0;
+  }
+
+  size_t NumTransitions() const;
+
+  /// Approximate resident size of the sparse representation, for the
+  /// sparse-vs-dense comparison of §6 (benchmark E3).
+  size_t MemoryBytes() const;
+
+  /// Human-readable state table; used to print Figure 1. `event_names`
+  /// maps symbols to names, `mask_names` maps mask ids to predicates.
+  std::string ToTable(
+      const std::unordered_map<Symbol, std::string>& event_names,
+      const std::unordered_map<int32_t, std::string>& mask_names) const;
+
+  /// Graphviz dot rendering of the machine (mask states drawn as
+  /// diamonds with dashed True/False edges, accept states double-circled
+  /// — the conventions of the paper's Figure 1).
+  std::string ToDot(
+      const std::unordered_map<Symbol, std::string>& event_names,
+      const std::unordered_map<int32_t, std::string>& mask_names) const;
+
+ private:
+  std::vector<State> states_;
+  std::vector<Symbol> alphabet_;  // sorted
+};
+
+/// The full compilation pipeline of §5.1: expression -> Thompson NFA ->
+/// subset construction with mask resolution -> minimization -> run-time
+/// FSM. This is what the O++ compiler's generated code performs once per
+/// program start for every trigger (§5.1.3: "we chose to compile an FSM
+/// every time").
+Result<Fsm> CompileFsm(const CompileInput& input);
+
+}  // namespace ode
+
+#endif  // ODE_EVENTS_FSM_H_

@@ -1,0 +1,126 @@
+#include "events/minimize.h"
+
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace ode {
+
+namespace {
+
+/// One refinement signature: everything observationally distinguishable
+/// about a state in one step, with successor states mapped to classes.
+struct Signature {
+  bool accept;
+  int32_t mask;
+  int32_t true_class;
+  int32_t false_class;
+  std::vector<std::pair<Symbol, int32_t>> transition_classes;
+
+  bool operator<(const Signature& o) const {
+    if (accept != o.accept) return accept < o.accept;
+    if (mask != o.mask) return mask < o.mask;
+    if (true_class != o.true_class) return true_class < o.true_class;
+    if (false_class != o.false_class) return false_class < o.false_class;
+    return transition_classes < o.transition_classes;
+  }
+};
+
+}  // namespace
+
+Dfa MinimizeDfa(const Dfa& dfa) {
+  const size_t n = dfa.states.size();
+  if (n == 0) return dfa;
+
+  // Initial partition: by (accept, mask).
+  std::vector<int32_t> cls(n);
+  {
+    std::map<std::pair<bool, int32_t>, int32_t> initial;
+    for (size_t i = 0; i < n; ++i) {
+      auto key = std::make_pair(dfa.states[i].accept, dfa.states[i].mask);
+      auto [it, inserted] =
+          initial.emplace(key, static_cast<int32_t>(initial.size()));
+      (void)inserted;
+      cls[i] = it->second;
+    }
+  }
+
+  // Refine until stable.
+  while (true) {
+    std::map<Signature, int32_t> next_ids;
+    std::vector<int32_t> next(n);
+    for (size_t i = 0; i < n; ++i) {
+      const Dfa::State& s = dfa.states[i];
+      Signature sig;
+      sig.accept = s.accept;
+      sig.mask = s.mask;
+      sig.true_class = s.true_next >= 0 ? cls[s.true_next] : -1;
+      sig.false_class = s.false_next >= 0 ? cls[s.false_next] : -1;
+      sig.transition_classes.reserve(s.transitions.size());
+      for (const auto& [sym, target] : s.transitions) {
+        sig.transition_classes.emplace_back(sym, cls[target]);
+      }
+      auto [it, inserted] =
+          next_ids.emplace(std::move(sig), static_cast<int32_t>(next_ids.size()));
+      (void)inserted;
+      next[i] = it->second;
+    }
+    if (next == cls) break;
+    cls = std::move(next);
+  }
+
+  // Pick one representative per class.
+  std::map<int32_t, int32_t> representative;  // class -> original state
+  for (size_t i = 0; i < n; ++i) {
+    representative.emplace(cls[i], static_cast<int32_t>(i));
+  }
+
+  // Renumber classes by BFS from the start (True, False, then ascending
+  // symbols) for a deterministic, paper-matching numbering.
+  std::map<int32_t, int32_t> renumber;  // class -> new id
+  std::vector<int32_t> order;           // new id -> class
+  std::deque<int32_t> queue{cls[dfa.start]};
+  renumber[cls[dfa.start]] = 0;
+  order.push_back(cls[dfa.start]);
+  while (!queue.empty()) {
+    int32_t c = queue.front();
+    queue.pop_front();
+    const Dfa::State& rep = dfa.states[representative[c]];
+    std::vector<int32_t> successors;
+    if (rep.true_next >= 0) successors.push_back(cls[rep.true_next]);
+    if (rep.false_next >= 0) successors.push_back(cls[rep.false_next]);
+    for (const auto& [sym, target] : rep.transitions) {
+      (void)sym;
+      successors.push_back(cls[target]);
+    }
+    for (int32_t sc : successors) {
+      if (renumber.emplace(sc, static_cast<int32_t>(order.size())).second) {
+        order.push_back(sc);
+        queue.push_back(sc);
+      }
+    }
+  }
+
+  Dfa out;
+  out.start = 0;
+  out.states.resize(order.size());
+  for (size_t new_id = 0; new_id < order.size(); ++new_id) {
+    const Dfa::State& rep = dfa.states[representative[order[new_id]]];
+    Dfa::State& dst = out.states[new_id];
+    dst.accept = rep.accept;
+    dst.mask = rep.mask;
+    dst.true_next =
+        rep.true_next >= 0 ? renumber.at(cls[rep.true_next]) : -1;
+    dst.false_next =
+        rep.false_next >= 0 ? renumber.at(cls[rep.false_next]) : -1;
+    dst.transitions.reserve(rep.transitions.size());
+    for (const auto& [sym, target] : rep.transitions) {
+      dst.transitions.emplace_back(sym, renumber.at(cls[target]));
+    }
+  }
+  return out;
+}
+
+}  // namespace ode

@@ -1,0 +1,20 @@
+#ifndef ODE_EVENTS_MINIMIZE_H_
+#define ODE_EVENTS_MINIMIZE_H_
+
+#include "events/dfa.h"
+
+namespace ode {
+
+/// Moore partition refinement extended for mask states: the refinement
+/// signature of a state includes its accept flag, mask id, the classes of
+/// its True/False successors, and the class of each consuming transition
+/// (missing transition = the implicit dead class). The result is
+/// renumbered by breadth-first order from the start state (True before
+/// False before ascending symbols), which makes state numbering
+/// deterministic — the AutoRaiseLimit machine comes out numbered exactly
+/// as in the paper's Figure 1.
+Dfa MinimizeDfa(const Dfa& dfa);
+
+}  // namespace ode
+
+#endif  // ODE_EVENTS_MINIMIZE_H_

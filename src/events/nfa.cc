@@ -1,0 +1,250 @@
+#include "events/nfa.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+
+namespace ode {
+
+namespace {
+
+/// Fragment of an under-construction NFA: entry state and exit state.
+struct Frag {
+  int start;
+  int end;
+};
+
+class Builder {
+ public:
+  explicit Builder(const CompileInput& input) : input_(input) {}
+
+  Result<Nfa> Build() {
+    auto frag = BuildExpr(input_.expr);
+    if (!frag.ok()) return frag.status();
+    Frag body = frag.value();
+
+    int start;
+    if (input_.anchored) {
+      start = body.start;
+    } else {
+      // Prepend (any*,): a start state that loops on every alphabet
+      // symbol and epsilon-enters the body (paper §5.1.1).
+      start = NewState();
+      for (Symbol s : input_.alphabet) {
+        nfa_.states[start].edges.emplace_back(s, start);
+      }
+      nfa_.states[start].eps.push_back(body.start);
+    }
+    nfa_.start = start;
+    nfa_.accept = body.end;
+    return std::move(nfa_);
+  }
+
+ private:
+  int NewState() {
+    nfa_.states.emplace_back();
+    return static_cast<int>(nfa_.states.size()) - 1;
+  }
+
+  Result<Frag> BuildExpr(const ExprPtr& e) {
+    switch (e->kind) {
+      case EventExpr::Kind::kBasic: {
+        auto it = input_.event_symbols.find(e->event_name);
+        if (it == input_.event_symbols.end()) {
+          return Status::InvalidArgument("undeclared event '" +
+                                         e->event_name + "'");
+        }
+        int a = NewState(), b = NewState();
+        nfa_.states[a].edges.emplace_back(it->second, b);
+        return Frag{a, b};
+      }
+      case EventExpr::Kind::kAny: {
+        int a = NewState(), b = NewState();
+        for (Symbol s : input_.alphabet) {
+          nfa_.states[a].edges.emplace_back(s, b);
+        }
+        return Frag{a, b};
+      }
+      case EventExpr::Kind::kSeq: {
+        auto l = BuildExpr(e->left);
+        if (!l.ok()) return l;
+        auto r = BuildExpr(e->right);
+        if (!r.ok()) return r;
+        nfa_.states[l.value().end].eps.push_back(r.value().start);
+        return Frag{l.value().start, r.value().end};
+      }
+      case EventExpr::Kind::kOr: {
+        auto l = BuildExpr(e->left);
+        if (!l.ok()) return l;
+        auto r = BuildExpr(e->right);
+        if (!r.ok()) return r;
+        int a = NewState(), b = NewState();
+        nfa_.states[a].eps.push_back(l.value().start);
+        nfa_.states[a].eps.push_back(r.value().start);
+        nfa_.states[l.value().end].eps.push_back(b);
+        nfa_.states[r.value().end].eps.push_back(b);
+        return Frag{a, b};
+      }
+      case EventExpr::Kind::kStar: {
+        auto inner = BuildExpr(e->left);
+        if (!inner.ok()) return inner;
+        int a = NewState(), b = NewState();
+        nfa_.states[a].eps.push_back(inner.value().start);
+        nfa_.states[a].eps.push_back(b);
+        nfa_.states[inner.value().end].eps.push_back(inner.value().start);
+        nfa_.states[inner.value().end].eps.push_back(b);
+        return Frag{a, b};
+      }
+      case EventExpr::Kind::kPlus: {
+        auto inner = BuildExpr(e->left);
+        if (!inner.ok()) return inner;
+        int b = NewState();
+        nfa_.states[inner.value().end].eps.push_back(inner.value().start);
+        nfa_.states[inner.value().end].eps.push_back(b);
+        return Frag{inner.value().start, b};
+      }
+      case EventExpr::Kind::kOpt: {
+        auto inner = BuildExpr(e->left);
+        if (!inner.ok()) return inner;
+        int a = NewState(), b = NewState();
+        nfa_.states[a].eps.push_back(inner.value().start);
+        nfa_.states[a].eps.push_back(b);
+        nfa_.states[inner.value().end].eps.push_back(b);
+        return Frag{a, b};
+      }
+      case EventExpr::Kind::kMask: {
+        if (Nullable(e->left)) {
+          return Status::InvalidArgument(
+              "masked operand '" + ToString(e->left) +
+              "' can match the empty sequence; the mask would be "
+              "evaluated before any event occurred");
+        }
+        auto inner = BuildExpr(e->left);
+        if (!inner.ok()) return inner;
+        auto it = input_.mask_ids.find(e->mask_name);
+        if (it == input_.mask_ids.end()) {
+          return Status::InvalidArgument("unregistered mask '" +
+                                         e->mask_name + "'");
+        }
+        int m = NewState(), b = NewState();
+        nfa_.states[inner.value().end].eps.push_back(m);
+        nfa_.states[m].mask = it->second;
+        nfa_.states[m].mask_true = b;
+        return Frag{inner.value().start, b};
+      }
+      case EventExpr::Kind::kRelative: {
+        // relative(A, B) == A, any*, B — matches Figure 1.
+        return BuildExpr(
+            Seq(e->left, Seq(Star(Any()), e->right)));
+      }
+    }
+    return Status::Internal("unknown expression kind");
+  }
+
+  const CompileInput& input_;
+  Nfa nfa_;
+};
+
+void Closure(const Nfa& nfa, std::set<int>* states) {
+  std::vector<int> stack(states->begin(), states->end());
+  while (!stack.empty()) {
+    int s = stack.back();
+    stack.pop_back();
+    for (int t : nfa.states[s].eps) {
+      if (states->insert(t).second) stack.push_back(t);
+    }
+  }
+}
+
+}  // namespace
+
+Result<Nfa> BuildNfa(const CompileInput& input) {
+  return Builder(input).Build();
+}
+
+std::vector<bool> SimulateNfa(
+    const Nfa& nfa, const std::vector<Symbol>& stream,
+    const std::vector<std::vector<bool>>& mask_values) {
+  ODE_CHECK(mask_values.size() >= stream.size());
+  std::set<int> current{nfa.start};
+  Closure(nfa, &current);
+
+  auto resolve_masks = [&](std::set<int>* states, size_t pos) {
+    // Fixpoint: expand every unexpanded mask node, then drop them all.
+    std::set<std::pair<int, int>> expanded;  // (state, mask)
+    while (true) {
+      std::vector<int> mask_nodes;
+      for (int s : *states) {
+        if (nfa.states[s].mask >= 0) mask_nodes.push_back(s);
+      }
+      if (mask_nodes.empty()) return;
+      bool progressed = false;
+      for (int s : mask_nodes) {
+        int m = nfa.states[s].mask;
+        bool value = pos < mask_values.size() &&
+                     m < static_cast<int>(mask_values[pos].size()) &&
+                     mask_values[pos][m];
+        if (value && expanded.insert({s, m}).second) {
+          std::set<int> add{nfa.states[s].mask_true};
+          Closure(nfa, &add);
+          size_t before = states->size();
+          states->insert(add.begin(), add.end());
+          if (states->size() != before) progressed = true;
+        }
+        states->erase(s);
+      }
+      if (!progressed) {
+        // Only re-added already-expanded nodes remain possible; erase and
+        // re-check — if the set is mask-free we are done, else loop once
+        // more (bounded: every (state, mask) pair expands at most once).
+        bool any_left = false;
+        for (int s : *states) {
+          if (nfa.states[s].mask >= 0 &&
+              !expanded.count({s, nfa.states[s].mask})) {
+            any_left = true;
+          }
+        }
+        if (!any_left) {
+          for (auto it = states->begin(); it != states->end();) {
+            if (nfa.states[*it].mask >= 0) {
+              it = states->erase(it);
+            } else {
+              ++it;
+            }
+          }
+          return;
+        }
+      }
+    }
+  };
+
+  std::vector<bool> accepts;
+  accepts.reserve(stream.size());
+  for (size_t i = 0; i < stream.size(); ++i) {
+    Symbol sym = stream[i];
+    std::set<int> next;
+    for (int s : current) {
+      for (const auto& [edge_sym, target] : nfa.states[s].edges) {
+        if (edge_sym == sym) next.insert(target);
+      }
+    }
+    if (next.empty()) {
+      // No state moves on this symbol: the machine is dead. This can only
+      // happen for anchored expressions — with the (any*,) prefix the
+      // start state's any-loop keeps every reachable set non-empty. The
+      // caller is expected to feed only alphabet symbols (out-of-alphabet
+      // events are filtered before the automaton in the real runtime).
+      current.clear();
+      accepts.push_back(false);
+      continue;
+    }
+    Closure(nfa, &next);
+    resolve_masks(&next, i);
+    current = std::move(next);
+    accepts.push_back(current.count(nfa.accept) > 0);
+  }
+  return accepts;
+}
+
+}  // namespace ode

@@ -1,0 +1,63 @@
+#ifndef ODE_EVENTS_NFA_H_
+#define ODE_EVENTS_NFA_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "events/event_expr.h"
+
+namespace ode {
+
+/// Inputs for compiling one trigger's event expression into an automaton.
+struct CompileInput {
+  ExprPtr expr;
+  bool anchored = false;
+  /// The FSM alphabet: the declared events of the trigger's class (paper
+  /// §5.1 — "the basic events included in the event declaration for a
+  /// class constitute the alphabet"). `any` expands to this set.
+  std::vector<Symbol> alphabet;
+  /// Resolution of event names used in the expression to symbols.
+  std::unordered_map<std::string, Symbol> event_symbols;
+  /// Resolution of mask keys to dense per-trigger mask ids (0..n-1).
+  std::unordered_map<std::string, int32_t> mask_ids;
+};
+
+/// Thompson-style NFA extended with *mask nodes*: a mask node carries a
+/// mask id and a single True-successor. During subset construction a set
+/// containing a mask node becomes a mask state; "False" simply drops the
+/// node from the set (the paper's False-transition back toward the search
+/// states falls out of the `(any*,)` prefix).
+struct Nfa {
+  struct State {
+    std::vector<std::pair<Symbol, int>> edges;  // consuming transitions
+    std::vector<int> eps;                       // epsilon transitions
+    int32_t mask = -1;                          // >=0: mask node
+    int mask_true = -1;                         // True-successor
+  };
+
+  std::vector<State> states;
+  int start = 0;
+  int accept = 0;
+};
+
+/// Builds the NFA for `input.expr`, prepending `(any*,)` unless anchored.
+/// Fails with kInvalidArgument on unresolved event/mask names or a masked
+/// operand that can match the empty sequence (which would make mask
+/// evaluation ill-founded).
+Result<Nfa> BuildNfa(const CompileInput& input);
+
+/// Reference acceptor used by property tests: simulates the NFA directly
+/// on a stream, with masks resolved by a fixed per-position oracle
+/// (mask_values[i][m] = value of mask m evaluated after consuming the
+/// i-th symbol). Returns the set of stream positions after which the NFA
+/// accepts.
+std::vector<bool> SimulateNfa(
+    const Nfa& nfa, const std::vector<Symbol>& stream,
+    const std::vector<std::vector<bool>>& mask_values);
+
+}  // namespace ode
+
+#endif  // ODE_EVENTS_NFA_H_

@@ -1,0 +1,432 @@
+#include "objstore/btree.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+#include "common/logging.h"
+
+namespace ode {
+
+namespace {
+
+constexpr const char* kRootPrefix = "ode.btree.";
+
+/// Routing: first child index i with key < keys[i]; keys.size() if none.
+/// Child i holds keys in [keys[i-1], keys[i]) with unbounded ends.
+size_t RouteIndex(const std::vector<std::string>& keys,
+                  const std::string& key) {
+  return static_cast<size_t>(
+      std::upper_bound(keys.begin(), keys.end(), key) - keys.begin());
+}
+
+}  // namespace
+
+namespace btree_key {
+
+std::string FromU64(uint64_t v) {
+  std::string out(8, '\0');
+  for (int i = 0; i < 8; ++i) {
+    out[i] = static_cast<char>((v >> (8 * (7 - i))) & 0xff);
+  }
+  return out;
+}
+
+std::string FromI64(int64_t v) {
+  // Offset-binary: flip the sign bit so negative numbers order first.
+  return FromU64(static_cast<uint64_t>(v) ^ (1ull << 63));
+}
+
+}  // namespace btree_key
+
+Result<std::unique_ptr<BTree>> BTree::Open(Database* db, Transaction* txn,
+                                           const std::string& name,
+                                           size_t max_keys) {
+  if (max_keys < 3) {
+    return Status::InvalidArgument("btree max_keys must be >= 3");
+  }
+  std::unique_ptr<BTree> tree(new BTree(db, name));
+  auto root = db->GetRoot(txn, kRootPrefix + name);
+  if (root.ok()) {
+    tree->meta_oid_ = root.value();
+    return tree;
+  }
+  if (!root.status().IsNotFound()) return root.status();
+
+  // First use: an empty leaf as root.
+  Node empty;
+  empty.leaf = true;
+  ODE_ASSIGN_OR_RETURN(Oid root_oid, tree->NewNode(txn, empty));
+  Meta meta;
+  meta.root = root_oid;
+  meta.size = 0;
+  meta.max_keys = max_keys;
+  Encoder enc;
+  enc.PutU64(meta.root.value());
+  enc.PutU64(meta.size);
+  enc.PutU64(meta.max_keys);
+  ODE_ASSIGN_OR_RETURN(Oid meta_oid, db->NewObject(txn, Slice(enc.buffer())));
+  ODE_RETURN_NOT_OK(db->SetRoot(txn, kRootPrefix + name, meta_oid));
+  tree->meta_oid_ = meta_oid;
+  return tree;
+}
+
+Result<BTree::Meta> BTree::LoadMeta(Transaction* txn) {
+  std::vector<char> image;
+  ODE_RETURN_NOT_OK(db_->ReadObjectForUpdate(txn, meta_oid_, &image));
+  Decoder dec(image);
+  Meta meta;
+  uint64_t root;
+  ODE_RETURN_NOT_OK(dec.GetU64(&root));
+  meta.root = Oid(root);
+  ODE_RETURN_NOT_OK(dec.GetU64(&meta.size));
+  ODE_RETURN_NOT_OK(dec.GetU64(&meta.max_keys));
+  return meta;
+}
+
+Status BTree::StoreMeta(Transaction* txn, const Meta& meta) {
+  Encoder enc;
+  enc.PutU64(meta.root.value());
+  enc.PutU64(meta.size);
+  enc.PutU64(meta.max_keys);
+  return db_->WriteObject(txn, meta_oid_, Slice(enc.buffer()));
+}
+
+Result<BTree::Node> BTree::LoadNode(Transaction* txn, Oid oid,
+                                    bool for_update) {
+  std::vector<char> image;
+  if (for_update) {
+    ODE_RETURN_NOT_OK(db_->ReadObjectForUpdate(txn, oid, &image));
+  } else {
+    ODE_RETURN_NOT_OK(db_->ReadObject(txn, oid, &image));
+  }
+  Decoder dec(image);
+  Node node;
+  uint8_t leaf;
+  ODE_RETURN_NOT_OK(dec.GetU8(&leaf));
+  node.leaf = leaf != 0;
+  uint64_t nkeys;
+  ODE_RETURN_NOT_OK(dec.GetVarint(&nkeys));
+  if (nkeys > dec.remaining()) {
+    return Status::Corruption("btree node: key count exceeds image");
+  }
+  node.keys.resize(nkeys);
+  for (uint64_t i = 0; i < nkeys; ++i) {
+    ODE_RETURN_NOT_OK(dec.GetString(&node.keys[i]));
+  }
+  if (node.leaf) {
+    node.values.resize(nkeys);
+    for (uint64_t i = 0; i < nkeys; ++i) {
+      uint64_t v;
+      ODE_RETURN_NOT_OK(dec.GetU64(&v));
+      node.values[i] = Oid(v);
+    }
+  } else {
+    node.children.resize(nkeys + 1);
+    for (uint64_t i = 0; i <= nkeys; ++i) {
+      uint64_t c;
+      ODE_RETURN_NOT_OK(dec.GetU64(&c));
+      node.children[i] = Oid(c);
+    }
+  }
+  return node;
+}
+
+namespace {
+std::vector<char> EncodeNodeImpl(bool leaf,
+                                 const std::vector<std::string>& keys,
+                                 const std::vector<Oid>& values,
+                                 const std::vector<Oid>& children) {
+  Encoder enc;
+  enc.PutU8(leaf ? 1 : 0);
+  enc.PutVarint(keys.size());
+  for (const std::string& k : keys) enc.PutString(k);
+  if (leaf) {
+    for (Oid v : values) enc.PutU64(v.value());
+  } else {
+    for (Oid c : children) enc.PutU64(c.value());
+  }
+  return enc.Release();
+}
+}  // namespace
+
+Result<Oid> BTree::NewNode(Transaction* txn, const Node& node) {
+  return db_->NewObject(
+      txn, Slice(EncodeNodeImpl(node.leaf, node.keys, node.values,
+                                node.children)));
+}
+
+Status BTree::StoreNode(Transaction* txn, Oid oid, const Node& node) {
+  return db_->WriteObject(
+      txn, oid,
+      Slice(EncodeNodeImpl(node.leaf, node.keys, node.values,
+                           node.children)));
+}
+
+Status BTree::SplitChild(Transaction* txn, Node* parent, size_t idx,
+                         Oid child_oid, Node child, uint64_t max_keys) {
+  (void)max_keys;
+  size_t mid = child.keys.size() / 2;
+  Node right;
+  right.leaf = child.leaf;
+  std::string separator;
+  if (child.leaf) {
+    // B+ leaf split: the separator is copied, not moved.
+    separator = child.keys[mid];
+    right.keys.assign(child.keys.begin() + mid, child.keys.end());
+    right.values.assign(child.values.begin() + mid, child.values.end());
+    child.keys.resize(mid);
+    child.values.resize(mid);
+  } else {
+    // Internal split: the middle key moves up.
+    separator = child.keys[mid];
+    right.keys.assign(child.keys.begin() + mid + 1, child.keys.end());
+    right.children.assign(child.children.begin() + mid + 1,
+                          child.children.end());
+    child.keys.resize(mid);
+    child.children.resize(mid + 1);
+  }
+  ODE_ASSIGN_OR_RETURN(Oid right_oid, NewNode(txn, right));
+  ODE_RETURN_NOT_OK(StoreNode(txn, child_oid, child));
+  parent->keys.insert(parent->keys.begin() + idx, separator);
+  parent->children.insert(parent->children.begin() + idx + 1, right_oid);
+  return Status::OK();
+}
+
+Status BTree::InsertImpl(Transaction* txn, Slice key, Oid value,
+                         bool replace) {
+  ODE_ASSIGN_OR_RETURN(Meta meta, LoadMeta(txn));
+  std::string k = key.ToString();
+
+  ODE_ASSIGN_OR_RETURN(Node root, LoadNode(txn, meta.root, true));
+  Oid node_oid = meta.root;
+  Node node = std::move(root);
+
+  // Preemptive root split keeps the descent single-pass.
+  if (node.keys.size() >= meta.max_keys) {
+    Node new_root;
+    new_root.leaf = false;
+    new_root.children.push_back(node_oid);
+    ODE_RETURN_NOT_OK(
+        SplitChild(txn, &new_root, 0, node_oid, std::move(node),
+                   meta.max_keys));
+    ODE_ASSIGN_OR_RETURN(Oid new_root_oid, NewNode(txn, new_root));
+    meta.root = new_root_oid;
+    // Persist the new root right away: the descent may exit early
+    // (duplicate key) and must not leave the halved old root reachable.
+    ODE_RETURN_NOT_OK(StoreMeta(txn, meta));
+    node_oid = new_root_oid;
+    node = std::move(new_root);
+  }
+
+  while (!node.leaf) {
+    size_t idx = RouteIndex(node.keys, k);
+    Oid child_oid = node.children[idx];
+    ODE_ASSIGN_OR_RETURN(Node child, LoadNode(txn, child_oid, true));
+    if (child.keys.size() >= meta.max_keys) {
+      ODE_RETURN_NOT_OK(
+          SplitChild(txn, &node, idx, child_oid, std::move(child),
+                     meta.max_keys));
+      ODE_RETURN_NOT_OK(StoreNode(txn, node_oid, node));
+      // Re-route between the two halves.
+      if (!(k < node.keys[idx])) ++idx;
+      child_oid = node.children[idx];
+      ODE_ASSIGN_OR_RETURN(child, LoadNode(txn, child_oid, true));
+    }
+    node_oid = child_oid;
+    node = std::move(child);
+  }
+
+  auto it = std::lower_bound(node.keys.begin(), node.keys.end(), k);
+  size_t pos = static_cast<size_t>(it - node.keys.begin());
+  if (it != node.keys.end() && *it == k) {
+    if (!replace) {
+      return Status::AlreadyExists("btree key already present");
+    }
+    node.values[pos] = value;
+    ODE_RETURN_NOT_OK(StoreNode(txn, node_oid, node));
+    return StoreMeta(txn, meta);  // root may have changed
+  }
+  node.keys.insert(it, k);
+  node.values.insert(node.values.begin() + pos, value);
+  ODE_RETURN_NOT_OK(StoreNode(txn, node_oid, node));
+  ++meta.size;
+  return StoreMeta(txn, meta);
+}
+
+Status BTree::Insert(Transaction* txn, Slice key, Oid value) {
+  return InsertImpl(txn, key, value, /*replace=*/false);
+}
+
+Status BTree::Put(Transaction* txn, Slice key, Oid value) {
+  return InsertImpl(txn, key, value, /*replace=*/true);
+}
+
+Result<Oid> BTree::Lookup(Transaction* txn, Slice key) {
+  ODE_ASSIGN_OR_RETURN(Meta meta, LoadMeta(txn));
+  std::string k = key.ToString();
+  Oid node_oid = meta.root;
+  while (true) {
+    ODE_ASSIGN_OR_RETURN(Node node, LoadNode(txn, node_oid, false));
+    if (node.leaf) {
+      auto it = std::lower_bound(node.keys.begin(), node.keys.end(), k);
+      if (it != node.keys.end() && *it == k) {
+        return node.values[static_cast<size_t>(it - node.keys.begin())];
+      }
+      return Status::NotFound("btree key not found");
+    }
+    node_oid = node.children[RouteIndex(node.keys, k)];
+  }
+}
+
+Status BTree::Delete(Transaction* txn, Slice key) {
+  ODE_ASSIGN_OR_RETURN(Meta meta, LoadMeta(txn));
+  std::string k = key.ToString();
+
+  struct Frame {
+    Oid oid;
+    Node node;
+    size_t child_idx = 0;
+  };
+  std::vector<Frame> path;
+  Oid node_oid = meta.root;
+  Node node;
+  while (true) {
+    ODE_ASSIGN_OR_RETURN(node, LoadNode(txn, node_oid, true));
+    if (node.leaf) break;
+    size_t idx = RouteIndex(node.keys, k);
+    path.push_back(Frame{node_oid, std::move(node), idx});
+    node_oid = path.back().node.children[idx];
+  }
+
+  auto it = std::lower_bound(node.keys.begin(), node.keys.end(), k);
+  if (it == node.keys.end() || *it != k) {
+    return Status::NotFound("btree key not found");
+  }
+  size_t pos = static_cast<size_t>(it - node.keys.begin());
+  node.keys.erase(it);
+  node.values.erase(node.values.begin() + pos);
+  --meta.size;
+
+  if (!node.keys.empty() || path.empty()) {
+    ODE_RETURN_NOT_OK(StoreNode(txn, node_oid, node));
+    return StoreMeta(txn, meta);
+  }
+
+  // The leaf is empty: free it and collapse upward.
+  ODE_RETURN_NOT_OK(db_->FreeObject(txn, node_oid));
+  while (!path.empty()) {
+    Frame frame = std::move(path.back());
+    path.pop_back();
+    size_t idx = frame.child_idx;
+    frame.node.children.erase(frame.node.children.begin() + idx);
+    if (!frame.node.keys.empty()) {
+      frame.node.keys.erase(frame.node.keys.begin() +
+                            (idx > 0 ? idx - 1 : 0));
+    }
+    if (frame.node.children.empty()) {
+      // This internal node is now empty too: free and keep collapsing.
+      ODE_RETURN_NOT_OK(db_->FreeObject(txn, frame.oid));
+      if (path.empty()) {
+        // The root vanished: restart with a fresh empty leaf.
+        Node empty;
+        empty.leaf = true;
+        ODE_ASSIGN_OR_RETURN(Oid fresh, NewNode(txn, empty));
+        meta.root = fresh;
+      }
+      continue;
+    }
+    if (path.empty() && frame.node.keys.empty() &&
+        frame.node.children.size() == 1) {
+      // Root with a single child: the child becomes the root.
+      meta.root = frame.node.children[0];
+      ODE_RETURN_NOT_OK(db_->FreeObject(txn, frame.oid));
+    } else {
+      ODE_RETURN_NOT_OK(StoreNode(txn, frame.oid, frame.node));
+    }
+    break;
+  }
+  return StoreMeta(txn, meta);
+}
+
+Status BTree::ScanNode(Transaction* txn, Oid node_oid, Slice lower,
+                       Slice upper,
+                       const std::function<bool(Slice, Oid)>& fn,
+                       bool* keep_going) {
+  ODE_ASSIGN_OR_RETURN(Node node, LoadNode(txn, node_oid, false));
+  std::string lo = lower.ToString(), hi = upper.ToString();
+  if (node.leaf) {
+    for (size_t i = 0; i < node.keys.size() && *keep_going; ++i) {
+      if (!lo.empty() && node.keys[i] < lo) continue;
+      if (!hi.empty() && !(node.keys[i] < hi)) break;
+      if (!fn(Slice(node.keys[i]), node.values[i])) *keep_going = false;
+    }
+    return Status::OK();
+  }
+  for (size_t i = 0; i < node.children.size() && *keep_going; ++i) {
+    // Child i covers [keys[i-1], keys[i]).
+    if (i > 0 && !hi.empty() && !(node.keys[i - 1] < hi)) break;
+    if (i < node.keys.size() && !lo.empty() && node.keys[i] < lo) continue;
+    ODE_RETURN_NOT_OK(
+        ScanNode(txn, node.children[i], lower, upper, fn, keep_going));
+  }
+  return Status::OK();
+}
+
+Status BTree::Scan(Transaction* txn, Slice lower, Slice upper,
+                   const std::function<bool(Slice, Oid)>& fn) {
+  ODE_ASSIGN_OR_RETURN(Meta meta, LoadMeta(txn));
+  bool keep_going = true;
+  return ScanNode(txn, meta.root, lower, upper, fn, &keep_going);
+}
+
+Result<uint64_t> BTree::Size(Transaction* txn) {
+  ODE_ASSIGN_OR_RETURN(Meta meta, LoadMeta(txn));
+  return meta.size;
+}
+
+Status BTree::CheckNode(Transaction* txn, Oid node_oid,
+                        const std::string* lo, const std::string* hi,
+                        int depth, int* leaf_depth) {
+  ODE_ASSIGN_OR_RETURN(Node node, LoadNode(txn, node_oid, false));
+  if (!std::is_sorted(node.keys.begin(), node.keys.end())) {
+    return Status::Corruption("btree node keys not sorted");
+  }
+  for (const std::string& k : node.keys) {
+    if (lo != nullptr && k < *lo) {
+      return Status::Corruption("btree key below subtree lower bound");
+    }
+    if (hi != nullptr && !(k < *hi)) {
+      return Status::Corruption("btree key above subtree upper bound");
+    }
+  }
+  if (node.leaf) {
+    if (node.keys.size() != node.values.size()) {
+      return Status::Corruption("btree leaf keys/values mismatch");
+    }
+    if (*leaf_depth < 0) {
+      *leaf_depth = depth;
+    } else if (*leaf_depth != depth) {
+      return Status::Corruption("btree leaves at different depths");
+    }
+    return Status::OK();
+  }
+  if (node.children.size() != node.keys.size() + 1) {
+    return Status::Corruption("btree internal children/keys mismatch");
+  }
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    const std::string* child_lo = i == 0 ? lo : &node.keys[i - 1];
+    const std::string* child_hi =
+        i == node.keys.size() ? hi : &node.keys[i];
+    ODE_RETURN_NOT_OK(CheckNode(txn, node.children[i], child_lo, child_hi,
+                                depth + 1, leaf_depth));
+  }
+  return Status::OK();
+}
+
+Status BTree::CheckStructure(Transaction* txn) {
+  ODE_ASSIGN_OR_RETURN(Meta meta, LoadMeta(txn));
+  int leaf_depth = -1;
+  return CheckNode(txn, meta.root, nullptr, nullptr, 0, &leaf_depth);
+}
+
+}  // namespace ode

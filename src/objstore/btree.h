@@ -1,0 +1,120 @@
+#ifndef ODE_OBJSTORE_BTREE_H_
+#define ODE_OBJSTORE_BTREE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "objstore/database.h"
+
+namespace ode {
+
+/// A persistent B+-tree mapping byte-string keys to Oids — the index
+/// structure disk-based Ode offers (the paper notes MM-Ode ships "full
+/// Ode functionality (except for B-trees which do not exist in Dali)",
+/// §5.6). Here the tree's nodes are ordinary persistent objects, so it
+/// works over either storage manager and inherits transactionality
+/// (locking, rollback, recovery) from the Database layer for free.
+///
+/// Values live in the leaves; internal nodes hold separator keys.
+/// Inserts split full nodes preemptively on the way down. Deletes remove
+/// the entry and collapse nodes that become empty, but do not rebalance
+/// underfull nodes (a common simplification: the tree stays correct,
+/// merely not height-minimal after heavy deletion).
+///
+/// Keys are compared lexicographically as byte strings; use the
+/// BTreeKey helpers below for order-preserving integer encodings.
+class BTree {
+ public:
+  /// Opens the tree registered under `name` in the database, creating it
+  /// on first use. `max_keys` (>= 3) fixes the node fanout at creation;
+  /// an existing tree keeps its original fanout.
+  static Result<std::unique_ptr<BTree>> Open(Database* db, Transaction* txn,
+                                             const std::string& name,
+                                             size_t max_keys = 32);
+
+  BTree(const BTree&) = delete;
+  BTree& operator=(const BTree&) = delete;
+
+  /// Inserts a new key; kAlreadyExists if present.
+  Status Insert(Transaction* txn, Slice key, Oid value);
+
+  /// Inserts or replaces.
+  Status Put(Transaction* txn, Slice key, Oid value);
+
+  /// kNotFound if absent.
+  Result<Oid> Lookup(Transaction* txn, Slice key);
+
+  /// Removes the key; kNotFound if absent.
+  Status Delete(Transaction* txn, Slice key);
+
+  /// In-order scan of keys in [lower, upper); an empty `upper` means "to
+  /// the end", an empty `lower` "from the beginning". The callback
+  /// returns false to stop early.
+  Status Scan(Transaction* txn, Slice lower, Slice upper,
+              const std::function<bool(Slice key, Oid value)>& fn);
+
+  /// Number of entries.
+  Result<uint64_t> Size(Transaction* txn);
+
+  /// Validates the structural invariants (sorted keys, separator
+  /// consistency, uniform leaf depth); for tests.
+  Status CheckStructure(Transaction* txn);
+
+ private:
+  struct Node {
+    bool leaf = true;
+    std::vector<std::string> keys;
+    std::vector<Oid> values;    // leaf: parallel to keys
+    std::vector<Oid> children;  // internal: keys.size() + 1 entries
+  };
+
+  struct Meta {
+    Oid root;
+    uint64_t size = 0;
+    uint64_t max_keys = 32;
+  };
+
+  BTree(Database* db, std::string name) : db_(db), name_(std::move(name)) {}
+
+  Result<Meta> LoadMeta(Transaction* txn);
+  Status StoreMeta(Transaction* txn, const Meta& meta);
+  Result<Node> LoadNode(Transaction* txn, Oid oid, bool for_update);
+  Result<Oid> NewNode(Transaction* txn, const Node& node);
+  Status StoreNode(Transaction* txn, Oid oid, const Node& node);
+
+  /// Splits full child `idx` of `parent` (both already loaded; caller
+  /// stores the parent). The child must be full.
+  Status SplitChild(Transaction* txn, Node* parent, size_t idx,
+                    Oid child_oid, Node child, uint64_t max_keys);
+
+  Status InsertImpl(Transaction* txn, Slice key, Oid value, bool replace);
+
+  Status ScanNode(Transaction* txn, Oid node_oid, Slice lower, Slice upper,
+                  const std::function<bool(Slice, Oid)>& fn, bool* keep_going);
+
+  Status CheckNode(Transaction* txn, Oid node_oid, const std::string* lo,
+                   const std::string* hi, int depth, int* leaf_depth);
+
+  Database* db_;
+  std::string name_;
+  Oid meta_oid_;
+};
+
+namespace btree_key {
+
+/// Order-preserving big-endian encoding of an unsigned integer.
+std::string FromU64(uint64_t v);
+
+/// Order-preserving encoding of a signed integer (offset-binary).
+std::string FromI64(int64_t v);
+
+}  // namespace btree_key
+
+}  // namespace ode
+
+#endif  // ODE_OBJSTORE_BTREE_H_

@@ -1,0 +1,249 @@
+#include "objstore/database.h"
+
+#include "common/coding.h"
+#include "common/hash.h"
+#include "common/logging.h"
+#include "storage/disk_storage_manager.h"
+#include "storage/mm_storage_manager.h"
+
+namespace ode {
+
+namespace {
+
+constexpr const char* kMetatypeRoot = "ode.metatypes";
+constexpr const char* kClusterRootPrefix = "ode.cluster.";
+// Key inside the metatype directory that stores the next id to assign.
+constexpr const char* kNextIdKey = "";
+
+/// Pseudo-oid used to serialize updates to a named root's directory
+/// object before its real oid is known. High bit set to stay clear of
+/// real oids.
+Oid RootLockOid(const std::string& name) {
+  return Oid(Hash64(name.data(), name.size()) | (1ull << 63));
+}
+
+}  // namespace
+
+Database::Database(std::unique_ptr<StorageManager> store)
+    : store_(std::move(store)) {
+  txns_ = std::make_unique<TransactionManager>(store_.get(), &locks_);
+}
+
+Result<std::unique_ptr<Database>> Database::Open(StorageKind kind,
+                                                 const std::string& path) {
+  std::unique_ptr<StorageManager> store;
+  if (kind == StorageKind::kDisk) {
+    if (path.empty()) {
+      return Status::InvalidArgument("disk database needs a path");
+    }
+    store = std::make_unique<DiskStorageManager>(path);
+  } else {
+    store = std::make_unique<MMStorageManager>(path);
+  }
+  return OpenWith(std::move(store));
+}
+
+Result<std::unique_ptr<Database>> Database::OpenWith(
+    std::unique_ptr<StorageManager> store) {
+  ODE_RETURN_NOT_OK(store->Open());
+  std::unique_ptr<Database> db(new Database(std::move(store)));
+  db->open_ = true;
+  return db;
+}
+
+Database::~Database() {
+  if (open_) {
+    Status st = Close();
+    if (!st.ok()) {
+      ODE_LOG(kError) << "database close failed: " << st.ToString();
+    }
+  }
+}
+
+Status Database::Close() {
+  if (!open_) return Status::OK();
+  open_ = false;
+  return store_->Close();
+}
+
+Result<Oid> Database::NewObject(Transaction* txn, Slice image) {
+  ODE_ASSIGN_OR_RETURN(Oid oid, store_->Allocate(txn->id(), image));
+  // The creator implicitly owns the new object exclusively.
+  ODE_RETURN_NOT_OK(locks_.Acquire(txn->id(), oid, LockMode::kExclusive));
+  return oid;
+}
+
+Status Database::ReadObject(Transaction* txn, Oid oid,
+                            std::vector<char>* out) {
+  ODE_RETURN_NOT_OK(locks_.Acquire(txn->id(), oid, LockMode::kShared));
+  return store_->Read(txn->id(), oid, out);
+}
+
+Status Database::ReadObjectForUpdate(Transaction* txn, Oid oid,
+                                     std::vector<char>* out) {
+  ODE_RETURN_NOT_OK(locks_.Acquire(txn->id(), oid, LockMode::kExclusive));
+  return store_->Read(txn->id(), oid, out);
+}
+
+Status Database::WriteObject(Transaction* txn, Oid oid, Slice image) {
+  ODE_RETURN_NOT_OK(locks_.Acquire(txn->id(), oid, LockMode::kExclusive));
+  return store_->Write(txn->id(), oid, image);
+}
+
+Status Database::FreeObject(Transaction* txn, Oid oid) {
+  ODE_RETURN_NOT_OK(locks_.Acquire(txn->id(), oid, LockMode::kExclusive));
+  return store_->Free(txn->id(), oid);
+}
+
+bool Database::ObjectExists(Transaction* txn, Oid oid) {
+  return store_->Exists(txn->id(), oid);
+}
+
+Status Database::SetRoot(Transaction* txn, const std::string& name,
+                         Oid oid) {
+  ODE_RETURN_NOT_OK(
+      locks_.Acquire(txn->id(), RootLockOid(name), LockMode::kExclusive));
+  return store_->SetRoot(txn->id(), name, oid);
+}
+
+Result<Oid> Database::GetRoot(Transaction* txn, const std::string& name) {
+  ODE_RETURN_NOT_OK(
+      locks_.Acquire(txn->id(), RootLockOid(name), LockMode::kShared));
+  return store_->GetRoot(txn->id(), name);
+}
+
+Status Database::ReadDirectory(Transaction* txn,
+                               const std::string& root_name,
+                               std::map<std::string, uint64_t>* out) {
+  out->clear();
+  auto root = GetRoot(txn, root_name);
+  if (!root.ok()) {
+    return root.status().IsNotFound() ? Status::OK() : root.status();
+  }
+  std::vector<char> image;
+  ODE_RETURN_NOT_OK(ReadObject(txn, root.value(), &image));
+  Decoder dec(image);
+  uint64_t n;
+  ODE_RETURN_NOT_OK(dec.GetVarint(&n));
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string key;
+    uint64_t value;
+    ODE_RETURN_NOT_OK(dec.GetString(&key));
+    ODE_RETURN_NOT_OK(dec.GetU64(&value));
+    (*out)[key] = value;
+  }
+  return Status::OK();
+}
+
+Status Database::UpdateDirectory(
+    Transaction* txn, const std::string& root_name,
+    const std::function<void(std::map<std::string, uint64_t>*)>& mutate) {
+  // Exclusive lock on the root's pseudo-oid serializes the read-modify-
+  // write across transactions.
+  ODE_RETURN_NOT_OK(locks_.Acquire(txn->id(), RootLockOid(root_name),
+                                   LockMode::kExclusive));
+  std::map<std::string, uint64_t> dir;
+  ODE_RETURN_NOT_OK(ReadDirectory(txn, root_name, &dir));
+  mutate(&dir);
+  Encoder enc;
+  enc.PutVarint(dir.size());
+  for (const auto& [key, value] : dir) {
+    enc.PutString(key);
+    enc.PutU64(value);
+  }
+  auto root = store_->GetRoot(txn->id(), root_name);
+  if (root.ok()) {
+    return WriteObject(txn, root.value(), Slice(enc.buffer()));
+  }
+  if (!root.status().IsNotFound()) return root.status();
+  ODE_ASSIGN_OR_RETURN(Oid oid, NewObject(txn, Slice(enc.buffer())));
+  return store_->SetRoot(txn->id(), root_name, oid);
+}
+
+Result<uint32_t> Database::MetatypeId(Transaction* txn,
+                                      const std::string& type_name) {
+  ODE_CHECK(type_name != kNextIdKey);
+  std::map<std::string, uint64_t> dir;
+  // Fast path: already assigned (shared lock only).
+  ODE_RETURN_NOT_OK(ReadDirectory(txn, kMetatypeRoot, &dir));
+  auto it = dir.find(type_name);
+  if (it != dir.end()) return static_cast<uint32_t>(it->second);
+
+  uint32_t assigned = 0;
+  ODE_RETURN_NOT_OK(UpdateDirectory(
+      txn, kMetatypeRoot, [&](std::map<std::string, uint64_t>* d) {
+        auto existing = d->find(type_name);
+        if (existing != d->end()) {
+          assigned = static_cast<uint32_t>(existing->second);
+          return;
+        }
+        uint64_t next = 1;
+        auto next_it = d->find(kNextIdKey);
+        if (next_it != d->end()) next = next_it->second;
+        assigned = static_cast<uint32_t>(next);
+        (*d)[type_name] = next;
+        (*d)[kNextIdKey] = next + 1;
+      }));
+  return assigned;
+}
+
+Result<std::string> Database::MetatypeName(Transaction* txn, uint32_t id) {
+  std::map<std::string, uint64_t> dir;
+  ODE_RETURN_NOT_OK(ReadDirectory(txn, kMetatypeRoot, &dir));
+  for (const auto& [name, value] : dir) {
+    if (name != kNextIdKey && value == id) return name;
+  }
+  return Status::NotFound("no metatype with id " + std::to_string(id));
+}
+
+namespace {
+constexpr const char* kVersionRoot = "ode.versions";
+}  // namespace
+
+Status Database::RecordVersion(Transaction* txn, Oid child, Oid parent) {
+  return UpdateDirectory(txn, kVersionRoot,
+                         [&](std::map<std::string, uint64_t>* d) {
+                           (*d)[child.ToString()] = parent.value();
+                         });
+}
+
+Result<Oid> Database::VersionParent(Transaction* txn, Oid oid) {
+  std::map<std::string, uint64_t> dir;
+  ODE_RETURN_NOT_OK(ReadDirectory(txn, kVersionRoot, &dir));
+  auto it = dir.find(oid.ToString());
+  if (it == dir.end()) {
+    return Status::NotFound("no version parent for " + oid.ToString());
+  }
+  return Oid(it->second);
+}
+
+Status Database::AddToCluster(Transaction* txn, const std::string& cluster,
+                              Oid oid) {
+  return UpdateDirectory(txn, kClusterRootPrefix + cluster,
+                         [&](std::map<std::string, uint64_t>* d) {
+                           (*d)[oid.ToString()] = oid.value();
+                         });
+}
+
+Status Database::RemoveFromCluster(Transaction* txn,
+                                   const std::string& cluster, Oid oid) {
+  return UpdateDirectory(txn, kClusterRootPrefix + cluster,
+                         [&](std::map<std::string, uint64_t>* d) {
+                           d->erase(oid.ToString());
+                         });
+}
+
+Result<std::vector<Oid>> Database::ClusterContents(
+    Transaction* txn, const std::string& cluster) {
+  std::map<std::string, uint64_t> dir;
+  ODE_RETURN_NOT_OK(ReadDirectory(txn, kClusterRootPrefix + cluster, &dir));
+  std::vector<Oid> out;
+  out.reserve(dir.size());
+  for (const auto& [key, value] : dir) {
+    (void)key;
+    out.push_back(Oid(value));
+  }
+  return out;
+}
+
+}  // namespace ode

@@ -1,0 +1,129 @@
+#ifndef ODE_OBJSTORE_DATABASE_H_
+#define ODE_OBJSTORE_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "objstore/oid.h"
+#include "objstore/type_descriptor.h"
+#include "storage/lock_manager.h"
+#include "storage/storage_manager.h"
+#include "txn/transaction_manager.h"
+
+namespace ode {
+
+/// Which storage manager backs a database: the disk-based EOS analogue
+/// (regular Ode) or the main-memory Dali analogue (MM-Ode). The two are
+/// fully source-compatible, as in the paper (§5.6).
+enum class StorageKind { kDisk, kMainMemory };
+
+/// The Ode object manager's database: object access with strict 2PL over
+/// a storage manager, persistent named roots, per-database metatype ids,
+/// and clusters (named persistent collections used for iteration).
+///
+/// Object images are opaque byte strings at this layer; typed access,
+/// wrapper-function event posting, and triggers live in odepp/ above.
+class Database {
+ public:
+  /// Opens (creating if needed) a database. `path` may be empty for a
+  /// volatile main-memory database.
+  static Result<std::unique_ptr<Database>> Open(StorageKind kind,
+                                                const std::string& path);
+
+  /// As Open, but with a caller-built storage manager (tests use this to
+  /// inject non-default options).
+  static Result<std::unique_ptr<Database>> OpenWith(
+      std::unique_ptr<StorageManager> store);
+
+  ~Database();
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  Status Close();
+
+  // --- object access (all acquire strict-2PL locks for `txn`) ---
+
+  /// pnew: allocates a persistent object holding `image`.
+  Result<Oid> NewObject(Transaction* txn, Slice image);
+
+  /// Reads under a shared lock.
+  Status ReadObject(Transaction* txn, Oid oid, std::vector<char>* out);
+
+  /// Reads under an exclusive lock — used when the caller intends to
+  /// write the object back (e.g. advancing a trigger FSM: the paper notes
+  /// such accesses "require acquisition of a write lock", §5.1.3).
+  Status ReadObjectForUpdate(Transaction* txn, Oid oid,
+                             std::vector<char>* out);
+
+  /// Writes under an exclusive lock.
+  Status WriteObject(Transaction* txn, Oid oid, Slice image);
+
+  /// pdelete: frees under an exclusive lock.
+  Status FreeObject(Transaction* txn, Oid oid);
+
+  bool ObjectExists(Transaction* txn, Oid oid);
+
+  // --- persistent named roots ---
+
+  Status SetRoot(Transaction* txn, const std::string& name, Oid oid);
+  Result<Oid> GetRoot(Transaction* txn, const std::string& name);
+
+  // --- per-database metatypes (paper: "Each database has its own
+  // metatype object for each type that exists in that database") ---
+
+  /// Returns the database-local id for the named type, assigning and
+  /// persisting a fresh one on first use.
+  Result<uint32_t> MetatypeId(Transaction* txn, const std::string& type_name);
+
+  /// Reverse lookup of MetatypeId.
+  Result<std::string> MetatypeName(Transaction* txn, uint32_t id);
+
+  // --- object versions (O++ supports "persistent and versioned
+  // objects", §2; a version chain links each version to its parent) ---
+
+  /// Records that `child` is a new version derived from `parent`.
+  Status RecordVersion(Transaction* txn, Oid child, Oid parent);
+
+  /// The version `oid` was derived from; kNotFound for unversioned
+  /// objects / chain heads.
+  Result<Oid> VersionParent(Transaction* txn, Oid oid);
+
+  // --- clusters (named persistent object collections) ---
+
+  Status AddToCluster(Transaction* txn, const std::string& cluster, Oid oid);
+  Status RemoveFromCluster(Transaction* txn, const std::string& cluster,
+                           Oid oid);
+  Result<std::vector<Oid>> ClusterContents(Transaction* txn,
+                                           const std::string& cluster);
+
+  StorageManager* store() { return store_.get(); }
+  LockManager* locks() { return &locks_; }
+  TransactionManager* txns() { return txns_.get(); }
+
+ private:
+  explicit Database(std::unique_ptr<StorageManager> store);
+
+  /// Loads (or creates) the persistent object behind `root_name` that
+  /// holds a serialized string->u64 map, applies `mutate`, stores it
+  /// back. Used for the metatype catalog and the cluster directory.
+  Status UpdateDirectory(
+      Transaction* txn, const std::string& root_name,
+      const std::function<void(std::map<std::string, uint64_t>*)>& mutate);
+  Status ReadDirectory(Transaction* txn, const std::string& root_name,
+                       std::map<std::string, uint64_t>* out);
+
+  std::unique_ptr<StorageManager> store_;
+  LockManager locks_;
+  std::unique_ptr<TransactionManager> txns_;
+  bool open_ = false;
+};
+
+}  // namespace ode
+
+#endif  // ODE_OBJSTORE_DATABASE_H_

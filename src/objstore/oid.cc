@@ -1,0 +1,10 @@
+#include "objstore/oid.h"
+
+namespace ode {
+
+std::string Oid::ToString() const {
+  if (IsNull()) return "oid(null)";
+  return "oid(" + std::to_string(value_) + ")";
+}
+
+}  // namespace ode

@@ -1,0 +1,52 @@
+#ifndef ODE_OBJSTORE_OID_H_
+#define ODE_OBJSTORE_OID_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace ode {
+
+/// Identifier of a persistent object — the paper's "pointer to a persistent
+/// object". Oids are logical (a monotonically assigned 64-bit id, not a
+/// physical address); the storage managers map them to physical locations,
+/// which lets an object move between pages without invalidating references
+/// held in other objects or in trigger state.
+class Oid {
+ public:
+  constexpr Oid() : value_(0) {}
+  constexpr explicit Oid(uint64_t value) : value_(value) {}
+
+  /// The null persistent pointer.
+  static constexpr Oid Null() { return Oid(0); }
+
+  constexpr uint64_t value() const { return value_; }
+  constexpr bool IsNull() const { return value_ == 0; }
+
+  friend constexpr bool operator==(Oid a, Oid b) {
+    return a.value_ == b.value_;
+  }
+  friend constexpr bool operator!=(Oid a, Oid b) {
+    return a.value_ != b.value_;
+  }
+  friend constexpr bool operator<(Oid a, Oid b) { return a.value_ < b.value_; }
+
+  std::string ToString() const;
+
+ private:
+  uint64_t value_;
+};
+
+struct OidHash {
+  size_t operator()(Oid oid) const {
+    return std::hash<uint64_t>()(oid.value());
+  }
+};
+
+/// Identifier of a transaction. Id 0 is reserved as "no transaction".
+using TxnId = uint64_t;
+inline constexpr TxnId kNoTxn = 0;
+
+}  // namespace ode
+
+#endif  // ODE_OBJSTORE_OID_H_

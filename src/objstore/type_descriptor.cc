@@ -1,0 +1,52 @@
+#include "objstore/type_descriptor.h"
+
+namespace ode {
+
+const char* CouplingModeToString(CouplingMode mode) {
+  switch (mode) {
+    case CouplingMode::kImmediate:
+      return "immediate";
+    case CouplingMode::kDeferred:
+      return "end";
+    case CouplingMode::kDependent:
+      return "dependent";
+    case CouplingMode::kIndependent:
+      return "!dependent";
+  }
+  return "?";
+}
+
+bool TypeDescriptor::IsSubtypeOf(const TypeDescriptor* other) const {
+  for (const TypeDescriptor* t = this; t != nullptr; t = t->base_) {
+    if (t == other) return true;
+  }
+  return false;
+}
+
+std::vector<EventDecl> TypeDescriptor::AllEvents() const {
+  std::vector<EventDecl> out;
+  if (base_ != nullptr) out = base_->AllEvents();
+  out.insert(out.end(), events_.begin(), events_.end());
+  return out;
+}
+
+const EventDecl* TypeDescriptor::FindEvent(const std::string& name) const {
+  for (const EventDecl& e : events_) {
+    if (e.name == name) return &e;
+  }
+  return base_ != nullptr ? base_->FindEvent(name) : nullptr;
+}
+
+const TriggerInfo* TypeDescriptor::FindTrigger(
+    const std::string& name, const TypeDescriptor** defining_type) const {
+  for (const TriggerInfo& t : triggers_) {
+    if (t.name == name) {
+      if (defining_type != nullptr) *defining_type = this;
+      return &t;
+    }
+  }
+  return base_ != nullptr ? base_->FindTrigger(name, defining_type)
+                          : nullptr;
+}
+
+}  // namespace ode

@@ -1,0 +1,124 @@
+#ifndef ODE_OBJSTORE_TYPE_DESCRIPTOR_H_
+#define ODE_OBJSTORE_TYPE_DESCRIPTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "events/event_expr.h"
+#include "events/fsm.h"
+
+namespace ode {
+
+class MaskEvalContext;
+class TriggerFireContext;
+
+/// Kinds of basic events a class may declare (paper §5.2, §5.5). Member
+/// function events are posted automatically by the wrapper machinery; user
+/// events are posted explicitly; transaction events are posted by commit /
+/// abort processing to objects that touched the transaction.
+enum class EventKind : uint8_t {
+  kBeforeMember,
+  kAfterMember,
+  kUser,
+  kBeforeTComplete,
+  kBeforeTAbort,
+};
+
+/// One entry of a class's `event` declaration. `name` is the normalized
+/// spelling used in event expressions ("after Buy", "BigBuy",
+/// "before tcomplete"); `symbol` is the run-time interned integer
+/// (paper §5.2's eventRep).
+struct EventDecl {
+  EventKind kind;
+  std::string name;
+  Symbol symbol = 0;
+};
+
+/// ECA coupling modes (paper §4.2).
+enum class CouplingMode : uint8_t {
+  kImmediate,    // fire as soon as the composite event is detected
+  kDeferred,     // `end`: fire just before the detecting txn commits
+  kDependent,    // separate txn, commits only if the detecting txn does
+  kIndependent,  // `!dependent`: separate txn, no commit dependency
+};
+
+const char* CouplingModeToString(CouplingMode mode);
+
+/// Everything the runtime needs about one trigger of a class — the
+/// paper's TriggerInfo container (§5.4.4): the shared FSM, the action
+/// thunk, perpetual flag, and coupling mode, plus the mask predicates the
+/// FSM's mask states evaluate. Stored in the defining class's
+/// TypeDescriptor and shared by every activation.
+struct TriggerInfo {
+  std::string name;
+  uint32_t triggernum = 0;  // index within the defining class
+  ExprPtr expr;
+  bool anchored = false;
+  Fsm fsm;
+  CouplingMode coupling = CouplingMode::kImmediate;
+  bool perpetual = false;
+  /// Runs the trigger's action. The context exposes the anchor object,
+  /// the trigger parameters, and tabort.
+  std::function<Status(TriggerFireContext&)> action;
+  /// Mask predicates indexed by the mask ids used in the FSM.
+  std::vector<std::function<Result<bool>(MaskEvalContext&)>> masks;
+  std::unordered_map<std::string, int32_t> mask_ids;
+};
+
+/// Run-time type descriptor — the paper's compiler-generated `type_X`
+/// object (§5.2): class identity, base class, declared events, and the
+/// TriggerInfo array. Built once per process by schema registration
+/// (mirroring the paper's decision to recompile FSMs on every program
+/// start, §5.1.3); the per-database persistent metatype id is managed by
+/// Database::MetatypeId.
+class TypeDescriptor {
+ public:
+  TypeDescriptor(std::string name, const TypeDescriptor* base)
+      : name_(std::move(name)), base_(base) {}
+
+  TypeDescriptor(const TypeDescriptor&) = delete;
+  TypeDescriptor& operator=(const TypeDescriptor&) = delete;
+
+  const std::string& name() const { return name_; }
+  const TypeDescriptor* base() const { return base_; }
+
+  /// True if this class is `other` or derives (transitively) from it.
+  bool IsSubtypeOf(const TypeDescriptor* other) const;
+
+  void AddEvent(EventDecl decl) { events_.push_back(std::move(decl)); }
+  void AddTrigger(TriggerInfo info) { triggers_.push_back(std::move(info)); }
+
+  /// Events declared by this class only.
+  const std::vector<EventDecl>& own_events() const { return events_; }
+
+  /// Events visible to this class's triggers: its own plus all inherited
+  /// ones (base classes first). This set is the FSM alphabet source.
+  std::vector<EventDecl> AllEvents() const;
+
+  /// Finds an event by normalized name in this class or a base class.
+  const EventDecl* FindEvent(const std::string& name) const;
+
+  const std::vector<TriggerInfo>& triggers() const { return triggers_; }
+  std::vector<TriggerInfo>& mutable_triggers() { return triggers_; }
+
+  /// Finds a trigger by name in this class or a base class; sets
+  /// `defining_type` to the class that declared it.
+  const TriggerInfo* FindTrigger(const std::string& name,
+                                 const TypeDescriptor** defining_type) const;
+
+ private:
+  std::string name_;
+  const TypeDescriptor* base_;
+  std::vector<EventDecl> events_;
+  std::vector<TriggerInfo> triggers_;
+};
+
+}  // namespace ode
+
+#endif  // ODE_OBJSTORE_TYPE_DESCRIPTOR_H_

@@ -1,0 +1,210 @@
+#include "odepp/opp_loader.h"
+
+#include <cctype>
+
+namespace ode {
+
+namespace {
+
+/// Character-level scanner over the O++-style source, tracking line
+/// numbers for error messages and skipping `//` comments.
+class Scanner {
+ public:
+  explicit Scanner(const std::string& text) : text_(text) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '/' && pos_ + 1 < text_.size() &&
+                 text_[pos_ + 1] == '/') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+
+  char Peek() {
+    SkipSpace();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  bool Consume(char c) {
+    if (Peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  /// Reads an identifier (possibly prefixed with '!', for !dependent).
+  std::string Ident() {
+    SkipSpace();
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '!') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    return text_.substr(start, pos_ - start);
+  }
+
+  /// Raw text up to (not including) the delimiter string, trimmed.
+  Result<std::string> Until(const std::string& delimiter) {
+    SkipSpace();
+    size_t found = text_.find(delimiter, pos_);
+    if (found == std::string::npos) {
+      return Fail("expected '" + delimiter + "'");
+    }
+    std::string raw = text_.substr(pos_, found - pos_);
+    for (char c : raw) {
+      if (c == '\n') ++line_;
+    }
+    pos_ = found + delimiter.size();
+    size_t b = raw.find_first_not_of(" \t\n");
+    size_t e = raw.find_last_not_of(" \t\n");
+    if (b == std::string::npos) return Fail("empty segment");
+    return raw.substr(b, e - b + 1);
+  }
+
+  Status Fail(const std::string& what) const {
+    return Status::ParseError("opp schema line " + std::to_string(line_) +
+                              ": " + what);
+  }
+
+ private:
+  const std::string& text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+}  // namespace
+
+Status LoadOppSchema(const std::string& source, const OppBindings& bindings,
+                     Schema* schema) {
+  Scanner scan(source);
+  while (!scan.AtEnd()) {
+    // class header: ['persistent'] 'class' Name [':' ['public'] Base] '{'
+    std::string keyword = scan.Ident();
+    if (keyword == "persistent") keyword = scan.Ident();
+    if (keyword != "class") {
+      return scan.Fail("expected 'class', got '" + keyword + "'");
+    }
+    std::string class_name = scan.Ident();
+    if (class_name.empty()) return scan.Fail("expected class name");
+    std::string base_name;
+    if (scan.Consume(':')) {
+      base_name = scan.Ident();
+      if (base_name == "public") base_name = scan.Ident();
+      if (base_name.empty()) return scan.Fail("expected base class name");
+    }
+    if (!scan.Consume('{')) return scan.Fail("expected '{'");
+
+    auto binding = bindings.classes_.find(class_name);
+    if (binding == bindings.classes_.end()) {
+      return scan.Fail("class '" + class_name +
+                       "' has no C++ binding (OppBindings::Class)");
+    }
+    auto ops = binding->second.declare(schema, base_name);
+    if (!ops.ok()) return ops.status();
+
+    // members until '}'
+    while (!scan.Consume('}')) {
+      std::string member = scan.Ident();
+      if (member == "event") {
+        // eventdecl (',' eventdecl)* ';'
+        while (true) {
+          std::string first = scan.Ident();
+          if (first.empty()) return scan.Fail("expected event name");
+          std::string spec = first;
+          if (first == "before" || first == "after") {
+            std::string target = scan.Ident();
+            if (target.empty()) {
+              return scan.Fail("expected name after '" + first + "'");
+            }
+            spec = first + " " + target;
+          }
+          ops->add_event(spec);
+          if (scan.Consume(';')) break;
+          if (!scan.Consume(',')) {
+            return scan.Fail("expected ',' or ';' in event declaration");
+          }
+        }
+      } else if (member == "trigger") {
+        std::string trigger_name = scan.Ident();
+        if (trigger_name.empty()) return scan.Fail("expected trigger name");
+        if (scan.Consume('(')) {
+          if (!scan.Consume(')')) {
+            return scan.Fail("trigger parameter lists are bound in C++; "
+                             "write '()'");
+          }
+        }
+        if (!scan.Consume(':')) return scan.Fail("expected ':'");
+
+        // Optional mode keywords, then the event expression up to '==>'.
+        auto expr = scan.Until("==>");
+        if (!expr.ok()) return expr.status();
+        std::string expr_text = std::move(expr).value();
+        bool perpetual = false;
+        CouplingMode mode = CouplingMode::kImmediate;
+        bool more = true;
+        while (more) {
+          more = false;
+          auto strip = [&](const std::string& prefix) {
+            if (expr_text.rfind(prefix + " ", 0) == 0 ||
+                expr_text.rfind(prefix + "\t", 0) == 0) {
+              expr_text = expr_text.substr(prefix.size() + 1);
+              size_t b = expr_text.find_first_not_of(" \t\n");
+              expr_text = b == std::string::npos ? "" : expr_text.substr(b);
+              return true;
+            }
+            return false;
+          };
+          if (strip("perpetual")) {
+            perpetual = true;
+            more = true;
+          } else if (strip("end")) {
+            mode = CouplingMode::kDeferred;
+            more = true;
+          } else if (strip("!dependent")) {
+            mode = CouplingMode::kIndependent;
+            more = true;
+          } else if (strip("dependent")) {
+            mode = CouplingMode::kDependent;
+            more = true;
+          }
+        }
+        if (expr_text.empty()) return scan.Fail("empty event expression");
+
+        std::string action_name = scan.Ident();
+        if (action_name.empty()) {
+          return scan.Fail("expected action name after '==>'");
+        }
+        if (!scan.Consume(';')) return scan.Fail("expected ';'");
+        Status st = ops->add_trigger(trigger_name, expr_text, mode,
+                                     perpetual, action_name);
+        if (!st.ok()) {
+          return scan.Fail(st.message());
+        }
+      } else {
+        return scan.Fail("expected 'event', 'trigger', or '}', got '" +
+                         member + "'");
+      }
+    }
+    scan.Consume(';');  // optional trailing ';' after '}'
+  }
+  return Status::OK();
+}
+
+}  // namespace ode

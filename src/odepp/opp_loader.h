@@ -1,0 +1,232 @@
+#ifndef ODE_ODEPP_OPP_LOADER_H_
+#define ODE_ODEPP_OPP_LOADER_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "odepp/schema.h"
+
+namespace ode {
+
+namespace opp_internal {
+
+/// Type-erased handle to a declared class, used by the loader.
+struct ClassOps {
+  std::function<void(const std::string& spec)> add_event;
+  std::function<Status(const std::string& trigger_name,
+                       const std::string& expr_text, CouplingMode mode,
+                       bool perpetual, const std::string& action_name)>
+      add_trigger;
+};
+
+}  // namespace opp_internal
+
+/// A miniature O++ front end: class/event/trigger declarations are
+/// written in O++-flavored *text* and loaded into a Schema, with the
+/// parts that are C++ code in real O++ — mask predicates and trigger
+/// actions — bound by name through an OppBindings registry.
+///
+///   persistent class CredCard {
+///     event after Buy, after PayBill, BigBuy;
+///     trigger DenyCredit : perpetual
+///         after Buy & (currBal>credLim) ==> deny_credit;
+///     trigger AutoRaiseLimit :
+///         relative((after Buy & MoreCred()), after PayBill)
+///         ==> raise_limit;
+///   };
+///
+///   OppBindings bindings;
+///   bindings.Class<CredCard>("CredCard");
+///   bindings.Mask<CredCard>("CredCard", "(currBal>credLim)", ...);
+///   bindings.Action<CredCard>("CredCard", "deny_credit", ...);
+///   ...
+///   Schema schema;
+///   Status st = LoadOppSchema(source, bindings, &schema);
+///   st = schema.Freeze();
+///
+/// Coupling keywords before the event expression: optional `perpetual`,
+/// then optionally one of `end`, `dependent`, `!dependent` (immediate is
+/// the unannotated default, as in the paper's examples). `// comments`
+/// run to end of line. Method registration (for Invoke's event posting)
+/// still happens in C++ via bindings.Method, since member-function
+/// pointers cannot come from text.
+class OppBindings {
+ public:
+  OppBindings() = default;
+
+  OppBindings(const OppBindings&) = delete;
+  OppBindings& operator=(const OppBindings&) = delete;
+
+  /// Registers the C++ type implementing a class named in the source.
+  template <OdeSerializable T>
+  OppBindings& Class(const std::string& class_name);
+
+  /// As Class, for a class that derives (in both the source and C++)
+  /// from an already-bound base.
+  template <OdeSerializable T, typename Base>
+  OppBindings& Class(const std::string& class_name);
+
+  /// Binds a mask key as written in event expressions.
+  template <typename T>
+  OppBindings& Mask(const std::string& class_name, std::string key,
+                    std::function<Result<bool>(const T&, MaskEvalContext&)> fn);
+
+  /// Binds a trigger action name (the identifier after `==>`).
+  template <typename T>
+  OppBindings& Action(const std::string& class_name, std::string name,
+                      std::function<Status(T&, TriggerFireContext&)> fn);
+
+  /// Binds a member function so Invoke posts its before/after events.
+  template <typename T, typename R, typename... A>
+  OppBindings& Method(const std::string& class_name, std::string name,
+                      R (T::*fn)(A...));
+
+ private:
+  friend Status LoadOppSchema(const std::string& source,
+                              const OppBindings& bindings, Schema* schema);
+
+  struct ClassBinding {
+    // Declares the class (with its bound masks and methods) into the
+    // schema, given the base name the SOURCE specified ("" for none).
+    std::function<Result<opp_internal::ClassOps>(Schema*,
+                                                 const std::string& base)>
+        declare;
+  };
+
+  std::map<std::string, ClassBinding> classes_;
+  // Typed per-class mask/action/method registries (TypedBinding<T>).
+  std::map<std::string, std::shared_ptr<void>> typed_slots_;
+};
+
+/// Parses the O++-style source and populates `schema` (do not Freeze it
+/// beforehand). Unknown classes, action names, masks, and syntax errors
+/// are reported with line numbers.
+Status LoadOppSchema(const std::string& source, const OppBindings& bindings,
+                     Schema* schema);
+
+// ---------------------------------------------------------------- inline
+
+namespace opp_internal {
+
+/// Per-class typed registries the templates below fill in; stored via
+/// shared_ptr inside the declare closure.
+template <typename T>
+struct TypedBinding {
+  std::map<std::string,
+           std::function<Result<bool>(const T&, MaskEvalContext&)>>
+      masks;
+  std::map<std::string, std::function<Status(T&, TriggerFireContext&)>>
+      actions;
+  std::vector<std::function<void(ClassDef<T>&)>> methods;
+};
+
+template <typename T>
+ClassOps MakeOps(ClassDef<T> def,
+                 std::shared_ptr<TypedBinding<T>> typed) {
+  ClassOps ops;
+  // ClassDef is a thin (Schema*, record*) pair: copy it into the
+  // closures.
+  auto def_ptr = std::make_shared<ClassDef<T>>(def);
+  for (const auto& m : typed->methods) m(*def_ptr);
+  for (const auto& [key, fn] : typed->masks) def_ptr->Mask(key, fn);
+  ops.add_event = [def_ptr](const std::string& spec) {
+    def_ptr->Event(spec);
+  };
+  ops.add_trigger = [def_ptr, typed](const std::string& trigger_name,
+                                     const std::string& expr_text,
+                                     CouplingMode mode, bool perpetual,
+                                     const std::string& action_name) {
+    auto it = typed->actions.find(action_name);
+    if (it == typed->actions.end()) {
+      return Status::InvalidArgument("trigger " + trigger_name +
+                                     ": no bound action named '" +
+                                     action_name + "'");
+    }
+    def_ptr->Trigger(trigger_name, expr_text, it->second, mode, perpetual);
+    return Status::OK();
+  };
+  return ops;
+}
+
+}  // namespace opp_internal
+
+template <OdeSerializable T>
+OppBindings& OppBindings::Class(const std::string& class_name) {
+  auto typed = std::make_shared<opp_internal::TypedBinding<T>>();
+  ClassBinding binding;
+  binding.declare = [class_name, typed](
+                        Schema* schema,
+                        const std::string& base) -> Result<opp_internal::ClassOps> {
+    if (!base.empty()) {
+      return Status::InvalidArgument(
+          "class " + class_name +
+          " was bound without a base but the source declares one");
+    }
+    return opp_internal::MakeOps<T>(schema->DeclareClass<T>(class_name),
+                                    typed);
+  };
+  classes_[class_name] = std::move(binding);
+  // Remember the typed registry so Mask/Action/Method can find it: the
+  // declare closure holds it; Mask etc. re-derive it via the map below.
+  typed_slots_[class_name] = typed;
+  return *this;
+}
+
+template <OdeSerializable T, typename Base>
+OppBindings& OppBindings::Class(const std::string& class_name) {
+  auto typed = std::make_shared<opp_internal::TypedBinding<T>>();
+  ClassBinding binding;
+  binding.declare = [class_name, typed](
+                        Schema* schema,
+                        const std::string& base) -> Result<opp_internal::ClassOps> {
+    if (base.empty()) {
+      return Status::InvalidArgument("class " + class_name +
+                                     " was bound with a base but the "
+                                     "source declares none");
+    }
+    return opp_internal::MakeOps<T>(
+        schema->DeclareClass<T, Base>(class_name, base), typed);
+  };
+  classes_[class_name] = std::move(binding);
+  typed_slots_[class_name] = typed;
+  return *this;
+}
+
+template <typename T>
+OppBindings& OppBindings::Mask(
+    const std::string& class_name, std::string key,
+    std::function<Result<bool>(const T&, MaskEvalContext&)> fn) {
+  auto typed = std::static_pointer_cast<opp_internal::TypedBinding<T>>(
+      typed_slots_.at(class_name));
+  typed->masks[std::move(key)] = std::move(fn);
+  return *this;
+}
+
+template <typename T>
+OppBindings& OppBindings::Action(
+    const std::string& class_name, std::string name,
+    std::function<Status(T&, TriggerFireContext&)> fn) {
+  auto typed = std::static_pointer_cast<opp_internal::TypedBinding<T>>(
+      typed_slots_.at(class_name));
+  typed->actions[std::move(name)] = std::move(fn);
+  return *this;
+}
+
+template <typename T, typename R, typename... A>
+OppBindings& OppBindings::Method(const std::string& class_name,
+                                 std::string name, R (T::*fn)(A...)) {
+  auto typed = std::static_pointer_cast<opp_internal::TypedBinding<T>>(
+      typed_slots_.at(class_name));
+  typed->methods.push_back([name, fn](ClassDef<T>& def) {
+    def.Method(name, fn);
+  });
+  return *this;
+}
+
+}  // namespace ode
+
+#endif  // ODE_ODEPP_OPP_LOADER_H_

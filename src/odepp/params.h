@@ -1,0 +1,141 @@
+#ifndef ODE_ODEPP_PARAMS_H_
+#define ODE_ODEPP_PARAMS_H_
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/result.h"
+#include "objstore/oid.h"
+
+namespace ode {
+
+/// Trigger-activation parameters. In the paper, trigger arguments are
+/// stored persistently inside the per-trigger TriggerState subclass (e.g.
+/// CredCardAutoRaiseLimitStruct's `amount`); here they travel as an
+/// encoded tuple: PackParams at activation, UnpackParams inside masks and
+/// actions.
+///
+///   TriggerId id = *s.Activate(txn, card, "AutoRaiseLimit",
+///                              PackParams(1000.0f));
+///   ...
+///   auto [amount] = *UnpackParams<float>(ctx.params());
+
+namespace params_internal {
+
+inline void PutOne(Encoder& enc, bool v) { enc.PutBool(v); }
+inline void PutOne(Encoder& enc, int32_t v) { enc.PutI32(v); }
+inline void PutOne(Encoder& enc, uint32_t v) { enc.PutU32(v); }
+inline void PutOne(Encoder& enc, int64_t v) { enc.PutI64(v); }
+inline void PutOne(Encoder& enc, uint64_t v) { enc.PutU64(v); }
+inline void PutOne(Encoder& enc, float v) { enc.PutFloat(v); }
+inline void PutOne(Encoder& enc, double v) { enc.PutDouble(v); }
+inline void PutOne(Encoder& enc, const std::string& v) { enc.PutString(v); }
+inline void PutOne(Encoder& enc, const char* v) {
+  enc.PutString(std::string(v));
+}
+inline void PutOne(Encoder& enc, Oid v) { enc.PutU64(v.value()); }
+
+template <typename T>
+Result<T> GetOne(Decoder& dec);
+
+template <>
+inline Result<bool> GetOne<bool>(Decoder& dec) {
+  bool v;
+  ODE_RETURN_NOT_OK(dec.GetBool(&v));
+  return v;
+}
+template <>
+inline Result<int32_t> GetOne<int32_t>(Decoder& dec) {
+  int32_t v;
+  ODE_RETURN_NOT_OK(dec.GetI32(&v));
+  return v;
+}
+template <>
+inline Result<uint32_t> GetOne<uint32_t>(Decoder& dec) {
+  uint32_t v;
+  ODE_RETURN_NOT_OK(dec.GetU32(&v));
+  return v;
+}
+template <>
+inline Result<int64_t> GetOne<int64_t>(Decoder& dec) {
+  int64_t v;
+  ODE_RETURN_NOT_OK(dec.GetI64(&v));
+  return v;
+}
+template <>
+inline Result<uint64_t> GetOne<uint64_t>(Decoder& dec) {
+  uint64_t v;
+  ODE_RETURN_NOT_OK(dec.GetU64(&v));
+  return v;
+}
+template <>
+inline Result<float> GetOne<float>(Decoder& dec) {
+  float v;
+  ODE_RETURN_NOT_OK(dec.GetFloat(&v));
+  return v;
+}
+template <>
+inline Result<double> GetOne<double>(Decoder& dec) {
+  double v;
+  ODE_RETURN_NOT_OK(dec.GetDouble(&v));
+  return v;
+}
+template <>
+inline Result<std::string> GetOne<std::string>(Decoder& dec) {
+  std::string v;
+  ODE_RETURN_NOT_OK(dec.GetString(&v));
+  return v;
+}
+template <>
+inline Result<Oid> GetOne<Oid>(Decoder& dec) {
+  uint64_t v;
+  ODE_RETURN_NOT_OK(dec.GetU64(&v));
+  return Oid(v);
+}
+
+template <typename... Ts>
+Result<std::tuple<Ts...>> UnpackInto(Decoder& dec);
+
+template <typename T, typename... Rest>
+Result<std::tuple<T, Rest...>> UnpackHead(Decoder& dec) {
+  auto head = GetOne<T>(dec);
+  if (!head.ok()) return head.status();
+  auto tail = UnpackInto<Rest...>(dec);
+  if (!tail.ok()) return tail.status();
+  return std::tuple_cat(std::make_tuple(std::move(head).value()),
+                        std::move(tail).value());
+}
+
+template <typename... Ts>
+Result<std::tuple<Ts...>> UnpackInto(Decoder& dec) {
+  if constexpr (sizeof...(Ts) == 0) {
+    (void)dec;
+    return std::tuple<>();
+  } else {
+    return UnpackHead<Ts...>(dec);
+  }
+}
+
+}  // namespace params_internal
+
+/// Encodes trigger-activation arguments.
+template <typename... Ts>
+std::vector<char> PackParams(const Ts&... values) {
+  Encoder enc;
+  (params_internal::PutOne(enc, values), ...);
+  return enc.Release();
+}
+
+/// Decodes trigger-activation arguments (types must match PackParams).
+template <typename... Ts>
+Result<std::tuple<Ts...>> UnpackParams(Slice params) {
+  Decoder dec(params);
+  return params_internal::UnpackInto<Ts...>(dec);
+}
+
+}  // namespace ode
+
+#endif  // ODE_ODEPP_PARAMS_H_

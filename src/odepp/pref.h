@@ -1,0 +1,39 @@
+#ifndef ODE_ODEPP_PREF_H_
+#define ODE_ODEPP_PREF_H_
+
+#include "objstore/oid.h"
+
+namespace ode {
+
+/// A typed persistent pointer — the O++ `persistent T*`. It is only a
+/// typed Oid; all access goes through the Session, which plays the role
+/// of the compiler-generated wrapper functions (posting member-function
+/// events for invocations made through persistent pointers, §5.3).
+template <typename T>
+class PRef {
+ public:
+  PRef() = default;
+  explicit PRef(Oid oid) : oid_(oid) {}
+
+  Oid oid() const { return oid_; }
+  bool IsNull() const { return oid_.IsNull(); }
+
+  /// Upcast to a base-class reference (the object itself is unchanged;
+  /// the Session resolves the dynamic type from the stored image).
+  template <typename Base>
+  PRef<Base> As() const {
+    static_assert(std::is_base_of_v<Base, T>,
+                  "PRef::As target must be a base class");
+    return PRef<Base>(oid_);
+  }
+
+  friend bool operator==(PRef a, PRef b) { return a.oid_ == b.oid_; }
+  friend bool operator!=(PRef a, PRef b) { return a.oid_ != b.oid_; }
+
+ private:
+  Oid oid_;
+};
+
+}  // namespace ode
+
+#endif  // ODE_ODEPP_PREF_H_

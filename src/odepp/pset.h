@@ -1,0 +1,30 @@
+#ifndef ODE_ODEPP_PSET_H_
+#define ODE_ODEPP_PSET_H_
+
+#include "objstore/oid.h"
+
+namespace ode {
+
+/// Handle to a persistent set of T references — O++'s "facilities for
+/// defining and manipulating sets" (§2). The set is itself a persistent
+/// object; store its Oid in other objects to build object graphs.
+/// Operations live on Session (SetInsert, SetErase, SetContains,
+/// SetMembers, SetSize).
+template <typename T>
+class PSet {
+ public:
+  PSet() = default;
+  explicit PSet(Oid oid) : oid_(oid) {}
+
+  Oid oid() const { return oid_; }
+  bool IsNull() const { return oid_.IsNull(); }
+
+  friend bool operator==(PSet a, PSet b) { return a.oid_ == b.oid_; }
+
+ private:
+  Oid oid_;
+};
+
+}  // namespace ode
+
+#endif  // ODE_ODEPP_PSET_H_

@@ -1,0 +1,236 @@
+#include "odepp/schema.h"
+
+#include "common/logging.h"
+#include "events/event_parser.h"
+#include "trigger/event_registry.h"
+
+namespace ode {
+
+ClassRecord* Schema::AddRecord(std::string name, std::string base_name,
+                               const std::type_info& type) {
+  ODE_CHECK(!frozen_) << "DeclareClass after Freeze";
+  ODE_CHECK(by_name_.find(name) == by_name_.end())
+      << "class '" << name << "' declared twice";
+  auto rec = std::make_unique<ClassRecord>();
+  rec->name = std::move(name);
+  rec->base_name = std::move(base_name);
+  rec->type = &type;
+  ClassRecord* raw = rec.get();
+  by_name_[raw->name] = raw;
+  by_type_[std::type_index(type)] = raw;
+  records_.push_back(std::move(rec));
+  return raw;
+}
+
+const ClassRecord* Schema::RecordByName(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : it->second;
+}
+
+const ClassRecord* Schema::RecordByType(const std::type_info& type) const {
+  auto it = by_type_.find(std::type_index(type));
+  return it == by_type_.end() ? nullptr : it->second;
+}
+
+void* Schema::UpcastTo(void* self, const ClassRecord* from,
+                       const ClassRecord* to) {
+  const ClassRecord* r = from;
+  while (r != nullptr && r != to) {
+    ODE_CHECK(r->to_base != nullptr)
+        << "no upcast path from " << from->name << " to " << to->name;
+    self = r->to_base(self);
+    r = r->base;
+  }
+  ODE_CHECK(r == to) << "class " << from->name << " does not derive from "
+                     << to->name;
+  return self;
+}
+
+Result<Schema::Loaded> Schema::DecodeImage(Slice image) const {
+  Decoder dec(image);
+  std::string class_name;
+  ODE_RETURN_NOT_OK(dec.GetString(&class_name));
+  const ClassRecord* rec = RecordByName(class_name);
+  if (rec == nullptr) {
+    return Status::NotFound("stored object of unregistered class '" +
+                            class_name + "'");
+  }
+  auto object = rec->decode(dec);
+  if (!object.ok()) return object.status();
+  Loaded out;
+  out.object = std::move(object).value();
+  out.record = rec;
+  return out;
+}
+
+std::vector<char> Schema::EncodeImage(const ClassRecord* record,
+                                      const ErasedObject& object) {
+  Encoder enc;
+  enc.PutString(record->name);
+  object.EncodeTo(enc);
+  return enc.Release();
+}
+
+std::vector<const TypeDescriptor*> Schema::descriptors() const {
+  std::vector<const TypeDescriptor*> out;
+  out.reserve(records_.size());
+  for (const auto& rec : records_) {
+    if (rec->descriptor != nullptr) out.push_back(rec->descriptor.get());
+  }
+  return out;
+}
+
+std::string Schema::ToOppSource() const {
+  std::string out;
+  for (const auto& rec : records_) {
+    out += "persistent class " + rec->name;
+    if (!rec->base_name.empty()) out += " : public " + rec->base_name;
+    out += " {\n";
+    if (!rec->event_specs.empty()) {
+      out += "  event ";
+      for (size_t i = 0; i < rec->event_specs.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += rec->event_specs[i].name;
+      }
+      out += ";\n";
+    }
+    const std::vector<ClassRecord::TriggerSpec>& specs = rec->trigger_specs;
+    for (const ClassRecord::TriggerSpec& spec : specs) {
+      out += "  trigger " + spec.name + "() : ";
+      if (spec.perpetual) out += "perpetual ";
+      switch (spec.coupling) {
+        case CouplingMode::kImmediate:
+          break;  // the default mode is unannotated in O++
+        case CouplingMode::kDeferred:
+          out += "end ";
+          break;
+        case CouplingMode::kDependent:
+          out += "dependent ";
+          break;
+        case CouplingMode::kIndependent:
+          out += "!dependent ";
+          break;
+      }
+      out += spec.event_text + " ==> { ... };\n";
+    }
+    out += "};\n\n";
+  }
+  return out;
+}
+
+namespace {
+
+/// Finds a mask predicate by key in the class or its bases.
+const std::function<Result<bool>(MaskEvalContext&)>* FindMask(
+    const ClassRecord* rec, const std::string& key) {
+  for (const ClassRecord* r = rec; r != nullptr; r = r->base) {
+    for (const auto& [mask_key, fn] : r->masks) {
+      if (mask_key == key) return &fn;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Status Schema::Freeze() {
+  if (frozen_) return Status::Internal("schema already frozen");
+  EventRegistry& registry = EventRegistry::Global();
+
+  for (const auto& rec_ptr : records_) {
+    ClassRecord* rec = rec_ptr.get();
+
+    // Resolve the base class (must be declared earlier).
+    const TypeDescriptor* base_desc = nullptr;
+    if (!rec->base_name.empty()) {
+      auto it = by_name_.find(rec->base_name);
+      if (it == by_name_.end() || it->second->descriptor == nullptr) {
+        return Status::InvalidArgument(
+            "class " + rec->name + ": base '" + rec->base_name +
+            "' not declared before it");
+      }
+      rec->base = it->second;
+      base_desc = rec->base->descriptor.get();
+    }
+    rec->descriptor =
+        std::make_unique<TypeDescriptor>(rec->name, base_desc);
+
+    // Intern this class's declared events (the eventRep table of §5.2;
+    // events inherited from the base keep the base's symbols).
+    for (const ClassRecord::EventSpec& spec : rec->event_specs) {
+      for (const EventDecl& existing : rec->descriptor->own_events()) {
+        if (existing.name == spec.name) {
+          return Status::InvalidArgument("class " + rec->name +
+                                         ": event '" + spec.name +
+                                         "' declared twice");
+        }
+      }
+      EventDecl decl;
+      decl.kind = spec.kind;
+      decl.name = spec.name;
+      decl.symbol = registry.Intern(rec->name, spec.name);
+      rec->descriptor->AddEvent(std::move(decl));
+    }
+
+    // Compile each trigger's event expression into its FSM (§5.1).
+    uint32_t triggernum = 0;
+    for (const ClassRecord::TriggerSpec& spec : rec->trigger_specs) {
+      const TriggerInfo* dup =
+          rec->descriptor->FindTrigger(spec.name, nullptr);
+      if (dup != nullptr) {
+        return Status::InvalidArgument("class " + rec->name +
+                                       ": trigger '" + spec.name +
+                                       "' declared twice");
+      }
+      auto parsed = ParseEventExpr(spec.event_text);
+      if (!parsed.ok()) {
+        return Status::ParseError("trigger " + rec->name +
+                                  "::" + spec.name + ": " +
+                                  parsed.status().message());
+      }
+
+      CompileInput input;
+      input.expr = parsed.value().expr;
+      input.anchored = parsed.value().anchored;
+      for (const EventDecl& decl : rec->descriptor->AllEvents()) {
+        input.alphabet.push_back(decl.symbol);
+        input.event_symbols[decl.name] = decl.symbol;
+      }
+
+      TriggerInfo info;
+      info.name = spec.name;
+      info.triggernum = triggernum++;
+      info.expr = input.expr;
+      info.anchored = input.anchored;
+      info.coupling = spec.coupling;
+      info.perpetual = spec.perpetual;
+      info.action = spec.action;
+
+      for (const std::string& key : ReferencedMasks(input.expr)) {
+        const auto* fn = FindMask(rec, key);
+        if (fn == nullptr) {
+          return Status::InvalidArgument(
+              "trigger " + rec->name + "::" + spec.name +
+              " references unregistered mask '" + key + "'");
+        }
+        int32_t id = static_cast<int32_t>(info.masks.size());
+        input.mask_ids[key] = id;
+        info.mask_ids[key] = id;
+        info.masks.push_back(*fn);
+      }
+
+      auto fsm = CompileFsm(input);
+      if (!fsm.ok()) {
+        return Status(fsm.status().code(),
+                      "trigger " + rec->name + "::" + spec.name + ": " +
+                          fsm.status().message());
+      }
+      info.fsm = std::move(fsm).value();
+      rec->descriptor->AddTrigger(std::move(info));
+    }
+  }
+  frozen_ = true;
+  return Status::OK();
+}
+
+}  // namespace ode

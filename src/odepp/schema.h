@@ -1,0 +1,369 @@
+#ifndef ODE_ODEPP_SCHEMA_H_
+#define ODE_ODEPP_SCHEMA_H_
+
+#include <any>
+#include <functional>
+#include <memory>
+#include <string>
+#include <typeindex>
+#include <typeinfo>
+#include <unordered_map>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "objstore/type_descriptor.h"
+#include "trigger/trigger_manager.h"
+
+namespace ode {
+
+class Schema;
+
+/// Types storable in Ode must provide value serialization:
+///   void Encode(Encoder&) const;
+///   static Result<T> Decode(Decoder&);
+/// Derived classes must encode their base-class fields first (call
+/// Base::Encode at the start) so base-typed reads see a valid prefix.
+template <typename T>
+concept OdeSerializable = requires(const T& t, Encoder& enc, Decoder& dec) {
+  { t.Encode(enc) } -> std::same_as<void>;
+  { T::Decode(dec) } -> std::same_as<Result<T>>;
+};
+
+/// A decoded persistent object of some registered class, type-erased so
+/// base-class triggers can operate on derived objects without slicing.
+class ErasedObject {
+ public:
+  virtual ~ErasedObject() = default;
+  virtual void* self() = 0;
+  virtual const void* self() const = 0;
+  virtual void EncodeTo(Encoder& enc) const = 0;
+};
+
+namespace odepp_internal {
+
+template <OdeSerializable T>
+class TypedObject final : public ErasedObject {
+ public:
+  explicit TypedObject(T value) : value_(std::move(value)) {}
+  void* self() override { return &value_; }
+  const void* self() const override { return &value_; }
+  void EncodeTo(Encoder& enc) const override { value_.Encode(enc); }
+  T& value() { return value_; }
+
+ private:
+  T value_;
+};
+
+struct MethodEntry {
+  std::string name;
+  std::any pointer;  // the registered member-function pointer
+};
+
+}  // namespace odepp_internal
+
+/// Everything the Schema knows about one registered class. `descriptor`
+/// (the paper's type_X object) is built by Schema::Freeze from the
+/// recorded specs.
+struct ClassRecord {
+  struct EventSpec {
+    EventKind kind;
+    std::string name;  // normalized, e.g. "after Buy"
+  };
+  struct TriggerSpec {
+    std::string name;
+    std::string event_text;
+    CouplingMode coupling = CouplingMode::kImmediate;
+    bool perpetual = false;
+    std::function<Status(TriggerFireContext&)> action;
+  };
+
+  std::string name;
+  std::string base_name;  // "" for root classes
+  const std::type_info* type = nullptr;
+
+  /// Decodes an object payload (after the class-name header).
+  std::function<Result<std::unique_ptr<ErasedObject>>(Decoder&)> decode;
+  /// Adjusts a pointer to this class into a pointer to its direct base.
+  std::function<void*(void*)> to_base;
+
+  std::vector<odepp_internal::MethodEntry> methods;
+  std::vector<EventSpec> event_specs;
+  std::vector<TriggerSpec> trigger_specs;
+  /// Class-level mask predicates by key (e.g. "MoreCred()").
+  std::vector<std::pair<std::string,
+                        std::function<Result<bool>(MaskEvalContext&)>>>
+      masks;
+
+  // Filled by Freeze():
+  ClassRecord* base = nullptr;
+  std::unique_ptr<TypeDescriptor> descriptor;
+};
+
+template <typename T>
+class ClassDef;
+
+/// The application schema: the set of persistent classes with their
+/// events, masks, triggers, and methods. Declaring classes and then
+/// calling Freeze() plays the role of the O++ compiler: it interns basic
+/// events (§5.2), compiles every trigger's event expression to an FSM
+/// (§5.1), and builds the per-class type descriptors (§5.4.4) — all at
+/// program start, mirroring the paper's compile-the-FSM-every-run choice
+/// (§5.1.3).
+class Schema {
+ public:
+  Schema() = default;
+
+  Schema(const Schema&) = delete;
+  Schema& operator=(const Schema&) = delete;
+
+  /// Declares a root persistent class.
+  template <OdeSerializable T>
+  ClassDef<T> DeclareClass(std::string name);
+
+  /// Declares a class deriving from an already-declared base. `Base` must
+  /// be T's C++ base class; `base_name` its registered name.
+  template <OdeSerializable T, typename Base>
+  ClassDef<T> DeclareClass(std::string name, const std::string& base_name);
+
+  /// Compiles all declared triggers; required before opening a Session.
+  Status Freeze();
+  bool frozen() const { return frozen_; }
+
+  const ClassRecord* RecordByName(const std::string& name) const;
+  const ClassRecord* RecordByType(const std::type_info& type) const;
+
+  /// Pointer adjustment from a derived record to one of its bases.
+  static void* UpcastTo(void* self, const ClassRecord* from,
+                        const ClassRecord* to);
+
+  /// A decoded image together with its dynamic class.
+  struct Loaded {
+    std::unique_ptr<ErasedObject> object;
+    const ClassRecord* record = nullptr;
+  };
+
+  /// Decodes a stored image (class-name header + payload).
+  Result<Loaded> DecodeImage(Slice image) const;
+
+  /// Encodes an object with its class-name header.
+  static std::vector<char> EncodeImage(const ClassRecord* record,
+                                       const ErasedObject& object);
+
+  /// All type descriptors, for TriggerManager registration.
+  std::vector<const TypeDescriptor*> descriptors() const;
+
+  /// Renders the frozen schema in O++-style surface syntax — the class
+  /// declarations a paper reader would recognize (§2, §4). For
+  /// documentation and debugging.
+  std::string ToOppSource() const;
+
+ private:
+  template <typename T>
+  friend class ClassDef;
+
+  ClassRecord* AddRecord(std::string name, std::string base_name,
+                         const std::type_info& type);
+
+  std::vector<std::unique_ptr<ClassRecord>> records_;
+  std::unordered_map<std::string, ClassRecord*> by_name_;
+  std::unordered_map<std::type_index, ClassRecord*> by_type_;
+  bool frozen_ = false;
+};
+
+/// Fluent builder for one class's schema entry. All calls must happen
+/// before Schema::Freeze().
+template <typename T>
+class ClassDef {
+ public:
+  ClassDef(Schema* schema, ClassRecord* record)
+      : schema_(schema), record_(record) {}
+
+  /// Declares a basic event: "before F" / "after F" (member function
+  /// events), "before tcomplete" / "before tabort" (transaction events),
+  /// or any other identifier (a user-defined event).
+  ClassDef& Event(const std::string& spec);
+
+  /// Binds a member function to its event name so Session::Invoke can
+  /// post its before/after events (the WithPost wrapper of §5.3).
+  template <typename R, typename... A>
+  ClassDef& Method(std::string name, R (T::*fn)(A...)) {
+    record_->methods.push_back({std::move(name), std::any(fn)});
+    return *this;
+  }
+  template <typename R, typename... A>
+  ClassDef& Method(std::string name, R (T::*fn)(A...) const) {
+    record_->methods.push_back({std::move(name), std::any(fn)});
+    return *this;
+  }
+
+  /// Registers a mask predicate under its key as written in event
+  /// expressions (e.g. "MoreCred()" or "(currBal > 0.8*credLim)"). The
+  /// predicate sees the anchor object and the activation parameters.
+  ClassDef& Mask(std::string key,
+                 std::function<Result<bool>(const T&, MaskEvalContext&)> fn);
+
+  /// Declares a trigger: name, event expression (concrete syntax), the
+  /// action, and the coupling mode / perpetual flag (§4, §4.2).
+  ClassDef& Trigger(std::string name, std::string event_text,
+                    std::function<Status(T&, TriggerFireContext&)> action,
+                    CouplingMode coupling = CouplingMode::kImmediate,
+                    bool perpetual = false);
+
+  /// Declares an intra-object constraint as a special case of a trigger
+  /// (paper §8): `predicate` must hold whenever a transaction that
+  /// touched the object commits; a violation aborts the transaction.
+  /// Implemented as a perpetual trigger on `before tcomplete` masked by
+  /// the predicate's negation, whose action is tabort. Like any trigger
+  /// it must be activated per object (Activate/ActivateLocal).
+  ClassDef& Constraint(
+      const std::string& name,
+      std::function<Result<bool>(const T&, MaskEvalContext&)> predicate,
+      std::string message = "");
+
+ private:
+  Schema* schema_;
+  ClassRecord* record_;
+};
+
+// ---------------------------------------------------------------- inline
+
+template <OdeSerializable T>
+ClassDef<T> Schema::DeclareClass(std::string name) {
+  ClassRecord* rec = AddRecord(std::move(name), "", typeid(T));
+  rec->decode = [](Decoder& dec) -> Result<std::unique_ptr<ErasedObject>> {
+    auto value = T::Decode(dec);
+    if (!value.ok()) return value.status();
+    return std::unique_ptr<ErasedObject>(
+        new odepp_internal::TypedObject<T>(std::move(value).value()));
+  };
+  return ClassDef<T>(this, rec);
+}
+
+template <OdeSerializable T, typename Base>
+ClassDef<T> Schema::DeclareClass(std::string name,
+                                 const std::string& base_name) {
+  static_assert(std::is_base_of_v<Base, T>,
+                "Base must be a C++ base class of T");
+  ClassRecord* rec = AddRecord(std::move(name), base_name, typeid(T));
+  rec->decode = [](Decoder& dec) -> Result<std::unique_ptr<ErasedObject>> {
+    auto value = T::Decode(dec);
+    if (!value.ok()) return value.status();
+    return std::unique_ptr<ErasedObject>(
+        new odepp_internal::TypedObject<T>(std::move(value).value()));
+  };
+  rec->to_base = [](void* self) -> void* {
+    return static_cast<Base*>(static_cast<T*>(self));
+  };
+  return ClassDef<T>(this, rec);
+}
+
+template <typename T>
+ClassDef<T>& ClassDef<T>::Event(const std::string& spec) {
+  ClassRecord::EventSpec event;
+  event.name = spec;
+  if (spec == "before tcomplete") {
+    event.kind = EventKind::kBeforeTComplete;
+  } else if (spec == "before tabort") {
+    event.kind = EventKind::kBeforeTAbort;
+  } else if (spec.rfind("before ", 0) == 0) {
+    event.kind = EventKind::kBeforeMember;
+  } else if (spec.rfind("after ", 0) == 0) {
+    event.kind = EventKind::kAfterMember;
+  } else {
+    event.kind = EventKind::kUser;
+  }
+  record_->event_specs.push_back(std::move(event));
+  return *this;
+}
+
+template <typename T>
+ClassDef<T>& ClassDef<T>::Mask(
+    std::string key,
+    std::function<Result<bool>(const T&, MaskEvalContext&)> fn) {
+  Schema* schema = schema_;
+  const ClassRecord* defining = record_;
+  record_->masks.emplace_back(
+      std::move(key),
+      [schema, defining, fn = std::move(fn)](
+          MaskEvalContext& ctx) -> Result<bool> {
+        std::vector<char> image;
+        ODE_RETURN_NOT_OK(
+            ctx.db()->ReadObject(ctx.txn(), ctx.anchor(), &image));
+        ODE_ASSIGN_OR_RETURN(Schema::Loaded loaded,
+                             schema->DecodeImage(Slice(image)));
+        const T* obj = static_cast<const T*>(
+            Schema::UpcastTo(loaded.object->self(), loaded.record, defining));
+        return fn(*obj, ctx);
+      });
+  return *this;
+}
+
+template <typename T>
+ClassDef<T>& ClassDef<T>::Trigger(
+    std::string name, std::string event_text,
+    std::function<Status(T&, TriggerFireContext&)> action,
+    CouplingMode coupling, bool perpetual) {
+  Schema* schema = schema_;
+  const ClassRecord* defining = record_;
+  ClassRecord::TriggerSpec spec;
+  spec.name = std::move(name);
+  spec.event_text = std::move(event_text);
+  spec.coupling = coupling;
+  spec.perpetual = perpetual;
+  spec.action = [schema, defining, action = std::move(action)](
+                    TriggerFireContext& ctx) -> Status {
+    std::vector<char> image;
+    ODE_RETURN_NOT_OK(
+        ctx.db()->ReadObjectForUpdate(ctx.txn(), ctx.anchor(), &image));
+    ODE_ASSIGN_OR_RETURN(Schema::Loaded loaded,
+                         schema->DecodeImage(Slice(image)));
+    T* obj = static_cast<T*>(
+        Schema::UpcastTo(loaded.object->self(), loaded.record, defining));
+    ODE_RETURN_NOT_OK(action(*obj, ctx));
+    if (!ctx.txn()->abort_requested()) {
+      std::vector<char> updated =
+          Schema::EncodeImage(loaded.record, *loaded.object);
+      ODE_RETURN_NOT_OK(
+          ctx.db()->WriteObject(ctx.txn(), ctx.anchor(), Slice(updated)));
+    }
+    return Status::OK();
+  };
+  record_->trigger_specs.push_back(std::move(spec));
+  return *this;
+}
+
+template <typename T>
+ClassDef<T>& ClassDef<T>::Constraint(
+    const std::string& name,
+    std::function<Result<bool>(const T&, MaskEvalContext&)> predicate,
+    std::string message) {
+  // Ensure the class declares `before tcomplete` (idempotent).
+  bool declared = false;
+  for (const ClassRecord::EventSpec& spec : record_->event_specs) {
+    if (spec.name == "before tcomplete") declared = true;
+  }
+  if (!declared) Event("before tcomplete");
+
+  std::string mask_key = "__violated_" + name + "()";
+  Mask(mask_key,
+       [predicate = std::move(predicate)](
+           const T& obj, MaskEvalContext& ctx) -> Result<bool> {
+         auto holds = predicate(obj, ctx);
+         if (!holds.ok()) return holds.status();
+         return !holds.value();
+       });
+  if (message.empty()) message = "constraint " + name + " violated";
+  return Trigger(
+      name, "before tcomplete & " + mask_key,
+      [message = std::move(message)](T&, TriggerFireContext& ctx) -> Status {
+        ctx.Tabort(message);
+        return Status::OK();
+      },
+      CouplingMode::kImmediate, /*perpetual=*/true);
+}
+
+}  // namespace ode
+
+#endif  // ODE_ODEPP_SCHEMA_H_

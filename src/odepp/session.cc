@@ -1,0 +1,343 @@
+#include "odepp/session.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ode {
+
+Session::Session(std::unique_ptr<Database> db, Schema* schema,
+                 Options options)
+    : db_(std::move(db)), schema_(schema), options_(options) {
+  triggers_ = std::make_unique<TriggerManager>(db_.get(),
+                                               options.trigger_index_buckets);
+  for (const TypeDescriptor* type : schema_->descriptors()) {
+    triggers_->RegisterType(type);
+  }
+}
+
+Result<std::unique_ptr<Session>> Session::Open(StorageKind kind,
+                                               const std::string& path,
+                                               Schema* schema) {
+  return Open(kind, path, schema, Options());
+}
+
+Result<std::unique_ptr<Session>> Session::Open(StorageKind kind,
+                                               const std::string& path,
+                                               Schema* schema,
+                                               Options options) {
+  if (!schema->frozen()) {
+    return Status::InvalidArgument("schema must be frozen before Open");
+  }
+  ODE_ASSIGN_OR_RETURN(std::unique_ptr<Database> db,
+                       Database::Open(kind, path));
+  std::unique_ptr<Session> session(
+      new Session(std::move(db), schema, options));
+  ODE_RETURN_NOT_OK(session->WithTransaction([&](Transaction* txn) {
+    return session->triggers_->PrimeActiveCounts(txn);
+  }));
+  return session;
+}
+
+Result<std::unique_ptr<Session>> Session::OpenWith(
+    std::unique_ptr<StorageManager> store, Schema* schema, Options options) {
+  if (!schema->frozen()) {
+    return Status::InvalidArgument("schema must be frozen before Open");
+  }
+  ODE_ASSIGN_OR_RETURN(std::unique_ptr<Database> db,
+                       Database::OpenWith(std::move(store)));
+  std::unique_ptr<Session> session(
+      new Session(std::move(db), schema, options));
+  ODE_RETURN_NOT_OK(session->WithTransaction([&](Transaction* txn) {
+    return session->triggers_->PrimeActiveCounts(txn);
+  }));
+  return session;
+}
+
+Session::~Session() {
+  Status st = Close();
+  if (!st.ok()) {
+    ODE_LOG(kError) << "session close failed: " << st.ToString();
+  }
+}
+
+Status Session::Close() {
+  if (db_ == nullptr) return Status::OK();
+  Status st = db_->Close();
+  return st;
+}
+
+Result<Transaction*> Session::Begin() { return db_->txns()->Begin(); }
+
+Status Session::Commit(Transaction* txn) { return db_->txns()->Commit(txn); }
+
+Status Session::Abort(Transaction* txn) {
+  return db_->txns()->Abort(txn, /*explicit_request=*/true);
+}
+
+Status Session::WithTransaction(
+    const std::function<Status(Transaction*)>& fn) {
+  ODE_ASSIGN_OR_RETURN(Transaction * txn, Begin());
+  Status st = fn(txn);
+  if (st.ok()) return Commit(txn);
+  if (st.IsTransactionAborted()) return st;  // already rolled back
+  Status ast = Abort(txn);
+  if (!ast.ok()) {
+    ODE_LOG(kWarn) << "abort after failure also failed: " << ast.ToString();
+  }
+  return st;
+}
+
+Result<const ClassRecord*> Session::RecordFor(
+    const std::type_info& type) const {
+  const ClassRecord* rec = schema_->RecordByType(type);
+  if (rec == nullptr) {
+    return Status::InvalidArgument(std::string("type ") + type.name() +
+                                   " is not declared in the schema");
+  }
+  return rec;
+}
+
+Status Session::PostMemberEvent(Transaction* txn, Oid oid,
+                                const TypeDescriptor* type,
+                                const std::string& event_name,
+                                Slice event_args) {
+  const EventDecl* decl = type->FindEvent(event_name);
+  if (decl == nullptr) return Status::OK();  // event not declared: no post
+  return MaybeAutoAbort(
+      txn, triggers_->PostEvent(txn, oid, type, decl->symbol, event_args));
+}
+
+Result<const ClassRecord*> Session::CheckStoredType(Transaction* txn,
+                                                    Oid oid,
+                                                    const ClassRecord* rec) {
+  std::vector<char> image;
+  ODE_RETURN_NOT_OK(db_->ReadObject(txn, oid, &image));
+  Decoder dec(image);
+  std::string stored_class;
+  ODE_RETURN_NOT_OK(dec.GetString(&stored_class));
+  const ClassRecord* actual = schema_->RecordByName(stored_class);
+  if (actual == nullptr || !DerivesFrom(actual, rec)) {
+    return Status::InvalidArgument("object " + oid.ToString() +
+                                   " is not a " + rec->name);
+  }
+  return actual;
+}
+
+Status Session::MaybeAutoAbort(Transaction* txn, Status st) {
+  if (st.IsTransactionAborted() && txn->active() &&
+      !triggers_->InAction(txn)) {
+    Status ast = Abort(txn);
+    if (!ast.ok()) {
+      ODE_LOG(kWarn) << "tabort unwind: abort failed: " << ast.ToString();
+    }
+  }
+  return st;
+}
+
+Status Session::Deactivate(Transaction* txn, TriggerId id) {
+  return triggers_->Deactivate(txn, id);
+}
+
+Status Session::DeactivateLocal(Transaction* txn, uint64_t local_id) {
+  return triggers_->DeactivateLocal(txn, local_id);
+}
+
+// ------------------------------------------------------ persistent sets
+
+namespace {
+
+constexpr const char* kSetHeader = "__pset";
+
+Result<std::vector<Oid>> DecodeSet(Slice image) {
+  Decoder dec(image);
+  std::string header;
+  ODE_RETURN_NOT_OK(dec.GetString(&header));
+  if (header != kSetHeader) {
+    return Status::InvalidArgument("object is not a persistent set");
+  }
+  uint64_t n;
+  ODE_RETURN_NOT_OK(dec.GetVarint(&n));
+  if (n * 8 > dec.remaining()) {
+    return Status::Corruption("persistent set: bad member count");
+  }
+  std::vector<Oid> members;
+  members.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t oid;
+    ODE_RETURN_NOT_OK(dec.GetU64(&oid));
+    members.push_back(Oid(oid));
+  }
+  return members;
+}
+
+std::vector<char> EncodeSet(const std::vector<Oid>& members) {
+  Encoder enc;
+  enc.PutString(kSetHeader);
+  enc.PutVarint(members.size());
+  for (Oid m : members) enc.PutU64(m.value());
+  return enc.Release();
+}
+
+}  // namespace
+
+Result<Oid> Session::NewSetImpl(Transaction* txn) {
+  return db_->NewObject(txn, Slice(EncodeSet({})));
+}
+
+Status Session::SetInsertImpl(Transaction* txn, Oid set, Oid member) {
+  std::vector<char> image;
+  ODE_RETURN_NOT_OK(db_->ReadObjectForUpdate(txn, set, &image));
+  ODE_ASSIGN_OR_RETURN(std::vector<Oid> members, DecodeSet(Slice(image)));
+  auto it = std::lower_bound(members.begin(), members.end(), member);
+  if (it != members.end() && *it == member) {
+    return Status::AlreadyExists("already a set member");
+  }
+  members.insert(it, member);
+  return db_->WriteObject(txn, set, Slice(EncodeSet(members)));
+}
+
+Status Session::SetEraseImpl(Transaction* txn, Oid set, Oid member) {
+  std::vector<char> image;
+  ODE_RETURN_NOT_OK(db_->ReadObjectForUpdate(txn, set, &image));
+  ODE_ASSIGN_OR_RETURN(std::vector<Oid> members, DecodeSet(Slice(image)));
+  auto it = std::lower_bound(members.begin(), members.end(), member);
+  if (it == members.end() || *it != member) {
+    return Status::NotFound("not a set member");
+  }
+  members.erase(it);
+  return db_->WriteObject(txn, set, Slice(EncodeSet(members)));
+}
+
+Result<bool> Session::SetContainsImpl(Transaction* txn, Oid set,
+                                      Oid member) {
+  std::vector<char> image;
+  ODE_RETURN_NOT_OK(db_->ReadObject(txn, set, &image));
+  ODE_ASSIGN_OR_RETURN(std::vector<Oid> members, DecodeSet(Slice(image)));
+  return std::binary_search(members.begin(), members.end(), member);
+}
+
+Result<std::vector<Oid>> Session::SetMembersImpl(Transaction* txn,
+                                                 Oid set) {
+  std::vector<char> image;
+  ODE_RETURN_NOT_OK(db_->ReadObject(txn, set, &image));
+  return DecodeSet(Slice(image));
+}
+
+// ------------------------------------------------------- timed triggers
+
+namespace {
+constexpr const char* kTimerRoot = "ode.timers";
+}  // namespace
+
+Result<Session::TimerState> Session::LoadTimers(Transaction* txn,
+                                                Oid* holder) {
+  TimerState state;
+  auto root = db_->GetRoot(txn, kTimerRoot);
+  if (!root.ok()) {
+    if (root.status().IsNotFound()) {
+      *holder = Oid::Null();
+      return state;
+    }
+    return root.status();
+  }
+  *holder = root.value();
+  std::vector<char> image;
+  ODE_RETURN_NOT_OK(db_->ReadObjectForUpdate(txn, *holder, &image));
+  Decoder dec(image);
+  ODE_RETURN_NOT_OK(dec.GetI64(&state.now));
+  uint64_t n;
+  ODE_RETURN_NOT_OK(dec.GetVarint(&n));
+  if (n * 17 > dec.remaining()) {
+    return Status::Corruption("timer schedule: bad entry count");
+  }
+  state.entries.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    TimerEntry entry;
+    uint64_t oid;
+    ODE_RETURN_NOT_OK(dec.GetI64(&entry.time));
+    ODE_RETURN_NOT_OK(dec.GetU64(&oid));
+    entry.obj = Oid(oid);
+    ODE_RETURN_NOT_OK(dec.GetString(&entry.event_name));
+    state.entries.push_back(std::move(entry));
+  }
+  return state;
+}
+
+Status Session::StoreTimers(Transaction* txn, Oid holder,
+                            const TimerState& state) {
+  Encoder enc;
+  enc.PutI64(state.now);
+  enc.PutVarint(state.entries.size());
+  for (const TimerEntry& entry : state.entries) {
+    enc.PutI64(entry.time);
+    enc.PutU64(entry.obj.value());
+    enc.PutString(entry.event_name);
+  }
+  if (holder.IsNull()) {
+    ODE_ASSIGN_OR_RETURN(Oid oid, db_->NewObject(txn, Slice(enc.buffer())));
+    return db_->SetRoot(txn, kTimerRoot, oid);
+  }
+  return db_->WriteObject(txn, holder, Slice(enc.buffer()));
+}
+
+Result<int64_t> Session::Now(Transaction* txn) {
+  Oid holder;
+  ODE_ASSIGN_OR_RETURN(TimerState state, LoadTimers(txn, &holder));
+  return state.now;
+}
+
+Status Session::ScheduleUserEventImpl(Transaction* txn, Oid obj,
+                                      const std::string& event_name,
+                                      int64_t at) {
+  Oid holder;
+  ODE_ASSIGN_OR_RETURN(TimerState state, LoadTimers(txn, &holder));
+  if (at <= state.now) {
+    return Status::InvalidArgument(
+        "scheduled time " + std::to_string(at) + " is not after now (" +
+        std::to_string(state.now) + ")");
+  }
+  state.entries.push_back(TimerEntry{at, obj, event_name});
+  return StoreTimers(txn, holder, state);
+}
+
+Status Session::AdvanceTime(Transaction* txn, int64_t to) {
+  Oid holder;
+  ODE_ASSIGN_OR_RETURN(TimerState state, LoadTimers(txn, &holder));
+  if (to < state.now) {
+    return Status::InvalidArgument("logical time cannot go backwards");
+  }
+  // Split into due and future, processing due events in time order.
+  std::vector<TimerEntry> due, future;
+  for (TimerEntry& entry : state.entries) {
+    (entry.time <= to ? due : future).push_back(std::move(entry));
+  }
+  std::stable_sort(due.begin(), due.end(),
+                   [](const TimerEntry& a, const TimerEntry& b) {
+                     return a.time < b.time;
+                   });
+  state.entries = std::move(future);
+  state.now = to;
+  ODE_RETURN_NOT_OK(StoreTimers(txn, holder, state));
+
+  for (const TimerEntry& entry : due) {
+    if (!db_->ObjectExists(txn, entry.obj)) continue;  // pdeleted since
+    std::vector<char> image;
+    ODE_RETURN_NOT_OK(db_->ReadObject(txn, entry.obj, &image));
+    auto loaded = schema_->DecodeImage(Slice(image));
+    if (!loaded.ok()) return loaded.status();
+    const TypeDescriptor* type = loaded->record->descriptor.get();
+    const EventDecl* decl = type->FindEvent(entry.event_name);
+    if (decl == nullptr) continue;  // event no longer declared
+    triggers_->NoteAccess(txn, entry.obj, type);
+    ODE_RETURN_NOT_OK(MaybeAutoAbort(
+        txn, triggers_->PostEvent(txn, entry.obj, type, decl->symbol)));
+  }
+  return Status::OK();
+}
+
+bool Session::IsTriggerActive(Transaction* txn, TriggerId id) {
+  return triggers_->IsActive(txn, id);
+}
+
+}  // namespace ode

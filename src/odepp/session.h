@@ -1,0 +1,669 @@
+#ifndef ODE_ODEPP_SESSION_H_
+#define ODE_ODEPP_SESSION_H_
+
+#include <memory>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "objstore/database.h"
+#include "odepp/params.h"
+#include "odepp/pref.h"
+#include "odepp/pset.h"
+#include "odepp/schema.h"
+#include "trigger/trigger_manager.h"
+
+namespace ode {
+
+/// Argument types whose values can travel to masks as event attributes
+/// (paper §8 future work). Non-packable arguments simply produce empty
+/// event_args; the method call itself is unaffected.
+template <typename T>
+concept PackableParam = requires(Encoder& enc, const T& value) {
+  params_internal::PutOne(enc, value);
+};
+
+/// The application-facing handle to an Ode database: transactions, typed
+/// persistent objects, member-function invocation with event posting, and
+/// trigger activation. One Session corresponds to one running O++ program
+/// connected to one database.
+///
+/// Session::Invoke is this library's equivalent of the O++ compiler's
+/// *WithPost wrapper functions (§5.3): it loads the object, posts the
+/// declared `before` event, calls the member function, stores the object
+/// back, and posts the `after` event. Plain C++ calls on volatile objects
+/// never touch this machinery, preserving design goals 3–4 (volatile
+/// objects pay nothing for triggers).
+///
+/// Transaction lifetime: if a trigger action executes tabort, the whole
+/// transaction is rolled back and the triggering call returns
+/// kTransactionAborted — the Transaction* is dead at that point and must
+/// not be used again.
+class Session {
+ public:
+  struct Options {
+    /// Automatically add each new object to a cluster named after its
+    /// class (enables Session::Cluster iteration). Benchmarks that
+    /// allocate many objects may turn this off.
+    bool auto_cluster = true;
+    /// Bucket fanout of the persistent object->triggers index when first
+    /// created in a database (see bench_ablation).
+    size_t trigger_index_buckets = 64;
+  };
+
+  /// Opens a database using the given (frozen) schema.
+  static Result<std::unique_ptr<Session>> Open(StorageKind kind,
+                                               const std::string& path,
+                                               Schema* schema);
+  static Result<std::unique_ptr<Session>> Open(StorageKind kind,
+                                               const std::string& path,
+                                               Schema* schema,
+                                               Options options);
+
+  /// As Open, with a caller-constructed storage manager.
+  static Result<std::unique_ptr<Session>> OpenWith(
+      std::unique_ptr<StorageManager> store, Schema* schema,
+      Options options);
+
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  Status Close();
+
+  Database* db() { return db_.get(); }
+  TriggerManager* triggers() { return triggers_.get(); }
+  Schema* schema() { return schema_; }
+
+  // --- transactions ---
+
+  Result<Transaction*> Begin();
+  /// May return kTransactionAborted if a deferred trigger aborted the
+  /// transaction during commit processing.
+  Status Commit(Transaction* txn);
+  /// The O++ tabort: rolls back and posts `before tabort` events.
+  Status Abort(Transaction* txn);
+
+  /// Convenience: Begin, run `fn`, Commit on OK / Abort on error. If `fn`
+  /// returns kTransactionAborted the transaction was already rolled back.
+  Status WithTransaction(const std::function<Status(Transaction*)>& fn);
+
+  // --- typed persistent objects ---
+
+  /// pnew: creates a persistent object.
+  template <OdeSerializable T>
+  Result<PRef<T>> New(Transaction* txn, const T& value);
+
+  /// Reads the object's value. If the stored object is of a derived
+  /// class, the base-class view is returned.
+  template <OdeSerializable T>
+  Result<T> Load(Transaction* txn, PRef<T> ref);
+
+  /// Overwrites the object. Rejected (to prevent slicing) if the stored
+  /// object's dynamic class is not exactly T.
+  template <OdeSerializable T>
+  Status Store(Transaction* txn, PRef<T> ref, const T& value);
+
+  /// pdelete: frees the object and deactivates its remaining triggers.
+  template <OdeSerializable T>
+  Status Free(Transaction* txn, PRef<T> ref);
+
+  /// Calls a registered member function through a persistent ref,
+  /// posting its declared before/after events (§5.3). Returns Result<R>
+  /// (or Status for void methods); kTransactionAborted means a fired
+  /// trigger aborted the transaction.
+  template <typename Obj, typename T, typename R, typename... A,
+            typename... Args>
+  auto Invoke(Transaction* txn, PRef<Obj> ref, R (T::*fn)(A...),
+              Args&&... args)
+      -> std::conditional_t<std::is_void_v<R>, Status, Result<R>>;
+
+  /// Const-method variant: shared lock, no store-back.
+  template <typename Obj, typename T, typename R, typename... A,
+            typename... Args>
+  auto Invoke(Transaction* txn, PRef<Obj> ref, R (T::*fn)(A...) const,
+              Args&&... args)
+      -> std::conditional_t<std::is_void_v<R>, Status, Result<R>>;
+
+  // --- events and triggers ---
+
+  /// Posts a user-defined event (declared with ClassDef::Event) to the
+  /// object. The paper: "user-defined events must be explicitly posted
+  /// by the application."
+  template <typename T>
+  Status PostUserEvent(Transaction* txn, PRef<T> ref,
+                       const std::string& event_name);
+
+  /// Activates a trigger on an object; `params` from PackParams.
+  template <typename T>
+  Result<TriggerId> Activate(Transaction* txn, PRef<T> ref,
+                             const std::string& trigger_name,
+                             std::vector<char> params = {});
+
+  /// Inter-object trigger (§8): one machine fed by the events of all the
+  /// given objects; the first is the primary anchor typed actions see.
+  template <typename T>
+  Result<TriggerId> ActivateGroup(Transaction* txn,
+                                  const std::vector<PRef<T>>& refs,
+                                  const std::string& trigger_name,
+                                  std::vector<char> params = {});
+
+  /// Transient "local rule" (§8): lives only in this transaction, needs
+  /// no persistent storage and no write locks, and is deallocated at end
+  /// of transaction.
+  template <typename T>
+  Result<uint64_t> ActivateLocal(Transaction* txn, PRef<T> ref,
+                                 const std::string& trigger_name,
+                                 std::vector<char> params = {});
+
+  Status DeactivateLocal(Transaction* txn, uint64_t local_id);
+
+  Status Deactivate(Transaction* txn, TriggerId id);
+  bool IsTriggerActive(Transaction* txn, TriggerId id);
+
+  // --- timed triggers (§8 future work: "the passage of time can be
+  // used to produce events") ---
+  //
+  // The session keeps a persistent logical clock and schedule. A
+  // scheduled user event is posted to its object when AdvanceTime moves
+  // the clock past its due time; trigger machinery then runs normally.
+
+  /// Current logical time (0 in a fresh database).
+  Result<int64_t> Now(Transaction* txn);
+
+  /// Schedules `event_name` (a declared user event of the object's
+  /// class) to be posted at logical time `at`.
+  template <typename T>
+  Status ScheduleUserEvent(Transaction* txn, PRef<T> ref,
+                           const std::string& event_name, int64_t at);
+
+  /// Advances the clock to `to`, posting every due scheduled event in
+  /// time order. Fired triggers run in this transaction.
+  Status AdvanceTime(Transaction* txn, int64_t to);
+
+  /// All members of class T's extent cluster (objects created while
+  /// auto_cluster was on).
+  template <typename T>
+  Result<std::vector<PRef<T>>> Cluster(Transaction* txn);
+
+  /// Iterates class T's cluster, returning the refs whose loaded values
+  /// satisfy `predicate` — the O++ "for x in Cluster suchthat(...)" idiom.
+  template <typename T>
+  Result<std::vector<PRef<T>>> Select(
+      Transaction* txn, const std::function<bool(const T&)>& predicate);
+
+  // --- persistent sets (O++ §2: "defining and manipulating sets") ---
+
+  template <typename T>
+  Result<PSet<T>> NewSet(Transaction* txn);
+
+  /// Adds a member; kAlreadyExists if present.
+  template <typename T>
+  Status SetInsert(Transaction* txn, PSet<T> set, PRef<T> member);
+
+  /// Removes a member; kNotFound if absent.
+  template <typename T>
+  Status SetErase(Transaction* txn, PSet<T> set, PRef<T> member);
+
+  template <typename T>
+  Result<bool> SetContains(Transaction* txn, PSet<T> set, PRef<T> member);
+
+  template <typename T>
+  Result<std::vector<PRef<T>>> SetMembers(Transaction* txn, PSet<T> set);
+
+  template <typename T>
+  Result<uint64_t> SetSize(Transaction* txn, PSet<T> set);
+
+  // --- versioned objects (O++ §2: "persistent and versioned objects") ---
+
+  /// Creates a new version of the object: a fresh persistent object
+  /// initialized with the current value and linked to its parent. The
+  /// base version is unchanged (and keeps its triggers); the new version
+  /// starts with none.
+  template <OdeSerializable T>
+  Result<PRef<T>> NewVersion(Transaction* txn, PRef<T> base);
+
+  /// The chain ref, parent, grandparent, ... (oldest last).
+  template <typename T>
+  Result<std::vector<PRef<T>>> VersionChain(Transaction* txn, PRef<T> ref);
+
+ private:
+  Session(std::unique_ptr<Database> db, Schema* schema, Options options);
+
+  Result<const ClassRecord*> RecordFor(const std::type_info& type) const;
+
+  /// Posts a before/after member event if declared; on tabort from an
+  /// immediate trigger, auto-aborts the transaction when not nested
+  /// inside another trigger action.
+  Status PostMemberEvent(Transaction* txn, Oid oid,
+                         const TypeDescriptor* type,
+                         const std::string& event_name, Slice event_args);
+
+  /// Wraps a status: on kTransactionAborted at the outermost level,
+  /// aborts the transaction (the O++ tabort unwind).
+  Status MaybeAutoAbort(Transaction* txn, Status st);
+
+  /// Reads the stored class name of an object and checks it is `rec` or
+  /// a subtype; returns the actual record.
+  Result<const ClassRecord*> CheckStoredType(Transaction* txn, Oid oid,
+                                             const ClassRecord* rec);
+
+  // Untyped set plumbing (typed wrappers below).
+  Result<Oid> NewSetImpl(Transaction* txn);
+  Status SetInsertImpl(Transaction* txn, Oid set, Oid member);
+  Status SetEraseImpl(Transaction* txn, Oid set, Oid member);
+  Result<bool> SetContainsImpl(Transaction* txn, Oid set, Oid member);
+  Result<std::vector<Oid>> SetMembersImpl(Transaction* txn, Oid set);
+
+  struct TimerEntry {
+    int64_t time = 0;
+    Oid obj;
+    std::string event_name;
+  };
+  struct TimerState {
+    int64_t now = 0;
+    std::vector<TimerEntry> entries;
+  };
+  Result<TimerState> LoadTimers(Transaction* txn, Oid* holder);
+  Status StoreTimers(Transaction* txn, Oid holder, const TimerState& state);
+  Status ScheduleUserEventImpl(Transaction* txn, Oid obj,
+                               const std::string& event_name, int64_t at);
+
+  template <typename MF>
+  static std::string FindMethodName(const ClassRecord* rec, MF fn) {
+    for (const ClassRecord* r = rec; r != nullptr; r = r->base) {
+      for (const auto& entry : r->methods) {
+        if (const MF* p = std::any_cast<MF>(&entry.pointer);
+            p != nullptr && *p == fn) {
+          return entry.name;
+        }
+      }
+    }
+    return "";
+  }
+
+  static bool DerivesFrom(const ClassRecord* from, const ClassRecord* to) {
+    for (const ClassRecord* r = from; r != nullptr; r = r->base) {
+      if (r == to) return true;
+    }
+    return false;
+  }
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<TriggerManager> triggers_;
+  Schema* schema_;
+  Options options_;
+};
+
+// ---------------------------------------------------------------- inline
+
+template <OdeSerializable T>
+Result<PRef<T>> Session::New(Transaction* txn, const T& value) {
+  ODE_ASSIGN_OR_RETURN(const ClassRecord* rec, RecordFor(typeid(T)));
+  Encoder enc;
+  enc.PutString(rec->name);
+  value.Encode(enc);
+  ODE_ASSIGN_OR_RETURN(Oid oid, db_->NewObject(txn, Slice(enc.buffer())));
+  triggers_->NoteAccess(txn, oid, rec->descriptor.get());
+  if (options_.auto_cluster) {
+    ODE_RETURN_NOT_OK(db_->AddToCluster(txn, rec->name, oid));
+  }
+  return PRef<T>(oid);
+}
+
+template <OdeSerializable T>
+Result<T> Session::Load(Transaction* txn, PRef<T> ref) {
+  ODE_ASSIGN_OR_RETURN(const ClassRecord* rec, RecordFor(typeid(T)));
+  std::vector<char> image;
+  ODE_RETURN_NOT_OK(db_->ReadObject(txn, ref.oid(), &image));
+  ODE_ASSIGN_OR_RETURN(Schema::Loaded loaded,
+                       schema_->DecodeImage(Slice(image)));
+  if (!DerivesFrom(loaded.record, rec)) {
+    return Status::InvalidArgument("object " + ref.oid().ToString() +
+                                   " is a " + loaded.record->name +
+                                   ", not a " + rec->name);
+  }
+  triggers_->NoteAccess(txn, ref.oid(), loaded.record->descriptor.get());
+  const T* view = static_cast<const T*>(
+      Schema::UpcastTo(loaded.object->self(), loaded.record, rec));
+  return T(*view);
+}
+
+template <OdeSerializable T>
+Status Session::Store(Transaction* txn, PRef<T> ref, const T& value) {
+  ODE_ASSIGN_OR_RETURN(const ClassRecord* rec, RecordFor(typeid(T)));
+  std::vector<char> image;
+  ODE_RETURN_NOT_OK(db_->ReadObjectForUpdate(txn, ref.oid(), &image));
+  Decoder dec(image);
+  std::string stored_class;
+  ODE_RETURN_NOT_OK(dec.GetString(&stored_class));
+  if (stored_class != rec->name) {
+    return Status::InvalidArgument(
+        "store through " + rec->name + "-typed ref would slice a stored " +
+        stored_class + " object; use Invoke or the exact type");
+  }
+  triggers_->NoteAccess(txn, ref.oid(), rec->descriptor.get());
+  Encoder enc;
+  enc.PutString(rec->name);
+  value.Encode(enc);
+  return db_->WriteObject(txn, ref.oid(), Slice(enc.buffer()));
+}
+
+template <OdeSerializable T>
+Status Session::Free(Transaction* txn, PRef<T> ref) {
+  ODE_ASSIGN_OR_RETURN(const ClassRecord* rec, RecordFor(typeid(T)));
+  std::vector<char> image;
+  ODE_RETURN_NOT_OK(db_->ReadObjectForUpdate(txn, ref.oid(), &image));
+  Decoder dec(image);
+  std::string stored_class;
+  ODE_RETURN_NOT_OK(dec.GetString(&stored_class));
+  const ClassRecord* actual = schema_->RecordByName(stored_class);
+  if (actual == nullptr || !DerivesFrom(actual, rec)) {
+    return Status::InvalidArgument("object is not a " + rec->name);
+  }
+  if (options_.auto_cluster) {
+    ODE_RETURN_NOT_OK(db_->RemoveFromCluster(txn, actual->name, ref.oid()));
+  }
+  // Deactivate any triggers still anchored at the object.
+  if (triggers_->ActiveCount(txn, ref.oid()) > 0) {
+    ODE_RETURN_NOT_OK(triggers_->DeactivateAll(txn, ref.oid()));
+  }
+  return db_->FreeObject(txn, ref.oid());
+}
+
+template <typename Obj, typename T, typename R, typename... A,
+          typename... Args>
+auto Session::Invoke(Transaction* txn, PRef<Obj> ref, R (T::*fn)(A...),
+                     Args&&... args)
+    -> std::conditional_t<std::is_void_v<R>, Status, Result<R>> {
+  static_assert(std::is_base_of_v<T, Obj>,
+                "method's class must be Obj or one of its bases");
+  using Ret = std::conditional_t<std::is_void_v<R>, Status, Result<R>>;
+  auto rec_result = RecordFor(typeid(T));
+  if (!rec_result.ok()) return Ret(rec_result.status());
+  const ClassRecord* rec = rec_result.value();
+  std::string method = FindMethodName(rec, fn);
+
+  std::vector<char> image;
+  Status st = db_->ReadObjectForUpdate(txn, ref.oid(), &image);
+  if (!st.ok()) return Ret(st);
+  auto loaded_result = schema_->DecodeImage(Slice(image));
+  if (!loaded_result.ok()) return Ret(loaded_result.status());
+  Schema::Loaded loaded = std::move(loaded_result).value();
+  if (!DerivesFrom(loaded.record, rec)) {
+    return Ret(Status::InvalidArgument("object is not a " + rec->name));
+  }
+  const TypeDescriptor* type = loaded.record->descriptor.get();
+  triggers_->NoteAccess(txn, ref.oid(), type);
+
+  // Event attributes (§8): forward encodable invocation arguments so
+  // masks can inspect them.
+  std::vector<char> event_args;
+  if constexpr ((PackableParam<std::decay_t<Args>> && ...)) {
+    event_args = PackParams(args...);
+  }
+
+  if (!method.empty() &&
+      type->FindEvent("before " + method) != nullptr) {
+    st = PostMemberEvent(txn, ref.oid(), type, "before " + method,
+                         Slice(event_args));
+    if (!st.ok()) return Ret(st);
+    // A trigger fired by the before event may have modified the object;
+    // reload so the call and the store-back see its writes.
+    st = db_->ReadObjectForUpdate(txn, ref.oid(), &image);
+    if (!st.ok()) return Ret(st);
+    auto reloaded = schema_->DecodeImage(Slice(image));
+    if (!reloaded.ok()) return Ret(reloaded.status());
+    loaded = std::move(reloaded).value();
+  }
+
+  T* obj = static_cast<T*>(
+      Schema::UpcastTo(loaded.object->self(), loaded.record, rec));
+  if constexpr (std::is_void_v<R>) {
+    (obj->*fn)(std::forward<Args>(args)...);
+    std::vector<char> updated = Schema::EncodeImage(loaded.record,
+                                                    *loaded.object);
+    st = db_->WriteObject(txn, ref.oid(), Slice(updated));
+    if (!st.ok()) return Ret(st);
+    if (!method.empty()) {
+      st = PostMemberEvent(txn, ref.oid(), type, "after " + method,
+                           Slice(event_args));
+      if (!st.ok()) return Ret(st);
+    }
+    return Status::OK();
+  } else {
+    R result = (obj->*fn)(std::forward<Args>(args)...);
+    std::vector<char> updated = Schema::EncodeImage(loaded.record,
+                                                    *loaded.object);
+    st = db_->WriteObject(txn, ref.oid(), Slice(updated));
+    if (!st.ok()) return Ret(st);
+    if (!method.empty()) {
+      st = PostMemberEvent(txn, ref.oid(), type, "after " + method,
+                           Slice(event_args));
+      if (!st.ok()) return Ret(st);
+    }
+    return Ret(std::move(result));
+  }
+}
+
+template <typename Obj, typename T, typename R, typename... A,
+          typename... Args>
+auto Session::Invoke(Transaction* txn, PRef<Obj> ref,
+                     R (T::*fn)(A...) const, Args&&... args)
+    -> std::conditional_t<std::is_void_v<R>, Status, Result<R>> {
+  static_assert(std::is_base_of_v<T, Obj>,
+                "method's class must be Obj or one of its bases");
+  using Ret = std::conditional_t<std::is_void_v<R>, Status, Result<R>>;
+  auto rec_result = RecordFor(typeid(T));
+  if (!rec_result.ok()) return Ret(rec_result.status());
+  const ClassRecord* rec = rec_result.value();
+  std::string method = FindMethodName(rec, fn);
+
+  std::vector<char> image;
+  Status st = db_->ReadObject(txn, ref.oid(), &image);
+  if (!st.ok()) return Ret(st);
+  auto loaded_result = schema_->DecodeImage(Slice(image));
+  if (!loaded_result.ok()) return Ret(loaded_result.status());
+  Schema::Loaded loaded = std::move(loaded_result).value();
+  if (!DerivesFrom(loaded.record, rec)) {
+    return Ret(Status::InvalidArgument("object is not a " + rec->name));
+  }
+  const TypeDescriptor* type = loaded.record->descriptor.get();
+  triggers_->NoteAccess(txn, ref.oid(), type);
+
+  std::vector<char> event_args;
+  if constexpr ((PackableParam<std::decay_t<Args>> && ...)) {
+    event_args = PackParams(args...);
+  }
+
+  if (!method.empty() &&
+      type->FindEvent("before " + method) != nullptr) {
+    st = PostMemberEvent(txn, ref.oid(), type, "before " + method,
+                         Slice(event_args));
+    if (!st.ok()) return Ret(st);
+    // Reload: a before-event trigger may have modified the object.
+    st = db_->ReadObject(txn, ref.oid(), &image);
+    if (!st.ok()) return Ret(st);
+    auto reloaded = schema_->DecodeImage(Slice(image));
+    if (!reloaded.ok()) return Ret(reloaded.status());
+    loaded = std::move(reloaded).value();
+  }
+  const T* obj = static_cast<const T*>(
+      Schema::UpcastTo(loaded.object->self(), loaded.record, rec));
+  if constexpr (std::is_void_v<R>) {
+    (obj->*fn)(std::forward<Args>(args)...);
+    if (!method.empty()) {
+      st = PostMemberEvent(txn, ref.oid(), type, "after " + method,
+                           Slice(event_args));
+      if (!st.ok()) return Ret(st);
+    }
+    return Status::OK();
+  } else {
+    R result = (obj->*fn)(std::forward<Args>(args)...);
+    if (!method.empty()) {
+      st = PostMemberEvent(txn, ref.oid(), type, "after " + method,
+                           Slice(event_args));
+      if (!st.ok()) return Ret(st);
+    }
+    return Ret(std::move(result));
+  }
+}
+
+template <typename T>
+Status Session::PostUserEvent(Transaction* txn, PRef<T> ref,
+                              const std::string& event_name) {
+  ODE_ASSIGN_OR_RETURN(const ClassRecord* rec, RecordFor(typeid(T)));
+  const EventDecl* decl = rec->descriptor->FindEvent(event_name);
+  if (decl == nullptr || decl->kind != EventKind::kUser) {
+    return Status::InvalidArgument("class " + rec->name +
+                                   " declares no user event '" +
+                                   event_name + "'");
+  }
+  triggers_->NoteAccess(txn, ref.oid(), rec->descriptor.get());
+  return MaybeAutoAbort(
+      txn, triggers_->PostEvent(txn, ref.oid(), rec->descriptor.get(),
+                                decl->symbol));
+}
+
+template <typename T>
+Result<TriggerId> Session::Activate(Transaction* txn, PRef<T> ref,
+                                    const std::string& trigger_name,
+                                    std::vector<char> params) {
+  ODE_ASSIGN_OR_RETURN(const ClassRecord* rec, RecordFor(typeid(T)));
+  return triggers_->Activate(txn, ref.oid(), rec->descriptor.get(),
+                             trigger_name, Slice(params));
+}
+
+template <typename T>
+Result<std::vector<PRef<T>>> Session::Cluster(Transaction* txn) {
+  ODE_ASSIGN_OR_RETURN(const ClassRecord* rec, RecordFor(typeid(T)));
+  ODE_ASSIGN_OR_RETURN(std::vector<Oid> oids,
+                       db_->ClusterContents(txn, rec->name));
+  std::vector<PRef<T>> out;
+  out.reserve(oids.size());
+  for (Oid oid : oids) out.push_back(PRef<T>(oid));
+  return out;
+}
+
+template <typename T>
+Result<TriggerId> Session::ActivateGroup(Transaction* txn,
+                                         const std::vector<PRef<T>>& refs,
+                                         const std::string& trigger_name,
+                                         std::vector<char> params) {
+  ODE_ASSIGN_OR_RETURN(const ClassRecord* rec, RecordFor(typeid(T)));
+  std::vector<Oid> anchors;
+  anchors.reserve(refs.size());
+  for (PRef<T> ref : refs) {
+    ODE_RETURN_NOT_OK(CheckStoredType(txn, ref.oid(), rec).status());
+    anchors.push_back(ref.oid());
+  }
+  return triggers_->ActivateGroup(txn, anchors, rec->descriptor.get(),
+                                  trigger_name, Slice(params));
+}
+
+template <typename T>
+Result<uint64_t> Session::ActivateLocal(Transaction* txn, PRef<T> ref,
+                                        const std::string& trigger_name,
+                                        std::vector<char> params) {
+  ODE_ASSIGN_OR_RETURN(const ClassRecord* rec, RecordFor(typeid(T)));
+  return triggers_->ActivateLocal(txn, ref.oid(), rec->descriptor.get(),
+                                  trigger_name, Slice(params));
+}
+
+template <typename T>
+Result<std::vector<PRef<T>>> Session::Select(
+    Transaction* txn, const std::function<bool(const T&)>& predicate) {
+  ODE_ASSIGN_OR_RETURN(std::vector<PRef<T>> all, Cluster<T>(txn));
+  std::vector<PRef<T>> out;
+  for (PRef<T> ref : all) {
+    ODE_ASSIGN_OR_RETURN(T value, Load(txn, ref));
+    if (predicate(value)) out.push_back(ref);
+  }
+  return out;
+}
+
+template <typename T>
+Result<PSet<T>> Session::NewSet(Transaction* txn) {
+  ODE_ASSIGN_OR_RETURN(Oid oid, NewSetImpl(txn));
+  return PSet<T>(oid);
+}
+
+template <typename T>
+Status Session::SetInsert(Transaction* txn, PSet<T> set, PRef<T> member) {
+  return SetInsertImpl(txn, set.oid(), member.oid());
+}
+
+template <typename T>
+Status Session::SetErase(Transaction* txn, PSet<T> set, PRef<T> member) {
+  return SetEraseImpl(txn, set.oid(), member.oid());
+}
+
+template <typename T>
+Result<bool> Session::SetContains(Transaction* txn, PSet<T> set,
+                                  PRef<T> member) {
+  return SetContainsImpl(txn, set.oid(), member.oid());
+}
+
+template <typename T>
+Result<std::vector<PRef<T>>> Session::SetMembers(Transaction* txn,
+                                                 PSet<T> set) {
+  ODE_ASSIGN_OR_RETURN(std::vector<Oid> oids,
+                       SetMembersImpl(txn, set.oid()));
+  std::vector<PRef<T>> out;
+  out.reserve(oids.size());
+  for (Oid oid : oids) out.push_back(PRef<T>(oid));
+  return out;
+}
+
+template <typename T>
+Result<uint64_t> Session::SetSize(Transaction* txn, PSet<T> set) {
+  ODE_ASSIGN_OR_RETURN(std::vector<Oid> oids,
+                       SetMembersImpl(txn, set.oid()));
+  return static_cast<uint64_t>(oids.size());
+}
+
+template <OdeSerializable T>
+Result<PRef<T>> Session::NewVersion(Transaction* txn, PRef<T> base) {
+  ODE_ASSIGN_OR_RETURN(T value, Load(txn, base));
+  ODE_ASSIGN_OR_RETURN(PRef<T> fresh, New(txn, value));
+  ODE_RETURN_NOT_OK(db_->RecordVersion(txn, fresh.oid(), base.oid()));
+  return fresh;
+}
+
+template <typename T>
+Result<std::vector<PRef<T>>> Session::VersionChain(Transaction* txn,
+                                                   PRef<T> ref) {
+  std::vector<PRef<T>> chain{ref};
+  Oid current = ref.oid();
+  for (int depth = 0; depth < 10000; ++depth) {
+    auto parent = db_->VersionParent(txn, current);
+    if (!parent.ok()) {
+      if (parent.status().IsNotFound()) return chain;
+      return parent.status();
+    }
+    chain.push_back(PRef<T>(parent.value()));
+    current = parent.value();
+  }
+  return Status::Corruption("version chain cycle suspected");
+}
+
+template <typename T>
+Status Session::ScheduleUserEvent(Transaction* txn, PRef<T> ref,
+                                  const std::string& event_name,
+                                  int64_t at) {
+  ODE_ASSIGN_OR_RETURN(const ClassRecord* rec, RecordFor(typeid(T)));
+  const EventDecl* decl = rec->descriptor->FindEvent(event_name);
+  if (decl == nullptr || decl->kind != EventKind::kUser) {
+    return Status::InvalidArgument("class " + rec->name +
+                                   " declares no user event '" +
+                                   event_name + "'");
+  }
+  return ScheduleUserEventImpl(txn, ref.oid(), event_name, at);
+}
+
+}  // namespace ode
+
+#endif  // ODE_ODEPP_SESSION_H_

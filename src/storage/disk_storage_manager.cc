@@ -1,0 +1,773 @@
+#include "storage/disk_storage_manager.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/coding.h"
+#include "common/logging.h"
+
+namespace ode {
+
+namespace {
+
+constexpr uint32_t kFileMagic = 0x0de0e0e5;  // "Ode over EOS"
+constexpr uint64_t kRootsOid = 1;
+constexpr uint16_t kOverflowMarker = 0xffff;  // in a page's slot-count field
+
+// Record payload prefix written by the storage manager.
+constexpr char kInlineFlag = 0;
+constexpr char kOverflowFlag = 1;
+
+// Overflow page layout offsets (see disk_storage_manager.h).
+constexpr size_t kOvfNextOff = 8;
+constexpr size_t kOvfLenOff = 12;
+constexpr size_t kOvfDataOff = 16;
+constexpr size_t kOvfCapacity = kPageSize - kOvfDataOff;
+
+Status ReadPageAt(int fd, uint32_t page_id, char* buf) {
+  ssize_t n = pread(fd, buf, kPageSize,
+                    static_cast<off_t>(page_id) * kPageSize);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError("pread of page " + std::to_string(page_id) +
+                           " failed");
+  }
+  return Status::OK();
+}
+
+Status WritePageAt(int fd, uint32_t page_id, const char* buf) {
+  ssize_t n = pwrite(fd, buf, kPageSize,
+                     static_cast<off_t>(page_id) * kPageSize);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError("pwrite of page " + std::to_string(page_id) +
+                           " failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- BufferPool
+
+BufferPool::BufferPool(int fd, size_t capacity)
+    : fd_(fd), capacity_(capacity == 0 ? 1 : capacity) {}
+
+BufferPool::Frame* BufferPool::Touch(uint32_t page_id) {
+  auto it = index_.find(page_id);
+  if (it == index_.end()) return nullptr;
+  frames_.splice(frames_.begin(), frames_, it->second);
+  index_[page_id] = frames_.begin();
+  return &frames_.front();
+}
+
+Status BufferPool::WriteFrame(const Frame& frame) {
+  ++writes_;
+  return WritePageAt(fd_, frame.page_id, frame.page.data());
+}
+
+Status BufferPool::EvictIfFull() {
+  while (frames_.size() >= capacity_) {
+    Frame& victim = frames_.back();
+    if (victim.dirty) {
+      ODE_RETURN_NOT_OK(WriteFrame(victim));
+    }
+    index_.erase(victim.page_id);
+    frames_.pop_back();
+  }
+  return Status::OK();
+}
+
+Status BufferPool::Get(uint32_t page_id, Page** out) {
+  if (Frame* f = Touch(page_id)) {
+    ++hits_;
+    *out = &f->page;
+    return Status::OK();
+  }
+  ++misses_;
+  ODE_RETURN_NOT_OK(EvictIfFull());
+  Frame frame;
+  frame.page_id = page_id;
+  ++reads_;
+  ODE_RETURN_NOT_OK(ReadPageAt(fd_, page_id, frame.page.mutable_data()));
+  frames_.push_front(std::move(frame));
+  index_[page_id] = frames_.begin();
+  *out = &frames_.front().page;
+  return Status::OK();
+}
+
+Status BufferPool::Create(uint32_t page_id, Page** out) {
+  if (Frame* f = Touch(page_id)) {
+    f->page.Format(page_id);
+    f->dirty = true;
+    *out = &f->page;
+    return Status::OK();
+  }
+  ODE_RETURN_NOT_OK(EvictIfFull());
+  Frame frame;
+  frame.page_id = page_id;
+  frame.page.Format(page_id);
+  frame.dirty = true;
+  frames_.push_front(std::move(frame));
+  index_[page_id] = frames_.begin();
+  *out = &frames_.front().page;
+  return Status::OK();
+}
+
+void BufferPool::MarkDirty(uint32_t page_id) {
+  if (Frame* f = Touch(page_id)) f->dirty = true;
+}
+
+void BufferPool::Discard(uint32_t page_id) {
+  auto it = index_.find(page_id);
+  if (it == index_.end()) return;
+  frames_.erase(it->second);
+  index_.erase(it);
+}
+
+Status BufferPool::FlushAll() {
+  for (Frame& f : frames_) {
+    if (f.dirty) {
+      ODE_RETURN_NOT_OK(WriteFrame(f));
+      f.dirty = false;
+    }
+  }
+  return Status::OK();
+}
+
+// ------------------------------------------------------- DiskStorageManager
+
+DiskStorageManager::DiskStorageManager(std::string path, Options options)
+    : path_(std::move(path)), options_(options) {}
+
+DiskStorageManager::~DiskStorageManager() {
+  if (open_) {
+    Status st = Close();
+    if (!st.ok()) {
+      ODE_LOG(kError) << "disk store close failed: " << st.ToString();
+    }
+  }
+}
+
+Status DiskStorageManager::Open() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (open_) return Status::Internal("disk store already open");
+  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd_ < 0) return Status::IOError("cannot open " + path_);
+
+  off_t size = lseek(fd_, 0, SEEK_END);
+  pool_ = std::make_unique<BufferPool>(fd_, options_.buffer_pool_pages);
+  wal_ = std::make_unique<Wal>(path_ + ".wal");
+
+  index_.clear();
+  space_map_.clear();
+  free_pages_.clear();
+  roots_.clear();
+  workspaces_.clear();
+  next_oid_ = 2;
+  page_count_ = 1;
+
+  if (size == 0) {
+    ODE_RETURN_NOT_OK(WriteHeader());
+  } else {
+    char header[kPageSize];
+    ODE_RETURN_NOT_OK(ReadPageAt(fd_, 0, header));
+    uint32_t magic;
+    std::memcpy(&magic, header, 4);
+    if (magic != kFileMagic) {
+      return Status::Corruption("bad file magic in " + path_);
+    }
+    std::memcpy(&page_count_, header + 4, 4);
+    std::memcpy(&next_oid_, header + 8, 8);
+    ODE_RETURN_NOT_OK(ScanAndRebuild());
+  }
+  // Load the roots directory (object with reserved oid 1) before WAL
+  // replay, so replayed kSetRoot records layer on top of it.
+  std::vector<char> image;
+  Status st = ReadCommitted(Oid(kRootsOid), &image);
+  if (st.ok()) {
+    Decoder dec(image);
+    uint64_t n;
+    ODE_RETURN_NOT_OK(dec.GetVarint(&n));
+    for (uint64_t i = 0; i < n; ++i) {
+      std::string name;
+      uint64_t oid;
+      ODE_RETURN_NOT_OK(dec.GetString(&name));
+      ODE_RETURN_NOT_OK(dec.GetU64(&oid));
+      roots_[name] = Oid(oid);
+    }
+  } else if (!st.IsNotFound()) {
+    return st;
+  }
+
+  ODE_RETURN_NOT_OK(wal_->Open());
+  ODE_RETURN_NOT_OK(ReplayWal());
+
+  open_ = true;
+  // Make recovery results durable and shorten the next recovery.
+  return CheckpointLocked();
+}
+
+Status DiskStorageManager::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!open_) return Status::OK();
+  Status st = CheckpointLocked();
+  Status wst = wal_->Close();
+  ::close(fd_);
+  fd_ = -1;
+  open_ = false;
+  return st.ok() ? wst : st;
+}
+
+Status DiskStorageManager::ScanAndRebuild() {
+  uint64_t max_oid = 1;
+  for (uint32_t p = 1; p < page_count_; ++p) {
+    char buf[kPageSize];
+    ODE_RETURN_NOT_OK(ReadPageAt(fd_, p, buf));
+    uint16_t slot_count;
+    std::memcpy(&slot_count, buf + 4, 2);
+    if (slot_count == kOverflowMarker) continue;  // overflow page, in use
+    Page page;
+    page.Load(buf);
+    bool any = false;
+    page.ForEach([&](uint16_t slot, uint64_t oid, Slice) {
+      index_[oid] = Loc{p, slot};
+      if (oid > max_oid) max_oid = oid;
+      any = true;
+    });
+    if (any) {
+      space_map_[p] = page.FreeSpaceForInsert();
+    } else {
+      free_pages_.push_back(p);
+    }
+  }
+  if (max_oid + 1 > next_oid_) next_oid_ = max_oid + 1;
+  return Status::OK();
+}
+
+Status DiskStorageManager::ReplayWal() {
+  std::vector<WalRecord> records;
+  ODE_RETURN_NOT_OK(wal_->ReadAll(&records));
+  // Pass 1: which transactions committed?
+  std::unordered_map<TxnId, bool> committed;
+  for (const WalRecord& r : records) {
+    if (r.type == WalRecord::Type::kCommit) committed[r.txn] = true;
+  }
+  // Pass 2: redo committed operations in log order (idempotent).
+  bool roots_changed = false;
+  for (const WalRecord& r : records) {
+    if (!committed.count(r.txn)) continue;
+    switch (r.type) {
+      case WalRecord::Type::kUpsert: {
+        ODE_RETURN_NOT_OK(ApplyUpsert(r.oid, Slice(r.image)));
+        if (r.oid.value() >= next_oid_) next_oid_ = r.oid.value() + 1;
+        break;
+      }
+      case WalRecord::Type::kFree: {
+        Status st = ApplyFree(r.oid);
+        if (!st.ok() && !st.IsNotFound()) return st;
+        break;
+      }
+      case WalRecord::Type::kSetRoot: {
+        if (r.oid.IsNull()) {
+          roots_.erase(r.name);
+        } else {
+          roots_[r.name] = r.oid;
+        }
+        roots_changed = true;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  // Replayed root updates must also reach the persistent roots object,
+  // because Open() checkpoints (truncating the WAL) right after this.
+  if (roots_changed) {
+    ODE_RETURN_NOT_OK(ApplyRoots());
+  }
+  return Status::OK();
+}
+
+Status DiskStorageManager::WriteHeader() {
+  char buf[kPageSize];
+  std::memset(buf, 0, sizeof(buf));
+  std::memcpy(buf, &kFileMagic, 4);
+  std::memcpy(buf + 4, &page_count_, 4);
+  std::memcpy(buf + 8, &next_oid_, 8);
+  return WritePageAt(fd_, 0, buf);
+}
+
+uint32_t DiskStorageManager::AllocPage() {
+  if (!free_pages_.empty()) {
+    uint32_t p = free_pages_.back();
+    free_pages_.pop_back();
+    return p;
+  }
+  return page_count_++;
+}
+
+void DiskStorageManager::ReleasePage(uint32_t page_id) {
+  space_map_.erase(page_id);
+  pool_->Discard(page_id);
+  // Rewrite as a formatted empty page so a rebuild scan sees it as free.
+  Page empty;
+  empty.Format(page_id);
+  Page* frame;
+  Status st = pool_->Create(page_id, &frame);
+  if (!st.ok()) {
+    ODE_LOG(kError) << "release page failed: " << st.ToString();
+    return;
+  }
+  free_pages_.push_back(page_id);
+}
+
+// --------------------------------------------------------- overflow chains
+
+Status DiskStorageManager::WriteOverflowChain(Slice image,
+                                              uint32_t* first_page) {
+  size_t remaining = image.size();
+  size_t offset = 0;
+  uint32_t prev = 0;
+  *first_page = 0;
+  while (remaining > 0 || offset == 0) {
+    uint32_t page_id = AllocPage();
+    Page* page;
+    ODE_RETURN_NOT_OK(pool_->Create(page_id, &page));
+    char* d = page->mutable_data();
+    uint16_t marker = kOverflowMarker;
+    std::memcpy(d + 4, &marker, 2);
+    uint32_t chunk = static_cast<uint32_t>(
+        remaining < kOvfCapacity ? remaining : kOvfCapacity);
+    uint32_t zero = 0;
+    std::memcpy(d + kOvfNextOff, &zero, 4);
+    std::memcpy(d + kOvfLenOff, &chunk, 4);
+    if (chunk > 0) {
+      std::memcpy(d + kOvfDataOff, image.data() + offset, chunk);
+    }
+    pool_->MarkDirty(page_id);
+    if (prev == 0) {
+      *first_page = page_id;
+    } else {
+      Page* prev_page;
+      ODE_RETURN_NOT_OK(pool_->Get(prev, &prev_page));
+      std::memcpy(prev_page->mutable_data() + kOvfNextOff, &page_id, 4);
+      pool_->MarkDirty(prev);
+    }
+    prev = page_id;
+    offset += chunk;
+    remaining -= chunk;
+    if (remaining == 0) break;
+  }
+  return Status::OK();
+}
+
+Status DiskStorageManager::ReadOverflowChain(uint32_t first_page,
+                                             uint64_t total_len,
+                                             std::vector<char>* out) {
+  out->clear();
+  out->reserve(total_len);
+  uint32_t page_id = first_page;
+  while (page_id != 0) {
+    Page* page;
+    ODE_RETURN_NOT_OK(pool_->Get(page_id, &page));
+    const char* d = page->data();
+    uint32_t next, len;
+    std::memcpy(&next, d + kOvfNextOff, 4);
+    std::memcpy(&len, d + kOvfLenOff, 4);
+    out->insert(out->end(), d + kOvfDataOff, d + kOvfDataOff + len);
+    page_id = next;
+  }
+  if (out->size() != total_len) {
+    return Status::Corruption("overflow chain length mismatch");
+  }
+  return Status::OK();
+}
+
+Status DiskStorageManager::FreeOverflowChain(uint32_t first_page) {
+  uint32_t page_id = first_page;
+  while (page_id != 0) {
+    Page* page;
+    ODE_RETURN_NOT_OK(pool_->Get(page_id, &page));
+    uint32_t next;
+    std::memcpy(&next, page->data() + kOvfNextOff, 4);
+    ReleasePage(page_id);
+    page_id = next;
+  }
+  return Status::OK();
+}
+
+// -------------------------------------------------- committed-state access
+
+Status DiskStorageManager::ReadCommitted(Oid oid, std::vector<char>* out) {
+  auto it = index_.find(oid.value());
+  if (it == index_.end()) {
+    return Status::NotFound("no object " + oid.ToString());
+  }
+  Page* page;
+  ODE_RETURN_NOT_OK(pool_->Get(it->second.page, &page));
+  uint64_t stored_oid;
+  std::vector<char> payload;
+  ODE_RETURN_NOT_OK(page->Read(it->second.slot, &stored_oid, &payload));
+  if (stored_oid != oid.value()) {
+    return Status::Corruption("slot oid mismatch for " + oid.ToString());
+  }
+  if (payload.empty()) return Status::Corruption("empty record payload");
+  if (payload[0] == kInlineFlag) {
+    out->assign(payload.begin() + 1, payload.end());
+    return Status::OK();
+  }
+  Decoder dec(Slice(payload.data() + 1, payload.size() - 1));
+  uint32_t first_page;
+  uint64_t total_len;
+  ODE_RETURN_NOT_OK(dec.GetU32(&first_page));
+  ODE_RETURN_NOT_OK(dec.GetU64(&total_len));
+  return ReadOverflowChain(first_page, total_len, out);
+}
+
+Status DiskStorageManager::InsertRecord(Oid oid, Slice image) {
+  std::vector<char> payload;
+  if (image.size() <= options_.inline_limit) {
+    payload.reserve(image.size() + 1);
+    payload.push_back(kInlineFlag);
+    payload.insert(payload.end(), image.data(), image.data() + image.size());
+  } else {
+    uint32_t first_page;
+    ODE_RETURN_NOT_OK(WriteOverflowChain(image, &first_page));
+    Encoder enc;
+    enc.PutU8(static_cast<uint8_t>(kOverflowFlag));
+    enc.PutU32(first_page);
+    enc.PutU64(image.size());
+    payload = enc.Release();
+  }
+
+  // First fit over pages with known free space.
+  for (auto& [page_id, free] : space_map_) {
+    if (free < payload.size() + 16) continue;
+    Page* page;
+    ODE_RETURN_NOT_OK(pool_->Get(page_id, &page));
+    auto slot = page->Insert(oid.value(), Slice(payload));
+    if (slot.ok()) {
+      pool_->MarkDirty(page_id);
+      index_[oid.value()] = Loc{page_id, slot.value()};
+      free = page->FreeSpaceForInsert();
+      return Status::OK();
+    }
+  }
+  // No page fits: take a fresh one.
+  uint32_t page_id = AllocPage();
+  Page* page;
+  ODE_RETURN_NOT_OK(pool_->Create(page_id, &page));
+  ODE_ASSIGN_OR_RETURN(uint16_t slot, page->Insert(oid.value(), Slice(payload)));
+  pool_->MarkDirty(page_id);
+  index_[oid.value()] = Loc{page_id, slot};
+  space_map_[page_id] = page->FreeSpaceForInsert();
+  return Status::OK();
+}
+
+Status DiskStorageManager::ApplyUpsert(Oid oid, Slice image) {
+  auto it = index_.find(oid.value());
+  if (it == index_.end()) {
+    return InsertRecord(oid, image);
+  }
+  Loc loc = it->second;
+  Page* page;
+  ODE_RETURN_NOT_OK(pool_->Get(loc.page, &page));
+  uint64_t stored_oid;
+  std::vector<char> old_payload;
+  ODE_RETURN_NOT_OK(page->Read(loc.slot, &stored_oid, &old_payload));
+  if (!old_payload.empty() && old_payload[0] == kOverflowFlag) {
+    Decoder dec(Slice(old_payload.data() + 1, old_payload.size() - 1));
+    uint32_t first_page;
+    uint64_t total_len;
+    ODE_RETURN_NOT_OK(dec.GetU32(&first_page));
+    ODE_RETURN_NOT_OK(dec.GetU64(&total_len));
+    ODE_RETURN_NOT_OK(FreeOverflowChain(first_page));
+    // The slot may have moved pages if FreeOverflowChain touched loc.page?
+    // It cannot: overflow pages are distinct from slotted pages.
+    ODE_RETURN_NOT_OK(pool_->Get(loc.page, &page));
+  }
+  if (image.size() <= options_.inline_limit) {
+    std::vector<char> payload;
+    payload.reserve(image.size() + 1);
+    payload.push_back(kInlineFlag);
+    payload.insert(payload.end(), image.data(), image.data() + image.size());
+    Status st = page->Update(loc.slot, Slice(payload));
+    if (st.ok()) {
+      pool_->MarkDirty(loc.page);
+      space_map_[loc.page] = page->FreeSpaceForInsert();
+      return Status::OK();
+    }
+    if (st.code() != StatusCode::kNotSupported) return st;
+    // Did not fit: the slot is gone (see Page::Update contract); relocate.
+    pool_->MarkDirty(loc.page);
+    space_map_[loc.page] = page->FreeSpaceForInsert();
+    index_.erase(oid.value());
+    return InsertRecord(oid, image);
+  }
+  // New image goes to overflow: replace the record wholesale.
+  ODE_RETURN_NOT_OK(page->Delete(loc.slot));
+  pool_->MarkDirty(loc.page);
+  space_map_[loc.page] = page->FreeSpaceForInsert();
+  index_.erase(oid.value());
+  return InsertRecord(oid, image);
+}
+
+Status DiskStorageManager::ApplyFree(Oid oid) {
+  auto it = index_.find(oid.value());
+  if (it == index_.end()) {
+    return Status::NotFound("no object " + oid.ToString());
+  }
+  Loc loc = it->second;
+  Page* page;
+  ODE_RETURN_NOT_OK(pool_->Get(loc.page, &page));
+  uint64_t stored_oid;
+  std::vector<char> payload;
+  ODE_RETURN_NOT_OK(page->Read(loc.slot, &stored_oid, &payload));
+  if (!payload.empty() && payload[0] == kOverflowFlag) {
+    Decoder dec(Slice(payload.data() + 1, payload.size() - 1));
+    uint32_t first_page;
+    uint64_t total_len;
+    ODE_RETURN_NOT_OK(dec.GetU32(&first_page));
+    ODE_RETURN_NOT_OK(dec.GetU64(&total_len));
+    ODE_RETURN_NOT_OK(FreeOverflowChain(first_page));
+    ODE_RETURN_NOT_OK(pool_->Get(loc.page, &page));
+  }
+  ODE_RETURN_NOT_OK(page->Delete(loc.slot));
+  pool_->MarkDirty(loc.page);
+  index_.erase(oid.value());
+  space_map_[loc.page] = page->FreeSpaceForInsert();
+  return Status::OK();
+}
+
+Status DiskStorageManager::ApplyRoots() {
+  Encoder enc;
+  enc.PutVarint(roots_.size());
+  for (const auto& [name, oid] : roots_) {
+    enc.PutString(name);
+    enc.PutU64(oid.value());
+  }
+  return ApplyUpsert(Oid(kRootsOid), Slice(enc.buffer()));
+}
+
+// ----------------------------------------------------------- public methods
+
+DiskStorageManager::Workspace* DiskStorageManager::FindWorkspace(TxnId txn) {
+  auto it = workspaces_.find(txn);
+  return it == workspaces_.end() ? nullptr : &it->second;
+}
+
+Result<Oid> DiskStorageManager::Allocate(TxnId txn, Slice data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Workspace* ws = FindWorkspace(txn);
+  if (ws == nullptr) return Status::Internal("disk store: unknown txn");
+  Oid oid(next_oid_++);
+  Workspace::Entry entry;
+  entry.image = data.ToVector();
+  ws->entries[oid] = std::move(entry);
+  ws->allocated.push_back(oid);
+  return oid;
+}
+
+Status DiskStorageManager::Read(TxnId txn, Oid oid, std::vector<char>* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Workspace* ws = FindWorkspace(txn)) {
+    auto it = ws->entries.find(oid);
+    if (it != ws->entries.end()) {
+      if (it->second.freed) {
+        return Status::NotFound("object freed in this transaction");
+      }
+      *out = it->second.image;
+      return Status::OK();
+    }
+  }
+  return ReadCommitted(oid, out);
+}
+
+Status DiskStorageManager::Write(TxnId txn, Oid oid, Slice data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Workspace* ws = FindWorkspace(txn);
+  if (ws == nullptr) return Status::Internal("disk store: unknown txn");
+  auto it = ws->entries.find(oid);
+  if (it != ws->entries.end()) {
+    if (it->second.freed) {
+      return Status::NotFound("object freed in this transaction");
+    }
+    it->second.image = data.ToVector();
+    return Status::OK();
+  }
+  if (index_.find(oid.value()) == index_.end()) {
+    return Status::NotFound("no object " + oid.ToString());
+  }
+  Workspace::Entry entry;
+  entry.image = data.ToVector();
+  ws->entries[oid] = std::move(entry);
+  return Status::OK();
+}
+
+Status DiskStorageManager::Free(TxnId txn, Oid oid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Workspace* ws = FindWorkspace(txn);
+  if (ws == nullptr) return Status::Internal("disk store: unknown txn");
+  auto it = ws->entries.find(oid);
+  if (it != ws->entries.end()) {
+    if (it->second.freed) {
+      return Status::NotFound("object already freed in this transaction");
+    }
+    it->second.freed = true;
+    it->second.image.clear();
+    return Status::OK();
+  }
+  if (index_.find(oid.value()) == index_.end()) {
+    return Status::NotFound("no object " + oid.ToString());
+  }
+  Workspace::Entry entry;
+  entry.freed = true;
+  ws->entries[oid] = std::move(entry);
+  return Status::OK();
+}
+
+bool DiskStorageManager::Exists(TxnId txn, Oid oid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Workspace* ws = FindWorkspace(txn)) {
+    auto it = ws->entries.find(oid);
+    if (it != ws->entries.end()) return !it->second.freed;
+  }
+  return index_.find(oid.value()) != index_.end();
+}
+
+Status DiskStorageManager::SetRoot(TxnId txn, const std::string& name,
+                                   Oid oid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Workspace* ws = FindWorkspace(txn);
+  if (ws == nullptr) return Status::Internal("disk store: unknown txn");
+  ws->root_updates[name] = oid;
+  return Status::OK();
+}
+
+Result<Oid> DiskStorageManager::GetRoot(TxnId txn, const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Workspace* ws = FindWorkspace(txn)) {
+    auto it = ws->root_updates.find(name);
+    if (it != ws->root_updates.end()) return it->second;
+  }
+  auto it = roots_.find(name);
+  if (it == roots_.end()) return Status::NotFound("no root '" + name + "'");
+  return it->second;
+}
+
+Status DiskStorageManager::BeginTxn(TxnId txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!open_) return Status::Internal("disk store not open");
+  auto [it, inserted] = workspaces_.try_emplace(txn);
+  (void)it;
+  if (!inserted) return Status::Internal("disk store: txn already begun");
+  return Status::OK();
+}
+
+Status DiskStorageManager::CommitTxn(TxnId txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = workspaces_.find(txn);
+  if (it == workspaces_.end()) {
+    return Status::Internal("disk store: commit of unknown txn");
+  }
+  Workspace& ws = it->second;
+  bool read_only = ws.entries.empty() && ws.root_updates.empty();
+  if (!read_only) {
+    // WAL first: the batch is atomic because recovery redoes only
+    // transactions whose kCommit record survived.
+    WalRecord begin{WalRecord::Type::kBegin, txn, Oid(), "", {}};
+    ODE_RETURN_NOT_OK(wal_->Append(begin));
+    for (const auto& [oid, entry] : ws.entries) {
+      WalRecord r;
+      r.txn = txn;
+      r.oid = oid;
+      if (entry.freed) {
+        r.type = WalRecord::Type::kFree;
+      } else {
+        r.type = WalRecord::Type::kUpsert;
+        r.image = entry.image;
+      }
+      ODE_RETURN_NOT_OK(wal_->Append(r));
+    }
+    for (const auto& [name, oid] : ws.root_updates) {
+      WalRecord r;
+      r.type = WalRecord::Type::kSetRoot;
+      r.txn = txn;
+      r.oid = oid;
+      r.name = name;
+      ODE_RETURN_NOT_OK(wal_->Append(r));
+    }
+    WalRecord commit{WalRecord::Type::kCommit, txn, Oid(), "", {}};
+    ODE_RETURN_NOT_OK(wal_->Append(commit));
+    if (options_.sync_commits) {
+      ODE_RETURN_NOT_OK(wal_->Sync());
+    }
+    // Now apply to pages (in the buffer pool; flushed lazily).
+    for (const auto& [oid, entry] : ws.entries) {
+      if (entry.freed) {
+        Status st = ApplyFree(oid);
+        if (!st.ok() && !st.IsNotFound()) return st;
+      } else {
+        ODE_RETURN_NOT_OK(ApplyUpsert(oid, Slice(entry.image)));
+      }
+    }
+    if (!ws.root_updates.empty()) {
+      for (const auto& [name, oid] : ws.root_updates) {
+        if (oid.IsNull()) {
+          roots_.erase(name);
+        } else {
+          roots_[name] = oid;
+        }
+      }
+      ODE_RETURN_NOT_OK(ApplyRoots());
+    }
+  }
+  workspaces_.erase(it);
+  return Status::OK();
+}
+
+Status DiskStorageManager::AbortTxn(TxnId txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  workspaces_.erase(txn);
+  return Status::OK();
+}
+
+Status DiskStorageManager::Checkpoint() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return CheckpointLocked();
+}
+
+void DiskStorageManager::SimulateCrash() {
+  std::lock_guard<std::mutex> lock(mu_);
+  pool_.reset();  // dirty frames are dropped, not written
+  wal_.reset();
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  workspaces_.clear();
+  open_ = false;
+}
+
+Status DiskStorageManager::CheckpointLocked() {
+  ODE_RETURN_NOT_OK(pool_->FlushAll());
+  ODE_RETURN_NOT_OK(WriteHeader());
+  if (fsync(fd_) != 0) return Status::IOError("fsync of data file failed");
+  return wal_->Truncate();
+}
+
+StorageStats DiskStorageManager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  StorageStats s;
+  s.objects = index_.size();
+  s.pages = page_count_;
+  if (pool_ != nullptr) {
+    s.page_reads = pool_->reads();
+    s.page_writes = pool_->writes();
+    s.buffer_hits = pool_->hits();
+    s.buffer_misses = pool_->misses();
+  }
+  if (wal_ != nullptr) s.wal_records = wal_->records_appended();
+  return s;
+}
+
+}  // namespace ode

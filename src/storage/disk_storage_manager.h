@@ -1,0 +1,159 @@
+#ifndef ODE_STORAGE_DISK_STORAGE_MANAGER_H_
+#define ODE_STORAGE_DISK_STORAGE_MANAGER_H_
+
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/page.h"
+#include "storage/storage_manager.h"
+#include "storage/wal.h"
+
+namespace ode {
+
+/// Buffer pool over the data file: a fixed number of page frames with LRU
+/// replacement. Dirty frames are written back on eviction, FlushAll, or
+/// checkpoint. Not thread-safe by itself; the storage manager serializes
+/// access.
+class BufferPool {
+ public:
+  BufferPool(int fd, size_t capacity);
+
+  /// Returns the frame for `page_id`, reading it from disk on a miss.
+  Status Get(uint32_t page_id, Page** out);
+
+  /// Like Get but formats a fresh page instead of reading disk.
+  Status Create(uint32_t page_id, Page** out);
+
+  void MarkDirty(uint32_t page_id);
+
+  /// Drops a page from the pool without writing it (used when a page is
+  /// freed wholesale).
+  void Discard(uint32_t page_id);
+
+  Status FlushAll();
+
+  uint64_t reads() const { return reads_; }
+  uint64_t writes() const { return writes_; }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  struct Frame {
+    uint32_t page_id = 0;
+    bool dirty = false;
+    Page page;
+  };
+
+  Status WriteFrame(const Frame& frame);
+  Status EvictIfFull();
+  // Moves the frame to MRU position and returns it.
+  Frame* Touch(uint32_t page_id);
+
+  int fd_;
+  size_t capacity_;
+  // MRU at front.
+  std::list<Frame> frames_;
+  std::unordered_map<uint32_t, std::list<Frame>::iterator> index_;
+  uint64_t reads_ = 0, writes_ = 0, hits_ = 0, misses_ = 0;
+};
+
+/// Disk-based storage manager — the EOS analogue. Objects live in slotted
+/// pages (large objects spill into overflow-page chains); an in-memory
+/// oid -> (page, slot) index is rebuilt by scanning pages on open; a
+/// redo-only WAL plus no-steal transaction workspaces provide atomicity
+/// and crash recovery.
+class DiskStorageManager final : public StorageManager {
+ public:
+  struct Options {
+    size_t buffer_pool_pages = 256;
+    /// Payloads above this many bytes go to overflow chains.
+    size_t inline_limit = 2048;
+    /// If false, skip the fsync on commit (benchmarks only).
+    bool sync_commits = true;
+  };
+
+  explicit DiskStorageManager(std::string path)
+      : DiskStorageManager(std::move(path), Options()) {}
+  DiskStorageManager(std::string path, Options options);
+  ~DiskStorageManager() override;
+
+  DiskStorageManager(const DiskStorageManager&) = delete;
+  DiskStorageManager& operator=(const DiskStorageManager&) = delete;
+
+  Status Open() override;
+  Status Close() override;
+
+  Result<Oid> Allocate(TxnId txn, Slice data) override;
+  Status Read(TxnId txn, Oid oid, std::vector<char>* out) override;
+  Status Write(TxnId txn, Oid oid, Slice data) override;
+  Status Free(TxnId txn, Oid oid) override;
+  bool Exists(TxnId txn, Oid oid) override;
+
+  Status SetRoot(TxnId txn, const std::string& name, Oid oid) override;
+  Result<Oid> GetRoot(TxnId txn, const std::string& name) override;
+
+  Status BeginTxn(TxnId txn) override;
+  Status CommitTxn(TxnId txn) override;
+  Status AbortTxn(TxnId txn) override;
+
+  Status Checkpoint() override;
+
+  /// Test hook: tears the manager down WITHOUT flushing dirty pages or
+  /// checkpointing, as a process crash would. The next Open() on the same
+  /// path must recover committed state from pages + WAL redo alone.
+  void SimulateCrash();
+
+  StorageStats stats() const override;
+
+ private:
+  using Workspace = storage_internal::TxnWorkspace;
+
+  struct Loc {
+    uint32_t page = 0;
+    uint16_t slot = 0;
+  };
+
+  Workspace* FindWorkspace(TxnId txn);
+
+  // --- committed-state operations (mu_ held) ---
+  Status ReadCommitted(Oid oid, std::vector<char>* out);
+  Status ApplyUpsert(Oid oid, Slice image);
+  Status ApplyFree(Oid oid);
+  Status ApplyRoots();
+  Status InsertRecord(Oid oid, Slice image);
+  Status FreeOverflowChain(uint32_t first_page);
+  Status WriteOverflowChain(Slice image, uint32_t* first_page);
+  Status ReadOverflowChain(uint32_t first_page, uint64_t total_len,
+                           std::vector<char>* out);
+  uint32_t AllocPage();
+  void ReleasePage(uint32_t page_id);
+  Status ScanAndRebuild();
+  Status ReplayWal();
+  Status WriteHeader();
+  Status CheckpointLocked();
+
+  std::string path_;
+  Options options_;
+  int fd_ = -1;
+  bool open_ = false;
+
+  mutable std::mutex mu_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<Wal> wal_;
+  std::unordered_map<uint64_t, Loc> index_;
+  std::map<uint32_t, size_t> space_map_;  // slotted page -> free bytes
+  std::vector<uint32_t> free_pages_;
+  std::map<std::string, Oid> roots_;
+  std::unordered_map<TxnId, Workspace> workspaces_;
+  uint64_t next_oid_ = 2;  // oid 1 is reserved for the roots directory
+  uint32_t page_count_ = 1;  // page 0 is the file header
+};
+
+}  // namespace ode
+
+#endif  // ODE_STORAGE_DISK_STORAGE_MANAGER_H_

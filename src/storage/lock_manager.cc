@@ -1,0 +1,174 @@
+#include "storage/lock_manager.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ode {
+
+LockManager::LockManager(Options options) : options_(options) {}
+
+bool LockManager::GrantableLocked(const LockState& state,
+                                  const Waiter& waiter) const {
+  if (waiter.upgrade) {
+    // Upgrade S->X: grantable only as the sole holder.
+    return state.holders.size() == 1 &&
+           state.holders.count(waiter.txn) == 1;
+  }
+  if (state.holders.empty()) {
+    // FIFO fairness: only the front of the queue may take an empty lock.
+    return state.queue.empty() || state.queue.front().txn == waiter.txn;
+  }
+  if (waiter.mode == LockMode::kExclusive) return false;
+  // Shared request: every holder must be shared, and no exclusive request
+  // may be queued ahead of us (else writers starve).
+  for (const auto& [txn, mode] : state.holders) {
+    (void)txn;
+    if (mode == LockMode::kExclusive) return false;
+  }
+  for (const Waiter& w : state.queue) {
+    if (w.txn == waiter.txn) break;
+    if (w.mode == LockMode::kExclusive) return false;
+  }
+  return true;
+}
+
+void LockManager::CollectBlockersLocked(
+    TxnId txn, Oid oid, std::unordered_set<TxnId>* out) const {
+  auto it = table_.find(oid);
+  if (it == table_.end()) return;
+  for (const auto& [holder, mode] : it->second.holders) {
+    (void)mode;
+    if (holder != txn) out->insert(holder);
+  }
+  // Also wait for exclusive requests queued ahead of us (they will be
+  // granted first under FIFO).
+  for (const Waiter& w : it->second.queue) {
+    if (w.txn == txn) break;
+    if (w.mode == LockMode::kExclusive) out->insert(w.txn);
+  }
+}
+
+bool LockManager::WouldDeadlockLocked(TxnId start, Oid oid) const {
+  // DFS over the wait-for graph starting from the transactions that would
+  // block `start` on `oid`; a path back to `start` is a cycle.
+  std::unordered_set<TxnId> frontier;
+  CollectBlockersLocked(start, oid, &frontier);
+  std::unordered_set<TxnId> visited;
+  std::deque<TxnId> stack(frontier.begin(), frontier.end());
+  while (!stack.empty()) {
+    TxnId t = stack.back();
+    stack.pop_back();
+    if (t == start) return true;
+    if (!visited.insert(t).second) continue;
+    auto wit = waiting_on_.find(t);
+    if (wit == waiting_on_.end()) continue;
+    std::unordered_set<TxnId> next;
+    CollectBlockersLocked(t, wit->second, &next);
+    for (TxnId n : next) stack.push_back(n);
+  }
+  return false;
+}
+
+Status LockManager::Acquire(TxnId txn, Oid oid, LockMode mode) {
+  std::unique_lock<std::mutex> lock(mu_);
+  LockState& state = table_[oid];
+
+  auto holder = state.holders.find(txn);
+  bool upgrade = false;
+  if (holder != state.holders.end()) {
+    if (holder->second == LockMode::kExclusive ||
+        mode == LockMode::kShared) {
+      return Status::OK();  // already strong enough
+    }
+    upgrade = true;
+  }
+
+  Waiter waiter{txn, mode, upgrade};
+  if (GrantableLocked(state, waiter)) {
+    state.holders[txn] = mode;
+    held_[txn].insert(oid);
+    return Status::OK();
+  }
+
+  ++conflicts_;
+  if (WouldDeadlockLocked(txn, oid)) {
+    ++deadlocks_;
+    return Status::Deadlock("acquiring " + oid.ToString());
+  }
+
+  // Upgraders jump the queue (ahead of plain requests, behind other
+  // upgraders) so a sole reader wanting X is not stuck behind new readers.
+  if (upgrade) {
+    auto pos = state.queue.begin();
+    while (pos != state.queue.end() && pos->upgrade) ++pos;
+    state.queue.insert(pos, waiter);
+  } else {
+    state.queue.push_back(waiter);
+  }
+  waiting_on_[txn] = oid;
+
+  auto deadline = std::chrono::steady_clock::now() + options_.timeout;
+  Status result = Status::OK();
+  while (true) {
+    // Re-check grantability; our queue entry still exists.
+    LockState& st = table_[oid];
+    if (GrantableLocked(st, waiter)) {
+      st.holders[txn] = mode;
+      held_[txn].insert(oid);
+      break;
+    }
+    if (WouldDeadlockLocked(txn, oid)) {
+      ++deadlocks_;
+      result = Status::Deadlock("waiting for " + oid.ToString());
+      break;
+    }
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      result = Status::LockTimeout("waiting for " + oid.ToString());
+      break;
+    }
+  }
+
+  waiting_on_.erase(txn);
+  LockState& st = table_[oid];
+  auto qit = std::find_if(st.queue.begin(), st.queue.end(),
+                          [&](const Waiter& w) { return w.txn == txn; });
+  if (qit != st.queue.end()) st.queue.erase(qit);
+  // Our departure (grant or failure) may unblock others.
+  cv_.notify_all();
+  return result;
+}
+
+void LockManager::ReleaseAll(TxnId txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = held_.find(txn);
+  if (it == held_.end()) return;
+  for (Oid oid : it->second) {
+    auto tit = table_.find(oid);
+    if (tit == table_.end()) continue;
+    tit->second.holders.erase(txn);
+    if (tit->second.holders.empty() && tit->second.queue.empty()) {
+      table_.erase(tit);
+    }
+  }
+  held_.erase(it);
+  cv_.notify_all();
+}
+
+bool LockManager::Holds(TxnId txn, Oid oid, LockMode mode) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = table_.find(oid);
+  if (it == table_.end()) return false;
+  auto hit = it->second.holders.find(txn);
+  if (hit == it->second.holders.end()) return false;
+  return mode == LockMode::kShared ||
+         hit->second == LockMode::kExclusive;
+}
+
+size_t LockManager::LocksHeld(TxnId txn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = held_.find(txn);
+  return it == held_.end() ? 0 : it->second.size();
+}
+
+}  // namespace ode

@@ -1,0 +1,271 @@
+#include "storage/mm_storage_manager.h"
+
+#include <cstdio>
+
+#include "common/coding.h"
+#include "common/logging.h"
+
+namespace ode {
+
+namespace {
+constexpr uint32_t kSnapshotMagic = 0x0de0da11;  // "Ode over Dali"
+}  // namespace
+
+MMStorageManager::MMStorageManager(std::string path)
+    : path_(std::move(path)) {}
+
+Status MMStorageManager::Open() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (open_) return Status::Internal("mm store already open");
+  objects_.clear();
+  roots_.clear();
+  workspaces_.clear();
+  next_oid_ = 1;
+  if (!path_.empty()) {
+    std::FILE* f = std::fopen(path_.c_str(), "rb");
+    if (f != nullptr) {
+      std::fseek(f, 0, SEEK_END);
+      long size = std::ftell(f);
+      std::fseek(f, 0, SEEK_SET);
+      std::vector<char> buf(static_cast<size_t>(size));
+      size_t nread = size > 0 ? std::fread(buf.data(), 1, buf.size(), f) : 0;
+      std::fclose(f);
+      if (nread != buf.size()) {
+        return Status::IOError("mm store: short read of snapshot " + path_);
+      }
+      Decoder dec(buf);
+      uint32_t magic;
+      ODE_RETURN_NOT_OK(dec.GetU32(&magic));
+      if (magic != kSnapshotMagic) {
+        return Status::Corruption("mm store: bad snapshot magic in " + path_);
+      }
+      ODE_RETURN_NOT_OK(dec.GetU64(&next_oid_));
+      uint64_t nobjects;
+      ODE_RETURN_NOT_OK(dec.GetVarint(&nobjects));
+      for (uint64_t i = 0; i < nobjects; ++i) {
+        uint64_t oid;
+        std::vector<char> image;
+        ODE_RETURN_NOT_OK(dec.GetU64(&oid));
+        ODE_RETURN_NOT_OK(dec.GetBytes(&image));
+        objects_.emplace(Oid(oid), std::move(image));
+      }
+      uint64_t nroots;
+      ODE_RETURN_NOT_OK(dec.GetVarint(&nroots));
+      for (uint64_t i = 0; i < nroots; ++i) {
+        std::string name;
+        uint64_t oid;
+        ODE_RETURN_NOT_OK(dec.GetString(&name));
+        ODE_RETURN_NOT_OK(dec.GetU64(&oid));
+        roots_[name] = Oid(oid);
+      }
+    }
+  }
+  open_ = true;
+  return Status::OK();
+}
+
+Status MMStorageManager::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!open_) return Status::OK();
+  Status st = path_.empty() ? Status::OK() : CheckpointLocked();
+  open_ = false;
+  return st;
+}
+
+MMStorageManager::Workspace* MMStorageManager::FindWorkspace(TxnId txn) {
+  auto it = workspaces_.find(txn);
+  return it == workspaces_.end() ? nullptr : &it->second;
+}
+
+Result<Oid> MMStorageManager::Allocate(TxnId txn, Slice data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Workspace* ws = FindWorkspace(txn);
+  if (ws == nullptr) return Status::Internal("mm store: unknown txn");
+  Oid oid(next_oid_++);
+  Workspace::Entry entry;
+  entry.image = data.ToVector();
+  ws->entries[oid] = std::move(entry);
+  ws->allocated.push_back(oid);
+  return oid;
+}
+
+Status MMStorageManager::Read(TxnId txn, Oid oid, std::vector<char>* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Workspace* ws = FindWorkspace(txn)) {
+    auto it = ws->entries.find(oid);
+    if (it != ws->entries.end()) {
+      if (it->second.freed) {
+        return Status::NotFound("object freed in this transaction");
+      }
+      *out = it->second.image;
+      return Status::OK();
+    }
+  }
+  auto it = objects_.find(oid);
+  if (it == objects_.end()) {
+    return Status::NotFound("no object " + oid.ToString());
+  }
+  *out = it->second;
+  return Status::OK();
+}
+
+Status MMStorageManager::Write(TxnId txn, Oid oid, Slice data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Workspace* ws = FindWorkspace(txn);
+  if (ws == nullptr) return Status::Internal("mm store: unknown txn");
+  auto it = ws->entries.find(oid);
+  if (it != ws->entries.end()) {
+    if (it->second.freed) {
+      return Status::NotFound("object freed in this transaction");
+    }
+    it->second.image = data.ToVector();
+    return Status::OK();
+  }
+  if (objects_.find(oid) == objects_.end()) {
+    return Status::NotFound("no object " + oid.ToString());
+  }
+  Workspace::Entry entry;
+  entry.image = data.ToVector();
+  ws->entries[oid] = std::move(entry);
+  return Status::OK();
+}
+
+Status MMStorageManager::Free(TxnId txn, Oid oid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Workspace* ws = FindWorkspace(txn);
+  if (ws == nullptr) return Status::Internal("mm store: unknown txn");
+  auto it = ws->entries.find(oid);
+  if (it != ws->entries.end()) {
+    if (it->second.freed) {
+      return Status::NotFound("object already freed in this transaction");
+    }
+    it->second.freed = true;
+    it->second.image.clear();
+    return Status::OK();
+  }
+  if (objects_.find(oid) == objects_.end()) {
+    return Status::NotFound("no object " + oid.ToString());
+  }
+  Workspace::Entry entry;
+  entry.freed = true;
+  ws->entries[oid] = std::move(entry);
+  return Status::OK();
+}
+
+bool MMStorageManager::Exists(TxnId txn, Oid oid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Workspace* ws = FindWorkspace(txn)) {
+    auto it = ws->entries.find(oid);
+    if (it != ws->entries.end()) return !it->second.freed;
+  }
+  return objects_.find(oid) != objects_.end();
+}
+
+Status MMStorageManager::SetRoot(TxnId txn, const std::string& name,
+                                 Oid oid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Workspace* ws = FindWorkspace(txn);
+  if (ws == nullptr) return Status::Internal("mm store: unknown txn");
+  ws->root_updates[name] = oid;
+  return Status::OK();
+}
+
+Result<Oid> MMStorageManager::GetRoot(TxnId txn, const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Workspace* ws = FindWorkspace(txn)) {
+    auto it = ws->root_updates.find(name);
+    if (it != ws->root_updates.end()) return it->second;
+  }
+  auto it = roots_.find(name);
+  if (it == roots_.end()) return Status::NotFound("no root '" + name + "'");
+  return it->second;
+}
+
+Status MMStorageManager::BeginTxn(TxnId txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!open_) return Status::Internal("mm store not open");
+  auto [it, inserted] = workspaces_.try_emplace(txn);
+  (void)it;
+  if (!inserted) return Status::Internal("mm store: txn already begun");
+  return Status::OK();
+}
+
+Status MMStorageManager::CommitTxn(TxnId txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = workspaces_.find(txn);
+  if (it == workspaces_.end()) {
+    return Status::Internal("mm store: commit of unknown txn");
+  }
+  for (auto& [oid, entry] : it->second.entries) {
+    if (entry.freed) {
+      objects_.erase(oid);
+    } else {
+      objects_[oid] = std::move(entry.image);
+    }
+  }
+  for (const auto& [name, oid] : it->second.root_updates) {
+    if (oid.IsNull()) {
+      roots_.erase(name);
+    } else {
+      roots_[name] = oid;
+    }
+  }
+  workspaces_.erase(it);
+  return Status::OK();
+}
+
+Status MMStorageManager::AbortTxn(TxnId txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Dropping the workspace is the whole rollback — this is what makes
+  // trigger-state rollback (paper §5.5) automatic.
+  workspaces_.erase(txn);
+  return Status::OK();
+}
+
+Status MMStorageManager::Checkpoint() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (path_.empty()) return Status::OK();
+  return CheckpointLocked();
+}
+
+Status MMStorageManager::CheckpointLocked() {
+  Encoder enc;
+  enc.PutU32(kSnapshotMagic);
+  enc.PutU64(next_oid_);
+  enc.PutVarint(objects_.size());
+  for (const auto& [oid, image] : objects_) {
+    enc.PutU64(oid.value());
+    enc.PutBytes(image);
+  }
+  enc.PutVarint(roots_.size());
+  for (const auto& [name, oid] : roots_) {
+    enc.PutString(name);
+    enc.PutU64(oid.value());
+  }
+  std::string tmp = path_ + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("mm store: cannot write " + tmp);
+  size_t n = std::fwrite(enc.buffer().data(), 1, enc.size(), f);
+  int flush_err = std::fflush(f);
+  std::fclose(f);
+  if (n != enc.size() || flush_err != 0) {
+    return Status::IOError("mm store: short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    return Status::IOError("mm store: rename failed for " + path_);
+  }
+  return Status::OK();
+}
+
+StorageStats MMStorageManager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  StorageStats s;
+  s.objects = objects_.size();
+  for (const auto& [oid, image] : objects_) {
+    (void)oid;
+    s.bytes += image.size();
+  }
+  return s;
+}
+
+}  // namespace ode

@@ -1,0 +1,65 @@
+#ifndef ODE_STORAGE_MM_STORAGE_MANAGER_H_
+#define ODE_STORAGE_MM_STORAGE_MANAGER_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/storage_manager.h"
+
+namespace ode {
+
+/// Main-memory storage manager — the Dali analogue backing MM-Ode. All
+/// committed objects live in a hash table; durability comes from explicit
+/// checkpoints (Checkpoint()/Close() write a snapshot file that Open()
+/// reloads). Pass an empty path for a purely volatile store.
+class MMStorageManager final : public StorageManager {
+ public:
+  /// `path`: snapshot file, or "" for volatile operation.
+  explicit MMStorageManager(std::string path = "");
+
+  MMStorageManager(const MMStorageManager&) = delete;
+  MMStorageManager& operator=(const MMStorageManager&) = delete;
+
+  Status Open() override;
+  Status Close() override;
+
+  Result<Oid> Allocate(TxnId txn, Slice data) override;
+  Status Read(TxnId txn, Oid oid, std::vector<char>* out) override;
+  Status Write(TxnId txn, Oid oid, Slice data) override;
+  Status Free(TxnId txn, Oid oid) override;
+  bool Exists(TxnId txn, Oid oid) override;
+
+  Status SetRoot(TxnId txn, const std::string& name, Oid oid) override;
+  Result<Oid> GetRoot(TxnId txn, const std::string& name) override;
+
+  Status BeginTxn(TxnId txn) override;
+  Status CommitTxn(TxnId txn) override;
+  Status AbortTxn(TxnId txn) override;
+
+  Status Checkpoint() override;
+
+  StorageStats stats() const override;
+
+ private:
+  using Workspace = storage_internal::TxnWorkspace;
+
+  // Requires mu_ held.
+  Workspace* FindWorkspace(TxnId txn);
+  Status CheckpointLocked();
+
+  std::string path_;
+  bool open_ = false;
+
+  mutable std::mutex mu_;
+  std::unordered_map<Oid, std::vector<char>, OidHash> objects_;
+  std::map<std::string, Oid> roots_;
+  std::unordered_map<TxnId, Workspace> workspaces_;
+  uint64_t next_oid_ = 1;
+};
+
+}  // namespace ode
+
+#endif  // ODE_STORAGE_MM_STORAGE_MANAGER_H_

@@ -1,0 +1,176 @@
+#include "storage/page.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace ode {
+
+void Page::Format(uint32_t page_id) {
+  std::memset(data_.data(), 0, kPageSize);
+  WriteU32(0, page_id);
+  set_slot_count(0);
+  set_free_ptr(8);
+}
+
+void Page::Load(const char* bytes) {
+  std::memcpy(data_.data(), bytes, kPageSize);
+}
+
+uint16_t Page::ReadU16(size_t off) const {
+  uint16_t v;
+  std::memcpy(&v, data_.data() + off, sizeof(v));
+  return v;
+}
+uint32_t Page::ReadU32(size_t off) const {
+  uint32_t v;
+  std::memcpy(&v, data_.data() + off, sizeof(v));
+  return v;
+}
+uint64_t Page::ReadU64(size_t off) const {
+  uint64_t v;
+  std::memcpy(&v, data_.data() + off, sizeof(v));
+  return v;
+}
+void Page::WriteU16(size_t off, uint16_t v) {
+  std::memcpy(data_.data() + off, &v, sizeof(v));
+}
+void Page::WriteU32(size_t off, uint32_t v) {
+  std::memcpy(data_.data() + off, &v, sizeof(v));
+}
+void Page::WriteU64(size_t off, uint64_t v) {
+  std::memcpy(data_.data() + off, &v, sizeof(v));
+}
+
+size_t Page::FreeSpaceForInsert() const {
+  size_t dir_top = kPageSize - 4 * slot_count();
+  size_t contiguous =
+      dir_top > free_ptr() ? dir_top - free_ptr() : 0;
+  // Count holes from dead/shrunk records too: a compaction can recover
+  // them, so report total reclaimable space minus the new slot entry.
+  size_t live = 8;
+  for (uint16_t s = 0; s < slot_count(); ++s) {
+    uint16_t off = ReadU16(SlotOffset(s));
+    if (off == kDeadSlot) continue;
+    live += 8 + ReadU16(SlotOffset(s) + 2);
+  }
+  size_t reclaimable = dir_top > live ? dir_top - live : 0;
+  size_t space = reclaimable > contiguous ? reclaimable : contiguous;
+  return space > 4 + 8 ? space - 4 - 8 : 0;  // slot entry + oid prefix
+}
+
+Result<uint16_t> Page::Insert(uint64_t oid, Slice payload) {
+  if (payload.size() > kMaxPayload) {
+    return Status::InvalidArgument("record payload exceeds page capacity");
+  }
+  size_t need = 8 + payload.size();
+  // Find a reusable dead slot, else extend the directory.
+  uint16_t slot = slot_count();
+  for (uint16_t s = 0; s < slot_count(); ++s) {
+    if (ReadU16(SlotOffset(s)) == kDeadSlot) {
+      slot = s;
+      break;
+    }
+  }
+  size_t dir_growth = (slot == slot_count()) ? 4 : 0;
+  size_t dir_top = kPageSize - 4 * slot_count() - dir_growth;
+  if (free_ptr() + need > dir_top) {
+    Compact();
+    dir_top = kPageSize - 4 * slot_count() - dir_growth;
+    if (free_ptr() + need > dir_top) {
+      return Status::Internal("page full");
+    }
+  }
+  uint16_t off = free_ptr();
+  WriteU64(off, oid);
+  if (!payload.empty()) {
+    std::memcpy(data_.data() + off + 8, payload.data(), payload.size());
+  }
+  set_free_ptr(static_cast<uint16_t>(off + need));
+  if (slot == slot_count()) set_slot_count(slot + 1);
+  WriteU16(SlotOffset(slot), off);
+  WriteU16(SlotOffset(slot) + 2, static_cast<uint16_t>(payload.size()));
+  return slot;
+}
+
+bool Page::SlotLive(uint16_t slot) const {
+  return slot < slot_count() && ReadU16(SlotOffset(slot)) != kDeadSlot;
+}
+
+Status Page::Read(uint16_t slot, uint64_t* oid,
+                  std::vector<char>* payload) const {
+  if (!SlotLive(slot)) return Status::NotFound("dead or out-of-range slot");
+  uint16_t off = ReadU16(SlotOffset(slot));
+  uint16_t len = ReadU16(SlotOffset(slot) + 2);
+  *oid = ReadU64(off);
+  payload->assign(data_.data() + off + 8, data_.data() + off + 8 + len);
+  return Status::OK();
+}
+
+Status Page::Update(uint16_t slot, Slice payload) {
+  if (!SlotLive(slot)) return Status::NotFound("dead or out-of-range slot");
+  uint16_t off = ReadU16(SlotOffset(slot));
+  uint16_t len = ReadU16(SlotOffset(slot) + 2);
+  if (payload.size() <= len) {
+    std::memcpy(data_.data() + off + 8, payload.data(), payload.size());
+    WriteU16(SlotOffset(slot) + 2, static_cast<uint16_t>(payload.size()));
+    return Status::OK();
+  }
+  // Try append-at-end (possibly after compaction), keeping the same slot.
+  uint64_t oid = ReadU64(off);
+  size_t need = 8 + payload.size();
+  size_t dir_top = kPageSize - 4 * slot_count();
+  if (free_ptr() + need > dir_top) {
+    // Temporarily kill the slot so Compact() drops the old image.
+    WriteU16(SlotOffset(slot), kDeadSlot);
+    Compact();
+    if (free_ptr() + need > kPageSize - 4 * static_cast<size_t>(slot_count())) {
+      return Status::NotSupported("record no longer fits in page");
+    }
+  }
+  uint16_t new_off = free_ptr();
+  WriteU64(new_off, oid);
+  std::memcpy(data_.data() + new_off + 8, payload.data(), payload.size());
+  set_free_ptr(static_cast<uint16_t>(new_off + need));
+  WriteU16(SlotOffset(slot), new_off);
+  WriteU16(SlotOffset(slot) + 2, static_cast<uint16_t>(payload.size()));
+  return Status::OK();
+}
+
+Status Page::Delete(uint16_t slot) {
+  if (!SlotLive(slot)) return Status::NotFound("dead or out-of-range slot");
+  WriteU16(SlotOffset(slot), kDeadSlot);
+  WriteU16(SlotOffset(slot) + 2, 0);
+  return Status::OK();
+}
+
+void Page::ForEach(
+    const std::function<void(uint16_t, uint64_t, Slice)>& fn) const {
+  for (uint16_t s = 0; s < slot_count(); ++s) {
+    uint16_t off = ReadU16(SlotOffset(s));
+    if (off == kDeadSlot) continue;
+    uint16_t len = ReadU16(SlotOffset(s) + 2);
+    fn(s, ReadU64(off), Slice(data_.data() + off + 8, len));
+  }
+}
+
+void Page::Compact() {
+  std::vector<char> scratch(kPageSize);
+  std::memcpy(scratch.data(), data_.data(), 8);  // header
+  uint16_t write_off = 8;
+  for (uint16_t s = 0; s < slot_count(); ++s) {
+    uint16_t off = ReadU16(SlotOffset(s));
+    if (off == kDeadSlot) continue;
+    uint16_t len = ReadU16(SlotOffset(s) + 2);
+    std::memcpy(scratch.data() + write_off, data_.data() + off, 8 + len);
+    WriteU16(SlotOffset(s), write_off);
+    write_off = static_cast<uint16_t>(write_off + 8 + len);
+  }
+  // Copy relocated records and new header over, keep the slot directory
+  // (already updated in place).
+  std::memcpy(data_.data() + 8, scratch.data() + 8,
+              static_cast<size_t>(write_off) - 8);
+  set_free_ptr(write_off);
+}
+
+}  // namespace ode

@@ -1,0 +1,96 @@
+#ifndef ODE_STORAGE_PAGE_H_
+#define ODE_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace ode {
+
+inline constexpr size_t kPageSize = 4096;
+
+/// A slotted data page, as used by the disk storage manager (the EOS
+/// analogue). Records grow from the top (after the header); the slot
+/// directory grows from the bottom. Each record carries the owning Oid so
+/// the oid -> (page, slot) index can be rebuilt by scanning pages on open.
+///
+/// Layout:
+///   [0..4)   page id
+///   [4..6)   slot count
+///   [6..8)   free pointer (offset of first unused byte in the record area)
+///   [8..)    records, each: oid (8 bytes) + payload
+///   ...      free space
+///   [end)    slot directory, 4 bytes per slot: offset (2) + length (2);
+///            offset 0xffff marks a dead slot. `length` covers payload only.
+class Page {
+ public:
+  static constexpr uint16_t kDeadSlot = 0xffff;
+  /// Largest payload a single record can hold on an empty page.
+  static constexpr size_t kMaxPayload = kPageSize - 8 /*header*/ -
+                                        4 /*slot entry*/ - 8 /*oid*/;
+
+  Page() : data_(kPageSize, 0) {}
+
+  /// Initializes an empty page with the given id.
+  void Format(uint32_t page_id);
+
+  /// Wraps existing on-disk bytes (must be kPageSize long).
+  void Load(const char* bytes);
+
+  uint32_t page_id() const { return ReadU32(0); }
+  uint16_t slot_count() const { return ReadU16(4); }
+
+  /// Bytes available for one more record (accounts for a new slot entry).
+  size_t FreeSpaceForInsert() const;
+
+  /// Inserts a record; returns the slot index. Compacts first if the free
+  /// region is fragmented. Fails with kInternal if it genuinely cannot fit.
+  Result<uint16_t> Insert(uint64_t oid, Slice payload);
+
+  /// Reads a record's payload (copied out) and owning oid.
+  Status Read(uint16_t slot, uint64_t* oid, std::vector<char>* payload) const;
+
+  /// Updates a record's payload in place if it fits (possibly after
+  /// compaction); returns kNotSupported if the page cannot hold it so the
+  /// caller can relocate the record to another page. On kNotSupported the
+  /// slot has been deleted (the caller was about to reinsert elsewhere).
+  Status Update(uint16_t slot, Slice payload);
+
+  Status Delete(uint16_t slot);
+
+  bool SlotLive(uint16_t slot) const;
+
+  /// Calls fn(slot, oid, payload) for every live record.
+  void ForEach(
+      const std::function<void(uint16_t, uint64_t, Slice)>& fn) const;
+
+  const char* data() const { return data_.data(); }
+  char* mutable_data() { return data_.data(); }
+
+ private:
+  uint16_t SlotOffset(uint16_t slot) const {
+    return static_cast<uint16_t>(kPageSize - 4 * (slot + 1));
+  }
+  uint16_t ReadU16(size_t off) const;
+  uint32_t ReadU32(size_t off) const;
+  uint64_t ReadU64(size_t off) const;
+  void WriteU16(size_t off, uint16_t v);
+  void WriteU32(size_t off, uint32_t v);
+  void WriteU64(size_t off, uint64_t v);
+  uint16_t free_ptr() const { return ReadU16(6); }
+  void set_free_ptr(uint16_t v) { WriteU16(6, v); }
+  void set_slot_count(uint16_t v) { WriteU16(4, v); }
+
+  /// Moves all live records to the top of the record area, erasing holes.
+  void Compact();
+
+  std::vector<char> data_;
+};
+
+}  // namespace ode
+
+#endif  // ODE_STORAGE_PAGE_H_

@@ -1,0 +1,101 @@
+#ifndef ODE_STORAGE_STORAGE_MANAGER_H_
+#define ODE_STORAGE_STORAGE_MANAGER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "objstore/oid.h"
+
+namespace ode {
+
+/// Aggregate counters a storage manager exposes for benchmarks and tests.
+struct StorageStats {
+  uint64_t objects = 0;
+  uint64_t bytes = 0;
+  uint64_t pages = 0;
+  uint64_t page_reads = 0;
+  uint64_t page_writes = 0;
+  uint64_t wal_records = 0;
+  uint64_t buffer_hits = 0;
+  uint64_t buffer_misses = 0;
+};
+
+/// Abstract storage manager — the layer EOS (disk) and Dali (main-memory)
+/// provide under the Ode object manager. Both implementations here follow a
+/// no-steal/redo-log discipline: a transaction's writes accumulate in a
+/// private workspace overlay and are applied to the base store only at
+/// commit, so abort is "drop the workspace" and trigger-state rollback
+/// (paper §5.5) falls out for free.
+///
+/// Thread-safety: calls for distinct transactions may run concurrently;
+/// isolation between transactions is the lock manager's job (strict 2PL at
+/// the object-manager layer), not the storage manager's.
+class StorageManager {
+ public:
+  virtual ~StorageManager() = default;
+
+  /// Opens (creating if necessary) the store. Runs recovery if the
+  /// implementation is durable.
+  virtual Status Open() = 0;
+
+  /// Flushes and closes. Open() afterwards must see all committed state.
+  virtual Status Close() = 0;
+
+  /// Allocates a fresh Oid and stores `data` under it, in txn's workspace.
+  virtual Result<Oid> Allocate(TxnId txn, Slice data) = 0;
+
+  /// Reads the object image as seen by `txn` (its own workspace first,
+  /// then the committed base).
+  virtual Status Read(TxnId txn, Oid oid, std::vector<char>* out) = 0;
+
+  /// Replaces the object image in txn's workspace.
+  virtual Status Write(TxnId txn, Oid oid, Slice data) = 0;
+
+  /// Deletes the object (the paper's pdelete) in txn's workspace.
+  virtual Status Free(TxnId txn, Oid oid) = 0;
+
+  /// True if the object exists as seen by `txn`.
+  virtual bool Exists(TxnId txn, Oid oid) = 0;
+
+  /// Named persistent roots — the bootstrap directory used for catalogs
+  /// and the trigger index (name -> Oid).
+  virtual Status SetRoot(TxnId txn, const std::string& name, Oid oid) = 0;
+  virtual Result<Oid> GetRoot(TxnId txn, const std::string& name) = 0;
+
+  /// Transaction lifecycle (driven by the TransactionManager).
+  virtual Status BeginTxn(TxnId txn) = 0;
+  virtual Status CommitTxn(TxnId txn) = 0;
+  virtual Status AbortTxn(TxnId txn) = 0;
+
+  /// Forces all committed state to the durable medium (no-op for a purely
+  /// volatile store).
+  virtual Status Checkpoint() = 0;
+
+  virtual StorageStats stats() const = 0;
+};
+
+namespace storage_internal {
+
+/// Per-transaction overlay shared by both storage managers: buffered
+/// writes/frees/root updates plus the set of Oids allocated by the txn.
+struct TxnWorkspace {
+  // oid -> new image; an entry with `freed` set shadows a base object.
+  struct Entry {
+    std::vector<char> image;
+    bool freed = false;
+  };
+  std::unordered_map<Oid, Entry, OidHash> entries;
+  std::map<std::string, Oid> root_updates;
+  std::vector<Oid> allocated;
+};
+
+}  // namespace storage_internal
+}  // namespace ode
+
+#endif  // ODE_STORAGE_STORAGE_MANAGER_H_

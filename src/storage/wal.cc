@@ -1,0 +1,111 @@
+#include "storage/wal.h"
+
+#include <unistd.h>
+
+#include "common/coding.h"
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace ode {
+
+Wal::Wal(std::string path) : path_(std::move(path)) {}
+
+Wal::~Wal() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status Wal::Open() {
+  file_ = std::fopen(path_.c_str(), "ab");
+  if (file_ == nullptr) {
+    return Status::IOError("wal: cannot open " + path_);
+  }
+  return Status::OK();
+}
+
+Status Wal::Close() {
+  if (file_ != nullptr) {
+    Status st = Sync();
+    std::fclose(file_);
+    file_ = nullptr;
+    return st;
+  }
+  return Status::OK();
+}
+
+Status Wal::Append(const WalRecord& record) {
+  if (file_ == nullptr) return Status::Internal("wal not open");
+  Encoder body;
+  body.PutU8(static_cast<uint8_t>(record.type));
+  body.PutU64(record.txn);
+  body.PutU64(record.oid.value());
+  body.PutString(record.name);
+  body.PutBytes(record.image);
+
+  Encoder framed;
+  framed.PutU32(static_cast<uint32_t>(body.size()));
+  framed.PutU64(Hash64(body.buffer().data(), body.size()));
+  framed.PutRaw(body.buffer().data(), body.size());
+  size_t n = std::fwrite(framed.buffer().data(), 1, framed.size(), file_);
+  if (n != framed.size()) return Status::IOError("wal: short append");
+  ++records_appended_;
+  return Status::OK();
+}
+
+Status Wal::Sync() {
+  if (file_ == nullptr) return Status::Internal("wal not open");
+  if (std::fflush(file_) != 0) return Status::IOError("wal: fflush failed");
+  if (fsync(fileno(file_)) != 0) return Status::IOError("wal: fsync failed");
+  return Status::OK();
+}
+
+Status Wal::ReadAll(std::vector<WalRecord>* out) const {
+  out->clear();
+  std::FILE* f = std::fopen(path_.c_str(), "rb");
+  if (f == nullptr) return Status::OK();  // no log yet
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<char> buf(static_cast<size_t>(size));
+  size_t nread = size > 0 ? std::fread(buf.data(), 1, buf.size(), f) : 0;
+  std::fclose(f);
+  if (nread != buf.size()) return Status::IOError("wal: read failed");
+
+  size_t pos = 0;
+  while (pos + 12 <= buf.size()) {
+    Decoder frame(Slice(buf.data() + pos, buf.size() - pos));
+    uint32_t len;
+    uint64_t checksum;
+    if (!frame.GetU32(&len).ok() || !frame.GetU64(&checksum).ok()) break;
+    if (pos + 12 + len > buf.size()) break;  // torn tail
+    const char* body = buf.data() + pos + 12;
+    if (Hash64(body, len) != checksum) break;  // corrupt tail
+    Decoder dec(Slice(body, len));
+    WalRecord rec;
+    uint8_t type;
+    uint64_t txn, oid;
+    if (!dec.GetU8(&type).ok() || !dec.GetU64(&txn).ok() ||
+        !dec.GetU64(&oid).ok() || !dec.GetString(&rec.name).ok() ||
+        !dec.GetBytes(&rec.image).ok()) {
+      break;
+    }
+    rec.type = static_cast<WalRecord::Type>(type);
+    rec.txn = txn;
+    rec.oid = Oid(oid);
+    out->push_back(std::move(rec));
+    pos += 12 + len;
+  }
+  return Status::OK();
+}
+
+Status Wal::Truncate() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  std::FILE* f = std::fopen(path_.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("wal: truncate failed");
+  std::fclose(f);
+  return Open();
+}
+
+}  // namespace ode

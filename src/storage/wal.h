@@ -1,0 +1,73 @@
+#ifndef ODE_STORAGE_WAL_H_
+#define ODE_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "objstore/oid.h"
+
+namespace ode {
+
+/// One logical write-ahead-log record. The disk storage manager uses a
+/// redo-only discipline (no-steal): a transaction's records are appended
+/// and fsynced as a batch ending in kCommit before any page is touched, so
+/// recovery only ever redoes committed transactions.
+struct WalRecord {
+  enum class Type : uint8_t {
+    kBegin = 1,
+    kCommit = 2,
+    kAbort = 3,
+    kUpsert = 4,   // oid + image
+    kFree = 5,     // oid
+    kSetRoot = 6,  // name + oid (null oid = erase)
+  };
+
+  Type type = Type::kBegin;
+  TxnId txn = kNoTxn;
+  Oid oid;
+  std::string name;         // kSetRoot only
+  std::vector<char> image;  // kUpsert only
+};
+
+/// Append-only log file with per-record checksums. Torn tails (from a
+/// crash mid-append) are detected and discarded during ReadAll.
+class Wal {
+ public:
+  explicit Wal(std::string path);
+  ~Wal();
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Opens for appending, creating the file if absent.
+  Status Open();
+  Status Close();
+
+  /// Appends one record (buffered; durable only after Sync()).
+  Status Append(const WalRecord& record);
+
+  /// Flushes buffered records and fsyncs the file.
+  Status Sync();
+
+  /// Reads every intact record from the start of the file. Stops (without
+  /// error) at the first corrupt/torn record, mirroring crash recovery.
+  Status ReadAll(std::vector<WalRecord>* out) const;
+
+  /// Empties the log (after a checkpoint made its contents redundant).
+  Status Truncate();
+
+  uint64_t records_appended() const { return records_appended_; }
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  uint64_t records_appended_ = 0;
+};
+
+}  // namespace ode
+
+#endif  // ODE_STORAGE_WAL_H_

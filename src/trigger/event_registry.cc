@@ -1,0 +1,45 @@
+#include "trigger/event_registry.h"
+
+namespace ode {
+
+EventRegistry& EventRegistry::Global() {
+  // Function-local static reference; never destroyed (see style guide on
+  // static storage duration objects).
+  static EventRegistry& instance = *new EventRegistry();
+  return instance;
+}
+
+Symbol EventRegistry::Intern(const std::string& type_name,
+                             const std::string& event_name) {
+  std::string key = type_name + "::" + event_name;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = table_.find(key);
+  if (it != table_.end()) return it->second;
+  Symbol symbol = next_++;
+  table_.emplace(std::move(key), symbol);
+  names_.push_back(type_name + "::" + event_name);
+  return symbol;
+}
+
+Symbol EventRegistry::Find(const std::string& type_name,
+                           const std::string& event_name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = table_.find(type_name + "::" + event_name);
+  return it == table_.end() ? 0 : it->second;
+}
+
+std::string EventRegistry::NameOf(Symbol symbol) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (symbol < kFirstEventSymbol ||
+      symbol - kFirstEventSymbol >= names_.size()) {
+    return "ev" + std::to_string(symbol);
+  }
+  return names_[symbol - kFirstEventSymbol];
+}
+
+size_t EventRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return names_.size();
+}
+
+}  // namespace ode

@@ -1,0 +1,57 @@
+#ifndef ODE_TRIGGER_EVENT_REGISTRY_H_
+#define ODE_TRIGGER_EVENT_REGISTRY_H_
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "events/event_expr.h"
+
+namespace ode {
+
+/// Run-time interning of basic events to globally-unique small integers —
+/// the paper's eventRep mechanism (§5.2). "Because of separate
+/// compilation, unique integers cannot be assigned at compile time...
+/// the assignment of unique integers to represent events is made at
+/// run-time. The eventRep constructor examines a table to see if another
+/// eventRep with the same parameters has been constructed" — here the
+/// parameters are (defining type name, event name), and the table is this
+/// registry.
+///
+/// Events declared in a base class keep the base class's symbol in
+/// derived classes, so one FSM transition matches the event regardless of
+/// the dynamic type of the posting object.
+class EventRegistry {
+ public:
+  EventRegistry() = default;
+
+  EventRegistry(const EventRegistry&) = delete;
+  EventRegistry& operator=(const EventRegistry&) = delete;
+
+  /// Process-wide registry (the paper's single static table).
+  static EventRegistry& Global();
+
+  /// Returns the unique symbol for (type, event), assigning the next
+  /// integer on first sight — the eventRep constructor.
+  Symbol Intern(const std::string& type_name, const std::string& event_name);
+
+  /// Looks up without interning; returns 0 (an invalid symbol) if absent.
+  Symbol Find(const std::string& type_name,
+              const std::string& event_name) const;
+
+  /// Human-readable "Type::event" name of a symbol (for FSM printing).
+  std::string NameOf(Symbol symbol) const;
+
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Symbol> table_;
+  std::vector<std::string> names_;  // index: symbol - kFirstEventSymbol
+  Symbol next_ = kFirstEventSymbol;
+};
+
+}  // namespace ode
+
+#endif  // ODE_TRIGGER_EVENT_REGISTRY_H_

@@ -1,0 +1,161 @@
+#include "trigger/trigger_index.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace ode {
+
+namespace {
+constexpr const char* kIndexRoot = "ode.trigger_index";
+}  // namespace
+
+Result<std::vector<Oid>> TriggerIndex::LoadDirectory(Transaction* txn,
+                                                     bool create) {
+  auto root = db_->GetRoot(txn, kIndexRoot);
+  if (root.ok()) {
+    std::vector<char> image;
+    ODE_RETURN_NOT_OK(db_->ReadObject(txn, root.value(), &image));
+    Decoder dec(image);
+    uint64_t n;
+    ODE_RETURN_NOT_OK(dec.GetVarint(&n));
+    std::vector<Oid> buckets;
+    buckets.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      uint64_t oid;
+      ODE_RETURN_NOT_OK(dec.GetU64(&oid));
+      buckets.push_back(Oid(oid));
+    }
+    return buckets;
+  }
+  if (!root.status().IsNotFound() || !create) return root.status();
+
+  // First use in this database: create the directory and empty buckets.
+  std::vector<Oid> buckets;
+  buckets.reserve(default_buckets_);
+  Bucket empty;
+  for (size_t i = 0; i < default_buckets_; ++i) {
+    Encoder enc;
+    enc.PutVarint(0);
+    ODE_ASSIGN_OR_RETURN(Oid b, db_->NewObject(txn, Slice(enc.buffer())));
+    buckets.push_back(b);
+  }
+  Encoder dir;
+  dir.PutVarint(buckets.size());
+  for (Oid b : buckets) dir.PutU64(b.value());
+  ODE_ASSIGN_OR_RETURN(Oid dir_oid, db_->NewObject(txn, Slice(dir.buffer())));
+  ODE_RETURN_NOT_OK(db_->SetRoot(txn, kIndexRoot, dir_oid));
+  return buckets;
+}
+
+Result<TriggerIndex::Bucket> TriggerIndex::LoadBucket(Transaction* txn,
+                                                      Oid bucket_oid) {
+  std::vector<char> image;
+  ODE_RETURN_NOT_OK(db_->ReadObject(txn, bucket_oid, &image));
+  Decoder dec(image);
+  Bucket bucket;
+  uint64_t n;
+  ODE_RETURN_NOT_OK(dec.GetVarint(&n));
+  if (n * 9 > dec.remaining()) {
+    return Status::Corruption("trigger index bucket: bad entry count");
+  }
+  bucket.entries.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t obj;
+    uint64_t ntrigs;
+    ODE_RETURN_NOT_OK(dec.GetU64(&obj));
+    ODE_RETURN_NOT_OK(dec.GetVarint(&ntrigs));
+    if (ntrigs * 8 > dec.remaining()) {
+      return Status::Corruption("trigger index bucket: bad trigger count");
+    }
+    std::vector<Oid> trigs;
+    trigs.reserve(ntrigs);
+    for (uint64_t j = 0; j < ntrigs; ++j) {
+      uint64_t t;
+      ODE_RETURN_NOT_OK(dec.GetU64(&t));
+      trigs.push_back(Oid(t));
+    }
+    bucket.entries.emplace_back(Oid(obj), std::move(trigs));
+  }
+  return bucket;
+}
+
+Status TriggerIndex::StoreBucket(Transaction* txn, Oid bucket_oid,
+                                 const Bucket& bucket) {
+  Encoder enc;
+  enc.PutVarint(bucket.entries.size());
+  for (const auto& [obj, trigs] : bucket.entries) {
+    enc.PutU64(obj.value());
+    enc.PutVarint(trigs.size());
+    for (Oid t : trigs) enc.PutU64(t.value());
+  }
+  return db_->WriteObject(txn, bucket_oid, Slice(enc.buffer()));
+}
+
+Status TriggerIndex::Insert(Transaction* txn, Oid obj, Oid trig) {
+  ODE_ASSIGN_OR_RETURN(std::vector<Oid> buckets,
+                       LoadDirectory(txn, /*create=*/true));
+  Oid bucket_oid = buckets[MixU64(obj.value()) % buckets.size()];
+  ODE_ASSIGN_OR_RETURN(Bucket bucket, LoadBucket(txn, bucket_oid));
+  for (auto& [entry_obj, trigs] : bucket.entries) {
+    if (entry_obj == obj) {
+      if (std::find(trigs.begin(), trigs.end(), trig) != trigs.end()) {
+        return Status::AlreadyExists("trigger already indexed");
+      }
+      trigs.push_back(trig);
+      return StoreBucket(txn, bucket_oid, bucket);
+    }
+  }
+  bucket.entries.emplace_back(obj, std::vector<Oid>{trig});
+  return StoreBucket(txn, bucket_oid, bucket);
+}
+
+Status TriggerIndex::Remove(Transaction* txn, Oid obj, Oid trig) {
+  ODE_ASSIGN_OR_RETURN(std::vector<Oid> buckets,
+                       LoadDirectory(txn, /*create=*/true));
+  Oid bucket_oid = buckets[MixU64(obj.value()) % buckets.size()];
+  ODE_ASSIGN_OR_RETURN(Bucket bucket, LoadBucket(txn, bucket_oid));
+  for (auto it = bucket.entries.begin(); it != bucket.entries.end(); ++it) {
+    if (it->first != obj) continue;
+    auto tit = std::find(it->second.begin(), it->second.end(), trig);
+    if (tit == it->second.end()) break;
+    it->second.erase(tit);
+    if (it->second.empty()) bucket.entries.erase(it);
+    return StoreBucket(txn, bucket_oid, bucket);
+  }
+  return Status::NotFound("trigger not in index");
+}
+
+Result<std::vector<Oid>> TriggerIndex::Lookup(Transaction* txn, Oid obj) {
+  auto buckets = LoadDirectory(txn, /*create=*/false);
+  if (!buckets.ok()) {
+    if (buckets.status().IsNotFound()) return std::vector<Oid>{};
+    return buckets.status();
+  }
+  Oid bucket_oid =
+      buckets.value()[MixU64(obj.value()) % buckets.value().size()];
+  ODE_ASSIGN_OR_RETURN(Bucket bucket, LoadBucket(txn, bucket_oid));
+  for (const auto& [entry_obj, trigs] : bucket.entries) {
+    if (entry_obj == obj) return trigs;
+  }
+  return std::vector<Oid>{};
+}
+
+Status TriggerIndex::ForEach(
+    Transaction* txn, const std::function<void(Oid obj, Oid trig)>& fn) {
+  auto buckets = LoadDirectory(txn, /*create=*/false);
+  if (!buckets.ok()) {
+    return buckets.status().IsNotFound() ? Status::OK() : buckets.status();
+  }
+  for (Oid bucket_oid : buckets.value()) {
+    ODE_ASSIGN_OR_RETURN(Bucket bucket, LoadBucket(txn, bucket_oid));
+    for (const auto& [obj, trigs] : bucket.entries) {
+      for (Oid t : trigs) fn(obj, t);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace ode

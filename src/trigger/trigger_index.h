@@ -1,0 +1,64 @@
+#ifndef ODE_TRIGGER_TRIGGER_INDEX_H_
+#define ODE_TRIGGER_TRIGGER_INDEX_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "objstore/database.h"
+#include "objstore/oid.h"
+
+namespace ode {
+
+/// The persistent "index that maps an object to all the triggers active on
+/// that object" (paper §5.4.1), used on every event posting. Implemented
+/// as a fixed-fanout persistent hash table: a directory object holds the
+/// bucket Oids; each bucket holds (object oid -> list of TriggerState
+/// oids) entries. One posting touches exactly one bucket.
+///
+/// Storing the index in the database (not transient memory) is what gives
+/// Ode *global* composite events — trigger progress made by one program
+/// is visible to the next (§7, contrast with Sentinel).
+class TriggerIndex {
+ public:
+  /// `buckets` fixes the fanout when the index is first created in a
+  /// database; an existing index keeps its original fanout.
+  TriggerIndex(Database* db, size_t buckets = 64)
+      : db_(db), default_buckets_(buckets) {}
+
+  TriggerIndex(const TriggerIndex&) = delete;
+  TriggerIndex& operator=(const TriggerIndex&) = delete;
+
+  /// Adds the mapping obj -> trig (a TriggerState Oid).
+  Status Insert(Transaction* txn, Oid obj, Oid trig);
+
+  /// Removes the mapping; kNotFound if absent.
+  Status Remove(Transaction* txn, Oid obj, Oid trig);
+
+  /// All TriggerState Oids active on obj (empty vector if none).
+  Result<std::vector<Oid>> Lookup(Transaction* txn, Oid obj);
+
+  /// Scans the whole index: (object, trigger-state) pairs. Used to prime
+  /// the in-memory has-active-triggers counts at session start (the
+  /// paper's footnote 3 fast path).
+  Status ForEach(Transaction* txn,
+                 const std::function<void(Oid obj, Oid trig)>& fn);
+
+ private:
+  struct Bucket {
+    // obj -> trigger-state oids
+    std::vector<std::pair<Oid, std::vector<Oid>>> entries;
+  };
+
+  Result<std::vector<Oid>> LoadDirectory(Transaction* txn, bool create);
+  Result<Bucket> LoadBucket(Transaction* txn, Oid bucket_oid);
+  Status StoreBucket(Transaction* txn, Oid bucket_oid, const Bucket& bucket);
+
+  Database* db_;
+  size_t default_buckets_;
+};
+
+}  // namespace ode
+
+#endif  // ODE_TRIGGER_TRIGGER_INDEX_H_

@@ -1,0 +1,566 @@
+#include "trigger/trigger_manager.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ode {
+
+TriggerManager::TriggerManager(Database* db, size_t index_buckets)
+    : db_(db), index_(db, index_buckets) {
+  TransactionManager* txns = db_->txns();
+  txns->SetPreCommitHook([this](Transaction* t) { return PreCommit(t); });
+  txns->SetPreAbortHook([this](Transaction* t) { return PreAbort(t); });
+  txns->SetPostCommitHook([this](Transaction* t) { return PostCommit(t); });
+  txns->SetPostAbortHook([this](Transaction* t) { return PostAbort(t); });
+}
+
+void TriggerManager::RegisterType(const TypeDescriptor* type) {
+  std::lock_guard<std::mutex> lock(mu_);
+  types_[type->name()] = type;
+}
+
+const TypeDescriptor* TriggerManager::FindType(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = types_.find(name);
+  return it == types_.end() ? nullptr : it->second;
+}
+
+TriggerManager::TxnCtx* TriggerManager::GetCtx(TxnId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = contexts_[id];
+  if (slot == nullptr) slot = std::make_unique<TxnCtx>();
+  return slot.get();
+}
+
+Status TriggerManager::PrimeActiveCounts(Transaction* txn) {
+  std::unordered_map<Oid, int64_t, OidHash> counts;
+  ODE_RETURN_NOT_OK(index_.ForEach(txn, [&](Oid obj, Oid trig) {
+    (void)trig;
+    ++counts[obj];
+  }));
+  std::lock_guard<std::mutex> lock(mu_);
+  committed_counts_ = std::move(counts);
+  return Status::OK();
+}
+
+int64_t TriggerManager::ActiveCount(Transaction* txn, Oid obj) {
+  int64_t count = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = committed_counts_.find(obj);
+    if (it != committed_counts_.end()) count = it->second;
+  }
+  TxnCtx* ctx = GetCtx(txn->id());
+  auto dit = ctx->count_delta.find(obj);
+  if (dit != ctx->count_delta.end()) count += dit->second;
+  auto lit = ctx->local_counts.find(obj);
+  if (lit != ctx->local_counts.end()) count += lit->second;
+  return count;
+}
+
+Result<const TypeDescriptor*> TriggerManager::ResolveMetatype(
+    Transaction* txn, uint32_t metatype_id) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = metatype_cache_.find(metatype_id);
+    if (it != metatype_cache_.end()) return it->second;
+  }
+  ODE_ASSIGN_OR_RETURN(std::string name, db_->MetatypeName(txn, metatype_id));
+  const TypeDescriptor* type = FindType(name);
+  if (type == nullptr) {
+    return Status::NotFound("type '" + name +
+                            "' has persistent triggers but is not "
+                            "registered in this program");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  metatype_cache_.emplace(metatype_id, type);
+  return type;
+}
+
+Result<TriggerId> TriggerManager::Activate(Transaction* txn, Oid obj,
+                                           const TypeDescriptor* obj_type,
+                                           const std::string& trigger_name,
+                                           Slice params) {
+  return ActivateGroup(txn, {obj}, obj_type, trigger_name, params);
+}
+
+Result<TriggerId> TriggerManager::ActivateGroup(
+    Transaction* txn, const std::vector<Oid>& anchors,
+    const TypeDescriptor* obj_type, const std::string& trigger_name,
+    Slice params) {
+  if (anchors.empty()) {
+    return Status::InvalidArgument("trigger needs at least one anchor");
+  }
+  const TypeDescriptor* defining = nullptr;
+  const TriggerInfo* info = obj_type->FindTrigger(trigger_name, &defining);
+  if (info == nullptr) {
+    return Status::NotFound("class " + obj_type->name() +
+                            " has no trigger '" + trigger_name + "'");
+  }
+  ODE_ASSIGN_OR_RETURN(uint32_t metatype_id,
+                       db_->MetatypeId(txn, defining->name()));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    metatype_cache_.emplace(metatype_id, defining);
+  }
+
+  TriggerState state;
+  state.triggernum = info->triggernum;
+  state.trigobj = anchors.front();
+  state.statenum = info->fsm.start();
+  state.trigobjtype = metatype_id;
+  state.params = params.ToVector();
+  state.anchors = anchors;
+
+  ODE_ASSIGN_OR_RETURN(Oid id, db_->NewObject(txn, Slice(state.Encode())));
+  TxnCtx* ctx = GetCtx(txn->id());
+  for (Oid anchor : anchors) {
+    ODE_RETURN_NOT_OK(index_.Insert(txn, anchor, id));
+    ++ctx->count_delta[anchor];
+  }
+  ++stats_.activations;
+  return id;
+}
+
+Result<uint64_t> TriggerManager::ActivateLocal(
+    Transaction* txn, Oid obj, const TypeDescriptor* obj_type,
+    const std::string& trigger_name, Slice params) {
+  const TypeDescriptor* defining = nullptr;
+  const TriggerInfo* info = obj_type->FindTrigger(trigger_name, &defining);
+  if (info == nullptr) {
+    return Status::NotFound("class " + obj_type->name() +
+                            " has no trigger '" + trigger_name + "'");
+  }
+  TxnCtx* ctx = GetCtx(txn->id());
+  LocalTrigger local;
+  local.id = ctx->next_local_id++;
+  local.obj = obj;
+  local.type = defining;
+  local.triggernum = info->triggernum;
+  local.statenum = info->fsm.start();
+  local.params = params.ToVector();
+  ctx->local_triggers.push_back(std::move(local));
+  ++ctx->local_counts[obj];
+  ++stats_.activations;
+  return ctx->local_triggers.back().id;
+}
+
+Status TriggerManager::DeactivateLocal(Transaction* txn, uint64_t local_id) {
+  TxnCtx* ctx = GetCtx(txn->id());
+  for (LocalTrigger& local : ctx->local_triggers) {
+    if (local.id == local_id && !local.dead) {
+      local.dead = true;
+      --ctx->local_counts[local.obj];
+      ++stats_.deactivations;
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no local trigger with id " +
+                          std::to_string(local_id));
+}
+
+Status TriggerManager::Deactivate(Transaction* txn, TriggerId id) {
+  std::vector<char> image;
+  ODE_RETURN_NOT_OK(db_->ReadObjectForUpdate(txn, id, &image));
+  ODE_ASSIGN_OR_RETURN(TriggerState state, TriggerState::Decode(image));
+  return DeactivateInternal(txn, id, state);
+}
+
+Status TriggerManager::DeactivateInternal(Transaction* txn, TriggerId id,
+                                          const TriggerState& state) {
+  TxnCtx* ctx = GetCtx(txn->id());
+  for (Oid anchor : state.anchors) {
+    ODE_RETURN_NOT_OK(index_.Remove(txn, anchor, id));
+    --ctx->count_delta[anchor];
+  }
+  ODE_RETURN_NOT_OK(db_->FreeObject(txn, id));
+  ++stats_.deactivations;
+  return Status::OK();
+}
+
+Status TriggerManager::DeactivateAll(Transaction* txn, Oid obj) {
+  ODE_ASSIGN_OR_RETURN(std::vector<Oid> ids, index_.Lookup(txn, obj));
+  for (Oid id : ids) {
+    ODE_RETURN_NOT_OK(Deactivate(txn, id));
+  }
+  return Status::OK();
+}
+
+bool TriggerManager::IsActive(Transaction* txn, TriggerId id) {
+  return db_->ObjectExists(txn, id);
+}
+
+Result<std::vector<TriggerManager::ActiveTrigger>> TriggerManager::ListActive(
+    Transaction* txn, Oid obj) {
+  ODE_ASSIGN_OR_RETURN(std::vector<Oid> ids, index_.Lookup(txn, obj));
+  std::vector<ActiveTrigger> out;
+  out.reserve(ids.size());
+  for (Oid id : ids) {
+    std::vector<char> image;
+    ODE_RETURN_NOT_OK(db_->ReadObject(txn, id, &image));
+    ODE_ASSIGN_OR_RETURN(TriggerState state, TriggerState::Decode(image));
+    ODE_ASSIGN_OR_RETURN(const TypeDescriptor* defining,
+                         ResolveMetatype(txn, state.trigobjtype));
+    const TriggerInfo& info = defining->triggers()[state.triggernum];
+    ActiveTrigger entry;
+    entry.id = id;
+    entry.trigger_name = info.name;
+    entry.defining_class = defining->name();
+    entry.statenum = state.statenum;
+    entry.accepting = info.fsm.Accepting(state.statenum);
+    entry.dead = state.statenum == Fsm::kDeadState;
+    entry.anchors = state.anchors;
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+Status TriggerManager::PostEvent(Transaction* txn, Oid obj,
+                                 const TypeDescriptor* obj_type,
+                                 Symbol symbol, Slice event_args) {
+  (void)obj_type;  // passed for API parity with the paper's PostEvent
+  ++stats_.posts;
+  // Footnote 3: "If the object has no active triggers, no lookup is
+  // required since the persistent object's control information will
+  // indicate that."
+  if (ActiveCount(txn, obj) == 0) {
+    ++stats_.fast_path_skips;
+    return Status::OK();
+  }
+
+  std::vector<char> args = event_args.ToVector();
+  TxnCtx* ctx = GetCtx(txn->id());
+
+  struct Ready {
+    const TypeDescriptor* type;
+    const TriggerInfo* info;
+    TriggerId id;          // null for local triggers
+    uint64_t local_id = 0; // 0 for persistent triggers
+    TriggerState state;    // persistent: full state; local: synthesized
+  };
+  std::vector<Ready> ready;
+
+  // --- persistent triggers: index lookup + locked FSM advance (§5.4.5).
+  bool have_persistent = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    have_persistent = committed_counts_.count(obj) != 0;
+  }
+  have_persistent = have_persistent || ctx->count_delta.count(obj) != 0;
+  std::vector<Oid> trig_ids;
+  if (have_persistent) {
+    ODE_ASSIGN_OR_RETURN(trig_ids, index_.Lookup(txn, obj));
+  }
+
+  for (Oid trig_id : trig_ids) {
+    // Advancing the FSM writes the TriggerState, so take the write lock
+    // up front (§5.1.3: triggers turn read access into write access).
+    std::vector<char> image;
+    ODE_RETURN_NOT_OK(db_->ReadObjectForUpdate(txn, trig_id, &image));
+    ODE_ASSIGN_OR_RETURN(TriggerState state, TriggerState::Decode(image));
+    ODE_ASSIGN_OR_RETURN(const TypeDescriptor* defining,
+                         ResolveMetatype(txn, state.trigobjtype));
+    if (state.triggernum >= defining->triggers().size()) {
+      return Status::Corruption("trigger number out of range for " +
+                                defining->name());
+    }
+    const TriggerInfo& info = defining->triggers()[state.triggernum];
+
+    // Step (a): follow the transition, if any (unknown events ignored).
+    int32_t next = info.fsm.Move(state.statenum, symbol);
+    ++stats_.fsm_moves;
+
+    // Step (b): evaluate masks until the machine quiesces.
+    MaskEvalContext mask_ctx(txn, db_, state.trigobj, state.params,
+                             state.anchors, args);
+    int evaluations = 0;
+    auto resolved = info.fsm.ResolveMasks(
+        next,
+        [&](int32_t mask_id) -> Result<bool> {
+          if (mask_id < 0 ||
+              static_cast<size_t>(mask_id) >= info.masks.size() ||
+              !info.masks[mask_id]) {
+            return Status::Internal("trigger " + info.name +
+                                    ": no mask function " +
+                                    std::to_string(mask_id));
+          }
+          return info.masks[mask_id](mask_ctx);
+        },
+        &evaluations);
+    if (!resolved.ok()) return resolved.status();
+    stats_.mask_evaluations += evaluations;
+    next = resolved.value();
+
+    if (next != state.statenum) {
+      state.statenum = next;
+      ODE_RETURN_NOT_OK(
+          db_->WriteObject(txn, trig_id, Slice(state.Encode())));
+    }
+
+    // Step (c): accept check. Firing is delayed until every trigger has
+    // seen the event, "to prevent the action of one trigger from
+    // affecting the mask of another trigger" (§5.4.5).
+    if (info.fsm.Accepting(next)) {
+      ready.push_back(Ready{defining, &info, trig_id, 0, std::move(state)});
+    }
+  }
+
+  // --- local triggers: in-memory advance, no locks, no writes (§8).
+  // Index-based iteration: mask evaluation must not mutate the list
+  // (masks are side-effect-free predicates), but indexing stays valid
+  // even if the vector reallocates.
+  for (size_t i = 0; i < ctx->local_triggers.size(); ++i) {
+    if (ctx->local_triggers[i].dead || ctx->local_triggers[i].obj != obj) {
+      continue;
+    }
+    const TriggerInfo& info =
+        ctx->local_triggers[i].type->triggers()[ctx->local_triggers[i]
+                                                    .triggernum];
+    int32_t next = info.fsm.Move(ctx->local_triggers[i].statenum, symbol);
+    ++stats_.fsm_moves;
+    std::vector<Oid> anchors{ctx->local_triggers[i].obj};
+    std::vector<char> params = ctx->local_triggers[i].params;
+    MaskEvalContext mask_ctx(txn, db_, anchors.front(), params, anchors,
+                             args);
+    int evaluations = 0;
+    auto resolved = info.fsm.ResolveMasks(
+        next,
+        [&](int32_t mask_id) -> Result<bool> {
+          if (mask_id < 0 ||
+              static_cast<size_t>(mask_id) >= info.masks.size()) {
+            return Status::Internal("local trigger: no mask function");
+          }
+          return info.masks[mask_id](mask_ctx);
+        },
+        &evaluations);
+    if (!resolved.ok()) return resolved.status();
+    stats_.mask_evaluations += evaluations;
+    LocalTrigger& local = ctx->local_triggers[i];
+    local.statenum = resolved.value();
+
+    if (info.fsm.Accepting(local.statenum)) {
+      Ready r;
+      r.type = local.type;
+      r.info = &info;
+      r.id = TriggerId();  // null: transient
+      r.local_id = local.id;
+      r.state.triggernum = local.triggernum;
+      r.state.trigobj = local.obj;
+      r.state.params = local.params;
+      r.state.anchors = {local.obj};
+      ready.push_back(std::move(r));
+    }
+  }
+
+  if (ready.empty()) return Status::OK();
+
+  for (Ready& r : ready) {
+    ++stats_.fires;
+    PendingAction action;
+    action.type = r.type;
+    action.triggernum = r.state.triggernum;
+    action.anchor = r.state.trigobj;
+    action.trigger_id = r.id;
+    action.params = r.state.params;
+    action.anchors = r.state.anchors;
+    action.event_args = args;
+
+    // Once-only triggers deactivate when they fire (§5.4.5c).
+    auto deactivate_once_only = [&]() -> Status {
+      if (r.info->perpetual) return Status::OK();
+      if (r.local_id != 0) return DeactivateLocal(txn, r.local_id);
+      return DeactivateInternal(txn, r.id, r.state);
+    };
+
+    switch (r.info->coupling) {
+      case CouplingMode::kImmediate: {
+        if (++ctx->fire_depth > kMaxFireDepth) {
+          --ctx->fire_depth;
+          return Status::Internal("immediate trigger cascade exceeded depth " +
+                                  std::to_string(kMaxFireDepth));
+        }
+        Status st = RunAction(txn, action);
+        --ctx->fire_depth;
+        // The paper fires the action and then deactivates (§5.4.5c);
+        // on tabort the whole transaction rolls back anyway.
+        if (st.ok()) {
+          ODE_RETURN_NOT_OK(deactivate_once_only());
+        }
+        if (!st.ok()) return st;
+        break;
+      }
+      case CouplingMode::kDeferred:
+        ctx->end_list.push_back(std::move(action));
+        ODE_RETURN_NOT_OK(deactivate_once_only());
+        break;
+      case CouplingMode::kDependent:
+        ctx->dependent_list.push_back(std::move(action));
+        ODE_RETURN_NOT_OK(deactivate_once_only());
+        break;
+      case CouplingMode::kIndependent:
+        ctx->independent_list.push_back(std::move(action));
+        ODE_RETURN_NOT_OK(deactivate_once_only());
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+Status TriggerManager::RunAction(Transaction* txn,
+                                 const PendingAction& action) {
+  const TriggerInfo& info = action.type->triggers()[action.triggernum];
+  TriggerFireContext fire_ctx(txn, db_, this, action.anchor,
+                              action.trigger_id, action.params,
+                              action.anchors, action.event_args);
+  if (!info.action) {
+    return Status::Internal("trigger " + info.name + " has no action");
+  }
+  TxnCtx* ctx = GetCtx(txn->id());
+  ++ctx->processing_depth;
+  Status st = info.action(fire_ctx);
+  --ctx->processing_depth;
+  ODE_RETURN_NOT_OK(st);
+  if (txn->abort_requested()) {
+    return Status::TransactionAborted(txn->abort_reason());
+  }
+  return Status::OK();
+}
+
+bool TriggerManager::InAction(Transaction* txn) {
+  return GetCtx(txn->id())->processing_depth > 0;
+}
+
+void TriggerManager::NoteAccess(Transaction* txn, Oid obj,
+                                const TypeDescriptor* obj_type) {
+  // Interested iff the class (or a base) declares a transaction event.
+  bool interested = false;
+  for (const TypeDescriptor* t = obj_type; t != nullptr; t = t->base()) {
+    for (const EventDecl& e : t->own_events()) {
+      if (e.kind == EventKind::kBeforeTComplete ||
+          e.kind == EventKind::kBeforeTAbort) {
+        interested = true;
+      }
+    }
+  }
+  if (!interested) return;
+  TxnCtx* ctx = GetCtx(txn->id());
+  for (const auto& [oid, type] : ctx->txn_event_objects) {
+    (void)type;
+    if (oid == obj) return;  // already listed
+  }
+  ctx->txn_event_objects.emplace_back(obj, obj_type);
+}
+
+Status TriggerManager::PostTxnEvent(Transaction* txn, EventKind kind) {
+  TxnCtx* ctx = GetCtx(txn->id());
+  // Snapshot: posting may run actions that access more objects.
+  auto objects = ctx->txn_event_objects;
+  const char* name =
+      kind == EventKind::kBeforeTComplete ? "before tcomplete"
+                                          : "before tabort";
+  for (const auto& [obj, type] : objects) {
+    const EventDecl* decl = type->FindEvent(name);
+    if (decl == nullptr) continue;
+    ODE_RETURN_NOT_OK(PostEvent(txn, obj, type, decl->symbol));
+  }
+  return Status::OK();
+}
+
+Status TriggerManager::PreCommit(Transaction* txn) {
+  TxnCtx* ctx = GetCtx(txn->id());
+  bool posted_tcomplete = false;
+  int rounds = 0;
+  // "Immediately before posting before tcomplete events, commit
+  // processing scans the end list and executes the relevant actions"
+  // (§5.5). Deferred actions may queue further deferred actions; drain to
+  // a fixpoint (bounded).
+  while (true) {
+    if (++rounds > kMaxDeferredRounds) {
+      return Status::Internal("deferred trigger cascade did not quiesce");
+    }
+    if (!ctx->end_list.empty()) {
+      std::vector<PendingAction> batch = std::move(ctx->end_list);
+      ctx->end_list.clear();
+      for (const PendingAction& a : batch) {
+        ODE_RETURN_NOT_OK(RunAction(txn, a));
+      }
+      continue;
+    }
+    if (!posted_tcomplete) {
+      posted_tcomplete = true;
+      ODE_RETURN_NOT_OK(PostTxnEvent(txn, EventKind::kBeforeTComplete));
+      if (txn->abort_requested()) {
+        return Status::TransactionAborted(txn->abort_reason());
+      }
+      continue;
+    }
+    break;
+  }
+  return Status::OK();
+}
+
+Status TriggerManager::PreAbort(Transaction* txn) {
+  // Post `before tabort`. Effects roll back with the transaction; only
+  // !dependent queue entries survive (they run in PostAbort).
+  Status st = PostTxnEvent(txn, EventKind::kBeforeTAbort);
+  if (!st.ok() && !st.IsTransactionAborted()) return st;
+  return Status::OK();
+}
+
+Status TriggerManager::PostCommit(Transaction* txn) {
+  std::vector<PendingAction> dependent, independent;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = contexts_.find(txn->id());
+    if (it != contexts_.end()) {
+      for (const auto& [oid, delta] : it->second->count_delta) {
+        int64_t& slot = committed_counts_[oid];
+        slot += delta;
+        if (slot <= 0) committed_counts_.erase(oid);
+      }
+      dependent = std::move(it->second->dependent_list);
+      independent = std::move(it->second->independent_list);
+      contexts_.erase(it);  // also deallocates local triggers
+    }
+  }
+  ODE_RETURN_NOT_OK(RunDetached(dependent, "dependent"));
+  return RunDetached(independent, "!dependent");
+}
+
+Status TriggerManager::PostAbort(Transaction* txn) {
+  std::vector<PendingAction> independent;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = contexts_.find(txn->id());
+    if (it != contexts_.end()) {
+      // count_delta discarded: activations/deactivations rolled back.
+      independent = std::move(it->second->independent_list);
+      contexts_.erase(it);
+    }
+  }
+  // "The function handling transaction abort ... checks if the
+  // !dependent list is non-empty after finishing all the tasks it
+  // normally performs for roll-back" (§5.5).
+  return RunDetached(independent, "!dependent");
+}
+
+Status TriggerManager::RunDetached(const std::vector<PendingAction>& actions,
+                                   const char* what) {
+  if (actions.empty()) return Status::OK();
+  // One system transaction scans the whole list (§5.5).
+  ODE_ASSIGN_OR_RETURN(Transaction * txn,
+                       db_->txns()->Begin(/*system=*/true));
+  for (const PendingAction& a : actions) {
+    Status st = RunAction(txn, a);
+    if (!st.ok()) {
+      ODE_LOG(kWarn) << what << " trigger action failed: " << st.ToString();
+      Status ast = db_->txns()->Abort(txn, /*explicit_request=*/false);
+      if (!ast.ok()) return ast;
+      return Status::OK();
+    }
+  }
+  return db_->txns()->Commit(txn);
+}
+
+}  // namespace ode

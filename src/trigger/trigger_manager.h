@@ -1,0 +1,303 @@
+#ifndef ODE_TRIGGER_TRIGGER_MANAGER_H_
+#define ODE_TRIGGER_TRIGGER_MANAGER_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "objstore/database.h"
+#include "objstore/type_descriptor.h"
+#include "trigger/trigger_index.h"
+#include "trigger/trigger_state.h"
+
+namespace ode {
+
+class TriggerManager;
+
+/// Context passed to mask predicates. Masks run inside the detecting
+/// transaction, against the anchor object's current state and the
+/// trigger's activation parameters.
+class MaskEvalContext {
+ public:
+  MaskEvalContext(Transaction* txn, Database* db, Oid anchor,
+                  const std::vector<char>& params,
+                  const std::vector<Oid>& anchors,
+                  const std::vector<char>& event_args)
+      : txn_(txn),
+        db_(db),
+        anchor_(anchor),
+        params_(params),
+        anchors_(anchors),
+        event_args_(event_args) {}
+
+  Transaction* txn() const { return txn_; }
+  Database* db() const { return db_; }
+  Oid anchor() const { return anchor_; }
+  /// The encoded activation parameters of the trigger being evaluated.
+  const std::vector<char>& params() const { return params_; }
+  /// All anchor objects (== {anchor()} except for inter-object triggers).
+  const std::vector<Oid>& anchors() const { return anchors_; }
+  /// Encoded arguments of the member-function invocation that posted the
+  /// current event (§8 future work: "allowing each member function event
+  /// to look at the parameters passed to the corresponding member
+  /// function, at least in masks"). Empty for user/transaction events or
+  /// non-encodable argument types. Decode with UnpackParams.
+  const std::vector<char>& event_args() const { return event_args_; }
+
+ private:
+  Transaction* txn_;
+  Database* db_;
+  Oid anchor_;
+  const std::vector<char>& params_;
+  const std::vector<Oid>& anchors_;
+  const std::vector<char>& event_args_;
+};
+
+/// Context passed to trigger actions. For immediate/deferred coupling the
+/// transaction is the detecting one; for dependent/!dependent it is a
+/// fresh system transaction (paper §5.5).
+class TriggerFireContext {
+ public:
+  TriggerFireContext(Transaction* txn, Database* db, TriggerManager* mgr,
+                     Oid anchor, TriggerId trigger_id,
+                     const std::vector<char>& params,
+                     const std::vector<Oid>& anchors,
+                     const std::vector<char>& event_args)
+      : txn_(txn),
+        db_(db),
+        mgr_(mgr),
+        anchor_(anchor),
+        trigger_id_(trigger_id),
+        params_(params),
+        anchors_(anchors),
+        event_args_(event_args) {}
+
+  Transaction* txn() const { return txn_; }
+  Database* db() const { return db_; }
+  TriggerManager* triggers() const { return mgr_; }
+  Oid anchor() const { return anchor_; }
+  /// Null for transient (local) triggers, which have no persistent state.
+  TriggerId trigger_id() const { return trigger_id_; }
+  const std::vector<char>& params() const { return params_; }
+  /// All anchor objects (== {anchor()} except for inter-object triggers).
+  const std::vector<Oid>& anchors() const { return anchors_; }
+  /// Encoded arguments of the invocation that completed the event (see
+  /// MaskEvalContext::event_args).
+  const std::vector<char>& event_args() const { return event_args_; }
+
+  /// The O++ `tabort` statement: requests abort of the transaction the
+  /// action runs in. The surrounding machinery unwinds with
+  /// kTransactionAborted and rolls the transaction back.
+  void Tabort(std::string reason = "tabort in trigger action") {
+    txn_->RequestAbort(std::move(reason));
+  }
+
+ private:
+  Transaction* txn_;
+  Database* db_;
+  TriggerManager* mgr_;
+  Oid anchor_;
+  TriggerId trigger_id_;
+  const std::vector<char>& params_;
+  const std::vector<Oid>& anchors_;
+  const std::vector<char>& event_args_;
+};
+
+/// Run-time trigger processing (paper §5.4–§5.5): activation and
+/// deactivation, the PostEvent algorithm, coupling-mode scheduling via
+/// transaction hooks, transaction events, and the footnote-3 fast path
+/// (objects without active triggers skip the index lookup entirely).
+///
+/// One TriggerManager serves one Database; it registers itself as the
+/// database's transaction hooks at construction.
+class TriggerManager {
+ public:
+  struct Stats {
+    std::atomic<uint64_t> posts{0};            // PostEvent calls
+    std::atomic<uint64_t> fast_path_skips{0};  // short-circuited posts
+    std::atomic<uint64_t> fsm_moves{0};
+    std::atomic<uint64_t> mask_evaluations{0};
+    std::atomic<uint64_t> fires{0};
+    std::atomic<uint64_t> activations{0};
+    std::atomic<uint64_t> deactivations{0};
+  };
+
+  explicit TriggerManager(Database* db, size_t index_buckets = 64);
+
+  TriggerManager(const TriggerManager&) = delete;
+  TriggerManager& operator=(const TriggerManager&) = delete;
+
+  /// Registers a class's type descriptor (the schema layer calls this for
+  /// every class once its triggers are compiled).
+  void RegisterType(const TypeDescriptor* type);
+  const TypeDescriptor* FindType(const std::string& name) const;
+
+  /// Loads the object->active-trigger counts from the persistent index,
+  /// priming the fast path. Call once after opening the database.
+  Status PrimeActiveCounts(Transaction* txn);
+
+  /// Activates trigger `trigger_name` (searched in `obj_type` and its
+  /// bases) on `obj` with the encoded parameters; returns the TriggerId.
+  /// Mirrors the generated static activation function of §5.4.1.
+  Result<TriggerId> Activate(Transaction* txn, Oid obj,
+                             const TypeDescriptor* obj_type,
+                             const std::string& trigger_name, Slice params);
+
+  /// Inter-object trigger activation (§8 future work): one machine fed
+  /// by the events of every object in `anchors` (all of which must be
+  /// instances of the trigger's defining class or a subtype). The first
+  /// anchor is the primary one seen by typed actions and masks.
+  Result<TriggerId> ActivateGroup(Transaction* txn,
+                                  const std::vector<Oid>& anchors,
+                                  const TypeDescriptor* obj_type,
+                                  const std::string& trigger_name,
+                                  Slice params);
+
+  /// Transient ("local rule", §8) activation: the trigger lives only in
+  /// this transaction's memory — no persistent TriggerState, no index
+  /// entry, no write locks — and is deallocated at end of transaction.
+  /// Returns a transaction-local id.
+  Result<uint64_t> ActivateLocal(Transaction* txn, Oid obj,
+                                 const TypeDescriptor* obj_type,
+                                 const std::string& trigger_name,
+                                 Slice params);
+
+  Status DeactivateLocal(Transaction* txn, uint64_t local_id);
+
+  /// Deactivates a trigger: removes its TriggerState and index entry.
+  Status Deactivate(Transaction* txn, TriggerId id);
+
+  /// Deactivates every trigger anchored at `obj` (used by pdelete).
+  Status DeactivateAll(Transaction* txn, Oid obj);
+
+  /// True if the TriggerState still exists (not yet deactivated).
+  bool IsActive(Transaction* txn, TriggerId id);
+
+  /// Description of one active trigger, for introspection/monitoring.
+  struct ActiveTrigger {
+    TriggerId id;
+    std::string trigger_name;
+    std::string defining_class;
+    int32_t statenum = 0;
+    bool accepting = false;
+    bool dead = false;  // anchored machine that failed
+    std::vector<Oid> anchors;
+  };
+
+  /// Lists the persistent triggers active on `obj`, with their current
+  /// FSM states.
+  Result<std::vector<ActiveTrigger>> ListActive(Transaction* txn, Oid obj);
+
+  /// Posts a basic event to an object — the PostEvent of §5.4.5. Advances
+  /// every active trigger's FSM (masks resolved as pseudo-events), then
+  /// fires/queues the triggers whose machines reached an accept state.
+  /// `event_args` carries the posting invocation's encoded arguments (may
+  /// be empty). Returns kTransactionAborted if an immediate action
+  /// executed tabort.
+  Status PostEvent(Transaction* txn, Oid obj,
+                   const TypeDescriptor* obj_type, Symbol symbol,
+                   Slice event_args = Slice());
+
+  /// Notes that `txn` accessed `obj` (first access adds the object to the
+  /// "transaction event object" list if its class declared interest in
+  /// transaction events, §5.5).
+  void NoteAccess(Transaction* txn, Oid obj, const TypeDescriptor* obj_type);
+
+  /// Number of active triggers on obj as seen by txn (committed count
+  /// plus the transaction's own activations/deactivations).
+  int64_t ActiveCount(Transaction* txn, Oid obj);
+
+  /// True while a trigger action of this transaction is on the stack.
+  /// The Session uses this to auto-abort only at the outermost level when
+  /// an action executed tabort.
+  bool InAction(Transaction* txn);
+
+  const Stats& stats() const { return stats_; }
+  Database* db() { return db_; }
+
+ private:
+  /// An action whose execution was deferred or detached.
+  struct PendingAction {
+    const TypeDescriptor* type = nullptr;
+    uint32_t triggernum = 0;
+    Oid anchor;
+    TriggerId trigger_id;  // null for local triggers
+    std::vector<char> params;
+    std::vector<Oid> anchors;
+    std::vector<char> event_args;
+  };
+
+  /// A transient trigger activation (paper §8 "local rules").
+  struct LocalTrigger {
+    uint64_t id = 0;
+    Oid obj;
+    const TypeDescriptor* type = nullptr;
+    uint32_t triggernum = 0;
+    int32_t statenum = 0;
+    std::vector<char> params;
+    bool dead = false;
+  };
+
+  /// Per-transaction trigger context (discarded at txn end — which is
+  /// also what deallocates local triggers, as the paper prescribes).
+  struct TxnCtx {
+    std::vector<PendingAction> end_list;
+    std::vector<PendingAction> dependent_list;
+    std::vector<PendingAction> independent_list;
+    /// Objects (with their types) to post transaction events to.
+    std::vector<std::pair<Oid, const TypeDescriptor*>> txn_event_objects;
+    std::unordered_map<Oid, int64_t, OidHash> count_delta;
+    std::vector<LocalTrigger> local_triggers;
+    std::unordered_map<Oid, int64_t, OidHash> local_counts;
+    uint64_t next_local_id = 1;
+    int fire_depth = 0;
+    int processing_depth = 0;  // any trigger action on the stack
+  };
+
+  TxnCtx* GetCtx(TxnId id);
+
+  Result<const TypeDescriptor*> ResolveMetatype(Transaction* txn,
+                                                uint32_t metatype_id);
+
+  Status RunAction(Transaction* txn, const PendingAction& action);
+
+  /// Removes state + index entry; used by Deactivate and once-only fire.
+  Status DeactivateInternal(Transaction* txn, TriggerId id,
+                            const TriggerState& state);
+
+  // Transaction hooks.
+  Status PreCommit(Transaction* txn);
+  Status PreAbort(Transaction* txn);
+  Status PostCommit(Transaction* txn);
+  Status PostAbort(Transaction* txn);
+
+  /// Posts the given transaction event to every interested object.
+  Status PostTxnEvent(Transaction* txn, EventKind kind);
+
+  /// Runs a list of pending actions in one fresh system transaction.
+  Status RunDetached(const std::vector<PendingAction>& actions,
+                     const char* what);
+
+  Database* db_;
+  TriggerIndex index_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, const TypeDescriptor*> types_;
+  std::unordered_map<uint32_t, const TypeDescriptor*> metatype_cache_;
+  std::unordered_map<TxnId, std::unique_ptr<TxnCtx>> contexts_;
+  std::unordered_map<Oid, int64_t, OidHash> committed_counts_;
+
+  Stats stats_;
+
+  static constexpr int kMaxFireDepth = 32;
+  static constexpr int kMaxDeferredRounds = 64;
+};
+
+}  // namespace ode
+
+#endif  // ODE_TRIGGER_TRIGGER_MANAGER_H_

@@ -1,0 +1,44 @@
+#include "trigger/trigger_state.h"
+
+#include "common/coding.h"
+
+namespace ode {
+
+std::vector<char> TriggerState::Encode() const {
+  Encoder enc;
+  enc.PutU32(triggernum);
+  enc.PutU64(trigobj.value());
+  enc.PutI32(statenum);
+  enc.PutU32(trigobjtype);
+  enc.PutBytes(params);
+  enc.PutVarint(anchors.size());
+  for (Oid a : anchors) enc.PutU64(a.value());
+  return enc.Release();
+}
+
+Result<TriggerState> TriggerState::Decode(Slice image) {
+  Decoder dec(image);
+  TriggerState out;
+  uint64_t obj;
+  ODE_RETURN_NOT_OK(dec.GetU32(&out.triggernum));
+  ODE_RETURN_NOT_OK(dec.GetU64(&obj));
+  out.trigobj = Oid(obj);
+  ODE_RETURN_NOT_OK(dec.GetI32(&out.statenum));
+  ODE_RETURN_NOT_OK(dec.GetU32(&out.trigobjtype));
+  ODE_RETURN_NOT_OK(dec.GetBytes(&out.params));
+  uint64_t nanchors;
+  ODE_RETURN_NOT_OK(dec.GetVarint(&nanchors));
+  if (nanchors * 8 > dec.remaining()) {
+    return Status::Corruption("trigger state: anchor count exceeds image");
+  }
+  out.anchors.reserve(nanchors);
+  for (uint64_t i = 0; i < nanchors; ++i) {
+    uint64_t a;
+    ODE_RETURN_NOT_OK(dec.GetU64(&a));
+    out.anchors.push_back(Oid(a));
+  }
+  if (out.anchors.empty()) out.anchors.push_back(out.trigobj);
+  return out;
+}
+
+}  // namespace ode

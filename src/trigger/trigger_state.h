@@ -1,0 +1,54 @@
+#ifndef ODE_TRIGGER_TRIGGER_STATE_H_
+#define ODE_TRIGGER_TRIGGER_STATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "objstore/oid.h"
+
+namespace ode {
+
+/// Handle to an activated trigger: the Oid of its persistent TriggerState
+/// record — exactly the paper's `typedef persistent TriggerState*
+/// TriggerId` (§5.4.1).
+using TriggerId = Oid;
+
+/// The persistent per-activation record of §5.4.1:
+///
+///   persistent struct TriggerState {
+///     unsigned int triggernum;   // which trigger of the class
+///     persistent void *trigobj;  // the anchor object
+///     int statenum;              // current FSM state
+///     persistent metatype *trigobjtype;  // class that DEFINED the trigger
+///   };
+///
+/// plus the trigger's activation parameters (the paper subclasses
+/// TriggerState per trigger, e.g. CredCardAutoRaiseLimitStruct with its
+/// `amount` field; we carry the encoded parameters inline).
+///
+/// Stored as an ordinary persistent object, so transaction rollback of
+/// FSM advancement (§5.5) is ordinary object rollback.
+struct TriggerState {
+  uint32_t triggernum = 0;
+  Oid trigobj;
+  int32_t statenum = 0;
+  /// Database-local metatype id of the defining class (needed because of
+  /// inheritance: an object can have active triggers from several bases).
+  uint32_t trigobjtype = 0;
+  std::vector<char> params;
+  /// Anchor objects. Ordinary (intra-object) triggers have exactly
+  /// {trigobj}; *inter-object* triggers (the paper's §8 future work:
+  /// "triggers like 'if AT&T goes below 60 and the price of gold
+  /// stabilizes...'") list every anchor whose events feed this machine.
+  std::vector<Oid> anchors;
+
+  std::vector<char> Encode() const;
+  static Result<TriggerState> Decode(Slice image);
+};
+
+}  // namespace ode
+
+#endif  // ODE_TRIGGER_TRIGGER_STATE_H_

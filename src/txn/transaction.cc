@@ -1,0 +1,17 @@
+#include "txn/transaction.h"
+
+namespace ode {
+
+const char* TxnStateToString(TxnState state) {
+  switch (state) {
+    case TxnState::kActive:
+      return "active";
+    case TxnState::kCommitted:
+      return "committed";
+    case TxnState::kAborted:
+      return "aborted";
+  }
+  return "?";
+}
+
+}  // namespace ode

@@ -1,0 +1,56 @@
+#ifndef ODE_TXN_TRANSACTION_H_
+#define ODE_TXN_TRANSACTION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "objstore/oid.h"
+
+namespace ode {
+
+enum class TxnState { kActive, kCommitted, kAborted };
+
+const char* TxnStateToString(TxnState state);
+
+/// A transaction descriptor. Created and owned by the TransactionManager;
+/// user code holds a non-owning pointer while the transaction is active.
+///
+/// `system` transactions (paper §5.5) are "transactions not explicitly
+/// requested by the user, but required for trigger processing" — they run
+/// the actions of dependent/!dependent triggers after the detecting
+/// transaction finishes.
+class Transaction {
+ public:
+  Transaction(TxnId id, bool system) : id_(id), system_(system) {}
+
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+
+  TxnId id() const { return id_; }
+  bool system() const { return system_; }
+  TxnState state() const { return state_; }
+  bool active() const { return state_ == TxnState::kActive; }
+
+  /// The O++ `tabort` statement: a trigger action (or user code) requests
+  /// that this transaction abort. The request is honored by the enclosing
+  /// Invoke/Commit machinery, which unwinds with kTransactionAborted.
+  void RequestAbort(std::string reason) {
+    abort_requested_ = true;
+    abort_reason_ = std::move(reason);
+  }
+  bool abort_requested() const { return abort_requested_; }
+  const std::string& abort_reason() const { return abort_reason_; }
+
+ private:
+  friend class TransactionManager;
+
+  TxnId id_;
+  bool system_;
+  TxnState state_ = TxnState::kActive;
+  bool abort_requested_ = false;
+  std::string abort_reason_;
+};
+
+}  // namespace ode
+
+#endif  // ODE_TXN_TRANSACTION_H_

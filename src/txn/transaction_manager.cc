@@ -1,0 +1,103 @@
+#include "txn/transaction_manager.h"
+
+#include "common/logging.h"
+
+namespace ode {
+
+TransactionManager::TransactionManager(StorageManager* store,
+                                       LockManager* locks)
+    : store_(store), locks_(locks) {}
+
+Result<Transaction*> TransactionManager::Begin(bool system) {
+  std::unique_lock<std::mutex> lock(mu_);
+  TxnId id = next_id_++;
+  lock.unlock();
+  ODE_RETURN_NOT_OK(store_->BeginTxn(id));
+  auto txn = std::make_unique<Transaction>(id, system);
+  Transaction* raw = txn.get();
+  lock.lock();
+  live_[id] = std::move(txn);
+  return raw;
+}
+
+Status TransactionManager::Commit(Transaction* txn) {
+  ODE_CHECK(txn != nullptr);
+  if (!txn->active()) {
+    return Status::Internal("commit of non-active transaction");
+  }
+
+  // Deferred trigger work runs inside the transaction; it may tabort.
+  if (pre_commit_) {
+    Status st = pre_commit_(txn);
+    if (st.IsTransactionAborted() || txn->abort_requested()) {
+      // Deferred action executed tabort: the whole transaction aborts.
+      // before-tabort events are NOT posted here: the abort came from
+      // commit processing, after the before-tcomplete boundary.
+      Status ast = FinishAbort(txn, /*run_pre_hook=*/false);
+      if (!ast.ok()) return ast;
+      return st.IsTransactionAborted()
+                 ? st
+                 : Status::TransactionAborted(txn->abort_reason());
+    }
+    if (!st.ok()) return st;
+  }
+
+  ODE_RETURN_NOT_OK(store_->CommitTxn(txn->id()));
+  locks_->ReleaseAll(txn->id());
+  txn->state_ = TxnState::kCommitted;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    outcomes_[txn->id()] = TxnState::kCommitted;
+    ++commits_;
+  }
+
+  Status post = Status::OK();
+  if (post_commit_) post = post_commit_(txn);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    live_.erase(txn->id());  // destroys *txn
+  }
+  return post;
+}
+
+Status TransactionManager::Abort(Transaction* txn, bool explicit_request) {
+  ODE_CHECK(txn != nullptr);
+  if (!txn->active()) {
+    return Status::Internal("abort of non-active transaction");
+  }
+  return FinishAbort(txn, /*run_pre_hook=*/explicit_request);
+}
+
+Status TransactionManager::FinishAbort(Transaction* txn, bool run_pre_hook) {
+  if (run_pre_hook && pre_abort_) {
+    // Posts `before tabort` events. Anything they change rolls back with
+    // the transaction below; only !dependent entries they queue survive.
+    Status st = pre_abort_(txn);
+    if (!st.ok() && !st.IsTransactionAborted()) {
+      ODE_LOG(kWarn) << "pre-abort hook failed: " << st.ToString();
+    }
+  }
+  ODE_RETURN_NOT_OK(store_->AbortTxn(txn->id()));
+  locks_->ReleaseAll(txn->id());
+  txn->state_ = TxnState::kAborted;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    outcomes_[txn->id()] = TxnState::kAborted;
+    ++aborts_;
+  }
+  Status post = Status::OK();
+  if (post_abort_) post = post_abort_(txn);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    live_.erase(txn->id());
+  }
+  return post;
+}
+
+TxnState TransactionManager::Outcome(TxnId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = outcomes_.find(id);
+  return it == outcomes_.end() ? TxnState::kActive : it->second;
+}
+
+}  // namespace ode

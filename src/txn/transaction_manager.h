@@ -1,0 +1,83 @@
+#ifndef ODE_TXN_TRANSACTION_MANAGER_H_
+#define ODE_TXN_TRANSACTION_MANAGER_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/lock_manager.h"
+#include "storage/storage_manager.h"
+#include "txn/transaction.h"
+
+namespace ode {
+
+/// Drives transaction begin/commit/abort across the storage manager and
+/// lock manager, and exposes the hook points the trigger runtime needs to
+/// implement the ECA coupling modes (paper §4.2, §5.5):
+///
+///  * pre-commit hook  — runs `end` (deferred) trigger actions and posts
+///    `before tcomplete` events, still inside the committing transaction.
+///    If it reports kTransactionAborted (a deferred action executed
+///    tabort), the commit turns into an abort.
+///  * pre-abort hook   — posts `before tabort` events inside the aborting
+///    transaction (their effects roll back with it, per §5.5).
+///  * post-commit hook — after a successful commit: runs the transaction's
+///    `dependent` and `!dependent` action lists in system transactions.
+///  * post-abort hook  — after an abort: runs only the `!dependent` list
+///    (independent actions survive the abort; dependent ones die with it).
+class TransactionManager {
+ public:
+  using Hook = std::function<Status(Transaction*)>;
+
+  TransactionManager(StorageManager* store, LockManager* locks);
+
+  TransactionManager(const TransactionManager&) = delete;
+  TransactionManager& operator=(const TransactionManager&) = delete;
+
+  /// Starts a transaction. `system` marks trigger-spawned transactions.
+  Result<Transaction*> Begin(bool system = false);
+
+  /// Commits. May return kTransactionAborted if a deferred trigger aborted
+  /// the transaction (in which case the transaction has been rolled back).
+  Status Commit(Transaction* txn);
+
+  /// Rolls back. `explicit_request` distinguishes an O++ tabort (which
+  /// posts `before tabort` events) from an internal failure path.
+  Status Abort(Transaction* txn, bool explicit_request = true);
+
+  /// Outcome of a finished transaction (kActive if still running).
+  TxnState Outcome(TxnId id) const;
+
+  void SetPreCommitHook(Hook hook) { pre_commit_ = std::move(hook); }
+  void SetPreAbortHook(Hook hook) { pre_abort_ = std::move(hook); }
+  void SetPostCommitHook(Hook hook) { post_commit_ = std::move(hook); }
+  void SetPostAbortHook(Hook hook) { post_abort_ = std::move(hook); }
+
+  StorageManager* store() { return store_; }
+  LockManager* locks() { return locks_; }
+
+  uint64_t commits() const { return commits_; }
+  uint64_t aborts() const { return aborts_; }
+
+ private:
+  Status FinishAbort(Transaction* txn, bool run_pre_hook);
+
+  StorageManager* store_;
+  LockManager* locks_;
+
+  Hook pre_commit_, pre_abort_, post_commit_, post_abort_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<TxnId, std::unique_ptr<Transaction>> live_;
+  std::unordered_map<TxnId, TxnState> outcomes_;
+  TxnId next_id_ = 1;
+  uint64_t commits_ = 0;
+  uint64_t aborts_ = 0;
+};
+
+}  // namespace ode
+
+#endif  // ODE_TXN_TRANSACTION_MANAGER_H_

@@ -1,0 +1,103 @@
+// Baseline-implementation tests: the Sentinel-style string-triple event
+// table (E2), the dense transition matrix (E3), and the history-scan
+// detector (E6) must agree with the primary implementations.
+
+#include <gtest/gtest.h>
+
+#include "baselines/dense_fsm.h"
+#include "baselines/history_scan_detector.h"
+#include "baselines/string_event_rep.h"
+#include "common/random.h"
+#include "events/event_parser.h"
+#include "events/fsm.h"
+
+namespace ode {
+namespace {
+
+constexpr Symbol kSymA = 2, kSymB = 3, kSymC = 4;
+
+CompileInput Input(const std::string& text) {
+  auto parsed = ParseEventExpr(text);
+  EXPECT_TRUE(parsed.ok());
+  CompileInput input;
+  input.expr = parsed->expr;
+  input.anchored = parsed->anchored;
+  input.alphabet = {kSymA, kSymB, kSymC};
+  input.event_symbols = {{"a", kSymA}, {"b", kSymB}, {"c", kSymC}};
+  return input;
+}
+
+TEST(StringEventTable, InternAndLookup) {
+  StringEventTable table;
+  StringEventRep buy{"CredCard", "void Buy(Merchant*, float)", "end"};
+  StringEventRep pay{"CredCard", "void PayBill(float)", "end"};
+  uint32_t buy_id = table.Intern(buy);
+  uint32_t pay_id = table.Intern(pay);
+  EXPECT_NE(buy_id, pay_id);
+  EXPECT_EQ(table.Intern(buy), buy_id);
+  EXPECT_EQ(table.Lookup(buy), buy_id);
+  EXPECT_EQ(table.Lookup({"CredCard", "void Buy(Merchant*, float)",
+                          "begin"}),
+            0u)
+      << "begin/end are distinct events";
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(DenseFsm, MatchesSparseOnAllStatesAndSymbols) {
+  Random rng(99);
+  for (const char* text :
+       {"a, b", "a || b || c", "(a, b)+, c", "a, any*, b"}) {
+    auto fsm = CompileFsm(Input(text));
+    ASSERT_TRUE(fsm.ok()) << text;
+    DenseFsm dense(*fsm, 8);
+    for (size_t s = 0; s < fsm->NumStates(); ++s) {
+      for (Symbol sym = 0; sym < 8; ++sym) {
+        EXPECT_EQ(dense.Move(static_cast<int32_t>(s), sym),
+                  fsm->Move(static_cast<int32_t>(s), sym))
+            << text << " state " << s << " sym " << sym;
+      }
+      EXPECT_EQ(dense.Accepting(static_cast<int32_t>(s)),
+                fsm->Accepting(static_cast<int32_t>(s)));
+    }
+  }
+}
+
+TEST(DenseFsm, WideTableCostsMemory) {
+  auto fsm = CompileFsm(Input("a, b, c"));
+  ASSERT_TRUE(fsm.ok());
+  DenseFsm narrow(*fsm, 8);
+  DenseFsm wide(*fsm, 4096);  // globally-unique event integers (§6)
+  EXPECT_GT(wide.MemoryBytes(), 100 * narrow.MemoryBytes());
+  EXPECT_GT(wide.MemoryBytes(), fsm->MemoryBytes())
+      << "the dense global table is what the paper abandoned";
+}
+
+TEST(HistoryScan, AgreesWithFsmOnRandomStreams) {
+  Random rng(7);
+  for (const char* text :
+       {"a, b", "a || c", "(a, b)+", "a, any*, c", "b+"}) {
+    CompileInput input = Input(text);
+    auto fsm = CompileFsm(input);
+    auto nfa = BuildNfa(input);
+    ASSERT_TRUE(fsm.ok());
+    ASSERT_TRUE(nfa.ok());
+    HistoryScanDetector scan(std::move(nfa).value());
+
+    int32_t state = fsm->start();
+    for (int i = 0; i < 200; ++i) {
+      Symbol sym = static_cast<Symbol>(kSymA + rng.Uniform(3));
+      state = fsm->Move(state, sym);
+      bool fsm_accepts = fsm->Accepting(state);
+      bool scan_accepts = scan.Post(sym);
+      ASSERT_EQ(fsm_accepts, scan_accepts)
+          << text << " at position " << i;
+    }
+    EXPECT_EQ(scan.history_size(), 200u)
+        << "the baseline keeps the whole history (that's its cost)";
+    scan.Reset();
+    EXPECT_EQ(scan.history_size(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace ode

@@ -1,0 +1,320 @@
+// B+-tree tests: basic operations, splits, deletion collapse, range
+// scans, transactionality (rollback for free), persistence, and a
+// randomized property test against std::map.
+
+#include "objstore/btree.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.h"
+
+namespace ode {
+namespace {
+
+class BTreeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = Database::Open(StorageKind::kMainMemory, "");
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(db).value();
+  }
+
+  Transaction* Begin() {
+    auto txn = db_->txns()->Begin();
+    EXPECT_TRUE(txn.ok());
+    return txn.ValueOr(nullptr);
+  }
+
+  std::unique_ptr<BTree> OpenTree(Transaction* txn, size_t max_keys = 4) {
+    auto tree = BTree::Open(db_.get(), txn, "test", max_keys);
+    EXPECT_TRUE(tree.ok()) << tree.status().ToString();
+    return std::move(tree).value();
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(BTreeTest, InsertLookupDelete) {
+  Transaction* txn = Begin();
+  auto tree = OpenTree(txn);
+  ASSERT_TRUE(tree->Insert(txn, Slice(std::string("b")), Oid(2)).ok());
+  ASSERT_TRUE(tree->Insert(txn, Slice(std::string("a")), Oid(1)).ok());
+  ASSERT_TRUE(tree->Insert(txn, Slice(std::string("c")), Oid(3)).ok());
+
+  EXPECT_EQ(tree->Lookup(txn, Slice(std::string("a"))).ValueOr(Oid()),
+            Oid(1));
+  EXPECT_EQ(tree->Lookup(txn, Slice(std::string("b"))).ValueOr(Oid()),
+            Oid(2));
+  EXPECT_TRUE(
+      tree->Lookup(txn, Slice(std::string("x"))).status().IsNotFound());
+  EXPECT_EQ(tree->Size(txn).ValueOr(0), 3u);
+
+  ASSERT_TRUE(tree->Delete(txn, Slice(std::string("b"))).ok());
+  EXPECT_TRUE(
+      tree->Lookup(txn, Slice(std::string("b"))).status().IsNotFound());
+  EXPECT_TRUE(
+      tree->Delete(txn, Slice(std::string("b"))).IsNotFound());
+  EXPECT_EQ(tree->Size(txn).ValueOr(0), 2u);
+  ASSERT_TRUE(db_->txns()->Commit(txn).ok());
+}
+
+TEST_F(BTreeTest, DuplicateInsertRejectedPutReplaces) {
+  Transaction* txn = Begin();
+  auto tree = OpenTree(txn);
+  ASSERT_TRUE(tree->Insert(txn, Slice(std::string("k")), Oid(1)).ok());
+  EXPECT_EQ(tree->Insert(txn, Slice(std::string("k")), Oid(2)).code(),
+            StatusCode::kAlreadyExists);
+  ASSERT_TRUE(tree->Put(txn, Slice(std::string("k")), Oid(9)).ok());
+  EXPECT_EQ(tree->Lookup(txn, Slice(std::string("k"))).ValueOr(Oid()),
+            Oid(9));
+  EXPECT_EQ(tree->Size(txn).ValueOr(0), 1u);
+  ASSERT_TRUE(db_->txns()->Commit(txn).ok());
+}
+
+TEST_F(BTreeTest, SplitsKeepEverythingReachable) {
+  Transaction* txn = Begin();
+  auto tree = OpenTree(txn, /*max_keys=*/4);
+  constexpr int kCount = 500;  // forces several levels at fanout 4
+  for (int i = 0; i < kCount; ++i) {
+    ASSERT_TRUE(
+        tree->Insert(txn, Slice(btree_key::FromU64(i * 7 % kCount)),
+                     Oid(1000 + i * 7 % kCount))
+            .ok())
+        << i;
+  }
+  ASSERT_TRUE(tree->CheckStructure(txn).ok());
+  for (int i = 0; i < kCount; ++i) {
+    EXPECT_EQ(tree->Lookup(txn, Slice(btree_key::FromU64(i))).ValueOr(Oid()),
+              Oid(1000 + i));
+  }
+  EXPECT_EQ(tree->Size(txn).ValueOr(0), static_cast<uint64_t>(kCount));
+  ASSERT_TRUE(db_->txns()->Commit(txn).ok());
+}
+
+TEST_F(BTreeTest, RangeScan) {
+  Transaction* txn = Begin();
+  auto tree = OpenTree(txn);
+  for (uint64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(
+        tree->Insert(txn, Slice(btree_key::FromU64(i)), Oid(i + 1)).ok());
+  }
+  std::vector<uint64_t> seen;
+  ASSERT_TRUE(tree->Scan(txn, Slice(btree_key::FromU64(20)),
+                         Slice(btree_key::FromU64(30)),
+                         [&](Slice, Oid value) {
+                           seen.push_back(value.value() - 1);
+                           return true;
+                         })
+                  .ok());
+  ASSERT_EQ(seen.size(), 10u);
+  for (size_t i = 0; i < seen.size(); ++i) EXPECT_EQ(seen[i], 20 + i);
+
+  // Unbounded scans and early stop.
+  size_t total = 0;
+  ASSERT_TRUE(tree->Scan(txn, Slice(), Slice(), [&](Slice, Oid) {
+    ++total;
+    return true;
+  }).ok());
+  EXPECT_EQ(total, 100u);
+  size_t stopped = 0;
+  ASSERT_TRUE(tree->Scan(txn, Slice(), Slice(), [&](Slice, Oid) {
+    return ++stopped < 5;
+  }).ok());
+  EXPECT_EQ(stopped, 5u);
+  ASSERT_TRUE(db_->txns()->Commit(txn).ok());
+}
+
+TEST_F(BTreeTest, SignedKeysOrderCorrectly) {
+  Transaction* txn = Begin();
+  auto tree = OpenTree(txn);
+  for (int64_t v : {-5ll, 3ll, -100ll, 0ll, 77ll}) {
+    ASSERT_TRUE(tree->Insert(txn, Slice(btree_key::FromI64(v)),
+                             Oid(static_cast<uint64_t>(v + 1000)))
+                    .ok());
+  }
+  std::vector<int64_t> order;
+  ASSERT_TRUE(tree->Scan(txn, Slice(), Slice(), [&](Slice, Oid value) {
+    order.push_back(static_cast<int64_t>(value.value()) - 1000);
+    return true;
+  }).ok());
+  EXPECT_EQ(order, (std::vector<int64_t>{-100, -5, 0, 3, 77}));
+  ASSERT_TRUE(db_->txns()->Commit(txn).ok());
+}
+
+TEST_F(BTreeTest, MassDeleteCollapsesTree) {
+  Transaction* txn = Begin();
+  auto tree = OpenTree(txn, 4);
+  for (uint64_t i = 0; i < 200; ++i) {
+    ASSERT_TRUE(
+        tree->Insert(txn, Slice(btree_key::FromU64(i)), Oid(i + 1)).ok());
+  }
+  for (uint64_t i = 0; i < 200; ++i) {
+    ASSERT_TRUE(tree->Delete(txn, Slice(btree_key::FromU64(i))).ok()) << i;
+    ASSERT_TRUE(tree->CheckStructure(txn).ok()) << "after deleting " << i;
+  }
+  EXPECT_EQ(tree->Size(txn).ValueOr(99), 0u);
+  // The empty tree is still usable.
+  ASSERT_TRUE(
+      tree->Insert(txn, Slice(std::string("again")), Oid(5)).ok());
+  EXPECT_EQ(tree->Lookup(txn, Slice(std::string("again"))).ValueOr(Oid()),
+            Oid(5));
+  ASSERT_TRUE(db_->txns()->Commit(txn).ok());
+}
+
+TEST_F(BTreeTest, RollbackUndoesTreeChanges) {
+  Transaction* setup = Begin();
+  auto tree = OpenTree(setup);
+  ASSERT_TRUE(tree->Insert(setup, Slice(std::string("keep")), Oid(1)).ok());
+  ASSERT_TRUE(db_->txns()->Commit(setup).ok());
+
+  Transaction* doomed = Begin();
+  ASSERT_TRUE(
+      tree->Insert(doomed, Slice(std::string("lost")), Oid(2)).ok());
+  ASSERT_TRUE(tree->Delete(doomed, Slice(std::string("keep"))).ok());
+  ASSERT_TRUE(db_->txns()->Abort(doomed).ok());
+
+  Transaction* check = Begin();
+  EXPECT_EQ(tree->Lookup(check, Slice(std::string("keep"))).ValueOr(Oid()),
+            Oid(1));
+  EXPECT_TRUE(
+      tree->Lookup(check, Slice(std::string("lost"))).status().IsNotFound());
+  EXPECT_EQ(tree->Size(check).ValueOr(0), 1u);
+  ASSERT_TRUE(db_->txns()->Commit(check).ok());
+}
+
+TEST(BTreePersistence, SurvivesReopenOnDisk) {
+  std::string path = ::testing::TempDir() + "/ode_btree_disk.db";
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+  {
+    auto db = Database::Open(StorageKind::kDisk, path);
+    ASSERT_TRUE(db.ok());
+    auto txn = (*db)->txns()->Begin();
+    ASSERT_TRUE(txn.ok());
+    auto tree = BTree::Open(db->get(), *txn, "idx", 8);
+    ASSERT_TRUE(tree.ok());
+    for (uint64_t i = 0; i < 300; ++i) {
+      ASSERT_TRUE((*tree)
+                      ->Insert(*txn, Slice(btree_key::FromU64(i)),
+                               Oid(i + 1))
+                      .ok());
+    }
+    ASSERT_TRUE((*db)->txns()->Commit(*txn).ok());
+    ASSERT_TRUE((*db)->Close().ok());
+  }
+  {
+    auto db = Database::Open(StorageKind::kDisk, path);
+    ASSERT_TRUE(db.ok());
+    auto txn = (*db)->txns()->Begin();
+    ASSERT_TRUE(txn.ok());
+    auto tree = BTree::Open(db->get(), *txn, "idx");
+    ASSERT_TRUE(tree.ok());
+    EXPECT_EQ((*tree)->Size(*txn).ValueOr(0), 300u);
+    for (uint64_t i = 0; i < 300; i += 17) {
+      EXPECT_EQ(
+          (*tree)->Lookup(*txn, Slice(btree_key::FromU64(i))).ValueOr(Oid()),
+          Oid(i + 1));
+    }
+    ASSERT_TRUE((*tree)->CheckStructure(*txn).ok());
+    ASSERT_TRUE((*db)->txns()->Commit(*txn).ok());
+    ASSERT_TRUE((*db)->Close().ok());
+  }
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+}
+
+TEST_F(BTreeTest, DuplicateInsertDuringRootSplitKeepsTreeIntact) {
+  // Regression: a duplicate insert that arrives while the root is full
+  // triggers a preemptive root split; the early kAlreadyExists return
+  // must not leave the halved old root installed as the tree root.
+  Transaction* txn = Begin();
+  auto tree = OpenTree(txn, /*max_keys=*/4);
+  for (uint64_t i = 0; i < 4; ++i) {  // exactly fill the root
+    ASSERT_TRUE(
+        tree->Insert(txn, Slice(btree_key::FromU64(i)), Oid(i + 1)).ok());
+  }
+  // Duplicate insert with a full root.
+  EXPECT_EQ(tree->Insert(txn, Slice(btree_key::FromU64(2)), Oid(99)).code(),
+            StatusCode::kAlreadyExists);
+  ASSERT_TRUE(tree->CheckStructure(txn).ok());
+  for (uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(tree->Lookup(txn, Slice(btree_key::FromU64(i))).ValueOr(Oid()),
+              Oid(i + 1))
+        << "key " << i << " lost after split + duplicate";
+  }
+  ASSERT_TRUE(db_->txns()->Commit(txn).ok());
+}
+
+class BTreeFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BTreeFuzz, MatchesStdMap) {
+  auto db = Database::Open(StorageKind::kMainMemory, "");
+  ASSERT_TRUE(db.ok());
+  auto txn = (*db)->txns()->Begin();
+  ASSERT_TRUE(txn.ok());
+  auto tree = BTree::Open(db->get(), *txn, "fuzz", /*max_keys=*/4);
+  ASSERT_TRUE(tree.ok());
+
+  Random rng(GetParam());
+  std::map<std::string, uint64_t> model;
+  for (int step = 0; step < 3000; ++step) {
+    std::string key = btree_key::FromU64(rng.Uniform(400));
+    int op = static_cast<int>(rng.Uniform(4));
+    if (op == 0) {  // insert
+      Status st = (*tree)->Insert(*txn, Slice(key), Oid(step + 1));
+      if (model.count(key)) {
+        EXPECT_EQ(st.code(), StatusCode::kAlreadyExists);
+      } else {
+        ASSERT_TRUE(st.ok()) << st.ToString();
+        model[key] = static_cast<uint64_t>(step + 1);
+      }
+    } else if (op == 1) {  // put
+      ASSERT_TRUE((*tree)->Put(*txn, Slice(key), Oid(step + 1)).ok());
+      model[key] = static_cast<uint64_t>(step + 1);
+    } else if (op == 2) {  // delete
+      Status st = (*tree)->Delete(*txn, Slice(key));
+      EXPECT_EQ(st.ok(), model.erase(key) == 1) << st.ToString();
+    } else {  // lookup
+      auto found = (*tree)->Lookup(*txn, Slice(key));
+      auto it = model.find(key);
+      if (it == model.end()) {
+        EXPECT_TRUE(found.status().IsNotFound());
+      } else {
+        ASSERT_TRUE(found.ok());
+        EXPECT_EQ(found->value(), it->second);
+      }
+    }
+    if (step % 250 == 0) {
+      ASSERT_TRUE((*tree)->CheckStructure(*txn).ok()) << "step " << step;
+    }
+  }
+  ASSERT_TRUE((*tree)->CheckStructure(*txn).ok());
+  EXPECT_EQ((*tree)->Size(*txn).ValueOr(0), model.size());
+
+  // Full scan matches the model exactly, in order.
+  std::vector<std::pair<std::string, uint64_t>> scanned;
+  ASSERT_TRUE((*tree)
+                  ->Scan(*txn, Slice(), Slice(),
+                         [&](Slice key, Oid value) {
+                           scanned.emplace_back(key.ToString(),
+                                                value.value());
+                           return true;
+                         })
+                  .ok());
+  ASSERT_EQ(scanned.size(), model.size());
+  size_t i = 0;
+  for (const auto& [key, value] : model) {
+    EXPECT_EQ(scanned[i].first, key);
+    EXPECT_EQ(scanned[i].second, value);
+    ++i;
+  }
+  ASSERT_TRUE((*db)->txns()->Commit(*txn).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BTreeFuzz,
+                         ::testing::Values(21, 42, 63, 84));
+
+}  // namespace
+}  // namespace ode

@@ -1,0 +1,213 @@
+// Unit tests for the common runtime: Status/Result, binary coding,
+// slices, hashing, and the deterministic PRNG.
+
+#include <gtest/gtest.h>
+
+#include "common/coding.h"
+#include "common/hash.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace ode {
+namespace {
+
+TEST(Status, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "ok");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status st = Status::NotFound("missing widget");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsNotFound());
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+  EXPECT_EQ(st.ToString(), "not found: missing widget");
+}
+
+TEST(Status, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kParseError); ++c) {
+    EXPECT_STRNE(StatusCodeToString(static_cast<StatusCode>(c)), "unknown");
+  }
+}
+
+TEST(Status, ReturnNotOkMacroPropagates) {
+  auto fails = []() -> Status {
+    ODE_RETURN_NOT_OK(Status::IOError("disk gone"));
+    return Status::OK();
+  };
+  EXPECT_EQ(fails().code(), StatusCode::kIOError);
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(Status::Corruption("bad bytes"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+TEST(Result, AssignOrReturnMacro) {
+  auto inner = [](bool fail) -> Result<int> {
+    if (fail) return Status::NotFound("nope");
+    return 7;
+  };
+  auto outer = [&](bool fail) -> Result<int> {
+    ODE_ASSIGN_OR_RETURN(int v, inner(fail));
+    return v + 1;
+  };
+  EXPECT_EQ(*outer(false), 8);
+  EXPECT_TRUE(outer(true).status().IsNotFound());
+}
+
+TEST(Result, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 5);
+}
+
+TEST(Coding, FixedWidthRoundTrip) {
+  Encoder enc;
+  enc.PutU8(0xab);
+  enc.PutU16(0xbeef);
+  enc.PutU32(0xdeadbeef);
+  enc.PutU64(0x0123456789abcdefull);
+  enc.PutI32(-12345);
+  enc.PutI64(-9876543210ll);
+  enc.PutBool(true);
+  enc.PutFloat(3.5f);
+  enc.PutDouble(-2.25);
+
+  Decoder dec(Slice(enc.buffer()));
+  uint8_t u8;
+  uint16_t u16;
+  uint32_t u32;
+  uint64_t u64;
+  int32_t i32;
+  int64_t i64;
+  bool b;
+  float f;
+  double d;
+  ASSERT_TRUE(dec.GetU8(&u8).ok());
+  ASSERT_TRUE(dec.GetU16(&u16).ok());
+  ASSERT_TRUE(dec.GetU32(&u32).ok());
+  ASSERT_TRUE(dec.GetU64(&u64).ok());
+  ASSERT_TRUE(dec.GetI32(&i32).ok());
+  ASSERT_TRUE(dec.GetI64(&i64).ok());
+  ASSERT_TRUE(dec.GetBool(&b).ok());
+  ASSERT_TRUE(dec.GetFloat(&f).ok());
+  ASSERT_TRUE(dec.GetDouble(&d).ok());
+  EXPECT_EQ(u8, 0xab);
+  EXPECT_EQ(u16, 0xbeef);
+  EXPECT_EQ(u32, 0xdeadbeefu);
+  EXPECT_EQ(u64, 0x0123456789abcdefull);
+  EXPECT_EQ(i32, -12345);
+  EXPECT_EQ(i64, -9876543210ll);
+  EXPECT_TRUE(b);
+  EXPECT_FLOAT_EQ(f, 3.5f);
+  EXPECT_DOUBLE_EQ(d, -2.25);
+  EXPECT_TRUE(dec.AtEnd());
+}
+
+TEST(Coding, StringsAndBytes) {
+  Encoder enc;
+  enc.PutString("");
+  enc.PutString("hello ode");
+  std::vector<char> blob(300, 'x');
+  enc.PutBytes(Slice(blob));
+
+  Decoder dec(Slice(enc.buffer()));
+  std::string a, b;
+  std::vector<char> c;
+  ASSERT_TRUE(dec.GetString(&a).ok());
+  ASSERT_TRUE(dec.GetString(&b).ok());
+  ASSERT_TRUE(dec.GetBytes(&c).ok());
+  EXPECT_EQ(a, "");
+  EXPECT_EQ(b, "hello ode");
+  EXPECT_EQ(c, blob);
+}
+
+TEST(Coding, TruncationIsCorruption) {
+  Encoder enc;
+  enc.PutU64(7);
+  Decoder dec(Slice(enc.buffer().data(), 3));
+  uint64_t v;
+  EXPECT_EQ(dec.GetU64(&v).code(), StatusCode::kCorruption);
+}
+
+TEST(Coding, TruncatedStringIsCorruption) {
+  Encoder enc;
+  enc.PutString("abcdef");
+  Decoder dec(Slice(enc.buffer().data(), 4));
+  std::string s;
+  EXPECT_EQ(dec.GetString(&s).code(), StatusCode::kCorruption);
+}
+
+class VarintRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VarintRoundTrip, RoundTrips) {
+  Encoder enc;
+  enc.PutVarint(GetParam());
+  Decoder dec(Slice(enc.buffer()));
+  uint64_t v;
+  ASSERT_TRUE(dec.GetVarint(&v).ok());
+  EXPECT_EQ(v, GetParam());
+  EXPECT_TRUE(dec.AtEnd());
+}
+
+INSTANTIATE_TEST_SUITE_P(Boundaries, VarintRoundTrip,
+                         ::testing::Values(0ull, 1ull, 127ull, 128ull,
+                                           16383ull, 16384ull,
+                                           (1ull << 32) - 1, 1ull << 32,
+                                           ~0ull));
+
+TEST(Coding, VarintTruncated) {
+  Encoder enc;
+  enc.PutVarint(1ull << 40);
+  Decoder dec(Slice(enc.buffer().data(), 2));
+  uint64_t v;
+  EXPECT_EQ(dec.GetVarint(&v).code(), StatusCode::kCorruption);
+}
+
+TEST(Slice, ComparesByContent) {
+  std::string a = "abc", b = "abc", c = "abd";
+  EXPECT_TRUE(Slice(a) == Slice(b));
+  EXPECT_FALSE(Slice(a) == Slice(c));
+  EXPECT_TRUE(Slice() == Slice());
+}
+
+TEST(Hash, DeterministicAndSpread) {
+  EXPECT_EQ(Hash64("ode", 3), Hash64("ode", 3));
+  EXPECT_NE(Hash64("ode", 3), Hash64("odf", 3));
+  EXPECT_NE(MixU64(1), MixU64(2));
+}
+
+TEST(Random, DeterministicPerSeed) {
+  Random a(1), b(1), c(2);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(Random, UniformStaysInRange) {
+  Random r(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.Uniform(10), 10u);
+    int64_t v = r.Range(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace ode

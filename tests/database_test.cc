@@ -1,0 +1,170 @@
+// Object-manager (Database) tests: locked object access, persistent
+// roots, per-database metatype ids, clusters.
+
+#include "objstore/database.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace ode {
+namespace {
+
+class DatabaseTest : public ::testing::TestWithParam<StorageKind> {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/ode_database_test.db";
+    Cleanup();
+    OpenDb();
+  }
+  void TearDown() override {
+    if (db_ != nullptr) {
+      ASSERT_TRUE(db_->Close().ok());
+    }
+    Cleanup();
+  }
+
+  void Cleanup() {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".wal").c_str());
+  }
+
+  void OpenDb() {
+    auto db = Database::Open(GetParam(), path_);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = std::move(db).value();
+  }
+
+  void ReopenDb() {
+    ASSERT_TRUE(db_->Close().ok());
+    db_.reset();
+    OpenDb();
+  }
+
+  Transaction* Begin() {
+    auto txn = db_->txns()->Begin();
+    EXPECT_TRUE(txn.ok());
+    return txn.ValueOr(nullptr);
+  }
+
+  std::string path_;
+  std::unique_ptr<Database> db_;
+};
+
+TEST_P(DatabaseTest, ObjectLifecycle) {
+  Transaction* txn = Begin();
+  auto oid = db_->NewObject(txn, Slice(std::string("obj")));
+  ASSERT_TRUE(oid.ok());
+  std::vector<char> out;
+  ASSERT_TRUE(db_->ReadObject(txn, *oid, &out).ok());
+  EXPECT_EQ(std::string(out.begin(), out.end()), "obj");
+  ASSERT_TRUE(db_->WriteObject(txn, *oid, Slice(std::string("new"))).ok());
+  ASSERT_TRUE(db_->FreeObject(txn, *oid).ok());
+  EXPECT_FALSE(db_->ObjectExists(txn, *oid));
+  ASSERT_TRUE(db_->txns()->Commit(txn).ok());
+}
+
+TEST_P(DatabaseTest, ReadTakesSharedWriteTakesExclusive) {
+  Transaction* setup = Begin();
+  auto oid = db_->NewObject(setup, Slice(std::string("x")));
+  ASSERT_TRUE(oid.ok());
+  ASSERT_TRUE(db_->txns()->Commit(setup).ok());
+
+  Transaction* reader = Begin();
+  std::vector<char> out;
+  ASSERT_TRUE(db_->ReadObject(reader, *oid, &out).ok());
+  EXPECT_TRUE(db_->locks()->Holds(reader->id(), *oid, LockMode::kShared));
+  EXPECT_FALSE(
+      db_->locks()->Holds(reader->id(), *oid, LockMode::kExclusive));
+
+  Transaction* reader2 = Begin();
+  ASSERT_TRUE(db_->ReadObject(reader2, *oid, &out).ok())
+      << "shared readers coexist";
+
+  ASSERT_TRUE(db_->txns()->Commit(reader).ok());
+  ASSERT_TRUE(db_->txns()->Commit(reader2).ok());
+  Transaction* writer = Begin();
+  ASSERT_TRUE(db_->ReadObjectForUpdate(writer, *oid, &out).ok());
+  EXPECT_TRUE(db_->locks()->Holds(writer->id(), *oid, LockMode::kExclusive));
+  ASSERT_TRUE(db_->txns()->Commit(writer).ok());
+}
+
+TEST_P(DatabaseTest, MetatypeIdsAreStablePerDatabase) {
+  Transaction* txn = Begin();
+  auto cred = db_->MetatypeId(txn, "CredCard");
+  auto person = db_->MetatypeId(txn, "Person");
+  ASSERT_TRUE(cred.ok());
+  ASSERT_TRUE(person.ok());
+  EXPECT_NE(*cred, *person);
+  // Idempotent within the txn.
+  EXPECT_EQ(db_->MetatypeId(txn, "CredCard").ValueOr(0), *cred);
+  ASSERT_TRUE(db_->txns()->Commit(txn).ok());
+
+  // Stable across reopen ("each database has its own metatype object").
+  ReopenDb();
+  Transaction* txn2 = Begin();
+  EXPECT_EQ(db_->MetatypeId(txn2, "CredCard").ValueOr(0), *cred);
+  EXPECT_EQ(db_->MetatypeName(txn2, *cred).ValueOr(""), "CredCard");
+  EXPECT_TRUE(db_->MetatypeName(txn2, 9999).status().IsNotFound());
+  ASSERT_TRUE(db_->txns()->Commit(txn2).ok());
+}
+
+TEST_P(DatabaseTest, ClustersCollectObjects) {
+  Transaction* txn = Begin();
+  std::vector<Oid> members;
+  for (int i = 0; i < 5; ++i) {
+    auto oid = db_->NewObject(txn, Slice(std::string("m")));
+    ASSERT_TRUE(oid.ok());
+    ASSERT_TRUE(db_->AddToCluster(txn, "cards", *oid).ok());
+    members.push_back(*oid);
+  }
+  auto contents = db_->ClusterContents(txn, "cards");
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents->size(), 5u);
+
+  ASSERT_TRUE(db_->RemoveFromCluster(txn, "cards", members[0]).ok());
+  contents = db_->ClusterContents(txn, "cards");
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents->size(), 4u);
+  ASSERT_TRUE(db_->txns()->Commit(txn).ok());
+
+  // Cluster membership persists.
+  ReopenDb();
+  Transaction* txn2 = Begin();
+  contents = db_->ClusterContents(txn2, "cards");
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents->size(), 4u);
+  ASSERT_TRUE(db_->txns()->Commit(txn2).ok());
+}
+
+TEST_P(DatabaseTest, EmptyClusterReadsEmpty) {
+  Transaction* txn = Begin();
+  auto contents = db_->ClusterContents(txn, "nothing");
+  ASSERT_TRUE(contents.ok());
+  EXPECT_TRUE(contents->empty());
+  ASSERT_TRUE(db_->txns()->Commit(txn).ok());
+}
+
+TEST_P(DatabaseTest, RootsRoundTripThroughDatabase) {
+  Transaction* txn = Begin();
+  auto oid = db_->NewObject(txn, Slice(std::string("rooted")));
+  ASSERT_TRUE(oid.ok());
+  ASSERT_TRUE(db_->SetRoot(txn, "entry", *oid).ok());
+  ASSERT_TRUE(db_->txns()->Commit(txn).ok());
+
+  ReopenDb();
+  Transaction* txn2 = Begin();
+  EXPECT_EQ(db_->GetRoot(txn2, "entry").ValueOr(Oid()), *oid);
+  ASSERT_TRUE(db_->txns()->Commit(txn2).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(BothKinds, DatabaseTest,
+                         ::testing::Values(StorageKind::kDisk,
+                                           StorageKind::kMainMemory),
+                         [](const ::testing::TestParamInfo<StorageKind>& i) {
+                           return i.param == StorageKind::kDisk ? "disk"
+                                                                : "mm";
+                         });
+
+}  // namespace
+}  // namespace ode

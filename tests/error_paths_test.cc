@@ -1,0 +1,197 @@
+// Error-path and edge-case coverage across the trigger runtime and
+// schema layer: unregistered types with persistent triggers, schema
+// misuse, concurrent event interning, and miscellaneous validations.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "odepp/session.h"
+#include "trigger/event_registry.h"
+
+namespace ode {
+namespace {
+
+struct Thing {
+  int32_t n = 0;
+  void Poke() { ++n; }
+  void Encode(Encoder& enc) const { enc.PutI32(n); }
+  static Result<Thing> Decode(Decoder& dec) {
+    Thing t;
+    ODE_RETURN_NOT_OK(dec.GetI32(&t.n));
+    return t;
+  }
+};
+
+void DeclareThing(Schema* schema, bool with_trigger) {
+  auto def = schema->DeclareClass<Thing>("Thing");
+  def.Event("after Poke").Method("Poke", &Thing::Poke);
+  if (with_trigger) {
+    def.Trigger("T", "after Poke",
+                [](Thing&, TriggerFireContext&) { return Status::OK(); },
+                CouplingMode::kImmediate, true);
+  }
+}
+
+TEST(ErrorPaths, PersistentTriggerOfUnregisteredClass) {
+  // A database carries an activation from a program that knew class
+  // "Thing"; a program whose schema lacks the class must get a clean
+  // error when an event reaches that trigger — not a crash.
+  std::string path = ::testing::TempDir() + "/ode_unregistered.db";
+  std::remove(path.c_str());
+
+  PRef<Thing> obj;
+  {
+    Schema schema;
+    DeclareThing(&schema, true);
+    ASSERT_TRUE(schema.Freeze().ok());
+    auto session = Session::Open(StorageKind::kMainMemory, path, &schema);
+    ASSERT_TRUE(session.ok());
+    Status st = (*session)->WithTransaction([&](Transaction* txn) -> Status {
+      auto r = (*session)->New(txn, Thing{});
+      ODE_RETURN_NOT_OK(r.status());
+      obj = *r;
+      return (*session)->Activate(txn, obj, "T").status();
+    });
+    ASSERT_TRUE(st.ok());
+    ASSERT_TRUE((*session)->Close().ok());
+  }
+  {
+    // Post the event via the trigger manager directly (the typed Session
+    // can't even name the class here, which is the point).
+    Schema empty;
+    ASSERT_TRUE(empty.Freeze().ok());
+    auto session = Session::Open(StorageKind::kMainMemory, path, &empty);
+    ASSERT_TRUE(session.ok());
+    Status st = (*session)->WithTransaction([&](Transaction* txn) -> Status {
+      Symbol symbol = EventRegistry::Global().Intern("Thing", "after Poke");
+      return (*session)->triggers()->PostEvent(txn, obj.oid(), nullptr,
+                                               symbol);
+    });
+    EXPECT_EQ(st.code(), StatusCode::kNotFound);
+    EXPECT_NE(st.message().find("not registered"), std::string::npos)
+        << st.ToString();
+    ASSERT_TRUE((*session)->Close().ok());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ErrorPaths, ActivateUnknownTrigger) {
+  Schema schema;
+  DeclareThing(&schema, true);
+  ASSERT_TRUE(schema.Freeze().ok());
+  auto session = Session::Open(StorageKind::kMainMemory, "", &schema);
+  ASSERT_TRUE(session.ok());
+  Status st = (*session)->WithTransaction([&](Transaction* txn) -> Status {
+    auto r = (*session)->New(txn, Thing{});
+    ODE_RETURN_NOT_OK(r.status());
+    auto bad = (*session)->Activate(txn, *r, "NoSuchTrigger");
+    EXPECT_TRUE(bad.status().IsNotFound());
+    auto bad_local = (*session)->ActivateLocal(txn, *r, "NoSuchTrigger");
+    EXPECT_TRUE(bad_local.status().IsNotFound());
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok());
+}
+
+TEST(ErrorPaths, DeactivateTwiceFails) {
+  Schema schema;
+  DeclareThing(&schema, true);
+  ASSERT_TRUE(schema.Freeze().ok());
+  auto session = Session::Open(StorageKind::kMainMemory, "", &schema);
+  ASSERT_TRUE(session.ok());
+  Status st = (*session)->WithTransaction([&](Transaction* txn) -> Status {
+    auto r = (*session)->New(txn, Thing{});
+    ODE_RETURN_NOT_OK(r.status());
+    auto id = (*session)->Activate(txn, *r, "T");
+    ODE_RETURN_NOT_OK(id.status());
+    ODE_RETURN_NOT_OK((*session)->Deactivate(txn, *id));
+    EXPECT_FALSE((*session)->Deactivate(txn, *id).ok());
+    EXPECT_FALSE((*session)->IsTriggerActive(txn, *id));
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(ErrorPaths, SchemaValidationAtFreeze) {
+  {  // duplicate trigger name
+    Schema schema;
+    auto def = schema.DeclareClass<Thing>("Thing");
+    def.Event("after Poke");
+    auto noop = [](Thing&, TriggerFireContext&) { return Status::OK(); };
+    def.Trigger("T", "after Poke", noop);
+    def.Trigger("T", "after Poke", noop);
+    EXPECT_EQ(schema.Freeze().code(), StatusCode::kInvalidArgument);
+  }
+  {  // duplicate event
+    Schema schema;
+    schema.DeclareClass<Thing>("Thing")
+        .Event("after Poke")
+        .Event("after Poke");
+    EXPECT_EQ(schema.Freeze().code(), StatusCode::kInvalidArgument);
+  }
+  {  // trigger references undeclared event
+    Schema schema;
+    schema.DeclareClass<Thing>("Thing").Trigger(
+        "T", "after Vanish",
+        [](Thing&, TriggerFireContext&) { return Status::OK(); });
+    EXPECT_EQ(schema.Freeze().code(), StatusCode::kInvalidArgument);
+  }
+  {  // trigger references unregistered mask
+    Schema schema;
+    schema.DeclareClass<Thing>("Thing").Event("after Poke").Trigger(
+        "T", "after Poke & Ghost()",
+        [](Thing&, TriggerFireContext&) { return Status::OK(); });
+    EXPECT_EQ(schema.Freeze().code(), StatusCode::kInvalidArgument);
+  }
+  {  // unparseable expression
+    Schema schema;
+    schema.DeclareClass<Thing>("Thing").Event("after Poke").Trigger(
+        "T", "after Poke ,,",
+        [](Thing&, TriggerFireContext&) { return Status::OK(); });
+    EXPECT_EQ(schema.Freeze().code(), StatusCode::kParseError);
+  }
+  {  // base class never declared
+    struct Derived : Thing {
+      void Encode(Encoder& enc) const { Thing::Encode(enc); }
+      static Result<Derived> Decode(Decoder& dec) {
+        auto base = Thing::Decode(dec);
+        if (!base.ok()) return base.status();
+        Derived d;
+        static_cast<Thing&>(d) = *base;
+        return d;
+      }
+    };
+    Schema schema;
+    schema.DeclareClass<Derived, Thing>("Derived", "Base");
+    EXPECT_EQ(schema.Freeze().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(ErrorPaths, EventRegistryIsThreadSafe) {
+  EventRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kEvents = 200;
+  std::vector<std::vector<Symbol>> seen(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int e = 0; e < kEvents; ++e) {
+        seen[t].push_back(
+            registry.Intern("C" + std::to_string(e % 7),
+                            "after f" + std::to_string(e)));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // All threads resolved each (class, event) pair to the same symbol.
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(seen[t], seen[0]);
+  }
+  // And distinct pairs got distinct symbols.
+  std::set<Symbol> unique(seen[0].begin(), seen[0].end());
+  EXPECT_EQ(unique.size(), seen[0].size());
+}
+
+}  // namespace
+}  // namespace ode

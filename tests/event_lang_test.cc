@@ -1,0 +1,232 @@
+// Event-language tests: AST builders/utilities and the concrete-syntax
+// parser (paper §5.1's operators: ',', '||', '*', '&', relative, any, ^).
+
+#include <gtest/gtest.h>
+
+#include "events/event_expr.h"
+#include "events/event_parser.h"
+
+namespace ode {
+namespace {
+
+// ------------------------------------------------------------------ AST
+
+TEST(EventExpr, ToStringRendersOperators) {
+  ExprPtr e = Seq(Mask(Basic("after Buy"), "MoreCred()"),
+                  Or(Basic("BigBuy"), Star(Any())));
+  EXPECT_EQ(ToString(e), "after Buy & MoreCred(), BigBuy || any*");
+}
+
+TEST(EventExpr, ToStringParenthesizesByPrecedence) {
+  // Star of a sequence needs parentheses; star of a basic does not.
+  EXPECT_EQ(ToString(Star(Seq(Basic("a"), Basic("b")))), "(a, b)*");
+  EXPECT_EQ(ToString(Star(Basic("a"))), "a*");
+  EXPECT_EQ(ToString(Seq(Or(Basic("a"), Basic("b")), Basic("c"))),
+            "a || b, c");
+  EXPECT_EQ(ToString(Or(Basic("a"), Seq(Basic("b"), Basic("c")))),
+            "a || (b, c)");
+}
+
+TEST(EventExpr, EqualsIsStructural) {
+  ExprPtr a = Relative(Basic("x"), Basic("y"));
+  ExprPtr b = Relative(Basic("x"), Basic("y"));
+  ExprPtr c = Relative(Basic("x"), Basic("z"));
+  EXPECT_TRUE(ExprEquals(a, b));
+  EXPECT_FALSE(ExprEquals(a, c));
+  EXPECT_FALSE(ExprEquals(a, Basic("x")));
+}
+
+TEST(EventExpr, ReferencedEventsInOrderAndDeduped) {
+  ExprPtr e = Seq(Basic("b"), Seq(Basic("a"), Basic("b")));
+  EXPECT_EQ(ReferencedEvents(e), (std::vector<std::string>{"b", "a"}));
+}
+
+TEST(EventExpr, ReferencedMasks) {
+  ExprPtr e = Seq(Mask(Basic("a"), "p()"), Mask(Basic("b"), "(x>1)"));
+  EXPECT_EQ(ReferencedMasks(e),
+            (std::vector<std::string>{"p()", "(x>1)"}));
+}
+
+TEST(EventExpr, Nullable) {
+  EXPECT_FALSE(Nullable(Basic("a")));
+  EXPECT_FALSE(Nullable(Any()));
+  EXPECT_TRUE(Nullable(Star(Basic("a"))));
+  EXPECT_TRUE(Nullable(Opt(Basic("a"))));
+  EXPECT_FALSE(Nullable(Plus(Basic("a"))));
+  EXPECT_TRUE(Nullable(Plus(Star(Basic("a")))));
+  EXPECT_TRUE(Nullable(Seq(Star(Basic("a")), Opt(Basic("b")))));
+  EXPECT_FALSE(Nullable(Seq(Star(Basic("a")), Basic("b"))));
+  EXPECT_TRUE(Nullable(Or(Basic("a"), Star(Basic("b")))));
+}
+
+// --------------------------------------------------------------- parser
+
+Result<ParsedEvent> P(const std::string& text) {
+  return ParseEventExpr(text);
+}
+
+TEST(Parser, BasicEvents) {
+  auto r = P("after Buy");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(ToString(r->expr), "after Buy");
+  EXPECT_FALSE(r->anchored);
+
+  r = P("before PayBill");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(ToString(r->expr), "before PayBill");
+
+  r = P("BigBuy");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->expr->kind, EventExpr::Kind::kBasic);
+  EXPECT_EQ(r->expr->event_name, "BigBuy");
+}
+
+TEST(Parser, TransactionEvents) {
+  auto r = P("before tcomplete || before tabort");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(ToString(r->expr), "before tcomplete || before tabort");
+}
+
+TEST(Parser, PrecedenceSeqLowerThanOr) {
+  auto r = P("a || b, c");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->expr->kind, EventExpr::Kind::kSeq);
+  EXPECT_EQ(ToString(r->expr->left), "a || b");
+}
+
+TEST(Parser, MaskBindsTighterThanOr) {
+  auto r = P("a & p() || b");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->expr->kind, EventExpr::Kind::kOr);
+  EXPECT_EQ(ToString(r->expr->left), "a & p()");
+}
+
+TEST(Parser, PostfixOperators) {
+  auto r = P("a*, b+, c?");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(ToString(r->expr), "a*, b+, c?");
+  r = P("(a, b)*");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->expr->kind, EventExpr::Kind::kStar);
+}
+
+TEST(Parser, MaskCallForm) {
+  auto r = P("after Buy & MoreCred()");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->expr->kind, EventExpr::Kind::kMask);
+  EXPECT_EQ(r->expr->mask_name, "MoreCred()");
+}
+
+TEST(Parser, MaskRawPredicateForm) {
+  auto r = P("after Buy & (currBal > credLim)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->expr->mask_name, "(currBal > credLim)");
+}
+
+TEST(Parser, MaskRawPredicateNestedParens) {
+  auto r = P("a & (f(x) && g(y))");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->expr->mask_name, "(f(x) && g(y))");
+}
+
+TEST(Parser, ChainedMasks) {
+  auto r = P("a & p() & q()");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(ToString(r->expr), "a & p() & q()");
+  EXPECT_EQ(r->expr->mask_name, "q()");
+  EXPECT_EQ(r->expr->left->mask_name, "p()");
+}
+
+TEST(Parser, RelativeFromThePaper) {
+  auto r = P("relative((after Buy & MoreCred()), after PayBill)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->expr->kind, EventExpr::Kind::kRelative);
+  EXPECT_EQ(ToString(r->expr->left), "after Buy & MoreCred()");
+  EXPECT_EQ(ToString(r->expr->right), "after PayBill");
+}
+
+TEST(Parser, RelativeSecondArgMayBeSequence) {
+  auto r = P("relative(a, b, c)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(ToString(r->expr->right), "b, c");
+}
+
+TEST(Parser, Anchor) {
+  auto r = P("^(a, b)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->anchored);
+  EXPECT_EQ(ToString(r->expr), "a, b");
+}
+
+TEST(Parser, AnyKeyword) {
+  auto r = P("a, any*, b");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(ToString(r->expr), "a, any*, b");
+}
+
+TEST(Parser, WhitespaceInsensitive) {
+  auto a = P("  a ,b||c  ");
+  auto b = P("a, b || c");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(ExprEquals(a->expr, b->expr));
+}
+
+TEST(Parser, RoundTripThroughToString) {
+  for (const char* text :
+       {"after Buy", "a, b, c", "a || b || c", "a & p(), b",
+        "relative(a, b)", "(a || b)*, c", "a+, b?",
+        "after Buy & (x > y) & q()"}) {
+    auto first = P(text);
+    ASSERT_TRUE(first.ok()) << text;
+    auto second = P(ToString(first->expr));
+    ASSERT_TRUE(second.ok()) << ToString(first->expr);
+    EXPECT_TRUE(ExprEquals(first->expr, second->expr)) << text;
+  }
+}
+
+TEST(Parser, BoundedRepetitionExact) {
+  auto r = P("a{3}");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(ToString(r->expr), "a, a, a");
+}
+
+TEST(Parser, BoundedRepetitionRange) {
+  auto r = P("a{1,3}");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(ToString(r->expr), "a, a?, a?");
+  r = P("(a || b){2}");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(ToString(r->expr), "a || b, a || b");
+}
+
+TEST(Parser, BoundedRepetitionErrors) {
+  for (const char* text :
+       {"a{0}", "a{3,1}", "a{", "a{x}", "a{1", "a{99}" /* ok */}) {
+    auto r = P(text);
+    if (std::string(text) == "a{99}") {
+      EXPECT_FALSE(r.ok()) << "above the 64 cap";
+    } else {
+      EXPECT_FALSE(r.ok()) << text;
+    }
+  }
+  EXPECT_TRUE(P("a{64}").ok());
+}
+
+class ParserErrors : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ParserErrors, Rejected) {
+  auto r = P(GetParam());
+  ASSERT_FALSE(r.ok()) << GetParam();
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BadInputs, ParserErrors,
+    ::testing::Values("", "a,", "a ||", "(a", "a)", "a & ", "a & (",
+                      "relative(a)", "relative(a,)", "relative a, b",
+                      "after", "before", "a b", "&a", "*a", ", a",
+                      "a & ()"));
+
+}  // namespace
+}  // namespace ode

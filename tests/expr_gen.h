@@ -1,0 +1,51 @@
+#ifndef ODE_TESTS_EXPR_GEN_H_
+#define ODE_TESTS_EXPR_GEN_H_
+
+// Random event-expression generator shared by the property-based tests.
+
+#include "common/random.h"
+#include "events/event_expr.h"
+
+namespace ode {
+namespace testgen {
+
+/// Random expression over events {a,b,c} and masks {p0(),p1()}. Masked
+/// operands are made non-nullable so the expression always compiles.
+/// With `with_masks` false, only pure regular expressions are produced.
+inline ExprPtr RandomExpr(Random& rng, int depth, bool with_masks = true) {
+  const char* events[] = {"a", "b", "c"};
+  if (depth <= 0) {
+    if (rng.Bernoulli(0.15)) return Any();
+    return Basic(events[rng.Uniform(3)]);
+  }
+  switch (rng.Uniform(with_masks ? 8 : 7)) {
+    case 0:
+      return Basic(events[rng.Uniform(3)]);
+    case 1:
+      return Any();
+    case 2:
+      return Seq(RandomExpr(rng, depth - 1, with_masks),
+                 RandomExpr(rng, depth - 1, with_masks));
+    case 3:
+      return Or(RandomExpr(rng, depth - 1, with_masks),
+                RandomExpr(rng, depth - 1, with_masks));
+    case 4:
+      return Star(RandomExpr(rng, depth - 1, with_masks));
+    case 5:
+      return Plus(RandomExpr(rng, depth - 1, with_masks));
+    case 6:
+      return Opt(RandomExpr(rng, depth - 1, with_masks));
+    default: {
+      ExprPtr inner = RandomExpr(rng, depth - 1, with_masks);
+      if (Nullable(inner)) {
+        inner = Seq(Basic(events[rng.Uniform(3)]), std::move(inner));
+      }
+      return Mask(std::move(inner), rng.Bernoulli(0.5) ? "p0()" : "p1()");
+    }
+  }
+}
+
+}  // namespace testgen
+}  // namespace ode
+
+#endif  // ODE_TESTS_EXPR_GEN_H_

@@ -1,0 +1,143 @@
+// Property-based tests of the FSM compilation pipeline: for randomly
+// generated event expressions and random event streams (with random mask
+// oracles), the compiled, minimized DFA must accept exactly where the
+// reference NFA simulation accepts; minimization must not change
+// behavior; and the parser must round-trip ToString output.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "events/event_parser.h"
+#include "events/fsm.h"
+#include "events/minimize.h"
+#include "expr_gen.h"
+
+namespace ode {
+namespace {
+
+constexpr Symbol kSymA = 2, kSymB = 3, kSymC = 4;
+
+CompileInput MakeInput(ExprPtr expr, bool anchored) {
+  CompileInput input;
+  input.expr = std::move(expr);
+  input.anchored = anchored;
+  input.alphabet = {kSymA, kSymB, kSymC};
+  input.event_symbols = {{"a", kSymA}, {"b", kSymB}, {"c", kSymC}};
+  input.mask_ids = {{"p0()", 0}, {"p1()", 1}};
+  return input;
+}
+
+/// Runs the compiled FSM over the stream with the per-position oracle,
+/// returning the acceptance trace.
+std::vector<bool> RunFsm(const Fsm& fsm, const std::vector<Symbol>& stream,
+                         const std::vector<std::vector<bool>>& masks) {
+  std::vector<bool> accepts;
+  int32_t s = fsm.start();
+  EXPECT_FALSE(fsm.IsMaskState(s)) << "start must not be a mask state";
+  for (size_t i = 0; i < stream.size(); ++i) {
+    s = fsm.Move(s, stream[i]);
+    auto resolved = fsm.ResolveMasks(s, [&](int32_t m) -> Result<bool> {
+      return masks[i][static_cast<size_t>(m)];
+    });
+    EXPECT_TRUE(resolved.ok()) << resolved.status().ToString();
+    s = resolved.ValueOr(Fsm::kDeadState);
+    accepts.push_back(fsm.Accepting(s));
+  }
+  return accepts;
+}
+
+class FsmProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FsmProperty, DfaMatchesNfaReference) {
+  Random rng(GetParam());
+  int tested = 0;
+  for (int round = 0; round < 60; ++round) {
+    CompileInput input =
+        MakeInput(testgen::RandomExpr(rng, 3), rng.Bernoulli(0.3));
+    auto nfa = BuildNfa(input);
+    if (!nfa.ok()) continue;  // e.g. rejected nullable-mask combinations
+    auto fsm = CompileFsm(input);
+    ASSERT_TRUE(fsm.ok()) << ToString(input.expr) << ": "
+                          << fsm.status().ToString();
+    ++tested;
+
+    for (int trial = 0; trial < 10; ++trial) {
+      size_t len = 1 + rng.Uniform(20);
+      std::vector<Symbol> stream;
+      std::vector<std::vector<bool>> masks;
+      for (size_t i = 0; i < len; ++i) {
+        stream.push_back(
+            static_cast<Symbol>(kSymA + rng.Uniform(3)));
+        masks.push_back({rng.Bernoulli(0.5), rng.Bernoulli(0.5)});
+      }
+      std::vector<bool> expected = SimulateNfa(*nfa, stream, masks);
+      std::vector<bool> actual = RunFsm(*fsm, stream, masks);
+      ASSERT_EQ(actual, expected)
+          << "expr: " << (input.anchored ? "^" : "")
+          << ToString(input.expr) << " seed " << GetParam() << " round "
+          << round << " trial " << trial;
+    }
+  }
+  EXPECT_GT(tested, 20) << "generator should produce mostly-valid exprs";
+}
+
+TEST_P(FsmProperty, MinimizationPreservesBehavior) {
+  Random rng(GetParam() ^ 0xfeed);
+  for (int round = 0; round < 40; ++round) {
+    CompileInput input =
+        MakeInput(testgen::RandomExpr(rng, 3), rng.Bernoulli(0.3));
+    auto nfa = BuildNfa(input);
+    if (!nfa.ok()) continue;
+    auto dfa = BuildDfa(*nfa);
+    ASSERT_TRUE(dfa.ok());
+    Dfa minimized = MinimizeDfa(*dfa);
+    EXPECT_LE(minimized.states.size(), dfa->states.size());
+
+    Fsm full(*dfa, input.alphabet);
+    Fsm small(minimized, input.alphabet);
+    for (int trial = 0; trial < 6; ++trial) {
+      size_t len = 1 + rng.Uniform(16);
+      std::vector<Symbol> stream;
+      std::vector<std::vector<bool>> masks;
+      for (size_t i = 0; i < len; ++i) {
+        stream.push_back(static_cast<Symbol>(kSymA + rng.Uniform(3)));
+        masks.push_back({rng.Bernoulli(0.5), rng.Bernoulli(0.5)});
+      }
+      EXPECT_EQ(RunFsm(small, stream, masks), RunFsm(full, stream, masks))
+          << "expr: " << ToString(input.expr);
+    }
+  }
+}
+
+TEST_P(FsmProperty, ParserRoundTripsRandomExpressions) {
+  Random rng(GetParam() ^ 0xc0ffee);
+  for (int round = 0; round < 100; ++round) {
+    ExprPtr expr = testgen::RandomExpr(rng, 3);
+    std::string text = ToString(expr);
+    auto parsed = ParseEventExpr(text);
+    ASSERT_TRUE(parsed.ok()) << text << ": "
+                             << parsed.status().ToString();
+    EXPECT_TRUE(ExprEquals(parsed->expr, expr))
+        << "original: " << text
+        << "\nreparsed: " << ToString(parsed->expr);
+  }
+}
+
+TEST_P(FsmProperty, OutOfAlphabetSymbolsNeverChangeState) {
+  Random rng(GetParam() ^ 0xdead);
+  for (int round = 0; round < 20; ++round) {
+    CompileInput input = MakeInput(testgen::RandomExpr(rng, 3), false);
+    auto fsm = CompileFsm(input);
+    if (!fsm.ok()) continue;
+    for (const Fsm::State& state : fsm->states()) {
+      if (state.mask >= 0) continue;
+      EXPECT_EQ(fsm->Move(state.statenum, 999), state.statenum);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FsmProperty,
+                         ::testing::Values(1, 7, 42, 1234, 0xabcdef));
+
+}  // namespace
+}  // namespace ode

@@ -1,0 +1,439 @@
+// FSM compilation tests: the pipeline of paper §5.1 (expression -> NFA ->
+// DFA with mask states -> minimized run-time FSM), including the exact
+// reproduction of Figure 1.
+
+#include "events/fsm.h"
+
+#include <gtest/gtest.h>
+
+#include "events/event_parser.h"
+#include "events/minimize.h"
+
+namespace ode {
+namespace {
+
+// Symbols mirroring the paper's CredCardEvents numbering intuition.
+constexpr Symbol kBigBuy = 2;
+constexpr Symbol kAfterPayBill = 3;
+constexpr Symbol kAfterBuy = 4;
+
+CompileInput CredCardInput(const std::string& text) {
+  auto parsed = ParseEventExpr(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  CompileInput input;
+  input.expr = parsed->expr;
+  input.anchored = parsed->anchored;
+  input.alphabet = {kBigBuy, kAfterPayBill, kAfterBuy};
+  input.event_symbols = {{"BigBuy", kBigBuy},
+                         {"after PayBill", kAfterPayBill},
+                         {"after Buy", kAfterBuy}};
+  input.mask_ids = {{"MoreCred()", 0}, {"(currBal>credLim)", 0}};
+  return input;
+}
+
+Result<Fsm> Compile(const std::string& text) {
+  return CompileFsm(CredCardInput(text));
+}
+
+int32_t MoveResolved(const Fsm& fsm, int32_t state, Symbol symbol,
+                     bool mask_value) {
+  int32_t next = fsm.Move(state, symbol);
+  auto resolved = fsm.ResolveMasks(
+      next, [&](int32_t) -> Result<bool> { return mask_value; });
+  EXPECT_TRUE(resolved.ok());
+  return resolved.value();
+}
+
+// ------------------------------------------------------------- Figure 1
+
+// The AutoRaiseLimit FSM of Figure 1:
+//   state 0 (start): after Buy -> 1; BigBuy, after PayBill -> 0
+//   state 1 (mask):  MoreCred() True -> 2, False -> 0
+//   state 2:         after PayBill -> 3; BigBuy, after Buy -> 2
+//   state 3 (accept)
+TEST(Figure1, ExactShape) {
+  auto fsm = Compile("relative((after Buy & MoreCred()), after PayBill)");
+  ASSERT_TRUE(fsm.ok()) << fsm.status().ToString();
+
+  ASSERT_EQ(fsm->NumStates(), 4u);
+  const auto& states = fsm->states();
+
+  // State 0: start, no mask, not accepting.
+  EXPECT_FALSE(states[0].accept);
+  EXPECT_EQ(states[0].mask, -1);
+  EXPECT_EQ(fsm->Move(0, kAfterBuy), 1);
+  EXPECT_EQ(fsm->Move(0, kBigBuy), 0);
+  EXPECT_EQ(fsm->Move(0, kAfterPayBill), 0);
+
+  // State 1: the mask state (marked * in the figure).
+  EXPECT_TRUE(fsm->IsMaskState(1));
+  EXPECT_EQ(states[1].mask, 0);
+  EXPECT_EQ(states[1].true_next, 2);
+  EXPECT_EQ(states[1].false_next, 0);
+  EXPECT_TRUE(states[1].transitions.empty())
+      << "mask states do not wait for external events";
+
+  // State 2.
+  EXPECT_FALSE(states[2].accept);
+  EXPECT_EQ(fsm->Move(2, kAfterPayBill), 3);
+  EXPECT_EQ(fsm->Move(2, kBigBuy), 2);
+  EXPECT_EQ(fsm->Move(2, kAfterBuy), 2);
+
+  // State 3: accepting; with (any*) semantics further PayBills keep
+  // satisfying the relative event.
+  EXPECT_TRUE(states[3].accept);
+  EXPECT_EQ(fsm->Move(3, kAfterPayBill), 3);
+}
+
+TEST(Figure1, ScenarioWalk) {
+  auto fsm = Compile("relative((after Buy & MoreCred()), after PayBill)");
+  ASSERT_TRUE(fsm.ok());
+
+  // Buy with MoreCred false: back to searching.
+  int32_t s = MoveResolved(*fsm, 0, kAfterBuy, false);
+  EXPECT_EQ(s, 0);
+
+  // Buy with MoreCred true: armed.
+  s = MoveResolved(*fsm, 0, kAfterBuy, true);
+  EXPECT_EQ(s, 2);
+
+  // Unrelated events don't disturb the armed state.
+  s = MoveResolved(*fsm, s, kBigBuy, false);
+  EXPECT_EQ(s, 2);
+  s = MoveResolved(*fsm, s, kAfterBuy, false);
+  EXPECT_EQ(s, 2) << "re-buying must not re-evaluate the mask (Figure 1 "
+                     "has a plain self-loop here)";
+
+  // PayBill satisfies the trigger.
+  s = MoveResolved(*fsm, s, kAfterPayBill, false);
+  EXPECT_TRUE(fsm->Accepting(s));
+
+  // relative: "any future occurrences of after PayBill will satisfy".
+  s = MoveResolved(*fsm, s, kBigBuy, false);
+  s = MoveResolved(*fsm, s, kAfterPayBill, false);
+  EXPECT_TRUE(fsm->Accepting(s));
+}
+
+TEST(Figure1, TablePrinting) {
+  auto fsm = Compile("relative((after Buy & MoreCred()), after PayBill)");
+  ASSERT_TRUE(fsm.ok());
+  std::string table = fsm->ToTable(
+      {{kBigBuy, "BigBuy"},
+       {kAfterPayBill, "after PayBill"},
+       {kAfterBuy, "after Buy"}},
+      {{0, "MoreCred()"}});
+  EXPECT_NE(table.find("state 0 (start)"), std::string::npos);
+  EXPECT_NE(table.find("state 1 *"), std::string::npos);
+  EXPECT_NE(table.find("state 3 [accept]"), std::string::npos);
+  EXPECT_NE(table.find("MoreCred()"), std::string::npos);
+}
+
+// ------------------------------------------------- DenyCredit's machine
+
+TEST(MaskFsm, DenyCreditShape) {
+  // after Buy & (currBal>credLim): fires on every Buy that satisfies the
+  // mask (used perpetually in §4).
+  auto fsm = Compile("after Buy & (currBal>credLim)");
+  ASSERT_TRUE(fsm.ok());
+
+  int32_t s = MoveResolved(*fsm, 0, kAfterBuy, true);
+  EXPECT_TRUE(fsm->Accepting(s));
+
+  // Next Buy under the limit: not accepting.
+  s = MoveResolved(*fsm, s, kAfterBuy, false);
+  EXPECT_FALSE(fsm->Accepting(s));
+
+  // Over the limit again: accepting again.
+  s = MoveResolved(*fsm, s, kAfterBuy, true);
+  EXPECT_TRUE(fsm->Accepting(s));
+
+  // A PayBill never accepts.
+  s = MoveResolved(*fsm, s, kAfterPayBill, true);
+  EXPECT_FALSE(fsm->Accepting(s));
+}
+
+// ----------------------------------------------------- basic operators
+
+TEST(FsmOperators, Sequence) {
+  auto fsm = Compile("after Buy, after PayBill");
+  ASSERT_TRUE(fsm.ok());
+  int32_t s = fsm->start();
+  s = fsm->Move(s, kAfterBuy);
+  EXPECT_FALSE(fsm->Accepting(s));
+  s = fsm->Move(s, kAfterPayBill);
+  EXPECT_TRUE(fsm->Accepting(s));
+}
+
+TEST(FsmOperators, SequenceMatchesSubsequence) {
+  // Unanchored: (any*,) prepended; the pair can appear anywhere, with
+  // noise in between matching "subsequences in the event stream".
+  auto fsm = Compile("after Buy, after PayBill");
+  ASSERT_TRUE(fsm.ok());
+  int32_t s = fsm->start();
+  for (Symbol noise : {kBigBuy, kAfterPayBill, kBigBuy}) {
+    s = fsm->Move(s, noise);
+  }
+  s = fsm->Move(s, kAfterBuy);
+  // Interleaved noise: 'after Buy, after PayBill' as a *contiguous*
+  // subsequence requires PayBill right after Buy.
+  int32_t noisy = fsm->Move(s, kBigBuy);
+  noisy = fsm->Move(noisy, kAfterPayBill);
+  EXPECT_FALSE(fsm->Accepting(noisy))
+      << "',' is the regular sequence operator: contiguous";
+  s = fsm->Move(s, kAfterPayBill);
+  EXPECT_TRUE(fsm->Accepting(s));
+}
+
+TEST(FsmOperators, Union) {
+  auto fsm = Compile("BigBuy || after PayBill");
+  ASSERT_TRUE(fsm.ok());
+  EXPECT_TRUE(fsm->Accepting(fsm->Move(fsm->start(), kBigBuy)));
+  EXPECT_TRUE(fsm->Accepting(fsm->Move(fsm->start(), kAfterPayBill)));
+  EXPECT_FALSE(fsm->Accepting(fsm->Move(fsm->start(), kAfterBuy)));
+}
+
+TEST(FsmOperators, StarRepetition) {
+  // Three consecutive buys.
+  auto fsm = Compile("after Buy, after Buy, after Buy");
+  ASSERT_TRUE(fsm.ok());
+  int32_t s = fsm->start();
+  s = fsm->Move(s, kAfterBuy);
+  s = fsm->Move(s, kAfterBuy);
+  EXPECT_FALSE(fsm->Accepting(s));
+  s = fsm->Move(s, kAfterBuy);
+  EXPECT_TRUE(fsm->Accepting(s));
+  // Still accepting on a fourth (the last three form the pattern).
+  s = fsm->Move(s, kAfterBuy);
+  EXPECT_TRUE(fsm->Accepting(s));
+}
+
+TEST(FsmOperators, PlusAndOptional) {
+  auto plus = Compile("BigBuy+, after PayBill");
+  ASSERT_TRUE(plus.ok());
+  int32_t s = plus->start();
+  s = plus->Move(s, kAfterPayBill);
+  EXPECT_FALSE(plus->Accepting(s)) << "needs at least one BigBuy first";
+  s = plus->Move(s, kBigBuy);
+  s = plus->Move(s, kAfterPayBill);
+  EXPECT_TRUE(plus->Accepting(s));
+
+  auto opt = Compile("BigBuy?, after PayBill");
+  ASSERT_TRUE(opt.ok());
+  EXPECT_TRUE(opt->Accepting(opt->Move(opt->start(), kAfterPayBill)));
+}
+
+TEST(FsmOperators, Any) {
+  auto fsm = Compile("after Buy, any, after Buy");
+  ASSERT_TRUE(fsm.ok());
+  int32_t s = fsm->start();
+  s = fsm->Move(s, kAfterBuy);
+  s = fsm->Move(s, kAfterPayBill);  // `any` matches it
+  s = fsm->Move(s, kAfterBuy);
+  EXPECT_TRUE(fsm->Accepting(s));
+}
+
+TEST(FsmOperators, BoundedRepetition) {
+  // BigBuy{2,3}, after PayBill: two or three BigBuys then a payment.
+  auto fsm = Compile("BigBuy{2,3}, after PayBill");
+  ASSERT_TRUE(fsm.ok());
+  auto run = [&](int buys) {
+    int32_t s = fsm->start();
+    for (int i = 0; i < buys; ++i) s = fsm->Move(s, kBigBuy);
+    s = fsm->Move(s, kAfterPayBill);
+    return fsm->Accepting(s);
+  };
+  EXPECT_FALSE(run(1));
+  EXPECT_TRUE(run(2));
+  EXPECT_TRUE(run(3));
+  // With the (any*,) prefix, 4 buys still end with 3 in a row.
+  EXPECT_TRUE(run(4));
+}
+
+TEST(FsmOperators, NestedRelative) {
+  // relative can nest: once (Buy then PayBill-sometime) happened, any
+  // later BigBuy satisfies.
+  auto fsm =
+      Compile("relative((relative(after Buy, after PayBill)), BigBuy)");
+  ASSERT_TRUE(fsm.ok());
+  int32_t s = fsm->start();
+  s = fsm->Move(s, kBigBuy);  // too early
+  EXPECT_FALSE(fsm->Accepting(s));
+  s = fsm->Move(s, kAfterBuy);
+  s = fsm->Move(s, kAfterPayBill);
+  EXPECT_FALSE(fsm->Accepting(s));
+  s = fsm->Move(s, kBigBuy);
+  EXPECT_TRUE(fsm->Accepting(s));
+}
+
+// ----------------------------------------------------------- anchoring
+
+TEST(Anchoring, AnchoredDiesOnMismatch) {
+  // ^(after Buy, after PayBill): search from the activation point with
+  // nothing ignored (§5.1.1).
+  auto fsm = Compile("^(after Buy, after PayBill)");
+  ASSERT_TRUE(fsm.ok());
+  int32_t s = fsm->start();
+  s = fsm->Move(s, kBigBuy);
+  EXPECT_EQ(s, Fsm::kDeadState);
+  EXPECT_FALSE(fsm->Accepting(s));
+  // Dead machines stay dead.
+  EXPECT_EQ(fsm->Move(s, kAfterBuy), Fsm::kDeadState);
+}
+
+TEST(Anchoring, AnchoredExactMatch) {
+  auto fsm = Compile("^(after Buy, after PayBill)");
+  ASSERT_TRUE(fsm.ok());
+  int32_t s = fsm->start();
+  s = fsm->Move(s, kAfterBuy);
+  ASSERT_NE(s, Fsm::kDeadState);
+  s = fsm->Move(s, kAfterPayBill);
+  EXPECT_TRUE(fsm->Accepting(s));
+}
+
+TEST(Anchoring, UnanchoredMachinesAreTotal) {
+  for (const char* text :
+       {"after Buy", "after Buy, after PayBill", "BigBuy || after Buy",
+        "relative((after Buy & MoreCred()), after PayBill)",
+        "(after Buy, BigBuy)+ || after PayBill"}) {
+    auto fsm = Compile(text);
+    ASSERT_TRUE(fsm.ok()) << text;
+    for (const Fsm::State& state : fsm->states()) {
+      if (state.mask >= 0) continue;
+      for (Symbol sym : fsm->alphabet()) {
+        EXPECT_NE(fsm->Move(state.statenum, sym), Fsm::kDeadState)
+            << text << " state " << state.statenum << " symbol " << sym;
+      }
+    }
+  }
+}
+
+// --------------------------------------------------- ignore semantics
+
+TEST(IgnoreSemantics, OutOfAlphabetEventsAreIgnored) {
+  // Derived-class events (symbols outside the base class's alphabet) must
+  // not disturb base-class triggers (§5.4.3).
+  auto fsm = Compile("after Buy, after PayBill");
+  ASSERT_TRUE(fsm.ok());
+  constexpr Symbol kDerivedEvent = 99;
+  int32_t s = fsm->start();
+  s = fsm->Move(s, kAfterBuy);
+  int32_t before = s;
+  s = fsm->Move(s, kDerivedEvent);
+  EXPECT_EQ(s, before);
+  s = fsm->Move(s, kAfterPayBill);
+  EXPECT_TRUE(fsm->Accepting(s));
+}
+
+TEST(IgnoreSemantics, AnchoredAlsoIgnoresOutOfAlphabet) {
+  auto fsm = Compile("^(after Buy)");
+  ASSERT_TRUE(fsm.ok());
+  int32_t s = fsm->Move(fsm->start(), 99);
+  EXPECT_EQ(s, fsm->start()) << "only alphabet symbols can kill anchored "
+                                "machines";
+}
+
+// -------------------------------------------------------------- errors
+
+TEST(CompileErrors, UndeclaredEvent) {
+  auto fsm = Compile("after Refund");
+  ASSERT_FALSE(fsm.ok());
+  EXPECT_EQ(fsm.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CompileErrors, UnregisteredMask) {
+  auto fsm = Compile("after Buy & Unknown()");
+  ASSERT_FALSE(fsm.ok());
+  EXPECT_EQ(fsm.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CompileErrors, NullableMaskedOperand) {
+  auto fsm = Compile("(after Buy)* & MoreCred()");
+  ASSERT_FALSE(fsm.ok());
+  EXPECT_EQ(fsm.status().code(), StatusCode::kInvalidArgument);
+}
+
+// -------------------------------------------------------- minimization
+
+TEST(Minimization, EquivalentStatesMerge) {
+  // (a || a) compiles to the same machine as a.
+  auto a = Compile("after Buy");
+  auto aa = Compile("after Buy || after Buy");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(aa.ok());
+  EXPECT_EQ(a->NumStates(), aa->NumStates());
+}
+
+TEST(Minimization, PreservesMaskStructure) {
+  auto fsm = Compile("after Buy & MoreCred(), after PayBill");
+  ASSERT_TRUE(fsm.ok());
+  int mask_states = 0;
+  for (const auto& s : fsm->states()) {
+    if (s.mask >= 0) ++mask_states;
+  }
+  EXPECT_EQ(mask_states, 1);
+}
+
+TEST(Minimization, StartsNumberedFromZero) {
+  auto fsm = Compile("relative((after Buy & MoreCred()), after PayBill)");
+  ASSERT_TRUE(fsm.ok());
+  EXPECT_EQ(fsm->start(), 0);
+  for (size_t i = 0; i < fsm->NumStates(); ++i) {
+    EXPECT_EQ(fsm->states()[i].statenum, static_cast<int32_t>(i));
+  }
+}
+
+// ------------------------------------------------- chained mask states
+
+TEST(MaskChains, TwoMasksEvaluateInSequence) {
+  CompileInput input = CredCardInput("after Buy & MoreCred() & (currBal>credLim)");
+  input.mask_ids = {{"MoreCred()", 0}, {"(currBal>credLim)", 1}};
+  auto fsm = CompileFsm(input);
+  ASSERT_TRUE(fsm.ok()) << fsm.status().ToString();
+
+  std::vector<int32_t> evaluated;
+  auto eval_true = [&](int32_t id) -> Result<bool> {
+    evaluated.push_back(id);
+    return true;
+  };
+  int32_t s = fsm->Move(fsm->start(), kAfterBuy);
+  auto resolved = fsm->ResolveMasks(s, eval_true);
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_TRUE(fsm->Accepting(resolved.value()));
+  EXPECT_EQ(evaluated, (std::vector<int32_t>{0, 1}));
+
+  // First true, second false: not accepted.
+  evaluated.clear();
+  auto eval_mixed = [&](int32_t id) -> Result<bool> {
+    evaluated.push_back(id);
+    return id == 0;
+  };
+  s = fsm->Move(fsm->start(), kAfterBuy);
+  resolved = fsm->ResolveMasks(s, eval_mixed);
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_FALSE(fsm->Accepting(resolved.value()));
+}
+
+TEST(MaskChains, EvaluatorErrorPropagates) {
+  auto fsm = Compile("after Buy & MoreCred()");
+  ASSERT_TRUE(fsm.ok());
+  int32_t s = fsm->Move(fsm->start(), kAfterBuy);
+  auto resolved = fsm->ResolveMasks(s, [](int32_t) -> Result<bool> {
+    return Status::Internal("mask blew up");
+  });
+  EXPECT_FALSE(resolved.ok());
+  EXPECT_EQ(resolved.status().code(), StatusCode::kInternal);
+}
+
+// --------------------------------------------------------- statistics
+
+TEST(FsmStats, CountsAreConsistent) {
+  auto fsm = Compile("relative((after Buy & MoreCred()), after PayBill)");
+  ASSERT_TRUE(fsm.ok());
+  size_t transitions = 0;
+  for (const auto& s : fsm->states()) transitions += s.transitions.size();
+  EXPECT_EQ(fsm->NumTransitions(), transitions);
+  EXPECT_GT(fsm->MemoryBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace ode

@@ -1,0 +1,350 @@
+// Cross-module integration tests: before-events, anchored triggers end
+// to end, the credit-card example on the disk backend including crash
+// recovery of trigger state, and multi-threaded trigger traffic with
+// deadlock-retry.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+
+#include "paper_example.h"
+#include "storage/disk_storage_manager.h"
+
+namespace ode {
+namespace {
+
+using paper::CredCard;
+
+struct Sensor {
+  int32_t reading = 0;
+  int32_t before_sum = 0;
+  int32_t after_sum = 0;
+  int32_t fires = 0;
+
+  void Set(int32_t value) { reading = value; }
+
+  void Encode(Encoder& enc) const {
+    enc.PutI32(reading);
+    enc.PutI32(before_sum);
+    enc.PutI32(after_sum);
+    enc.PutI32(fires);
+  }
+  static Result<Sensor> Decode(Decoder& dec) {
+    Sensor s;
+    ODE_RETURN_NOT_OK(dec.GetI32(&s.reading));
+    ODE_RETURN_NOT_OK(dec.GetI32(&s.before_sum));
+    ODE_RETURN_NOT_OK(dec.GetI32(&s.after_sum));
+    ODE_RETURN_NOT_OK(dec.GetI32(&s.fires));
+    return s;
+  }
+};
+
+// -------------------------------------------------- before-member events
+
+TEST(BeforeEvents, BeforeEventSeesPreCallState) {
+  Schema schema;
+  schema.DeclareClass<Sensor>("Sensor")
+      .Event("before Set")
+      .Event("after Set")
+      .Method("Set", &Sensor::Set)
+      // The before-trigger records the OLD reading; the after-trigger the
+      // NEW one, proving the wrapper posts around the call (§5.3).
+      .Trigger("PreSet", "before Set",
+               [](Sensor& s, TriggerFireContext&) -> Status {
+                 s.before_sum += s.reading;
+                 return Status::OK();
+               },
+               CouplingMode::kImmediate, true)
+      .Trigger("PostSet", "after Set",
+               [](Sensor& s, TriggerFireContext&) -> Status {
+                 s.after_sum += s.reading;
+                 return Status::OK();
+               },
+               CouplingMode::kImmediate, true);
+  ASSERT_TRUE(schema.Freeze().ok());
+  auto session = Session::Open(StorageKind::kMainMemory, "", &schema);
+  ASSERT_TRUE(session.ok());
+  Session& s = **session;
+
+  PRef<Sensor> sensor;
+  Status st = s.WithTransaction([&](Transaction* txn) -> Status {
+    auto r = s.New(txn, Sensor{});
+    ODE_RETURN_NOT_OK(r.status());
+    sensor = *r;
+    ODE_RETURN_NOT_OK(s.Activate(txn, sensor, "PreSet").status());
+    ODE_RETURN_NOT_OK(s.Activate(txn, sensor, "PostSet").status());
+    ODE_RETURN_NOT_OK(s.Invoke(txn, sensor, &Sensor::Set, 10));
+    return s.Invoke(txn, sensor, &Sensor::Set, 25);
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+
+  st = s.WithTransaction([&](Transaction* txn) -> Status {
+    auto v = s.Load(txn, sensor);
+    ODE_RETURN_NOT_OK(v.status());
+    EXPECT_EQ(v->before_sum, 0 + 10) << "before events saw old readings";
+    EXPECT_EQ(v->after_sum, 10 + 25) << "after events saw new readings";
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok());
+}
+
+// ----------------------------------------------- anchored (^) triggers
+
+TEST(AnchoredTriggers, DieOnFirstMismatch) {
+  Schema schema;
+  schema.DeclareClass<Sensor>("Sensor")
+      .Event("after Set")
+      .Event("Ping")
+      .Event("Pong")
+      .Method("Set", &Sensor::Set)
+      // ^ (Ping, Pong): must see exactly Ping then Pong from activation,
+      // nothing ignored (§5.1.1).
+      .Trigger("Strict", "^(Ping, Pong)",
+               [](Sensor& s, TriggerFireContext&) -> Status {
+                 ++s.fires;
+                 return Status::OK();
+               },
+               CouplingMode::kImmediate, true);
+  ASSERT_TRUE(schema.Freeze().ok());
+  auto session = Session::Open(StorageKind::kMainMemory, "", &schema);
+  ASSERT_TRUE(session.ok());
+  Session& s = **session;
+
+  auto run_scenario = [&](const std::vector<std::string>& events) {
+    PRef<Sensor> obj;
+    Status st = s.WithTransaction([&](Transaction* txn) -> Status {
+      auto r = s.New(txn, Sensor{});
+      ODE_RETURN_NOT_OK(r.status());
+      obj = *r;
+      ODE_RETURN_NOT_OK(s.Activate(txn, obj, "Strict").status());
+      for (const std::string& e : events) {
+        ODE_RETURN_NOT_OK(s.PostUserEvent(txn, obj, e));
+      }
+      return Status::OK();
+    });
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    int fires = -1;
+    st = s.WithTransaction([&](Transaction* txn) -> Status {
+      auto v = s.Load(txn, obj);
+      ODE_RETURN_NOT_OK(v.status());
+      fires = v->fires;
+      return Status::OK();
+    });
+    EXPECT_TRUE(st.ok());
+    return fires;
+  };
+
+  EXPECT_EQ(run_scenario({"Ping", "Pong"}), 1) << "exact match fires";
+  EXPECT_EQ(run_scenario({"Pong", "Ping", "Pong"}), 0)
+      << "wrong first event kills the anchored machine for good";
+  EXPECT_EQ(run_scenario({"Ping", "Ping", "Pong"}), 0)
+      << "anchored machines ignore nothing";
+}
+
+// ------------------------------------------ disk backend + crash recovery
+
+TEST(DiskIntegration, CreditCardScenarioOnDisk) {
+  std::string path = ::testing::TempDir() + "/ode_integration_disk.db";
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+
+  Schema schema;
+  paper::DeclareCredCard(&schema);
+  ASSERT_TRUE(schema.Freeze().ok());
+  auto session = Session::Open(StorageKind::kDisk, path, &schema);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  Session& s = **session;
+
+  PRef<CredCard> card;
+  Status st = s.WithTransaction([&](Transaction* txn) -> Status {
+    CredCard c;
+    c.cred_lim = 1000;
+    auto r = s.New(txn, c);
+    ODE_RETURN_NOT_OK(r.status());
+    card = *r;
+    ODE_RETURN_NOT_OK(s.Activate(txn, card, "DenyCredit").status());
+    return s
+        .Activate(txn, card, "AutoRaiseLimit", PackParams(500.0f))
+        .status();
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+
+  // Over-limit purchase rejected on disk too.
+  st = s.WithTransaction([&](Transaction* txn) -> Status {
+    return s.Invoke(txn, card, &CredCard::Buy, 1500.0f);
+  });
+  EXPECT_TRUE(st.IsTransactionAborted());
+
+  // Arm and fire AutoRaiseLimit across transactions.
+  st = s.WithTransaction([&](Transaction* txn) -> Status {
+    return s.Invoke(txn, card, &CredCard::Buy, 900.0f);
+  });
+  ASSERT_TRUE(st.ok());
+  st = s.WithTransaction([&](Transaction* txn) -> Status {
+    return s.Invoke(txn, card, &CredCard::PayBill, 100.0f);
+  });
+  ASSERT_TRUE(st.ok());
+  st = s.WithTransaction([&](Transaction* txn) -> Status {
+    auto c = s.Load(txn, card);
+    ODE_RETURN_NOT_OK(c.status());
+    EXPECT_FLOAT_EQ(c->cred_lim, 1500);
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok());
+  ASSERT_TRUE(s.Close().ok());
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+}
+
+TEST(DiskIntegration, TriggerStateSurvivesCrash) {
+  std::string path = ::testing::TempDir() + "/ode_integration_crash.db";
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+
+  Schema schema;
+  paper::DeclareCredCard(&schema);
+  ASSERT_TRUE(schema.Freeze().ok());
+
+  PRef<CredCard> card;
+  {
+    auto store = std::make_unique<DiskStorageManager>(path);
+    DiskStorageManager* raw = store.get();
+    Session::Options options;
+    auto session = Session::OpenWith(std::move(store), &schema, options);
+    ASSERT_TRUE(session.ok()) << session.status().ToString();
+    Session& s = **session;
+
+    Status st = s.WithTransaction([&](Transaction* txn) -> Status {
+      CredCard c;
+      c.cred_lim = 1000;
+      auto r = s.New(txn, c);
+      ODE_RETURN_NOT_OK(r.status());
+      card = *r;
+      return s
+          .Activate(txn, card, "AutoRaiseLimit", PackParams(500.0f))
+          .status();
+    });
+    ASSERT_TRUE(st.ok());
+    // Arm the relative pattern...
+    st = s.WithTransaction([&](Transaction* txn) -> Status {
+      return s.Invoke(txn, card, &CredCard::Buy, 900.0f);
+    });
+    ASSERT_TRUE(st.ok());
+    // ...and crash without checkpointing. Recovery must rebuild the
+    // armed FSM state from the WAL.
+    raw->SimulateCrash();
+  }
+  {
+    auto session = Session::Open(StorageKind::kDisk, path, &schema);
+    ASSERT_TRUE(session.ok()) << session.status().ToString();
+    Session& s = **session;
+    Status st = s.WithTransaction([&](Transaction* txn) -> Status {
+      return s.Invoke(txn, card, &CredCard::PayBill, 50.0f);
+    });
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    st = s.WithTransaction([&](Transaction* txn) -> Status {
+      auto c = s.Load(txn, card);
+      ODE_RETURN_NOT_OK(c.status());
+      EXPECT_FLOAT_EQ(c->cred_lim, 1500)
+          << "armed trigger state survived the crash";
+      return Status::OK();
+    });
+    ASSERT_TRUE(st.ok());
+    ASSERT_TRUE(s.Close().ok());
+  }
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+}
+
+// --------------------------------------------------- concurrent triggers
+
+TEST(Concurrency, ParallelTriggeredUpdatesStayConsistent) {
+  // N threads each perform M purchases on their own card plus M on one
+  // shared card, retrying on deadlock/timeout. Each purchase fires a
+  // perpetual counting trigger. At the end every counter must equal the
+  // number of successful purchases.
+  Schema schema;
+  schema.DeclareClass<Sensor>("Sensor")
+      .Event("after Set")
+      .Method("Set", &Sensor::Set)
+      .Trigger("Count", "after Set",
+               [](Sensor& s, TriggerFireContext&) -> Status {
+                 ++s.fires;
+                 return Status::OK();
+               },
+               CouplingMode::kImmediate, true);
+  ASSERT_TRUE(schema.Freeze().ok());
+  auto session = Session::Open(StorageKind::kMainMemory, "", &schema);
+  ASSERT_TRUE(session.ok());
+  Session& s = **session;
+
+  constexpr int kThreads = 4;
+  constexpr int kOps = 50;
+
+  PRef<Sensor> shared;
+  std::vector<PRef<Sensor>> own(kThreads);
+  Status st = s.WithTransaction([&](Transaction* txn) -> Status {
+    auto r = s.New(txn, Sensor{});
+    ODE_RETURN_NOT_OK(r.status());
+    shared = *r;
+    ODE_RETURN_NOT_OK(s.Activate(txn, shared, "Count").status());
+    for (int i = 0; i < kThreads; ++i) {
+      auto ri = s.New(txn, Sensor{});
+      ODE_RETURN_NOT_OK(ri.status());
+      own[i] = *ri;
+      ODE_RETURN_NOT_OK(s.Activate(txn, own[i], "Count").status());
+    }
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok());
+
+  std::atomic<int> shared_successes{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kOps; ++i) {
+        // Own object: no contention; must always succeed (retry anyway).
+        for (int attempt = 0; attempt < 50; ++attempt) {
+          Status op = s.WithTransaction([&](Transaction* txn) {
+            return s.Invoke(txn, own[t], &Sensor::Set, i);
+          });
+          if (op.ok()) break;
+          ASSERT_TRUE(op.IsDeadlock() ||
+                      op.code() == StatusCode::kLockTimeout)
+              << op.ToString();
+        }
+        // Shared object: heavy contention; count successes.
+        Status op = s.WithTransaction([&](Transaction* txn) {
+          return s.Invoke(txn, shared, &Sensor::Set, i);
+        });
+        if (op.ok()) {
+          ++shared_successes;
+        } else {
+          ASSERT_TRUE(op.IsDeadlock() ||
+                      op.code() == StatusCode::kLockTimeout)
+              << op.ToString();
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  st = s.WithTransaction([&](Transaction* txn) -> Status {
+    for (int t = 0; t < kThreads; ++t) {
+      auto v = s.Load(txn, own[t]);
+      ODE_RETURN_NOT_OK(v.status());
+      EXPECT_EQ(v->fires, kOps) << "thread " << t;
+    }
+    auto v = s.Load(txn, shared);
+    ODE_RETURN_NOT_OK(v.status());
+    EXPECT_EQ(v->fires, shared_successes.load())
+        << "every committed purchase fired exactly once";
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+}
+
+}  // namespace
+}  // namespace ode

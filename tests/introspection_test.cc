@@ -1,0 +1,137 @@
+// Introspection utilities: the O++-style schema rendering and the
+// graphviz export of compiled FSMs.
+
+#include <gtest/gtest.h>
+
+#include "events/event_parser.h"
+#include "paper_example.h"
+
+namespace ode {
+namespace {
+
+TEST(OppSource, RendersThePaperSchema) {
+  Schema schema;
+  paper::DeclareCredCard(&schema);
+  ASSERT_TRUE(schema.Freeze().ok());
+  std::string src = schema.ToOppSource();
+
+  EXPECT_NE(src.find("persistent class CredCard {"), std::string::npos);
+  EXPECT_NE(src.find("event after Buy, after PayBill, BigBuy;"),
+            std::string::npos);
+  EXPECT_NE(src.find("trigger DenyCredit() : perpetual after Buy & "
+                     "(currBal>credLim) ==> { ... };"),
+            std::string::npos);
+  EXPECT_NE(src.find("trigger AutoRaiseLimit() : relative((after Buy & "
+                     "MoreCred()), after PayBill) ==> { ... };"),
+            std::string::npos);
+}
+
+TEST(OppSource, RendersInheritanceAndModes) {
+  struct Base {
+    void Encode(Encoder&) const {}
+    static Result<Base> Decode(Decoder&) { return Base{}; }
+  };
+  struct Derived : Base {
+    void Encode(Encoder&) const {}
+    static Result<Derived> Decode(Decoder&) { return Derived{}; }
+  };
+  Schema schema;
+  schema.DeclareClass<Base>("Base").Event("Tick").Trigger(
+      "Deferred", "Tick",
+      [](Base&, TriggerFireContext&) { return Status::OK(); },
+      CouplingMode::kDeferred, false);
+  schema.DeclareClass<Derived, Base>("Derived", "Base")
+      .Event("Tock")
+      .Trigger("Detached", "Tock",
+               [](Derived&, TriggerFireContext&) { return Status::OK(); },
+               CouplingMode::kIndependent, true);
+  ASSERT_TRUE(schema.Freeze().ok());
+  std::string src = schema.ToOppSource();
+  EXPECT_NE(src.find("persistent class Derived : public Base {"),
+            std::string::npos);
+  EXPECT_NE(src.find("trigger Deferred() : end Tick ==> { ... };"),
+            std::string::npos);
+  EXPECT_NE(src.find("trigger Detached() : perpetual !dependent Tock"),
+            std::string::npos);
+}
+
+TEST(FsmDot, RendersFigure1Shape) {
+  auto parsed =
+      ParseEventExpr("relative((after Buy & MoreCred()), after PayBill)");
+  ASSERT_TRUE(parsed.ok());
+  CompileInput input;
+  input.expr = parsed->expr;
+  input.alphabet = {2, 3, 4};
+  input.event_symbols = {{"BigBuy", 2}, {"after PayBill", 3},
+                         {"after Buy", 4}};
+  input.mask_ids = {{"MoreCred()", 0}};
+  auto fsm = CompileFsm(input);
+  ASSERT_TRUE(fsm.ok());
+  std::string dot = fsm->ToDot({{2, "BigBuy"},
+                                {3, "after PayBill"},
+                                {4, "after Buy"}},
+                               {{0, "MoreCred()"}});
+  EXPECT_NE(dot.find("digraph fsm"), std::string::npos);
+  EXPECT_NE(dot.find("shape=diamond"), std::string::npos)
+      << "mask state drawn as diamond";
+  EXPECT_NE(dot.find("shape=doublecircle"), std::string::npos)
+      << "accept state double-circled";
+  EXPECT_NE(dot.find("label=\"True\""), std::string::npos);
+  // Self-loops with merged labels, e.g. "BigBuy || after PayBill" on s0.
+  EXPECT_NE(dot.find(" || "), std::string::npos);
+}
+
+TEST(ListActive, ReportsTriggerStates) {
+  Schema schema;
+  paper::DeclareCredCard(&schema);
+  ASSERT_TRUE(schema.Freeze().ok());
+  auto session = Session::Open(StorageKind::kMainMemory, "", &schema);
+  ASSERT_TRUE(session.ok());
+  Session& s = **session;
+
+  PRef<paper::CredCard> card;
+  Status st = s.WithTransaction([&](Transaction* txn) -> Status {
+    paper::CredCard c;
+    c.cred_lim = 1000;
+    auto r = s.New(txn, c);
+    ODE_RETURN_NOT_OK(r.status());
+    card = *r;
+    ODE_RETURN_NOT_OK(s.Activate(txn, card, "DenyCredit").status());
+    ODE_RETURN_NOT_OK(
+        s.Activate(txn, card, "AutoRaiseLimit", PackParams(1.0f)).status());
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok());
+
+  // Arm AutoRaiseLimit so its statenum moves off the start state.
+  st = s.WithTransaction([&](Transaction* txn) -> Status {
+    return s.Invoke(txn, card, &paper::CredCard::Buy, 900.0f);
+  });
+  ASSERT_TRUE(st.ok());
+
+  st = s.WithTransaction([&](Transaction* txn) -> Status {
+    auto active = s.triggers()->ListActive(txn, card.oid());
+    ODE_RETURN_NOT_OK(active.status());
+    EXPECT_EQ(active->size(), 2u);
+    bool saw_deny = false, saw_raise = false;
+    for (const auto& t : *active) {
+      EXPECT_EQ(t.defining_class, "CredCard");
+      EXPECT_FALSE(t.dead);
+      EXPECT_EQ(t.anchors, std::vector<Oid>{card.oid()});
+      if (t.trigger_name == "DenyCredit") {
+        saw_deny = true;
+      } else if (t.trigger_name == "AutoRaiseLimit") {
+        saw_raise = true;
+        EXPECT_EQ(t.statenum, 2) << "armed: Figure 1 state 2";
+        EXPECT_FALSE(t.accepting);
+      }
+    }
+    EXPECT_TRUE(saw_deny);
+    EXPECT_TRUE(saw_raise);
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+}
+
+}  // namespace
+}  // namespace ode

@@ -1,0 +1,178 @@
+// Lock-manager tests: mode compatibility, upgrade, FIFO fairness,
+// deadlock detection, timeout, and multi-threaded stress.
+
+#include "storage/lock_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+namespace ode {
+namespace {
+
+const Oid kA(100), kB(200);
+
+TEST(LockManager, SharedLocksAreCompatible) {
+  LockManager locks;
+  EXPECT_TRUE(locks.Acquire(1, kA, LockMode::kShared).ok());
+  EXPECT_TRUE(locks.Acquire(2, kA, LockMode::kShared).ok());
+  EXPECT_TRUE(locks.Holds(1, kA, LockMode::kShared));
+  EXPECT_TRUE(locks.Holds(2, kA, LockMode::kShared));
+  EXPECT_FALSE(locks.Holds(1, kA, LockMode::kExclusive));
+}
+
+TEST(LockManager, ReacquireIsIdempotent) {
+  LockManager locks;
+  EXPECT_TRUE(locks.Acquire(1, kA, LockMode::kExclusive).ok());
+  EXPECT_TRUE(locks.Acquire(1, kA, LockMode::kExclusive).ok());
+  EXPECT_TRUE(locks.Acquire(1, kA, LockMode::kShared).ok())
+      << "S under held X is a no-op";
+  EXPECT_EQ(locks.LocksHeld(1), 1u);
+}
+
+TEST(LockManager, UpgradeSoleHolder) {
+  LockManager locks;
+  EXPECT_TRUE(locks.Acquire(1, kA, LockMode::kShared).ok());
+  EXPECT_TRUE(locks.Acquire(1, kA, LockMode::kExclusive).ok());
+  EXPECT_TRUE(locks.Holds(1, kA, LockMode::kExclusive));
+}
+
+TEST(LockManager, ExclusiveBlocksUntilRelease) {
+  LockManager locks;
+  ASSERT_TRUE(locks.Acquire(1, kA, LockMode::kExclusive).ok());
+
+  std::atomic<bool> acquired{false};
+  std::thread t([&] {
+    Status st = locks.Acquire(2, kA, LockMode::kShared);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    acquired = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(acquired);
+  locks.ReleaseAll(1);
+  t.join();
+  EXPECT_TRUE(acquired);
+  EXPECT_GT(locks.conflicts(), 0u);
+}
+
+TEST(LockManager, DeadlockDetected) {
+  LockManager locks;
+  ASSERT_TRUE(locks.Acquire(1, kA, LockMode::kExclusive).ok());
+  ASSERT_TRUE(locks.Acquire(2, kB, LockMode::kExclusive).ok());
+
+  std::thread t([&] {
+    // Txn 1 waits for B (held by 2).
+    Status st = locks.Acquire(1, kB, LockMode::kExclusive);
+    EXPECT_TRUE(st.ok()) << "winner should eventually acquire";
+    locks.ReleaseAll(1);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  // Txn 2 requesting A closes the cycle: it must be chosen as victim.
+  Status st = locks.Acquire(2, kA, LockMode::kExclusive);
+  EXPECT_TRUE(st.IsDeadlock()) << st.ToString();
+  EXPECT_GE(locks.deadlocks(), 1u);
+  locks.ReleaseAll(2);
+  t.join();
+}
+
+TEST(LockManager, UpgradeDeadlockDetected) {
+  // Two shared holders both upgrading: the second must be the victim.
+  LockManager locks;
+  ASSERT_TRUE(locks.Acquire(1, kA, LockMode::kShared).ok());
+  ASSERT_TRUE(locks.Acquire(2, kA, LockMode::kShared).ok());
+
+  std::thread t([&] {
+    Status st = locks.Acquire(1, kA, LockMode::kExclusive);
+    EXPECT_TRUE(st.ok());
+    locks.ReleaseAll(1);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  Status st = locks.Acquire(2, kA, LockMode::kExclusive);
+  EXPECT_TRUE(st.IsDeadlock()) << st.ToString();
+  locks.ReleaseAll(2);
+  t.join();
+}
+
+TEST(LockManager, TimeoutFires) {
+  LockManager::Options options;
+  options.timeout = std::chrono::milliseconds(50);
+  LockManager locks(options);
+  ASSERT_TRUE(locks.Acquire(1, kA, LockMode::kExclusive).ok());
+  Status st = locks.Acquire(2, kA, LockMode::kExclusive);
+  EXPECT_EQ(st.code(), StatusCode::kLockTimeout);
+  locks.ReleaseAll(1);
+  EXPECT_TRUE(locks.Acquire(2, kA, LockMode::kExclusive).ok());
+  locks.ReleaseAll(2);
+}
+
+TEST(LockManager, WritersNotStarvedByReaders) {
+  LockManager locks;
+  ASSERT_TRUE(locks.Acquire(1, kA, LockMode::kShared).ok());
+
+  std::atomic<bool> writer_done{false};
+  std::thread writer([&] {
+    EXPECT_TRUE(locks.Acquire(2, kA, LockMode::kExclusive).ok());
+    writer_done = true;
+    locks.ReleaseAll(2);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  ASSERT_FALSE(writer_done);
+
+  // A new reader behind a queued writer must wait, not jump the queue.
+  std::atomic<bool> reader_done{false};
+  std::thread reader([&] {
+    EXPECT_TRUE(locks.Acquire(3, kA, LockMode::kShared).ok());
+    reader_done = true;
+    locks.ReleaseAll(3);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(reader_done) << "reader must queue behind the writer";
+
+  locks.ReleaseAll(1);
+  writer.join();
+  reader.join();
+  EXPECT_TRUE(writer_done);
+  EXPECT_TRUE(reader_done);
+}
+
+TEST(LockManager, ReleaseAllFreesEverything) {
+  LockManager locks;
+  ASSERT_TRUE(locks.Acquire(1, kA, LockMode::kExclusive).ok());
+  ASSERT_TRUE(locks.Acquire(1, kB, LockMode::kShared).ok());
+  EXPECT_EQ(locks.LocksHeld(1), 2u);
+  locks.ReleaseAll(1);
+  EXPECT_EQ(locks.LocksHeld(1), 0u);
+  EXPECT_TRUE(locks.Acquire(2, kA, LockMode::kExclusive).ok());
+  EXPECT_TRUE(locks.Acquire(2, kB, LockMode::kExclusive).ok());
+  locks.ReleaseAll(2);
+}
+
+TEST(LockManager, StressManyThreadsMutualExclusion) {
+  LockManager locks;
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 200;
+  int counter = 0;  // protected by the X lock on kA
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kRounds; ++i) {
+        TxnId txn = static_cast<TxnId>(t * kRounds + i + 1);
+        Status st = locks.Acquire(txn, kA, LockMode::kExclusive);
+        if (!st.ok()) {
+          ++failures;
+          continue;
+        }
+        ++counter;  // would race without mutual exclusion
+        locks.ReleaseAll(txn);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, kThreads * kRounds - failures.load());
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace ode

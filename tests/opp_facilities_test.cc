@@ -1,0 +1,183 @@
+// Tests for the remaining O++ §2 facilities: persistent sets, versioned
+// objects, and cluster queries (Select).
+
+#include <gtest/gtest.h>
+
+#include "odepp/session.h"
+
+namespace ode {
+namespace {
+
+struct Part {
+  int32_t weight = 0;
+  void Encode(Encoder& enc) const { enc.PutI32(weight); }
+  static Result<Part> Decode(Decoder& dec) {
+    Part p;
+    ODE_RETURN_NOT_OK(dec.GetI32(&p.weight));
+    return p;
+  }
+};
+
+class OppFacilitiesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    schema_.DeclareClass<Part>("Part");
+    ASSERT_TRUE(schema_.Freeze().ok());
+    auto session = Session::Open(StorageKind::kMainMemory, "", &schema_);
+    ASSERT_TRUE(session.ok());
+    s_ = std::move(session).value();
+  }
+
+  PRef<Part> NewPart(int32_t weight) {
+    PRef<Part> ref;
+    Status st = s_->WithTransaction([&](Transaction* txn) -> Status {
+      Part p;
+      p.weight = weight;
+      auto r = s_->New(txn, p);
+      ODE_RETURN_NOT_OK(r.status());
+      ref = *r;
+      return Status::OK();
+    });
+    EXPECT_TRUE(st.ok());
+    return ref;
+  }
+
+  Schema schema_;
+  std::unique_ptr<Session> s_;
+};
+
+// ---------------------------------------------------------------- sets
+
+TEST_F(OppFacilitiesTest, SetBasics) {
+  PRef<Part> a = NewPart(1), b = NewPart(2), c = NewPart(3);
+  Status st = s_->WithTransaction([&](Transaction* txn) -> Status {
+    auto set = s_->NewSet<Part>(txn);
+    ODE_RETURN_NOT_OK(set.status());
+    ODE_RETURN_NOT_OK(s_->SetInsert(txn, *set, a));
+    ODE_RETURN_NOT_OK(s_->SetInsert(txn, *set, b));
+    EXPECT_EQ(s_->SetInsert(txn, *set, a).code(),
+              StatusCode::kAlreadyExists);
+
+    EXPECT_TRUE(s_->SetContains(txn, *set, a).ValueOr(false));
+    EXPECT_FALSE(s_->SetContains(txn, *set, c).ValueOr(true));
+    EXPECT_EQ(s_->SetSize(txn, *set).ValueOr(0), 2u);
+
+    ODE_RETURN_NOT_OK(s_->SetErase(txn, *set, a));
+    EXPECT_TRUE(s_->SetErase(txn, *set, a).IsNotFound());
+    auto members = s_->SetMembers(txn, *set);
+    ODE_RETURN_NOT_OK(members.status());
+    EXPECT_EQ(members->size(), 1u);
+    EXPECT_EQ((*members)[0], b);
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST_F(OppFacilitiesTest, SetPersistsAndRollsBack) {
+  PRef<Part> a = NewPart(1);
+  PSet<Part> set;
+  Status st = s_->WithTransaction([&](Transaction* txn) -> Status {
+    auto r = s_->NewSet<Part>(txn);
+    ODE_RETURN_NOT_OK(r.status());
+    set = *r;
+    return s_->SetInsert(txn, set, a);
+  });
+  ASSERT_TRUE(st.ok());
+
+  // Aborted mutation rolls back.
+  st = s_->WithTransaction([&](Transaction* txn) -> Status {
+    ODE_RETURN_NOT_OK(s_->SetErase(txn, set, a));
+    return Status::Internal("force abort");
+  });
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  st = s_->WithTransaction([&](Transaction* txn) -> Status {
+    EXPECT_TRUE(s_->SetContains(txn, set, a).ValueOr(false));
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok());
+}
+
+TEST_F(OppFacilitiesTest, LoadingASetAsAnObjectFailsCleanly) {
+  Status st = s_->WithTransaction([&](Transaction* txn) -> Status {
+    auto set = s_->NewSet<Part>(txn);
+    ODE_RETURN_NOT_OK(set.status());
+    PRef<Part> bogus(set->oid());
+    EXPECT_FALSE(s_->Load(txn, bogus).ok());
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok());
+}
+
+// ------------------------------------------------------------- versions
+
+TEST_F(OppFacilitiesTest, VersionChains) {
+  PRef<Part> v1 = NewPart(10);
+  PRef<Part> v2, v3;
+  Status st = s_->WithTransaction([&](Transaction* txn) -> Status {
+    auto r2 = s_->NewVersion(txn, v1);
+    ODE_RETURN_NOT_OK(r2.status());
+    v2 = *r2;
+    // Mutate the new version; the base stays untouched.
+    Part p;
+    p.weight = 20;
+    ODE_RETURN_NOT_OK(s_->Store(txn, v2, p));
+    auto r3 = s_->NewVersion(txn, v2);
+    ODE_RETURN_NOT_OK(r3.status());
+    v3 = *r3;
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+
+  st = s_->WithTransaction([&](Transaction* txn) -> Status {
+    auto base = s_->Load(txn, v1);
+    ODE_RETURN_NOT_OK(base.status());
+    EXPECT_EQ(base->weight, 10) << "old version untouched";
+    auto mid = s_->Load(txn, v2);
+    ODE_RETURN_NOT_OK(mid.status());
+    EXPECT_EQ(mid->weight, 20);
+    auto top = s_->Load(txn, v3);
+    ODE_RETURN_NOT_OK(top.status());
+    EXPECT_EQ(top->weight, 20) << "v3 initialized from v2's value";
+
+    auto chain = s_->VersionChain(txn, v3);
+    ODE_RETURN_NOT_OK(chain.status());
+    EXPECT_EQ(chain->size(), 3u);
+    if (chain->size() == 3) {
+      EXPECT_EQ((*chain)[0], v3);
+      EXPECT_EQ((*chain)[1], v2);
+      EXPECT_EQ((*chain)[2], v1);
+    }
+
+    auto single = s_->VersionChain(txn, v1);
+    ODE_RETURN_NOT_OK(single.status());
+    EXPECT_EQ(single->size(), 1u);
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+}
+
+// --------------------------------------------------------------- select
+
+TEST_F(OppFacilitiesTest, SelectFiltersTheCluster) {
+  for (int w : {5, 15, 25, 35}) NewPart(w);
+  Status st = s_->WithTransaction([&](Transaction* txn) -> Status {
+    auto heavy = s_->Select<Part>(
+        txn, [](const Part& p) { return p.weight > 20; });
+    ODE_RETURN_NOT_OK(heavy.status());
+    EXPECT_EQ(heavy->size(), 2u);
+    for (PRef<Part> ref : *heavy) {
+      auto p = s_->Load(txn, ref);
+      ODE_RETURN_NOT_OK(p.status());
+      EXPECT_GT(p->weight, 20);
+    }
+    auto none = s_->Select<Part>(
+        txn, [](const Part& p) { return p.weight > 100; });
+    ODE_RETURN_NOT_OK(none.status());
+    EXPECT_TRUE(none->empty());
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+}
+
+}  // namespace
+}  // namespace ode

@@ -1,0 +1,194 @@
+// Tests for the O++-style schema text loader: the paper's CredCard class
+// written as source text, loaded, and driven end to end; plus error
+// reporting.
+
+#include "odepp/opp_loader.h"
+
+#include <gtest/gtest.h>
+
+#include "odepp/params.h"
+#include "odepp/session.h"
+#include "paper_example.h"
+
+namespace ode {
+namespace {
+
+using paper::CredCard;
+
+constexpr const char* kCredCardSource = R"(
+// The paper's section-4 example, as O++-style source.
+persistent class CredCard {
+  event after Buy, after PayBill, BigBuy;
+
+  trigger DenyCredit :
+      perpetual after Buy & (currBal>credLim) ==> deny_credit;
+
+  trigger AutoRaiseLimit :
+      relative((after Buy & MoreCred()), after PayBill) ==> raise_limit;
+};
+)";
+
+void Bind(OppBindings* bindings) {
+  bindings->Class<CredCard>("CredCard");
+  bindings->Method("CredCard", "Buy", &CredCard::Buy);
+  bindings->Method("CredCard", "PayBill", &CredCard::PayBill);
+  bindings->Mask<CredCard>(
+      "CredCard", "(currBal>credLim)",
+      [](const CredCard& c, MaskEvalContext&) -> Result<bool> {
+        return c.curr_bal > c.cred_lim;
+      });
+  bindings->Mask<CredCard>(
+      "CredCard", "MoreCred()",
+      [](const CredCard& c, MaskEvalContext&) -> Result<bool> {
+        return c.MoreCred();
+      });
+  bindings->Action<CredCard>(
+      "CredCard", "deny_credit",
+      [](CredCard& c, TriggerFireContext& ctx) -> Status {
+        c.BlackMark();
+        ctx.Tabort("over limit");
+        return Status::OK();
+      });
+  bindings->Action<CredCard>(
+      "CredCard", "raise_limit",
+      [](CredCard& c, TriggerFireContext& ctx) -> Status {
+        auto amount = UnpackParams<float>(ctx.params());
+        if (!amount.ok()) return amount.status();
+        c.RaiseLimit(std::get<0>(*amount));
+        return Status::OK();
+      });
+}
+
+TEST(OppLoader, LoadsAndRunsThePaperSchema) {
+  OppBindings bindings;
+  Bind(&bindings);
+  Schema schema;
+  Status st = LoadOppSchema(kCredCardSource, bindings, &schema);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  ASSERT_TRUE(schema.Freeze().ok());
+
+  // The loaded schema behaves exactly like the hand-registered one.
+  auto session = Session::Open(StorageKind::kMainMemory, "", &schema);
+  ASSERT_TRUE(session.ok());
+  Session& s = **session;
+  PRef<CredCard> card;
+  st = s.WithTransaction([&](Transaction* txn) -> Status {
+    CredCard c;
+    c.cred_lim = 1000;
+    auto r = s.New(txn, c);
+    ODE_RETURN_NOT_OK(r.status());
+    card = *r;
+    ODE_RETURN_NOT_OK(s.Activate(txn, card, "DenyCredit").status());
+    return s
+        .Activate(txn, card, "AutoRaiseLimit", PackParams(500.0f))
+        .status();
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+
+  // DenyCredit rejects the over-limit purchase.
+  st = s.WithTransaction([&](Transaction* txn) -> Status {
+    return s.Invoke(txn, card, &CredCard::Buy, 1500.0f);
+  });
+  EXPECT_TRUE(st.IsTransactionAborted());
+
+  // AutoRaiseLimit arms and fires.
+  st = s.WithTransaction([&](Transaction* txn) -> Status {
+    return s.Invoke(txn, card, &CredCard::Buy, 900.0f);
+  });
+  ASSERT_TRUE(st.ok());
+  st = s.WithTransaction([&](Transaction* txn) -> Status {
+    return s.Invoke(txn, card, &CredCard::PayBill, 50.0f);
+  });
+  ASSERT_TRUE(st.ok());
+  st = s.WithTransaction([&](Transaction* txn) -> Status {
+    auto c = s.Load(txn, card);
+    ODE_RETURN_NOT_OK(c.status());
+    EXPECT_FLOAT_EQ(c->cred_lim, 1500);
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok());
+}
+
+TEST(OppLoader, CouplingKeywords) {
+  OppBindings bindings;
+  Bind(&bindings);
+  Schema schema;
+  Status st = LoadOppSchema(R"(
+class CredCard {
+  event after Buy;
+  trigger A : end after Buy ==> raise_limit;
+  trigger B : dependent after Buy ==> raise_limit;
+  trigger C : perpetual !dependent after Buy ==> raise_limit;
+};)",
+                            bindings, &schema);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  ASSERT_TRUE(schema.Freeze().ok());
+  const TypeDescriptor* type =
+      schema.RecordByName("CredCard")->descriptor.get();
+  EXPECT_EQ(type->FindTrigger("A", nullptr)->coupling,
+            CouplingMode::kDeferred);
+  EXPECT_EQ(type->FindTrigger("B", nullptr)->coupling,
+            CouplingMode::kDependent);
+  const TriggerInfo* c = type->FindTrigger("C", nullptr);
+  EXPECT_EQ(c->coupling, CouplingMode::kIndependent);
+  EXPECT_TRUE(c->perpetual);
+}
+
+TEST(OppLoader, ErrorsCarryLineNumbers) {
+  OppBindings bindings;
+  Bind(&bindings);
+  {
+    Schema schema;
+    Status st = LoadOppSchema("class Unknown { };", bindings, &schema);
+    ASSERT_FALSE(st.ok());
+    EXPECT_NE(st.message().find("no C++ binding"), std::string::npos);
+  }
+  {
+    Schema schema;
+    Status st = LoadOppSchema(R"(
+class CredCard {
+  event after Buy;
+  trigger T : after Buy ==> no_such_action;
+};)",
+                              bindings, &schema);
+    ASSERT_FALSE(st.ok());
+    EXPECT_NE(st.message().find("no_such_action"), std::string::npos);
+    EXPECT_NE(st.message().find("line 4"), std::string::npos)
+        << st.ToString();
+  }
+  {
+    Schema schema;
+    Status st = LoadOppSchema("struct CredCard { };", bindings, &schema);
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::kParseError);
+  }
+  {
+    Schema schema;
+    Status st = LoadOppSchema(R"(
+class CredCard {
+  widget foo;
+};)",
+                              bindings, &schema);
+    ASSERT_FALSE(st.ok());
+    EXPECT_NE(st.message().find("'event', 'trigger'"), std::string::npos);
+  }
+}
+
+TEST(OppLoader, RoundTripWithToOppSource) {
+  // A schema loaded from text renders back to equivalent declarations.
+  OppBindings bindings;
+  Bind(&bindings);
+  Schema schema;
+  ASSERT_TRUE(LoadOppSchema(kCredCardSource, bindings, &schema).ok());
+  ASSERT_TRUE(schema.Freeze().ok());
+  std::string rendered = schema.ToOppSource();
+  EXPECT_NE(rendered.find("persistent class CredCard {"),
+            std::string::npos);
+  EXPECT_NE(rendered.find("event after Buy, after PayBill, BigBuy;"),
+            std::string::npos);
+  EXPECT_NE(rendered.find("perpetual after Buy & (currBal>credLim)"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace ode

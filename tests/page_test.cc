@@ -1,0 +1,222 @@
+// Slotted-page tests (disk storage manager substrate), including a
+// randomized property test against a reference map.
+
+#include "storage/page.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "common/random.h"
+
+namespace ode {
+namespace {
+
+std::string PayloadOf(const Page& page, uint16_t slot) {
+  uint64_t oid;
+  std::vector<char> payload;
+  Status st = page.Read(slot, &oid, &payload);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return std::string(payload.begin(), payload.end());
+}
+
+TEST(Page, FormatIsEmpty) {
+  Page page;
+  page.Format(7);
+  EXPECT_EQ(page.page_id(), 7u);
+  EXPECT_EQ(page.slot_count(), 0u);
+  EXPECT_GT(page.FreeSpaceForInsert(), 4000u);
+}
+
+TEST(Page, InsertAndRead) {
+  Page page;
+  page.Format(1);
+  std::string data = "hello page";
+  auto slot = page.Insert(42, Slice(data));
+  ASSERT_TRUE(slot.ok());
+  uint64_t oid;
+  std::vector<char> payload;
+  ASSERT_TRUE(page.Read(*slot, &oid, &payload).ok());
+  EXPECT_EQ(oid, 42u);
+  EXPECT_EQ(std::string(payload.begin(), payload.end()), data);
+}
+
+TEST(Page, EmptyPayloadAllowed) {
+  Page page;
+  page.Format(1);
+  auto slot = page.Insert(1, Slice());
+  ASSERT_TRUE(slot.ok());
+  EXPECT_EQ(PayloadOf(page, *slot), "");
+}
+
+TEST(Page, DeleteFreesSlotForReuse) {
+  Page page;
+  page.Format(1);
+  auto a = page.Insert(1, Slice(std::string("aaa")));
+  auto b = page.Insert(2, Slice(std::string("bbb")));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(page.Delete(*a).ok());
+  EXPECT_FALSE(page.SlotLive(*a));
+  auto c = page.Insert(3, Slice(std::string("ccc")));
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*c, *a) << "dead slots are reused";
+  EXPECT_EQ(PayloadOf(page, *b), "bbb");
+}
+
+TEST(Page, ReadDeadSlotFails) {
+  Page page;
+  page.Format(1);
+  auto a = page.Insert(1, Slice(std::string("x")));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(page.Delete(*a).ok());
+  uint64_t oid;
+  std::vector<char> payload;
+  EXPECT_TRUE(page.Read(*a, &oid, &payload).IsNotFound());
+  EXPECT_TRUE(page.Delete(*a).IsNotFound());
+  EXPECT_TRUE(page.Read(99, &oid, &payload).IsNotFound());
+}
+
+TEST(Page, UpdateInPlaceAndGrow) {
+  Page page;
+  page.Format(1);
+  auto slot = page.Insert(5, Slice(std::string("short")));
+  ASSERT_TRUE(slot.ok());
+  // Shrink.
+  ASSERT_TRUE(page.Update(*slot, Slice(std::string("s"))).ok());
+  EXPECT_EQ(PayloadOf(page, *slot), "s");
+  // Grow (relocates within the page, same slot).
+  std::string big(1000, 'z');
+  ASSERT_TRUE(page.Update(*slot, Slice(big)).ok());
+  EXPECT_EQ(PayloadOf(page, *slot), big);
+}
+
+TEST(Page, FillUntilFull) {
+  Page page;
+  page.Format(1);
+  std::string rec(100, 'r');
+  int inserted = 0;
+  while (true) {
+    auto slot = page.Insert(static_cast<uint64_t>(inserted), Slice(rec));
+    if (!slot.ok()) break;
+    ++inserted;
+  }
+  // 4096 bytes / (100 payload + 8 oid + 4 slot) ~ 36 records.
+  EXPECT_GT(inserted, 30);
+  EXPECT_LT(inserted, 40);
+  // All are intact.
+  int seen = 0;
+  page.ForEach([&](uint16_t, uint64_t, Slice payload) {
+    EXPECT_EQ(payload.size(), rec.size());
+    ++seen;
+  });
+  EXPECT_EQ(seen, inserted);
+}
+
+TEST(Page, OversizedRecordRejected) {
+  Page page;
+  page.Format(1);
+  std::string big(Page::kMaxPayload + 1, 'x');
+  EXPECT_FALSE(page.Insert(1, Slice(big)).ok());
+  std::string max(Page::kMaxPayload, 'x');
+  EXPECT_TRUE(page.Insert(1, Slice(max)).ok());
+}
+
+TEST(Page, CompactionReclaimsDeletedSpace) {
+  Page page;
+  page.Format(1);
+  std::string rec(500, 'a');
+  std::vector<uint16_t> slots;
+  while (true) {
+    auto slot = page.Insert(slots.size(), Slice(rec));
+    if (!slot.ok()) break;
+    slots.push_back(*slot);
+  }
+  ASSERT_GE(slots.size(), 4u);
+  // Delete every other record; a record of ~1000 bytes now only fits
+  // after compaction.
+  for (size_t i = 0; i < slots.size(); i += 2) {
+    ASSERT_TRUE(page.Delete(slots[i]).ok());
+  }
+  std::string big(1000, 'b');
+  auto slot = page.Insert(999, Slice(big));
+  ASSERT_TRUE(slot.ok()) << "compaction should make room";
+  EXPECT_EQ(PayloadOf(page, *slot), big);
+  // Survivors unharmed.
+  for (size_t i = 1; i < slots.size(); i += 2) {
+    EXPECT_EQ(PayloadOf(page, slots[i]), rec);
+  }
+}
+
+TEST(Page, SurvivesSerializationRoundTrip) {
+  Page page;
+  page.Format(3);
+  auto a = page.Insert(10, Slice(std::string("abc")));
+  auto b = page.Insert(20, Slice(std::string("defgh")));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+
+  Page copy;
+  copy.Load(page.data());
+  EXPECT_EQ(copy.page_id(), 3u);
+  EXPECT_EQ(PayloadOf(copy, *a), "abc");
+  EXPECT_EQ(PayloadOf(copy, *b), "defgh");
+}
+
+// Property test: random insert/update/delete against a reference map.
+class PageFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PageFuzz, MatchesReferenceModel) {
+  Random rng(GetParam());
+  Page page;
+  page.Format(1);
+  std::map<uint16_t, std::pair<uint64_t, std::string>> model;
+  uint64_t next_oid = 1;
+
+  for (int step = 0; step < 2000; ++step) {
+    int op = static_cast<int>(rng.Uniform(3));
+    if (op == 0) {  // insert
+      std::string data(rng.Uniform(200), static_cast<char>('a' + rng.Uniform(26)));
+      auto slot = page.Insert(next_oid, Slice(data));
+      if (slot.ok()) {
+        model[*slot] = {next_oid, data};
+        ++next_oid;
+      }
+    } else if (op == 1 && !model.empty()) {  // update
+      auto it = model.begin();
+      std::advance(it, rng.Uniform(model.size()));
+      std::string data(rng.Uniform(300), 'u');
+      Status st = page.Update(it->first, Slice(data));
+      if (st.ok()) {
+        it->second.second = data;
+      } else {
+        // Page::Update contract: on kNotSupported the slot is gone.
+        ASSERT_EQ(st.code(), StatusCode::kNotSupported);
+        model.erase(it);
+      }
+    } else if (!model.empty()) {  // delete
+      auto it = model.begin();
+      std::advance(it, rng.Uniform(model.size()));
+      ASSERT_TRUE(page.Delete(it->first).ok());
+      model.erase(it);
+    }
+  }
+
+  // Final state matches the model exactly.
+  size_t live = 0;
+  page.ForEach([&](uint16_t slot, uint64_t oid, Slice payload) {
+    auto it = model.find(slot);
+    ASSERT_NE(it, model.end());
+    EXPECT_EQ(it->second.first, oid);
+    EXPECT_EQ(it->second.second, payload.ToString());
+    ++live;
+  });
+  EXPECT_EQ(live, model.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PageFuzz,
+                         ::testing::Values(1, 2, 3, 17, 99));
+
+}  // namespace
+}  // namespace ode

@@ -1,0 +1,92 @@
+#ifndef ODE_TESTS_PAPER_EXAMPLE_H_
+#define ODE_TESTS_PAPER_EXAMPLE_H_
+
+// The paper's §4 credit-card monitoring example, realized in the odepp
+// API. Shared by the trigger semantics tests, the integration tests, and
+// several benchmarks.
+
+#include <string>
+
+#include "odepp/params.h"
+#include "odepp/session.h"
+
+namespace ode {
+namespace paper {
+
+struct CredCard {
+  float cred_lim = 0;
+  float curr_bal = 0;
+  int32_t black_marks = 0;
+  bool good_hist = true;
+
+  void Buy(float amount) { curr_bal += amount; }
+  void PayBill(float amount) { curr_bal -= amount; }
+  void RaiseLimit(float amount) { cred_lim += amount; }
+  void BlackMark() { ++black_marks; }
+  bool MoreCred() const {
+    return curr_bal > 0.8f * cred_lim && good_hist;
+  }
+
+  void Encode(Encoder& enc) const {
+    enc.PutFloat(cred_lim);
+    enc.PutFloat(curr_bal);
+    enc.PutI32(black_marks);
+    enc.PutBool(good_hist);
+  }
+  static Result<CredCard> Decode(Decoder& dec) {
+    CredCard c;
+    ODE_RETURN_NOT_OK(dec.GetFloat(&c.cred_lim));
+    ODE_RETURN_NOT_OK(dec.GetFloat(&c.curr_bal));
+    ODE_RETURN_NOT_OK(dec.GetI32(&c.black_marks));
+    ODE_RETURN_NOT_OK(dec.GetBool(&c.good_hist));
+    return c;
+  }
+};
+
+/// Declares the CredCard class exactly as in the paper:
+///
+///   event after Buy, after PayBill, BigBuy;
+///   trigger DenyCredit() : perpetual
+///     after Buy & (currBal > credLim) ==> { BlackMark(...); tabort; }
+///   trigger AutoRaiseLimit(float amount) :
+///     relative((after Buy & MoreCred()), after PayBill)
+///       ==> RaiseLimit(amount);
+inline void DeclareCredCard(Schema* schema) {
+  schema->DeclareClass<CredCard>("CredCard")
+      .Event("after Buy")
+      .Event("after PayBill")
+      .Event("BigBuy")
+      .Method("Buy", &CredCard::Buy)
+      .Method("PayBill", &CredCard::PayBill)
+      .Mask("(currBal>credLim)",
+            [](const CredCard& c, MaskEvalContext&) -> Result<bool> {
+              return c.curr_bal > c.cred_lim;
+            })
+      .Mask("MoreCred()",
+            [](const CredCard& c, MaskEvalContext&) -> Result<bool> {
+              return c.MoreCred();
+            })
+      .Trigger(
+          "DenyCredit", "after Buy & (currBal>credLim)",
+          [](CredCard& c, TriggerFireContext& ctx) -> Status {
+            c.BlackMark();
+            ctx.Tabort("over limit");
+            return Status::OK();
+          },
+          CouplingMode::kImmediate, /*perpetual=*/true)
+      .Trigger(
+          "AutoRaiseLimit",
+          "relative((after Buy & MoreCred()), after PayBill)",
+          [](CredCard& c, TriggerFireContext& ctx) -> Status {
+            auto amount = UnpackParams<float>(ctx.params());
+            if (!amount.ok()) return amount.status();
+            c.RaiseLimit(std::get<0>(*amount));
+            return Status::OK();
+          },
+          CouplingMode::kImmediate, /*perpetual=*/false);
+}
+
+}  // namespace paper
+}  // namespace ode
+
+#endif  // ODE_TESTS_PAPER_EXAMPLE_H_

@@ -1,0 +1,256 @@
+// Crash-recovery tests for the disk storage manager: a "crash" abandons
+// the DiskStorageManager without Close/Checkpoint, so reopening must
+// rebuild committed state purely from pages + WAL redo.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/random.h"
+#include "storage/disk_storage_manager.h"
+
+namespace ode {
+namespace {
+
+class RecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/ode_recovery_test.db";
+    Cleanup();
+  }
+  void TearDown() override { Cleanup(); }
+
+  void Cleanup() {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".wal").c_str());
+  }
+
+  std::unique_ptr<DiskStorageManager> OpenStore() {
+    auto store = std::make_unique<DiskStorageManager>(path_);
+    Status st = store->Open();
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    return store;
+  }
+
+  /// Simulates a crash: nothing is flushed or checkpointed.
+  void Crash(std::unique_ptr<DiskStorageManager> store) {
+    store->SimulateCrash();
+  }
+
+  std::string path_;
+};
+
+TEST_F(RecoveryTest, CommittedTransactionsSurviveCrash) {
+  auto store = OpenStore();
+  ASSERT_TRUE(store->BeginTxn(1).ok());
+  auto oid = store->Allocate(1, Slice(std::string("survivor")));
+  ASSERT_TRUE(oid.ok());
+  ASSERT_TRUE(store->SetRoot(1, "r", *oid).ok());
+  ASSERT_TRUE(store->CommitTxn(1).ok());
+  Crash(std::move(store));
+
+  auto recovered = OpenStore();
+  ASSERT_TRUE(recovered->BeginTxn(2).ok());
+  EXPECT_EQ(recovered->GetRoot(2, "r").ValueOr(Oid()), *oid);
+  std::vector<char> out;
+  ASSERT_TRUE(recovered->Read(2, *oid, &out).ok());
+  EXPECT_EQ(std::string(out.begin(), out.end()), "survivor");
+  ASSERT_TRUE(recovered->CommitTxn(2).ok());
+  ASSERT_TRUE(recovered->Close().ok());
+}
+
+TEST_F(RecoveryTest, UncommittedTransactionsVanish) {
+  auto store = OpenStore();
+  ASSERT_TRUE(store->BeginTxn(1).ok());
+  auto committed = store->Allocate(1, Slice(std::string("yes")));
+  ASSERT_TRUE(committed.ok());
+  ASSERT_TRUE(store->CommitTxn(1).ok());
+
+  ASSERT_TRUE(store->BeginTxn(2).ok());
+  auto uncommitted = store->Allocate(2, Slice(std::string("no")));
+  ASSERT_TRUE(uncommitted.ok());
+  ASSERT_TRUE(
+      store->Write(2, *committed, Slice(std::string("dirty"))).ok());
+  // Crash before commit.
+  Crash(std::move(store));
+
+  auto recovered = OpenStore();
+  ASSERT_TRUE(recovered->BeginTxn(3).ok());
+  std::vector<char> out;
+  ASSERT_TRUE(recovered->Read(3, *committed, &out).ok());
+  EXPECT_EQ(std::string(out.begin(), out.end()), "yes");
+  EXPECT_FALSE(recovered->Exists(3, *uncommitted));
+  ASSERT_TRUE(recovered->CommitTxn(3).ok());
+  ASSERT_TRUE(recovered->Close().ok());
+}
+
+TEST_F(RecoveryTest, FreesAreRedone) {
+  auto store = OpenStore();
+  ASSERT_TRUE(store->BeginTxn(1).ok());
+  auto a = store->Allocate(1, Slice(std::string("a")));
+  auto b = store->Allocate(1, Slice(std::string("b")));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(store->CommitTxn(1).ok());
+  // Make the allocation durable in pages, then free in a later txn that
+  // lives only in the WAL.
+  ASSERT_TRUE(store->Checkpoint().ok());
+  ASSERT_TRUE(store->BeginTxn(2).ok());
+  ASSERT_TRUE(store->Free(2, *a).ok());
+  ASSERT_TRUE(store->CommitTxn(2).ok());
+  Crash(std::move(store));
+
+  auto recovered = OpenStore();
+  ASSERT_TRUE(recovered->BeginTxn(3).ok());
+  EXPECT_FALSE(recovered->Exists(3, *a));
+  EXPECT_TRUE(recovered->Exists(3, *b));
+  ASSERT_TRUE(recovered->CommitTxn(3).ok());
+  ASSERT_TRUE(recovered->Close().ok());
+}
+
+TEST_F(RecoveryTest, RepeatedCrashesAreIdempotent) {
+  auto store = OpenStore();
+  ASSERT_TRUE(store->BeginTxn(1).ok());
+  auto oid = store->Allocate(1, Slice(std::string("v1")));
+  ASSERT_TRUE(oid.ok());
+  ASSERT_TRUE(store->CommitTxn(1).ok());
+  Crash(std::move(store));
+
+  // Recover, write more, crash again — twice.
+  for (int round = 2; round <= 3; ++round) {
+    auto s = OpenStore();
+    TxnId txn = static_cast<TxnId>(round);
+    ASSERT_TRUE(s->BeginTxn(txn).ok());
+    ASSERT_TRUE(
+        s->Write(txn, *oid, Slice("v" + std::to_string(round))).ok());
+    ASSERT_TRUE(s->CommitTxn(txn).ok());
+    Crash(std::move(s));
+  }
+
+  auto final_store = OpenStore();
+  ASSERT_TRUE(final_store->BeginTxn(9).ok());
+  std::vector<char> out;
+  ASSERT_TRUE(final_store->Read(9, *oid, &out).ok());
+  EXPECT_EQ(std::string(out.begin(), out.end()), "v3");
+  ASSERT_TRUE(final_store->CommitTxn(9).ok());
+  ASSERT_TRUE(final_store->Close().ok());
+}
+
+TEST_F(RecoveryTest, LargeObjectSurvivesCrash) {
+  std::string big(30000, 'R');
+  auto store = OpenStore();
+  ASSERT_TRUE(store->BeginTxn(1).ok());
+  auto oid = store->Allocate(1, Slice(big));
+  ASSERT_TRUE(oid.ok());
+  ASSERT_TRUE(store->CommitTxn(1).ok());
+  Crash(std::move(store));
+
+  auto recovered = OpenStore();
+  ASSERT_TRUE(recovered->BeginTxn(2).ok());
+  std::vector<char> out;
+  ASSERT_TRUE(recovered->Read(2, *oid, &out).ok());
+  EXPECT_EQ(out.size(), big.size());
+  ASSERT_TRUE(recovered->CommitTxn(2).ok());
+  ASSERT_TRUE(recovered->Close().ok());
+}
+
+TEST_F(RecoveryTest, CheckpointThenMoreCommitsThenCrash) {
+  // Recovery must merge durable pages (from the checkpoint) with the
+  // WAL suffix written afterwards.
+  auto store = OpenStore();
+  ASSERT_TRUE(store->BeginTxn(1).ok());
+  auto before = store->Allocate(1, Slice(std::string("before-ckpt")));
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(store->CommitTxn(1).ok());
+  ASSERT_TRUE(store->Checkpoint().ok());
+
+  ASSERT_TRUE(store->BeginTxn(2).ok());
+  auto after = store->Allocate(2, Slice(std::string("after-ckpt")));
+  ASSERT_TRUE(after.ok());
+  ASSERT_TRUE(
+      store->Write(2, *before, Slice(std::string("updated"))).ok());
+  ASSERT_TRUE(store->CommitTxn(2).ok());
+  Crash(std::move(store));
+
+  auto recovered = OpenStore();
+  ASSERT_TRUE(recovered->BeginTxn(3).ok());
+  std::vector<char> out;
+  ASSERT_TRUE(recovered->Read(3, *before, &out).ok());
+  EXPECT_EQ(std::string(out.begin(), out.end()), "updated");
+  ASSERT_TRUE(recovered->Read(3, *after, &out).ok());
+  EXPECT_EQ(std::string(out.begin(), out.end()), "after-ckpt");
+  ASSERT_TRUE(recovered->CommitTxn(3).ok());
+  ASSERT_TRUE(recovered->Close().ok());
+}
+
+class RecoveryFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RecoveryFuzz, CommittedPrefixAlwaysRecovers) {
+  std::string path = ::testing::TempDir() + "/ode_recovery_fuzz_" +
+                     std::to_string(GetParam()) + ".db";
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+
+  Random rng(GetParam());
+  std::unordered_map<uint64_t, std::string> model;
+  TxnId next_txn = 1;
+
+  for (int session = 0; session < 4; ++session) {
+    auto store = std::make_unique<DiskStorageManager>(path);
+    ASSERT_TRUE(store->Open().ok());
+
+    // Verify the model right after recovery.
+    TxnId check = next_txn++;
+    ASSERT_TRUE(store->BeginTxn(check).ok());
+    for (const auto& [oid, data] : model) {
+      std::vector<char> out;
+      ASSERT_TRUE(store->Read(check, Oid(oid), &out).ok())
+          << "oid " << oid << " lost after crash " << session;
+      EXPECT_EQ(std::string(out.begin(), out.end()), data);
+    }
+    ASSERT_TRUE(store->CommitTxn(check).ok());
+
+    // Random committed transactions, then one uncommitted, then crash.
+    std::vector<uint64_t> oids;
+    for (const auto& [oid, data] : model) {
+      (void)data;
+      oids.push_back(oid);
+    }
+    int txns = 1 + static_cast<int>(rng.Uniform(4));
+    for (int t = 0; t < txns; ++t) {
+      TxnId txn = next_txn++;
+      ASSERT_TRUE(store->BeginTxn(txn).ok());
+      auto local = model;
+      for (int op = 0; op < 8; ++op) {
+        if (oids.empty() || rng.Bernoulli(0.5)) {
+          std::string data(rng.Uniform(5000), static_cast<char>('a' + rng.Uniform(26)));
+          auto oid = store->Allocate(txn, Slice(data));
+          ASSERT_TRUE(oid.ok());
+          local[oid->value()] = data;
+          oids.push_back(oid->value());
+        } else {
+          uint64_t oid = oids[rng.Uniform(oids.size())];
+          if (local.count(oid) == 0) continue;
+          std::string data(rng.Uniform(5000), 'z');
+          ASSERT_TRUE(store->Write(txn, Oid(oid), Slice(data)).ok());
+          local[oid] = data;
+        }
+      }
+      ASSERT_TRUE(store->CommitTxn(txn).ok());
+      model = std::move(local);
+    }
+    // Uncommitted garbage that must vanish.
+    TxnId loser = next_txn++;
+    ASSERT_TRUE(store->BeginTxn(loser).ok());
+    ASSERT_TRUE(store->Allocate(loser, Slice(std::string("garbage"))).ok());
+    store->SimulateCrash();
+  }
+
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RecoveryFuzz, ::testing::Values(11, 22, 33));
+
+}  // namespace
+}  // namespace ode

@@ -1,0 +1,279 @@
+// Session/odepp facade tests: typed persistence, Invoke (the WithPost
+// wrapper), slicing protection, clusters, parameter packing.
+
+#include "odepp/session.h"
+
+#include <gtest/gtest.h>
+
+#include "odepp/params.h"
+
+namespace ode {
+namespace {
+
+struct Point {
+  int32_t x = 0, y = 0;
+
+  void MoveBy(int32_t dx, int32_t dy) {
+    x += dx;
+    y += dy;
+  }
+  int32_t Manhattan() const { return std::abs(x) + std::abs(y); }
+  int32_t Scale(int32_t k) {
+    x *= k;
+    y *= k;
+    return x + y;
+  }
+
+  void Encode(Encoder& enc) const {
+    enc.PutI32(x);
+    enc.PutI32(y);
+  }
+  static Result<Point> Decode(Decoder& dec) {
+    Point p;
+    ODE_RETURN_NOT_OK(dec.GetI32(&p.x));
+    ODE_RETURN_NOT_OK(dec.GetI32(&p.y));
+    return p;
+  }
+};
+
+struct Point3 : Point {
+  int32_t z = 0;
+
+  void Encode(Encoder& enc) const {
+    Point::Encode(enc);
+    enc.PutI32(z);
+  }
+  static Result<Point3> Decode(Decoder& dec) {
+    auto base = Point::Decode(dec);
+    if (!base.ok()) return base.status();
+    Point3 p;
+    static_cast<Point&>(p) = *base;
+    ODE_RETURN_NOT_OK(dec.GetI32(&p.z));
+    return p;
+  }
+};
+
+class SessionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    schema_.DeclareClass<Point>("Point")
+        .Event("after MoveBy")
+        .Method("MoveBy", &Point::MoveBy)
+        .Method("Manhattan", &Point::Manhattan)
+        .Method("Scale", &Point::Scale);
+    schema_.DeclareClass<Point3, Point>("Point3", "Point");
+    ASSERT_TRUE(schema_.Freeze().ok());
+    auto session = Session::Open(StorageKind::kMainMemory, "", &schema_);
+    ASSERT_TRUE(session.ok()) << session.status().ToString();
+    s_ = std::move(session).value();
+  }
+
+  Schema schema_;
+  std::unique_ptr<Session> s_;
+};
+
+TEST_F(SessionTest, NewLoadStoreFree) {
+  Status st = s_->WithTransaction([&](Transaction* txn) -> Status {
+    auto p = s_->New(txn, Point{3, 4});
+    ODE_RETURN_NOT_OK(p.status());
+    auto loaded = s_->Load(txn, *p);
+    ODE_RETURN_NOT_OK(loaded.status());
+    EXPECT_EQ(loaded->x, 3);
+    EXPECT_EQ(loaded->y, 4);
+
+    ODE_RETURN_NOT_OK(s_->Store(txn, *p, Point{7, 8}));
+    loaded = s_->Load(txn, *p);
+    ODE_RETURN_NOT_OK(loaded.status());
+    EXPECT_EQ(loaded->x, 7);
+
+    ODE_RETURN_NOT_OK(s_->Free(txn, *p));
+    EXPECT_TRUE(s_->Load(txn, *p).status().IsNotFound());
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST_F(SessionTest, InvokeMutatesAndReturnsValues) {
+  Status st = s_->WithTransaction([&](Transaction* txn) -> Status {
+    auto p = s_->New(txn, Point{1, 2});
+    ODE_RETURN_NOT_OK(p.status());
+    // void method.
+    ODE_RETURN_NOT_OK(s_->Invoke(txn, *p, &Point::MoveBy, 10, 20));
+    // non-void method sees the mutation and returns a value.
+    auto sum = s_->Invoke(txn, *p, &Point::Scale, 2);
+    ODE_RETURN_NOT_OK(sum.status());
+    EXPECT_EQ(*sum, (11 * 2) + (22 * 2));
+    // const method.
+    auto dist = s_->Invoke(txn, *p, &Point::Manhattan);
+    ODE_RETURN_NOT_OK(dist.status());
+    EXPECT_EQ(*dist, 22 + 44);
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST_F(SessionTest, InvokePersistsAcrossTransactions) {
+  PRef<Point> ref;
+  Status st = s_->WithTransaction([&](Transaction* txn) -> Status {
+    auto p = s_->New(txn, Point{0, 0});
+    ODE_RETURN_NOT_OK(p.status());
+    ref = *p;
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok());
+  st = s_->WithTransaction([&](Transaction* txn) -> Status {
+    return s_->Invoke(txn, ref, &Point::MoveBy, 5, 5);
+  });
+  ASSERT_TRUE(st.ok());
+  st = s_->WithTransaction([&](Transaction* txn) -> Status {
+    auto p = s_->Load(txn, ref);
+    ODE_RETURN_NOT_OK(p.status());
+    EXPECT_EQ(p->x, 5);
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok());
+}
+
+TEST_F(SessionTest, UnregisteredTypeRejected) {
+  struct Stranger {
+    void Encode(Encoder&) const {}
+    static Result<Stranger> Decode(Decoder&) { return Stranger{}; }
+  };
+  Status st = s_->WithTransaction([&](Transaction* txn) -> Status {
+    auto r = s_->New(txn, Stranger{});
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok());
+}
+
+TEST_F(SessionTest, DerivedObjectThroughBaseRef) {
+  PRef<Point3> ref;
+  Status st = s_->WithTransaction([&](Transaction* txn) -> Status {
+    Point3 p;
+    p.x = 1;
+    p.z = 9;
+    auto r = s_->New(txn, p);
+    ODE_RETURN_NOT_OK(r.status());
+    ref = *r;
+
+    // Base-typed load returns the base view.
+    PRef<Point> base = ref.As<Point>();
+    auto view = s_->Load(txn, base);
+    ODE_RETURN_NOT_OK(view.status());
+    EXPECT_EQ(view->x, 1);
+
+    // Base-typed Invoke must not slice the derived fields.
+    ODE_RETURN_NOT_OK(s_->Invoke(txn, base, &Point::MoveBy, 1, 1));
+    auto full = s_->Load(txn, ref);
+    ODE_RETURN_NOT_OK(full.status());
+    EXPECT_EQ(full->x, 2);
+    EXPECT_EQ(full->z, 9) << "derived fields preserved through base call";
+
+    // Base-typed Store would slice: rejected.
+    Status store = s_->Store(txn, base, Point{0, 0});
+    EXPECT_EQ(store.code(), StatusCode::kInvalidArgument);
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST_F(SessionTest, LoadWrongTypeRejected) {
+  Status st = s_->WithTransaction([&](Transaction* txn) -> Status {
+    auto p = s_->New(txn, Point{1, 1});
+    ODE_RETURN_NOT_OK(p.status());
+    // A Point is not a Point3.
+    PRef<Point3> wrong(p->oid());
+    EXPECT_EQ(s_->Load(txn, wrong).status().code(),
+              StatusCode::kInvalidArgument);
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok());
+}
+
+TEST_F(SessionTest, ClusterListsClassExtent) {
+  Status st = s_->WithTransaction([&](Transaction* txn) -> Status {
+    for (int i = 0; i < 3; ++i) {
+      ODE_RETURN_NOT_OK(s_->New(txn, Point{i, i}).status());
+    }
+    ODE_RETURN_NOT_OK(s_->New(txn, Point3{}).status());
+    auto points = s_->Cluster<Point>(txn);
+    ODE_RETURN_NOT_OK(points.status());
+    EXPECT_EQ(points->size(), 3u);
+    auto point3s = s_->Cluster<Point3>(txn);
+    ODE_RETURN_NOT_OK(point3s.status());
+    EXPECT_EQ(point3s->size(), 1u);
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST_F(SessionTest, FreeRemovesFromCluster) {
+  Status st = s_->WithTransaction([&](Transaction* txn) -> Status {
+    auto p = s_->New(txn, Point{});
+    ODE_RETURN_NOT_OK(p.status());
+    ODE_RETURN_NOT_OK(s_->Free(txn, *p));
+    auto points = s_->Cluster<Point>(txn);
+    ODE_RETURN_NOT_OK(points.status());
+    EXPECT_TRUE(points->empty());
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST_F(SessionTest, WithTransactionAbortsOnError) {
+  PRef<Point> ref;
+  Status st = s_->WithTransaction([&](Transaction* txn) -> Status {
+    auto p = s_->New(txn, Point{});
+    ODE_RETURN_NOT_OK(p.status());
+    ref = *p;
+    return Status::IOError("synthetic failure");
+  });
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+  st = s_->WithTransaction([&](Transaction* txn) -> Status {
+    EXPECT_FALSE(s_->db()->ObjectExists(txn, ref.oid()));
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok());
+}
+
+TEST_F(SessionTest, OpenRequiresFrozenSchema) {
+  Schema raw;
+  auto session = Session::Open(StorageKind::kMainMemory, "", &raw);
+  EXPECT_EQ(session.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ----------------------------------------------------------- parameters
+
+TEST(Params, RoundTripAllTypes) {
+  auto bytes = PackParams(true, int32_t{-5}, uint64_t{99}, 2.5f, -1.25,
+                          std::string("hello"), Oid(42));
+  auto unpacked =
+      UnpackParams<bool, int32_t, uint64_t, float, double, std::string,
+                   Oid>(Slice(bytes));
+  ASSERT_TRUE(unpacked.ok());
+  auto [b, i, u, f, d, s, o] = *unpacked;
+  EXPECT_TRUE(b);
+  EXPECT_EQ(i, -5);
+  EXPECT_EQ(u, 99u);
+  EXPECT_FLOAT_EQ(f, 2.5f);
+  EXPECT_DOUBLE_EQ(d, -1.25);
+  EXPECT_EQ(s, "hello");
+  EXPECT_EQ(o, Oid(42));
+}
+
+TEST(Params, EmptyPack) {
+  auto bytes = PackParams();
+  EXPECT_TRUE(bytes.empty());
+  auto unpacked = UnpackParams<>(Slice(bytes));
+  EXPECT_TRUE(unpacked.ok());
+}
+
+TEST(Params, TypeMismatchIsError) {
+  auto bytes = PackParams(2.5f);  // 4 bytes
+  auto unpacked = UnpackParams<double>(Slice(bytes));  // wants 8
+  EXPECT_FALSE(unpacked.ok());
+}
+
+}  // namespace
+}  // namespace ode

@@ -1,0 +1,318 @@
+// Storage-manager contract tests, parameterized over the two
+// implementations (disk / EOS analogue and main-memory / Dali analogue) —
+// they must be behaviorally identical, as MM-Ode and disk Ode are fully
+// source-compatible (paper §5.6).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "common/random.h"
+#include "storage/disk_storage_manager.h"
+#include "storage/mm_storage_manager.h"
+#include "storage/storage_manager.h"
+
+namespace ode {
+namespace {
+
+enum class Kind { kDisk, kMainMemory };
+
+struct StorageTestParam {
+  Kind kind;
+  const char* name;
+};
+
+class StorageTest : public ::testing::TestWithParam<StorageTestParam> {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/ode_storage_" +
+            GetParam().name + ".db";
+    std::remove(path_.c_str());
+    std::remove((path_ + ".wal").c_str());
+    store_ = MakeStore();
+    ASSERT_TRUE(store_->Open().ok());
+  }
+
+  void TearDown() override {
+    if (store_ != nullptr) {
+      ASSERT_TRUE(store_->Close().ok());
+    }
+    std::remove(path_.c_str());
+    std::remove((path_ + ".wal").c_str());
+  }
+
+  std::unique_ptr<StorageManager> MakeStore() {
+    if (GetParam().kind == Kind::kDisk) {
+      return std::make_unique<DiskStorageManager>(path_);
+    }
+    return std::make_unique<MMStorageManager>(path_);
+  }
+
+  /// Close the store and reopen a fresh instance (clean restart).
+  void Reopen() {
+    ASSERT_TRUE(store_->Close().ok());
+    store_ = MakeStore();
+    ASSERT_TRUE(store_->Open().ok());
+  }
+
+  Oid Put(TxnId txn, const std::string& data) {
+    auto oid = store_->Allocate(txn, Slice(data));
+    EXPECT_TRUE(oid.ok()) << oid.status().ToString();
+    return oid.ValueOr(Oid());
+  }
+
+  std::string Get(TxnId txn, Oid oid) {
+    std::vector<char> out;
+    Status st = store_->Read(txn, oid, &out);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    return std::string(out.begin(), out.end());
+  }
+
+  std::string path_;
+  std::unique_ptr<StorageManager> store_;
+};
+
+TEST_P(StorageTest, AllocateReadWriteFree) {
+  ASSERT_TRUE(store_->BeginTxn(1).ok());
+  Oid oid = Put(1, "v1");
+  EXPECT_EQ(Get(1, oid), "v1");
+  ASSERT_TRUE(store_->Write(1, oid, Slice(std::string("v2"))).ok());
+  EXPECT_EQ(Get(1, oid), "v2");
+  ASSERT_TRUE(store_->Free(1, oid).ok());
+  std::vector<char> out;
+  EXPECT_TRUE(store_->Read(1, oid, &out).IsNotFound());
+  ASSERT_TRUE(store_->CommitTxn(1).ok());
+}
+
+TEST_P(StorageTest, DistinctOidsAssigned) {
+  ASSERT_TRUE(store_->BeginTxn(1).ok());
+  Oid a = Put(1, "a"), b = Put(1, "b");
+  EXPECT_NE(a, b);
+  ASSERT_TRUE(store_->CommitTxn(1).ok());
+}
+
+TEST_P(StorageTest, AbortDiscardsEverything) {
+  ASSERT_TRUE(store_->BeginTxn(1).ok());
+  Oid keep = Put(1, "keep");
+  ASSERT_TRUE(store_->CommitTxn(1).ok());
+
+  ASSERT_TRUE(store_->BeginTxn(2).ok());
+  Oid lost = Put(2, "lost");
+  ASSERT_TRUE(store_->Write(2, keep, Slice(std::string("dirty"))).ok());
+  ASSERT_TRUE(store_->Free(2, keep).ok());
+  ASSERT_TRUE(store_->AbortTxn(2).ok());
+
+  ASSERT_TRUE(store_->BeginTxn(3).ok());
+  EXPECT_EQ(Get(3, keep), "keep");
+  EXPECT_FALSE(store_->Exists(3, lost));
+  ASSERT_TRUE(store_->CommitTxn(3).ok());
+}
+
+TEST_P(StorageTest, TransactionsSeeOwnWritesNotOthers) {
+  ASSERT_TRUE(store_->BeginTxn(1).ok());
+  Oid oid = Put(1, "base");
+  ASSERT_TRUE(store_->CommitTxn(1).ok());
+
+  ASSERT_TRUE(store_->BeginTxn(2).ok());
+  ASSERT_TRUE(store_->BeginTxn(3).ok());
+  ASSERT_TRUE(store_->Write(2, oid, Slice(std::string("t2"))).ok());
+  EXPECT_EQ(Get(2, oid), "t2") << "txn sees its own write";
+  EXPECT_EQ(Get(3, oid), "base") << "other txn sees committed state";
+  ASSERT_TRUE(store_->CommitTxn(2).ok());
+  ASSERT_TRUE(store_->CommitTxn(3).ok());
+}
+
+TEST_P(StorageTest, WriteToMissingObjectFails) {
+  ASSERT_TRUE(store_->BeginTxn(1).ok());
+  EXPECT_TRUE(store_->Write(1, Oid(9999), Slice(std::string("x")))
+                  .IsNotFound());
+  EXPECT_TRUE(store_->Free(1, Oid(9999)).IsNotFound());
+  ASSERT_TRUE(store_->CommitTxn(1).ok());
+}
+
+TEST_P(StorageTest, DoubleFreeInSameTxnFails) {
+  ASSERT_TRUE(store_->BeginTxn(1).ok());
+  Oid oid = Put(1, "x");
+  ASSERT_TRUE(store_->Free(1, oid).ok());
+  EXPECT_TRUE(store_->Free(1, oid).IsNotFound());
+  ASSERT_TRUE(store_->CommitTxn(1).ok());
+}
+
+TEST_P(StorageTest, Roots) {
+  ASSERT_TRUE(store_->BeginTxn(1).ok());
+  EXPECT_TRUE(store_->GetRoot(1, "catalog").status().IsNotFound());
+  Oid oid = Put(1, "the catalog");
+  ASSERT_TRUE(store_->SetRoot(1, "catalog", oid).ok());
+  EXPECT_EQ(store_->GetRoot(1, "catalog").ValueOr(Oid()), oid);
+  ASSERT_TRUE(store_->CommitTxn(1).ok());
+
+  ASSERT_TRUE(store_->BeginTxn(2).ok());
+  EXPECT_EQ(store_->GetRoot(2, "catalog").ValueOr(Oid()), oid);
+  ASSERT_TRUE(store_->CommitTxn(2).ok());
+}
+
+TEST_P(StorageTest, RootUpdateRollsBackOnAbort) {
+  ASSERT_TRUE(store_->BeginTxn(1).ok());
+  Oid a = Put(1, "a");
+  ASSERT_TRUE(store_->SetRoot(1, "r", a).ok());
+  ASSERT_TRUE(store_->CommitTxn(1).ok());
+
+  ASSERT_TRUE(store_->BeginTxn(2).ok());
+  Oid b = Put(2, "b");
+  ASSERT_TRUE(store_->SetRoot(2, "r", b).ok());
+  EXPECT_EQ(store_->GetRoot(2, "r").ValueOr(Oid()), b);
+  ASSERT_TRUE(store_->AbortTxn(2).ok());
+
+  ASSERT_TRUE(store_->BeginTxn(3).ok());
+  EXPECT_EQ(store_->GetRoot(3, "r").ValueOr(Oid()), a);
+  ASSERT_TRUE(store_->CommitTxn(3).ok());
+}
+
+TEST_P(StorageTest, PersistsAcrossReopen) {
+  ASSERT_TRUE(store_->BeginTxn(1).ok());
+  Oid oid = Put(1, "durable");
+  ASSERT_TRUE(store_->SetRoot(1, "r", oid).ok());
+  ASSERT_TRUE(store_->CommitTxn(1).ok());
+
+  Reopen();
+
+  ASSERT_TRUE(store_->BeginTxn(2).ok());
+  EXPECT_EQ(store_->GetRoot(2, "r").ValueOr(Oid()), oid);
+  EXPECT_EQ(Get(2, oid), "durable");
+  // Fresh oids must not collide with recovered ones.
+  Oid fresh = Put(2, "fresh");
+  EXPECT_NE(fresh, oid);
+  ASSERT_TRUE(store_->CommitTxn(2).ok());
+}
+
+TEST_P(StorageTest, LargeObjectsRoundTrip) {
+  // Exercises the disk manager's overflow chains (and MM's plain path).
+  ASSERT_TRUE(store_->BeginTxn(1).ok());
+  std::string big(50000, 'L');
+  for (size_t i = 0; i < big.size(); i += 97) big[i] = 'M';
+  Oid oid = Put(1, big);
+  EXPECT_EQ(Get(1, oid), big);
+  ASSERT_TRUE(store_->CommitTxn(1).ok());
+
+  Reopen();
+
+  ASSERT_TRUE(store_->BeginTxn(2).ok());
+  EXPECT_EQ(Get(2, oid), big);
+  // Shrink it back to a small object (frees the overflow chain).
+  ASSERT_TRUE(store_->Write(2, oid, Slice(std::string("small"))).ok());
+  ASSERT_TRUE(store_->CommitTxn(2).ok());
+  ASSERT_TRUE(store_->BeginTxn(3).ok());
+  EXPECT_EQ(Get(3, oid), "small");
+  ASSERT_TRUE(store_->CommitTxn(3).ok());
+}
+
+TEST_P(StorageTest, GrowAcrossInlineBoundary) {
+  ASSERT_TRUE(store_->BeginTxn(1).ok());
+  Oid oid = Put(1, "tiny");
+  ASSERT_TRUE(store_->CommitTxn(1).ok());
+  ASSERT_TRUE(store_->BeginTxn(2).ok());
+  std::string big(10000, 'G');
+  ASSERT_TRUE(store_->Write(2, oid, Slice(big)).ok());
+  ASSERT_TRUE(store_->CommitTxn(2).ok());
+  ASSERT_TRUE(store_->BeginTxn(3).ok());
+  EXPECT_EQ(Get(3, oid), big);
+  ASSERT_TRUE(store_->CommitTxn(3).ok());
+}
+
+TEST_P(StorageTest, ManyObjectsSurviveReopen) {
+  constexpr int kCount = 500;
+  ASSERT_TRUE(store_->BeginTxn(1).ok());
+  std::vector<Oid> oids;
+  for (int i = 0; i < kCount; ++i) {
+    oids.push_back(Put(1, "obj-" + std::to_string(i)));
+  }
+  ASSERT_TRUE(store_->CommitTxn(1).ok());
+
+  Reopen();
+
+  ASSERT_TRUE(store_->BeginTxn(2).ok());
+  for (int i = 0; i < kCount; ++i) {
+    EXPECT_EQ(Get(2, oids[i]), "obj-" + std::to_string(i));
+  }
+  ASSERT_TRUE(store_->CommitTxn(2).ok());
+  EXPECT_EQ(store_->stats().objects, static_cast<uint64_t>(kCount));
+}
+
+TEST_P(StorageTest, RandomizedAgainstReferenceModel) {
+  // Random committed/aborted transactions vs an in-memory reference.
+  Random rng(0xbeef);
+  std::unordered_map<uint64_t, std::string> model;
+  std::vector<Oid> known;
+  TxnId next_txn = 10;
+
+  for (int round = 0; round < 60; ++round) {
+    TxnId txn = next_txn++;
+    ASSERT_TRUE(store_->BeginTxn(txn).ok());
+    auto local = model;  // txn-local view
+    std::vector<Oid> local_known = known;
+    for (int op = 0; op < 20; ++op) {
+      int what = static_cast<int>(rng.Uniform(3));
+      if (what == 0 || local_known.empty()) {
+        std::string data(rng.Uniform(3000), static_cast<char>('a' + rng.Uniform(26)));
+        auto oid = store_->Allocate(txn, Slice(data));
+        ASSERT_TRUE(oid.ok());
+        local[oid->value()] = data;
+        local_known.push_back(*oid);
+      } else if (what == 1) {
+        Oid oid = local_known[rng.Uniform(local_known.size())];
+        if (local.count(oid.value()) == 0) continue;
+        std::string data(rng.Uniform(3000), 'w');
+        ASSERT_TRUE(store_->Write(txn, oid, Slice(data)).ok());
+        local[oid.value()] = data;
+      } else {
+        Oid oid = local_known[rng.Uniform(local_known.size())];
+        if (local.count(oid.value()) == 0) continue;
+        ASSERT_TRUE(store_->Free(txn, oid).ok());
+        local.erase(oid.value());
+      }
+    }
+    if (rng.Bernoulli(0.3)) {
+      ASSERT_TRUE(store_->AbortTxn(txn).ok());
+    } else {
+      ASSERT_TRUE(store_->CommitTxn(txn).ok());
+      model = std::move(local);
+      known = std::move(local_known);
+    }
+  }
+
+  // Verify the committed state object by object.
+  TxnId check = next_txn++;
+  ASSERT_TRUE(store_->BeginTxn(check).ok());
+  for (const auto& [oid, data] : model) {
+    std::vector<char> out;
+    ASSERT_TRUE(store_->Read(check, Oid(oid), &out).ok());
+    EXPECT_EQ(std::string(out.begin(), out.end()), data);
+  }
+  for (Oid oid : known) {
+    EXPECT_EQ(store_->Exists(check, oid), model.count(oid.value()) == 1);
+  }
+  ASSERT_TRUE(store_->CommitTxn(check).ok());
+
+  // And once more after a clean restart.
+  Reopen();
+  check = next_txn++;
+  ASSERT_TRUE(store_->BeginTxn(check).ok());
+  for (const auto& [oid, data] : model) {
+    std::vector<char> out;
+    ASSERT_TRUE(store_->Read(check, Oid(oid), &out).ok());
+    EXPECT_EQ(std::string(out.begin(), out.end()), data);
+  }
+  ASSERT_TRUE(store_->CommitTxn(check).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BothManagers, StorageTest,
+    ::testing::Values(StorageTestParam{Kind::kDisk, "disk"},
+                      StorageTestParam{Kind::kMainMemory, "mm"}),
+    [](const ::testing::TestParamInfo<StorageTestParam>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace ode

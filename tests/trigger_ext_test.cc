@@ -1,0 +1,642 @@
+// Tests for the §8 "future work" extensions implemented in this
+// reproduction: local (transient) triggers, event attributes, declarative
+// constraints, inter-object (group) triggers, and timed triggers.
+
+#include <gtest/gtest.h>
+
+#include "odepp/params.h"
+#include "odepp/session.h"
+
+namespace ode {
+namespace {
+
+struct Gauge {
+  int64_t value = 0;
+  int64_t fires = 0;
+  std::string log;
+
+  void Add(int64_t amount) { value += amount; }
+  void Mark(int32_t tag) { log += std::to_string(tag) + ";"; }
+
+  void Encode(Encoder& enc) const {
+    enc.PutI64(value);
+    enc.PutI64(fires);
+    enc.PutString(log);
+  }
+  static Result<Gauge> Decode(Decoder& dec) {
+    Gauge g;
+    ODE_RETURN_NOT_OK(dec.GetI64(&g.value));
+    ODE_RETURN_NOT_OK(dec.GetI64(&g.fires));
+    ODE_RETURN_NOT_OK(dec.GetString(&g.log));
+    return g;
+  }
+};
+
+class ExtensionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    schema_.DeclareClass<Gauge>("Gauge")
+        .Event("after Add")
+        .Event("after Mark")
+        .Event("Alarm")
+        .Method("Add", &Gauge::Add)
+        .Method("Mark", &Gauge::Mark)
+        .Mask("BigAdd()",
+              [](const Gauge&, MaskEvalContext& ctx) -> Result<bool> {
+                // Event attribute: the Add amount (§8 future work).
+                auto args = UnpackParams<int64_t>(ctx.event_args());
+                if (!args.ok()) return args.status();
+                return std::get<0>(*args) > 100;
+              })
+        .Trigger("OnAdd", "after Add",
+                 [](Gauge& g, TriggerFireContext&) -> Status {
+                   ++g.fires;
+                   return Status::OK();
+                 },
+                 CouplingMode::kImmediate, /*perpetual=*/true)
+        .Trigger("OnBigAdd", "after Add & BigAdd()",
+                 [](Gauge& g, TriggerFireContext&) -> Status {
+                   ++g.fires;
+                   return Status::OK();
+                 },
+                 CouplingMode::kImmediate, /*perpetual=*/true)
+        .Trigger("OnAlarm", "Alarm",
+                 [](Gauge& g, TriggerFireContext&) -> Status {
+                   ++g.fires;
+                   return Status::OK();
+                 },
+                 CouplingMode::kImmediate, /*perpetual=*/true)
+        // Note the any* separator: this class declares `before tcomplete`
+        // (via the Constraint below), so that event is in every trigger's
+        // alphabet and would break a contiguous two-Mark sequence at each
+        // commit boundary.
+        .Trigger("PairWatch", "after Mark, any*, after Mark",
+                 [](Gauge& g, TriggerFireContext&) -> Status {
+                   ++g.fires;
+                   return Status::OK();
+                 },
+                 CouplingMode::kImmediate, /*perpetual=*/false)
+        .Constraint("NonNegative",
+                    [](const Gauge& g, MaskEvalContext&) -> Result<bool> {
+                      return g.value >= 0;
+                    },
+                    "gauge went negative");
+    ASSERT_TRUE(schema_.Freeze().ok());
+    auto session = Session::Open(StorageKind::kMainMemory, "", &schema_);
+    ASSERT_TRUE(session.ok()) << session.status().ToString();
+    s_ = std::move(session).value();
+  }
+
+  PRef<Gauge> NewGauge(int64_t value = 0) {
+    PRef<Gauge> ref;
+    Status st = s_->WithTransaction([&](Transaction* txn) -> Status {
+      Gauge g;
+      g.value = value;
+      auto r = s_->New(txn, g);
+      ODE_RETURN_NOT_OK(r.status());
+      ref = *r;
+      return Status::OK();
+    });
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    return ref;
+  }
+
+  Gauge Load(PRef<Gauge> ref) {
+    Gauge out;
+    Status st = s_->WithTransaction([&](Transaction* txn) -> Status {
+      auto g = s_->Load(txn, ref);
+      ODE_RETURN_NOT_OK(g.status());
+      out = *g;
+      return Status::OK();
+    });
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    return out;
+  }
+
+  Schema schema_;
+  std::unique_ptr<Session> s_;
+};
+
+// ------------------------------------------------------- local triggers
+
+TEST_F(ExtensionTest, LocalTriggerFiresWithinItsTransaction) {
+  PRef<Gauge> g = NewGauge();
+  Status st = s_->WithTransaction([&](Transaction* txn) -> Status {
+    ODE_RETURN_NOT_OK(s_->ActivateLocal(txn, g, "OnAdd").status());
+    ODE_RETURN_NOT_OK(s_->Invoke(txn, g, &Gauge::Add, int64_t{5}));
+    auto v = s_->Load(txn, g);
+    ODE_RETURN_NOT_OK(v.status());
+    EXPECT_EQ(v->fires, 1);
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST_F(ExtensionTest, LocalTriggerDiesAtEndOfTransaction) {
+  PRef<Gauge> g = NewGauge();
+  Status st = s_->WithTransaction([&](Transaction* txn) -> Status {
+    return s_->ActivateLocal(txn, g, "OnAdd").status();
+  });
+  ASSERT_TRUE(st.ok());
+  // Next transaction: the local rule is gone.
+  st = s_->WithTransaction([&](Transaction* txn) -> Status {
+    return s_->Invoke(txn, g, &Gauge::Add, int64_t{5});
+  });
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(Load(g).fires, 0)
+      << "local rules are deallocated at end-of-transaction (§8)";
+}
+
+TEST_F(ExtensionTest, LocalTriggerNeedsNoPersistentStorage) {
+  PRef<Gauge> g = NewGauge();
+  uint64_t objects_before = s_->db()->store()->stats().objects;
+  Status st = s_->WithTransaction([&](Transaction* txn) -> Status {
+    ODE_RETURN_NOT_OK(s_->ActivateLocal(txn, g, "OnAdd").status());
+    return s_->Invoke(txn, g, &Gauge::Add, int64_t{5});
+  });
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(s_->db()->store()->stats().objects, objects_before)
+      << "no TriggerState object, no index growth (§8: 'No persistent "
+         "storage is required for such triggers')";
+}
+
+TEST_F(ExtensionTest, LocalTriggerExplicitDeactivation) {
+  PRef<Gauge> g = NewGauge();
+  Status st = s_->WithTransaction([&](Transaction* txn) -> Status {
+    auto id = s_->ActivateLocal(txn, g, "OnAdd");
+    ODE_RETURN_NOT_OK(id.status());
+    ODE_RETURN_NOT_OK(s_->DeactivateLocal(txn, *id));
+    ODE_RETURN_NOT_OK(s_->Invoke(txn, g, &Gauge::Add, int64_t{5}));
+    auto v = s_->Load(txn, g);
+    ODE_RETURN_NOT_OK(v.status());
+    EXPECT_EQ(v->fires, 0);
+    // Double-deactivation is an error.
+    EXPECT_TRUE(s_->DeactivateLocal(txn, *id).IsNotFound());
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST_F(ExtensionTest, OnceOnlyLocalTriggerFiresOnce) {
+  PRef<Gauge> g = NewGauge();
+  Status st = s_->WithTransaction([&](Transaction* txn) -> Status {
+    ODE_RETURN_NOT_OK(s_->ActivateLocal(txn, g, "PairWatch").status());
+    ODE_RETURN_NOT_OK(s_->Invoke(txn, g, &Gauge::Mark, 1));
+    ODE_RETURN_NOT_OK(s_->Invoke(txn, g, &Gauge::Mark, 2));  // fires
+    ODE_RETURN_NOT_OK(s_->Invoke(txn, g, &Gauge::Mark, 3));
+    ODE_RETURN_NOT_OK(s_->Invoke(txn, g, &Gauge::Mark, 4));  // must not
+    auto v = s_->Load(txn, g);
+    ODE_RETURN_NOT_OK(v.status());
+    EXPECT_EQ(v->fires, 1);
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST_F(ExtensionTest, LocalAndPersistentTriggersCoexist) {
+  PRef<Gauge> g = NewGauge();
+  Status st = s_->WithTransaction([&](Transaction* txn) -> Status {
+    return s_->Activate(txn, g, "OnAdd").status();  // persistent
+  });
+  ASSERT_TRUE(st.ok());
+  st = s_->WithTransaction([&](Transaction* txn) -> Status {
+    ODE_RETURN_NOT_OK(s_->ActivateLocal(txn, g, "OnAdd").status());
+    return s_->Invoke(txn, g, &Gauge::Add, int64_t{1});
+  });
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(Load(g).fires, 2) << "both the persistent and the local "
+                                 "activation fired";
+}
+
+// ------------------------------------------------------ event attributes
+
+TEST_F(ExtensionTest, MaskSeesInvocationArguments) {
+  PRef<Gauge> g = NewGauge();
+  Status st = s_->WithTransaction([&](Transaction* txn) -> Status {
+    return s_->Activate(txn, g, "OnBigAdd").status();
+  });
+  ASSERT_TRUE(st.ok());
+  st = s_->WithTransaction([&](Transaction* txn) -> Status {
+    ODE_RETURN_NOT_OK(s_->Invoke(txn, g, &Gauge::Add, int64_t{50}));
+    ODE_RETURN_NOT_OK(s_->Invoke(txn, g, &Gauge::Add, int64_t{500}));
+    ODE_RETURN_NOT_OK(s_->Invoke(txn, g, &Gauge::Add, int64_t{70}));
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(Load(g).fires, 1) << "only the Add(500) satisfies the mask";
+}
+
+// ------------------------------------------------------------ constraints
+
+TEST_F(ExtensionTest, ConstraintAbortsViolatingCommit) {
+  PRef<Gauge> g = NewGauge(10);
+  Status st = s_->WithTransaction([&](Transaction* txn) -> Status {
+    return s_->Activate(txn, g, "NonNegative").status();
+  });
+  ASSERT_TRUE(st.ok());
+
+  st = s_->WithTransaction([&](Transaction* txn) -> Status {
+    return s_->Invoke(txn, g, &Gauge::Add, int64_t{-50});
+  });
+  EXPECT_TRUE(st.IsTransactionAborted()) << st.ToString();
+  EXPECT_NE(st.message().find("gauge went negative"), std::string::npos);
+  EXPECT_EQ(Load(g).value, 10) << "violating transaction rolled back";
+}
+
+TEST_F(ExtensionTest, ConstraintAllowsValidCommit) {
+  PRef<Gauge> g = NewGauge(10);
+  Status st = s_->WithTransaction([&](Transaction* txn) -> Status {
+    return s_->Activate(txn, g, "NonNegative").status();
+  });
+  ASSERT_TRUE(st.ok());
+  st = s_->WithTransaction([&](Transaction* txn) -> Status {
+    return s_->Invoke(txn, g, &Gauge::Add, int64_t{-5});
+  });
+  EXPECT_TRUE(st.ok()) << "value 5 >= 0: constraint holds";
+  EXPECT_EQ(Load(g).value, 5);
+}
+
+TEST_F(ExtensionTest, ConstraintCheckedAtCommitNotMidTransaction) {
+  PRef<Gauge> g = NewGauge(10);
+  Status st = s_->WithTransaction([&](Transaction* txn) -> Status {
+    return s_->Activate(txn, g, "NonNegative").status();
+  });
+  ASSERT_TRUE(st.ok());
+  // Temporarily violate, then repair before commit: must succeed.
+  st = s_->WithTransaction([&](Transaction* txn) -> Status {
+    ODE_RETURN_NOT_OK(s_->Invoke(txn, g, &Gauge::Add, int64_t{-100}));
+    return s_->Invoke(txn, g, &Gauge::Add, int64_t{200});
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(Load(g).value, 110);
+}
+
+// ---------------------------------------------------- inter-object triggers
+
+TEST_F(ExtensionTest, GroupTriggerSpansObjects) {
+  PRef<Gauge> a = NewGauge(), b = NewGauge();
+  Status st = s_->WithTransaction([&](Transaction* txn) -> Status {
+    // "after Mark, after Mark" completed by events from TWO objects.
+    return s_->ActivateGroup<Gauge>(txn, {a, b}, "PairWatch").status();
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+
+  st = s_->WithTransaction([&](Transaction* txn) -> Status {
+    return s_->Invoke(txn, a, &Gauge::Mark, 1);
+  });
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(Load(a).fires, 0) << "one Mark is not enough";
+
+  st = s_->WithTransaction([&](Transaction* txn) -> Status {
+    return s_->Invoke(txn, b, &Gauge::Mark, 2);
+  });
+  ASSERT_TRUE(st.ok());
+  // Fires with anchor a (the primary anchor) as the action's object.
+  EXPECT_EQ(Load(a).fires, 1)
+      << "the second Mark — on the OTHER object — completed the pattern";
+  EXPECT_EQ(Load(b).fires, 0);
+}
+
+TEST_F(ExtensionTest, GroupTriggerOnceOnlyDeactivatesEverywhere) {
+  PRef<Gauge> a = NewGauge(), b = NewGauge();
+  Status st = s_->WithTransaction([&](Transaction* txn) -> Status {
+    return s_->ActivateGroup<Gauge>(txn, {a, b}, "PairWatch").status();
+  });
+  ASSERT_TRUE(st.ok());
+  st = s_->WithTransaction([&](Transaction* txn) -> Status {
+    ODE_RETURN_NOT_OK(s_->Invoke(txn, a, &Gauge::Mark, 1));
+    ODE_RETURN_NOT_OK(s_->Invoke(txn, b, &Gauge::Mark, 2));  // fires
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok());
+  st = s_->WithTransaction([&](Transaction* txn) -> Status {
+    EXPECT_EQ(s_->triggers()->ActiveCount(txn, a.oid()), 0);
+    EXPECT_EQ(s_->triggers()->ActiveCount(txn, b.oid()), 0);
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok());
+}
+
+TEST_F(ExtensionTest, GroupTriggerMaskSeesAllAnchors) {
+  // A trigger whose mask inspects every anchor: fire an Alarm-like check
+  // when the SUM of two gauges exceeds a bound.
+  Schema schema;
+  schema.DeclareClass<Gauge>("Gauge")
+      .Event("after Add")
+      .Method("Add", &Gauge::Add)
+      .Mask("SumOver100()",
+            [](const Gauge&, MaskEvalContext& ctx) -> Result<bool> {
+              int64_t sum = 0;
+              for (Oid anchor : ctx.anchors()) {
+                std::vector<char> image;
+                ODE_RETURN_NOT_OK(
+                    ctx.db()->ReadObject(ctx.txn(), anchor, &image));
+                Decoder dec(image);
+                std::string cls;
+                ODE_RETURN_NOT_OK(dec.GetString(&cls));
+                auto g = Gauge::Decode(dec);
+                ODE_RETURN_NOT_OK(g.status());
+                sum += g->value;
+              }
+              return sum > 100;
+            })
+      .Trigger("SumWatch", "after Add & SumOver100()",
+               [](Gauge& g, TriggerFireContext&) -> Status {
+                 ++g.fires;
+                 return Status::OK();
+               },
+               CouplingMode::kImmediate, /*perpetual=*/true);
+  ASSERT_TRUE(schema.Freeze().ok());
+  auto session = Session::Open(StorageKind::kMainMemory, "", &schema);
+  ASSERT_TRUE(session.ok());
+  Session& s = **session;
+
+  PRef<Gauge> x, y;
+  Status st = s.WithTransaction([&](Transaction* txn) -> Status {
+    auto rx = s.New(txn, Gauge{});
+    ODE_RETURN_NOT_OK(rx.status());
+    x = *rx;
+    auto ry = s.New(txn, Gauge{});
+    ODE_RETURN_NOT_OK(ry.status());
+    y = *ry;
+    return s.ActivateGroup<Gauge>(txn, {x, y}, "SumWatch").status();
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+
+  st = s.WithTransaction([&](Transaction* txn) -> Status {
+    ODE_RETURN_NOT_OK(s.Invoke(txn, x, &Gauge::Add, int64_t{60}));
+    // sum = 60: no fire yet.
+    return s.Invoke(txn, y, &Gauge::Add, int64_t{70});
+    // sum = 130: fires, anchored at x.
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  st = s.WithTransaction([&](Transaction* txn) -> Status {
+    auto gx = s.Load(txn, x);
+    ODE_RETURN_NOT_OK(gx.status());
+    EXPECT_EQ(gx->fires, 1);
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok());
+}
+
+TEST_F(ExtensionTest, GroupTriggerRejectsWrongTypes) {
+  PRef<Gauge> a = NewGauge();
+  Status st = s_->WithTransaction([&](Transaction* txn) -> Status {
+    PRef<Gauge> bogus(Oid(999999));
+    auto r = s_->ActivateGroup<Gauge>(txn, {a, bogus}, "PairWatch");
+    EXPECT_FALSE(r.ok());
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok());
+}
+
+// -------------------------------------------------------- timed triggers
+
+TEST_F(ExtensionTest, ScheduledEventFiresOnAdvance) {
+  PRef<Gauge> g = NewGauge();
+  Status st = s_->WithTransaction([&](Transaction* txn) -> Status {
+    ODE_RETURN_NOT_OK(s_->Activate(txn, g, "OnAlarm").status());
+    auto now = s_->Now(txn);
+    ODE_RETURN_NOT_OK(now.status());
+    EXPECT_EQ(*now, 0);
+    return s_->ScheduleUserEvent(txn, g, "Alarm", 100);
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+
+  // Advancing short of the due time fires nothing.
+  st = s_->WithTransaction([&](Transaction* txn) -> Status {
+    return s_->AdvanceTime(txn, 50);
+  });
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(Load(g).fires, 0);
+
+  // Crossing the due time fires the trigger.
+  st = s_->WithTransaction([&](Transaction* txn) -> Status {
+    return s_->AdvanceTime(txn, 150);
+  });
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(Load(g).fires, 1);
+
+  // The entry was consumed.
+  st = s_->WithTransaction([&](Transaction* txn) -> Status {
+    return s_->AdvanceTime(txn, 300);
+  });
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(Load(g).fires, 1);
+}
+
+TEST_F(ExtensionTest, ScheduledEventsFireInTimeOrder) {
+  PRef<Gauge> g = NewGauge();
+  Status st = s_->WithTransaction([&](Transaction* txn) -> Status {
+    ODE_RETURN_NOT_OK(s_->Activate(txn, g, "OnAlarm").status());
+    // Scheduled out of order.
+    ODE_RETURN_NOT_OK(s_->ScheduleUserEvent(txn, g, "Alarm", 30));
+    ODE_RETURN_NOT_OK(s_->ScheduleUserEvent(txn, g, "Alarm", 10));
+    ODE_RETURN_NOT_OK(s_->ScheduleUserEvent(txn, g, "Alarm", 20));
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok());
+  st = s_->WithTransaction([&](Transaction* txn) -> Status {
+    return s_->AdvanceTime(txn, 100);
+  });
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(Load(g).fires, 3);
+}
+
+TEST_F(ExtensionTest, SchedulingValidation) {
+  PRef<Gauge> g = NewGauge();
+  Status st = s_->WithTransaction([&](Transaction* txn) -> Status {
+    ODE_RETURN_NOT_OK(s_->AdvanceTime(txn, 100));
+    // Not after `now`.
+    EXPECT_EQ(s_->ScheduleUserEvent(txn, g, "Alarm", 100).code(),
+              StatusCode::kInvalidArgument);
+    // Unknown event.
+    EXPECT_EQ(s_->ScheduleUserEvent(txn, g, "Snooze", 200).code(),
+              StatusCode::kInvalidArgument);
+    // Member event, not a user event.
+    EXPECT_EQ(s_->ScheduleUserEvent(txn, g, "after Add", 200).code(),
+              StatusCode::kInvalidArgument);
+    // Time cannot go backwards.
+    EXPECT_EQ(s_->AdvanceTime(txn, 50).code(),
+              StatusCode::kInvalidArgument);
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok());
+}
+
+TEST_F(ExtensionTest, ScheduleRollsBackOnAbort) {
+  PRef<Gauge> g = NewGauge();
+  Status st = s_->WithTransaction([&](Transaction* txn) -> Status {
+    return s_->Activate(txn, g, "OnAlarm").status();
+  });
+  ASSERT_TRUE(st.ok());
+  st = s_->WithTransaction([&](Transaction* txn) -> Status {
+    ODE_RETURN_NOT_OK(s_->ScheduleUserEvent(txn, g, "Alarm", 10));
+    return Status::Internal("force abort");
+  });
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  st = s_->WithTransaction([&](Transaction* txn) -> Status {
+    return s_->AdvanceTime(txn, 100);
+  });
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(Load(g).fires, 0) << "aborted schedule must not fire";
+}
+
+// ------------------------------------------- extension interactions
+
+TEST_F(ExtensionTest, EventArgsReachDetachedActions) {
+  // Event attributes captured at detection must reach actions that run
+  // later in a system transaction (!dependent coupling).
+  Schema schema;
+  int64_t seen = -1;
+  schema.DeclareClass<Gauge>("Gauge")
+      .Event("after Add")
+      .Method("Add", &Gauge::Add)
+      .Trigger("Detached", "after Add",
+               [&seen](Gauge&, TriggerFireContext& ctx) -> Status {
+                 auto args = UnpackParams<int64_t>(ctx.event_args());
+                 if (!args.ok()) return args.status();
+                 seen = std::get<0>(*args);
+                 return Status::OK();
+               },
+               CouplingMode::kIndependent, true);
+  ASSERT_TRUE(schema.Freeze().ok());
+  auto session = Session::Open(StorageKind::kMainMemory, "", &schema);
+  ASSERT_TRUE(session.ok());
+  Session& s = **session;
+  PRef<Gauge> g;
+  Status st = s.WithTransaction([&](Transaction* txn) -> Status {
+    auto r = s.New(txn, Gauge{});
+    ODE_RETURN_NOT_OK(r.status());
+    g = *r;
+    return s.Activate(txn, g, "Detached").status();
+  });
+  ASSERT_TRUE(st.ok());
+  st = s.WithTransaction([&](Transaction* txn) -> Status {
+    return s.Invoke(txn, g, &Gauge::Add, int64_t{4321});
+  });
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(seen, 4321)
+      << "arguments travel with the queued action into the system txn";
+}
+
+TEST_F(ExtensionTest, GroupTriggerWithDeferredCoupling) {
+  Schema schema;
+  schema.DeclareClass<Gauge>("Gauge")
+      .Event("after Mark")
+      .Method("Mark", &Gauge::Mark)
+      .Trigger("DeferredPair", "after Mark, any*, after Mark",
+               [](Gauge& g, TriggerFireContext&) -> Status {
+                 ++g.fires;
+                 return Status::OK();
+               },
+               CouplingMode::kDeferred, false);
+  ASSERT_TRUE(schema.Freeze().ok());
+  auto session = Session::Open(StorageKind::kMainMemory, "", &schema);
+  ASSERT_TRUE(session.ok());
+  Session& s = **session;
+
+  PRef<Gauge> a, b;
+  Status st = s.WithTransaction([&](Transaction* txn) -> Status {
+    auto ra = s.New(txn, Gauge{});
+    ODE_RETURN_NOT_OK(ra.status());
+    a = *ra;
+    auto rb = s.New(txn, Gauge{});
+    ODE_RETURN_NOT_OK(rb.status());
+    b = *rb;
+    return s.ActivateGroup<Gauge>(txn, {a, b}, "DeferredPair").status();
+  });
+  ASSERT_TRUE(st.ok());
+
+  st = s.WithTransaction([&](Transaction* txn) -> Status {
+    ODE_RETURN_NOT_OK(s.Invoke(txn, a, &Gauge::Mark, 1));
+    ODE_RETURN_NOT_OK(s.Invoke(txn, b, &Gauge::Mark, 2));
+    // Deferred: not fired yet inside the transaction.
+    auto g = s.Load(txn, a);
+    ODE_RETURN_NOT_OK(g.status());
+    EXPECT_EQ(g->fires, 0);
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok());
+  Status check = s.WithTransaction([&](Transaction* txn) -> Status {
+    auto g = s.Load(txn, a);
+    ODE_RETURN_NOT_OK(g.status());
+    EXPECT_EQ(g->fires, 1) << "fired at commit, anchored at a";
+    return Status::OK();
+  });
+  ASSERT_TRUE(check.ok());
+}
+
+TEST_F(ExtensionTest, TimerFiresDeferredTrigger) {
+  Schema schema;
+  schema.DeclareClass<Gauge>("Gauge")
+      .Event("Alarm")
+      .Trigger("LateAlarm", "Alarm",
+               [](Gauge& g, TriggerFireContext&) -> Status {
+                 ++g.fires;
+                 return Status::OK();
+               },
+               CouplingMode::kDeferred, true);
+  ASSERT_TRUE(schema.Freeze().ok());
+  auto session = Session::Open(StorageKind::kMainMemory, "", &schema);
+  ASSERT_TRUE(session.ok());
+  Session& s = **session;
+  PRef<Gauge> g;
+  Status st = s.WithTransaction([&](Transaction* txn) -> Status {
+    auto r = s.New(txn, Gauge{});
+    ODE_RETURN_NOT_OK(r.status());
+    g = *r;
+    ODE_RETURN_NOT_OK(s.Activate(txn, g, "LateAlarm").status());
+    return s.ScheduleUserEvent(txn, g, "Alarm", 5);
+  });
+  ASSERT_TRUE(st.ok());
+  st = s.WithTransaction([&](Transaction* txn) -> Status {
+    return s.AdvanceTime(txn, 10);
+  });
+  ASSERT_TRUE(st.ok());
+  st = s.WithTransaction([&](Transaction* txn) -> Status {
+    auto v = s.Load(txn, g);
+    ODE_RETURN_NOT_OK(v.status());
+    EXPECT_EQ(v->fires, 1)
+        << "the timer-posted event queued a deferred action that ran at "
+           "the advancing transaction's commit";
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok());
+}
+
+TEST_F(ExtensionTest, LocalTriggerRollsBackWithAbortedWork) {
+  // A local trigger's action writes to the object; aborting the txn
+  // rolls that back like everything else.
+  PRef<Gauge> g = NewGauge();
+  Status st = s_->WithTransaction([&](Transaction* txn) -> Status {
+    ODE_RETURN_NOT_OK(s_->ActivateLocal(txn, g, "OnAdd").status());
+    ODE_RETURN_NOT_OK(s_->Invoke(txn, g, &Gauge::Add, int64_t{5}));
+    return Status::Internal("force abort");
+  });
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  Gauge v = Load(g);
+  EXPECT_EQ(v.fires, 0);
+  EXPECT_EQ(v.value, 0);
+}
+
+TEST_F(ExtensionTest, ScheduleForDeletedObjectIsSkipped) {
+  PRef<Gauge> g = NewGauge();
+  Status st = s_->WithTransaction([&](Transaction* txn) -> Status {
+    ODE_RETURN_NOT_OK(s_->ScheduleUserEvent(txn, g, "Alarm", 10));
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok());
+  st = s_->WithTransaction([&](Transaction* txn) -> Status {
+    return s_->Free(txn, g);
+  });
+  ASSERT_TRUE(st.ok());
+  st = s_->WithTransaction([&](Transaction* txn) -> Status {
+    return s_->AdvanceTime(txn, 100);
+  });
+  EXPECT_TRUE(st.ok()) << "due events for deleted objects are skipped: "
+                       << st.ToString();
+}
+
+}  // namespace
+}  // namespace ode

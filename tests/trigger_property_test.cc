@@ -1,0 +1,121 @@
+// Full-stack property test: for random trigger expressions and random
+// user-event streams, the number of firings observed through the whole
+// system (schema -> session -> persistent trigger state -> PostEvent)
+// must equal the number of accepting positions of the reference NFA
+// simulation over the same stream.
+
+#include <gtest/gtest.h>
+
+#include "expr_gen.h"
+#include "odepp/session.h"
+
+namespace ode {
+namespace {
+
+struct Probe {
+  int64_t fires = 0;
+  void Encode(Encoder& enc) const { enc.PutI64(fires); }
+  static Result<Probe> Decode(Decoder& dec) {
+    Probe p;
+    ODE_RETURN_NOT_OK(dec.GetI64(&p.fires));
+    return p;
+  }
+};
+
+class TriggerProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TriggerProperty, FiresMatchNfaOracle) {
+  Random rng(GetParam());
+  const char* event_names[] = {"a", "b", "c"};
+
+  for (int round = 0; round < 25; ++round) {
+    ExprPtr expr = testgen::RandomExpr(rng, 3, /*with_masks=*/false);
+
+    // Oracle: simulate the (unanchored) NFA over a random stream.
+    CompileInput input;
+    input.expr = expr;
+    input.anchored = false;
+    // Alphabet symbols must match what the schema will intern. Build the
+    // schema first, then read the symbols back.
+    Schema schema;
+    schema.DeclareClass<Probe>("Probe" + std::to_string(round))
+        .Event("a")
+        .Event("b")
+        .Event("c")
+        .Trigger("T", ToString(expr),
+                 [](Probe& p, TriggerFireContext&) -> Status {
+                   ++p.fires;
+                   return Status::OK();
+                 },
+                 CouplingMode::kImmediate, /*perpetual=*/true);
+    Status frozen = schema.Freeze();
+    ASSERT_TRUE(frozen.ok()) << ToString(expr) << ": " << frozen.ToString();
+
+    const ClassRecord* rec =
+        schema.RecordByName("Probe" + std::to_string(round));
+    for (const EventDecl& decl : rec->descriptor->AllEvents()) {
+      input.alphabet.push_back(decl.symbol);
+      input.event_symbols[decl.name] = decl.symbol;
+    }
+    auto nfa = BuildNfa(input);
+    ASSERT_TRUE(nfa.ok()) << ToString(expr);
+
+    size_t len = 1 + rng.Uniform(30);
+    std::vector<int> stream;  // indexes into event_names
+    std::vector<Symbol> symbols;
+    for (size_t i = 0; i < len; ++i) {
+      int e = static_cast<int>(rng.Uniform(3));
+      stream.push_back(e);
+      symbols.push_back(input.event_symbols[event_names[e]]);
+    }
+    std::vector<std::vector<bool>> no_masks(len);
+    std::vector<bool> accepts = SimulateNfa(*nfa, symbols, no_masks);
+    int64_t expected = 0;
+    for (bool a : accepts) expected += a ? 1 : 0;
+
+    // Drive the full system with the same stream.
+    auto session = Session::Open(StorageKind::kMainMemory, "", &schema);
+    ASSERT_TRUE(session.ok());
+    Session& s = **session;
+    PRef<Probe> probe;
+    Status st = s.WithTransaction([&](Transaction* txn) -> Status {
+      auto r = s.New(txn, Probe{});
+      ODE_RETURN_NOT_OK(r.status());
+      probe = *r;
+      return s.Activate(txn, probe, "T").status();
+    });
+    ASSERT_TRUE(st.ok());
+
+    // Split the stream across several transactions (state must persist).
+    size_t pos = 0;
+    while (pos < len) {
+      size_t chunk = 1 + rng.Uniform(5);
+      st = s.WithTransaction([&](Transaction* txn) -> Status {
+        for (size_t i = 0; i < chunk && pos < len; ++i, ++pos) {
+          ODE_RETURN_NOT_OK(
+              s.PostUserEvent(txn, probe, event_names[stream[pos]]));
+        }
+        return Status::OK();
+      });
+      ASSERT_TRUE(st.ok()) << st.ToString();
+    }
+
+    int64_t actual = -1;
+    st = s.WithTransaction([&](Transaction* txn) -> Status {
+      auto p = s.Load(txn, probe);
+      ODE_RETURN_NOT_OK(p.status());
+      actual = p->fires;
+      return Status::OK();
+    });
+    ASSERT_TRUE(st.ok());
+    ASSERT_EQ(actual, expected)
+        << "expr: " << ToString(expr) << " seed " << GetParam()
+        << " round " << round << " stream length " << len;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TriggerProperty,
+                         ::testing::Values(3, 1337, 777777));
+
+}  // namespace
+}  // namespace ode

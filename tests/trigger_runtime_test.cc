@@ -1,0 +1,193 @@
+// Unit tests for the trigger runtime's building blocks: the eventRep
+// registry (§5.2), TriggerState encoding (§5.4.1), and the persistent
+// object -> active-triggers index (§5.4.1).
+
+#include <gtest/gtest.h>
+
+#include "objstore/database.h"
+#include "trigger/event_registry.h"
+#include "trigger/trigger_index.h"
+#include "trigger/trigger_state.h"
+
+namespace ode {
+namespace {
+
+// --------------------------------------------------------- EventRegistry
+
+TEST(EventRegistry, SamePairSameSymbol) {
+  EventRegistry reg;
+  Symbol a = reg.Intern("CredCard", "after Buy");
+  Symbol b = reg.Intern("CredCard", "after Buy");
+  EXPECT_EQ(a, b);
+}
+
+TEST(EventRegistry, DistinctPairsDistinctSymbols) {
+  // "each underlying event is mapped to exactly one integer and no two
+  // distinct events map to the same integer" (§5.2).
+  EventRegistry reg;
+  Symbol a = reg.Intern("CredCard", "after Buy");
+  Symbol b = reg.Intern("CredCard", "after PayBill");
+  Symbol c = reg.Intern("Account", "after Buy");
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(b, c);
+  EXPECT_EQ(reg.size(), 3u);
+}
+
+TEST(EventRegistry, SymbolsStartAfterPseudoEvents) {
+  EventRegistry reg;
+  Symbol a = reg.Intern("X", "e");
+  EXPECT_GE(a, kFirstEventSymbol);
+  EXPECT_NE(a, kTrueSymbol);
+  EXPECT_NE(a, kFalseSymbol);
+}
+
+TEST(EventRegistry, FindWithoutInterning) {
+  EventRegistry reg;
+  EXPECT_EQ(reg.Find("X", "e"), 0u);
+  Symbol a = reg.Intern("X", "e");
+  EXPECT_EQ(reg.Find("X", "e"), a);
+}
+
+TEST(EventRegistry, NameOf) {
+  EventRegistry reg;
+  Symbol a = reg.Intern("CredCard", "BigBuy");
+  EXPECT_EQ(reg.NameOf(a), "CredCard::BigBuy");
+  EXPECT_EQ(reg.NameOf(99999), "ev99999");
+}
+
+// ---------------------------------------------------------- TriggerState
+
+TEST(TriggerState, EncodeDecodeRoundTrip) {
+  TriggerState state;
+  state.triggernum = 1;  // "AutoRaiseLimit is 2nd trigger" (§5.4.1)
+  state.trigobj = Oid(77);
+  state.statenum = 2;
+  state.trigobjtype = 5;
+  state.params = {1, 2, 3, 4};
+
+  auto decoded = TriggerState::Decode(Slice(state.Encode()));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->triggernum, 1u);
+  EXPECT_EQ(decoded->trigobj, Oid(77));
+  EXPECT_EQ(decoded->statenum, 2);
+  EXPECT_EQ(decoded->trigobjtype, 5u);
+  EXPECT_EQ(decoded->params, (std::vector<char>{1, 2, 3, 4}));
+}
+
+TEST(TriggerState, DecodeRejectsTruncation) {
+  TriggerState state;
+  auto bytes = state.Encode();
+  auto truncated =
+      TriggerState::Decode(Slice(bytes.data(), bytes.size() - 1));
+  EXPECT_FALSE(truncated.ok());
+}
+
+TEST(TriggerState, DeadFsmStateRoundTrips) {
+  TriggerState state;
+  state.statenum = -1;  // dead anchored machine
+  auto decoded = TriggerState::Decode(Slice(state.Encode()));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->statenum, -1);
+}
+
+// ---------------------------------------------------------- TriggerIndex
+
+class TriggerIndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = Database::Open(StorageKind::kMainMemory, "");
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(db).value();
+    index_ = std::make_unique<TriggerIndex>(db_.get(), 8);
+  }
+
+  Transaction* Begin() {
+    auto txn = db_->txns()->Begin();
+    EXPECT_TRUE(txn.ok());
+    return txn.ValueOr(nullptr);
+  }
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<TriggerIndex> index_;
+};
+
+TEST_F(TriggerIndexTest, InsertLookupRemove) {
+  Transaction* txn = Begin();
+  ASSERT_TRUE(index_->Insert(txn, Oid(1), Oid(100)).ok());
+  ASSERT_TRUE(index_->Insert(txn, Oid(1), Oid(101)).ok());
+  ASSERT_TRUE(index_->Insert(txn, Oid(2), Oid(102)).ok());
+
+  auto one = index_->Lookup(txn, Oid(1));
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(one->size(), 2u);
+  auto two = index_->Lookup(txn, Oid(2));
+  ASSERT_TRUE(two.ok());
+  EXPECT_EQ(two->size(), 1u);
+  auto none = index_->Lookup(txn, Oid(3));
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+
+  ASSERT_TRUE(index_->Remove(txn, Oid(1), Oid(100)).ok());
+  one = index_->Lookup(txn, Oid(1));
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(*one, std::vector<Oid>{Oid(101)});
+  ASSERT_TRUE(db_->txns()->Commit(txn).ok());
+}
+
+TEST_F(TriggerIndexTest, DuplicateInsertRejected) {
+  Transaction* txn = Begin();
+  ASSERT_TRUE(index_->Insert(txn, Oid(1), Oid(100)).ok());
+  EXPECT_EQ(index_->Insert(txn, Oid(1), Oid(100)).code(),
+            StatusCode::kAlreadyExists);
+  ASSERT_TRUE(db_->txns()->Commit(txn).ok());
+}
+
+TEST_F(TriggerIndexTest, RemoveMissingIsNotFound) {
+  Transaction* txn = Begin();
+  EXPECT_TRUE(index_->Remove(txn, Oid(1), Oid(100)).IsNotFound());
+  ASSERT_TRUE(index_->Insert(txn, Oid(1), Oid(100)).ok());
+  EXPECT_TRUE(index_->Remove(txn, Oid(1), Oid(999)).IsNotFound());
+  ASSERT_TRUE(db_->txns()->Commit(txn).ok());
+}
+
+TEST_F(TriggerIndexTest, InsertRollsBackOnAbort) {
+  Transaction* txn = Begin();
+  ASSERT_TRUE(index_->Insert(txn, Oid(1), Oid(100)).ok());
+  ASSERT_TRUE(db_->txns()->Abort(txn).ok());
+
+  Transaction* check = Begin();
+  auto result = index_->Lookup(check, Oid(1));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+  ASSERT_TRUE(db_->txns()->Commit(check).ok());
+}
+
+TEST_F(TriggerIndexTest, ForEachVisitsEverything) {
+  Transaction* txn = Begin();
+  // Enough entries to hit several buckets.
+  for (uint64_t obj = 1; obj <= 40; ++obj) {
+    ASSERT_TRUE(index_->Insert(txn, Oid(obj), Oid(1000 + obj)).ok());
+  }
+  int count = 0;
+  ASSERT_TRUE(index_
+                  ->ForEach(txn,
+                            [&](Oid obj, Oid trig) {
+                              EXPECT_EQ(trig.value(), 1000 + obj.value());
+                              ++count;
+                            })
+                  .ok());
+  EXPECT_EQ(count, 40);
+  ASSERT_TRUE(db_->txns()->Commit(txn).ok());
+}
+
+TEST_F(TriggerIndexTest, ForEachOnEmptyDatabase) {
+  Transaction* txn = Begin();
+  int count = 0;
+  ASSERT_TRUE(index_->ForEach(txn, [&](Oid, Oid) { ++count; }).ok());
+  EXPECT_EQ(count, 0);
+  ASSERT_TRUE(db_->txns()->Commit(txn).ok());
+}
+
+}  // namespace
+}  // namespace ode

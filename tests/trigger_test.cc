@@ -1,0 +1,849 @@
+// Trigger runtime semantics (paper §4, §5.4, §5.5): activation and
+// deactivation, masks, perpetual vs once-only, coupling modes,
+// transaction events, rollback, inheritance, and the credit-card example
+// end to end.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "paper_example.h"
+
+namespace ode {
+namespace {
+
+using paper::CredCard;
+
+// A small auxiliary class whose trigger coupling/expression is chosen per
+// test. The default action increments `fires` on the object itself, so
+// tests observe firing through committed object state.
+struct Widget {
+  int32_t hits = 0;
+  int32_t fires = 0;
+
+  void Hit() { ++hits; }
+  void Ping() {}
+
+  void Encode(Encoder& enc) const {
+    enc.PutI32(hits);
+    enc.PutI32(fires);
+  }
+  static Result<Widget> Decode(Decoder& dec) {
+    Widget w;
+    ODE_RETURN_NOT_OK(dec.GetI32(&w.hits));
+    ODE_RETURN_NOT_OK(dec.GetI32(&w.fires));
+    return w;
+  }
+};
+
+void DeclareWidget(Schema* schema, const std::string& expr,
+                   CouplingMode coupling, bool perpetual,
+                   std::function<Status(Widget&, TriggerFireContext&)>
+                       action = nullptr) {
+  if (!action) {
+    action = [](Widget& w, TriggerFireContext&) -> Status {
+      ++w.fires;
+      return Status::OK();
+    };
+  }
+  schema->DeclareClass<Widget>("Widget")
+      .Event("after Hit")
+      .Event("after Ping")
+      .Event("Poke")
+      .Event("before tcomplete")
+      .Event("before tabort")
+      .Method("Hit", &Widget::Hit)
+      .Method("Ping", &Widget::Ping)
+      .Trigger("T", expr, std::move(action), coupling, perpetual);
+}
+
+class CredCardTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    paper::DeclareCredCard(&schema_);
+    ASSERT_TRUE(schema_.Freeze().ok());
+    auto session = Session::Open(StorageKind::kMainMemory, "", &schema_);
+    ASSERT_TRUE(session.ok()) << session.status().ToString();
+    session_ = std::move(session).value();
+  }
+
+  PRef<CredCard> NewCard(float lim, float bal) {
+    PRef<CredCard> ref;
+    Status st = session_->WithTransaction([&](Transaction* txn) -> Status {
+      CredCard c;
+      c.cred_lim = lim;
+      c.curr_bal = bal;
+      auto r = session_->New(txn, c);
+      ODE_RETURN_NOT_OK(r.status());
+      ref = *r;
+      return Status::OK();
+    });
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    return ref;
+  }
+
+  CredCard LoadCard(PRef<CredCard> ref) {
+    CredCard out;
+    Status st = session_->WithTransaction([&](Transaction* txn) -> Status {
+      auto c = session_->Load(txn, ref);
+      ODE_RETURN_NOT_OK(c.status());
+      out = *c;
+      return Status::OK();
+    });
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    return out;
+  }
+
+  /// One Buy in its own transaction; returns the commit/abort status.
+  Status Buy(PRef<CredCard> ref, float amount) {
+    return session_->WithTransaction([&](Transaction* txn) -> Status {
+      return session_->Invoke(txn, ref, &CredCard::Buy, amount);
+    });
+  }
+
+  Status PayBill(PRef<CredCard> ref, float amount) {
+    return session_->WithTransaction([&](Transaction* txn) -> Status {
+      return session_->Invoke(txn, ref, &CredCard::PayBill, amount);
+    });
+  }
+
+  Result<TriggerId> Activate(PRef<CredCard> ref, const std::string& name,
+                             std::vector<char> params = {}) {
+    TriggerId id;
+    Status st = session_->WithTransaction([&](Transaction* txn) -> Status {
+      auto r = session_->Activate(txn, ref, name, params);
+      ODE_RETURN_NOT_OK(r.status());
+      id = *r;
+      return Status::OK();
+    });
+    if (!st.ok()) return st;
+    return id;
+  }
+
+  Schema schema_;
+  std::unique_ptr<Session> session_;
+};
+
+// ------------------------------------------------------------ paper §4
+
+TEST_F(CredCardTest, TriggersMustBeExplicitlyActivated) {
+  PRef<CredCard> card = NewCard(1000, 0);
+  // No activation: over-limit purchase goes through untriggered.
+  ASSERT_TRUE(Buy(card, 5000).ok());
+  EXPECT_FLOAT_EQ(LoadCard(card).curr_bal, 5000);
+}
+
+TEST_F(CredCardTest, DenyCreditAbortsOverLimitPurchase) {
+  PRef<CredCard> card = NewCard(1000, 0);
+  ASSERT_TRUE(Activate(card, "DenyCredit").ok());
+
+  // Within limit: fine.
+  ASSERT_TRUE(Buy(card, 800).ok());
+  EXPECT_FLOAT_EQ(LoadCard(card).curr_bal, 800);
+
+  // Over limit: the trigger black-marks and taborts; the purchase (and
+  // the black mark, which rolls back with the transaction) are undone.
+  Status st = Buy(card, 500);
+  EXPECT_TRUE(st.IsTransactionAborted()) << st.ToString();
+  CredCard after = LoadCard(card);
+  EXPECT_FLOAT_EQ(after.curr_bal, 800);
+  EXPECT_EQ(after.black_marks, 0) << "aborted actions roll back (§5.5)";
+}
+
+TEST_F(CredCardTest, DenyCreditIsPerpetual) {
+  PRef<CredCard> card = NewCard(100, 0);
+  ASSERT_TRUE(Activate(card, "DenyCredit").ok());
+  EXPECT_TRUE(Buy(card, 500).IsTransactionAborted());
+  EXPECT_TRUE(Buy(card, 500).IsTransactionAborted())
+      << "perpetual triggers remain in force after firing";
+  EXPECT_TRUE(Buy(card, 50).ok());
+}
+
+TEST_F(CredCardTest, AutoRaiseLimitFullScenario) {
+  PRef<CredCard> card = NewCard(1000, 0);
+  ASSERT_TRUE(Activate(card, "AutoRaiseLimit", PackParams(500.0f)).ok());
+
+  // Small purchase: MoreCred() false (balance under 80% of limit).
+  ASSERT_TRUE(Buy(card, 100).ok());
+  // Large purchase: balance 900 > 0.8 * 1000 -> armed.
+  ASSERT_TRUE(Buy(card, 800).ok());
+  EXPECT_FLOAT_EQ(LoadCard(card).cred_lim, 1000) << "not fired yet";
+
+  // A bill payment satisfies relative(...): the limit rises by 500.
+  ASSERT_TRUE(PayBill(card, 50).ok());
+  EXPECT_FLOAT_EQ(LoadCard(card).cred_lim, 1500);
+}
+
+TEST_F(CredCardTest, AutoRaiseLimitIsOnceOnly) {
+  PRef<CredCard> card = NewCard(1000, 0);
+  ASSERT_TRUE(Activate(card, "AutoRaiseLimit", PackParams(500.0f)).ok());
+  ASSERT_TRUE(Buy(card, 900).ok());
+  ASSERT_TRUE(PayBill(card, 10).ok());
+  EXPECT_FLOAT_EQ(LoadCard(card).cred_lim, 1500);
+
+  // Fired once; deactivated. Another qualifying pattern changes nothing.
+  ASSERT_TRUE(Buy(card, 700).ok());
+  ASSERT_TRUE(PayBill(card, 10).ok());
+  EXPECT_FLOAT_EQ(LoadCard(card).cred_lim, 1500);
+}
+
+TEST_F(CredCardTest, RelativeAnyFuturePayBillSatisfies) {
+  // Once armed, noise events in between do not disarm (Figure 1 state 2).
+  PRef<CredCard> card = NewCard(1000, 0);
+  ASSERT_TRUE(Activate(card, "AutoRaiseLimit", PackParams(250.0f)).ok());
+  ASSERT_TRUE(Buy(card, 900).ok());  // armed
+  ASSERT_TRUE(Buy(card, 50).ok());   // noise (MoreCred not re-evaluated)
+  Status st = session_->WithTransaction([&](Transaction* txn) -> Status {
+    return session_->PostUserEvent(txn, card, "BigBuy");  // more noise
+  });
+  ASSERT_TRUE(st.ok());
+  ASSERT_TRUE(PayBill(card, 10).ok());
+  EXPECT_FLOAT_EQ(LoadCard(card).cred_lim, 1250);
+}
+
+TEST_F(CredCardTest, ExplicitDeactivation) {
+  PRef<CredCard> card = NewCard(100, 0);
+  auto id = Activate(card, "DenyCredit");
+  ASSERT_TRUE(id.ok());
+  Status st = session_->WithTransaction([&](Transaction* txn) -> Status {
+    return session_->Deactivate(txn, *id);
+  });
+  ASSERT_TRUE(st.ok());
+  EXPECT_TRUE(Buy(card, 500).ok()) << "deactivated trigger must not fire";
+}
+
+// ------------------------------------------------------------- rollback
+
+TEST_F(CredCardTest, ActivationRollsBackOnAbort) {
+  PRef<CredCard> card = NewCard(100, 0);
+  Status st = session_->WithTransaction([&](Transaction* txn) -> Status {
+    ODE_RETURN_NOT_OK(session_->Activate(txn, card, "DenyCredit").status());
+    return Status::Internal("force abort");
+  });
+  ASSERT_EQ(st.code(), StatusCode::kInternal);
+  EXPECT_TRUE(Buy(card, 500).ok())
+      << "activation from the aborted transaction must not survive";
+}
+
+TEST_F(CredCardTest, FsmStateRollsBackOnAbort) {
+  PRef<CredCard> card = NewCard(1000, 0);
+  ASSERT_TRUE(Activate(card, "AutoRaiseLimit", PackParams(500.0f)).ok());
+
+  // Arm the trigger inside a transaction that then aborts.
+  Status st = session_->WithTransaction([&](Transaction* txn) -> Status {
+    ODE_RETURN_NOT_OK(session_->Invoke(txn, card, &CredCard::Buy, 900.0f));
+    return Status::Internal("force abort");
+  });
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+
+  // The arming rolled back: a PayBill alone must not fire.
+  ASSERT_TRUE(PayBill(card, 10).ok());
+  EXPECT_FLOAT_EQ(LoadCard(card).cred_lim, 1000)
+      << "events of aborted transactions are rolled back (§5.5)";
+}
+
+TEST_F(CredCardTest, FsmStatePersistsAcrossTransactions) {
+  PRef<CredCard> card = NewCard(1000, 0);
+  ASSERT_TRUE(Activate(card, "AutoRaiseLimit", PackParams(500.0f)).ok());
+  ASSERT_TRUE(Buy(card, 900).ok());     // txn 1: arm
+  ASSERT_TRUE(PayBill(card, 10).ok());  // txn 2: fire
+  EXPECT_FLOAT_EQ(LoadCard(card).cred_lim, 1500);
+}
+
+TEST(CredCardPersistence, TriggerStateSurvivesSessionRestart) {
+  // "Ode supports global composite events — composite events whose
+  // constituent basic events may span more than one application" (§7):
+  // TriggerStates live in the database.
+  std::string path = ::testing::TempDir() + "/ode_trigger_restart.db";
+  std::remove(path.c_str());
+
+  Schema schema;
+  paper::DeclareCredCard(&schema);
+  ASSERT_TRUE(schema.Freeze().ok());
+
+  PRef<CredCard> card;
+  {
+    auto session = Session::Open(StorageKind::kMainMemory, path, &schema);
+    ASSERT_TRUE(session.ok());
+    Status st = (*session)->WithTransaction([&](Transaction* txn) -> Status {
+      CredCard c;
+      c.cred_lim = 1000;
+      auto r = (*session)->New(txn, c);
+      ODE_RETURN_NOT_OK(r.status());
+      card = *r;
+      ODE_RETURN_NOT_OK((*session)
+                            ->Activate(txn, card, "AutoRaiseLimit",
+                                       PackParams(500.0f))
+                            .status());
+      return Status::OK();
+    });
+    ASSERT_TRUE(st.ok());
+    // Arm in this "application".
+    st = (*session)->WithTransaction([&](Transaction* txn) -> Status {
+      return (*session)->Invoke(txn, card, &CredCard::Buy, 900.0f);
+    });
+    ASSERT_TRUE(st.ok());
+    ASSERT_TRUE((*session)->Close().ok());
+  }
+  {
+    // A second "application" completes the composite event.
+    auto session = Session::Open(StorageKind::kMainMemory, path, &schema);
+    ASSERT_TRUE(session.ok());
+    Status st = (*session)->WithTransaction([&](Transaction* txn) -> Status {
+      return (*session)->Invoke(txn, card, &CredCard::PayBill, 10.0f);
+    });
+    ASSERT_TRUE(st.ok());
+    float lim = 0;
+    st = (*session)->WithTransaction([&](Transaction* txn) -> Status {
+      auto c = (*session)->Load(txn, card);
+      ODE_RETURN_NOT_OK(c.status());
+      lim = c->cred_lim;
+      return Status::OK();
+    });
+    ASSERT_TRUE(st.ok());
+    EXPECT_FLOAT_EQ(lim, 1500);
+  }
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------- coupling modes
+
+class WidgetHarness {
+ public:
+  WidgetHarness(const std::string& expr, CouplingMode coupling,
+                bool perpetual,
+                std::function<Status(Widget&, TriggerFireContext&)> action =
+                    nullptr) {
+    DeclareWidget(&schema_, expr, coupling, perpetual, std::move(action));
+    Status st = schema_.Freeze();
+    ODE_CHECK(st.ok()) << st.ToString();
+    auto session = Session::Open(StorageKind::kMainMemory, "", &schema_);
+    ODE_CHECK(session.ok()) << session.status().ToString();
+    session_ = std::move(session).value();
+
+    st = session_->WithTransaction([&](Transaction* txn) -> Status {
+      auto r = session_->New(txn, Widget{});
+      ODE_RETURN_NOT_OK(r.status());
+      widget_ = *r;
+      return session_->Activate(txn, widget_, "T").status();
+    });
+    ODE_CHECK(st.ok()) << st.ToString();
+  }
+
+  Session& session() { return *session_; }
+  PRef<Widget> widget() const { return widget_; }
+
+  Widget Load() {
+    Widget out;
+    Status st = session_->WithTransaction([&](Transaction* txn) -> Status {
+      auto w = session_->Load(txn, widget_);
+      ODE_RETURN_NOT_OK(w.status());
+      out = *w;
+      return Status::OK();
+    });
+    ODE_CHECK(st.ok()) << st.ToString();
+    return out;
+  }
+
+  Status HitOnce() {
+    return session_->WithTransaction([&](Transaction* txn) -> Status {
+      return session_->Invoke(txn, widget_, &Widget::Hit);
+    });
+  }
+
+ private:
+  Schema schema_;
+  std::unique_ptr<Session> session_;
+  PRef<Widget> widget_;
+};
+
+TEST(CouplingModes, ImmediateFiresInsideTheTransaction) {
+  WidgetHarness h("after Hit", CouplingMode::kImmediate, true);
+  Status st = h.session().WithTransaction([&](Transaction* txn) -> Status {
+    ODE_RETURN_NOT_OK(h.session().Invoke(txn, h.widget(), &Widget::Hit));
+    auto w = h.session().Load(txn, h.widget());
+    ODE_RETURN_NOT_OK(w.status());
+    EXPECT_EQ(w->fires, 1) << "immediate: visible before commit";
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok());
+}
+
+TEST(CouplingModes, DeferredFiresAtCommit) {
+  WidgetHarness h("after Hit", CouplingMode::kDeferred, true);
+  Status st = h.session().WithTransaction([&](Transaction* txn) -> Status {
+    ODE_RETURN_NOT_OK(h.session().Invoke(txn, h.widget(), &Widget::Hit));
+    auto w = h.session().Load(txn, h.widget());
+    ODE_RETURN_NOT_OK(w.status());
+    EXPECT_EQ(w->fires, 0) << "end trigger must not fire at detection";
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(h.Load().fires, 1) << "end trigger fires at commit";
+}
+
+TEST(CouplingModes, DeferredDoesNotFireOnAbort) {
+  WidgetHarness h("after Hit", CouplingMode::kDeferred, true);
+  Status st = h.session().WithTransaction([&](Transaction* txn) -> Status {
+    ODE_RETURN_NOT_OK(h.session().Invoke(txn, h.widget(), &Widget::Hit));
+    return Status::Internal("force abort");
+  });
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  EXPECT_EQ(h.Load().fires, 0);
+}
+
+TEST(CouplingModes, DeferredTabortAbortsTheWholeTransaction) {
+  WidgetHarness h("after Hit", CouplingMode::kDeferred, true,
+                  [](Widget&, TriggerFireContext& ctx) -> Status {
+                    ctx.Tabort("deferred veto");
+                    return Status::OK();
+                  });
+  Status st = h.HitOnce();
+  EXPECT_TRUE(st.IsTransactionAborted()) << st.ToString();
+  EXPECT_EQ(h.Load().hits, 0) << "commit turned into rollback";
+}
+
+TEST(CouplingModes, DependentRunsAfterCommit) {
+  WidgetHarness h("after Hit", CouplingMode::kDependent, true);
+  ASSERT_TRUE(h.HitOnce().ok());
+  Widget w = h.Load();
+  EXPECT_EQ(w.hits, 1);
+  EXPECT_EQ(w.fires, 1) << "dependent action ran in a system transaction";
+}
+
+TEST(CouplingModes, DependentDiesWithAbortedTransaction) {
+  WidgetHarness h("after Hit", CouplingMode::kDependent, true);
+  Status st = h.session().WithTransaction([&](Transaction* txn) -> Status {
+    ODE_RETURN_NOT_OK(h.session().Invoke(txn, h.widget(), &Widget::Hit));
+    return Status::Internal("force abort");
+  });
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  EXPECT_EQ(h.Load().fires, 0)
+      << "dependent actions have a commit dependency on the detecting txn";
+}
+
+TEST(CouplingModes, IndependentRunsAfterCommit) {
+  WidgetHarness h("after Hit", CouplingMode::kIndependent, true);
+  ASSERT_TRUE(h.HitOnce().ok());
+  EXPECT_EQ(h.Load().fires, 1);
+}
+
+TEST(CouplingModes, IndependentSurvivesAbort) {
+  WidgetHarness h("after Hit", CouplingMode::kIndependent, true);
+  Status st = h.session().WithTransaction([&](Transaction* txn) -> Status {
+    ODE_RETURN_NOT_OK(h.session().Invoke(txn, h.widget(), &Widget::Hit));
+    return Status::Internal("force abort");
+  });
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  Widget w = h.Load();
+  EXPECT_EQ(w.hits, 0) << "the Hit itself rolled back";
+  EXPECT_EQ(w.fires, 1)
+      << "!dependent action commits even though the detecting txn aborted";
+}
+
+// ----------------------------------------------------- transaction events
+
+TEST(TxnEvents, BeforeTCompleteFiresDuringCommit) {
+  WidgetHarness h("before tcomplete", CouplingMode::kImmediate, true);
+  // The setup transaction (New + Activate) touched the object, so its own
+  // commit already posted one `before tcomplete` -> fires == 1. The Hit
+  // transaction posts the second.
+  ASSERT_TRUE(h.HitOnce().ok());
+  EXPECT_EQ(h.Load().fires, 2);
+}
+
+TEST(TxnEvents, BeforeTCompleteNotPostedOnAbort) {
+  WidgetHarness h("before tcomplete", CouplingMode::kImmediate, true);
+  Status st = h.session().WithTransaction([&](Transaction* txn) -> Status {
+    ODE_RETURN_NOT_OK(h.session().Invoke(txn, h.widget(), &Widget::Hit));
+    return Status::Internal("force abort");
+  });
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  // Only the setup transaction's commit fired the trigger; the aborted
+  // transaction posted nothing.
+  EXPECT_EQ(h.Load().fires, 1);
+}
+
+TEST(TxnEvents, BeforeTAbortEffectsRollBackButIndependentSurvives) {
+  // The §5.5 subtlety: a trigger on `before tabort` with immediate
+  // coupling has its effects rolled back with the transaction, but a
+  // !dependent trigger on the same event makes permanent changes.
+  WidgetHarness h("before tabort", CouplingMode::kIndependent, true);
+  Status st = h.session().WithTransaction([&](Transaction* txn) -> Status {
+    ODE_RETURN_NOT_OK(h.session().Invoke(txn, h.widget(), &Widget::Hit));
+    return h.session().Abort(txn).ok()
+               ? Status::TransactionAborted("explicit tabort")
+               : Status::Internal("abort failed");
+  });
+  EXPECT_TRUE(st.IsTransactionAborted());
+  Widget w = h.Load();
+  EXPECT_EQ(w.hits, 0);
+  EXPECT_EQ(w.fires, 1);
+}
+
+TEST(TxnEvents, BeforeTAbortImmediateEffectsRollBack) {
+  WidgetHarness h("before tabort", CouplingMode::kImmediate, true);
+  Status st = h.session().WithTransaction([&](Transaction* txn) -> Status {
+    ODE_RETURN_NOT_OK(h.session().Invoke(txn, h.widget(), &Widget::Hit));
+    return h.session().Abort(txn).ok()
+               ? Status::TransactionAborted("explicit tabort")
+               : Status::Internal("abort failed");
+  });
+  EXPECT_TRUE(st.IsTransactionAborted());
+  EXPECT_EQ(h.Load().fires, 0)
+      << "immediate before-tabort effects roll back with the txn";
+}
+
+// ------------------------------------------------------------- semantics
+
+TEST(Semantics, FireAtMostOncePerPosting) {
+  // Several subsequences may match at the same basic event (footnote 5);
+  // the trigger still fires exactly once per posting.
+  WidgetHarness h("after Hit || (after Ping, after Hit)",
+                  CouplingMode::kImmediate, true);
+  Status st = h.session().WithTransaction([&](Transaction* txn) -> Status {
+    ODE_RETURN_NOT_OK(h.session().Invoke(txn, h.widget(), &Widget::Ping));
+    return h.session().Invoke(txn, h.widget(), &Widget::Hit);
+  });
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(h.Load().fires, 1);
+}
+
+TEST(Semantics, PerpetualFiresOnEveryMatch) {
+  WidgetHarness h("after Hit", CouplingMode::kImmediate, true);
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(h.HitOnce().ok());
+  EXPECT_EQ(h.Load().fires, 3);
+}
+
+TEST(Semantics, OnceOnlyDeactivatesAfterFiring) {
+  WidgetHarness h("after Hit", CouplingMode::kImmediate, false);
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(h.HitOnce().ok());
+  EXPECT_EQ(h.Load().fires, 1);
+}
+
+TEST(Semantics, MaskIsolation) {
+  // "No triggers are fired until all triggers have had the basic event
+  // posted. This is to prevent the action of one trigger from affecting
+  // the mask of another trigger" (§5.4.5). Trigger A fires on Hit and
+  // sets hits to 100; trigger B's mask (hits < 10) must have been
+  // evaluated against the pre-action state, so both fire.
+  Schema schema;
+  schema.DeclareClass<Widget>("Widget")
+      .Event("after Hit")
+      .Method("Hit", &Widget::Hit)
+      .Mask("(hits<10)",
+            [](const Widget& w, MaskEvalContext&) -> Result<bool> {
+              return w.hits < 10;
+            })
+      .Trigger("A", "after Hit",
+               [](Widget& w, TriggerFireContext&) -> Status {
+                 w.hits = 100;
+                 return Status::OK();
+               },
+               CouplingMode::kImmediate, true)
+      .Trigger("B", "after Hit & (hits<10)",
+               [](Widget& w, TriggerFireContext&) -> Status {
+                 ++w.fires;
+                 return Status::OK();
+               },
+               CouplingMode::kImmediate, true);
+  ASSERT_TRUE(schema.Freeze().ok());
+  auto session = Session::Open(StorageKind::kMainMemory, "", &schema);
+  ASSERT_TRUE(session.ok());
+  Session& s = **session;
+
+  PRef<Widget> ref;
+  Status st = s.WithTransaction([&](Transaction* txn) -> Status {
+    auto r = s.New(txn, Widget{});
+    ODE_RETURN_NOT_OK(r.status());
+    ref = *r;
+    ODE_RETURN_NOT_OK(s.Activate(txn, ref, "A").status());
+    return s.Activate(txn, ref, "B").status();
+  });
+  ASSERT_TRUE(st.ok());
+  st = s.WithTransaction([&](Transaction* txn) -> Status {
+    return s.Invoke(txn, ref, &Widget::Hit);
+  });
+  ASSERT_TRUE(st.ok());
+  Widget w;
+  st = s.WithTransaction([&](Transaction* txn) -> Status {
+    auto r = s.Load(txn, ref);
+    ODE_RETURN_NOT_OK(r.status());
+    w = *r;
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(w.hits, 100) << "A fired";
+  EXPECT_EQ(w.fires, 1) << "B's mask saw the pre-action state";
+}
+
+TEST(Semantics, UserEventsMustBePostedExplicitly) {
+  WidgetHarness h("Poke", CouplingMode::kImmediate, true);
+  ASSERT_TRUE(h.HitOnce().ok());
+  EXPECT_EQ(h.Load().fires, 0) << "method events don't match user events";
+  Status st = h.session().WithTransaction([&](Transaction* txn) -> Status {
+    return h.session().PostUserEvent(txn, h.widget(), "Poke");
+  });
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(h.Load().fires, 1);
+}
+
+TEST(Semantics, UndeclaredUserEventIsRejected) {
+  WidgetHarness h("Poke", CouplingMode::kImmediate, true);
+  Status st = h.session().WithTransaction([&](Transaction* txn) -> Status {
+    return h.session().PostUserEvent(txn, h.widget(), "Nudge");
+  });
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Semantics, ImmediateCascadeDepthLimited) {
+  // A trigger whose action re-invokes the method it triggers on would
+  // recurse forever; the runtime reports the runaway instead of hanging.
+  Schema schema;
+  schema.DeclareClass<Widget>("Widget")
+      .Event("after Hit")
+      .Method("Hit", &Widget::Hit)
+      .Trigger("Loop", "after Hit",
+               [](Widget&, TriggerFireContext& ctx) -> Status {
+                 // Re-post the event through the manager directly.
+                 auto* type = ctx.triggers()->FindType("Widget");
+                 const EventDecl* decl = type->FindEvent("after Hit");
+                 return ctx.triggers()->PostEvent(ctx.txn(), ctx.anchor(),
+                                                  type, decl->symbol);
+               },
+               CouplingMode::kImmediate, true);
+  ASSERT_TRUE(schema.Freeze().ok());
+  auto session = Session::Open(StorageKind::kMainMemory, "", &schema);
+  ASSERT_TRUE(session.ok());
+  Session& s = **session;
+
+  PRef<Widget> ref;
+  Status st = s.WithTransaction([&](Transaction* txn) -> Status {
+    auto r = s.New(txn, Widget{});
+    ODE_RETURN_NOT_OK(r.status());
+    ref = *r;
+    return s.Activate(txn, ref, "Loop").status();
+  });
+  ASSERT_TRUE(st.ok());
+  st = s.WithTransaction([&](Transaction* txn) -> Status {
+    return s.Invoke(txn, ref, &Widget::Hit);
+  });
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  EXPECT_NE(st.message().find("depth"), std::string::npos);
+}
+
+// ------------------------------------------------------------ fast path
+
+TEST(FastPath, ObjectsWithoutTriggersSkipTheIndex) {
+  WidgetHarness h("after Hit", CouplingMode::kImmediate, true);
+  // A second widget with no activations.
+  PRef<Widget> plain;
+  Status st = h.session().WithTransaction([&](Transaction* txn) -> Status {
+    auto r = h.session().New(txn, Widget{});
+    ODE_RETURN_NOT_OK(r.status());
+    plain = *r;
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok());
+
+  uint64_t skips_before = h.session().triggers()->stats().fast_path_skips;
+  st = h.session().WithTransaction([&](Transaction* txn) -> Status {
+    return h.session().Invoke(txn, plain, &Widget::Hit);
+  });
+  ASSERT_TRUE(st.ok());
+  EXPECT_GT(h.session().triggers()->stats().fast_path_skips, skips_before)
+      << "footnote 3: no index lookup for objects without triggers";
+}
+
+// ----------------------------------------------------------- inheritance
+
+struct GoldCard : CredCard {
+  int32_t perks = 0;
+
+  void Upgrade() { ++perks; }
+
+  void Encode(Encoder& enc) const {
+    CredCard::Encode(enc);  // base fields first (required convention)
+    enc.PutI32(perks);
+  }
+  static Result<GoldCard> Decode(Decoder& dec) {
+    auto base = CredCard::Decode(dec);
+    if (!base.ok()) return base.status();
+    GoldCard g;
+    static_cast<CredCard&>(g) = *base;
+    ODE_RETURN_NOT_OK(dec.GetI32(&g.perks));
+    return g;
+  }
+};
+
+class InheritanceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    paper::DeclareCredCard(&schema_);
+    schema_.DeclareClass<GoldCard, CredCard>("GoldCard", "CredCard")
+        .Event("after Upgrade")
+        .Method("Upgrade", &GoldCard::Upgrade)
+        .Trigger("PerkWatch", "after Upgrade, after Buy",
+                 [](GoldCard& g, TriggerFireContext&) -> Status {
+                   g.perks += 10;
+                   return Status::OK();
+                 },
+                 CouplingMode::kImmediate, true);
+    ASSERT_TRUE(schema_.Freeze().ok());
+    auto session = Session::Open(StorageKind::kMainMemory, "", &schema_);
+    ASSERT_TRUE(session.ok());
+    session_ = std::move(session).value();
+
+    Status st = session_->WithTransaction([&](Transaction* txn) -> Status {
+      GoldCard g;
+      g.cred_lim = 1000;
+      auto r = session_->New(txn, g);
+      ODE_RETURN_NOT_OK(r.status());
+      gold_ = *r;
+      return Status::OK();
+    });
+    ASSERT_TRUE(st.ok());
+  }
+
+  Schema schema_;
+  std::unique_ptr<Session> session_;
+  PRef<GoldCard> gold_;
+};
+
+TEST_F(InheritanceTest, BaseTriggerWorksOnDerivedObject) {
+  // Events "will also be posted to objects of classes derived from
+  // class CredCard" (§4).
+  Status st = session_->WithTransaction([&](Transaction* txn) -> Status {
+    return session_
+        ->Activate(txn, gold_, "AutoRaiseLimit", PackParams(500.0f))
+        .status();
+  });
+  ASSERT_TRUE(st.ok());
+
+  st = session_->WithTransaction([&](Transaction* txn) -> Status {
+    return session_->Invoke(txn, gold_, &CredCard::Buy, 900.0f);
+  });
+  ASSERT_TRUE(st.ok());
+  st = session_->WithTransaction([&](Transaction* txn) -> Status {
+    return session_->Invoke(txn, gold_, &CredCard::PayBill, 10.0f);
+  });
+  ASSERT_TRUE(st.ok());
+
+  st = session_->WithTransaction([&](Transaction* txn) -> Status {
+    auto g = session_->Load(txn, gold_);
+    ODE_RETURN_NOT_OK(g.status());
+    EXPECT_FLOAT_EQ(g->cred_lim, 1500);
+    EXPECT_EQ(g->perks, 0) << "derived fields untouched (no slicing)";
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok());
+}
+
+TEST_F(InheritanceTest, DerivedEventsDoNotDisturbBaseTriggers) {
+  // "A base class trigger should not see the events of a derived class"
+  // (§5.4.3): an Upgrade between arming and PayBill must not matter.
+  Status st = session_->WithTransaction([&](Transaction* txn) -> Status {
+    return session_
+        ->Activate(txn, gold_, "AutoRaiseLimit", PackParams(500.0f))
+        .status();
+  });
+  ASSERT_TRUE(st.ok());
+  st = session_->WithTransaction([&](Transaction* txn) -> Status {
+    ODE_RETURN_NOT_OK(session_->Invoke(txn, gold_, &CredCard::Buy, 900.0f));
+    ODE_RETURN_NOT_OK(session_->Invoke(txn, gold_, &GoldCard::Upgrade));
+    return session_->Invoke(txn, gold_, &CredCard::PayBill, 10.0f);
+  });
+  ASSERT_TRUE(st.ok());
+  st = session_->WithTransaction([&](Transaction* txn) -> Status {
+    auto g = session_->Load(txn, gold_);
+    ODE_RETURN_NOT_OK(g.status());
+    EXPECT_FLOAT_EQ(g->cred_lim, 1500);
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok());
+}
+
+TEST_F(InheritanceTest, DerivedTriggerUsesBaseAndDerivedEvents) {
+  Status st = session_->WithTransaction([&](Transaction* txn) -> Status {
+    return session_->Activate(txn, gold_, "PerkWatch").status();
+  });
+  ASSERT_TRUE(st.ok());
+  st = session_->WithTransaction([&](Transaction* txn) -> Status {
+    ODE_RETURN_NOT_OK(session_->Invoke(txn, gold_, &GoldCard::Upgrade));
+    return session_->Invoke(txn, gold_, &CredCard::Buy, 10.0f);
+  });
+  ASSERT_TRUE(st.ok());
+  st = session_->WithTransaction([&](Transaction* txn) -> Status {
+    auto g = session_->Load(txn, gold_);
+    ODE_RETURN_NOT_OK(g.status());
+    EXPECT_EQ(g->perks, 11);  // 1 from Upgrade, 10 from the trigger
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok());
+}
+
+// --------------------------------------------------------- multi-object
+
+TEST(MultiObject, TriggersAreRootedAtObjects) {
+  Schema schema;
+  paper::DeclareCredCard(&schema);
+  ASSERT_TRUE(schema.Freeze().ok());
+  auto session = Session::Open(StorageKind::kMainMemory, "", &schema);
+  ASSERT_TRUE(session.ok());
+  Session& s = **session;
+
+  PRef<CredCard> a, b;
+  Status st = s.WithTransaction([&](Transaction* txn) -> Status {
+    CredCard c;
+    c.cred_lim = 100;
+    auto ra = s.New(txn, c);
+    ODE_RETURN_NOT_OK(ra.status());
+    a = *ra;
+    auto rb = s.New(txn, c);
+    ODE_RETURN_NOT_OK(rb.status());
+    b = *rb;
+    // Only `a` gets DenyCredit.
+    return s.Activate(txn, a, "DenyCredit").status();
+  });
+  ASSERT_TRUE(st.ok());
+
+  st = s.WithTransaction([&](Transaction* txn) -> Status {
+    return s.Invoke(txn, a, &CredCard::Buy, 500.0f);
+  });
+  EXPECT_TRUE(st.IsTransactionAborted());
+
+  st = s.WithTransaction([&](Transaction* txn) -> Status {
+    return s.Invoke(txn, b, &CredCard::Buy, 500.0f);
+  });
+  EXPECT_TRUE(st.ok()) << "b has no trigger: the purchase goes through";
+}
+
+TEST(MultiObject, FreeDeactivatesRemainingTriggers) {
+  Schema schema;
+  paper::DeclareCredCard(&schema);
+  ASSERT_TRUE(schema.Freeze().ok());
+  auto session = Session::Open(StorageKind::kMainMemory, "", &schema);
+  ASSERT_TRUE(session.ok());
+  Session& s = **session;
+
+  PRef<CredCard> card;
+  Status st = s.WithTransaction([&](Transaction* txn) -> Status {
+    auto r = s.New(txn, CredCard{});
+    ODE_RETURN_NOT_OK(r.status());
+    card = *r;
+    return s.Activate(txn, card, "DenyCredit").status();
+  });
+  ASSERT_TRUE(st.ok());
+  st = s.WithTransaction([&](Transaction* txn) -> Status {
+    return s.Free(txn, card);
+  });
+  ASSERT_TRUE(st.ok());
+  st = s.WithTransaction([&](Transaction* txn) -> Status {
+    EXPECT_EQ(s.triggers()->ActiveCount(txn, card.oid()), 0);
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok());
+}
+
+}  // namespace
+}  // namespace ode

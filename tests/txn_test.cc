@@ -1,0 +1,195 @@
+// Transaction-manager tests: lifecycle, hook ordering, abort-from-hook,
+// outcome tracking, system transactions.
+
+#include "txn/transaction_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/mm_storage_manager.h"
+
+namespace ode {
+namespace {
+
+class TxnTest : public ::testing::Test {
+ protected:
+  TxnTest() : store_(""), txns_(&store_, &locks_) {
+    Status st = store_.Open();
+    EXPECT_TRUE(st.ok());
+  }
+  ~TxnTest() override {
+    Status st = store_.Close();
+    EXPECT_TRUE(st.ok());
+  }
+
+  MMStorageManager store_;
+  LockManager locks_;
+  TransactionManager txns_;
+};
+
+TEST_F(TxnTest, BeginCommit) {
+  auto txn = txns_.Begin();
+  ASSERT_TRUE(txn.ok());
+  TxnId id = (*txn)->id();
+  EXPECT_TRUE((*txn)->active());
+  EXPECT_FALSE((*txn)->system());
+  ASSERT_TRUE(txns_.Commit(*txn).ok());
+  EXPECT_EQ(txns_.Outcome(id), TxnState::kCommitted);
+  EXPECT_EQ(txns_.commits(), 1u);
+}
+
+TEST_F(TxnTest, BeginAbort) {
+  auto txn = txns_.Begin();
+  ASSERT_TRUE(txn.ok());
+  TxnId id = (*txn)->id();
+  ASSERT_TRUE(txns_.Abort(*txn).ok());
+  EXPECT_EQ(txns_.Outcome(id), TxnState::kAborted);
+  EXPECT_EQ(txns_.aborts(), 1u);
+}
+
+TEST_F(TxnTest, DistinctMonotonicIds) {
+  auto a = txns_.Begin();
+  auto b = txns_.Begin();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_LT((*a)->id(), (*b)->id());
+  ASSERT_TRUE(txns_.Commit(*a).ok());
+  ASSERT_TRUE(txns_.Commit(*b).ok());
+}
+
+TEST_F(TxnTest, SystemTransactionsFlagged) {
+  auto txn = txns_.Begin(/*system=*/true);
+  ASSERT_TRUE(txn.ok());
+  EXPECT_TRUE((*txn)->system());
+  ASSERT_TRUE(txns_.Commit(*txn).ok());
+}
+
+TEST_F(TxnTest, CommitReleasesLocks) {
+  auto txn = txns_.Begin();
+  ASSERT_TRUE(txn.ok());
+  ASSERT_TRUE(locks_.Acquire((*txn)->id(), Oid(5), LockMode::kExclusive).ok());
+  ASSERT_TRUE(txns_.Commit(*txn).ok());
+  // A new transaction can take the lock immediately.
+  auto other = txns_.Begin();
+  ASSERT_TRUE(other.ok());
+  EXPECT_TRUE(
+      locks_.Acquire((*other)->id(), Oid(5), LockMode::kExclusive).ok());
+  ASSERT_TRUE(txns_.Commit(*other).ok());
+}
+
+TEST_F(TxnTest, HookOrderOnCommit) {
+  std::vector<std::string> order;
+  txns_.SetPreCommitHook([&](Transaction*) {
+    order.push_back("pre-commit");
+    return Status::OK();
+  });
+  txns_.SetPostCommitHook([&](Transaction*) {
+    order.push_back("post-commit");
+    return Status::OK();
+  });
+  txns_.SetPreAbortHook([&](Transaction*) {
+    order.push_back("pre-abort");
+    return Status::OK();
+  });
+  txns_.SetPostAbortHook([&](Transaction*) {
+    order.push_back("post-abort");
+    return Status::OK();
+  });
+
+  auto txn = txns_.Begin();
+  ASSERT_TRUE(txn.ok());
+  ASSERT_TRUE(txns_.Commit(*txn).ok());
+  EXPECT_EQ(order, (std::vector<std::string>{"pre-commit", "post-commit"}));
+}
+
+TEST_F(TxnTest, HookOrderOnAbort) {
+  std::vector<std::string> order;
+  txns_.SetPreAbortHook([&](Transaction*) {
+    order.push_back("pre-abort");
+    return Status::OK();
+  });
+  txns_.SetPostAbortHook([&](Transaction*) {
+    order.push_back("post-abort");
+    return Status::OK();
+  });
+  auto txn = txns_.Begin();
+  ASSERT_TRUE(txn.ok());
+  ASSERT_TRUE(txns_.Abort(*txn).ok());
+  EXPECT_EQ(order, (std::vector<std::string>{"pre-abort", "post-abort"}));
+}
+
+TEST_F(TxnTest, NonExplicitAbortSkipsPreAbortHook) {
+  bool pre_abort_ran = false;
+  txns_.SetPreAbortHook([&](Transaction*) {
+    pre_abort_ran = true;
+    return Status::OK();
+  });
+  auto txn = txns_.Begin();
+  ASSERT_TRUE(txn.ok());
+  ASSERT_TRUE(txns_.Abort(*txn, /*explicit_request=*/false).ok());
+  EXPECT_FALSE(pre_abort_ran)
+      << "before-tabort events only fire for explicit abort requests (§6)";
+}
+
+TEST_F(TxnTest, PreCommitAbortTurnsCommitIntoRollback) {
+  bool vetoed = false;
+  txns_.SetPreCommitHook([&](Transaction* txn) -> Status {
+    if (vetoed) return Status::OK();  // only veto the first commit
+    vetoed = true;
+    txn->RequestAbort("deferred veto");
+    return Status::TransactionAborted("deferred veto");
+  });
+  auto txn = txns_.Begin();
+  ASSERT_TRUE(txn.ok());
+  TxnId id = (*txn)->id();
+  // The transaction's write must roll back.
+  auto oid = store_.Allocate(id, Slice(std::string("doomed")));
+  ASSERT_TRUE(oid.ok());
+
+  Status st = txns_.Commit(*txn);
+  EXPECT_TRUE(st.IsTransactionAborted());
+  EXPECT_EQ(txns_.Outcome(id), TxnState::kAborted);
+
+  auto check = txns_.Begin();
+  ASSERT_TRUE(check.ok());
+  EXPECT_FALSE(store_.Exists((*check)->id(), *oid));
+  ASSERT_TRUE(txns_.Commit(*check).ok());
+}
+
+TEST_F(TxnTest, PostCommitHookMayStartSystemTransactions) {
+  // Models detached trigger actions: the post-commit hook runs work in a
+  // fresh system transaction.
+  Oid written;
+  txns_.SetPostCommitHook([&](Transaction* txn) -> Status {
+    if (txn->system()) return Status::OK();  // don't recurse
+    ODE_ASSIGN_OR_RETURN(Transaction * sys, txns_.Begin(/*system=*/true));
+    ODE_ASSIGN_OR_RETURN(
+        Oid oid, store_.Allocate(sys->id(), Slice(std::string("detached"))));
+    written = oid;
+    return txns_.Commit(sys);
+  });
+
+  auto txn = txns_.Begin();
+  ASSERT_TRUE(txn.ok());
+  ASSERT_TRUE(txns_.Commit(*txn).ok());
+
+  auto check = txns_.Begin();
+  ASSERT_TRUE(check.ok());
+  EXPECT_TRUE(store_.Exists((*check)->id(), written));
+  ASSERT_TRUE(txns_.Commit(*check).ok());
+}
+
+TEST_F(TxnTest, OutcomeOfUnknownTxnIsActive) {
+  EXPECT_EQ(txns_.Outcome(9999), TxnState::kActive);
+}
+
+TEST_F(TxnTest, RequestAbortRecordsReason) {
+  auto txn = txns_.Begin();
+  ASSERT_TRUE(txn.ok());
+  (*txn)->RequestAbort("because tests");
+  EXPECT_TRUE((*txn)->abort_requested());
+  EXPECT_EQ((*txn)->abort_reason(), "because tests");
+  ASSERT_TRUE(txns_.Abort(*txn).ok());
+}
+
+}  // namespace
+}  // namespace ode
