@@ -53,7 +53,12 @@ inline void DeclareCounter(Schema* schema, int num_triggers,
                            CouplingMode coupling = CouplingMode::kImmediate,
                            bool masked = false) {
   auto def = schema->DeclareClass<Counter>("Counter");
-  def.Event("after Hit").Event("Poke").Method("Hit", &Counter::Hit);
+  def.Event("after Hit")
+      .Event("Poke")
+      .Event("Poke2")
+      .Event("Never")  // declared but never posted: lets burst benchmarks
+                       // advance machines without completing them
+      .Method("Hit", &Counter::Hit);
   if (masked) {
     def.Mask("Positive()",
              [](const Counter& c, MaskEvalContext&) -> Result<bool> {
@@ -72,13 +77,16 @@ inline void DeclareCounter(Schema* schema, int num_triggers,
 /// A Session over a volatile main-memory store with the Counter schema,
 /// one Counter object, and `active` of the declared triggers activated.
 struct CounterHarness {
+  /// `session_options` lets benchmarks sweep Session knobs (trigger cache
+  /// capacities, index buckets); auto_cluster is forced off regardless.
   CounterHarness(int declared, int active,
                  const std::string& expr = "after Hit",
                  CouplingMode coupling = CouplingMode::kImmediate,
-                 bool masked = false) {
+                 bool masked = false,
+                 Session::Options session_options = Session::Options()) {
     DeclareCounter(&schema, declared, expr, coupling, masked);
     BENCH_CHECK_OK(schema.Freeze());
-    Session::Options options;
+    Session::Options options = session_options;
     options.auto_cluster = false;
     auto s = Session::Open(StorageKind::kMainMemory, "", &schema, options);
     BENCH_CHECK_OK(s.status());

@@ -82,10 +82,20 @@ void BM_HistoryScan_AtHistoryLength(benchmark::State& state) {
 BENCHMARK(BM_HistoryScan_AtHistoryLength)->Arg(0)->Arg(100)->Arg(1000);
 
 /// Full stack: one member-function event posted to an object with N
-/// active triggers, inside a long transaction.
+/// active triggers, inside a long transaction. range(1) sweeps the
+/// per-transaction posting caches: 1 = on (state decoded once, advanced
+/// in memory, written back at commit), 0 = off (per-event
+/// read/decode/encode/write — the pre-caching behavior).
 void BM_PostEvent_ActiveTriggers(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));
-  CounterHarness h(n, n);
+  bool cached = state.range(1) != 0;
+  Session::Options opts;
+  if (!cached) {
+    opts.trigger_state_cache_entries = 0;
+    opts.trigger_lookup_cache_entries = 0;
+  }
+  CounterHarness h(n, n, "after Hit", CouplingMode::kImmediate,
+                   /*masked=*/false, opts);
   auto txn = h.session->Begin();
   BENCH_CHECK_OK(txn.status());
   for (auto _ : state) {
@@ -95,8 +105,11 @@ void BM_PostEvent_ActiveTriggers(benchmark::State& state) {
   state.counters["triggers"] = n;
   state.counters["fsm_moves"] = static_cast<double>(
       h.session->triggers()->stats().fsm_moves.load());
+  state.counters["state_cache_hits"] = static_cast<double>(
+      h.session->triggers()->stats().state_cache_hits.load());
 }
-BENCHMARK(BM_PostEvent_ActiveTriggers)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+BENCHMARK(BM_PostEvent_ActiveTriggers)
+    ->ArgsProduct({{1, 4, 16, 64}, {0, 1}});
 
 /// FSM advance vs machine size: sequences of length N give N+1 states.
 void BM_FsmMove_VsStates(benchmark::State& state) {

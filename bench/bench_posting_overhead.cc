@@ -98,6 +98,56 @@ void BM_PersistentCall_MaskedTrigger(benchmark::State& state) {
 }
 BENCHMARK(BM_PersistentCall_MaskedTrigger);
 
+/// Event bursts against the per-transaction caches: N active perpetual
+/// triggers detecting "Poke, Poke2, Never", 8 alternating Poke/Poke2
+/// postings per transaction — every posting advances every machine (the
+/// in-progress prefix toggles) but no machine ever completes, so the
+/// measurement is pure detection overhead, not action work. range(0) =
+/// N triggers; range(1) = 1 enables the posting caches, 0 disables them
+/// (the pre-caching per-event read/decode/encode/write path). The
+/// reads_per_post counter is the headline number: with caches the bucket
+/// and TriggerState reads (and the write-backs) happen once per
+/// transaction instead of once per posting.
+void BM_PostBurst_CachedStates(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  bool cached = state.range(1) != 0;
+  constexpr int kEventsPerTxn = 8;
+  Session::Options opts;
+  if (!cached) {
+    opts.trigger_state_cache_entries = 0;
+    opts.trigger_lookup_cache_entries = 0;
+  }
+  CounterHarness h(/*declared=*/n, /*active=*/n, "Poke, Poke2, Never",
+                   CouplingMode::kImmediate, /*masked=*/false, opts);
+  uint64_t posts = 0;
+  uint64_t reads_before = h.session->db()->store()->stats().object_reads;
+  uint64_t writes_before = h.session->db()->store()->stats().object_writes;
+  for (auto _ : state) {
+    auto txn = h.session->Begin();
+    BENCH_CHECK_OK(txn.status());
+    for (int i = 0; i < kEventsPerTxn; ++i) {
+      BENCH_CHECK_OK(h.session->PostUserEvent(
+          *txn, h.counter, (i % 2) == 0 ? "Poke" : "Poke2"));
+      ++posts;
+    }
+    BENCH_CHECK_OK(h.session->Commit(*txn));
+  }
+  StorageStats ss = h.session->db()->store()->stats();
+  state.counters["triggers"] = n;
+  state.counters["reads_per_post"] =
+      posts ? static_cast<double>(ss.object_reads - reads_before) / posts : 0;
+  state.counters["writes_per_post"] =
+      posts ? static_cast<double>(ss.object_writes - writes_before) / posts
+            : 0;
+  const auto& ts = h.session->triggers()->stats();
+  state.counters["state_cache_hits"] =
+      static_cast<double>(ts.state_cache_hits.load());
+  state.counters["state_writebacks"] =
+      static_cast<double>(ts.state_writebacks.load());
+}
+BENCHMARK(BM_PostBurst_CachedStates)
+    ->ArgsProduct({{1, 4, 8, 16}, {0, 1}});
+
 }  // namespace
 }  // namespace bench
 }  // namespace ode

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Runs the posting-overhead benchmark (experiment E1) and records the
+# results as JSON for regression tracking. Usage:
+#
+#   scripts/run_bench.sh [build-dir] [output-json]
+#
+# Defaults: build dir `build`, output `BENCH_posting.json` in the repo
+# root. The build must already exist (cmake -B build -S . && cmake
+# --build build -j).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+out_json="${2:-$repo_root/BENCH_posting.json}"
+
+bench_bin="$build_dir/bench/bench_posting_overhead"
+if [[ ! -x "$bench_bin" ]]; then
+  echo "error: $bench_bin not built (run: cmake -B build -S . && cmake --build build -j)" >&2
+  exit 1
+fi
+
+"$bench_bin" \
+  --benchmark_format=json \
+  --benchmark_out="$out_json" \
+  --benchmark_out_format=json
+
+echo "wrote $out_json"

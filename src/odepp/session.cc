@@ -9,8 +9,12 @@ namespace ode {
 Session::Session(std::unique_ptr<Database> db, Schema* schema,
                  Options options)
     : db_(std::move(db)), schema_(schema), options_(options) {
-  triggers_ = std::make_unique<TriggerManager>(db_.get(),
-                                               options.trigger_index_buckets);
+  TriggerManager::Options topts;
+  topts.index_buckets = options.trigger_index_buckets;
+  topts.state_cache_capacity = options.trigger_state_cache_entries;
+  topts.lookup_cache_capacity = options.trigger_lookup_cache_entries;
+  topts.lock_stripes = options.trigger_lock_stripes;
+  triggers_ = std::make_unique<TriggerManager>(db_.get(), topts);
   for (const TypeDescriptor* type : schema_->descriptors()) {
     triggers_->RegisterType(type);
   }

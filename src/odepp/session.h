@@ -51,6 +51,16 @@ class Session {
     /// Bucket fanout of the persistent object->triggers index when first
     /// created in a database (see bench_ablation).
     size_t trigger_index_buckets = 64;
+    /// Max decoded TriggerStates cached per transaction (0 disables the
+    /// cache and restores per-event read/decode/encode/write). See
+    /// TriggerManager::Options::state_cache_capacity.
+    size_t trigger_state_cache_entries = 1024;
+    /// Max index lookups cached per transaction (0 disables). See
+    /// TriggerManager::Options::lookup_cache_capacity.
+    size_t trigger_lookup_cache_entries = 1024;
+    /// Lock-stripe count for the trigger manager's shared maps. See
+    /// TriggerManager::Options::lock_stripes.
+    size_t trigger_lock_stripes = 16;
   };
 
   /// Opens a database using the given (frozen) schema.

@@ -571,6 +571,7 @@ Result<Oid> DiskStorageManager::Allocate(TxnId txn, Slice data) {
 
 Status DiskStorageManager::Read(TxnId txn, Oid oid, std::vector<char>* out) {
   std::lock_guard<std::mutex> lock(mu_);
+  ++object_reads_;
   if (Workspace* ws = FindWorkspace(txn)) {
     auto it = ws->entries.find(oid);
     if (it != ws->entries.end()) {
@@ -586,6 +587,7 @@ Status DiskStorageManager::Read(TxnId txn, Oid oid, std::vector<char>* out) {
 
 Status DiskStorageManager::Write(TxnId txn, Oid oid, Slice data) {
   std::lock_guard<std::mutex> lock(mu_);
+  ++object_writes_;
   Workspace* ws = FindWorkspace(txn);
   if (ws == nullptr) return Status::Internal("disk store: unknown txn");
   auto it = ws->entries.find(oid);
@@ -767,6 +769,8 @@ StorageStats DiskStorageManager::stats() const {
     s.buffer_misses = pool_->misses();
   }
   if (wal_ != nullptr) s.wal_records = wal_->records_appended();
+  s.object_reads = object_reads_;
+  s.object_writes = object_writes_;
   return s;
 }
 

@@ -152,6 +152,8 @@ class DiskStorageManager final : public StorageManager {
   std::unordered_map<TxnId, Workspace> workspaces_;
   uint64_t next_oid_ = 2;  // oid 1 is reserved for the roots directory
   uint32_t page_count_ = 1;  // page 0 is the file header
+  uint64_t object_reads_ = 0;
+  uint64_t object_writes_ = 0;
 };
 
 }  // namespace ode

@@ -91,6 +91,7 @@ Result<Oid> MMStorageManager::Allocate(TxnId txn, Slice data) {
 
 Status MMStorageManager::Read(TxnId txn, Oid oid, std::vector<char>* out) {
   std::lock_guard<std::mutex> lock(mu_);
+  ++object_reads_;
   if (Workspace* ws = FindWorkspace(txn)) {
     auto it = ws->entries.find(oid);
     if (it != ws->entries.end()) {
@@ -111,6 +112,7 @@ Status MMStorageManager::Read(TxnId txn, Oid oid, std::vector<char>* out) {
 
 Status MMStorageManager::Write(TxnId txn, Oid oid, Slice data) {
   std::lock_guard<std::mutex> lock(mu_);
+  ++object_writes_;
   Workspace* ws = FindWorkspace(txn);
   if (ws == nullptr) return Status::Internal("mm store: unknown txn");
   auto it = ws->entries.find(oid);
@@ -265,6 +267,8 @@ StorageStats MMStorageManager::stats() const {
     (void)oid;
     s.bytes += image.size();
   }
+  s.object_reads = object_reads_;
+  s.object_writes = object_writes_;
   return s;
 }
 

@@ -58,6 +58,8 @@ class MMStorageManager final : public StorageManager {
   std::map<std::string, Oid> roots_;
   std::unordered_map<TxnId, Workspace> workspaces_;
   uint64_t next_oid_ = 1;
+  uint64_t object_reads_ = 0;
+  uint64_t object_writes_ = 0;
 };
 
 }  // namespace ode

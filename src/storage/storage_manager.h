@@ -24,6 +24,11 @@ struct StorageStats {
   uint64_t wal_records = 0;
   uint64_t buffer_hits = 0;
   uint64_t buffer_misses = 0;
+  /// Object-granularity Read()/Write() call counts, independent of the
+  /// page/buffer machinery. Benchmark E1 uses these to count storage
+  /// round-trips per event posting.
+  uint64_t object_reads = 0;
+  uint64_t object_writes = 0;
 };
 
 /// Abstract storage manager — the layer EOS (disk) and Dali (main-memory)

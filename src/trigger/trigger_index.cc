@@ -14,6 +14,10 @@ constexpr const char* kIndexRoot = "ode.trigger_index";
 
 Result<std::vector<Oid>> TriggerIndex::LoadDirectory(Transaction* txn,
                                                      bool create) {
+  {
+    std::lock_guard<std::mutex> lock(dir_mu_);
+    if (!cached_dir_.empty()) return cached_dir_;
+  }
   auto root = db_->GetRoot(txn, kIndexRoot);
   if (root.ok()) {
     std::vector<char> image;
@@ -27,6 +31,15 @@ Result<std::vector<Oid>> TriggerIndex::LoadDirectory(Transaction* txn,
       uint64_t oid;
       ODE_RETURN_NOT_OK(dec.GetU64(&oid));
       buckets.push_back(Oid(oid));
+    }
+    // Cache only directories whose creation is durable: either it
+    // pre-existed this process, or its creating transaction committed.
+    // (A load by the still-active creating transaction must not poison
+    // the cache — the creation could yet roll back.)
+    std::lock_guard<std::mutex> lock(dir_mu_);
+    if (creator_txn_ == 0 ||
+        db_->txns()->Outcome(creator_txn_) == TxnState::kCommitted) {
+      cached_dir_ = buckets;
     }
     return buckets;
   }
@@ -47,6 +60,10 @@ Result<std::vector<Oid>> TriggerIndex::LoadDirectory(Transaction* txn,
   for (Oid b : buckets) dir.PutU64(b.value());
   ODE_ASSIGN_OR_RETURN(Oid dir_oid, db_->NewObject(txn, Slice(dir.buffer())));
   ODE_RETURN_NOT_OK(db_->SetRoot(txn, kIndexRoot, dir_oid));
+  {
+    std::lock_guard<std::mutex> lock(dir_mu_);
+    creator_txn_ = txn->id();
+  }
   return buckets;
 }
 

@@ -1,6 +1,7 @@
 #ifndef ODE_TRIGGER_TRIGGER_INDEX_H_
 #define ODE_TRIGGER_TRIGGER_INDEX_H_
 
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -57,6 +58,17 @@ class TriggerIndex {
 
   Database* db_;
   size_t default_buckets_;
+
+  // The directory (the bucket-Oid array) is immutable once the creating
+  // transaction commits — the fanout is fixed for the database's
+  // lifetime — so it is cached process-wide after the first committed
+  // load, saving a root probe plus an object read on every index
+  // operation. The cache is only populated once the creating transaction
+  // (if it ran in this process) is known to have committed, so an
+  // aborted first-use never leaves a stale directory behind.
+  mutable std::mutex dir_mu_;
+  std::vector<Oid> cached_dir_;
+  TxnId creator_txn_ = 0;
 };
 
 }  // namespace ode

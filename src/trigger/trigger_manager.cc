@@ -2,12 +2,30 @@
 
 #include <algorithm>
 
+#include "common/coding.h"
 #include "common/logging.h"
 
 namespace ode {
 
-TriggerManager::TriggerManager(Database* db, size_t index_buckets)
-    : db_(db), index_(db, index_buckets) {
+namespace {
+
+/// Monitoring-only counter bump: the Stats counters sit on the posting
+/// hot path and synchronize nothing, so relaxed ordering suffices.
+inline void Bump(std::atomic<uint64_t>& counter, uint64_t n = 1) {
+  counter.fetch_add(n, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+TriggerManager::TriggerManager(Database* db, Options options)
+    : db_(db), options_(options), index_(db, options.index_buckets) {
+  size_t stripes = std::max<size_t>(1, options_.lock_stripes);
+  count_shards_.reserve(stripes);
+  ctx_shards_.reserve(stripes);
+  for (size_t i = 0; i < stripes; ++i) {
+    count_shards_.push_back(std::make_unique<CountShard>());
+    ctx_shards_.push_back(std::make_unique<CtxShard>());
+  }
   TransactionManager* txns = db_->txns();
   txns->SetPreCommitHook([this](Transaction* t) { return PreCommit(t); });
   txns->SetPreAbortHook([this](Transaction* t) { return PreAbort(t); });
@@ -16,20 +34,27 @@ TriggerManager::TriggerManager(Database* db, size_t index_buckets)
 }
 
 void TriggerManager::RegisterType(const TypeDescriptor* type) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(types_mu_);
   types_[type->name()] = type;
 }
 
 const TypeDescriptor* TriggerManager::FindType(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(types_mu_);
   auto it = types_.find(name);
   return it == types_.end() ? nullptr : it->second;
 }
 
-TriggerManager::TxnCtx* TriggerManager::GetCtx(TxnId id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto& slot = contexts_[id];
+TriggerManager::TxnCtx* TriggerManager::GetCtx(Transaction* txn) {
+  // Fast path: the context pointer is cached in the transaction itself,
+  // so repeated posts skip both the stripe lock and the hash lookup.
+  if (void* scratch = txn->trigger_scratch()) {
+    return static_cast<TxnCtx*>(scratch);
+  }
+  CtxShard& shard = CtxShardFor(txn->id());
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto& slot = shard.contexts[txn->id()];
   if (slot == nullptr) slot = std::make_unique<TxnCtx>();
+  txn->set_trigger_scratch(slot.get());
   return slot.get();
 }
 
@@ -39,19 +64,28 @@ Status TriggerManager::PrimeActiveCounts(Transaction* txn) {
     (void)trig;
     ++counts[obj];
   }));
-  std::lock_guard<std::mutex> lock(mu_);
-  committed_counts_ = std::move(counts);
+  for (auto& shard : count_shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->counts.clear();
+  }
+  for (const auto& [obj, count] : counts) {
+    CountShard& shard = CountShardFor(obj);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.counts[obj] = count;
+  }
   return Status::OK();
 }
 
+int64_t TriggerManager::CommittedCount(Oid obj) {
+  CountShard& shard = CountShardFor(obj);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.counts.find(obj);
+  return it == shard.counts.end() ? 0 : it->second;
+}
+
 int64_t TriggerManager::ActiveCount(Transaction* txn, Oid obj) {
-  int64_t count = 0;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = committed_counts_.find(obj);
-    if (it != committed_counts_.end()) count = it->second;
-  }
-  TxnCtx* ctx = GetCtx(txn->id());
+  int64_t count = CommittedCount(obj);
+  TxnCtx* ctx = GetCtx(txn);
   auto dit = ctx->count_delta.find(obj);
   if (dit != ctx->count_delta.end()) count += dit->second;
   auto lit = ctx->local_counts.find(obj);
@@ -62,7 +96,7 @@ int64_t TriggerManager::ActiveCount(Transaction* txn, Oid obj) {
 Result<const TypeDescriptor*> TriggerManager::ResolveMetatype(
     Transaction* txn, uint32_t metatype_id) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::mutex> lock(types_mu_);
     auto it = metatype_cache_.find(metatype_id);
     if (it != metatype_cache_.end()) return it->second;
   }
@@ -73,9 +107,29 @@ Result<const TypeDescriptor*> TriggerManager::ResolveMetatype(
                             "' has persistent triggers but is not "
                             "registered in this program");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(types_mu_);
   metatype_cache_.emplace(metatype_id, type);
   return type;
+}
+
+Result<std::vector<Oid>> TriggerManager::CachedLookup(Transaction* txn,
+                                                      TxnCtx* ctx, Oid obj) {
+  if (options_.lookup_cache_capacity > 0) {
+    auto it = ctx->lookup_cache.find(obj);
+    if (it != ctx->lookup_cache.end()) {
+      Bump(stats_.lookup_cache_hits);
+      return it->second;
+    }
+  }
+  Bump(stats_.lookup_cache_misses);
+  ODE_ASSIGN_OR_RETURN(std::vector<Oid> ids, index_.Lookup(txn, obj));
+  if (options_.lookup_cache_capacity > 0) {
+    if (ctx->lookup_cache.size() >= options_.lookup_cache_capacity) {
+      ctx->lookup_cache.erase(ctx->lookup_cache.begin());
+    }
+    ctx->lookup_cache.emplace(obj, ids);
+  }
+  return ids;
 }
 
 Result<TriggerId> TriggerManager::Activate(Transaction* txn, Oid obj,
@@ -101,7 +155,7 @@ Result<TriggerId> TriggerManager::ActivateGroup(
   ODE_ASSIGN_OR_RETURN(uint32_t metatype_id,
                        db_->MetatypeId(txn, defining->name()));
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::mutex> lock(types_mu_);
     metatype_cache_.emplace(metatype_id, defining);
   }
 
@@ -114,12 +168,14 @@ Result<TriggerId> TriggerManager::ActivateGroup(
   state.anchors = anchors;
 
   ODE_ASSIGN_OR_RETURN(Oid id, db_->NewObject(txn, Slice(state.Encode())));
-  TxnCtx* ctx = GetCtx(txn->id());
+  TxnCtx* ctx = GetCtx(txn);
   for (Oid anchor : anchors) {
     ODE_RETURN_NOT_OK(index_.Insert(txn, anchor, id));
     ++ctx->count_delta[anchor];
+    // The cached lookup (if any) no longer reflects the index bucket.
+    InvalidateLookup(ctx, anchor);
   }
-  ++stats_.activations;
+  Bump(stats_.activations);
   return id;
 }
 
@@ -132,7 +188,7 @@ Result<uint64_t> TriggerManager::ActivateLocal(
     return Status::NotFound("class " + obj_type->name() +
                             " has no trigger '" + trigger_name + "'");
   }
-  TxnCtx* ctx = GetCtx(txn->id());
+  TxnCtx* ctx = GetCtx(txn);
   LocalTrigger local;
   local.id = ctx->next_local_id++;
   local.obj = obj;
@@ -142,17 +198,17 @@ Result<uint64_t> TriggerManager::ActivateLocal(
   local.params = params.ToVector();
   ctx->local_triggers.push_back(std::move(local));
   ++ctx->local_counts[obj];
-  ++stats_.activations;
+  Bump(stats_.activations);
   return ctx->local_triggers.back().id;
 }
 
 Status TriggerManager::DeactivateLocal(Transaction* txn, uint64_t local_id) {
-  TxnCtx* ctx = GetCtx(txn->id());
+  TxnCtx* ctx = GetCtx(txn);
   for (LocalTrigger& local : ctx->local_triggers) {
     if (local.id == local_id && !local.dead) {
       local.dead = true;
       --ctx->local_counts[local.obj];
-      ++stats_.deactivations;
+      Bump(stats_.deactivations);
       return Status::OK();
     }
   }
@@ -161,6 +217,16 @@ Status TriggerManager::DeactivateLocal(Transaction* txn, uint64_t local_id) {
 }
 
 Status TriggerManager::Deactivate(Transaction* txn, TriggerId id) {
+  TxnCtx* ctx = GetCtx(txn);
+  auto it = ctx->state_cache.find(id);
+  if (it != ctx->state_cache.end()) {
+    if (it->second.deleted) {
+      return Status::NotFound("trigger already deactivated");
+    }
+    // Deactivate from the cached copy — no storage round-trip needed.
+    TriggerState state = it->second.state;
+    return DeactivateInternal(txn, id, state);
+  }
   std::vector<char> image;
   ODE_RETURN_NOT_OK(db_->ReadObjectForUpdate(txn, id, &image));
   ODE_ASSIGN_OR_RETURN(TriggerState state, TriggerState::Decode(image));
@@ -169,18 +235,27 @@ Status TriggerManager::Deactivate(Transaction* txn, TriggerId id) {
 
 Status TriggerManager::DeactivateInternal(Transaction* txn, TriggerId id,
                                           const TriggerState& state) {
-  TxnCtx* ctx = GetCtx(txn->id());
+  TxnCtx* ctx = GetCtx(txn);
   for (Oid anchor : state.anchors) {
     ODE_RETURN_NOT_OK(index_.Remove(txn, anchor, id));
     --ctx->count_delta[anchor];
+    InvalidateLookup(ctx, anchor);
+  }
+  // Mark any cached copy dead so pre-commit write-back skips it (the
+  // persistent object is freed below).
+  auto it = ctx->state_cache.find(id);
+  if (it != ctx->state_cache.end()) {
+    it->second.deleted = true;
+    it->second.dirty = false;
   }
   ODE_RETURN_NOT_OK(db_->FreeObject(txn, id));
-  ++stats_.deactivations;
+  Bump(stats_.deactivations);
   return Status::OK();
 }
 
 Status TriggerManager::DeactivateAll(Transaction* txn, Oid obj) {
-  ODE_ASSIGN_OR_RETURN(std::vector<Oid> ids, index_.Lookup(txn, obj));
+  TxnCtx* ctx = GetCtx(txn);
+  ODE_ASSIGN_OR_RETURN(std::vector<Oid> ids, CachedLookup(txn, ctx, obj));
   for (Oid id : ids) {
     ODE_RETURN_NOT_OK(Deactivate(txn, id));
   }
@@ -188,20 +263,36 @@ Status TriggerManager::DeactivateAll(Transaction* txn, Oid obj) {
 }
 
 bool TriggerManager::IsActive(Transaction* txn, TriggerId id) {
+  TxnCtx* ctx = GetCtx(txn);
+  auto it = ctx->state_cache.find(id);
+  if (it != ctx->state_cache.end()) return !it->second.deleted;
   return db_->ObjectExists(txn, id);
 }
 
 Result<std::vector<TriggerManager::ActiveTrigger>> TriggerManager::ListActive(
     Transaction* txn, Oid obj) {
-  ODE_ASSIGN_OR_RETURN(std::vector<Oid> ids, index_.Lookup(txn, obj));
+  TxnCtx* ctx = GetCtx(txn);
+  ODE_ASSIGN_OR_RETURN(std::vector<Oid> ids, CachedLookup(txn, ctx, obj));
   std::vector<ActiveTrigger> out;
   out.reserve(ids.size());
   for (Oid id : ids) {
-    std::vector<char> image;
-    ODE_RETURN_NOT_OK(db_->ReadObject(txn, id, &image));
-    ODE_ASSIGN_OR_RETURN(TriggerState state, TriggerState::Decode(image));
-    ODE_ASSIGN_OR_RETURN(const TypeDescriptor* defining,
-                         ResolveMetatype(txn, state.trigobjtype));
+    // Prefer the transaction's cached (possibly advanced, uncommitted)
+    // copy over the stored image.
+    TriggerState state;
+    const TypeDescriptor* defining = nullptr;
+    auto cit = ctx->state_cache.find(id);
+    if (cit != ctx->state_cache.end()) {
+      if (cit->second.deleted) continue;
+      state = cit->second.state;
+      defining = cit->second.defining;
+    } else {
+      std::vector<char> image;
+      ODE_RETURN_NOT_OK(db_->ReadObject(txn, id, &image));
+      ODE_ASSIGN_OR_RETURN(state, TriggerState::Decode(image));
+    }
+    if (defining == nullptr) {
+      ODE_ASSIGN_OR_RETURN(defining, ResolveMetatype(txn, state.trigobjtype));
+    }
     const TriggerInfo& info = defining->triggers()[state.triggernum];
     ActiveTrigger entry;
     entry.id = id;
@@ -216,21 +307,56 @@ Result<std::vector<TriggerManager::ActiveTrigger>> TriggerManager::ListActive(
   return out;
 }
 
+Status TriggerManager::EvictOneCachedState(Transaction* txn, TxnCtx* ctx) {
+  auto victim = ctx->state_cache.begin();
+  if (victim == ctx->state_cache.end()) return Status::OK();
+  if (victim->second.dirty && !victim->second.deleted) {
+    ODE_RETURN_NOT_OK(db_->WriteObject(txn, victim->first,
+                                       Slice(victim->second.state.Encode())));
+    Bump(stats_.state_writebacks);
+  }
+  ctx->state_cache.erase(victim);
+  return Status::OK();
+}
+
+Status TriggerManager::FlushCachedStates(Transaction* txn, TxnCtx* ctx) {
+  Encoder enc;
+  for (auto& [id, cached] : ctx->state_cache) {
+    if (!cached.dirty || cached.deleted) continue;
+    enc.Clear();
+    cached.state.EncodeTo(enc);
+    ODE_RETURN_NOT_OK(db_->WriteObject(txn, id, Slice(enc.buffer())));
+    cached.dirty = false;
+    Bump(stats_.state_writebacks);
+  }
+  return Status::OK();
+}
+
 Status TriggerManager::PostEvent(Transaction* txn, Oid obj,
                                  const TypeDescriptor* obj_type,
                                  Symbol symbol, Slice event_args) {
   (void)obj_type;  // passed for API parity with the paper's PostEvent
-  ++stats_.posts;
+  Bump(stats_.posts);
+  TxnCtx* ctx = GetCtx(txn);
   // Footnote 3: "If the object has no active triggers, no lookup is
   // required since the persistent object's control information will
   // indicate that."
-  if (ActiveCount(txn, obj) == 0) {
-    ++stats_.fast_path_skips;
+  //
+  // Committed counts come from this object's count stripe (locked);
+  // count_delta/local_counts belong to this transaction's context, which
+  // only this thread mutates — no cross-thread unlocked reads remain.
+  int64_t active = CommittedCount(obj);
+  bool have_persistent = active != 0 || ctx->count_delta.count(obj) != 0;
+  auto dit = ctx->count_delta.find(obj);
+  if (dit != ctx->count_delta.end()) active += dit->second;
+  auto lit = ctx->local_counts.find(obj);
+  if (lit != ctx->local_counts.end()) active += lit->second;
+  if (active == 0) {
+    Bump(stats_.fast_path_skips);
     return Status::OK();
   }
 
   std::vector<char> args = event_args.ToVector();
-  TxnCtx* ctx = GetCtx(txn->id());
 
   struct Ready {
     const TypeDescriptor* type;
@@ -241,39 +367,63 @@ Status TriggerManager::PostEvent(Transaction* txn, Oid obj,
   };
   std::vector<Ready> ready;
 
-  // --- persistent triggers: index lookup + locked FSM advance (§5.4.5).
-  bool have_persistent = false;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    have_persistent = committed_counts_.count(obj) != 0;
-  }
-  have_persistent = have_persistent || ctx->count_delta.count(obj) != 0;
+  // --- persistent triggers: cached index lookup + FSM advance (§5.4.5).
   std::vector<Oid> trig_ids;
   if (have_persistent) {
-    ODE_ASSIGN_OR_RETURN(trig_ids, index_.Lookup(txn, obj));
+    ODE_ASSIGN_OR_RETURN(trig_ids, CachedLookup(txn, ctx, obj));
   }
 
   for (Oid trig_id : trig_ids) {
-    // Advancing the FSM writes the TriggerState, so take the write lock
-    // up front (§5.1.3: triggers turn read access into write access).
-    std::vector<char> image;
-    ODE_RETURN_NOT_OK(db_->ReadObjectForUpdate(txn, trig_id, &image));
-    ODE_ASSIGN_OR_RETURN(TriggerState state, TriggerState::Decode(image));
-    ODE_ASSIGN_OR_RETURN(const TypeDescriptor* defining,
-                         ResolveMetatype(txn, state.trigobjtype));
-    if (state.triggernum >= defining->triggers().size()) {
+    // First touch in this transaction: read under the write lock
+    // (§5.1.3: triggers turn read access into write access — the lock
+    // must be exclusive even though the advance is deferred), decode,
+    // and cache. Later events reuse the decoded copy: no storage read,
+    // no decode, no per-event write-back.
+    TriggerState uncached_state;
+    TriggerState* state = nullptr;
+    const TypeDescriptor* defining = nullptr;
+    CachedState* cached = nullptr;
+    auto cit = ctx->state_cache.find(trig_id);
+    if (cit != ctx->state_cache.end()) {
+      if (cit->second.deleted) continue;  // deactivated earlier in txn
+      Bump(stats_.state_cache_hits);
+      cached = &cit->second;
+      state = &cached->state;
+      defining = cached->defining;
+    } else {
+      Bump(stats_.state_cache_misses);
+      std::vector<char> image;
+      ODE_RETURN_NOT_OK(db_->ReadObjectForUpdate(txn, trig_id, &image));
+      ODE_ASSIGN_OR_RETURN(uncached_state, TriggerState::Decode(image));
+      ODE_ASSIGN_OR_RETURN(defining,
+                           ResolveMetatype(txn, uncached_state.trigobjtype));
+      if (options_.state_cache_capacity > 0) {
+        if (ctx->state_cache.size() >= options_.state_cache_capacity) {
+          ODE_RETURN_NOT_OK(EvictOneCachedState(txn, ctx));
+        }
+        CachedState entry;
+        entry.state = std::move(uncached_state);
+        entry.defining = defining;
+        cached = &ctx->state_cache[trig_id];
+        *cached = std::move(entry);
+        state = &cached->state;
+      } else {
+        state = &uncached_state;
+      }
+    }
+    if (state->triggernum >= defining->triggers().size()) {
       return Status::Corruption("trigger number out of range for " +
                                 defining->name());
     }
-    const TriggerInfo& info = defining->triggers()[state.triggernum];
+    const TriggerInfo& info = defining->triggers()[state->triggernum];
 
     // Step (a): follow the transition, if any (unknown events ignored).
-    int32_t next = info.fsm.Move(state.statenum, symbol);
-    ++stats_.fsm_moves;
+    int32_t next = info.fsm.Move(state->statenum, symbol);
+    Bump(stats_.fsm_moves);
 
     // Step (b): evaluate masks until the machine quiesces.
-    MaskEvalContext mask_ctx(txn, db_, state.trigobj, state.params,
-                             state.anchors, args);
+    MaskEvalContext mask_ctx(txn, db_, state->trigobj, state->params,
+                             state->anchors, args);
     int evaluations = 0;
     auto resolved = info.fsm.ResolveMasks(
         next,
@@ -289,20 +439,25 @@ Status TriggerManager::PostEvent(Transaction* txn, Oid obj,
         },
         &evaluations);
     if (!resolved.ok()) return resolved.status();
-    stats_.mask_evaluations += evaluations;
+    Bump(stats_.mask_evaluations, evaluations);
     next = resolved.value();
 
-    if (next != state.statenum) {
-      state.statenum = next;
-      ODE_RETURN_NOT_OK(
-          db_->WriteObject(txn, trig_id, Slice(state.Encode())));
+    if (next != state->statenum) {
+      state->statenum = next;
+      if (cached != nullptr) {
+        // Deferred write-back: encoded and written once at pre-commit.
+        cached->dirty = true;
+      } else {
+        ODE_RETURN_NOT_OK(
+            db_->WriteObject(txn, trig_id, Slice(state->Encode())));
+      }
     }
 
     // Step (c): accept check. Firing is delayed until every trigger has
     // seen the event, "to prevent the action of one trigger from
     // affecting the mask of another trigger" (§5.4.5).
     if (info.fsm.Accepting(next)) {
-      ready.push_back(Ready{defining, &info, trig_id, 0, std::move(state)});
+      ready.push_back(Ready{defining, &info, trig_id, 0, *state});
     }
   }
 
@@ -318,7 +473,7 @@ Status TriggerManager::PostEvent(Transaction* txn, Oid obj,
         ctx->local_triggers[i].type->triggers()[ctx->local_triggers[i]
                                                     .triggernum];
     int32_t next = info.fsm.Move(ctx->local_triggers[i].statenum, symbol);
-    ++stats_.fsm_moves;
+    Bump(stats_.fsm_moves);
     std::vector<Oid> anchors{ctx->local_triggers[i].obj};
     std::vector<char> params = ctx->local_triggers[i].params;
     MaskEvalContext mask_ctx(txn, db_, anchors.front(), params, anchors,
@@ -335,7 +490,7 @@ Status TriggerManager::PostEvent(Transaction* txn, Oid obj,
         },
         &evaluations);
     if (!resolved.ok()) return resolved.status();
-    stats_.mask_evaluations += evaluations;
+    Bump(stats_.mask_evaluations, evaluations);
     LocalTrigger& local = ctx->local_triggers[i];
     local.statenum = resolved.value();
 
@@ -356,7 +511,7 @@ Status TriggerManager::PostEvent(Transaction* txn, Oid obj,
   if (ready.empty()) return Status::OK();
 
   for (Ready& r : ready) {
-    ++stats_.fires;
+    Bump(stats_.fires);
     PendingAction action;
     action.type = r.type;
     action.triggernum = r.state.triggernum;
@@ -416,7 +571,7 @@ Status TriggerManager::RunAction(Transaction* txn,
   if (!info.action) {
     return Status::Internal("trigger " + info.name + " has no action");
   }
-  TxnCtx* ctx = GetCtx(txn->id());
+  TxnCtx* ctx = GetCtx(txn);
   ++ctx->processing_depth;
   Status st = info.action(fire_ctx);
   --ctx->processing_depth;
@@ -428,7 +583,7 @@ Status TriggerManager::RunAction(Transaction* txn,
 }
 
 bool TriggerManager::InAction(Transaction* txn) {
-  return GetCtx(txn->id())->processing_depth > 0;
+  return GetCtx(txn)->processing_depth > 0;
 }
 
 void TriggerManager::NoteAccess(Transaction* txn, Oid obj,
@@ -444,7 +599,7 @@ void TriggerManager::NoteAccess(Transaction* txn, Oid obj,
     }
   }
   if (!interested) return;
-  TxnCtx* ctx = GetCtx(txn->id());
+  TxnCtx* ctx = GetCtx(txn);
   for (const auto& [oid, type] : ctx->txn_event_objects) {
     (void)type;
     if (oid == obj) return;  // already listed
@@ -453,7 +608,7 @@ void TriggerManager::NoteAccess(Transaction* txn, Oid obj,
 }
 
 Status TriggerManager::PostTxnEvent(Transaction* txn, EventKind kind) {
-  TxnCtx* ctx = GetCtx(txn->id());
+  TxnCtx* ctx = GetCtx(txn);
   // Snapshot: posting may run actions that access more objects.
   auto objects = ctx->txn_event_objects;
   const char* name =
@@ -468,7 +623,7 @@ Status TriggerManager::PostTxnEvent(Transaction* txn, EventKind kind) {
 }
 
 Status TriggerManager::PreCommit(Transaction* txn) {
-  TxnCtx* ctx = GetCtx(txn->id());
+  TxnCtx* ctx = GetCtx(txn);
   bool posted_tcomplete = false;
   int rounds = 0;
   // "Immediately before posting before tcomplete events, commit
@@ -497,7 +652,11 @@ Status TriggerManager::PreCommit(Transaction* txn) {
     }
     break;
   }
-  return Status::OK();
+  // All trigger processing has quiesced: write the dirty cached
+  // TriggerStates back, once each, while the transaction (and its
+  // exclusive locks, held since first touch) is still live. An abort
+  // never reaches this point — its dirty states die with the context.
+  return FlushCachedStates(txn, ctx);
 }
 
 Status TriggerManager::PreAbort(Transaction* txn) {
@@ -510,19 +669,28 @@ Status TriggerManager::PreAbort(Transaction* txn) {
 
 Status TriggerManager::PostCommit(Transaction* txn) {
   std::vector<PendingAction> dependent, independent;
+  std::unique_ptr<TxnCtx> ctx;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = contexts_.find(txn->id());
-    if (it != contexts_.end()) {
-      for (const auto& [oid, delta] : it->second->count_delta) {
-        int64_t& slot = committed_counts_[oid];
-        slot += delta;
-        if (slot <= 0) committed_counts_.erase(oid);
-      }
-      dependent = std::move(it->second->dependent_list);
-      independent = std::move(it->second->independent_list);
-      contexts_.erase(it);  // also deallocates local triggers
+    CtxShard& shard = CtxShardFor(txn->id());
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.contexts.find(txn->id());
+    if (it != shard.contexts.end()) {
+      ctx = std::move(it->second);
+      shard.contexts.erase(it);  // also deallocates local triggers
     }
+  }
+  txn->set_trigger_scratch(nullptr);
+  if (ctx != nullptr) {
+    for (const auto& [oid, delta] : ctx->count_delta) {
+      if (delta == 0) continue;
+      CountShard& shard = CountShardFor(oid);
+      std::lock_guard<std::mutex> lock(shard.mu);
+      int64_t& slot = shard.counts[oid];
+      slot += delta;
+      if (slot <= 0) shard.counts.erase(oid);
+    }
+    dependent = std::move(ctx->dependent_list);
+    independent = std::move(ctx->independent_list);
   }
   ODE_RETURN_NOT_OK(RunDetached(dependent, "dependent"));
   return RunDetached(independent, "!dependent");
@@ -530,15 +698,22 @@ Status TriggerManager::PostCommit(Transaction* txn) {
 
 Status TriggerManager::PostAbort(Transaction* txn) {
   std::vector<PendingAction> independent;
+  std::unique_ptr<TxnCtx> ctx;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = contexts_.find(txn->id());
-    if (it != contexts_.end()) {
+    CtxShard& shard = CtxShardFor(txn->id());
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.contexts.find(txn->id());
+    if (it != shard.contexts.end()) {
       // count_delta discarded: activations/deactivations rolled back.
-      independent = std::move(it->second->independent_list);
-      contexts_.erase(it);
+      // Dirty cached TriggerStates are discarded with the context — they
+      // were never written back, so the store still holds the
+      // pre-transaction images.
+      ctx = std::move(it->second);
+      shard.contexts.erase(it);
     }
   }
+  txn->set_trigger_scratch(nullptr);
+  if (ctx != nullptr) independent = std::move(ctx->independent_list);
   // "The function handling transaction abort ... checks if the
   // !dependent list is non-empty after finishing all the tasks it
   // normally performs for roll-back" (§5.5).

@@ -115,8 +115,36 @@ class TriggerFireContext {
 ///
 /// One TriggerManager serves one Database; it registers itself as the
 /// database's transaction hooks at construction.
+///
+/// Posting hot path (see docs/architecture.md "Posting hot path"): each
+/// transaction keeps a decoded-TriggerState cache (first touch decodes
+/// once, later events advance the in-memory copy, dirty states are
+/// written back once at pre-commit and discarded on abort) and an
+/// index-lookup cache (one bucket load per anchor object per txn,
+/// invalidated by Activate/Deactivate). Shared state — committed
+/// active-trigger counts and the per-transaction context map — is
+/// striped across `Options::lock_stripes` mutexes so concurrent sessions
+/// posting to disjoint objects don't serialize on one lock.
 class TriggerManager {
  public:
+  struct Options {
+    /// Bucket fanout of the persistent object->triggers index when it is
+    /// first created in a database.
+    size_t index_buckets = 64;
+    /// Max decoded TriggerStates cached per transaction; 0 disables the
+    /// cache (every event re-reads, re-decodes and re-writes its states,
+    /// the pre-caching behavior). Eviction writes dirty victims back.
+    size_t state_cache_capacity = 1024;
+    /// Max object->trigger-oids index lookups cached per transaction;
+    /// 0 disables (every posting reloads the index bucket).
+    size_t lookup_cache_capacity = 1024;
+    /// Stripe count for the committed-count and txn-context locks.
+    size_t lock_stripes = 16;
+  };
+
+  /// Monitoring counters. Maintained with relaxed atomics — they are
+  /// monitoring-only and sit on the posting hot path, so they impose no
+  /// ordering; read them only for reporting, not for synchronization.
   struct Stats {
     std::atomic<uint64_t> posts{0};            // PostEvent calls
     std::atomic<uint64_t> fast_path_skips{0};  // short-circuited posts
@@ -125,9 +153,17 @@ class TriggerManager {
     std::atomic<uint64_t> fires{0};
     std::atomic<uint64_t> activations{0};
     std::atomic<uint64_t> deactivations{0};
+    // Posting-path cache effectiveness (see Options).
+    std::atomic<uint64_t> state_cache_hits{0};
+    std::atomic<uint64_t> state_cache_misses{0};
+    std::atomic<uint64_t> lookup_cache_hits{0};
+    std::atomic<uint64_t> lookup_cache_misses{0};
+    std::atomic<uint64_t> state_writebacks{0};  // deferred encode+writes
   };
 
-  explicit TriggerManager(Database* db, size_t index_buckets = 64);
+  explicit TriggerManager(Database* db, Options options);
+  explicit TriggerManager(Database* db, size_t index_buckets = 64)
+      : TriggerManager(db, MakeOptions(index_buckets)) {}
 
   TriggerManager(const TriggerManager&) = delete;
   TriggerManager& operator=(const TriggerManager&) = delete;
@@ -243,8 +279,25 @@ class TriggerManager {
     bool dead = false;
   };
 
+  /// A TriggerState decoded once for this transaction. Events advance
+  /// the in-memory copy and set `dirty`; the encode+write round-trip
+  /// happens once, at pre-commit (or at eviction), instead of per event.
+  /// The exclusive lock was taken when the entry was created (first
+  /// touch — §5.1.3: triggers turn read access into write access), so
+  /// the cached copy can never be stale: no other transaction can touch
+  /// the object until we commit or abort.
+  struct CachedState {
+    TriggerState state;
+    const TypeDescriptor* defining = nullptr;  // resolved metatype
+    bool dirty = false;
+    bool deleted = false;  // deactivated in this txn; skip write-back
+  };
+
   /// Per-transaction trigger context (discarded at txn end — which is
   /// also what deallocates local triggers, as the paper prescribes).
+  /// Owned by the ctx-shard map; reached lock-free through the owning
+  /// Transaction's trigger_scratch() slot. Only the transaction's own
+  /// thread may touch a context's fields.
   struct TxnCtx {
     std::vector<PendingAction> end_list;
     std::vector<PendingAction> dependent_list;
@@ -254,12 +307,65 @@ class TriggerManager {
     std::unordered_map<Oid, int64_t, OidHash> count_delta;
     std::vector<LocalTrigger> local_triggers;
     std::unordered_map<Oid, int64_t, OidHash> local_counts;
+    /// Decoded-TriggerState cache, keyed by TriggerState oid.
+    std::unordered_map<Oid, CachedState, OidHash> state_cache;
+    /// anchor object -> TriggerState oids, as returned by the index.
+    std::unordered_map<Oid, std::vector<Oid>, OidHash> lookup_cache;
     uint64_t next_local_id = 1;
     int fire_depth = 0;
     int processing_depth = 0;  // any trigger action on the stack
   };
 
-  TxnCtx* GetCtx(TxnId id);
+  /// A stripe of the committed object->active-trigger-count map.
+  struct CountShard {
+    std::mutex mu;
+    std::unordered_map<Oid, int64_t, OidHash> counts;
+  };
+
+  /// A stripe of the per-transaction context map. The mutex guards the
+  /// map structure only; the pointed-to TxnCtx objects are single-owner
+  /// (see TxnCtx).
+  struct CtxShard {
+    std::mutex mu;
+    std::unordered_map<TxnId, std::unique_ptr<TxnCtx>> contexts;
+  };
+
+  static Options MakeOptions(size_t index_buckets) {
+    Options o;
+    o.index_buckets = index_buckets;
+    return o;
+  }
+
+  CountShard& CountShardFor(Oid obj) {
+    return *count_shards_[OidHash{}(obj) % count_shards_.size()];
+  }
+  CtxShard& CtxShardFor(TxnId id) {
+    return *ctx_shards_[id % ctx_shards_.size()];
+  }
+
+  TxnCtx* GetCtx(Transaction* txn);
+
+  /// Committed active-trigger count for obj (0 if none).
+  int64_t CommittedCount(Oid obj);
+
+  /// Index lookup through the per-transaction cache.
+  Result<std::vector<Oid>> CachedLookup(Transaction* txn, TxnCtx* ctx,
+                                        Oid obj);
+
+  /// Drops the cached lookup for an object whose trigger set changed
+  /// (Activate/Deactivate in this transaction).
+  void InvalidateLookup(TxnCtx* ctx, Oid obj) {
+    ctx->lookup_cache.erase(obj);
+  }
+
+  /// Encodes and writes every dirty, live cached TriggerState. Runs at
+  /// the end of pre-commit; aborts skip it, so dirty states are simply
+  /// discarded with the context.
+  Status FlushCachedStates(Transaction* txn, TxnCtx* ctx);
+
+  /// Makes room in the state cache by writing back and dropping one
+  /// entry (called when the cache is at capacity).
+  Status EvictOneCachedState(Transaction* txn, TxnCtx* ctx);
 
   Result<const TypeDescriptor*> ResolveMetatype(Transaction* txn,
                                                 uint32_t metatype_id);
@@ -284,13 +390,20 @@ class TriggerManager {
                      const char* what);
 
   Database* db_;
+  Options options_;
   TriggerIndex index_;
 
-  mutable std::mutex mu_;
+  /// Guards the type registry and metatype cache only (cold paths: type
+  /// registration and first-time metatype resolution).
+  mutable std::mutex types_mu_;
   std::unordered_map<std::string, const TypeDescriptor*> types_;
   std::unordered_map<uint32_t, const TypeDescriptor*> metatype_cache_;
-  std::unordered_map<TxnId, std::unique_ptr<TxnCtx>> contexts_;
-  std::unordered_map<Oid, int64_t, OidHash> committed_counts_;
+
+  /// Striped replacements for the former single `mu_`: committed counts
+  /// keyed by anchor Oid, transaction contexts keyed by TxnId. Sessions
+  /// posting to disjoint objects touch disjoint stripes.
+  std::vector<std::unique_ptr<CountShard>> count_shards_;
+  std::vector<std::unique_ptr<CtxShard>> ctx_shards_;
 
   Stats stats_;
 

@@ -6,6 +6,11 @@ namespace ode {
 
 std::vector<char> TriggerState::Encode() const {
   Encoder enc;
+  EncodeTo(enc);
+  return enc.Release();
+}
+
+void TriggerState::EncodeTo(Encoder& enc) const {
   enc.PutU32(triggernum);
   enc.PutU64(trigobj.value());
   enc.PutI32(statenum);
@@ -13,7 +18,6 @@ std::vector<char> TriggerState::Encode() const {
   enc.PutBytes(params);
   enc.PutVarint(anchors.size());
   for (Oid a : anchors) enc.PutU64(a.value());
-  return enc.Release();
 }
 
 Result<TriggerState> TriggerState::Decode(Slice image) {

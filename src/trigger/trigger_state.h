@@ -11,6 +11,8 @@
 
 namespace ode {
 
+class Encoder;
+
 /// Handle to an activated trigger: the Oid of its persistent TriggerState
 /// record — exactly the paper's `typedef persistent TriggerState*
 /// TriggerId` (§5.4.1).
@@ -46,6 +48,9 @@ struct TriggerState {
   std::vector<Oid> anchors;
 
   std::vector<char> Encode() const;
+  /// Appends the encoding to `enc` — lets the pre-commit write-back loop
+  /// reuse one Encoder across all dirty states.
+  void EncodeTo(Encoder& enc) const;
   static Result<TriggerState> Decode(Slice image);
 };
 

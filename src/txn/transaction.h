@@ -41,6 +41,15 @@ class Transaction {
   bool abort_requested() const { return abort_requested_; }
   const std::string& abort_reason() const { return abort_reason_; }
 
+  /// Opaque per-transaction scratch slot owned by the trigger runtime.
+  /// Set once by the TriggerManager on first use and cleared when the
+  /// transaction's trigger context is destroyed (post-commit/post-abort
+  /// hooks). A transaction is driven by one thread at a time, so the
+  /// slot needs no synchronization; it exists so the event-posting hot
+  /// path can reach its context without a map lookup under a lock.
+  void* trigger_scratch() const { return trigger_scratch_; }
+  void set_trigger_scratch(void* p) { trigger_scratch_ = p; }
+
  private:
   friend class TransactionManager;
 
@@ -49,6 +58,7 @@ class Transaction {
   TxnState state_ = TxnState::kActive;
   bool abort_requested_ = false;
   std::string abort_reason_;
+  void* trigger_scratch_ = nullptr;
 };
 
 }  // namespace ode

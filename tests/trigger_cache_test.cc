@@ -1,0 +1,337 @@
+// Posting hot-path cache tests: per-transaction decoded-TriggerState and
+// index-lookup caches (write-back once at commit, discard on abort,
+// invalidation by Activate/Deactivate) and the sharded TriggerManager
+// under concurrent sessions. The multi-threaded cases are the ones meant
+// to run under -DODE_TSAN=ON.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "odepp/session.h"
+
+namespace ode {
+namespace {
+
+struct Cell {
+  int64_t fires = 0;
+
+  void Encode(Encoder& enc) const { enc.PutI64(fires); }
+  static Result<Cell> Decode(Decoder& dec) {
+    Cell c;
+    ODE_RETURN_NOT_OK(dec.GetI64(&c.fires));
+    return c;
+  }
+};
+
+void DeclareCell(Schema* schema) {
+  schema->DeclareClass<Cell>("Cell")
+      .Event("Poke")
+      .Event("E1")
+      .Event("E2")
+      .Trigger("OnPoke", "Poke",
+               [](Cell& c, TriggerFireContext&) -> Status {
+                 ++c.fires;
+                 return Status::OK();
+               },
+               CouplingMode::kImmediate, /*perpetual=*/true)
+      // Leading any* so a stray E2 before the E1 doesn't kill the
+      // machine — the test below posts E2 first on purpose.
+      .Trigger("OnSequence", "any*, E1, any*, E2",
+               [](Cell& c, TriggerFireContext&) -> Status {
+                 ++c.fires;
+                 return Status::OK();
+               },
+               CouplingMode::kImmediate, /*perpetual=*/true);
+}
+
+class TriggerCacheTest : public ::testing::Test {
+ protected:
+  void Open(Session::Options options) {
+    DeclareCell(&schema_);
+    ASSERT_TRUE(schema_.Freeze().ok());
+    options.auto_cluster = false;
+    auto s = Session::Open(StorageKind::kMainMemory, "", &schema_, options);
+    ASSERT_TRUE(s.ok()) << s.status().ToString();
+    s_ = std::move(s).value();
+  }
+  void Open() { Open(Session::Options()); }
+
+  Result<PRef<Cell>> NewCell() {
+    PRef<Cell> ref;
+    ODE_RETURN_NOT_OK(s_->WithTransaction([&](Transaction* txn) -> Status {
+      ODE_ASSIGN_OR_RETURN(ref, s_->New(txn, Cell{}));
+      return Status::OK();
+    }));
+    return ref;
+  }
+
+  int64_t Fires(PRef<Cell> ref) {
+    int64_t out = -1;
+    Status st = s_->WithTransaction([&](Transaction* txn) -> Status {
+      ODE_ASSIGN_OR_RETURN(Cell c, s_->Load(txn, ref));
+      out = c.fires;
+      return Status::OK();
+    });
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    return out;
+  }
+
+  Schema schema_;
+  std::unique_ptr<Session> s_;
+};
+
+// Activate -> post -> deactivate -> post inside ONE transaction: the
+// lookup cache must be invalidated in both directions (a cached "no
+// triggers" result must not hide the new activation; a cached trigger
+// list must not resurrect the deactivated one).
+TEST_F(TriggerCacheTest, InTxnActivateDeactivateInvalidateLookupCache) {
+  Open();
+  auto ref = NewCell();
+  ASSERT_TRUE(ref.ok());
+  Status st = s_->WithTransaction([&](Transaction* txn) -> Status {
+    // Prime the lookup cache with "no active triggers".
+    ODE_RETURN_NOT_OK(s_->PostUserEvent(txn, *ref, "Poke"));
+    ODE_ASSIGN_OR_RETURN(TriggerId id, s_->Activate(txn, *ref, "OnPoke"));
+    ODE_RETURN_NOT_OK(s_->PostUserEvent(txn, *ref, "Poke"));  // fires
+    ODE_RETURN_NOT_OK(s_->Deactivate(txn, id));
+    ODE_RETURN_NOT_OK(s_->PostUserEvent(txn, *ref, "Poke"));  // silent
+    EXPECT_FALSE(s_->IsTriggerActive(txn, id));
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(Fires(*ref), 1);
+}
+
+// A transaction's events advance the cached TriggerState in memory; the
+// encoded object is written back once, at pre-commit.
+TEST_F(TriggerCacheTest, StatesWrittenBackOncePerTransaction) {
+  Open();
+  auto ref = NewCell();
+  ASSERT_TRUE(ref.ok());
+  Status st = s_->WithTransaction([&](Transaction* txn) -> Status {
+    return s_->Activate(txn, *ref, "OnSequence").status();
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+
+  const auto& stats = s_->triggers()->stats();
+  uint64_t misses0 = stats.state_cache_misses.load();
+  uint64_t writebacks0 = stats.state_writebacks.load();
+  st = s_->WithTransaction([&](Transaction* txn) -> Status {
+    for (int i = 0; i < 8; ++i) {
+      ODE_RETURN_NOT_OK(s_->PostUserEvent(txn, *ref, "E1"));
+    }
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  // One decode on first touch, seven in-memory hits, one write-back.
+  EXPECT_EQ(stats.state_cache_misses.load() - misses0, 1u);
+  EXPECT_EQ(stats.state_cache_hits.load(), 7u);
+  EXPECT_EQ(stats.state_writebacks.load() - writebacks0, 1u);
+}
+
+// Abort must discard dirty cached states: an FSM advanced inside an
+// aborted transaction is back at its pre-transaction state afterwards.
+TEST_F(TriggerCacheTest, AbortDiscardsDirtyCachedStates) {
+  Open();
+  auto ref = NewCell();
+  ASSERT_TRUE(ref.ok());
+  Status st = s_->WithTransaction([&](Transaction* txn) -> Status {
+    return s_->Activate(txn, *ref, "OnSequence").status();
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+
+  // Advance to "seen E1" in a transaction that aborts.
+  auto txn = s_->Begin();
+  ASSERT_TRUE(txn.ok());
+  ASSERT_TRUE(s_->PostUserEvent(*txn, *ref, "E1").ok());
+  ASSERT_TRUE(s_->Abort(*txn).ok());
+
+  // If the dirty state had leaked, this E2 would complete the sequence.
+  st = s_->WithTransaction([&](Transaction* txn2) -> Status {
+    return s_->PostUserEvent(txn2, *ref, "E2");
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(Fires(*ref), 0);
+
+  // The machine still works from scratch: E1 then E2 fires exactly once.
+  st = s_->WithTransaction([&](Transaction* txn2) -> Status {
+    ODE_RETURN_NOT_OK(s_->PostUserEvent(txn2, *ref, "E1"));
+    return s_->PostUserEvent(txn2, *ref, "E2");
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(Fires(*ref), 1);
+}
+
+// ListActive/IsActive observe this transaction's uncommitted cached
+// state (the advanced statenum), not the stored image.
+TEST_F(TriggerCacheTest, ListActiveSeesUncommittedCachedState) {
+  Open();
+  auto ref = NewCell();
+  ASSERT_TRUE(ref.ok());
+  TriggerId id;
+  Status st = s_->WithTransaction([&](Transaction* txn) -> Status {
+    ODE_ASSIGN_OR_RETURN(id, s_->Activate(txn, *ref, "OnSequence"));
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+
+  st = s_->WithTransaction([&](Transaction* txn) -> Status {
+    ODE_ASSIGN_OR_RETURN(auto before,
+                         s_->triggers()->ListActive(txn, ref->oid()));
+    EXPECT_EQ(before.size(), 1u);
+    int32_t start_state = before[0].statenum;
+    ODE_RETURN_NOT_OK(s_->PostUserEvent(txn, *ref, "E1"));
+    ODE_ASSIGN_OR_RETURN(auto after,
+                         s_->triggers()->ListActive(txn, ref->oid()));
+    EXPECT_EQ(after.size(), 1u);
+    EXPECT_NE(after[0].statenum, start_state);
+    EXPECT_TRUE(s_->IsTriggerActive(txn, id));
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+}
+
+// With the caches disabled (capacity 0) the semantics are unchanged —
+// the per-event write path of the seed.
+TEST_F(TriggerCacheTest, DisabledCachesKeepSemantics) {
+  Session::Options options;
+  options.trigger_state_cache_entries = 0;
+  options.trigger_lookup_cache_entries = 0;
+  Open(options);
+  auto ref = NewCell();
+  ASSERT_TRUE(ref.ok());
+  Status st = s_->WithTransaction([&](Transaction* txn) -> Status {
+    ODE_ASSIGN_OR_RETURN(TriggerId id, s_->Activate(txn, *ref, "OnPoke"));
+    ODE_RETURN_NOT_OK(s_->PostUserEvent(txn, *ref, "Poke"));
+    ODE_RETURN_NOT_OK(s_->PostUserEvent(txn, *ref, "Poke"));
+    ODE_RETURN_NOT_OK(s_->Deactivate(txn, id));
+    ODE_RETURN_NOT_OK(s_->PostUserEvent(txn, *ref, "Poke"));
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(Fires(*ref), 2);
+  EXPECT_EQ(s_->triggers()->stats().state_cache_hits.load(), 0u);
+  EXPECT_EQ(s_->triggers()->stats().state_writebacks.load(), 0u);
+}
+
+// A tiny cache capacity forces evictions (dirty victims written back
+// early); results must match the unbounded cache.
+TEST_F(TriggerCacheTest, EvictionWritesBackDirtyVictims) {
+  Session::Options options;
+  options.trigger_state_cache_entries = 1;
+  Open(options);
+  auto ref = NewCell();
+  ASSERT_TRUE(ref.ok());
+  Status st = s_->WithTransaction([&](Transaction* txn) -> Status {
+    ODE_RETURN_NOT_OK(s_->Activate(txn, *ref, "OnPoke").status());
+    ODE_RETURN_NOT_OK(s_->Activate(txn, *ref, "OnSequence").status());
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  st = s_->WithTransaction([&](Transaction* txn) -> Status {
+    for (int i = 0; i < 4; ++i) {
+      ODE_RETURN_NOT_OK(s_->PostUserEvent(txn, *ref, "Poke"));
+    }
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(Fires(*ref), 4);
+}
+
+// Two threads posting to DISJOINT anchor objects through one shared
+// TriggerManager: no lock conflicts, exact fire counts.
+TEST_F(TriggerCacheTest, ConcurrentSessionsDisjointAnchors) {
+  Open();
+  constexpr int kThreads = 2;
+  constexpr int kTxnsPerThread = 50;
+  constexpr int kEventsPerTxn = 4;
+
+  std::vector<PRef<Cell>> refs(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    auto ref = NewCell();
+    ASSERT_TRUE(ref.ok());
+    refs[t] = *ref;
+    Status st = s_->WithTransaction([&](Transaction* txn) -> Status {
+      return s_->Activate(txn, refs[t], "OnPoke").status();
+    });
+    ASSERT_TRUE(st.ok()) << st.ToString();
+  }
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kTxnsPerThread; ++i) {
+        Status st = s_->WithTransaction([&](Transaction* txn) -> Status {
+          for (int e = 0; e < kEventsPerTxn; ++e) {
+            ODE_RETURN_NOT_OK(s_->PostUserEvent(txn, refs[t], "Poke"));
+          }
+          return Status::OK();
+        });
+        if (!st.ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(Fires(refs[t]), kTxnsPerThread * kEventsPerTxn);
+  }
+}
+
+// Two threads posting to the SAME anchor object: the exclusive lock on
+// the Cell serializes them; deadlock/timeout victims retry. Committed
+// work must account for every fire exactly.
+TEST_F(TriggerCacheTest, ConcurrentSessionsOverlappingAnchor) {
+  Open();
+  auto ref = NewCell();
+  ASSERT_TRUE(ref.ok());
+  Status st = s_->WithTransaction([&](Transaction* txn) -> Status {
+    return s_->Activate(txn, *ref, "OnPoke").status();
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+
+  constexpr int kThreads = 2;
+  constexpr int kTxnsPerThread = 25;
+  constexpr int kEventsPerTxn = 2;
+  std::atomic<int> committed{0};
+  std::atomic<int> hard_failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kTxnsPerThread; ++i) {
+        for (int attempt = 0; attempt < 32; ++attempt) {
+          Status txn_st = s_->WithTransaction([&](Transaction* txn) ->
+                                              Status {
+            for (int e = 0; e < kEventsPerTxn; ++e) {
+              ODE_RETURN_NOT_OK(s_->PostUserEvent(txn, *ref, "Poke"));
+            }
+            return Status::OK();
+          });
+          if (txn_st.ok()) {
+            committed.fetch_add(1);
+            break;
+          }
+          if (!txn_st.IsDeadlock() &&
+              txn_st.code() != StatusCode::kLockTimeout &&
+              !txn_st.IsTransactionAborted()) {
+            hard_failures.fetch_add(1);
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(hard_failures.load(), 0);
+  EXPECT_GT(committed.load(), 0);
+  EXPECT_EQ(Fires(*ref), committed.load() * kEventsPerTxn);
+}
+
+}  // namespace
+}  // namespace ode
