@@ -109,6 +109,33 @@ struct CounterHarness {
   PRef<Counter> counter;
 };
 
+/// Folds the session's own measurements for the benchmarked window into
+/// the benchmark's user counters, so BENCH_*.json records carry cache
+/// hit ratios and posting-latency percentiles next to the wall times.
+/// `before` is a snapshot taken just before the measured loop.
+inline void AddMetricsCounters(benchmark::State& state, Session* session,
+                               const MetricsSnapshot& before) {
+  MetricsSnapshot delta = session->MetricsSnapshot().Delta(before);
+  auto ratio = [&](const char* hits_name, const char* misses_name) {
+    double hits = static_cast<double>(delta.CounterValue(hits_name));
+    double total = hits + static_cast<double>(delta.CounterValue(misses_name));
+    return total == 0 ? 0.0 : hits / total;
+  };
+  state.counters["state_cache_hit_ratio"] =
+      ratio("ode_trigger_state_cache_hits_total",
+            "ode_trigger_state_cache_misses_total");
+  state.counters["lookup_cache_hit_ratio"] =
+      ratio("ode_trigger_lookup_cache_hits_total",
+            "ode_trigger_lookup_cache_misses_total");
+  HistogramData post = delta.HistogramValue("ode_trigger_post_latency_ns");
+  if (post.count > 0) {
+    state.counters["post_latency_p50_ns"] = post.Percentile(50);
+    state.counters["post_latency_p95_ns"] = post.Percentile(95);
+    state.counters["post_latency_p99_ns"] = post.Percentile(99);
+    state.counters["post_latency_max_ns"] = static_cast<double>(post.max);
+  }
+}
+
 }  // namespace bench
 }  // namespace ode
 

@@ -82,6 +82,30 @@ void BM_PersistentCall_ActiveTriggers(benchmark::State& state) {
 BENCHMARK(BM_PersistentCall_ActiveTriggers)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Arg(16);
 
+/// The observability cost gate: the same 4-trigger posting loop with the
+/// metrics registry enabled (range(0)=1) vs disabled (range(0)=0). The
+/// two variants must stay within a few percent of each other — counters
+/// are sharded relaxed atomics and the post-latency histogram samples
+/// 1 in 16 postings, so enabling metrics must not distort E1.
+void BM_PersistentCall_MetricsToggle(benchmark::State& state) {
+  Session::Options opts;
+  opts.enable_metrics = state.range(0) != 0;
+  CounterHarness h(/*declared=*/4, /*active=*/4, "after Hit",
+                   CouplingMode::kImmediate, /*masked=*/false, opts);
+  MetricsSnapshot before = h.session->MetricsSnapshot();
+  auto txn = h.session->Begin();
+  BENCH_CHECK_OK(txn.status());
+  for (auto _ : state) {
+    BENCH_CHECK_OK(h.session->Invoke(*txn, h.counter, &Counter::Hit));
+  }
+  BENCH_CHECK_OK(h.session->Abort(*txn));
+  state.counters["metrics_enabled"] = opts.enable_metrics ? 1 : 0;
+  if (opts.enable_metrics) {
+    AddMetricsCounters(state, h.session.get(), before);
+  }
+}
+BENCHMARK(BM_PersistentCall_MetricsToggle)->Arg(0)->Arg(1);
+
 /// Same with a masked expression — adds one predicate evaluation (an
 /// object load + user lambda) per posting per trigger.
 void BM_PersistentCall_MaskedTrigger(benchmark::State& state) {
@@ -120,6 +144,7 @@ void BM_PostBurst_CachedStates(benchmark::State& state) {
   CounterHarness h(/*declared=*/n, /*active=*/n, "Poke, Poke2, Never",
                    CouplingMode::kImmediate, /*masked=*/false, opts);
   uint64_t posts = 0;
+  MetricsSnapshot before = h.session->MetricsSnapshot();
   uint64_t reads_before = h.session->db()->store()->stats().object_reads;
   uint64_t writes_before = h.session->db()->store()->stats().object_writes;
   for (auto _ : state) {
@@ -144,12 +169,47 @@ void BM_PostBurst_CachedStates(benchmark::State& state) {
       static_cast<double>(ts.state_cache_hits.load());
   state.counters["state_writebacks"] =
       static_cast<double>(ts.state_writebacks.load());
+  AddMetricsCounters(state, h.session.get(), before);
 }
 BENCHMARK(BM_PostBurst_CachedStates)
     ->ArgsProduct({{1, 4, 8, 16}, {0, 1}});
+
+/// Runs one canonical posting workload and embeds its DumpMetricsText()
+/// numbers in the benchmark JSON context, so every BENCH_*.json carries
+/// the session's own measurements (counter totals, latency percentiles)
+/// alongside Google Benchmark's wall times.
+void EmbedMetricsContext() {
+  CounterHarness h(/*declared=*/4, /*active=*/4);
+  BENCH_CHECK_OK(h.session->WithTransaction([&](Transaction* txn) -> Status {
+    for (int i = 0; i < 1024; ++i) {
+      ODE_RETURN_NOT_OK(h.session->Invoke(txn, h.counter, &Counter::Hit));
+    }
+    return Status::OK();
+  }));
+  MetricsSnapshot snap = h.session->MetricsSnapshot();
+  for (const char* name :
+       {"ode_trigger_posts_total", "ode_trigger_fsm_moves_total",
+        "ode_trigger_state_writebacks_total",
+        "ode_storage_object_reads_total", "ode_txn_commits_total"}) {
+    benchmark::AddCustomContext(name,
+                                std::to_string(snap.CounterValue(name)));
+  }
+  HistogramData post = snap.HistogramValue("ode_trigger_post_latency_ns");
+  benchmark::AddCustomContext("ode_trigger_post_latency_p50_ns",
+                              std::to_string(post.Percentile(50)));
+  benchmark::AddCustomContext("ode_trigger_post_latency_p99_ns",
+                              std::to_string(post.Percentile(99)));
+}
 
 }  // namespace
 }  // namespace bench
 }  // namespace ode
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ode::bench::EmbedMetricsContext();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -24,4 +24,15 @@ fi
   --benchmark_out="$out_json" \
   --benchmark_out_format=json
 
-echo "wrote $out_json"
+# The benchmark embeds metrics-registry readings (counter totals and
+# posting-latency percentiles from the session's own DumpMetricsText
+# surface) in the JSON context, and per-record counters carry cache hit
+# ratios. Fail loudly if that wiring ever regresses.
+for key in ode_trigger_posts_total ode_trigger_post_latency_p99_ns; do
+  if ! grep -q "\"$key\"" "$out_json"; then
+    echo "error: $out_json is missing embedded metric '$key'" >&2
+    exit 1
+  fi
+done
+
+echo "wrote $out_json (with embedded registry metrics)"

@@ -1,8 +1,11 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <string>
 
 namespace ode {
 
@@ -30,6 +33,33 @@ void SetLogLevel(LogLevel level) {
 
 LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
+}
+
+void InitLogLevelFromEnv() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* raw = std::getenv("ODE_LOG_LEVEL");
+    if (raw == nullptr || raw[0] == '\0') return;
+    std::string value;
+    for (const char* p = raw; *p != '\0'; ++p) {
+      value += static_cast<char>(
+          std::tolower(static_cast<unsigned char>(*p)));
+    }
+    if (value == "debug") {
+      SetLogLevel(LogLevel::kDebug);
+    } else if (value == "info") {
+      SetLogLevel(LogLevel::kInfo);
+    } else if (value == "warn" || value == "warning") {
+      SetLogLevel(LogLevel::kWarn);
+    } else if (value == "error") {
+      SetLogLevel(LogLevel::kError);
+    } else {
+      std::fprintf(stderr,
+                   "[WARN] unrecognized ODE_LOG_LEVEL '%s' "
+                   "(expected debug|info|warn|error)\n",
+                   raw);
+    }
+  });
 }
 
 namespace internal {

@@ -13,6 +13,14 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+/// Applies the ODE_LOG_LEVEL environment variable (debug|info|warn|error,
+/// case-insensitive) if set; unrecognized values are ignored with a
+/// warning. Runs its logic once per process no matter how often it is
+/// called — Session::Open calls it, so `ODE_LOG_LEVEL=debug ./app` works
+/// without code changes, while an explicit SetLogLevel made before the
+/// first Open still wins over an *unset* variable.
+void InitLogLevelFromEnv();
+
 namespace internal {
 
 /// Stream-style log sink; flushes one line to stderr on destruction.

@@ -1,0 +1,241 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+
+namespace ode {
+
+namespace metrics_internal {
+
+uint64_t BucketLower(size_t i) {
+  if (i == 0) return 0;
+  return uint64_t{1} << (i - 1);
+}
+
+uint64_t BucketUpper(size_t i) {
+  if (i == 0) return 0;
+  if (i >= 64) return ~uint64_t{0};
+  return (uint64_t{1} << i) - 1;
+}
+
+}  // namespace metrics_internal
+
+double HistogramData::Percentile(double p) const {
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Rank of the requested percentile, 1-based (nearest-rank flavor).
+  const double rank = p / 100.0 * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    const uint64_t before = cumulative;
+    cumulative += buckets[i];
+    if (static_cast<double>(cumulative) >= rank) {
+      // Interpolate inside [lower, upper] by where the rank falls among
+      // this bucket's entries.
+      const double lower = static_cast<double>(metrics_internal::BucketLower(i));
+      const double upper = static_cast<double>(metrics_internal::BucketUpper(i));
+      const double within =
+          (rank - static_cast<double>(before)) / static_cast<double>(buckets[i]);
+      double est = lower + (upper - lower) * std::clamp(within, 0.0, 1.0);
+      // Never report beyond the observed maximum.
+      est = std::min(est, static_cast<double>(max));
+      return est;
+    }
+  }
+  return static_cast<double>(max);
+}
+
+HistogramData Histogram::data() const {
+  HistogramData d;
+  for (const Shard& shard : shards_) {
+    for (size_t i = 0; i < metrics_internal::kBuckets; ++i) {
+      const uint64_t n = shard.buckets[i].v.load(std::memory_order_relaxed);
+      d.buckets[i] += n;
+      d.count += n;
+    }
+    d.sum += shard.sum.load(std::memory_order_relaxed);
+    d.max = std::max(d.max, shard.max.load(std::memory_order_relaxed));
+  }
+  return d;
+}
+
+MetricsRegistry* MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot.reset(new Counter(&enabled_));
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot.reset(new Gauge(&enabled_));
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         uint32_t sample_every) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot.reset(new Histogram(&enabled_, sample_every));
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  // std::map iteration is name-sorted; merge the three kinds into one
+  // sorted vector.
+  for (const auto& [name, counter] : counters_) {
+    MetricValue v;
+    v.name = name;
+    v.kind = MetricValue::Kind::kCounter;
+    v.counter = counter->value();
+    snap.metrics_.push_back(std::move(v));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    MetricValue v;
+    v.name = name;
+    v.kind = MetricValue::Kind::kGauge;
+    v.gauge = gauge->value();
+    snap.metrics_.push_back(std::move(v));
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    MetricValue v;
+    v.name = name;
+    v.kind = MetricValue::Kind::kHistogram;
+    v.sample_every = histogram->sample_every();
+    v.histogram = histogram->data();
+    snap.metrics_.push_back(std::move(v));
+  }
+  std::sort(snap.metrics_.begin(), snap.metrics_.end(),
+            [](const MetricValue& a, const MetricValue& b) {
+              return a.name < b.name;
+            });
+  return snap;
+}
+
+const MetricValue* MetricsSnapshot::Find(const std::string& name) const {
+  for (const MetricValue& m : metrics_) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+uint64_t MetricsSnapshot::CounterValue(const std::string& name) const {
+  const MetricValue* m = Find(name);
+  return m != nullptr && m->kind == MetricValue::Kind::kCounter ? m->counter
+                                                                : 0;
+}
+
+HistogramData MetricsSnapshot::HistogramValue(const std::string& name) const {
+  const MetricValue* m = Find(name);
+  return m != nullptr && m->kind == MetricValue::Kind::kHistogram
+             ? m->histogram
+             : HistogramData{};
+}
+
+MetricsSnapshot MetricsSnapshot::Delta(const MetricsSnapshot& earlier) const {
+  auto sub = [](uint64_t now, uint64_t then) {
+    return now >= then ? now - then : 0;
+  };
+  MetricsSnapshot out;
+  for (const MetricValue& cur : metrics_) {
+    const MetricValue* old = earlier.Find(cur.name);
+    MetricValue v = cur;
+    if (old != nullptr && old->kind == cur.kind) {
+      switch (cur.kind) {
+        case MetricValue::Kind::kCounter:
+          v.counter = sub(cur.counter, old->counter);
+          break;
+        case MetricValue::Kind::kGauge:
+          // Gauges are level values, not totals: keep the current level.
+          break;
+        case MetricValue::Kind::kHistogram:
+          v.histogram.count = sub(cur.histogram.count, old->histogram.count);
+          v.histogram.sum = sub(cur.histogram.sum, old->histogram.sum);
+          for (size_t i = 0; i < v.histogram.buckets.size(); ++i) {
+            v.histogram.buckets[i] =
+                sub(cur.histogram.buckets[i], old->histogram.buckets[i]);
+          }
+          // max is not invertible from two snapshots; report the current.
+          break;
+      }
+    }
+    out.metrics_.push_back(std::move(v));
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToText() const {
+  std::string out;
+  char line[256];
+  auto append = [&out, &line](int n) {
+    out.append(line, n > 0 ? static_cast<size_t>(n) : 0);
+  };
+  for (const MetricValue& m : metrics_) {
+    switch (m.kind) {
+      case MetricValue::Kind::kCounter:
+        append(std::snprintf(line, sizeof(line), "# TYPE %s counter\n",
+                             m.name.c_str()));
+        append(std::snprintf(line, sizeof(line), "%s %" PRIu64 "\n",
+                             m.name.c_str(), m.counter));
+        break;
+      case MetricValue::Kind::kGauge:
+        append(std::snprintf(line, sizeof(line), "# TYPE %s gauge\n",
+                             m.name.c_str()));
+        append(std::snprintf(line, sizeof(line), "%s %" PRId64 "\n",
+                             m.name.c_str(), m.gauge));
+        break;
+      case MetricValue::Kind::kHistogram: {
+        const HistogramData& h = m.histogram;
+        append(std::snprintf(line, sizeof(line), "# TYPE %s histogram\n",
+                             m.name.c_str()));
+        if (m.sample_every > 1) {
+          append(std::snprintf(line, sizeof(line),
+                               "# sampled 1 in %u operations\n",
+                               m.sample_every));
+        }
+        append(std::snprintf(
+            line, sizeof(line),
+            "# p50 %.0f p95 %.0f p99 %.0f max %" PRIu64 "\n", h.Percentile(50),
+            h.Percentile(95), h.Percentile(99), h.max));
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i < h.buckets.size(); ++i) {
+          if (h.buckets[i] == 0) continue;
+          cumulative += h.buckets[i];
+          append(std::snprintf(line, sizeof(line),
+                               "%s_bucket{le=\"%" PRIu64 "\"} %" PRIu64 "\n",
+                               m.name.c_str(),
+                               metrics_internal::BucketUpper(i), cumulative));
+        }
+        append(std::snprintf(line, sizeof(line),
+                             "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n",
+                             m.name.c_str(), h.count));
+        append(std::snprintf(line, sizeof(line), "%s_sum %" PRIu64 "\n",
+                             m.name.c_str(), h.sum));
+        append(std::snprintf(line, sizeof(line), "%s_count %" PRIu64 "\n",
+                             m.name.c_str(), h.count));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+uint64_t LatencyTimer::NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace ode

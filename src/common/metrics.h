@@ -1,0 +1,300 @@
+#ifndef ODE_COMMON_METRICS_H_
+#define ODE_COMMON_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ode {
+
+class MetricsRegistry;
+
+namespace metrics_internal {
+
+/// Write-path shard count for counters and histograms. Each shard is one
+/// cache line, so concurrent sessions incrementing the same metric from
+/// different threads do not bounce a single line between cores.
+constexpr size_t kShards = 8;
+
+/// Histogram buckets are powers of two: bucket 0 holds the value 0 and
+/// bucket i (1 <= i <= 64) holds values in [2^(i-1), 2^i - 1]. 65 buckets
+/// cover the full uint64_t range, so nanosecond latencies never overflow.
+constexpr size_t kBuckets = 65;
+
+inline size_t BucketIndex(uint64_t value) {
+  return value == 0 ? 0 : static_cast<size_t>(std::bit_width(value));
+}
+
+/// Inclusive bounds of bucket `i` (see kBuckets).
+uint64_t BucketLower(size_t i);
+uint64_t BucketUpper(size_t i);
+
+struct alignas(64) Cell {
+  std::atomic<uint64_t> v{0};
+};
+
+/// Stable per-thread shard assignment. Derived from the address of a
+/// zero-initialized thread_local so the lookup compiles to a TLS base
+/// load with no dynamic-initialization guard — this sits under every
+/// Counter::Inc on the posting hot path, where a guarded thread_local
+/// (or an out-of-line call) would dominate the fetch_add itself.
+/// Fibonacci hashing spreads the (heavily aligned) per-thread TLS
+/// addresses across shards.
+inline size_t ShardIndex() {
+  static_assert((kShards & (kShards - 1)) == 0, "kShards must be 2^k");
+  thread_local char marker;
+  const auto p = reinterpret_cast<uintptr_t>(&marker);
+  return static_cast<size_t>((p * uint64_t{0x9E3779B97F4A7C15}) >>
+                             (64 - std::bit_width(kShards - 1)));
+}
+
+}  // namespace metrics_internal
+
+/// Monotonic counter with sharded relaxed-atomic cells. All writes are
+/// monitoring-only and impose no ordering; read value() only for
+/// reporting, never for synchronization.
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    cells_[metrics_internal::ShardIndex()].v.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  uint64_t value() const {
+    uint64_t total = 0;
+    for (const auto& cell : cells_) {
+      total += cell.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  /// std::atomic-compatible spellings, so code (and tests) written
+  /// against the former ad-hoc atomic Stats structs keep compiling.
+  uint64_t load() const { return value(); }
+  operator uint64_t() const { return value(); }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+
+  const std::atomic<bool>* enabled_;
+  std::array<metrics_internal::Cell, metrics_internal::kShards> cells_;
+};
+
+/// Up/down gauge (single atomic: gauges sit on cold paths).
+class Gauge {
+ public:
+  void Set(int64_t v) {
+    if (enabled_->load(std::memory_order_relaxed)) {
+      value_.store(v, std::memory_order_relaxed);
+    }
+  }
+  void Add(int64_t n) {
+    if (enabled_->load(std::memory_order_relaxed)) {
+      value_.fetch_add(n, std::memory_order_relaxed);
+    }
+  }
+  void Sub(int64_t n) { Add(-n); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+
+  const std::atomic<bool>* enabled_;
+  std::atomic<int64_t> value_{0};
+};
+
+/// Point-in-time copy of one histogram, from which p50/p95/p99/max (and
+/// any other percentile) are derived. Bucket counts are non-cumulative.
+struct HistogramData {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t max = 0;
+  std::array<uint64_t, metrics_internal::kBuckets> buckets{};
+
+  /// Estimated value at percentile `p` in [0, 100], interpolated linearly
+  /// inside the log2 bucket that holds the rank and clamped to max. 0 if
+  /// the histogram is empty.
+  double Percentile(double p) const;
+  double Mean() const { return count == 0 ? 0.0 : double(sum) / count; }
+};
+
+/// Log-bucketed latency/size histogram. Record() is sharded like Counter;
+/// ShouldSample() implements optional 1-in-N sampling so sub-microsecond
+/// hot paths don't pay two clock reads per operation (see LatencyTimer).
+class Histogram {
+ public:
+  void Record(uint64_t value) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    Shard& shard = shards_[metrics_internal::ShardIndex()];
+    shard.buckets[metrics_internal::BucketIndex(value)].v.fetch_add(
+        1, std::memory_order_relaxed);
+    shard.sum.fetch_add(value, std::memory_order_relaxed);
+    uint64_t cur = shard.max.load(std::memory_order_relaxed);
+    while (value > cur &&
+           !shard.max.compare_exchange_weak(cur, value,
+                                            std::memory_order_relaxed)) {
+    }
+  }
+
+  /// True if this operation should be timed: the registry is enabled and
+  /// this thread's sampling tick hits. With sample_every == 1 this is
+  /// just the enabled check.
+  bool ShouldSample() {
+    if (!enabled_->load(std::memory_order_relaxed)) return false;
+    if (sample_mask_ == 0) return true;
+    return (Tick() & sample_mask_) == 0;
+  }
+
+  uint32_t sample_every() const { return sample_mask_ + 1; }
+
+  HistogramData data() const;
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(const std::atomic<bool>* enabled, uint32_t sample_every)
+      : enabled_(enabled),
+        sample_mask_(sample_every <= 1 ? 0
+                                       : std::bit_ceil(sample_every) - 1) {}
+
+  static uint32_t Tick() {
+    thread_local uint32_t tick = 0;
+    return tick++;
+  }
+
+  struct Shard {
+    std::array<metrics_internal::Cell, metrics_internal::kBuckets> buckets;
+    std::atomic<uint64_t> sum{0};
+    std::atomic<uint64_t> max{0};
+  };
+
+  const std::atomic<bool>* enabled_;
+  const uint32_t sample_mask_;
+  std::array<Shard, metrics_internal::kShards> shards_;
+};
+
+/// One metric in a snapshot.
+struct MetricValue {
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  std::string name;
+  Kind kind = Kind::kCounter;
+  uint64_t counter = 0;
+  int64_t gauge = 0;
+  uint32_t sample_every = 1;  // histograms only
+  HistogramData histogram;
+};
+
+/// Point-in-time view of a whole registry, with delta semantics for
+/// before/after measurements.
+class MetricsSnapshot {
+ public:
+  const std::vector<MetricValue>& metrics() const { return metrics_; }
+
+  /// nullptr if no metric with that name exists.
+  const MetricValue* Find(const std::string& name) const;
+
+  /// Counter value by name (0 if absent) — convenience for tests/benches.
+  uint64_t CounterValue(const std::string& name) const;
+
+  /// Histogram by name (empty if absent).
+  HistogramData HistogramValue(const std::string& name) const;
+
+  /// this - earlier: counters and histogram buckets/count/sum subtract
+  /// (clamped at 0 for metrics absent in `earlier`); gauges and histogram
+  /// max keep the current value. Metrics only present in `earlier` are
+  /// dropped.
+  MetricsSnapshot Delta(const MetricsSnapshot& earlier) const;
+
+  /// Prometheus-style text exposition (the format DumpMetricsText emits).
+  std::string ToText() const;
+
+ private:
+  friend class MetricsRegistry;
+  std::vector<MetricValue> metrics_;  // sorted by name
+};
+
+/// A named collection of counters, gauges, and histograms with one
+/// enable/disable switch. Get*() is create-or-get: the first call with a
+/// name allocates the metric, later calls return the same object, and
+/// pointers stay valid for the registry's lifetime (metrics are never
+/// removed). Intended use: resolve pointers once at component
+/// construction, then write through them lock-free on hot paths.
+///
+/// Each Database owns one registry shared by its storage, lock,
+/// transaction, and trigger layers (Session::metrics() exposes it);
+/// components constructed standalone fall back to a private registry, so
+/// per-instance counts never bleed between unrelated instances.
+/// MetricsRegistry::Default() is the process-wide registry for code with
+/// no natural owner.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Process-wide registry (never destroyed).
+  static MetricsRegistry* Default();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// `sample_every` (rounded up to a power of two) makes ShouldSample()
+  /// time only 1 in N operations — for hot paths where two clock reads
+  /// per op would be measurable. It is fixed at first Get.
+  Histogram* GetHistogram(const std::string& name, uint32_t sample_every = 1);
+
+  /// When disabled, every Inc/Add/Record/ShouldSample is a relaxed load
+  /// plus branch — the near-zero-cost path. Values recorded while
+  /// disabled are simply dropped.
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  MetricsSnapshot Snapshot() const;
+  std::string DumpText() const { return Snapshot().ToText(); }
+
+ private:
+  std::atomic<bool> enabled_{true};
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Scoped latency recorder: reads the clock only when the histogram
+/// samples this operation, records nanoseconds on destruction.
+class LatencyTimer {
+ public:
+  explicit LatencyTimer(Histogram* histogram) {
+    if (histogram != nullptr && histogram->ShouldSample()) {
+      histogram_ = histogram;
+      start_ = NowNanos();
+    }
+  }
+  ~LatencyTimer() {
+    if (histogram_ != nullptr) histogram_->Record(NowNanos() - start_);
+  }
+
+  LatencyTimer(const LatencyTimer&) = delete;
+  LatencyTimer& operator=(const LatencyTimer&) = delete;
+
+  /// Monotonic nanoseconds (steady_clock).
+  static uint64_t NowNanos();
+
+ private:
+  Histogram* histogram_ = nullptr;
+  uint64_t start_ = 0;
+};
+
+}  // namespace ode
+
+#endif  // ODE_COMMON_METRICS_H_

@@ -25,8 +25,13 @@ Oid RootLockOid(const std::string& name) {
 }  // namespace
 
 Database::Database(std::unique_ptr<StorageManager> store)
-    : store_(std::move(store)) {
+    : metrics_(std::make_unique<MetricsRegistry>()), store_(std::move(store)) {
   txns_ = std::make_unique<TransactionManager>(store_.get(), &locks_);
+  // Rebind every component from its private fallback registry to the
+  // database-wide one, so one snapshot covers all four layers.
+  store_->BindMetrics(metrics_.get());
+  locks_.BindMetrics(metrics_.get());
+  txns_->BindMetrics(metrics_.get());
 }
 
 Result<std::unique_ptr<Database>> Database::Open(StorageKind kind,

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "objstore/oid.h"
@@ -105,6 +106,9 @@ class Database {
   StorageManager* store() { return store_.get(); }
   LockManager* locks() { return &locks_; }
   TransactionManager* txns() { return txns_.get(); }
+  /// The database-wide metrics registry: storage, lock, transaction, and
+  /// trigger metrics all land here (one reporting surface per database).
+  MetricsRegistry* metrics() { return metrics_.get(); }
 
  private:
   explicit Database(std::unique_ptr<StorageManager> store);
@@ -118,6 +122,9 @@ class Database {
   Status ReadDirectory(Transaction* txn, const std::string& root_name,
                        std::map<std::string, uint64_t>* out);
 
+  /// Declared first so the registry outlives every component whose
+  /// counters point into it.
+  std::unique_ptr<MetricsRegistry> metrics_;
   std::unique_ptr<StorageManager> store_;
   LockManager locks_;
   std::unique_ptr<TransactionManager> txns_;

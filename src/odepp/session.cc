@@ -9,11 +9,13 @@ namespace ode {
 Session::Session(std::unique_ptr<Database> db, Schema* schema,
                  Options options)
     : db_(std::move(db)), schema_(schema), options_(options) {
+  db_->metrics()->set_enabled(options.enable_metrics);
   TriggerManager::Options topts;
   topts.index_buckets = options.trigger_index_buckets;
   topts.state_cache_capacity = options.trigger_state_cache_entries;
   topts.lookup_cache_capacity = options.trigger_lookup_cache_entries;
   topts.lock_stripes = options.trigger_lock_stripes;
+  topts.trace_capacity = options.trigger_trace_capacity;
   triggers_ = std::make_unique<TriggerManager>(db_.get(), topts);
   for (const TypeDescriptor* type : schema_->descriptors()) {
     triggers_->RegisterType(type);
@@ -30,6 +32,7 @@ Result<std::unique_ptr<Session>> Session::Open(StorageKind kind,
                                                const std::string& path,
                                                Schema* schema,
                                                Options options) {
+  InitLogLevelFromEnv();
   if (!schema->frozen()) {
     return Status::InvalidArgument("schema must be frozen before Open");
   }
@@ -45,6 +48,7 @@ Result<std::unique_ptr<Session>> Session::Open(StorageKind kind,
 
 Result<std::unique_ptr<Session>> Session::OpenWith(
     std::unique_ptr<StorageManager> store, Schema* schema, Options options) {
+  InitLogLevelFromEnv();
   if (!schema->frozen()) {
     return Status::InvalidArgument("schema must be frozen before Open");
   }
@@ -342,6 +346,25 @@ Status Session::AdvanceTime(Transaction* txn, int64_t to) {
 
 bool Session::IsTriggerActive(Transaction* txn, TriggerId id) {
   return triggers_->IsActive(txn, id);
+}
+
+// -------------------------------------------------------- observability
+
+MetricsSnapshot Session::MetricsSnapshot() const {
+  return db_->metrics()->Snapshot();
+}
+
+std::string Session::DumpMetricsText() const {
+  return db_->metrics()->DumpText();
+}
+
+std::string Session::DumpTrace() const {
+  TriggerTraceRing* ring = triggers_->trace();
+  if (ring == nullptr) {
+    return "trigger tracing disabled (Session::Options::trigger_trace_"
+           "capacity is 0)\n";
+  }
+  return ring->Dump();
 }
 
 }  // namespace ode

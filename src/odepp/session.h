@@ -61,6 +61,15 @@ class Session {
     /// Lock-stripe count for the trigger manager's shared maps. See
     /// TriggerManager::Options::lock_stripes.
     size_t trigger_lock_stripes = 16;
+    /// Collect counters/gauges/latency histograms in the database-wide
+    /// MetricsRegistry. Off turns every instrument into a cheap branch
+    /// (see bench_posting_overhead).
+    bool enable_metrics = true;
+    /// Capacity of the per-session trigger trace ring (0 = tracing off).
+    /// When on, every trigger lifecycle step (event posted, FSM move,
+    /// mask verdict, accept, action, write-back, abort discard) is
+    /// recorded; read it back with DumpTrace().
+    size_t trigger_trace_capacity = 0;
   };
 
   /// Opens a database using the given (frozen) schema.
@@ -87,6 +96,24 @@ class Session {
   Database* db() { return db_.get(); }
   TriggerManager* triggers() { return triggers_.get(); }
   Schema* schema() { return schema_; }
+
+  // --- observability ---
+
+  /// The database-wide metrics registry: trigger, storage, transaction,
+  /// and lock metrics all report here (see docs/observability.md).
+  MetricsRegistry* metrics() { return db_->metrics(); }
+
+  /// Point-in-time copy of every metric. Two snapshots taken around a
+  /// workload can be Delta()'d to isolate that workload's activity.
+  ode::MetricsSnapshot MetricsSnapshot() const;
+
+  /// All metrics rendered in Prometheus-style text exposition format,
+  /// with percentile summary comments for histograms.
+  std::string DumpMetricsText() const;
+
+  /// Human-readable dump of the trigger trace ring (oldest first).
+  /// Returns a note instead if Options::trigger_trace_capacity was 0.
+  std::string DumpTrace() const;
 
   // --- transactions ---
 

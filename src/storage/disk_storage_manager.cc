@@ -138,7 +138,19 @@ Status BufferPool::FlushAll() {
 // ------------------------------------------------------- DiskStorageManager
 
 DiskStorageManager::DiskStorageManager(std::string path, Options options)
-    : path_(std::move(path)), options_(options) {}
+    : path_(std::move(path)), options_(options) {
+  owned_metrics_ = std::make_unique<MetricsRegistry>();
+  BindMetrics(owned_metrics_.get());
+}
+
+void DiskStorageManager::BindMetrics(MetricsRegistry* registry) {
+  object_reads_ = registry->GetCounter("ode_storage_object_reads_total");
+  object_writes_ = registry->GetCounter("ode_storage_object_writes_total");
+  wal_records_ = registry->GetCounter("ode_wal_records_total");
+  read_latency_ = registry->GetHistogram("ode_storage_read_latency_ns");
+  write_latency_ = registry->GetHistogram("ode_storage_write_latency_ns");
+  wal_append_latency_ = registry->GetHistogram("ode_wal_append_latency_ns");
+}
 
 DiskStorageManager::~DiskStorageManager() {
   if (open_) {
@@ -570,8 +582,9 @@ Result<Oid> DiskStorageManager::Allocate(TxnId txn, Slice data) {
 }
 
 Status DiskStorageManager::Read(TxnId txn, Oid oid, std::vector<char>* out) {
+  LatencyTimer timer(read_latency_);
   std::lock_guard<std::mutex> lock(mu_);
-  ++object_reads_;
+  object_reads_->Inc();
   if (Workspace* ws = FindWorkspace(txn)) {
     auto it = ws->entries.find(oid);
     if (it != ws->entries.end()) {
@@ -586,8 +599,9 @@ Status DiskStorageManager::Read(TxnId txn, Oid oid, std::vector<char>* out) {
 }
 
 Status DiskStorageManager::Write(TxnId txn, Oid oid, Slice data) {
+  LatencyTimer timer(write_latency_);
   std::lock_guard<std::mutex> lock(mu_);
-  ++object_writes_;
+  object_writes_->Inc();
   Workspace* ws = FindWorkspace(txn);
   if (ws == nullptr) return Status::Internal("disk store: unknown txn");
   auto it = ws->entries.find(oid);
@@ -677,33 +691,40 @@ Status DiskStorageManager::CommitTxn(TxnId txn) {
   bool read_only = ws.entries.empty() && ws.root_updates.empty();
   if (!read_only) {
     // WAL first: the batch is atomic because recovery redoes only
-    // transactions whose kCommit record survived.
-    WalRecord begin{WalRecord::Type::kBegin, txn, Oid(), "", {}};
-    ODE_RETURN_NOT_OK(wal_->Append(begin));
-    for (const auto& [oid, entry] : ws.entries) {
-      WalRecord r;
-      r.txn = txn;
-      r.oid = oid;
-      if (entry.freed) {
-        r.type = WalRecord::Type::kFree;
-      } else {
-        r.type = WalRecord::Type::kUpsert;
-        r.image = entry.image;
+    // transactions whose kCommit record survived. The latency histogram
+    // covers the whole append batch plus the commit fsync — the durable
+    // part of commit — but not the page application below.
+    {
+      LatencyTimer wal_timer(wal_append_latency_);
+      const uint64_t records_before = wal_->records_appended();
+      WalRecord begin{WalRecord::Type::kBegin, txn, Oid(), "", {}};
+      ODE_RETURN_NOT_OK(wal_->Append(begin));
+      for (const auto& [oid, entry] : ws.entries) {
+        WalRecord r;
+        r.txn = txn;
+        r.oid = oid;
+        if (entry.freed) {
+          r.type = WalRecord::Type::kFree;
+        } else {
+          r.type = WalRecord::Type::kUpsert;
+          r.image = entry.image;
+        }
+        ODE_RETURN_NOT_OK(wal_->Append(r));
       }
-      ODE_RETURN_NOT_OK(wal_->Append(r));
-    }
-    for (const auto& [name, oid] : ws.root_updates) {
-      WalRecord r;
-      r.type = WalRecord::Type::kSetRoot;
-      r.txn = txn;
-      r.oid = oid;
-      r.name = name;
-      ODE_RETURN_NOT_OK(wal_->Append(r));
-    }
-    WalRecord commit{WalRecord::Type::kCommit, txn, Oid(), "", {}};
-    ODE_RETURN_NOT_OK(wal_->Append(commit));
-    if (options_.sync_commits) {
-      ODE_RETURN_NOT_OK(wal_->Sync());
+      for (const auto& [name, oid] : ws.root_updates) {
+        WalRecord r;
+        r.type = WalRecord::Type::kSetRoot;
+        r.txn = txn;
+        r.oid = oid;
+        r.name = name;
+        ODE_RETURN_NOT_OK(wal_->Append(r));
+      }
+      WalRecord commit{WalRecord::Type::kCommit, txn, Oid(), "", {}};
+      ODE_RETURN_NOT_OK(wal_->Append(commit));
+      if (options_.sync_commits) {
+        ODE_RETURN_NOT_OK(wal_->Sync());
+      }
+      wal_records_->Inc(wal_->records_appended() - records_before);
     }
     // Now apply to pages (in the buffer pool; flushed lazily).
     for (const auto& [oid, entry] : ws.entries) {
@@ -769,8 +790,8 @@ StorageStats DiskStorageManager::stats() const {
     s.buffer_misses = pool_->misses();
   }
   if (wal_ != nullptr) s.wal_records = wal_->records_appended();
-  s.object_reads = object_reads_;
-  s.object_writes = object_writes_;
+  s.object_reads = object_reads_->value();
+  s.object_writes = object_writes_->value();
   return s;
 }
 

@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "storage/page.h"
 #include "storage/storage_manager.h"
 #include "storage/wal.h"
@@ -110,6 +111,8 @@ class DiskStorageManager final : public StorageManager {
 
   StorageStats stats() const override;
 
+  void BindMetrics(MetricsRegistry* registry) override;
+
  private:
   using Workspace = storage_internal::TxnWorkspace;
 
@@ -152,8 +155,15 @@ class DiskStorageManager final : public StorageManager {
   std::unordered_map<TxnId, Workspace> workspaces_;
   uint64_t next_oid_ = 2;  // oid 1 is reserved for the roots directory
   uint32_t page_count_ = 1;  // page 0 is the file header
-  uint64_t object_reads_ = 0;
-  uint64_t object_writes_ = 0;
+
+  // Metrics (see StorageManager::BindMetrics).
+  std::unique_ptr<MetricsRegistry> owned_metrics_;
+  Counter* object_reads_ = nullptr;
+  Counter* object_writes_ = nullptr;
+  Counter* wal_records_ = nullptr;
+  Histogram* read_latency_ = nullptr;
+  Histogram* write_latency_ = nullptr;
+  Histogram* wal_append_latency_ = nullptr;
 };
 
 }  // namespace ode

@@ -6,7 +6,18 @@
 
 namespace ode {
 
-LockManager::LockManager(Options options) : options_(options) {}
+LockManager::LockManager(Options options) : options_(options) {
+  owned_metrics_ = std::make_unique<MetricsRegistry>();
+  BindMetrics(owned_metrics_.get());
+}
+
+void LockManager::BindMetrics(MetricsRegistry* registry) {
+  conflicts_ = registry->GetCounter("ode_lock_conflicts_total");
+  deadlocks_ = registry->GetCounter("ode_lock_deadlocks_total");
+  timeouts_ = registry->GetCounter("ode_lock_timeouts_total");
+  wait_ns_total_ = registry->GetCounter("ode_lock_wait_ns_total");
+  wait_latency_ = registry->GetHistogram("ode_lock_wait_latency_ns");
+}
 
 bool LockManager::GrantableLocked(const LockState& state,
                                   const Waiter& waiter) const {
@@ -91,9 +102,9 @@ Status LockManager::Acquire(TxnId txn, Oid oid, LockMode mode) {
     return Status::OK();
   }
 
-  ++conflicts_;
+  conflicts_->Inc();
   if (WouldDeadlockLocked(txn, oid)) {
-    ++deadlocks_;
+    deadlocks_->Inc();
     return Status::Deadlock("acquiring " + oid.ToString());
   }
 
@@ -108,6 +119,7 @@ Status LockManager::Acquire(TxnId txn, Oid oid, LockMode mode) {
   }
   waiting_on_[txn] = oid;
 
+  const uint64_t wait_start = LatencyTimer::NowNanos();
   auto deadline = std::chrono::steady_clock::now() + options_.timeout;
   Status result = Status::OK();
   while (true) {
@@ -119,15 +131,19 @@ Status LockManager::Acquire(TxnId txn, Oid oid, LockMode mode) {
       break;
     }
     if (WouldDeadlockLocked(txn, oid)) {
-      ++deadlocks_;
+      deadlocks_->Inc();
       result = Status::Deadlock("waiting for " + oid.ToString());
       break;
     }
     if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      timeouts_->Inc();
       result = Status::LockTimeout("waiting for " + oid.ToString());
       break;
     }
   }
+  const uint64_t waited = LatencyTimer::NowNanos() - wait_start;
+  wait_ns_total_->Inc(waited);
+  wait_latency_->Record(waited);
 
   waiting_on_.erase(txn);
   LockState& st = table_[oid];

@@ -5,10 +5,12 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "objstore/oid.h"
 
@@ -50,9 +52,20 @@ class LockManager {
 
   size_t LocksHeld(TxnId txn) const;
 
+  /// Points this manager's counters at `registry` (the owning Database's
+  /// registry, so lock metrics land on the same reporting surface as the
+  /// rest). A standalone LockManager uses its own private registry, which
+  /// keeps the accessors below per-instance. Call before first use.
+  void BindMetrics(MetricsRegistry* registry);
+
   /// Number of Acquire calls that had to wait at least once.
-  uint64_t conflicts() const { return conflicts_; }
-  uint64_t deadlocks() const { return deadlocks_; }
+  uint64_t conflicts() const { return conflicts_->value(); }
+  /// Deadlock aborts: Acquire calls refused with kDeadlock (the requester
+  /// is always the victim, so each is one aborted acquisition).
+  uint64_t deadlocks() const { return deadlocks_->value(); }
+  uint64_t timeouts() const { return timeouts_->value(); }
+  /// Total nanoseconds spent blocked inside Acquire across all txns.
+  uint64_t wait_ns() const { return wait_ns_total_->value(); }
 
  private:
   struct Waiter {
@@ -81,8 +94,15 @@ class LockManager {
   std::unordered_map<TxnId, std::unordered_set<Oid, OidHash>> held_;
   // txn -> oid it is currently waiting on (for deadlock detection).
   std::unordered_map<TxnId, Oid> waiting_on_;
-  uint64_t conflicts_ = 0;
-  uint64_t deadlocks_ = 0;
+
+  // Metrics (see BindMetrics). All incremented under mu_, so relaxed
+  // counter cells are purely for cheap cross-registry reads.
+  std::unique_ptr<MetricsRegistry> owned_metrics_;
+  Counter* conflicts_ = nullptr;
+  Counter* deadlocks_ = nullptr;
+  Counter* timeouts_ = nullptr;
+  Counter* wait_ns_total_ = nullptr;
+  Histogram* wait_latency_ = nullptr;
 };
 
 }  // namespace ode

@@ -12,7 +12,21 @@ constexpr uint32_t kSnapshotMagic = 0x0de0da11;  // "Ode over Dali"
 }  // namespace
 
 MMStorageManager::MMStorageManager(std::string path)
-    : path_(std::move(path)) {}
+    : path_(std::move(path)) {
+  owned_metrics_ = std::make_unique<MetricsRegistry>();
+  BindMetrics(owned_metrics_.get());
+}
+
+void MMStorageManager::BindMetrics(MetricsRegistry* registry) {
+  object_reads_ = registry->GetCounter("ode_storage_object_reads_total");
+  object_writes_ = registry->GetCounter("ode_storage_object_writes_total");
+  // MM reads/writes are hash-table probes (~100ns): sample so the clock
+  // reads don't dominate what they measure.
+  read_latency_ =
+      registry->GetHistogram("ode_storage_read_latency_ns", /*sample=*/64);
+  write_latency_ =
+      registry->GetHistogram("ode_storage_write_latency_ns", /*sample=*/64);
+}
 
 Status MMStorageManager::Open() {
   std::lock_guard<std::mutex> lock(mu_);
@@ -90,8 +104,9 @@ Result<Oid> MMStorageManager::Allocate(TxnId txn, Slice data) {
 }
 
 Status MMStorageManager::Read(TxnId txn, Oid oid, std::vector<char>* out) {
+  LatencyTimer timer(read_latency_);
   std::lock_guard<std::mutex> lock(mu_);
-  ++object_reads_;
+  object_reads_->Inc();
   if (Workspace* ws = FindWorkspace(txn)) {
     auto it = ws->entries.find(oid);
     if (it != ws->entries.end()) {
@@ -111,8 +126,9 @@ Status MMStorageManager::Read(TxnId txn, Oid oid, std::vector<char>* out) {
 }
 
 Status MMStorageManager::Write(TxnId txn, Oid oid, Slice data) {
+  LatencyTimer timer(write_latency_);
   std::lock_guard<std::mutex> lock(mu_);
-  ++object_writes_;
+  object_writes_->Inc();
   Workspace* ws = FindWorkspace(txn);
   if (ws == nullptr) return Status::Internal("mm store: unknown txn");
   auto it = ws->entries.find(oid);
@@ -267,8 +283,8 @@ StorageStats MMStorageManager::stats() const {
     (void)oid;
     s.bytes += image.size();
   }
-  s.object_reads = object_reads_;
-  s.object_writes = object_writes_;
+  s.object_reads = object_reads_->value();
+  s.object_writes = object_writes_->value();
   return s;
 }
 

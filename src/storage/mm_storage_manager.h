@@ -2,11 +2,13 @@
 #define ODE_STORAGE_MM_STORAGE_MANAGER_H_
 
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "storage/storage_manager.h"
 
 namespace ode {
@@ -43,6 +45,8 @@ class MMStorageManager final : public StorageManager {
 
   StorageStats stats() const override;
 
+  void BindMetrics(MetricsRegistry* registry) override;
+
  private:
   using Workspace = storage_internal::TxnWorkspace;
 
@@ -58,8 +62,13 @@ class MMStorageManager final : public StorageManager {
   std::map<std::string, Oid> roots_;
   std::unordered_map<TxnId, Workspace> workspaces_;
   uint64_t next_oid_ = 1;
-  uint64_t object_reads_ = 0;
-  uint64_t object_writes_ = 0;
+
+  // Metrics (see StorageManager::BindMetrics).
+  std::unique_ptr<MetricsRegistry> owned_metrics_;
+  Counter* object_reads_ = nullptr;
+  Counter* object_writes_ = nullptr;
+  Histogram* read_latency_ = nullptr;
+  Histogram* write_latency_ = nullptr;
 };
 
 }  // namespace ode

@@ -14,6 +14,8 @@
 
 namespace ode {
 
+class MetricsRegistry;
+
 /// Aggregate counters a storage manager exposes for benchmarks and tests.
 struct StorageStats {
   uint64_t objects = 0;
@@ -83,6 +85,13 @@ class StorageManager {
   virtual Status Checkpoint() = 0;
 
   virtual StorageStats stats() const = 0;
+
+  /// Points the manager's counters and latency histograms at `registry`
+  /// (the owning Database's, so storage metrics share its reporting
+  /// surface). Implementations default to a private registry when
+  /// standalone; call before the first Read/Write. Default: no-op for
+  /// implementations without metrics.
+  virtual void BindMetrics(MetricsRegistry* registry) { (void)registry; }
 };
 
 namespace storage_internal {

@@ -7,18 +7,50 @@
 
 namespace ode {
 
-namespace {
-
-/// Monitoring-only counter bump: the Stats counters sit on the posting
-/// hot path and synchronize nothing, so relaxed ordering suffices.
-inline void Bump(std::atomic<uint64_t>& counter, uint64_t n = 1) {
-  counter.fetch_add(n, std::memory_order_relaxed);
+TriggerManager::Stats TriggerManager::MakeStats(MetricsRegistry* registry) {
+  return Stats{
+      *registry->GetCounter("ode_trigger_posts_total"),
+      *registry->GetCounter("ode_trigger_fast_path_skips_total"),
+      *registry->GetCounter("ode_trigger_fsm_moves_total"),
+      *registry->GetCounter("ode_trigger_mask_evals_total"),
+      *registry->GetCounter("ode_trigger_fires_total"),
+      *registry->GetCounter("ode_trigger_activations_total"),
+      *registry->GetCounter("ode_trigger_deactivations_total"),
+      *registry->GetCounter("ode_trigger_state_cache_hits_total"),
+      *registry->GetCounter("ode_trigger_state_cache_misses_total"),
+      *registry->GetCounter("ode_trigger_lookup_cache_hits_total"),
+      *registry->GetCounter("ode_trigger_lookup_cache_misses_total"),
+      *registry->GetCounter("ode_trigger_state_writebacks_total"),
+  };
 }
 
-}  // namespace
-
 TriggerManager::TriggerManager(Database* db, Options options)
-    : db_(db), options_(options), index_(db, options.index_buckets) {
+    : db_(db),
+      options_(options),
+      index_(db, options.index_buckets),
+      stats_(MakeStats(db->metrics())) {
+  MetricsRegistry* metrics = db_->metrics();
+  // Latencies are sampled: a posting (and a perpetual trigger's no-op
+  // fire) is ~hundreds of ns, so two clock reads per operation would be
+  // a measurable fraction of what they measure (experiment E1's
+  // MetricsToggle variant keeps this honest).
+  post_latency_ =
+      metrics->GetHistogram("ode_trigger_post_latency_ns", /*sample=*/16);
+  action_latency_[static_cast<int>(CouplingMode::kImmediate)] =
+      metrics->GetHistogram("ode_trigger_action_latency_ns_immediate",
+                            /*sample=*/16);
+  action_latency_[static_cast<int>(CouplingMode::kDeferred)] =
+      metrics->GetHistogram("ode_trigger_action_latency_ns_deferred",
+                            /*sample=*/16);
+  action_latency_[static_cast<int>(CouplingMode::kDependent)] =
+      metrics->GetHistogram("ode_trigger_action_latency_ns_dependent",
+                            /*sample=*/16);
+  action_latency_[static_cast<int>(CouplingMode::kIndependent)] =
+      metrics->GetHistogram("ode_trigger_action_latency_ns_independent",
+                            /*sample=*/16);
+  if (options_.trace_capacity > 0) {
+    trace_ = std::make_unique<TriggerTraceRing>(options_.trace_capacity);
+  }
   size_t stripes = std::max<size_t>(1, options_.lock_stripes);
   count_shards_.reserve(stripes);
   ctx_shards_.reserve(stripes);
@@ -117,11 +149,11 @@ Result<std::vector<Oid>> TriggerManager::CachedLookup(Transaction* txn,
   if (options_.lookup_cache_capacity > 0) {
     auto it = ctx->lookup_cache.find(obj);
     if (it != ctx->lookup_cache.end()) {
-      Bump(stats_.lookup_cache_hits);
+      stats_.lookup_cache_hits.Inc();
       return it->second;
     }
   }
-  Bump(stats_.lookup_cache_misses);
+  stats_.lookup_cache_misses.Inc();
   ODE_ASSIGN_OR_RETURN(std::vector<Oid> ids, index_.Lookup(txn, obj));
   if (options_.lookup_cache_capacity > 0) {
     if (ctx->lookup_cache.size() >= options_.lookup_cache_capacity) {
@@ -175,7 +207,7 @@ Result<TriggerId> TriggerManager::ActivateGroup(
     // The cached lookup (if any) no longer reflects the index bucket.
     InvalidateLookup(ctx, anchor);
   }
-  Bump(stats_.activations);
+  stats_.activations.Inc();
   return id;
 }
 
@@ -198,7 +230,7 @@ Result<uint64_t> TriggerManager::ActivateLocal(
   local.params = params.ToVector();
   ctx->local_triggers.push_back(std::move(local));
   ++ctx->local_counts[obj];
-  Bump(stats_.activations);
+  stats_.activations.Inc();
   return ctx->local_triggers.back().id;
 }
 
@@ -208,7 +240,7 @@ Status TriggerManager::DeactivateLocal(Transaction* txn, uint64_t local_id) {
     if (local.id == local_id && !local.dead) {
       local.dead = true;
       --ctx->local_counts[local.obj];
-      Bump(stats_.deactivations);
+      stats_.deactivations.Inc();
       return Status::OK();
     }
   }
@@ -249,7 +281,7 @@ Status TriggerManager::DeactivateInternal(Transaction* txn, TriggerId id,
     it->second.dirty = false;
   }
   ODE_RETURN_NOT_OK(db_->FreeObject(txn, id));
-  Bump(stats_.deactivations);
+  stats_.deactivations.Inc();
   return Status::OK();
 }
 
@@ -313,7 +345,9 @@ Status TriggerManager::EvictOneCachedState(Transaction* txn, TxnCtx* ctx) {
   if (victim->second.dirty && !victim->second.deleted) {
     ODE_RETURN_NOT_OK(db_->WriteObject(txn, victim->first,
                                        Slice(victim->second.state.Encode())));
-    Bump(stats_.state_writebacks);
+    stats_.state_writebacks.Inc();
+    Trace(TraceEvent::Kind::kStateWriteBack, txn->id(), victim->first,
+          victim->second.state.trigobj, 0, victim->second.state.statenum);
   }
   ctx->state_cache.erase(victim);
   return Status::OK();
@@ -327,7 +361,9 @@ Status TriggerManager::FlushCachedStates(Transaction* txn, TxnCtx* ctx) {
     cached.state.EncodeTo(enc);
     ODE_RETURN_NOT_OK(db_->WriteObject(txn, id, Slice(enc.buffer())));
     cached.dirty = false;
-    Bump(stats_.state_writebacks);
+    stats_.state_writebacks.Inc();
+    Trace(TraceEvent::Kind::kStateWriteBack, txn->id(), id,
+          cached.state.trigobj, 0, cached.state.statenum);
   }
   return Status::OK();
 }
@@ -336,7 +372,9 @@ Status TriggerManager::PostEvent(Transaction* txn, Oid obj,
                                  const TypeDescriptor* obj_type,
                                  Symbol symbol, Slice event_args) {
   (void)obj_type;  // passed for API parity with the paper's PostEvent
-  Bump(stats_.posts);
+  LatencyTimer post_timer(post_latency_);
+  stats_.posts.Inc();
+  Trace(TraceEvent::Kind::kEventPosted, txn->id(), Oid(), obj, symbol);
   TxnCtx* ctx = GetCtx(txn);
   // Footnote 3: "If the object has no active triggers, no lookup is
   // required since the persistent object's control information will
@@ -352,7 +390,8 @@ Status TriggerManager::PostEvent(Transaction* txn, Oid obj,
   auto lit = ctx->local_counts.find(obj);
   if (lit != ctx->local_counts.end()) active += lit->second;
   if (active == 0) {
-    Bump(stats_.fast_path_skips);
+    stats_.fast_path_skips.Inc();
+    Trace(TraceEvent::Kind::kFastPathSkip, txn->id(), Oid(), obj, symbol);
     return Status::OK();
   }
 
@@ -366,6 +405,10 @@ Status TriggerManager::PostEvent(Transaction* txn, Oid obj,
     TriggerState state;    // persistent: full state; local: synthesized
   };
   std::vector<Ready> ready;
+
+  // Batched monitoring counts: one sharded fetch_add per metric per
+  // posting (flushed below) instead of one per trigger machine.
+  uint64_t cache_hits = 0, cache_misses = 0, moves = 0, mask_evals = 0;
 
   // --- persistent triggers: cached index lookup + FSM advance (§5.4.5).
   std::vector<Oid> trig_ids;
@@ -386,12 +429,12 @@ Status TriggerManager::PostEvent(Transaction* txn, Oid obj,
     auto cit = ctx->state_cache.find(trig_id);
     if (cit != ctx->state_cache.end()) {
       if (cit->second.deleted) continue;  // deactivated earlier in txn
-      Bump(stats_.state_cache_hits);
+      ++cache_hits;
       cached = &cit->second;
       state = &cached->state;
       defining = cached->defining;
     } else {
-      Bump(stats_.state_cache_misses);
+      ++cache_misses;
       std::vector<char> image;
       ODE_RETURN_NOT_OK(db_->ReadObjectForUpdate(txn, trig_id, &image));
       ODE_ASSIGN_OR_RETURN(uncached_state, TriggerState::Decode(image));
@@ -419,7 +462,7 @@ Status TriggerManager::PostEvent(Transaction* txn, Oid obj,
 
     // Step (a): follow the transition, if any (unknown events ignored).
     int32_t next = info.fsm.Move(state->statenum, symbol);
-    Bump(stats_.fsm_moves);
+    ++moves;
 
     // Step (b): evaluate masks until the machine quiesces.
     MaskEvalContext mask_ctx(txn, db_, state->trigobj, state->params,
@@ -435,14 +478,21 @@ Status TriggerManager::PostEvent(Transaction* txn, Oid obj,
                                     ": no mask function " +
                                     std::to_string(mask_id));
           }
-          return info.masks[mask_id](mask_ctx);
+          Result<bool> verdict = info.masks[mask_id](mask_ctx);
+          if (verdict.ok()) {
+            Trace(TraceEvent::Kind::kMaskEvaluated, txn->id(), trig_id,
+                  state->trigobj, symbol, mask_id, verdict.value() ? 1 : 0);
+          }
+          return verdict;
         },
         &evaluations);
     if (!resolved.ok()) return resolved.status();
-    Bump(stats_.mask_evaluations, evaluations);
+    mask_evals += static_cast<uint64_t>(evaluations);
     next = resolved.value();
 
     if (next != state->statenum) {
+      Trace(TraceEvent::Kind::kFsmTransition, txn->id(), trig_id,
+            state->trigobj, symbol, state->statenum, next);
       state->statenum = next;
       if (cached != nullptr) {
         // Deferred write-back: encoded and written once at pre-commit.
@@ -457,6 +507,8 @@ Status TriggerManager::PostEvent(Transaction* txn, Oid obj,
     // seen the event, "to prevent the action of one trigger from
     // affecting the mask of another trigger" (§5.4.5).
     if (info.fsm.Accepting(next)) {
+      Trace(TraceEvent::Kind::kAcceptReached, txn->id(), trig_id,
+            state->trigobj, symbol, next);
       ready.push_back(Ready{defining, &info, trig_id, 0, *state});
     }
   }
@@ -473,7 +525,7 @@ Status TriggerManager::PostEvent(Transaction* txn, Oid obj,
         ctx->local_triggers[i].type->triggers()[ctx->local_triggers[i]
                                                     .triggernum];
     int32_t next = info.fsm.Move(ctx->local_triggers[i].statenum, symbol);
-    Bump(stats_.fsm_moves);
+    ++moves;
     std::vector<Oid> anchors{ctx->local_triggers[i].obj};
     std::vector<char> params = ctx->local_triggers[i].params;
     MaskEvalContext mask_ctx(txn, db_, anchors.front(), params, anchors,
@@ -490,11 +542,18 @@ Status TriggerManager::PostEvent(Transaction* txn, Oid obj,
         },
         &evaluations);
     if (!resolved.ok()) return resolved.status();
-    Bump(stats_.mask_evaluations, evaluations);
+    mask_evals += static_cast<uint64_t>(evaluations);
     LocalTrigger& local = ctx->local_triggers[i];
+    if (resolved.value() != local.statenum) {
+      // Local triggers have no TriggerState oid: trigger stays null.
+      Trace(TraceEvent::Kind::kFsmTransition, txn->id(), Oid(), local.obj,
+            symbol, local.statenum, resolved.value());
+    }
     local.statenum = resolved.value();
 
     if (info.fsm.Accepting(local.statenum)) {
+      Trace(TraceEvent::Kind::kAcceptReached, txn->id(), Oid(), local.obj,
+            symbol, local.statenum);
       Ready r;
       r.type = local.type;
       r.info = &info;
@@ -508,10 +567,15 @@ Status TriggerManager::PostEvent(Transaction* txn, Oid obj,
     }
   }
 
+  if (cache_hits != 0) stats_.state_cache_hits.Inc(cache_hits);
+  if (cache_misses != 0) stats_.state_cache_misses.Inc(cache_misses);
+  if (moves != 0) stats_.fsm_moves.Inc(moves);
+  if (mask_evals != 0) stats_.mask_evaluations.Inc(mask_evals);
+
   if (ready.empty()) return Status::OK();
 
+  stats_.fires.Inc(ready.size());
   for (Ready& r : ready) {
-    Bump(stats_.fires);
     PendingAction action;
     action.type = r.type;
     action.triggernum = r.state.triggernum;
@@ -546,14 +610,20 @@ Status TriggerManager::PostEvent(Transaction* txn, Oid obj,
         break;
       }
       case CouplingMode::kDeferred:
+        Trace(TraceEvent::Kind::kActionScheduled, txn->id(), r.id,
+              action.anchor, symbol, 0, 0, CouplingMode::kDeferred);
         ctx->end_list.push_back(std::move(action));
         ODE_RETURN_NOT_OK(deactivate_once_only());
         break;
       case CouplingMode::kDependent:
+        Trace(TraceEvent::Kind::kActionScheduled, txn->id(), r.id,
+              action.anchor, symbol, 0, 0, CouplingMode::kDependent);
         ctx->dependent_list.push_back(std::move(action));
         ODE_RETURN_NOT_OK(deactivate_once_only());
         break;
       case CouplingMode::kIndependent:
+        Trace(TraceEvent::Kind::kActionScheduled, txn->id(), r.id,
+              action.anchor, symbol, 0, 0, CouplingMode::kIndependent);
         ctx->independent_list.push_back(std::move(action));
         ODE_RETURN_NOT_OK(deactivate_once_only());
         break;
@@ -573,8 +643,16 @@ Status TriggerManager::RunAction(Transaction* txn,
   }
   TxnCtx* ctx = GetCtx(txn);
   ++ctx->processing_depth;
-  Status st = info.action(fire_ctx);
+  Status st;
+  {
+    LatencyTimer timer(action_latency_[static_cast<int>(info.coupling)]);
+    st = info.action(fire_ctx);
+  }
   --ctx->processing_depth;
+  if (st.ok()) {
+    Trace(TraceEvent::Kind::kActionRan, txn->id(), action.trigger_id,
+          action.anchor, 0, 0, 0, info.coupling);
+  }
   ODE_RETURN_NOT_OK(st);
   if (txn->abort_requested()) {
     return Status::TransactionAborted(txn->abort_reason());
@@ -713,7 +791,17 @@ Status TriggerManager::PostAbort(Transaction* txn) {
     }
   }
   txn->set_trigger_scratch(nullptr);
-  if (ctx != nullptr) independent = std::move(ctx->independent_list);
+  if (ctx != nullptr) {
+    // Record the discards while the context is still alive: these are
+    // the FSM advances that roll back with the transaction.
+    for (const auto& [id, cached] : ctx->state_cache) {
+      if (cached.dirty && !cached.deleted) {
+        Trace(TraceEvent::Kind::kAbortDiscard, txn->id(), id,
+              cached.state.trigobj, 0, cached.state.statenum);
+      }
+    }
+    independent = std::move(ctx->independent_list);
+  }
   // "The function handling transaction abort ... checks if the
   // !dependent list is non-empty after finishing all the tasks it
   // normally performs for roll-back" (§5.5).

@@ -8,12 +8,14 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "objstore/database.h"
 #include "objstore/type_descriptor.h"
 #include "trigger/trigger_index.h"
 #include "trigger/trigger_state.h"
+#include "trigger/trigger_trace.h"
 
 namespace ode {
 
@@ -140,25 +142,32 @@ class TriggerManager {
     size_t lookup_cache_capacity = 1024;
     /// Stripe count for the committed-count and txn-context locks.
     size_t lock_stripes = 16;
+    /// Capacity of the trigger-lifecycle trace ring; 0 (the default)
+    /// disables tracing — the hot path then pays one null-pointer test
+    /// per would-be trace point.
+    size_t trace_capacity = 0;
   };
 
-  /// Monitoring counters. Maintained with relaxed atomics — they are
-  /// monitoring-only and sit on the posting hot path, so they impose no
-  /// ordering; read them only for reporting, not for synchronization.
+  /// Monitoring counters, backed by the database's MetricsRegistry (the
+  /// fields alias registry counters, so `stats().posts` and the
+  /// `ode_trigger_posts_total` metric are the same cell). Counters sit on
+  /// the posting hot path and synchronize nothing; read them only for
+  /// reporting. `.load()` and implicit uint64_t conversion keep old
+  /// atomic-style call sites compiling.
   struct Stats {
-    std::atomic<uint64_t> posts{0};            // PostEvent calls
-    std::atomic<uint64_t> fast_path_skips{0};  // short-circuited posts
-    std::atomic<uint64_t> fsm_moves{0};
-    std::atomic<uint64_t> mask_evaluations{0};
-    std::atomic<uint64_t> fires{0};
-    std::atomic<uint64_t> activations{0};
-    std::atomic<uint64_t> deactivations{0};
+    Counter& posts;            // PostEvent calls
+    Counter& fast_path_skips;  // short-circuited posts
+    Counter& fsm_moves;
+    Counter& mask_evaluations;
+    Counter& fires;
+    Counter& activations;
+    Counter& deactivations;
     // Posting-path cache effectiveness (see Options).
-    std::atomic<uint64_t> state_cache_hits{0};
-    std::atomic<uint64_t> state_cache_misses{0};
-    std::atomic<uint64_t> lookup_cache_hits{0};
-    std::atomic<uint64_t> lookup_cache_misses{0};
-    std::atomic<uint64_t> state_writebacks{0};  // deferred encode+writes
+    Counter& state_cache_hits;
+    Counter& state_cache_misses;
+    Counter& lookup_cache_hits;
+    Counter& lookup_cache_misses;
+    Counter& state_writebacks;  // deferred encode+writes
   };
 
   explicit TriggerManager(Database* db, Options options);
@@ -256,6 +265,10 @@ class TriggerManager {
   const Stats& stats() const { return stats_; }
   Database* db() { return db_; }
 
+  /// The lifecycle trace ring, or nullptr when Options::trace_capacity
+  /// is 0.
+  TriggerTraceRing* trace() { return trace_.get(); }
+
  private:
   /// An action whose execution was deferred or detached.
   struct PendingAction {
@@ -336,6 +349,27 @@ class TriggerManager {
     return o;
   }
 
+  /// Resolves the Stats counter references out of `registry`.
+  static Stats MakeStats(MetricsRegistry* registry);
+
+  /// Records a lifecycle event if tracing is on (one pointer test when
+  /// off). a/b are overloaded per kind — see TraceEvent.
+  void Trace(TraceEvent::Kind kind, TxnId txn, Oid trigger, Oid anchor,
+             Symbol symbol, int32_t a = 0, int32_t b = 0,
+             CouplingMode coupling = CouplingMode::kImmediate) {
+    if (trace_ == nullptr) return;
+    TraceEvent e;
+    e.kind = kind;
+    e.coupling = coupling;
+    e.txn = txn;
+    e.trigger = trigger;
+    e.anchor = anchor;
+    e.symbol = symbol;
+    e.a = a;
+    e.b = b;
+    trace_->Record(e);
+  }
+
   CountShard& CountShardFor(Oid obj) {
     return *count_shards_[OidHash{}(obj) % count_shards_.size()];
   }
@@ -406,6 +440,10 @@ class TriggerManager {
   std::vector<std::unique_ptr<CtxShard>> ctx_shards_;
 
   Stats stats_;
+  Histogram* post_latency_ = nullptr;
+  /// Indexed by CouplingMode.
+  Histogram* action_latency_[4] = {nullptr, nullptr, nullptr, nullptr};
+  std::unique_ptr<TriggerTraceRing> trace_;
 
   static constexpr int kMaxFireDepth = 32;
   static constexpr int kMaxDeferredRounds = 64;

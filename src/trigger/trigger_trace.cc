@@ -1,0 +1,139 @@
+#include "trigger/trigger_trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "trigger/event_registry.h"
+
+namespace ode {
+
+const char* TraceEventKindToString(TraceEvent::Kind kind) {
+  switch (kind) {
+    case TraceEvent::Kind::kEventPosted:
+      return "event-posted";
+    case TraceEvent::Kind::kFastPathSkip:
+      return "fast-path-skip";
+    case TraceEvent::Kind::kFsmTransition:
+      return "fsm-transition";
+    case TraceEvent::Kind::kMaskEvaluated:
+      return "mask-evaluated";
+    case TraceEvent::Kind::kAcceptReached:
+      return "accept-reached";
+    case TraceEvent::Kind::kActionScheduled:
+      return "action-scheduled";
+    case TraceEvent::Kind::kActionRan:
+      return "action-ran";
+    case TraceEvent::Kind::kStateWriteBack:
+      return "state-writeback";
+    case TraceEvent::Kind::kAbortDiscard:
+      return "abort-discard";
+  }
+  return "unknown";
+}
+
+std::string TraceEvent::ToString() const {
+  char buf[256];
+  int n = std::snprintf(buf, sizeof(buf),
+                        "[%" PRIu64 "] txn %" PRIu64 " %-15s", seq, txn,
+                        TraceEventKindToString(kind));
+  std::string out(buf, n > 0 ? static_cast<size_t>(n) : 0);
+  auto add = [&out, &buf](int m) {
+    out.append(buf, m > 0 ? static_cast<size_t>(m) : 0);
+  };
+  if (!trigger.IsNull()) {
+    add(std::snprintf(buf, sizeof(buf), " trig %" PRIu64, trigger.value()));
+  }
+  if (!anchor.IsNull()) {
+    add(std::snprintf(buf, sizeof(buf), " anchor %" PRIu64, anchor.value()));
+  }
+  if (symbol != 0 || kind == Kind::kEventPosted) {
+    add(std::snprintf(buf, sizeof(buf), " ev %s",
+                      EventRegistry::Global().NameOf(symbol).c_str()));
+  }
+  switch (kind) {
+    case Kind::kFsmTransition:
+      add(std::snprintf(buf, sizeof(buf), " state %d -> %d", a, b));
+      break;
+    case Kind::kMaskEvaluated:
+      add(std::snprintf(buf, sizeof(buf), " mask#%d = %s", a,
+                        b != 0 ? "True" : "False"));
+      break;
+    case Kind::kAcceptReached:
+      add(std::snprintf(buf, sizeof(buf), " state %d", a));
+      break;
+    case Kind::kActionScheduled:
+    case Kind::kActionRan:
+      add(std::snprintf(buf, sizeof(buf), " coupling %s",
+                        CouplingModeToString(coupling)));
+      break;
+    default:
+      break;
+  }
+  return out;
+}
+
+TriggerTraceRing::TriggerTraceRing(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+void TriggerTraceRing::Record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  event.seq = seq_++;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(event);
+  } else {
+    ring_[next_] = event;
+  }
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<TraceEvent> TriggerTraceRing::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    // next_ is the oldest entry once the ring has wrapped.
+    for (size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(ring_[(next_ + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+uint64_t TriggerTraceRing::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seq_;
+}
+
+void TriggerTraceRing::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_ = 0;
+  // seq_ keeps counting: sequence numbers stay unique across Clear().
+}
+
+std::string TriggerTraceRing::Dump() const {
+  std::vector<TraceEvent> events = Events();
+  uint64_t total;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    total = seq_;
+  }
+  char header[128];
+  int n = std::snprintf(header, sizeof(header),
+                        "trigger trace: %zu event(s) shown, %" PRIu64
+                        " recorded (%" PRIu64 " dropped)\n",
+                        events.size(), total,
+                        total - static_cast<uint64_t>(events.size()));
+  std::string out(header, n > 0 ? static_cast<size_t>(n) : 0);
+  for (const TraceEvent& e : events) {
+    out += e.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace ode

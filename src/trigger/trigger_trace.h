@@ -1,0 +1,89 @@
+#ifndef ODE_TRIGGER_TRIGGER_TRACE_H_
+#define ODE_TRIGGER_TRIGGER_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "events/event_expr.h"
+#include "objstore/oid.h"
+#include "objstore/type_descriptor.h"
+
+namespace ode {
+
+/// One step of a trigger's lifecycle, as recorded by TriggerTraceRing.
+/// The a/b fields are overloaded per kind (see the accessors and
+/// docs/observability.md for the schema).
+struct TraceEvent {
+  enum class Kind : uint8_t {
+    kEventPosted,      // PostEvent entered: symbol posted to anchor
+    kFastPathSkip,     // footnote-3 short-circuit: no active triggers
+    kFsmTransition,    // one machine moved: a = from state, b = to state
+    kMaskEvaluated,    // mask pseudo-event resolved: a = mask ordinal,
+                       //   b = 1 (True) / 0 (False)
+    kAcceptReached,    // machine entered an accept state (a = state)
+    kActionScheduled,  // non-immediate action queued under `coupling`
+    kActionRan,        // action body executed under `coupling`
+    kStateWriteBack,   // dirty cached TriggerState written back
+    kAbortDiscard,     // txn aborted: dirty cached state discarded
+  };
+
+  uint64_t seq = 0;  // monotonically increasing per ring
+  Kind kind = Kind::kEventPosted;
+  CouplingMode coupling = CouplingMode::kImmediate;
+  TxnId txn = kNoTxn;
+  Oid trigger;  // TriggerState oid; null for local triggers / posts
+  Oid anchor;
+  Symbol symbol = 0;  // event being processed (0 when not applicable)
+  int32_t a = 0;
+  int32_t b = 0;
+
+  int32_t from_state() const { return a; }
+  int32_t to_state() const { return b; }
+  bool mask_result() const { return b != 0; }
+
+  /// One-line rendering, e.g.
+  ///   [12] txn 3 fsm-transition trig 41 anchor 17 ev CredCard::Buy 0 -> 2
+  std::string ToString() const;
+};
+
+const char* TraceEventKindToString(TraceEvent::Kind kind);
+
+/// Bounded ring of TraceEvents answering "why did/didn't this trigger
+/// fire": when full, the oldest entry is overwritten. Recording takes a
+/// mutex — the ring is an opt-in debugging aid (capacity 0 = off, the
+/// default; callers null-check the ring pointer before building events),
+/// so the posting hot path pays only a pointer test when tracing is off.
+class TriggerTraceRing {
+ public:
+  explicit TriggerTraceRing(size_t capacity);
+
+  void Record(TraceEvent event);
+
+  size_t capacity() const { return capacity_; }
+
+  /// Events in recording order (oldest surviving entry first).
+  std::vector<TraceEvent> Events() const;
+
+  /// Total events ever recorded, including overwritten ones.
+  uint64_t total_recorded() const;
+
+  void Clear();
+
+  /// Human-readable dump, one ToString() line per event, with a header
+  /// noting how many events were dropped by wraparound.
+  std::string Dump() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;
+  size_t next_ = 0;     // ring_ slot for the next event
+  uint64_t seq_ = 0;    // == total recorded
+};
+
+}  // namespace ode
+
+#endif  // ODE_TRIGGER_TRIGGER_TRACE_H_

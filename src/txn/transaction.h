@@ -41,6 +41,10 @@ class Transaction {
   bool abort_requested() const { return abort_requested_; }
   const std::string& abort_reason() const { return abort_reason_; }
 
+  /// Monotonic nanosecond timestamp of Begin, for the begin->commit
+  /// latency histogram (0 until the TransactionManager stamps it).
+  uint64_t begin_nanos() const { return begin_nanos_; }
+
   /// Opaque per-transaction scratch slot owned by the trigger runtime.
   /// Set once by the TriggerManager on first use and cleared when the
   /// transaction's trigger context is destroyed (post-commit/post-abort
@@ -55,6 +59,7 @@ class Transaction {
 
   TxnId id_;
   bool system_;
+  uint64_t begin_nanos_ = 0;
   TxnState state_ = TxnState::kActive;
   bool abort_requested_ = false;
   std::string abort_reason_;

@@ -6,7 +6,17 @@ namespace ode {
 
 TransactionManager::TransactionManager(StorageManager* store,
                                        LockManager* locks)
-    : store_(store), locks_(locks) {}
+    : store_(store), locks_(locks) {
+  owned_metrics_ = std::make_unique<MetricsRegistry>();
+  BindMetrics(owned_metrics_.get());
+}
+
+void TransactionManager::BindMetrics(MetricsRegistry* registry) {
+  commits_ = registry->GetCounter("ode_txn_commits_total");
+  aborts_ = registry->GetCounter("ode_txn_aborts_total");
+  active_ = registry->GetGauge("ode_txn_active");
+  commit_latency_ = registry->GetHistogram("ode_txn_commit_latency_ns");
+}
 
 Result<Transaction*> TransactionManager::Begin(bool system) {
   std::unique_lock<std::mutex> lock(mu_);
@@ -14,9 +24,11 @@ Result<Transaction*> TransactionManager::Begin(bool system) {
   lock.unlock();
   ODE_RETURN_NOT_OK(store_->BeginTxn(id));
   auto txn = std::make_unique<Transaction>(id, system);
+  txn->begin_nanos_ = LatencyTimer::NowNanos();
   Transaction* raw = txn.get();
   lock.lock();
   live_[id] = std::move(txn);
+  active_->Add(1);
   return raw;
 }
 
@@ -45,10 +57,14 @@ Status TransactionManager::Commit(Transaction* txn) {
   ODE_RETURN_NOT_OK(store_->CommitTxn(txn->id()));
   locks_->ReleaseAll(txn->id());
   txn->state_ = TxnState::kCommitted;
+  if (txn->begin_nanos_ != 0 && commit_latency_->ShouldSample()) {
+    commit_latency_->Record(LatencyTimer::NowNanos() - txn->begin_nanos_);
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     outcomes_[txn->id()] = TxnState::kCommitted;
-    ++commits_;
+    commits_->Inc();
+    active_->Sub(1);
   }
 
   Status post = Status::OK();
@@ -83,7 +99,8 @@ Status TransactionManager::FinishAbort(Transaction* txn, bool run_pre_hook) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     outcomes_[txn->id()] = TxnState::kAborted;
-    ++aborts_;
+    aborts_->Inc();
+    active_->Sub(1);
   }
   Status post = Status::OK();
   if (post_abort_) post = post_abort_(txn);

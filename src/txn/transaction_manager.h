@@ -6,6 +6,7 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "common/metrics.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "storage/lock_manager.h"
@@ -59,8 +60,13 @@ class TransactionManager {
   StorageManager* store() { return store_; }
   LockManager* locks() { return locks_; }
 
-  uint64_t commits() const { return commits_; }
-  uint64_t aborts() const { return aborts_; }
+  /// Points this manager's counters at `registry` (the owning Database's
+  /// registry). Standalone managers use a private registry, keeping the
+  /// accessors below per-instance. Call before the first Begin.
+  void BindMetrics(MetricsRegistry* registry);
+
+  uint64_t commits() const { return commits_->value(); }
+  uint64_t aborts() const { return aborts_->value(); }
 
  private:
   Status FinishAbort(Transaction* txn, bool run_pre_hook);
@@ -74,8 +80,13 @@ class TransactionManager {
   std::unordered_map<TxnId, std::unique_ptr<Transaction>> live_;
   std::unordered_map<TxnId, TxnState> outcomes_;
   TxnId next_id_ = 1;
-  uint64_t commits_ = 0;
-  uint64_t aborts_ = 0;
+
+  // Metrics (see BindMetrics).
+  std::unique_ptr<MetricsRegistry> owned_metrics_;
+  Counter* commits_ = nullptr;
+  Counter* aborts_ = nullptr;
+  Gauge* active_ = nullptr;
+  Histogram* commit_latency_ = nullptr;
 };
 
 }  // namespace ode

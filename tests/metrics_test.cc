@@ -1,0 +1,332 @@
+// Tests for the metrics registry (counters, gauges, log-bucketed latency
+// histograms, snapshots/deltas, text exposition) and for the end-to-end
+// wiring: one Session run must surface trigger, storage, transaction,
+// and lock metrics on the database-wide registry.
+
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "storage/lock_manager.h"
+#include "paper_example.h"
+
+namespace ode {
+namespace {
+
+// ---------------------------------------------------------------- Counter
+
+TEST(Counter, IncrementsAndReads) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("c");
+  EXPECT_EQ(c->value(), 0u);
+  c->Inc();
+  c->Inc(41);
+  EXPECT_EQ(c->value(), 42u);
+  // std::atomic-compatible spellings used by pre-registry call sites.
+  EXPECT_EQ(c->load(), 42u);
+  EXPECT_EQ(static_cast<uint64_t>(*c), 42u);
+}
+
+TEST(Counter, GetIsCreateOrGet) {
+  MetricsRegistry reg;
+  Counter* a = reg.GetCounter("same");
+  Counter* b = reg.GetCounter("same");
+  EXPECT_EQ(a, b);
+  a->Inc();
+  EXPECT_EQ(b->value(), 1u);
+}
+
+TEST(Counter, ConcurrentIncrementsAreExact) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("c");
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([c] {
+      for (int i = 0; i < kIncrements; ++i) c->Inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c->value(), uint64_t(kThreads) * kIncrements);
+}
+
+TEST(Counter, DisabledRegistryDropsWrites) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("c");
+  reg.set_enabled(false);
+  c->Inc(100);
+  EXPECT_EQ(c->value(), 0u);
+  reg.set_enabled(true);
+  c->Inc(7);
+  EXPECT_EQ(c->value(), 7u);
+}
+
+// ------------------------------------------------------------------ Gauge
+
+TEST(Gauge, SetAddSub) {
+  MetricsRegistry reg;
+  Gauge* g = reg.GetGauge("g");
+  g->Set(10);
+  g->Add(5);
+  g->Sub(8);
+  EXPECT_EQ(g->value(), 7);
+  reg.set_enabled(false);
+  g->Add(100);
+  EXPECT_EQ(g->value(), 7);
+}
+
+// -------------------------------------------------------------- Histogram
+
+TEST(Histogram, BucketIndexBoundaries) {
+  using metrics_internal::BucketIndex;
+  using metrics_internal::BucketLower;
+  using metrics_internal::BucketUpper;
+  EXPECT_EQ(BucketIndex(0), 0u);
+  EXPECT_EQ(BucketIndex(1), 1u);
+  EXPECT_EQ(BucketIndex(2), 2u);
+  EXPECT_EQ(BucketIndex(3), 2u);
+  EXPECT_EQ(BucketIndex(4), 3u);
+  EXPECT_EQ(BucketIndex(1023), 10u);
+  EXPECT_EQ(BucketIndex(1024), 11u);
+  EXPECT_EQ(BucketIndex(UINT64_MAX), 64u);
+  // Every bucket's bounds agree with the index function.
+  for (size_t i = 0; i < metrics_internal::kBuckets; ++i) {
+    EXPECT_EQ(BucketIndex(BucketLower(i)), i) << "bucket " << i;
+    EXPECT_EQ(BucketIndex(BucketUpper(i)), i) << "bucket " << i;
+  }
+}
+
+TEST(Histogram, RecordsCountSumMax) {
+  MetricsRegistry reg;
+  Histogram* h = reg.GetHistogram("h");
+  h->Record(100);
+  h->Record(200);
+  h->Record(50);
+  HistogramData data = h->data();
+  EXPECT_EQ(data.count, 3u);
+  EXPECT_EQ(data.sum, 350u);
+  EXPECT_EQ(data.max, 200u);
+}
+
+TEST(Histogram, PercentilesLandInTheRightBucket) {
+  MetricsRegistry reg;
+  Histogram* h = reg.GetHistogram("h");
+  // 1000 identical samples: every percentile must resolve inside the
+  // bucket holding 500 ([256, 511]) and clamp to the observed max.
+  for (int i = 0; i < 1000; ++i) h->Record(500);
+  HistogramData data = h->data();
+  EXPECT_EQ(data.count, 1000u);
+  EXPECT_EQ(data.max, 500u);
+  for (double p : {50.0, 95.0, 99.0}) {
+    double v = data.Percentile(p);
+    EXPECT_GE(v, 256.0) << "p" << p;
+    EXPECT_LE(v, 500.0) << "p" << p;
+  }
+  EXPECT_DOUBLE_EQ(data.Mean(), 500.0);
+}
+
+TEST(Histogram, PercentilesOrderOnSpreadData) {
+  MetricsRegistry reg;
+  Histogram* h = reg.GetHistogram("h");
+  // 90 fast ops, 10 slow ops: p50 stays fast, p99 must see the tail.
+  for (int i = 0; i < 90; ++i) h->Record(100);
+  for (int i = 0; i < 10; ++i) h->Record(100000);
+  HistogramData data = h->data();
+  double p50 = data.Percentile(50);
+  double p99 = data.Percentile(99);
+  EXPECT_LE(p50, 127.0);  // inside [64, 127], the bucket holding 100
+  EXPECT_GE(p99, 65536.0);  // inside the bucket holding 100000
+  EXPECT_LE(p99, 100000.0);  // clamped to observed max
+  EXPECT_EQ(data.Percentile(0), data.Percentile(0));  // no NaN
+  EXPECT_EQ(HistogramData{}.Percentile(50), 0.0);     // empty histogram
+}
+
+TEST(Histogram, ConcurrentRecordsAreExact) {
+  MetricsRegistry reg;
+  Histogram* h = reg.GetHistogram("h");
+  constexpr int kThreads = 4;
+  constexpr int kRecords = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([h, t] {
+      for (int i = 0; i < kRecords; ++i) h->Record(uint64_t(t) + 1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  HistogramData data = h->data();
+  EXPECT_EQ(data.count, uint64_t(kThreads) * kRecords);
+  EXPECT_EQ(data.max, uint64_t(kThreads));
+}
+
+TEST(Histogram, SamplingMaskRoundsToPowerOfTwo) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.GetHistogram("h1", 1)->sample_every(), 1u);
+  EXPECT_EQ(reg.GetHistogram("h16", 16)->sample_every(), 16u);
+  EXPECT_EQ(reg.GetHistogram("h20", 20)->sample_every(), 32u);
+  // A sampled histogram admits roughly 1 in N ShouldSample calls.
+  Histogram* h = reg.GetHistogram("h16");
+  int admitted = 0;
+  for (int i = 0; i < 1600; ++i) {
+    if (h->ShouldSample()) ++admitted;
+  }
+  EXPECT_EQ(admitted, 100);
+  reg.set_enabled(false);
+  EXPECT_FALSE(reg.GetHistogram("h1")->ShouldSample());
+}
+
+TEST(LatencyTimer, RecordsElapsedTime) {
+  MetricsRegistry reg;
+  Histogram* h = reg.GetHistogram("h");
+  { LatencyTimer timer(h); }
+  { LatencyTimer none(nullptr); }  // null histogram: no-op
+  HistogramData data = h->data();
+  EXPECT_EQ(data.count, 1u);
+}
+
+// --------------------------------------------------- Snapshot and deltas
+
+TEST(Snapshot, CapturesAllKindsSorted) {
+  MetricsRegistry reg;
+  reg.GetCounter("b_counter")->Inc(3);
+  reg.GetGauge("a_gauge")->Set(-2);
+  reg.GetHistogram("c_hist")->Record(9);
+  MetricsSnapshot snap = reg.Snapshot();
+  ASSERT_EQ(snap.metrics().size(), 3u);
+  EXPECT_EQ(snap.metrics()[0].name, "a_gauge");
+  EXPECT_EQ(snap.metrics()[1].name, "b_counter");
+  EXPECT_EQ(snap.metrics()[2].name, "c_hist");
+  EXPECT_EQ(snap.CounterValue("b_counter"), 3u);
+  EXPECT_EQ(snap.Find("a_gauge")->gauge, -2);
+  EXPECT_EQ(snap.HistogramValue("c_hist").count, 1u);
+  EXPECT_EQ(snap.Find("nope"), nullptr);
+  EXPECT_EQ(snap.CounterValue("nope"), 0u);
+}
+
+TEST(Snapshot, DeltaIsolatesAWindow) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("c");
+  Histogram* h = reg.GetHistogram("h");
+  c->Inc(10);
+  h->Record(4);
+  MetricsSnapshot before = reg.Snapshot();
+  c->Inc(5);
+  h->Record(4);
+  h->Record(4);
+  MetricsSnapshot delta = reg.Snapshot().Delta(before);
+  EXPECT_EQ(delta.CounterValue("c"), 5u);
+  HistogramData hd = delta.HistogramValue("h");
+  EXPECT_EQ(hd.count, 2u);
+  EXPECT_EQ(hd.sum, 8u);
+}
+
+TEST(Snapshot, TextExpositionFormat) {
+  MetricsRegistry reg;
+  reg.GetCounter("ode_demo_total")->Inc(2);
+  reg.GetHistogram("ode_demo_latency_ns")->Record(300);
+  std::string text = reg.DumpText();
+  EXPECT_NE(text.find("# TYPE ode_demo_total counter"), std::string::npos);
+  EXPECT_NE(text.find("ode_demo_total 2"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE ode_demo_latency_ns histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("ode_demo_latency_ns_count 1"), std::string::npos);
+  EXPECT_NE(text.find("ode_demo_latency_ns_sum 300"), std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos);
+  EXPECT_NE(text.find("# p50"), std::string::npos);
+}
+
+// ----------------------------------------------------- LockManager wiring
+
+TEST(LockMetrics, ContentionAccruesWaitTime) {
+  LockManager locks;
+  ASSERT_TRUE(locks.Acquire(1, Oid(7), LockMode::kExclusive).ok());
+  std::thread waiter([&] {
+    EXPECT_TRUE(locks.Acquire(2, Oid(7), LockMode::kShared).ok());
+    locks.ReleaseAll(2);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  locks.ReleaseAll(1);
+  waiter.join();
+  EXPECT_EQ(locks.conflicts(), 1u);
+  EXPECT_GT(locks.wait_ns(), 0u);
+}
+
+// ------------------------------------------- Session end-to-end exposure
+
+class SessionMetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    paper::DeclareCredCard(&schema_);
+    ASSERT_TRUE(schema_.Freeze().ok());
+  }
+
+  std::unique_ptr<Session> OpenSession(Session::Options options) {
+    auto session =
+        Session::Open(StorageKind::kMainMemory, "", &schema_, options);
+    EXPECT_TRUE(session.ok()) << session.status().ToString();
+    return std::move(session).value();
+  }
+
+  // Activates AutoRaiseLimit and drives it to fire once: Buy over 80% of
+  // the limit, then PayBill (the relative() sequence of §4).
+  Status RunPaperWorkload(Session* s) {
+    return s->WithTransaction([&](Transaction* txn) -> Status {
+      auto card = s->New(txn, paper::CredCard{1000, 0, 0, true});
+      ODE_RETURN_NOT_OK(card.status());
+      auto trig = s->Activate(txn, *card, "AutoRaiseLimit",
+                              PackParams(250.0f));
+      ODE_RETURN_NOT_OK(trig.status());
+      ODE_RETURN_NOT_OK(
+          s->Invoke(txn, *card, &paper::CredCard::Buy, 900.0f));
+      ODE_RETURN_NOT_OK(
+          s->Invoke(txn, *card, &paper::CredCard::PayBill, 100.0f));
+      auto loaded = s->Load(txn, *card);
+      ODE_RETURN_NOT_OK(loaded.status());
+      EXPECT_FLOAT_EQ(loaded->cred_lim, 1250.0f);  // trigger fired
+      return Status::OK();
+    });
+  }
+
+  Schema schema_;
+};
+
+TEST_F(SessionMetricsTest, OneRunSurfacesAllFourLayers) {
+  std::unique_ptr<Session> s = OpenSession(Session::Options{});
+  ASSERT_TRUE(RunPaperWorkload(s.get()).ok());
+
+  MetricsSnapshot snap = s->MetricsSnapshot();
+  EXPECT_GT(snap.CounterValue("ode_trigger_posts_total"), 0u);
+  EXPECT_GT(snap.CounterValue("ode_trigger_fires_total"), 0u);
+  EXPECT_GT(snap.CounterValue("ode_storage_object_reads_total"), 0u);
+  EXPECT_GT(snap.CounterValue("ode_storage_object_writes_total"), 0u);
+  EXPECT_GT(snap.CounterValue("ode_txn_commits_total"), 0u);
+  EXPECT_EQ(snap.Find("ode_txn_active")->gauge, 0);
+  ASSERT_NE(snap.Find("ode_lock_conflicts_total"), nullptr);
+  EXPECT_GT(snap.HistogramValue("ode_txn_commit_latency_ns").count, 0u);
+
+  std::string text = s->DumpMetricsText();
+  for (const char* name :
+       {"ode_trigger_posts_total", "ode_storage_object_reads_total",
+        "ode_txn_commits_total", "ode_lock_conflicts_total",
+        "ode_trigger_post_latency_ns",
+        "ode_trigger_action_latency_ns_immediate"}) {
+    EXPECT_NE(text.find(name), std::string::npos) << name;
+  }
+}
+
+TEST_F(SessionMetricsTest, DisabledMetricsStillRunTriggers) {
+  Session::Options options;
+  options.enable_metrics = false;
+  std::unique_ptr<Session> s = OpenSession(options);
+  EXPECT_FALSE(s->metrics()->enabled());
+  ASSERT_TRUE(RunPaperWorkload(s.get()).ok());  // semantics unaffected
+  MetricsSnapshot snap = s->MetricsSnapshot();
+  EXPECT_EQ(snap.CounterValue("ode_trigger_posts_total"), 0u);
+  EXPECT_EQ(snap.CounterValue("ode_txn_commits_total"), 0u);
+}
+
+}  // namespace
+}  // namespace ode

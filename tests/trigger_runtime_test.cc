@@ -4,10 +4,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "objstore/database.h"
+#include "paper_example.h"
 #include "trigger/event_registry.h"
 #include "trigger/trigger_index.h"
 #include "trigger/trigger_state.h"
+#include "trigger/trigger_trace.h"
 
 namespace ode {
 namespace {
@@ -187,6 +191,139 @@ TEST_F(TriggerIndexTest, ForEachOnEmptyDatabase) {
   ASSERT_TRUE(index_->ForEach(txn, [&](Oid, Oid) { ++count; }).ok());
   EXPECT_EQ(count, 0);
   ASSERT_TRUE(db_->txns()->Commit(txn).ok());
+}
+
+// ------------------------------------------------------- TriggerTraceRing
+
+TEST(TriggerTraceRing, WrapsAndKeepsNewest) {
+  TriggerTraceRing ring(3);
+  for (int i = 0; i < 5; ++i) {
+    TraceEvent event;
+    event.kind = TraceEvent::Kind::kEventPosted;
+    event.a = i;
+    ring.Record(event);
+  }
+  EXPECT_EQ(ring.total_recorded(), 5u);
+  std::vector<TraceEvent> events = ring.Events();
+  ASSERT_EQ(events.size(), 3u);
+  // Oldest surviving first; seq assigned by the ring itself.
+  EXPECT_EQ(events[0].a, 2);
+  EXPECT_EQ(events[2].a, 4);
+  EXPECT_EQ(events[0].seq + 2, events[2].seq);
+  EXPECT_NE(ring.Dump().find("(2 dropped)"), std::string::npos);
+  ring.Clear();
+  EXPECT_TRUE(ring.Events().empty());
+  EXPECT_EQ(ring.total_recorded(), 5u);  // Clear keeps the sequence
+}
+
+// The trace ring observed through a Session running the paper's §4
+// credit-card example (Fig. 1's relative() machine).
+class TriggerTraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    paper::DeclareCredCard(&schema_);
+    ASSERT_TRUE(schema_.Freeze().ok());
+    Session::Options options;
+    options.trigger_trace_capacity = 256;
+    auto session =
+        Session::Open(StorageKind::kMainMemory, "", &schema_, options);
+    ASSERT_TRUE(session.ok()) << session.status().ToString();
+    s_ = std::move(session).value();
+  }
+
+  static bool HasKind(const std::vector<TraceEvent>& events,
+                      TraceEvent::Kind kind) {
+    return std::any_of(events.begin(), events.end(),
+                       [kind](const TraceEvent& e) { return e.kind == kind; });
+  }
+
+  Schema schema_;
+  std::unique_ptr<Session> s_;
+};
+
+TEST_F(TriggerTraceTest, FiredTriggerLeavesItsFullTransitionPath) {
+  // AutoRaiseLimit: relative((after Buy & MoreCred()), after PayBill).
+  // First transaction: Buy to 90% of the limit advances the machine to
+  // its intermediate state, which must be written back at commit.
+  // Second transaction: PayBill reaches accept and runs the action.
+  TriggerId trig = TriggerId::Null();
+  PRef<paper::CredCard> card;
+  ASSERT_TRUE(s_->WithTransaction([&](Transaction* txn) -> Status {
+                  auto created =
+                      s_->New(txn, paper::CredCard{1000, 0, 0, true});
+                  ODE_RETURN_NOT_OK(created.status());
+                  card = *created;
+                  auto t = s_->Activate(txn, card, "AutoRaiseLimit",
+                                        PackParams(250.0f));
+                  ODE_RETURN_NOT_OK(t.status());
+                  trig = *t;
+                  return s_->Invoke(txn, card, &paper::CredCard::Buy, 900.0f);
+                }).ok());
+  ASSERT_TRUE(s_->WithTransaction([&](Transaction* txn) -> Status {
+                  return s_->Invoke(txn, card, &paper::CredCard::PayBill,
+                                    100.0f);
+                }).ok());
+
+  std::vector<TraceEvent> events = s_->triggers()->trace()->Events();
+  EXPECT_TRUE(HasKind(events, TraceEvent::Kind::kEventPosted));
+  EXPECT_TRUE(HasKind(events, TraceEvent::Kind::kStateWriteBack));
+
+  // This trigger's own path: at least one FSM move, a True mask verdict,
+  // an accept, and the action run — in that order.
+  auto index_of = [&](TraceEvent::Kind kind, auto pred) -> int {
+    for (size_t i = 0; i < events.size(); ++i) {
+      if (events[i].kind == kind && events[i].trigger == trig &&
+          pred(events[i])) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  };
+  auto any = [](const TraceEvent&) { return true; };
+  int moved = index_of(TraceEvent::Kind::kFsmTransition, any);
+  int masked = index_of(TraceEvent::Kind::kMaskEvaluated,
+                        [](const TraceEvent& e) { return e.mask_result(); });
+  int accepted = index_of(TraceEvent::Kind::kAcceptReached, any);
+  int ran = index_of(TraceEvent::Kind::kActionRan, any);
+  ASSERT_GE(moved, 0);
+  ASSERT_GE(masked, 0);
+  ASSERT_GE(accepted, 0);
+  ASSERT_GE(ran, 0);
+  EXPECT_LT(moved, accepted);
+  EXPECT_LT(masked, accepted);
+  EXPECT_LT(accepted, ran);
+  EXPECT_EQ(events[ran].coupling, CouplingMode::kImmediate);
+
+  // The dump renders the whole path in order.
+  std::string dump = s_->DumpTrace();
+  EXPECT_NE(dump.find("fsm-transition"), std::string::npos);
+  EXPECT_NE(dump.find("accept-reached"), std::string::npos);
+  EXPECT_NE(dump.find("action-ran"), std::string::npos);
+}
+
+TEST_F(TriggerTraceTest, AbortedTransactionRecordsItsDiscards) {
+  // DenyCredit taborts when a Buy pushes the balance over the limit; the
+  // perpetual machine's dirty state is discarded with the transaction.
+  Status st = s_->WithTransaction([&](Transaction* txn) -> Status {
+    auto card = s_->New(txn, paper::CredCard{100, 0, 0, true});
+    ODE_RETURN_NOT_OK(card.status());
+    ODE_RETURN_NOT_OK(s_->Activate(txn, *card, "DenyCredit").status());
+    return s_->Invoke(txn, *card, &paper::CredCard::Buy, 500.0f);
+  });
+  EXPECT_TRUE(st.IsTransactionAborted()) << st.ToString();
+
+  std::vector<TraceEvent> events = s_->triggers()->trace()->Events();
+  EXPECT_TRUE(HasKind(events, TraceEvent::Kind::kAcceptReached));
+  EXPECT_TRUE(HasKind(events, TraceEvent::Kind::kActionRan));
+  EXPECT_TRUE(HasKind(events, TraceEvent::Kind::kAbortDiscard));
+  EXPECT_FALSE(HasKind(events, TraceEvent::Kind::kStateWriteBack));
+}
+
+TEST_F(TriggerTraceTest, DumpWithoutTracingExplainsItself) {
+  auto plain = Session::Open(StorageKind::kMainMemory, "", &schema_);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ((*plain)->triggers()->trace(), nullptr);
+  EXPECT_NE((*plain)->DumpTrace().find("disabled"), std::string::npos);
 }
 
 }  // namespace
