@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# One-command CI entry point.
+#
+#   scripts/run_checks.sh            # tier-1: configure + build + full ctest
+#   scripts/run_checks.sh faults     # only the fault-injection/crash-torture
+#                                    # suites (ctest -L faults)
+#   scripts/run_checks.sh asan       # fault suites under AddressSanitizer
+#   scripts/run_checks.sh tsan       # fault suites under ThreadSanitizer
+#   scripts/run_checks.sh all        # tier-1, then asan, then tsan
+#
+# Each sanitizer uses its own build tree (build-asan/, build-tsan/) so the
+# plain tier-1 tree is never reconfigured under it.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
+
+configure_and_build() {
+  local dir="$1"; shift
+  cmake -B "$dir" -S . "$@"
+  cmake --build "$dir" -j "$JOBS"
+}
+
+tier1() {
+  echo "== tier-1: build + full test suite =="
+  configure_and_build build
+  ctest --test-dir build --output-on-failure -j "$JOBS"
+}
+
+faults_only() {
+  echo "== fault-injection suites (ctest -L faults) =="
+  configure_and_build build
+  ctest --test-dir build --output-on-failure -L faults
+}
+
+sanitized() {
+  local name="$1" flag="$2"
+  echo "== ${name}: fault-injection suites under ${flag} =="
+  configure_and_build "build-${name}" "-DODE_${name^^}=ON"
+  ctest --test-dir "build-${name}" --output-on-failure -L faults
+}
+
+case "${1:-tier1}" in
+  tier1)  tier1 ;;
+  faults) faults_only ;;
+  asan)   sanitized asan ODE_ASAN ;;
+  tsan)   sanitized tsan ODE_TSAN ;;
+  all)    tier1; sanitized asan ODE_ASAN; sanitized tsan ODE_TSAN ;;
+  *)
+    echo "usage: $0 [tier1|faults|asan|tsan|all]" >&2
+    exit 2
+    ;;
+esac
+
+echo "OK"

@@ -22,6 +22,8 @@ const char* LevelName(LogLevel level) {
       return "WARN";
     case LogLevel::kError:
       return "ERROR";
+    case LogLevel::kSilence:
+      return "SILENCE";
   }
   return "?";
 }
@@ -53,10 +55,12 @@ void InitLogLevelFromEnv() {
       SetLogLevel(LogLevel::kWarn);
     } else if (value == "error") {
       SetLogLevel(LogLevel::kError);
+    } else if (value == "silence" || value == "off" || value == "none") {
+      SetLogLevel(LogLevel::kSilence);
     } else {
       std::fprintf(stderr,
                    "[WARN] unrecognized ODE_LOG_LEVEL '%s' "
-                   "(expected debug|info|warn|error)\n",
+                   "(expected debug|info|warn|error|off)\n",
                    raw);
     }
   });

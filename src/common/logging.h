@@ -6,7 +6,16 @@
 
 namespace ode {
 
-enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+/// kSilence is a threshold only — nothing logs *at* that level; setting
+/// it as the minimum suppresses all output (used by tests that provoke
+/// storage failures on purpose).
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kSilence = 4,
+};
 
 /// Sets the minimum level that LogMessage emits to stderr. Defaults to
 /// kWarn so library internals are quiet in tests and benches.

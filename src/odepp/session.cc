@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "storage/disk_storage_manager.h"
 
 namespace ode {
 
@@ -32,6 +33,18 @@ Result<std::unique_ptr<Session>> Session::Open(StorageKind kind,
                                                const std::string& path,
                                                Schema* schema,
                                                Options options) {
+  if (kind == StorageKind::kDisk) {
+    if (path.empty()) {
+      return Status::InvalidArgument("disk database needs a path");
+    }
+    // Built here (rather than via Database::Open) so session-level I/O
+    // policy reaches the storage layer.
+    DiskStorageManager::Options dopts;
+    dopts.io_retry_attempts = options.io_retry_attempts;
+    dopts.io_retry_backoff_us = options.io_retry_backoff_us;
+    return OpenWith(std::make_unique<DiskStorageManager>(path, dopts),
+                    schema, options);
+  }
   InitLogLevelFromEnv();
   if (!schema->frozen()) {
     return Status::InvalidArgument("schema must be frozen before Open");

@@ -70,6 +70,14 @@ class Session {
     /// mask verdict, accept, action, write-back, abort discard) is
     /// recorded; read it back with DumpTrace().
     size_t trigger_trace_capacity = 0;
+    /// Disk databases: retries per transient (kIOError) storage failure
+    /// before giving up (0 = fail fast). Retried operations increment
+    /// ode_io_retries_total; giving up increments
+    /// ode_io_retry_exhausted_total.
+    uint32_t io_retry_attempts = 0;
+    /// Disk databases: backoff before the first I/O retry; doubles per
+    /// retry.
+    uint32_t io_retry_backoff_us = 100;
   };
 
   /// Opens a database using the given (frozen) schema.

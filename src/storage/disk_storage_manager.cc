@@ -1,8 +1,5 @@
 #include "storage/disk_storage_manager.h"
 
-#include <fcntl.h>
-#include <unistd.h>
-
 #include <cstring>
 
 #include "common/coding.h"
@@ -26,32 +23,29 @@ constexpr size_t kOvfLenOff = 12;
 constexpr size_t kOvfDataOff = 16;
 constexpr size_t kOvfCapacity = kPageSize - kOvfDataOff;
 
-Status ReadPageAt(int fd, uint32_t page_id, char* buf) {
-  ssize_t n = pread(fd, buf, kPageSize,
-                    static_cast<off_t>(page_id) * kPageSize);
-  if (n != static_cast<ssize_t>(kPageSize)) {
-    return Status::IOError("pread of page " + std::to_string(page_id) +
-                           " failed");
-  }
-  return Status::OK();
+Status ReadPageFrom(RandomRWFile* file, const IoRetryPolicy* retry,
+                    uint32_t page_id, char* buf) {
+  return RetryIo(retry, "page read", [&] {
+    return file->ReadAt(static_cast<uint64_t>(page_id) * kPageSize, kPageSize,
+                        buf);
+  });
 }
 
-Status WritePageAt(int fd, uint32_t page_id, const char* buf) {
-  ssize_t n = pwrite(fd, buf, kPageSize,
-                     static_cast<off_t>(page_id) * kPageSize);
-  if (n != static_cast<ssize_t>(kPageSize)) {
-    return Status::IOError("pwrite of page " + std::to_string(page_id) +
-                           " failed");
-  }
-  return Status::OK();
+Status WritePageTo(RandomRWFile* file, const IoRetryPolicy* retry,
+                   uint32_t page_id, const char* buf) {
+  return RetryIo(retry, "page write", [&] {
+    return file->WriteAt(static_cast<uint64_t>(page_id) * kPageSize,
+                         Slice(buf, kPageSize));
+  });
 }
 
 }  // namespace
 
 // ---------------------------------------------------------------- BufferPool
 
-BufferPool::BufferPool(int fd, size_t capacity)
-    : fd_(fd), capacity_(capacity == 0 ? 1 : capacity) {}
+BufferPool::BufferPool(RandomRWFile* file, size_t capacity,
+                       const IoRetryPolicy* retry)
+    : file_(file), capacity_(capacity == 0 ? 1 : capacity), retry_(retry) {}
 
 BufferPool::Frame* BufferPool::Touch(uint32_t page_id) {
   auto it = index_.find(page_id);
@@ -63,7 +57,7 @@ BufferPool::Frame* BufferPool::Touch(uint32_t page_id) {
 
 Status BufferPool::WriteFrame(const Frame& frame) {
   ++writes_;
-  return WritePageAt(fd_, frame.page_id, frame.page.data());
+  return WritePageTo(file_, retry_, frame.page_id, frame.page.data());
 }
 
 Status BufferPool::EvictIfFull() {
@@ -89,7 +83,8 @@ Status BufferPool::Get(uint32_t page_id, Page** out) {
   Frame frame;
   frame.page_id = page_id;
   ++reads_;
-  ODE_RETURN_NOT_OK(ReadPageAt(fd_, page_id, frame.page.mutable_data()));
+  ODE_RETURN_NOT_OK(
+      ReadPageFrom(file_, retry_, page_id, frame.page.mutable_data()));
   frames_.push_front(std::move(frame));
   index_[page_id] = frames_.begin();
   *out = &frames_.front().page;
@@ -139,6 +134,10 @@ Status BufferPool::FlushAll() {
 
 DiskStorageManager::DiskStorageManager(std::string path, Options options)
     : path_(std::move(path)), options_(options) {
+  env_ = options_.env != nullptr ? options_.env : Env::Default();
+  retry_policy_.env = env_;
+  retry_policy_.attempts = options_.io_retry_attempts;
+  retry_policy_.backoff_us = options_.io_retry_backoff_us;
   owned_metrics_ = std::make_unique<MetricsRegistry>();
   BindMetrics(owned_metrics_.get());
 }
@@ -147,9 +146,15 @@ void DiskStorageManager::BindMetrics(MetricsRegistry* registry) {
   object_reads_ = registry->GetCounter("ode_storage_object_reads_total");
   object_writes_ = registry->GetCounter("ode_storage_object_writes_total");
   wal_records_ = registry->GetCounter("ode_wal_records_total");
+  salvage_gauge_ = registry->GetGauge("ode_wal_salvage_mode");
   read_latency_ = registry->GetHistogram("ode_storage_read_latency_ns");
   write_latency_ = registry->GetHistogram("ode_storage_write_latency_ns");
   wal_append_latency_ = registry->GetHistogram("ode_wal_append_latency_ns");
+  // Updated in place: the Wal and BufferPool hold &retry_policy_, so a
+  // registry rebind (Database adoption) reaches them without a reopen.
+  retry_policy_.retries = registry->GetCounter("ode_io_retries_total");
+  retry_policy_.exhausted = registry->GetCounter("ode_io_retry_exhausted_total");
+  env_->BindMetrics(registry);
 }
 
 DiskStorageManager::~DiskStorageManager() {
@@ -159,17 +164,36 @@ DiskStorageManager::~DiskStorageManager() {
       ODE_LOG(kError) << "disk store close failed: " << st.ToString();
     }
   }
+  // The env outlives this manager, but the registry BindMetrics pointed
+  // it at does not.
+  env_->BindMetrics(nullptr);
+}
+
+Status DiskStorageManager::ReadPage(uint32_t page_id, char* buf) {
+  return ReadPageFrom(file_.get(), &retry_policy_, page_id, buf);
+}
+
+Status DiskStorageManager::WritePage(uint32_t page_id, const char* buf) {
+  return WritePageTo(file_.get(), &retry_policy_, page_id, buf);
 }
 
 Status DiskStorageManager::Open() {
   std::lock_guard<std::mutex> lock(mu_);
   if (open_) return Status::Internal("disk store already open");
-  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT, 0644);
-  if (fd_ < 0) return Status::IOError("cannot open " + path_);
+  if (!options_.sync_commits) {
+    ODE_LOG(kWarn) << "disk store " << path_
+                   << " opened with sync_commits=false: commits are NOT "
+                      "durable across crashes (benchmarks only)";
+  }
+  ODE_RETURN_NOT_OK(RetryIo(&retry_policy_, "data file open", [&] {
+    return env_->NewRandomRWFile(path_, &file_);
+  }));
 
-  off_t size = lseek(fd_, 0, SEEK_END);
-  pool_ = std::make_unique<BufferPool>(fd_, options_.buffer_pool_pages);
-  wal_ = std::make_unique<Wal>(path_ + ".wal");
+  ODE_ASSIGN_OR_RETURN(uint64_t size, file_->Size());
+  pool_ = std::make_unique<BufferPool>(file_.get(),
+                                       options_.buffer_pool_pages,
+                                       &retry_policy_);
+  wal_ = std::make_unique<Wal>(path_ + ".wal", env_, &retry_policy_);
 
   index_.clear();
   space_map_.clear();
@@ -178,12 +202,14 @@ Status DiskStorageManager::Open() {
   workspaces_.clear();
   next_oid_ = 2;
   page_count_ = 1;
+  wedged_ = false;
+  salvage_ = false;
 
   if (size == 0) {
     ODE_RETURN_NOT_OK(WriteHeader());
   } else {
     char header[kPageSize];
-    ODE_RETURN_NOT_OK(ReadPageAt(fd_, 0, header));
+    ODE_RETURN_NOT_OK(ReadPage(0, header));
     uint32_t magic;
     std::memcpy(&magic, header, 4);
     if (magic != kFileMagic) {
@@ -216,6 +242,15 @@ Status DiskStorageManager::Open() {
   ODE_RETURN_NOT_OK(ReplayWal());
 
   open_ = true;
+  if (salvage_) {
+    salvage_gauge_->Set(1);
+    ODE_LOG(kError) << "disk store " << path_
+                    << " opened in READ-ONLY salvage mode: the WAL is "
+                       "corrupt mid-file; the intact prefix was replayed "
+                       "and the log is preserved for repair";
+    return Status::OK();
+  }
+  salvage_gauge_->Set(0);
   // Make recovery results durable and shorten the next recovery.
   return CheckpointLocked();
 }
@@ -223,19 +258,41 @@ Status DiskStorageManager::Open() {
 Status DiskStorageManager::Close() {
   std::lock_guard<std::mutex> lock(mu_);
   if (!open_) return Status::OK();
-  Status st = CheckpointLocked();
-  Status wst = wal_->Close();
-  ::close(fd_);
-  fd_ = -1;
+  Status st = Status::OK();
+  if (!wedged_ && !salvage_) {
+    st = CheckpointLocked();
+  }
+  // A wedged or salvaged store must NOT checkpoint: the WAL is the only
+  // trustworthy copy of recent history and truncating it would lose it.
+  Status wst = wal_ != nullptr ? wal_->Close() : Status::OK();
+  if (file_ != nullptr) {
+    Status fst = file_->Close();
+    if (st.ok() && wst.ok()) wst = fst;
+  }
+  file_.reset();
   open_ = false;
   return st.ok() ? wst : st;
+}
+
+Status DiskStorageManager::CheckWritableLocked() const {
+  if (!open_) return Status::Internal("disk store not open");
+  if (wedged_) {
+    return Status::IOError(
+        "disk store wedged by a mid-commit I/O failure; reopen to recover");
+  }
+  if (salvage_) {
+    return Status::Corruption(
+        "disk store is in read-only WAL-salvage mode (corrupt log " +
+        path_ + ".wal)");
+  }
+  return Status::OK();
 }
 
 Status DiskStorageManager::ScanAndRebuild() {
   uint64_t max_oid = 1;
   for (uint32_t p = 1; p < page_count_; ++p) {
     char buf[kPageSize];
-    ODE_RETURN_NOT_OK(ReadPageAt(fd_, p, buf));
+    ODE_RETURN_NOT_OK(ReadPage(p, buf));
     uint16_t slot_count;
     std::memcpy(&slot_count, buf + 4, 2);
     if (slot_count == kOverflowMarker) continue;  // overflow page, in use
@@ -259,7 +316,15 @@ Status DiskStorageManager::ScanAndRebuild() {
 
 Status DiskStorageManager::ReplayWal() {
   std::vector<WalRecord> records;
-  ODE_RETURN_NOT_OK(wal_->ReadAll(&records));
+  Status read_status = wal_->ReadAll(&records);
+  if (read_status.code() == StatusCode::kCorruption) {
+    // Mid-file damage with intact records beyond it: replay the intact
+    // prefix below, then serve it read-only (salvage mode). Truncating
+    // the log here would silently drop committed transactions.
+    salvage_ = true;
+  } else if (!read_status.ok()) {
+    return read_status;
+  }
   // Pass 1: which transactions committed?
   std::unordered_map<TxnId, bool> committed;
   for (const WalRecord& r : records) {
@@ -307,7 +372,7 @@ Status DiskStorageManager::WriteHeader() {
   std::memcpy(buf, &kFileMagic, 4);
   std::memcpy(buf + 4, &page_count_, 4);
   std::memcpy(buf + 8, &next_oid_, 8);
-  return WritePageAt(fd_, 0, buf);
+  return WritePage(0, buf);
 }
 
 uint32_t DiskStorageManager::AllocPage() {
@@ -571,6 +636,7 @@ DiskStorageManager::Workspace* DiskStorageManager::FindWorkspace(TxnId txn) {
 
 Result<Oid> DiskStorageManager::Allocate(TxnId txn, Slice data) {
   std::lock_guard<std::mutex> lock(mu_);
+  ODE_RETURN_NOT_OK(CheckWritableLocked());
   Workspace* ws = FindWorkspace(txn);
   if (ws == nullptr) return Status::Internal("disk store: unknown txn");
   Oid oid(next_oid_++);
@@ -584,6 +650,10 @@ Result<Oid> DiskStorageManager::Allocate(TxnId txn, Slice data) {
 Status DiskStorageManager::Read(TxnId txn, Oid oid, std::vector<char>* out) {
   LatencyTimer timer(read_latency_);
   std::lock_guard<std::mutex> lock(mu_);
+  if (wedged_) {
+    return Status::IOError(
+        "disk store wedged by a mid-commit I/O failure; reopen to recover");
+  }
   object_reads_->Inc();
   if (Workspace* ws = FindWorkspace(txn)) {
     auto it = ws->entries.find(oid);
@@ -601,6 +671,7 @@ Status DiskStorageManager::Read(TxnId txn, Oid oid, std::vector<char>* out) {
 Status DiskStorageManager::Write(TxnId txn, Oid oid, Slice data) {
   LatencyTimer timer(write_latency_);
   std::lock_guard<std::mutex> lock(mu_);
+  ODE_RETURN_NOT_OK(CheckWritableLocked());
   object_writes_->Inc();
   Workspace* ws = FindWorkspace(txn);
   if (ws == nullptr) return Status::Internal("disk store: unknown txn");
@@ -623,6 +694,7 @@ Status DiskStorageManager::Write(TxnId txn, Oid oid, Slice data) {
 
 Status DiskStorageManager::Free(TxnId txn, Oid oid) {
   std::lock_guard<std::mutex> lock(mu_);
+  ODE_RETURN_NOT_OK(CheckWritableLocked());
   Workspace* ws = FindWorkspace(txn);
   if (ws == nullptr) return Status::Internal("disk store: unknown txn");
   auto it = ws->entries.find(oid);
@@ -655,6 +727,7 @@ bool DiskStorageManager::Exists(TxnId txn, Oid oid) {
 Status DiskStorageManager::SetRoot(TxnId txn, const std::string& name,
                                    Oid oid) {
   std::lock_guard<std::mutex> lock(mu_);
+  ODE_RETURN_NOT_OK(CheckWritableLocked());
   Workspace* ws = FindWorkspace(txn);
   if (ws == nullptr) return Status::Internal("disk store: unknown txn");
   ws->root_updates[name] = oid;
@@ -663,6 +736,10 @@ Status DiskStorageManager::SetRoot(TxnId txn, const std::string& name,
 
 Result<Oid> DiskStorageManager::GetRoot(TxnId txn, const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (wedged_) {
+    return Status::IOError(
+        "disk store wedged by a mid-commit I/O failure; reopen to recover");
+  }
   if (Workspace* ws = FindWorkspace(txn)) {
     auto it = ws->root_updates.find(name);
     if (it != ws->root_updates.end()) return it->second;
@@ -675,9 +752,72 @@ Result<Oid> DiskStorageManager::GetRoot(TxnId txn, const std::string& name) {
 Status DiskStorageManager::BeginTxn(TxnId txn) {
   std::lock_guard<std::mutex> lock(mu_);
   if (!open_) return Status::Internal("disk store not open");
+  if (wedged_) {
+    return Status::IOError(
+        "disk store wedged by a mid-commit I/O failure; reopen to recover");
+  }
   auto [it, inserted] = workspaces_.try_emplace(txn);
   (void)it;
   if (!inserted) return Status::Internal("disk store: txn already begun");
+  return Status::OK();
+}
+
+Status DiskStorageManager::ApplyCommitLocked(TxnId txn, Workspace& ws) {
+  // WAL first: the batch is atomic because recovery redoes only
+  // transactions whose kCommit record survived. The latency histogram
+  // covers the whole append batch plus the commit fsync — the durable
+  // part of commit — but not the page application below.
+  {
+    LatencyTimer wal_timer(wal_append_latency_);
+    const uint64_t records_before = wal_->records_appended();
+    WalRecord begin{WalRecord::Type::kBegin, txn, Oid(), "", {}};
+    ODE_RETURN_NOT_OK(wal_->Append(begin));
+    for (const auto& [oid, entry] : ws.entries) {
+      WalRecord r;
+      r.txn = txn;
+      r.oid = oid;
+      if (entry.freed) {
+        r.type = WalRecord::Type::kFree;
+      } else {
+        r.type = WalRecord::Type::kUpsert;
+        r.image = entry.image;
+      }
+      ODE_RETURN_NOT_OK(wal_->Append(r));
+    }
+    for (const auto& [name, oid] : ws.root_updates) {
+      WalRecord r;
+      r.type = WalRecord::Type::kSetRoot;
+      r.txn = txn;
+      r.oid = oid;
+      r.name = name;
+      ODE_RETURN_NOT_OK(wal_->Append(r));
+    }
+    WalRecord commit{WalRecord::Type::kCommit, txn, Oid(), "", {}};
+    ODE_RETURN_NOT_OK(wal_->Append(commit));
+    if (options_.sync_commits) {
+      ODE_RETURN_NOT_OK(wal_->Sync());
+    }
+    wal_records_->Inc(wal_->records_appended() - records_before);
+  }
+  // Now apply to pages (in the buffer pool; flushed lazily).
+  for (const auto& [oid, entry] : ws.entries) {
+    if (entry.freed) {
+      Status st = ApplyFree(oid);
+      if (!st.ok() && !st.IsNotFound()) return st;
+    } else {
+      ODE_RETURN_NOT_OK(ApplyUpsert(oid, Slice(entry.image)));
+    }
+  }
+  if (!ws.root_updates.empty()) {
+    for (const auto& [name, oid] : ws.root_updates) {
+      if (oid.IsNull()) {
+        roots_.erase(name);
+      } else {
+        roots_[name] = oid;
+      }
+    }
+    ODE_RETURN_NOT_OK(ApplyRoots());
+  }
   return Status::OK();
 }
 
@@ -690,60 +830,18 @@ Status DiskStorageManager::CommitTxn(TxnId txn) {
   Workspace& ws = it->second;
   bool read_only = ws.entries.empty() && ws.root_updates.empty();
   if (!read_only) {
-    // WAL first: the batch is atomic because recovery redoes only
-    // transactions whose kCommit record survived. The latency histogram
-    // covers the whole append batch plus the commit fsync — the durable
-    // part of commit — but not the page application below.
-    {
-      LatencyTimer wal_timer(wal_append_latency_);
-      const uint64_t records_before = wal_->records_appended();
-      WalRecord begin{WalRecord::Type::kBegin, txn, Oid(), "", {}};
-      ODE_RETURN_NOT_OK(wal_->Append(begin));
-      for (const auto& [oid, entry] : ws.entries) {
-        WalRecord r;
-        r.txn = txn;
-        r.oid = oid;
-        if (entry.freed) {
-          r.type = WalRecord::Type::kFree;
-        } else {
-          r.type = WalRecord::Type::kUpsert;
-          r.image = entry.image;
-        }
-        ODE_RETURN_NOT_OK(wal_->Append(r));
-      }
-      for (const auto& [name, oid] : ws.root_updates) {
-        WalRecord r;
-        r.type = WalRecord::Type::kSetRoot;
-        r.txn = txn;
-        r.oid = oid;
-        r.name = name;
-        ODE_RETURN_NOT_OK(wal_->Append(r));
-      }
-      WalRecord commit{WalRecord::Type::kCommit, txn, Oid(), "", {}};
-      ODE_RETURN_NOT_OK(wal_->Append(commit));
-      if (options_.sync_commits) {
-        ODE_RETURN_NOT_OK(wal_->Sync());
-      }
-      wal_records_->Inc(wal_->records_appended() - records_before);
-    }
-    // Now apply to pages (in the buffer pool; flushed lazily).
-    for (const auto& [oid, entry] : ws.entries) {
-      if (entry.freed) {
-        Status st = ApplyFree(oid);
-        if (!st.ok() && !st.IsNotFound()) return st;
-      } else {
-        ODE_RETURN_NOT_OK(ApplyUpsert(oid, Slice(entry.image)));
-      }
-    }
-    if (!ws.root_updates.empty()) {
-      for (const auto& [name, oid] : ws.root_updates) {
-        if (oid.IsNull()) {
-          roots_.erase(name);
-        } else {
-          roots_[name] = oid;
-        }
-      }
-      ODE_RETURN_NOT_OK(ApplyRoots());
+    ODE_RETURN_NOT_OK(CheckWritableLocked());
+    Status st = ApplyCommitLocked(txn, ws);
+    if (!st.ok()) {
+      // The failure may have left a partial WAL batch or half-applied
+      // pages; only WAL recovery at the next Open can reconcile them.
+      // Wedge so no later checkpoint persists the half-applied state and
+      // then truncates the log.
+      wedged_ = true;
+      ODE_LOG(kError) << "disk store: commit of txn " << txn
+                      << " failed mid-flight; store wedged until reopen: "
+                      << st.ToString();
+      return st;
     }
   }
   workspaces_.erase(it);
@@ -752,12 +850,14 @@ Status DiskStorageManager::CommitTxn(TxnId txn) {
 
 Status DiskStorageManager::AbortTxn(TxnId txn) {
   std::lock_guard<std::mutex> lock(mu_);
+  // Allowed even wedged/salvaged: no-steal keeps aborts purely in-memory.
   workspaces_.erase(txn);
   return Status::OK();
 }
 
 Status DiskStorageManager::Checkpoint() {
   std::lock_guard<std::mutex> lock(mu_);
+  ODE_RETURN_NOT_OK(CheckWritableLocked());
   return CheckpointLocked();
 }
 
@@ -765,16 +865,28 @@ void DiskStorageManager::SimulateCrash() {
   std::lock_guard<std::mutex> lock(mu_);
   pool_.reset();  // dirty frames are dropped, not written
   wal_.reset();
-  if (fd_ >= 0) ::close(fd_);
-  fd_ = -1;
+  file_.reset();
   workspaces_.clear();
+  wedged_ = false;
+  salvage_ = false;
   open_ = false;
+}
+
+bool DiskStorageManager::salvage_mode() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return salvage_;
+}
+
+bool DiskStorageManager::wedged() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return wedged_;
 }
 
 Status DiskStorageManager::CheckpointLocked() {
   ODE_RETURN_NOT_OK(pool_->FlushAll());
   ODE_RETURN_NOT_OK(WriteHeader());
-  if (fsync(fd_) != 0) return Status::IOError("fsync of data file failed");
+  ODE_RETURN_NOT_OK(RetryIo(&retry_policy_, "data file sync",
+                            [&] { return file_->Sync(); }));
   return wal_->Truncate();
 }
 

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "storage/env.h"
 #include "storage/page.h"
 #include "storage/storage_manager.h"
 #include "storage/wal.h"
@@ -19,10 +20,13 @@ namespace ode {
 /// Buffer pool over the data file: a fixed number of page frames with LRU
 /// replacement. Dirty frames are written back on eviction, FlushAll, or
 /// checkpoint. Not thread-safe by itself; the storage manager serializes
-/// access.
+/// access. Page I/O goes through the given RandomRWFile (and optional
+/// transient-error retry policy), so a FaultInjectionEnv sees every read
+/// and write-back.
 class BufferPool {
  public:
-  BufferPool(int fd, size_t capacity);
+  BufferPool(RandomRWFile* file, size_t capacity,
+             const IoRetryPolicy* retry = nullptr);
 
   /// Returns the frame for `page_id`, reading it from disk on a miss.
   Status Get(uint32_t page_id, Page** out);
@@ -55,8 +59,9 @@ class BufferPool {
   // Moves the frame to MRU position and returns it.
   Frame* Touch(uint32_t page_id);
 
-  int fd_;
+  RandomRWFile* file_;
   size_t capacity_;
+  const IoRetryPolicy* retry_;
   // MRU at front.
   std::list<Frame> frames_;
   std::unordered_map<uint32_t, std::list<Frame>::iterator> index_;
@@ -68,14 +73,34 @@ class BufferPool {
 /// oid -> (page, slot) index is rebuilt by scanning pages on open; a
 /// redo-only WAL plus no-steal transaction workspaces provide atomicity
 /// and crash recovery.
+///
+/// Failure model (docs/storage.md has the full matrix):
+///  - Transient I/O errors are retried with exponential backoff when
+///    Options::io_retry_attempts > 0.
+///  - An I/O failure inside the durable section of CommitTxn *wedges*
+///    the store: pages and WAL may disagree about a half-applied
+///    transaction, so every later operation fails with kIOError until the
+///    store is reopened and WAL recovery reconciles them. Checkpointing a
+///    wedged store (which would truncate the WAL) is refused.
+///  - Mid-file WAL corruption detected at Open drops the store into
+///    read-only *salvage mode*: the intact WAL prefix is replayed, reads
+///    work, but every mutation returns kCorruption and no checkpoint ever
+///    truncates the damaged log (gauge ode_wal_salvage_mode = 1).
 class DiskStorageManager final : public StorageManager {
  public:
   struct Options {
     size_t buffer_pool_pages = 256;
     /// Payloads above this many bytes go to overflow chains.
     size_t inline_limit = 2048;
-    /// If false, skip the fsync on commit (benchmarks only).
+    /// If false, skip the fsync on commit (benchmarks only; a logged
+    /// warning at Open makes sure it cannot ship silently).
     bool sync_commits = true;
+    /// File-system abstraction; null means Env::Default(). Not owned.
+    Env* env = nullptr;
+    /// Retries per transient (kIOError) I/O failure; 0 = fail fast.
+    uint32_t io_retry_attempts = 0;
+    /// First retry backoff (doubles per retry).
+    uint32_t io_retry_backoff_us = 100;
   };
 
   explicit DiskStorageManager(std::string path)
@@ -109,6 +134,14 @@ class DiskStorageManager final : public StorageManager {
   /// path must recover committed state from pages + WAL redo alone.
   void SimulateCrash();
 
+  /// True if Open() found mid-file WAL corruption and the store is
+  /// serving reads from the salvaged prefix (mutations are refused).
+  bool salvage_mode() const;
+
+  /// True after a mid-commit I/O failure left pages and WAL possibly
+  /// disagreeing; reopen to recover.
+  bool wedged() const;
+
   StorageStats stats() const override;
 
   void BindMetrics(MetricsRegistry* registry) override;
@@ -124,6 +157,7 @@ class DiskStorageManager final : public StorageManager {
   Workspace* FindWorkspace(TxnId txn);
 
   // --- committed-state operations (mu_ held) ---
+  Status CheckWritableLocked() const;
   Status ReadCommitted(Oid oid, std::vector<char>* out);
   Status ApplyUpsert(Oid oid, Slice image);
   Status ApplyFree(Oid oid);
@@ -135,19 +169,25 @@ class DiskStorageManager final : public StorageManager {
                            std::vector<char>* out);
   uint32_t AllocPage();
   void ReleasePage(uint32_t page_id);
+  Status ReadPage(uint32_t page_id, char* buf);
+  Status WritePage(uint32_t page_id, const char* buf);
   Status ScanAndRebuild();
   Status ReplayWal();
   Status WriteHeader();
+  Status ApplyCommitLocked(TxnId txn, Workspace& ws);
   Status CheckpointLocked();
 
   std::string path_;
   Options options_;
-  int fd_ = -1;
+  Env* env_ = nullptr;
   bool open_ = false;
 
   mutable std::mutex mu_;
+  std::unique_ptr<RandomRWFile> file_;
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<Wal> wal_;
+  bool wedged_ = false;
+  bool salvage_ = false;
   std::unordered_map<uint64_t, Loc> index_;
   std::map<uint32_t, size_t> space_map_;  // slotted page -> free bytes
   std::vector<uint32_t> free_pages_;
@@ -156,11 +196,17 @@ class DiskStorageManager final : public StorageManager {
   uint64_t next_oid_ = 2;  // oid 1 is reserved for the roots directory
   uint32_t page_count_ = 1;  // page 0 is the file header
 
+  /// Retry policy shared by the WAL and buffer pool. BindMetrics updates
+  /// its counter pointers in place, so the Wal/BufferPool (which hold a
+  /// pointer to this struct) pick up a registry rebind without reopening.
+  IoRetryPolicy retry_policy_;
+
   // Metrics (see StorageManager::BindMetrics).
   std::unique_ptr<MetricsRegistry> owned_metrics_;
   Counter* object_reads_ = nullptr;
   Counter* object_writes_ = nullptr;
   Counter* wal_records_ = nullptr;
+  Gauge* salvage_gauge_ = nullptr;
   Histogram* read_latency_ = nullptr;
   Histogram* write_latency_ = nullptr;
   Histogram* wal_append_latency_ = nullptr;

@@ -1,0 +1,238 @@
+#include "storage/env.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+
+namespace ode {
+
+namespace {
+
+std::string ErrnoMessage(const std::string& context) {
+  return context + ": " + std::strerror(errno);
+}
+
+class PosixWritableFile final : public WritableFile {
+ public:
+  explicit PosixWritableFile(std::FILE* file) : file_(file) {}
+
+  ~PosixWritableFile() override {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  Status Append(Slice data) override {
+    if (file_ == nullptr) return Status::Internal("file closed");
+    size_t n = std::fwrite(data.data(), 1, data.size(), file_);
+    if (n != data.size()) {
+      return Status::IOError(ErrnoMessage("short append"));
+    }
+    return Status::OK();
+  }
+
+  Status Flush() override {
+    if (file_ == nullptr) return Status::Internal("file closed");
+    if (std::fflush(file_) != 0) {
+      return Status::IOError(ErrnoMessage("fflush failed"));
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    ODE_RETURN_NOT_OK(Flush());
+    if (fsync(fileno(file_)) != 0) {
+      return Status::IOError(ErrnoMessage("fsync failed"));
+    }
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (file_ == nullptr) return Status::OK();
+    int rc = std::fclose(file_);
+    file_ = nullptr;
+    if (rc != 0) return Status::IOError(ErrnoMessage("fclose failed"));
+    return Status::OK();
+  }
+
+ private:
+  std::FILE* file_;
+};
+
+class PosixRandomRWFile final : public RandomRWFile {
+ public:
+  explicit PosixRandomRWFile(int fd) : fd_(fd) {}
+
+  ~PosixRandomRWFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status ReadAt(uint64_t offset, size_t n, char* scratch) override {
+    if (fd_ < 0) return Status::Internal("file closed");
+    ssize_t got = pread(fd_, scratch, n, static_cast<off_t>(offset));
+    if (got != static_cast<ssize_t>(n)) {
+      return Status::IOError("short pread at offset " +
+                             std::to_string(offset));
+    }
+    return Status::OK();
+  }
+
+  Status WriteAt(uint64_t offset, Slice data) override {
+    if (fd_ < 0) return Status::Internal("file closed");
+    ssize_t put =
+        pwrite(fd_, data.data(), data.size(), static_cast<off_t>(offset));
+    if (put != static_cast<ssize_t>(data.size())) {
+      return Status::IOError(ErrnoMessage("short pwrite at offset " +
+                                          std::to_string(offset)));
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (fd_ < 0) return Status::Internal("file closed");
+    if (fsync(fd_) != 0) {
+      return Status::IOError(ErrnoMessage("fsync failed"));
+    }
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    int rc = ::close(fd_);
+    fd_ = -1;
+    if (rc != 0) return Status::IOError(ErrnoMessage("close failed"));
+    return Status::OK();
+  }
+
+  Result<uint64_t> Size() const override {
+    if (fd_ < 0) return Status::Internal("file closed");
+    struct stat st;
+    if (fstat(fd_, &st) != 0) {
+      return Status::IOError(ErrnoMessage("fstat failed"));
+    }
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+ private:
+  int fd_;
+};
+
+class PosixEnv final : public Env {
+ public:
+  Status NewWritableFile(const std::string& path,
+                         std::unique_ptr<WritableFile>* out) override {
+    std::FILE* f = std::fopen(path.c_str(), "ab");
+    if (f == nullptr) {
+      return Status::IOError(ErrnoMessage("cannot open " + path));
+    }
+    *out = std::make_unique<PosixWritableFile>(f);
+    return Status::OK();
+  }
+
+  Status NewRandomRWFile(const std::string& path,
+                         std::unique_ptr<RandomRWFile>* out) override {
+    int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+    if (fd < 0) {
+      return Status::IOError(ErrnoMessage("cannot open " + path));
+    }
+    *out = std::make_unique<PosixRandomRWFile>(fd);
+    return Status::OK();
+  }
+
+  Status ReadFileToString(const std::string& path,
+                          std::string* out) override {
+    out->clear();
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+      return Status::NotFound("no such file: " + path);
+    }
+    std::fseek(f, 0, SEEK_END);
+    long size = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    if (size > 0) {
+      out->resize(static_cast<size_t>(size));
+      size_t got = std::fread(out->data(), 1, out->size(), f);
+      if (got != out->size()) {
+        std::fclose(f);
+        return Status::IOError("short read of " + path);
+      }
+    }
+    std::fclose(f);
+    return Status::OK();
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (std::rename(from.c_str(), to.c_str()) != 0) {
+      return Status::IOError(
+          ErrnoMessage("rename " + from + " -> " + to + " failed"));
+    }
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    if (std::remove(path.c_str()) != 0) {
+      if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+      return Status::IOError(ErrnoMessage("remove " + path + " failed"));
+    }
+    return Status::OK();
+  }
+
+  Status TruncateFile(const std::string& path, uint64_t size) override {
+    if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+      return Status::IOError(ErrnoMessage("truncate " + path + " failed"));
+    }
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& path) override {
+    return ::access(path.c_str(), F_OK) == 0;
+  }
+
+  Result<uint64_t> GetFileSize(const std::string& path) override {
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) {
+      if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+      return Status::IOError(ErrnoMessage("stat " + path + " failed"));
+    }
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+  void SleepMicros(uint64_t micros) override {
+    if (micros > 0) ::usleep(static_cast<useconds_t>(micros));
+  }
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv* env = new PosixEnv();  // never destroyed
+  return env;
+}
+
+Status RetryIo(const IoRetryPolicy* policy, const char* what,
+               const std::function<Status()>& op) {
+  Status st = op();
+  if (st.ok() || policy == nullptr || policy->attempts == 0 ||
+      st.code() != StatusCode::kIOError) {
+    return st;
+  }
+  uint64_t backoff = policy->backoff_us;
+  for (uint32_t attempt = 0; attempt < policy->attempts; ++attempt) {
+    if (policy->retries != nullptr) policy->retries->Inc();
+    if (policy->env != nullptr) policy->env->SleepMicros(backoff);
+    backoff *= 2;
+    st = op();
+    if (st.ok() || st.code() != StatusCode::kIOError) return st;
+  }
+  if (policy->exhausted != nullptr) policy->exhausted->Inc();
+  ODE_LOG(kWarn) << "I/O retries exhausted for " << what << " after "
+                 << policy->attempts << " attempt(s): " << st.ToString();
+  return st;
+}
+
+}  // namespace ode

@@ -1,0 +1,106 @@
+#ifndef ODE_STORAGE_ENV_H_
+#define ODE_STORAGE_ENV_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace ode {
+
+class Counter;
+class MetricsRegistry;
+
+/// Append-only file handle (the WAL's shape). Append buffers in the
+/// application/OS; data is durable only after Sync.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  virtual Status Append(Slice data) = 0;
+  /// Pushes application-level buffers to the OS (no durability).
+  virtual Status Flush() = 0;
+  /// Flush + fsync: everything appended so far survives a crash.
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+};
+
+/// Random-access read/write handle (the page file's shape).
+class RandomRWFile {
+ public:
+  virtual ~RandomRWFile() = default;
+
+  /// Reads exactly `n` bytes at `offset` into `scratch`; IOError on a
+  /// short read.
+  virtual Status ReadAt(uint64_t offset, size_t n, char* scratch) = 0;
+  virtual Status WriteAt(uint64_t offset, Slice data) = 0;
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+  virtual Result<uint64_t> Size() const = 0;
+};
+
+/// File-system abstraction the storage layer runs on. Production code
+/// uses Env::Default() (POSIX); tests substitute a FaultInjectionEnv to
+/// inject transient errors, torn writes, and crashes at every I/O
+/// boundary the WAL, buffer pool, and disk storage manager cross.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// The process-wide POSIX environment (never destroyed).
+  static Env* Default();
+
+  /// Opens `path` for appending, creating it if absent.
+  virtual Status NewWritableFile(const std::string& path,
+                                 std::unique_ptr<WritableFile>* out) = 0;
+
+  /// Opens `path` for random read/write, creating it if absent.
+  virtual Status NewRandomRWFile(const std::string& path,
+                                 std::unique_ptr<RandomRWFile>* out) = 0;
+
+  /// Reads the whole file; NotFound if it does not exist.
+  virtual Status ReadFileToString(const std::string& path,
+                                  std::string* out) = 0;
+
+  virtual Status RenameFile(const std::string& from,
+                            const std::string& to) = 0;
+  virtual Status RemoveFile(const std::string& path) = 0;
+  virtual Status TruncateFile(const std::string& path, uint64_t size) = 0;
+  virtual bool FileExists(const std::string& path) = 0;
+  virtual Result<uint64_t> GetFileSize(const std::string& path) = 0;
+  virtual void SleepMicros(uint64_t micros) = 0;
+
+  /// Points any env-level counters (e.g. injected-fault counts) at
+  /// `registry`; nullptr unbinds (callers must unbind before destroying
+  /// a registry the env was bound to — an Env usually outlives the
+  /// storage manager that bound it). No-op for environments without
+  /// instrumentation.
+  virtual void BindMetrics(MetricsRegistry* registry) { (void)registry; }
+};
+
+/// Bounded retry-with-exponential-backoff policy for transient I/O
+/// errors. `attempts` counts retries after the first try (0 = fail
+/// fast, the default). Backoff doubles per retry starting at
+/// `backoff_us`. Only kIOError is retried: corruption, not-found, and
+/// logic errors never become less wrong by waiting.
+struct IoRetryPolicy {
+  Env* env = nullptr;
+  uint32_t attempts = 0;
+  uint32_t backoff_us = 100;
+  /// Monitoring (may be null): successful-retry and gave-up counts.
+  Counter* retries = nullptr;
+  Counter* exhausted = nullptr;
+};
+
+/// Runs `op`, retrying per `policy` (null policy = single attempt).
+/// `what` labels the operation in the exhaustion log line.
+Status RetryIo(const IoRetryPolicy* policy, const char* what,
+               const std::function<Status()>& op);
+
+}  // namespace ode
+
+#endif  // ODE_STORAGE_ENV_H_

@@ -1,0 +1,364 @@
+#include "storage/fault_injection_env.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+
+namespace ode {
+
+// Wrapper handles forward every call into the env, where the shared
+// fault state lives behind one mutex.
+
+class FaultWritableFile final : public WritableFile {
+ public:
+  FaultWritableFile(FaultInjectionEnv* env, std::string path,
+                    std::unique_ptr<WritableFile> base)
+      : env_(env), path_(std::move(path)), base_(std::move(base)) {}
+
+  Status Append(Slice data) override {
+    return env_->DoAppend(path_, base_.get(), data);
+  }
+  Status Flush() override { return base_->Flush(); }
+  Status Sync() override { return env_->DoWritableSync(path_, base_.get()); }
+  // Close is never faulted: teardown must be able to release resources
+  // even after a crash (a real close failure still surfaces).
+  Status Close() override { return base_->Close(); }
+
+ private:
+  FaultInjectionEnv* env_;
+  std::string path_;
+  std::unique_ptr<WritableFile> base_;
+};
+
+class FaultRWFile final : public RandomRWFile {
+ public:
+  FaultRWFile(FaultInjectionEnv* env, std::string path,
+              std::unique_ptr<RandomRWFile> base)
+      : env_(env), path_(std::move(path)), base_(std::move(base)) {}
+
+  Status ReadAt(uint64_t offset, size_t n, char* scratch) override {
+    return env_->DoReadAt(base_.get(), offset, n, scratch);
+  }
+  Status WriteAt(uint64_t offset, Slice data) override {
+    return env_->DoWriteAt(path_, base_.get(), offset, data);
+  }
+  Status Sync() override { return env_->DoRWSync(path_, base_.get()); }
+  Status Close() override { return base_->Close(); }
+  Result<uint64_t> Size() const override { return base_->Size(); }
+
+ private:
+  FaultInjectionEnv* env_;
+  std::string path_;
+  std::unique_ptr<RandomRWFile> base_;
+};
+
+FaultInjectionEnv::FaultInjectionEnv(Env* base) : base_(base) {
+  owned_metrics_ = std::make_unique<MetricsRegistry>();
+  BindMetrics(owned_metrics_.get());
+}
+
+void FaultInjectionEnv::BindMetrics(MetricsRegistry* registry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // nullptr = unbind (the registry we were mirroring into is going
+  // away); revert to the env's own registry so the mirror stays valid.
+  if (registry == nullptr) registry = owned_metrics_.get();
+  faults_ = registry->GetCounter("ode_env_faults_injected_total");
+}
+
+void FaultInjectionEnv::CountFaultLocked() {
+  ++fault_count_;
+  faults_->Inc();
+}
+
+Status FaultInjectionEnv::CrashedError(const char* what) const {
+  return Status::IOError(std::string("injected crash: env is down (") +
+                         what + ")");
+}
+
+Status FaultInjectionEnv::InjectLocked(const char* what) {
+  if (fail_next_ > 0) {
+    --fail_next_;
+    CountFaultLocked();
+    return Status::IOError(std::string("injected transient fault (") + what +
+                           ")");
+  }
+  if (crash_at_ != 0 && ops_ >= crash_at_) {
+    crashed_ = true;
+    CountFaultLocked();
+    return CrashedError(what);
+  }
+  if (transient_p_ > 0.0 && rng_.Bernoulli(transient_p_)) {
+    CountFaultLocked();
+    return Status::IOError(std::string("injected transient fault (") + what +
+                           ")");
+  }
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::BeginMutatingOp(const char* what) {
+  if (crashed_) return CrashedError(what);
+  ++ops_;
+  return InjectLocked(what);
+}
+
+Status FaultInjectionEnv::BeginReadOp(const char* what) {
+  if (crashed_) return CrashedError(what);
+  // Reads are not counted in ops(): a crash mid-read leaves the disk
+  // exactly as the crash before the next write would, so counting them
+  // would only inflate sweeps with duplicate crash points.
+  return InjectLocked(what);
+}
+
+// ------------------------------------------------------------- file ops
+
+Status FaultInjectionEnv::DoAppend(const std::string& path,
+                                   WritableFile* base, Slice data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return CrashedError("append");
+  ++ops_;
+  FileState& fs = files_[path];
+  bool crash_now = crash_at_ != 0 && ops_ >= crash_at_;
+  if (crash_now && torn_writes_ && data.size() > 1) {
+    // The op that loses power mid-write leaves a prefix in the OS cache;
+    // whether any of it reaches the platter is DropUnsyncedData's coin.
+    size_t keep = rng_.Uniform(data.size());
+    if (keep > 0 && base->Append(Slice(data.data(), keep)).ok()) {
+      fs.append_size += keep;
+    }
+    crashed_ = true;
+    CountFaultLocked();
+    return CrashedError("append");
+  }
+  ODE_RETURN_NOT_OK(InjectLocked("append"));
+  Status st = base->Append(data);
+  if (st.ok()) fs.append_size += data.size();
+  return st;
+}
+
+Status FaultInjectionEnv::DoWritableSync(const std::string& path,
+                                         WritableFile* base) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ODE_RETURN_NOT_OK(BeginMutatingOp("sync"));
+  ODE_RETURN_NOT_OK(base->Sync());
+  FileState& fs = files_[path];
+  fs.synced_size = fs.append_size;
+  if (crash_after_sync_) {
+    crash_after_sync_ = false;
+    crashed_ = true;
+    CountFaultLocked();
+  }
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::DoReadAt(RandomRWFile* base, uint64_t offset,
+                                   size_t n, char* scratch) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ODE_RETURN_NOT_OK(BeginReadOp("read"));
+  }
+  return base->ReadAt(offset, n, scratch);
+}
+
+Status FaultInjectionEnv::DoWriteAt(const std::string& path,
+                                    RandomRWFile* base, uint64_t offset,
+                                    Slice data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ODE_RETURN_NOT_OK(BeginMutatingOp("page write"));
+  FileState& fs = files_[path];
+  if (fs.unsynced_writes.find(offset) == fs.unsynced_writes.end()) {
+    // Pre-image of the region (zeros beyond the current EOF, matching
+    // what a filesystem exposes for never-written extents).
+    std::vector<char> pre(data.size(), 0);
+    Result<uint64_t> size = base->Size();
+    uint64_t fsize = size.ok() ? size.value() : 0;
+    if (offset < fsize) {
+      size_t in_bounds = static_cast<size_t>(
+          std::min<uint64_t>(data.size(), fsize - offset));
+      Status rst = base->ReadAt(offset, in_bounds, pre.data());
+      if (!rst.ok()) return rst;
+    }
+    fs.unsynced_writes[offset] = std::move(pre);
+  }
+  return base->WriteAt(offset, data);
+}
+
+Status FaultInjectionEnv::DoRWSync(const std::string& path,
+                                   RandomRWFile* base) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ODE_RETURN_NOT_OK(BeginMutatingOp("file sync"));
+  ODE_RETURN_NOT_OK(base->Sync());
+  files_[path].unsynced_writes.clear();
+  return Status::OK();
+}
+
+// ------------------------------------------------------------ Env calls
+
+Status FaultInjectionEnv::NewWritableFile(const std::string& path,
+                                          std::unique_ptr<WritableFile>* out) {
+  std::unique_ptr<WritableFile> base;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (crashed_) return CrashedError("open");
+    ODE_RETURN_NOT_OK(base_->NewWritableFile(path, &base));
+    auto [it, fresh] = files_.try_emplace(path);
+    if (fresh) {
+      // Pre-existing content (from before this env started watching) is
+      // assumed durable.
+      Result<uint64_t> size = base_->GetFileSize(path);
+      it->second.append_size = size.ok() ? size.value() : 0;
+      it->second.synced_size = it->second.append_size;
+    }
+  }
+  *out = std::make_unique<FaultWritableFile>(this, path, std::move(base));
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::NewRandomRWFile(const std::string& path,
+                                          std::unique_ptr<RandomRWFile>* out) {
+  std::unique_ptr<RandomRWFile> base;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (crashed_) return CrashedError("open");
+    ODE_RETURN_NOT_OK(base_->NewRandomRWFile(path, &base));
+    files_.try_emplace(path);
+  }
+  *out = std::make_unique<FaultRWFile>(this, path, std::move(base));
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::ReadFileToString(const std::string& path,
+                                           std::string* out) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (crashed_) return CrashedError("read file");
+  }
+  return base_->ReadFileToString(path, out);
+}
+
+Status FaultInjectionEnv::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ODE_RETURN_NOT_OK(BeginMutatingOp("rename"));
+  ODE_RETURN_NOT_OK(base_->RenameFile(from, to));
+  auto it = files_.find(from);
+  if (it != files_.end()) {
+    files_[to] = std::move(it->second);
+    files_.erase(it);
+  }
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::RemoveFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ODE_RETURN_NOT_OK(BeginMutatingOp("remove"));
+  ODE_RETURN_NOT_OK(base_->RemoveFile(path));
+  files_.erase(path);
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::TruncateFile(const std::string& path,
+                                       uint64_t size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ODE_RETURN_NOT_OK(BeginMutatingOp("truncate"));
+  ODE_RETURN_NOT_OK(base_->TruncateFile(path, size));
+  FileState& fs = files_[path];
+  fs.append_size = size;
+  fs.synced_size = size;
+  fs.unsynced_writes.clear();
+  return Status::OK();
+}
+
+bool FaultInjectionEnv::FileExists(const std::string& path) {
+  return base_->FileExists(path);
+}
+
+Result<uint64_t> FaultInjectionEnv::GetFileSize(const std::string& path) {
+  return base_->GetFileSize(path);
+}
+
+void FaultInjectionEnv::SleepMicros(uint64_t micros) {
+  base_->SleepMicros(micros);
+}
+
+// -------------------------------------------------------- fault controls
+
+uint64_t FaultInjectionEnv::ops() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ops_;
+}
+
+void FaultInjectionEnv::SetCrashAtOp(uint64_t op) {
+  std::lock_guard<std::mutex> lock(mu_);
+  crash_at_ = op;
+}
+
+void FaultInjectionEnv::ArmCrashAfterNextSync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  crash_after_sync_ = true;
+}
+
+void FaultInjectionEnv::FailNextOps(uint32_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_next_ = n;
+}
+
+void FaultInjectionEnv::SetTransientFaultProbability(double p,
+                                                     uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  transient_p_ = p;
+  rng_ = Random(seed);
+}
+
+void FaultInjectionEnv::SetTornWrites(bool on) {
+  std::lock_guard<std::mutex> lock(mu_);
+  torn_writes_ = on;
+}
+
+bool FaultInjectionEnv::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+uint64_t FaultInjectionEnv::faults_injected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fault_count_;
+}
+
+Status FaultInjectionEnv::DropUnsyncedData(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Random rng(seed);
+  for (auto& [path, fs] : files_) {
+    if (fs.append_size > fs.synced_size) {
+      uint64_t unsynced = fs.append_size - fs.synced_size;
+      uint64_t keep =
+          torn_writes_ ? rng.Uniform(unsynced + 1) : 0;  // torn tail
+      ODE_RETURN_NOT_OK(
+          base_->TruncateFile(path, fs.synced_size + keep));
+      fs.append_size = fs.synced_size + keep;
+      // Whatever survived the crash is on the platter now.
+      fs.synced_size = fs.append_size;
+    }
+    if (!fs.unsynced_writes.empty()) {
+      std::unique_ptr<RandomRWFile> file;
+      ODE_RETURN_NOT_OK(base_->NewRandomRWFile(path, &file));
+      for (const auto& [offset, pre] : fs.unsynced_writes) {
+        if (rng.Bernoulli(0.5)) continue;  // this page write made it
+        ODE_RETURN_NOT_OK(file->WriteAt(offset, Slice(pre)));
+      }
+      ODE_RETURN_NOT_OK(file->Close());
+      fs.unsynced_writes.clear();
+    }
+  }
+  return Status::OK();
+}
+
+void FaultInjectionEnv::ResetAfterCrash() {
+  std::lock_guard<std::mutex> lock(mu_);
+  crashed_ = false;
+  crash_at_ = 0;
+  crash_after_sync_ = false;
+  fail_next_ = 0;
+}
+
+}  // namespace ode

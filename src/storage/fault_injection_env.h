@@ -1,0 +1,156 @@
+#ifndef ODE_STORAGE_FAULT_INJECTION_ENV_H_
+#define ODE_STORAGE_FAULT_INJECTION_ENV_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "storage/env.h"
+
+namespace ode {
+
+class Counter;
+class MetricsRegistry;
+
+/// Env wrapper that injects I/O faults at every boundary the storage
+/// layer crosses, in the LevelDB fault-injection style:
+///
+///  - fail-Nth-op: SetCrashAtOp(k) makes the k-th *mutating* op (append,
+///    sync, page write, truncate, rename, remove) fail with kIOError and
+///    leaves the env "crashed" — every later op fails too, as if the
+///    process lost its disk. ops() after a full reference run gives the
+///    sweep bound.
+///  - transient faults: FailNextOps(n) fails the next n faultable ops
+///    once each; SetTransientFaultProbability(p, seed) fails any faultable
+///    op with probability p. Both are recoverable — the op was simply not
+///    performed — which is what the retry policy exists for.
+///  - crash emulation: the env tracks, per file, which bytes have been
+///    fsynced. After a crash, DropUnsyncedData(seed) rewrites the files
+///    the way a power loss would have left them: append files are
+///    truncated to their synced size plus a random torn prefix of the
+///    unsynced tail; each unsynced page write is kept or rolled back to
+///    its pre-image by a coin flip. Page writes are assumed atomic
+///    (no torn pages — see docs/storage.md for why).
+///  - ArmCrashAfterNextSync(): crash immediately after the next
+///    successful WritableFile::Sync, i.e. between the WAL commit fsync
+///    and the page writes that follow it.
+///
+/// Every injected fault increments ode_env_faults_injected_total.
+/// DropUnsyncedData must only be called while no file handles are open
+/// (after the store crashed / was torn down).
+class FaultInjectionEnv final : public Env {
+ public:
+  explicit FaultInjectionEnv(Env* base = Env::Default());
+
+  // --- Env interface ---
+  Status NewWritableFile(const std::string& path,
+                         std::unique_ptr<WritableFile>* out) override;
+  Status NewRandomRWFile(const std::string& path,
+                         std::unique_ptr<RandomRWFile>* out) override;
+  Status ReadFileToString(const std::string& path, std::string* out) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status RemoveFile(const std::string& path) override;
+  Status TruncateFile(const std::string& path, uint64_t size) override;
+  bool FileExists(const std::string& path) override;
+  Result<uint64_t> GetFileSize(const std::string& path) override;
+  void SleepMicros(uint64_t micros) override;
+  void BindMetrics(MetricsRegistry* registry) override;
+
+  // --- fault controls (thread-safe) ---
+
+  /// Mutating ops executed (or failed by injection) so far.
+  uint64_t ops() const;
+
+  /// The `op`-th (1-based) mutating op from the beginning fails and the
+  /// env stays crashed. 0 disarms.
+  void SetCrashAtOp(uint64_t op);
+
+  /// Crash right after the next successful append-file Sync — between a
+  /// WAL commit fsync and the page writes that would follow it.
+  void ArmCrashAfterNextSync();
+
+  /// The next `n` faultable ops (reads included) fail once each with a
+  /// transient kIOError.
+  void FailNextOps(uint32_t n);
+
+  /// Every faultable op fails with probability `p` (0 disables).
+  void SetTransientFaultProbability(double p, uint64_t seed);
+
+  /// When true (the default), DropUnsyncedData keeps a random torn
+  /// prefix of an append file's unsynced tail; when false the whole
+  /// unsynced tail is lost cleanly.
+  void SetTornWrites(bool on);
+
+  bool crashed() const;
+
+  /// Rewrites tracked files as a power loss would have left them (see
+  /// class comment). Call only while no handles are open.
+  Status DropUnsyncedData(uint64_t seed);
+
+  /// Clears crash state and one-shot injections so the store can reopen.
+  /// Durability bookkeeping (synced sizes) is kept.
+  void ResetAfterCrash();
+
+  uint64_t faults_injected() const;
+
+ private:
+  friend class FaultWritableFile;
+  friend class FaultRWFile;
+
+  struct FileState {
+    /// Append files: total bytes appended / bytes known durable.
+    uint64_t append_size = 0;
+    uint64_t synced_size = 0;
+    /// RW files: pre-image of each region written since the last sync,
+    /// keyed by offset (all writers in this repo write fixed-size pages,
+    /// so offsets never partially overlap).
+    std::map<uint64_t, std::vector<char>> unsynced_writes;
+  };
+
+  /// Gate for a mutating op: counts it, then applies fail-next /
+  /// transient / crash-at injections. Returns the injected error or OK.
+  Status BeginMutatingOp(const char* what);
+  /// Gate for a read op: fail-next / transient only, not counted.
+  Status BeginReadOp(const char* what);
+  /// Bumps the authoritative fault count and mirrors it to the bound
+  /// registry counter.
+  void CountFaultLocked();
+  Status InjectLocked(const char* what);
+  Status CrashedError(const char* what) const;
+
+  // File-op implementations called by the wrapper handles.
+  Status DoAppend(const std::string& path, WritableFile* base, Slice data);
+  Status DoWritableSync(const std::string& path, WritableFile* base);
+  Status DoReadAt(RandomRWFile* base, uint64_t offset, size_t n,
+                  char* scratch);
+  Status DoWriteAt(const std::string& path, RandomRWFile* base,
+                   uint64_t offset, Slice data);
+  Status DoRWSync(const std::string& path, RandomRWFile* base);
+
+  Env* base_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, FileState> files_;
+  uint64_t ops_ = 0;
+  uint64_t crash_at_ = 0;
+  uint32_t fail_next_ = 0;
+  bool crashed_ = false;
+  bool crash_after_sync_ = false;
+  bool torn_writes_ = true;
+  double transient_p_ = 0.0;
+  Random rng_{1};
+  /// Authoritative count. The registry counter is only a mirror: the env
+  /// outlives whatever registry it was last bound to (the store that
+  /// bound it is torn down and reopened around every crash), so
+  /// faults_injected() must not read through faults_.
+  uint64_t fault_count_ = 0;
+  Counter* faults_ = nullptr;
+  std::unique_ptr<MetricsRegistry> owned_metrics_;
+};
+
+}  // namespace ode
+
+#endif  // ODE_STORAGE_FAULT_INJECTION_ENV_H_

@@ -1,6 +1,6 @@
 #include "storage/wal.h"
 
-#include <unistd.h>
+#include <cstring>
 
 #include "common/coding.h"
 #include "common/hash.h"
@@ -8,26 +8,59 @@
 
 namespace ode {
 
-Wal::Wal(std::string path) : path_(std::move(path)) {}
+namespace {
 
-Wal::~Wal() {
-  if (file_ != nullptr) std::fclose(file_);
+constexpr size_t kFrameHeader = 12;  // u32 length + u64 checksum
+
+/// True if `buf[pos..]` contains a complete, checksum-valid frame whose
+/// body starts with a plausible record type. Used to tell a torn tail
+/// (nothing intact follows the damage) from mid-file corruption (intact
+/// committed records follow it). A false positive — record *image* bytes
+/// that happen to frame-decode — only makes recovery more conservative
+/// (salvage mode instead of a truncated tail), never less safe.
+bool IntactFrameAt(const std::vector<char>& buf, size_t pos) {
+  if (pos + kFrameHeader > buf.size()) return false;
+  uint32_t len;
+  uint64_t checksum;
+  std::memcpy(&len, buf.data() + pos, 4);
+  std::memcpy(&checksum, buf.data() + pos + 4, 8);
+  if (len == 0 || pos + kFrameHeader + len > buf.size()) return false;
+  const char* body = buf.data() + pos + kFrameHeader;
+  uint8_t type = static_cast<uint8_t>(body[0]);
+  if (type < static_cast<uint8_t>(WalRecord::Type::kBegin) ||
+      type > static_cast<uint8_t>(WalRecord::Type::kSetRoot)) {
+    return false;
+  }
+  return Hash64(body, len) == checksum;
 }
 
-Status Wal::Open() {
-  file_ = std::fopen(path_.c_str(), "ab");
-  if (file_ == nullptr) {
-    return Status::IOError("wal: cannot open " + path_);
+bool AnyIntactFrameAfter(const std::vector<char>& buf, size_t pos) {
+  for (size_t c = pos + 1; c + kFrameHeader < buf.size(); ++c) {
+    if (IntactFrameAt(buf, c)) return true;
   }
-  return Status::OK();
+  return false;
+}
+
+}  // namespace
+
+Wal::Wal(std::string path, Env* env, const IoRetryPolicy* retry)
+    : path_(std::move(path)),
+      env_(env != nullptr ? env : Env::Default()),
+      retry_(retry) {}
+
+Wal::~Wal() = default;
+
+Status Wal::Open() {
+  return RetryIo(retry_, "wal open",
+                 [&] { return env_->NewWritableFile(path_, &file_); });
 }
 
 Status Wal::Close() {
   if (file_ != nullptr) {
     Status st = Sync();
-    std::fclose(file_);
-    file_ = nullptr;
-    return st;
+    Status cst = file_->Close();
+    file_.reset();
+    return st.ok() ? cst : st;
   }
   return Status::OK();
 }
@@ -45,66 +78,76 @@ Status Wal::Append(const WalRecord& record) {
   framed.PutU32(static_cast<uint32_t>(body.size()));
   framed.PutU64(Hash64(body.buffer().data(), body.size()));
   framed.PutRaw(body.buffer().data(), body.size());
-  size_t n = std::fwrite(framed.buffer().data(), 1, framed.size(), file_);
-  if (n != framed.size()) return Status::IOError("wal: short append");
+  ODE_RETURN_NOT_OK(RetryIo(retry_, "wal append", [&] {
+    return file_->Append(Slice(framed.buffer().data(), framed.size()));
+  }));
   ++records_appended_;
   return Status::OK();
 }
 
 Status Wal::Sync() {
   if (file_ == nullptr) return Status::Internal("wal not open");
-  if (std::fflush(file_) != 0) return Status::IOError("wal: fflush failed");
-  if (fsync(fileno(file_)) != 0) return Status::IOError("wal: fsync failed");
-  return Status::OK();
+  return RetryIo(retry_, "wal sync", [&] { return file_->Sync(); });
 }
 
 Status Wal::ReadAll(std::vector<WalRecord>* out) const {
   out->clear();
-  std::FILE* f = std::fopen(path_.c_str(), "rb");
-  if (f == nullptr) return Status::OK();  // no log yet
-  std::fseek(f, 0, SEEK_END);
-  long size = std::ftell(f);
-  std::fseek(f, 0, SEEK_SET);
-  std::vector<char> buf(static_cast<size_t>(size));
-  size_t nread = size > 0 ? std::fread(buf.data(), 1, buf.size(), f) : 0;
-  std::fclose(f);
-  if (nread != buf.size()) return Status::IOError("wal: read failed");
+  std::string data;
+  Status rst = env_->ReadFileToString(path_, &data);
+  if (rst.IsNotFound()) return Status::OK();  // no log yet
+  ODE_RETURN_NOT_OK(rst);
+  std::vector<char> buf(data.begin(), data.end());
 
   size_t pos = 0;
-  while (pos + 12 <= buf.size()) {
-    Decoder frame(Slice(buf.data() + pos, buf.size() - pos));
+  while (pos + kFrameHeader <= buf.size()) {
     uint32_t len;
     uint64_t checksum;
-    if (!frame.GetU32(&len).ok() || !frame.GetU64(&checksum).ok()) break;
-    if (pos + 12 + len > buf.size()) break;  // torn tail
-    const char* body = buf.data() + pos + 12;
-    if (Hash64(body, len) != checksum) break;  // corrupt tail
-    Decoder dec(Slice(body, len));
+    std::memcpy(&len, buf.data() + pos, 4);
+    std::memcpy(&checksum, buf.data() + pos + 4, 8);
+    bool broken = pos + kFrameHeader + len > buf.size();  // torn frame
+    const char* body = buf.data() + pos + kFrameHeader;
+    if (!broken && Hash64(body, len) != checksum) broken = true;
     WalRecord rec;
-    uint8_t type;
-    uint64_t txn, oid;
-    if (!dec.GetU8(&type).ok() || !dec.GetU64(&txn).ok() ||
-        !dec.GetU64(&oid).ok() || !dec.GetString(&rec.name).ok() ||
-        !dec.GetBytes(&rec.image).ok()) {
-      break;
+    if (!broken) {
+      Decoder dec(Slice(body, len));
+      uint8_t type;
+      uint64_t txn, oid;
+      if (dec.GetU8(&type).ok() && dec.GetU64(&txn).ok() &&
+          dec.GetU64(&oid).ok() && dec.GetString(&rec.name).ok() &&
+          dec.GetBytes(&rec.image).ok()) {
+        rec.type = static_cast<WalRecord::Type>(type);
+        rec.txn = txn;
+        rec.oid = Oid(oid);
+      } else {
+        broken = true;
+      }
     }
-    rec.type = static_cast<WalRecord::Type>(type);
-    rec.txn = txn;
-    rec.oid = Oid(oid);
+    if (broken) {
+      if (AnyIntactFrameAfter(buf, pos)) {
+        return Status::Corruption(
+            "wal: corrupt record at offset " + std::to_string(pos) +
+            " is followed by intact records; refusing to discard "
+            "committed history (" + path_ + ")");
+      }
+      break;  // torn tail: the crash interrupted the last append
+    }
     out->push_back(std::move(rec));
-    pos += 12 + len;
+    pos += kFrameHeader + len;
   }
   return Status::OK();
 }
 
 Status Wal::Truncate() {
   if (file_ != nullptr) {
-    std::fclose(file_);
-    file_ = nullptr;
+    Status cst = file_->Close();
+    file_.reset();
+    if (!cst.ok()) {
+      ODE_LOG(kWarn) << "wal: close before truncate failed: "
+                     << cst.ToString();
+    }
   }
-  std::FILE* f = std::fopen(path_.c_str(), "wb");
-  if (f == nullptr) return Status::IOError("wal: truncate failed");
-  std::fclose(f);
+  ODE_RETURN_NOT_OK(RetryIo(
+      retry_, "wal truncate", [&] { return env_->TruncateFile(path_, 0); }));
   return Open();
 }
 

@@ -2,13 +2,14 @@
 #define ODE_STORAGE_WAL_H_
 
 #include <cstdint>
-#include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/slice.h"
 #include "common/status.h"
 #include "objstore/oid.h"
+#include "storage/env.h"
 
 namespace ode {
 
@@ -33,11 +34,18 @@ struct WalRecord {
   std::vector<char> image;  // kUpsert only
 };
 
-/// Append-only log file with per-record checksums. Torn tails (from a
-/// crash mid-append) are detected and discarded during ReadAll.
+/// Append-only log file with per-record checksums, routed through an Env
+/// so tests can inject faults at every I/O boundary. ReadAll
+/// distinguishes a torn tail (benign: the crash interrupted the last
+/// append) from mid-file corruption followed by intact records (committed
+/// history would be silently lost — reported as kCorruption so the store
+/// can refuse to truncate it).
 class Wal {
  public:
-  explicit Wal(std::string path);
+  /// `env` defaults to Env::Default(); `retry` (not owned, may be null)
+  /// wraps appends/syncs in the store's transient-error retry policy.
+  explicit Wal(std::string path, Env* env = nullptr,
+               const IoRetryPolicy* retry = nullptr);
   ~Wal();
 
   Wal(const Wal&) = delete;
@@ -53,8 +61,11 @@ class Wal {
   /// Flushes buffered records and fsyncs the file.
   Status Sync();
 
-  /// Reads every intact record from the start of the file. Stops (without
-  /// error) at the first corrupt/torn record, mirroring crash recovery.
+  /// Reads every intact record from the start of the file into `out`.
+  /// A torn/corrupt tail is discarded silently (OK), mirroring crash
+  /// recovery. If the broken record is followed by intact records,
+  /// returns kCorruption with the intact *prefix* still in `out`, so the
+  /// caller can salvage what precedes the damage.
   Status ReadAll(std::vector<WalRecord>* out) const;
 
   /// Empties the log (after a checkpoint made its contents redundant).
@@ -64,7 +75,9 @@ class Wal {
 
  private:
   std::string path_;
-  std::FILE* file_ = nullptr;
+  Env* env_;
+  const IoRetryPolicy* retry_;
+  std::unique_ptr<WritableFile> file_;
   uint64_t records_appended_ = 0;
 };
 

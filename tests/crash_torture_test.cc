@@ -1,0 +1,327 @@
+// Crash-torture harness: runs a trigger-heavy workload (composite
+// events, persistent TriggerStates) on a disk database behind a
+// FaultInjectionEnv, crashes it at EVERY mutating I/O operation, drops
+// unsynced data the way a power loss would, reopens, and asserts the
+// joint recovery invariant:
+//
+//   the recovered database equals the state after some committed-txn
+//   prefix j, with j >= the number of commits that were acknowledged
+//   before the crash. One snapshot covers objects AND trigger FSM
+//   states, so a TriggerState that ran ahead of (or lagged behind) its
+//   anchor object's committed image can never match any reference
+//   snapshot and is reported as a violation.
+//
+// Acked commits must be durable (j >= acked); unacked work may round up
+// to at most whole committed transactions (a commit record that reached
+// the OS cache and survived the torn tail is a legitimate commit the
+// caller merely never heard about); aborted transactions appear in no
+// reference snapshot and so must be invisible.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "storage/disk_storage_manager.h"
+#include "storage/fault_injection_env.h"
+#include "odepp/session.h"
+
+namespace ode {
+namespace {
+
+// A counter cell. TripleBump is a perpetual composite-event trigger:
+// every third Bump (tracked across transactions by a persistent
+// TriggerState FSM) increments `fired` — so the trigger state and the
+// object image must advance in lockstep or recovery is broken.
+struct TCell {
+  int32_t count = 0;
+  int32_t fired = 0;
+
+  void Bump() { ++count; }
+
+  void Encode(Encoder& enc) const {
+    enc.PutI32(count);
+    enc.PutI32(fired);
+  }
+  static Result<TCell> Decode(Decoder& dec) {
+    TCell c;
+    ODE_RETURN_NOT_OK(dec.GetI32(&c.count));
+    ODE_RETURN_NOT_OK(dec.GetI32(&c.fired));
+    return c;
+  }
+};
+
+constexpr int kCells = 3;
+constexpr int kTxns = 30;
+constexpr uint64_t kWorkloadSeed = 42;
+
+struct RunResult {
+  int acked = 0;         // setup + workload commits acknowledged OK
+  bool completed = false;  // workload ran to the end and Close succeeded
+};
+
+class CrashTortureTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/ode_crash_torture.db";
+    Cleanup();
+    DeclareSchema();
+    // Every crash run intentionally wedges the store and logs kError;
+    // at hundreds of sweep points that would drown the test output.
+    SetLogLevel(LogLevel::kSilence);
+  }
+  void TearDown() override {
+    SetLogLevel(LogLevel::kWarn);
+    Cleanup();
+  }
+
+  void Cleanup() {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".wal").c_str());
+  }
+
+  void DeclareSchema() {
+    schema_.DeclareClass<TCell>("TCell")
+        .Event("after Bump")
+        .Method("Bump", &TCell::Bump)
+        .Trigger(
+            "TripleBump", "relative(after Bump, after Bump, after Bump)",
+            [](TCell& c, TriggerFireContext&) -> Status {
+              ++c.fired;
+              return Status::OK();
+            },
+            CouplingMode::kImmediate, /*perpetual=*/true);
+    ASSERT_TRUE(schema_.Freeze().ok());
+  }
+
+  Result<std::unique_ptr<Session>> OpenSession(FaultInjectionEnv* env,
+                                               uint32_t retry_attempts,
+                                               DiskStorageManager** store) {
+    DiskStorageManager::Options dopts;
+    dopts.env = env;
+    dopts.io_retry_attempts = retry_attempts;
+    dopts.io_retry_backoff_us = 1;
+    auto dsm = std::make_unique<DiskStorageManager>(path_, dopts);
+    if (store != nullptr) *store = dsm.get();
+    return Session::OpenWith(std::move(dsm), &schema_, Session::Options());
+  }
+
+  /// Canonical rendering of the whole logical state: every cell's value
+  /// plus the FSM state of every active trigger, in a deterministic
+  /// order. Two equal strings mean object images and trigger states are
+  /// both at the same committed-transaction boundary.
+  std::string Snapshot(Session* s) {
+    std::string out;
+    Status st = s->WithTransaction([&](Transaction* txn) -> Status {
+      ODE_ASSIGN_OR_RETURN(std::vector<PRef<TCell>> refs,
+                           s->Cluster<TCell>(txn));
+      std::sort(refs.begin(), refs.end(),
+                [](PRef<TCell> a, PRef<TCell> b) {
+                  return a.oid().value() < b.oid().value();
+                });
+      for (PRef<TCell> ref : refs) {
+        ODE_ASSIGN_OR_RETURN(TCell c, s->Load(txn, ref));
+        out += std::to_string(ref.oid().value()) + "=" +
+               std::to_string(c.count) + "/" + std::to_string(c.fired);
+        ODE_ASSIGN_OR_RETURN(auto active,
+                             s->triggers()->ListActive(txn, ref.oid()));
+        std::sort(active.begin(), active.end(),
+                  [](const TriggerManager::ActiveTrigger& a,
+                     const TriggerManager::ActiveTrigger& b) {
+                    return a.id.value() < b.id.value();
+                  });
+        for (const auto& t : active) {
+          out += ":" + t.trigger_name + "@" + std::to_string(t.statenum);
+          if (t.dead) out += "!";
+        }
+        out += ";";
+      }
+      return Status::OK();
+    });
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    return out;
+  }
+
+  /// Runs the deterministic workload. With `snaps` non-null (the clean
+  /// reference run) a snapshot is recorded after every acked commit;
+  /// snapshot reads are not counted as mutating ops, so the reference
+  /// and the crash runs see an identical mutating-op sequence. Returns
+  /// at the first failed operation (the injected crash).
+  RunResult RunWorkload(FaultInjectionEnv* env,
+                        std::vector<std::string>* snaps,
+                        uint32_t retry_attempts = 0) {
+    RunResult res;
+    DiskStorageManager* store = nullptr;
+    auto session = OpenSession(env, retry_attempts, &store);
+    if (!session.ok()) return res;
+    Session* s = session->get();
+    if (snaps != nullptr) snaps->push_back(Snapshot(s));  // pre-setup
+
+    // Setup txn: the cells and their perpetual triggers.
+    std::vector<PRef<TCell>> cells;
+    Status st = s->WithTransaction([&](Transaction* txn) -> Status {
+      for (int i = 0; i < kCells; ++i) {
+        ODE_ASSIGN_OR_RETURN(PRef<TCell> ref, s->New(txn, TCell{}));
+        ODE_RETURN_NOT_OK(s->Activate(txn, ref, "TripleBump").status());
+        cells.push_back(ref);
+      }
+      return Status::OK();
+    });
+    if (!st.ok()) return res;
+    ++res.acked;
+    if (snaps != nullptr) snaps->push_back(Snapshot(s));
+
+    Random rng(kWorkloadSeed);
+    for (int t = 0; t < kTxns; ++t) {
+      auto txn = s->Begin();
+      if (!txn.ok()) return res;
+      int cell = static_cast<int>(rng.Uniform(kCells));
+      int bumps = 1 + static_cast<int>(rng.Uniform(2));
+      for (int b = 0; b < bumps; ++b) {
+        if (!s->Invoke(*txn, cells[cell], &TCell::Bump).ok()) return res;
+      }
+      if (t % 7 == 6) {
+        // Aborted on purpose: its bumps must never resurface.
+        if (!s->Abort(*txn).ok()) return res;
+      } else {
+        if (!s->Commit(*txn).ok()) return res;
+        ++res.acked;
+        if (snaps != nullptr) snaps->push_back(Snapshot(s));
+      }
+      if ((t + 1) % 10 == 0 && !store->Checkpoint().ok()) return res;
+    }
+    if (!s->Close().ok()) return res;
+    res.completed = true;
+    return res;
+  }
+
+  /// Reopens after a crash and checks the recovered state against the
+  /// reference snapshots.
+  void ValidateRecovery(FaultInjectionEnv* env, int acked,
+                        const std::vector<std::string>& snaps,
+                        uint64_t crash_op, bool torn) {
+    auto session = OpenSession(env, /*retry_attempts=*/0, nullptr);
+    if (!session.ok()) {
+      // Only a store that was never durably created may fail to reopen
+      // (the header page itself was rolled back by the crash).
+      EXPECT_EQ(acked, 0)
+          << "crash op " << crash_op << " torn=" << torn
+          << ": store with acked commits failed to reopen: "
+          << session.status().ToString();
+      return;
+    }
+    std::string got = Snapshot(session->get());
+    bool matched = false;
+    for (size_t j = static_cast<size_t>(acked); j < snaps.size(); ++j) {
+      if (snaps[j] == got) {
+        matched = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(matched)
+        << "crash op " << crash_op << " torn=" << torn << " acked=" << acked
+        << ": recovered state matches no committed prefix >= acked:\n  "
+        << got;
+    (void)(*session)->Close();
+  }
+
+  Schema schema_;
+  std::string path_;
+};
+
+TEST_F(CrashTortureTest, EveryCrashPointRecoversToACommittedPrefix) {
+  // Clean reference run: records the op budget and one snapshot per
+  // acked commit.
+  FaultInjectionEnv ref_env;
+  std::vector<std::string> snaps;
+  RunResult ref = RunWorkload(&ref_env, &snaps);
+  ASSERT_TRUE(ref.completed);
+  const uint64_t total_ops = ref_env.ops();
+  ASSERT_GE(total_ops, 100u) << "workload too small for a meaningful sweep";
+  ASSERT_EQ(snaps.size(), static_cast<size_t>(ref.acked) + 1);
+
+  int swept = 0;
+  for (int torn = 0; torn <= 1; ++torn) {
+    for (uint64_t k = 1; k <= total_ops; ++k) {
+      Cleanup();
+      FaultInjectionEnv env;
+      env.SetTornWrites(torn == 1);
+      env.SetCrashAtOp(k);
+      RunResult run = RunWorkload(&env, nullptr);
+      ASSERT_TRUE(env.crashed())
+          << "crash point " << k << " was never reached";
+      ASSERT_FALSE(run.completed);
+      ASSERT_TRUE(env.DropUnsyncedData(/*seed=*/1000 + k).ok());
+      env.ResetAfterCrash();
+      ValidateRecovery(&env, run.acked, snaps, k, torn == 1);
+      ++swept;
+      if (HasFatalFailure()) return;
+    }
+  }
+  EXPECT_GE(swept, 200) << "acceptance floor: >= 200 randomized crash points";
+}
+
+TEST_F(CrashTortureTest, TransientNoiseWithRetriesRunsToCompletion) {
+  // Reference: a clean run's final state.
+  FaultInjectionEnv clean_env;
+  std::vector<std::string> snaps;
+  RunResult clean = RunWorkload(&clean_env, &snaps);
+  ASSERT_TRUE(clean.completed);
+
+  // Same workload with a 2% transient-EIO rate on every faultable op;
+  // the bounded-retry policy must absorb all of it.
+  Cleanup();
+  FaultInjectionEnv env;
+  env.SetTransientFaultProbability(0.02, /*seed=*/99);
+  DiskStorageManager* store = nullptr;
+  auto session = OpenSession(&env, /*retry_attempts=*/5, &store);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  Session* s = session->get();
+
+  std::vector<PRef<TCell>> cells;
+  Status st = s->WithTransaction([&](Transaction* txn) -> Status {
+    for (int i = 0; i < kCells; ++i) {
+      ODE_ASSIGN_OR_RETURN(PRef<TCell> ref, s->New(txn, TCell{}));
+      ODE_RETURN_NOT_OK(s->Activate(txn, ref, "TripleBump").status());
+      cells.push_back(ref);
+    }
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+
+  Random rng(kWorkloadSeed);
+  for (int t = 0; t < kTxns; ++t) {
+    auto txn = s->Begin();
+    ASSERT_TRUE(txn.ok());
+    int cell = static_cast<int>(rng.Uniform(kCells));
+    int bumps = 1 + static_cast<int>(rng.Uniform(2));
+    for (int b = 0; b < bumps; ++b) {
+      ASSERT_TRUE(s->Invoke(*txn, cells[cell], &TCell::Bump).ok());
+    }
+    if (t % 7 == 6) {
+      ASSERT_TRUE(s->Abort(*txn).ok());
+    } else {
+      ASSERT_TRUE(s->Commit(*txn).ok());
+    }
+    if ((t + 1) % 10 == 0) {
+      ASSERT_TRUE(store->Checkpoint().ok());
+    }
+  }
+
+  EXPECT_GT(env.faults_injected(), 0u) << "the noise must actually fire";
+  EXPECT_GT(s->metrics()->GetCounter("ode_io_retries_total")->value(), 0u);
+  EXPECT_EQ(s->metrics()->GetCounter("ode_io_retry_exhausted_total")->value(),
+            0u);
+  std::string final_state = Snapshot(s);
+  EXPECT_EQ(final_state, snaps.back())
+      << "retried I/O must converge on the exact clean-run state";
+  ASSERT_TRUE(s->Close().ok());
+}
+
+}  // namespace
+}  // namespace ode

@@ -8,6 +8,7 @@
 
 #include "common/random.h"
 #include "storage/disk_storage_manager.h"
+#include "storage/fault_injection_env.h"
 
 namespace ode {
 namespace {
@@ -181,6 +182,114 @@ TEST_F(RecoveryTest, CheckpointThenMoreCommitsThenCrash) {
   EXPECT_EQ(std::string(out.begin(), out.end()), "after-ckpt");
   ASSERT_TRUE(recovered->CommitTxn(3).ok());
   ASSERT_TRUE(recovered->Close().ok());
+}
+
+// Chops `n` bytes off the end of `path` (a crash mid-append).
+void ChopTail(const std::string& path, long n) {
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  ASSERT_GT(size, n);
+  ASSERT_EQ(ftruncate(fileno(f), size - n), 0);
+  std::fclose(f);
+}
+
+TEST_F(RecoveryTest, TornSetRootRecordDiscardsTheWholeTxn) {
+  auto store = OpenStore();
+  ASSERT_TRUE(store->BeginTxn(1).ok());
+  auto first = store->Allocate(1, Slice(std::string("one")));
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(store->SetRoot(1, "r", *first).ok());
+  ASSERT_TRUE(store->CommitTxn(1).ok());
+
+  // Txn 2 repoints the root; its WAL batch ends kSetRoot, kCommit. Tear
+  // into the tail so txn 2's commit never became durable.
+  ASSERT_TRUE(store->BeginTxn(2).ok());
+  auto second = store->Allocate(2, Slice(std::string("two")));
+  ASSERT_TRUE(second.ok());
+  ASSERT_TRUE(store->SetRoot(2, "r", *second).ok());
+  ASSERT_TRUE(store->CommitTxn(2).ok());
+  Crash(std::move(store));
+  ChopTail(path_ + ".wal", 3);
+
+  auto recovered = OpenStore();
+  EXPECT_FALSE(recovered->salvage_mode())
+      << "a torn tail is benign, not corruption";
+  ASSERT_TRUE(recovered->BeginTxn(3).ok());
+  EXPECT_EQ(recovered->GetRoot(3, "r").ValueOr(Oid()), *first)
+      << "the torn txn's root update must be rolled back with it";
+  EXPECT_FALSE(recovered->Exists(3, *second));
+  ASSERT_TRUE(recovered->CommitTxn(3).ok());
+  ASSERT_TRUE(recovered->Close().ok());
+}
+
+TEST_F(RecoveryTest, TornFreeRecordKeepsTheObject) {
+  auto store = OpenStore();
+  ASSERT_TRUE(store->BeginTxn(1).ok());
+  auto oid = store->Allocate(1, Slice(std::string("undead")));
+  ASSERT_TRUE(oid.ok());
+  ASSERT_TRUE(store->CommitTxn(1).ok());
+  // Make the object durable in pages so only the free lives in the WAL.
+  ASSERT_TRUE(store->Checkpoint().ok());
+  ASSERT_TRUE(store->BeginTxn(2).ok());
+  ASSERT_TRUE(store->Free(2, *oid).ok());
+  ASSERT_TRUE(store->CommitTxn(2).ok());
+  Crash(std::move(store));
+  ChopTail(path_ + ".wal", 3);
+
+  auto recovered = OpenStore();
+  ASSERT_TRUE(recovered->BeginTxn(3).ok());
+  EXPECT_TRUE(recovered->Exists(3, *oid))
+      << "the free's commit record was torn away: the free never happened";
+  std::vector<char> out;
+  ASSERT_TRUE(recovered->Read(3, *oid, &out).ok());
+  EXPECT_EQ(std::string(out.begin(), out.end()), "undead");
+  ASSERT_TRUE(recovered->CommitTxn(3).ok());
+  ASSERT_TRUE(recovered->Close().ok());
+}
+
+TEST_F(RecoveryTest, CrashBetweenWalSyncAndPageWrites) {
+  // The window the no-steal/redo-only design exists for: the commit
+  // fsync hit the log, the page applies after it did not. A tiny buffer
+  // pool forces real page I/O during the apply.
+  FaultInjectionEnv env;
+  DiskStorageManager::Options opts;
+  opts.env = &env;
+  opts.buffer_pool_pages = 2;
+  Oid early, late;
+  {
+    DiskStorageManager store(path_, opts);
+    ASSERT_TRUE(store.Open().ok());
+    ASSERT_TRUE(store.BeginTxn(1).ok());
+    auto a = store.Allocate(1, Slice(std::string("checkpointed")));
+    ASSERT_TRUE(a.ok());
+    early = *a;
+    ASSERT_TRUE(store.CommitTxn(1).ok());
+    ASSERT_TRUE(store.Checkpoint().ok());
+
+    ASSERT_TRUE(store.BeginTxn(2).ok());
+    auto b = store.Allocate(2, Slice(std::string(9000, 'w')));
+    ASSERT_TRUE(b.ok());
+    late = *b;
+    env.ArmCrashAfterNextSync();
+    (void)store.CommitTxn(2);  // WAL batch is durable; page applies die
+    store.SimulateCrash();
+  }
+  ASSERT_TRUE(env.DropUnsyncedData(/*seed=*/17).ok());
+  env.ResetAfterCrash();
+
+  DiskStorageManager recovered(path_, opts);
+  ASSERT_TRUE(recovered.Open().ok());
+  ASSERT_TRUE(recovered.BeginTxn(3).ok());
+  std::vector<char> out;
+  ASSERT_TRUE(recovered.Read(3, early, &out).ok());
+  EXPECT_EQ(std::string(out.begin(), out.end()), "checkpointed");
+  ASSERT_TRUE(recovered.Read(3, late, &out).ok())
+      << "the fsynced commit record makes txn 2 committed, pages or not";
+  EXPECT_EQ(out.size(), 9000u);
+  ASSERT_TRUE(recovered.CommitTxn(3).ok());
+  ASSERT_TRUE(recovered.Close().ok());
 }
 
 class RecoveryFuzz : public ::testing::TestWithParam<uint64_t> {};

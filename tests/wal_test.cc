@@ -86,7 +86,32 @@ TEST_F(WalTest, TornTailIsDiscarded) {
   EXPECT_EQ(records[0].oid, Oid(1));
 }
 
-TEST_F(WalTest, CorruptChecksumStopsReplay) {
+// Flips one byte at `offset` in the log file.
+void FlipByteAt(const std::string& path, long offset) {
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, offset, SEEK_SET);
+  int c = std::fgetc(f);
+  std::fseek(f, offset, SEEK_SET);
+  std::fputc(c ^ 0xff, f);
+  std::fclose(f);
+}
+
+// Byte offset where record `n` (0-based) starts.
+long FrameOffset(const std::string& path, int n) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  long pos = 0;
+  for (int i = 0; i < n; ++i) {
+    std::fseek(f, pos, SEEK_SET);
+    uint32_t len = 0;
+    EXPECT_EQ(std::fread(&len, 4, 1, f), 1u);
+    pos += 12 + static_cast<long>(len);
+  }
+  std::fclose(f);
+  return pos;
+}
+
+TEST_F(WalTest, MidFileCorruptionIsReported) {
   {
     Wal wal(path_);
     ASSERT_TRUE(wal.Open().ok());
@@ -95,24 +120,40 @@ TEST_F(WalTest, CorruptChecksumStopsReplay) {
     ASSERT_TRUE(wal.Append(Upsert(1, 3, "third")).ok());
     ASSERT_TRUE(wal.Close().ok());
   }
-  // Flip a byte inside the second record's body.
-  std::FILE* f = std::fopen(path_.c_str(), "rb+");
-  ASSERT_NE(f, nullptr);
-  std::fseek(f, 0, SEEK_END);
-  long size = std::ftell(f);
-  std::fseek(f, size / 2, SEEK_SET);
-  int c = std::fgetc(f);
-  std::fseek(f, size / 2, SEEK_SET);
-  std::fputc(c ^ 0xff, f);
-  std::fclose(f);
+  // Flip the second record's type byte: record 3 is still intact after
+  // the damage, so this is mid-file corruption, not a torn tail.
+  FlipByteAt(path_, FrameOffset(path_, 1) + 12);
+
+  Wal wal(path_);
+  std::vector<WalRecord> records;
+  Status st = wal.ReadAll(&records);
+  EXPECT_EQ(st.code(), StatusCode::kCorruption)
+      << "intact records after the damage mean committed history would be "
+         "lost: "
+      << st.ToString();
+  // The intact prefix is still salvaged.
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].oid, Oid(1));
+}
+
+TEST_F(WalTest, CorruptFinalRecordIsATornTail) {
+  {
+    Wal wal(path_);
+    ASSERT_TRUE(wal.Open().ok());
+    ASSERT_TRUE(wal.Append(Upsert(1, 1, "first")).ok());
+    ASSERT_TRUE(wal.Append(Upsert(1, 2, "second")).ok());
+    ASSERT_TRUE(wal.Append(Upsert(1, 3, "third")).ok());
+    ASSERT_TRUE(wal.Close().ok());
+  }
+  // Damage the LAST record only: nothing intact follows, so this is
+  // indistinguishable from a crash mid-append and is silently discarded.
+  FlipByteAt(path_, FrameOffset(path_, 2) + 12);
 
   Wal wal(path_);
   std::vector<WalRecord> records;
   ASSERT_TRUE(wal.ReadAll(&records).ok());
-  EXPECT_LT(records.size(), 3u) << "replay stops at the corrupt record";
-  if (!records.empty()) {
-    EXPECT_EQ(records[0].oid, Oid(1));
-  }
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[1].oid, Oid(2));
 }
 
 TEST_F(WalTest, TruncateEmptiesTheLog) {
