@@ -1,17 +1,23 @@
 #!/usr/bin/env bash
-# Runs the posting-overhead benchmark (experiment E1) and records the
-# results as JSON for regression tracking. Usage:
+# Runs the tracked benchmarks and records the results as JSON for
+# regression tracking:
 #
-#   scripts/run_bench.sh [build-dir] [output-json]
+#   * bench_posting_overhead (experiment E1) -> BENCH_posting.json
+#   * bench_commit_throughput (experiment E9) -> BENCH_commit.json
 #
-# Defaults: build dir `build`, output `BENCH_posting.json` in the repo
-# root. The build must already exist (cmake -B build -S . && cmake
-# --build build -j).
+# Usage:
+#
+#   scripts/run_bench.sh [build-dir] [posting-json] [commit-json]
+#
+# Defaults: build dir `build`, outputs `BENCH_posting.json` and
+# `BENCH_commit.json` in the repo root. The build must already exist
+# (cmake -B build -S . && cmake --build build -j).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
 out_json="${2:-$repo_root/BENCH_posting.json}"
+commit_json="${3:-$repo_root/BENCH_commit.json}"
 
 bench_bin="$build_dir/bench/bench_posting_overhead"
 if [[ ! -x "$bench_bin" ]]; then
@@ -36,3 +42,26 @@ for key in ode_trigger_posts_total ode_trigger_post_latency_p99_ns; do
 done
 
 echo "wrote $out_json (with embedded registry metrics)"
+
+commit_bin="$build_dir/bench/bench_commit_throughput"
+if [[ ! -x "$commit_bin" ]]; then
+  echo "error: $commit_bin not built (run: cmake -B build -S . && cmake --build build -j)" >&2
+  exit 1
+fi
+
+"$commit_bin" \
+  --benchmark_format=json \
+  --benchmark_out="$commit_json" \
+  --benchmark_out_format=json
+
+# The commit benchmark's headline numbers are committed-txns/sec at 8
+# threads (group on vs off, sync on) and fsyncs_per_commit, which the
+# group-commit pipeline must amortize well below 1 under concurrency.
+for key in fsyncs_per_commit fsyncs_saved_total; do
+  if ! grep -q "\"$key\"" "$commit_json"; then
+    echo "error: $commit_json is missing counter '$key'" >&2
+    exit 1
+  fi
+done
+
+echo "wrote $commit_json (group-commit throughput + fsync amortization)"

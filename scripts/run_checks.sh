@@ -4,12 +4,18 @@
 #   scripts/run_checks.sh            # tier-1: configure + build + full ctest
 #   scripts/run_checks.sh faults     # only the fault-injection/crash-torture
 #                                    # suites (ctest -L faults)
-#   scripts/run_checks.sh asan       # fault suites under AddressSanitizer
-#   scripts/run_checks.sh tsan       # fault suites under ThreadSanitizer
-#   scripts/run_checks.sh all        # tier-1, then asan, then tsan
+#   scripts/run_checks.sh asan       # fault + commit suites under ASan
+#   scripts/run_checks.sh tsan       # fault + commit suites under TSan
+#   scripts/run_checks.sh bench-smoke # build + run every benchmark once
+#                                    # (one tiny repetition; catches bench
+#                                    # bit-rot without paying for real runs)
+#   scripts/run_checks.sh all        # tier-1, asan, tsan, bench-smoke
 #
 # Each sanitizer uses its own build tree (build-asan/, build-tsan/) so the
-# plain tier-1 tree is never reconfigured under it.
+# plain tier-1 tree is never reconfigured under it. The sanitizers run the
+# `faults` and `commit` ctest labels: crash torture, fault injection, and
+# the group-commit concurrency suites (the lock-split in the commit
+# pipeline is exactly what TSan is there to police).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -36,9 +42,25 @@ faults_only() {
 
 sanitized() {
   local name="$1" flag="$2"
-  echo "== ${name}: fault-injection suites under ${flag} =="
+  echo "== ${name}: fault-injection + commit suites under ${flag} =="
   configure_and_build "build-${name}" "-DODE_${name^^}=ON"
-  ctest --test-dir "build-${name}" --output-on-failure -L faults
+  ctest --test-dir "build-${name}" --output-on-failure -L 'faults|commit'
+}
+
+bench_smoke() {
+  echo "== bench-smoke: one tiny repetition of every benchmark =="
+  configure_and_build build
+  local failed=0
+  for bin in build/bench/bench_*; do
+    [[ -x "$bin" && ! -d "$bin" ]] || continue
+    echo "-- $bin"
+    if ! "$bin" --benchmark_min_time=0.01 --benchmark_repetitions=1 \
+         > /dev/null; then
+      echo "error: $bin failed" >&2
+      failed=1
+    fi
+  done
+  return "$failed"
 }
 
 case "${1:-tier1}" in
@@ -46,9 +68,10 @@ case "${1:-tier1}" in
   faults) faults_only ;;
   asan)   sanitized asan ODE_ASAN ;;
   tsan)   sanitized tsan ODE_TSAN ;;
-  all)    tier1; sanitized asan ODE_ASAN; sanitized tsan ODE_TSAN ;;
+  bench-smoke) bench_smoke ;;
+  all)    tier1; sanitized asan ODE_ASAN; sanitized tsan ODE_TSAN; bench_smoke ;;
   *)
-    echo "usage: $0 [tier1|faults|asan|tsan|all]" >&2
+    echo "usage: $0 [tier1|faults|asan|tsan|bench-smoke|all]" >&2
     exit 2
     ;;
 esac

@@ -42,6 +42,9 @@ Result<std::unique_ptr<Session>> Session::Open(StorageKind kind,
     DiskStorageManager::Options dopts;
     dopts.io_retry_attempts = options.io_retry_attempts;
     dopts.io_retry_backoff_us = options.io_retry_backoff_us;
+    dopts.group_commit = options.group_commit;
+    dopts.commit_batch_max_txns = options.commit_batch_max_txns;
+    dopts.commit_batch_max_wait_us = options.commit_batch_max_wait_us;
     return OpenWith(std::make_unique<DiskStorageManager>(path, dopts),
                     schema, options);
   }

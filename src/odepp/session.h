@@ -78,6 +78,17 @@ class Session {
     /// Disk databases: backoff before the first I/O retry; doubles per
     /// retry.
     uint32_t io_retry_backoff_us = 100;
+    /// Disk databases: batch concurrent committers into one WAL fsync
+    /// (group commit). Off restores one fsync per committed transaction,
+    /// serialized on the WAL-order lock. See docs/storage.md.
+    bool group_commit = true;
+    /// Disk databases: upper bound on transactions folded into one
+    /// group-commit batch.
+    size_t commit_batch_max_txns = 64;
+    /// Disk databases: how long a commit leader lingers for followers to
+    /// join its batch before fsyncing (0 = never wait; batches still
+    /// form from committers that queue up behind an in-flight fsync).
+    uint32_t commit_batch_max_wait_us = 0;
   };
 
   /// Opens a database using the given (frozen) schema.

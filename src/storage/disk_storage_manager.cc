@@ -1,5 +1,6 @@
 #include "storage/disk_storage_manager.h"
 
+#include <chrono>
 #include <cstring>
 
 #include "common/coding.h"
@@ -56,7 +57,7 @@ BufferPool::Frame* BufferPool::Touch(uint32_t page_id) {
 }
 
 Status BufferPool::WriteFrame(const Frame& frame) {
-  ++writes_;
+  writes_.fetch_add(1, std::memory_order_relaxed);
   return WritePageTo(file_, retry_, frame.page_id, frame.page.data());
 }
 
@@ -74,15 +75,15 @@ Status BufferPool::EvictIfFull() {
 
 Status BufferPool::Get(uint32_t page_id, Page** out) {
   if (Frame* f = Touch(page_id)) {
-    ++hits_;
+    hits_.fetch_add(1, std::memory_order_relaxed);
     *out = &f->page;
     return Status::OK();
   }
-  ++misses_;
+  misses_.fetch_add(1, std::memory_order_relaxed);
   ODE_RETURN_NOT_OK(EvictIfFull());
   Frame frame;
   frame.page_id = page_id;
-  ++reads_;
+  reads_.fetch_add(1, std::memory_order_relaxed);
   ODE_RETURN_NOT_OK(
       ReadPageFrom(file_, retry_, page_id, frame.page.mutable_data()));
   frames_.push_front(std::move(frame));
@@ -150,6 +151,13 @@ void DiskStorageManager::BindMetrics(MetricsRegistry* registry) {
   read_latency_ = registry->GetHistogram("ode_storage_read_latency_ns");
   write_latency_ = registry->GetHistogram("ode_storage_write_latency_ns");
   wal_append_latency_ = registry->GetHistogram("ode_wal_append_latency_ns");
+  wal_fsync_latency_ = registry->GetHistogram("ode_wal_fsync_latency_ns");
+  batch_size_hist_ = registry->GetHistogram("ode_group_commit_batch_size");
+  leader_wait_latency_ =
+      registry->GetHistogram("ode_commit_leader_wait_latency_ns");
+  commit_fsyncs_ = registry->GetCounter("ode_commit_fsyncs_total");
+  commit_fsyncs_saved_ =
+      registry->GetCounter("ode_commit_fsyncs_saved_total");
   // Updated in place: the Wal and BufferPool hold &retry_policy_, so a
   // registry rebind (Database adoption) reaches them without a reopen.
   retry_policy_.retries = registry->GetCounter("ode_io_retries_total");
@@ -178,7 +186,12 @@ Status DiskStorageManager::WritePage(uint32_t page_id, const char* buf) {
 }
 
 Status DiskStorageManager::Open() {
-  std::lock_guard<std::mutex> lock(mu_);
+  // Nothing else can be running (open_ is false), but take the full
+  // exclusive stack anyway so a misuse shows up as a deadlock in tests
+  // rather than a silent race.
+  std::lock_guard<std::mutex> commit_lock(commit_mu_);
+  std::unique_lock<std::shared_mutex> state(state_mu_);
+  std::lock_guard<std::mutex> ws_lock(ws_mu_);
   if (open_) return Status::Internal("disk store already open");
   if (!options_.sync_commits) {
     ODE_LOG(kWarn) << "disk store " << path_
@@ -216,7 +229,9 @@ Status DiskStorageManager::Open() {
       return Status::Corruption("bad file magic in " + path_);
     }
     std::memcpy(&page_count_, header + 4, 4);
-    std::memcpy(&next_oid_, header + 8, 8);
+    uint64_t stored_next_oid;
+    std::memcpy(&stored_next_oid, header + 8, 8);
+    next_oid_.store(stored_next_oid, std::memory_order_relaxed);
     ODE_RETURN_NOT_OK(ScanAndRebuild());
   }
   // Load the roots directory (object with reserved oid 1) before WAL
@@ -256,8 +271,12 @@ Status DiskStorageManager::Open() {
 }
 
 Status DiskStorageManager::Close() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> commit_lock(commit_mu_);
   if (!open_) return Status::OK();
+  // Let in-flight batches finish applying before we take the state lock
+  // and truncate the WAL they are recorded in.
+  DrainCommitPipelineLocked();
+  std::unique_lock<std::shared_mutex> state(state_mu_);
   Status st = Status::OK();
   if (!wedged_ && !salvage_) {
     st = CheckpointLocked();
@@ -274,13 +293,15 @@ Status DiskStorageManager::Close() {
   return st.ok() ? wst : st;
 }
 
-Status DiskStorageManager::CheckWritableLocked() const {
-  if (!open_) return Status::Internal("disk store not open");
-  if (wedged_) {
+Status DiskStorageManager::CheckWritable() const {
+  if (!open_.load(std::memory_order_acquire)) {
+    return Status::Internal("disk store not open");
+  }
+  if (wedged_.load(std::memory_order_acquire)) {
     return Status::IOError(
         "disk store wedged by a mid-commit I/O failure; reopen to recover");
   }
-  if (salvage_) {
+  if (salvage_.load(std::memory_order_acquire)) {
     return Status::Corruption(
         "disk store is in read-only WAL-salvage mode (corrupt log " +
         path_ + ".wal)");
@@ -371,7 +392,8 @@ Status DiskStorageManager::WriteHeader() {
   std::memset(buf, 0, sizeof(buf));
   std::memcpy(buf, &kFileMagic, 4);
   std::memcpy(buf + 4, &page_count_, 4);
-  std::memcpy(buf + 8, &next_oid_, 8);
+  const uint64_t next_oid = next_oid_.load(std::memory_order_relaxed);
+  std::memcpy(buf + 8, &next_oid, 8);
   return WritePage(0, buf);
 }
 
@@ -630,16 +652,18 @@ Status DiskStorageManager::ApplyRoots() {
 // ----------------------------------------------------------- public methods
 
 DiskStorageManager::Workspace* DiskStorageManager::FindWorkspace(TxnId txn) {
+  std::lock_guard<std::mutex> lock(ws_mu_);
   auto it = workspaces_.find(txn);
+  // Stable across other transactions' begin/commit: unordered_map never
+  // invalidates pointers to other nodes.
   return it == workspaces_.end() ? nullptr : &it->second;
 }
 
 Result<Oid> DiskStorageManager::Allocate(TxnId txn, Slice data) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ODE_RETURN_NOT_OK(CheckWritableLocked());
+  ODE_RETURN_NOT_OK(CheckWritable());
   Workspace* ws = FindWorkspace(txn);
   if (ws == nullptr) return Status::Internal("disk store: unknown txn");
-  Oid oid(next_oid_++);
+  Oid oid(next_oid_.fetch_add(1, std::memory_order_relaxed));
   Workspace::Entry entry;
   entry.image = data.ToVector();
   ws->entries[oid] = std::move(entry);
@@ -649,8 +673,7 @@ Result<Oid> DiskStorageManager::Allocate(TxnId txn, Slice data) {
 
 Status DiskStorageManager::Read(TxnId txn, Oid oid, std::vector<char>* out) {
   LatencyTimer timer(read_latency_);
-  std::lock_guard<std::mutex> lock(mu_);
-  if (wedged_) {
+  if (wedged_.load(std::memory_order_acquire)) {
     return Status::IOError(
         "disk store wedged by a mid-commit I/O failure; reopen to recover");
   }
@@ -665,13 +688,17 @@ Status DiskStorageManager::Read(TxnId txn, Oid oid, std::vector<char>* out) {
       return Status::OK();
     }
   }
+  // Fast lane: committed reads share state_mu_, so they only ever wait
+  // for page application — never for a WAL fsync. pool_mu_ serializes
+  // the buffer pool's LRU bookkeeping among concurrent readers.
+  std::shared_lock<std::shared_mutex> state(state_mu_);
+  std::lock_guard<std::mutex> pool_lock(pool_mu_);
   return ReadCommitted(oid, out);
 }
 
 Status DiskStorageManager::Write(TxnId txn, Oid oid, Slice data) {
   LatencyTimer timer(write_latency_);
-  std::lock_guard<std::mutex> lock(mu_);
-  ODE_RETURN_NOT_OK(CheckWritableLocked());
+  ODE_RETURN_NOT_OK(CheckWritable());
   object_writes_->Inc();
   Workspace* ws = FindWorkspace(txn);
   if (ws == nullptr) return Status::Internal("disk store: unknown txn");
@@ -683,8 +710,11 @@ Status DiskStorageManager::Write(TxnId txn, Oid oid, Slice data) {
     it->second.image = data.ToVector();
     return Status::OK();
   }
-  if (index_.find(oid.value()) == index_.end()) {
-    return Status::NotFound("no object " + oid.ToString());
+  {
+    std::shared_lock<std::shared_mutex> state(state_mu_);
+    if (index_.find(oid.value()) == index_.end()) {
+      return Status::NotFound("no object " + oid.ToString());
+    }
   }
   Workspace::Entry entry;
   entry.image = data.ToVector();
@@ -693,8 +723,7 @@ Status DiskStorageManager::Write(TxnId txn, Oid oid, Slice data) {
 }
 
 Status DiskStorageManager::Free(TxnId txn, Oid oid) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ODE_RETURN_NOT_OK(CheckWritableLocked());
+  ODE_RETURN_NOT_OK(CheckWritable());
   Workspace* ws = FindWorkspace(txn);
   if (ws == nullptr) return Status::Internal("disk store: unknown txn");
   auto it = ws->entries.find(oid);
@@ -706,8 +735,11 @@ Status DiskStorageManager::Free(TxnId txn, Oid oid) {
     it->second.image.clear();
     return Status::OK();
   }
-  if (index_.find(oid.value()) == index_.end()) {
-    return Status::NotFound("no object " + oid.ToString());
+  {
+    std::shared_lock<std::shared_mutex> state(state_mu_);
+    if (index_.find(oid.value()) == index_.end()) {
+      return Status::NotFound("no object " + oid.ToString());
+    }
   }
   Workspace::Entry entry;
   entry.freed = true;
@@ -716,18 +748,17 @@ Status DiskStorageManager::Free(TxnId txn, Oid oid) {
 }
 
 bool DiskStorageManager::Exists(TxnId txn, Oid oid) {
-  std::lock_guard<std::mutex> lock(mu_);
   if (Workspace* ws = FindWorkspace(txn)) {
     auto it = ws->entries.find(oid);
     if (it != ws->entries.end()) return !it->second.freed;
   }
+  std::shared_lock<std::shared_mutex> state(state_mu_);
   return index_.find(oid.value()) != index_.end();
 }
 
 Status DiskStorageManager::SetRoot(TxnId txn, const std::string& name,
                                    Oid oid) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ODE_RETURN_NOT_OK(CheckWritableLocked());
+  ODE_RETURN_NOT_OK(CheckWritable());
   Workspace* ws = FindWorkspace(txn);
   if (ws == nullptr) return Status::Internal("disk store: unknown txn");
   ws->root_updates[name] = oid;
@@ -735,8 +766,7 @@ Status DiskStorageManager::SetRoot(TxnId txn, const std::string& name,
 }
 
 Result<Oid> DiskStorageManager::GetRoot(TxnId txn, const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (wedged_) {
+  if (wedged_.load(std::memory_order_acquire)) {
     return Status::IOError(
         "disk store wedged by a mid-commit I/O failure; reopen to recover");
   }
@@ -744,62 +774,89 @@ Result<Oid> DiskStorageManager::GetRoot(TxnId txn, const std::string& name) {
     auto it = ws->root_updates.find(name);
     if (it != ws->root_updates.end()) return it->second;
   }
+  std::shared_lock<std::shared_mutex> state(state_mu_);
   auto it = roots_.find(name);
   if (it == roots_.end()) return Status::NotFound("no root '" + name + "'");
   return it->second;
 }
 
 Status DiskStorageManager::BeginTxn(TxnId txn) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (!open_) return Status::Internal("disk store not open");
-  if (wedged_) {
+  // Deliberately off every state lock: starting a transaction must not
+  // wait behind an in-flight group fsync.
+  if (!open_.load(std::memory_order_acquire)) {
+    return Status::Internal("disk store not open");
+  }
+  if (wedged_.load(std::memory_order_acquire)) {
     return Status::IOError(
         "disk store wedged by a mid-commit I/O failure; reopen to recover");
   }
+  std::lock_guard<std::mutex> lock(ws_mu_);
   auto [it, inserted] = workspaces_.try_emplace(txn);
   (void)it;
   if (!inserted) return Status::Internal("disk store: txn already begun");
   return Status::OK();
 }
 
-Status DiskStorageManager::ApplyCommitLocked(TxnId txn, Workspace& ws) {
-  // WAL first: the batch is atomic because recovery redoes only
-  // transactions whose kCommit record survived. The latency histogram
-  // covers the whole append batch plus the commit fsync — the durable
-  // part of commit — but not the page application below.
+namespace {
+// Batch info for the last successful commit on this thread (see
+// StorageManager::LastCommitBatch).
+thread_local StorageManager::CommitBatchInfo tls_last_commit_batch;
+}  // namespace
+
+StorageManager::CommitBatchInfo DiskStorageManager::LastCommitBatch() const {
+  return tls_last_commit_batch;
+}
+
+Status DiskStorageManager::AppendBatchWal(
+    const std::vector<CommitRequest*>& batch) {
+  // WAL first: each member keeps its own kBegin..kCommit frame, so the
+  // recovery protocol is unchanged — it redoes exactly the transactions
+  // whose kCommit record survived, batched or not.
+  const uint64_t records_before = wal_->records_appended();
   {
-    LatencyTimer wal_timer(wal_append_latency_);
-    const uint64_t records_before = wal_->records_appended();
-    WalRecord begin{WalRecord::Type::kBegin, txn, Oid(), "", {}};
-    ODE_RETURN_NOT_OK(wal_->Append(begin));
-    for (const auto& [oid, entry] : ws.entries) {
-      WalRecord r;
-      r.txn = txn;
-      r.oid = oid;
-      if (entry.freed) {
-        r.type = WalRecord::Type::kFree;
-      } else {
-        r.type = WalRecord::Type::kUpsert;
-        r.image = entry.image;
+    LatencyTimer append_timer(wal_append_latency_);
+    for (const CommitRequest* req : batch) {
+      WalRecord begin{WalRecord::Type::kBegin, req->txn, Oid(), "", {}};
+      ODE_RETURN_NOT_OK(wal_->Append(begin));
+      for (const auto& [oid, entry] : req->ws->entries) {
+        WalRecord r;
+        r.txn = req->txn;
+        r.oid = oid;
+        if (entry.freed) {
+          r.type = WalRecord::Type::kFree;
+        } else {
+          r.type = WalRecord::Type::kUpsert;
+          r.image = entry.image;
+        }
+        ODE_RETURN_NOT_OK(wal_->Append(r));
       }
-      ODE_RETURN_NOT_OK(wal_->Append(r));
+      for (const auto& [name, oid] : req->ws->root_updates) {
+        WalRecord r;
+        r.type = WalRecord::Type::kSetRoot;
+        r.txn = req->txn;
+        r.oid = oid;
+        r.name = name;
+        ODE_RETURN_NOT_OK(wal_->Append(r));
+      }
+      WalRecord commit{WalRecord::Type::kCommit, req->txn, Oid(), "", {}};
+      ODE_RETURN_NOT_OK(wal_->Append(commit));
     }
-    for (const auto& [name, oid] : ws.root_updates) {
-      WalRecord r;
-      r.type = WalRecord::Type::kSetRoot;
-      r.txn = txn;
-      r.oid = oid;
-      r.name = name;
-      ODE_RETURN_NOT_OK(wal_->Append(r));
-    }
-    WalRecord commit{WalRecord::Type::kCommit, txn, Oid(), "", {}};
-    ODE_RETURN_NOT_OK(wal_->Append(commit));
-    if (options_.sync_commits) {
-      ODE_RETURN_NOT_OK(wal_->Sync());
-    }
-    wal_records_->Inc(wal_->records_appended() - records_before);
   }
-  // Now apply to pages (in the buffer pool; flushed lazily).
+  wal_records_->Inc(wal_->records_appended() - records_before);
+  if (options_.sync_commits) {
+    // The one fsync the whole group pays. Only after it returns may any
+    // member be acked.
+    LatencyTimer fsync_timer(wal_fsync_latency_);
+    ODE_RETURN_NOT_OK(wal_->Sync());
+    commit_fsyncs_->Inc();
+    commit_fsyncs_saved_->Inc(static_cast<uint64_t>(batch.size() - 1));
+  }
+  return Status::OK();
+}
+
+Status DiskStorageManager::ApplyWorkspacePages(Workspace& ws) {
+  // Applies to pages in the buffer pool (flushed lazily). Caller holds
+  // state_mu_ exclusive.
   for (const auto& [oid, entry] : ws.entries) {
     if (entry.freed) {
       Status st = ApplyFree(oid);
@@ -821,48 +878,196 @@ Status DiskStorageManager::ApplyCommitLocked(TxnId txn, Workspace& ws) {
   return Status::OK();
 }
 
-Status DiskStorageManager::CommitTxn(TxnId txn) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = workspaces_.find(txn);
-  if (it == workspaces_.end()) {
-    return Status::Internal("disk store: commit of unknown txn");
+void DiskStorageManager::DrainCommitPipelineLocked() {
+  // commit_mu_ is held, so no new batch can be numbered; wait until the
+  // last numbered batch has finished applying its pages.
+  std::unique_lock<std::mutex> apply_lock(apply_mu_);
+  apply_cv_.wait(apply_lock,
+                 [this] { return applied_seq_ + 1 == next_batch_seq_; });
+}
+
+Status DiskStorageManager::CommitThroughQueue(TxnId txn, Workspace* ws) {
+  CommitRequest req;
+  req.txn = txn;
+  req.ws = ws;
+
+  std::unique_lock<std::mutex> lock(commit_mu_);
+  commit_queue_.push_back(&req);
+  commit_cv_.notify_all();  // a lingering leader recounts its batch
+  {
+    // Time parked in the commit queue (for followers: until their whole
+    // batch is durable and applied).
+    LatencyTimer wait_timer(leader_wait_latency_);
+    commit_cv_.wait(lock, [&] {
+      return req.done ||
+             (!commit_queue_.empty() && commit_queue_.front() == &req);
+    });
   }
-  Workspace& ws = it->second;
-  bool read_only = ws.entries.empty() && ws.root_updates.empty();
-  if (!read_only) {
-    ODE_RETURN_NOT_OK(CheckWritableLocked());
-    Status st = ApplyCommitLocked(txn, ws);
-    if (!st.ok()) {
-      // The failure may have left a partial WAL batch or half-applied
-      // pages; only WAL recovery at the next Open can reconcile them.
-      // Wedge so no later checkpoint persists the half-applied state and
-      // then truncates the log.
-      wedged_ = true;
-      ODE_LOG(kError) << "disk store: commit of txn " << txn
-                      << " failed mid-flight; store wedged until reopen: "
+  if (req.done) {
+    // A leader carried this transaction: its kCommit is fsynced and its
+    // pages are applied (or the whole group failed together).
+    if (req.status.ok()) {
+      tls_last_commit_batch =
+          CommitBatchInfo{req.batch_id, req.batch_size, /*leader=*/false};
+    }
+    return req.status;
+  }
+
+  // This thread is the leader-elect. Do NOT form the batch yet: wait
+  // until the WAL stage is free, so that committers arriving while the
+  // previous batch fsyncs pile up in the queue and get claimed together
+  // — that accumulation window is where batching comes from. No batch
+  // can be numbered while this (unformed) request is the queue front,
+  // so next_batch_seq_ is stable with commit_mu_ released; formed
+  // batches never need commit_mu_ to finish their WAL stage, so this
+  // wait cannot deadlock with a drain holding commit_mu_.
+  const uint64_t prev_formed = next_batch_seq_ - 1;
+  lock.unlock();
+  {
+    std::unique_lock<std::mutex> wal_lock(wal_mu_);
+    wal_cv_.wait(wal_lock, [&] { return wal_seq_ >= prev_formed; });
+  }
+  lock.lock();
+
+  // Optionally linger so more committers can join; the queue front
+  // stays this request throughout, so no second leader can emerge while
+  // wait_for has commit_mu_ released.
+  const size_t max_txns =
+      options_.group_commit
+          ? std::max<size_t>(1, options_.commit_batch_max_txns)
+          : 1;
+  if (options_.group_commit && options_.commit_batch_max_wait_us > 0 &&
+      commit_queue_.size() < max_txns) {
+    commit_cv_.wait_for(
+        lock, std::chrono::microseconds(options_.commit_batch_max_wait_us),
+        [&] { return commit_queue_.size() >= max_txns; });
+  }
+  // Claim the batch and its sequence number, then get off commit_mu_ so
+  // the next leader-elect can start accumulating its own batch.
+  std::vector<CommitRequest*> batch;
+  while (!commit_queue_.empty() && batch.size() < max_txns) {
+    batch.push_back(commit_queue_.front());
+    commit_queue_.pop_front();
+  }
+  const uint64_t batch_seq = next_batch_seq_++;
+  for (CommitRequest* r : batch) {
+    r->batch_id = batch_seq;
+    r->batch_size = static_cast<uint32_t>(batch.size());
+  }
+  if (batch_size_hist_->ShouldSample()) {
+    batch_size_hist_->Record(batch.size());
+  }
+  if (!commit_queue_.empty()) commit_cv_.notify_all();  // next leader
+  lock.unlock();
+
+  // WAL ticket: batches append + fsync strictly in sequence order. The
+  // wedge check must happen under the ticket — after a failed batch left
+  // a partial frame, appending behind the tear would turn a torn tail
+  // (discarded by recovery) into mid-file corruption (salvage mode).
+  Status st;
+  {
+    std::unique_lock<std::mutex> wal_lock(wal_mu_);
+    wal_cv_.wait(wal_lock, [&] { return wal_seq_ + 1 == batch_seq; });
+    st = CheckWritable();
+    if (st.ok()) st = AppendBatchWal(batch);
+    if (!st.ok() && !wedged_.load(std::memory_order_acquire)) {
+      wedged_.store(true, std::memory_order_release);
+      ODE_LOG(kError) << "disk store: group commit batch " << batch_seq
+                      << " (" << batch.size()
+                      << " txn(s)) failed in the WAL; store wedged until "
+                         "reopen: "
                       << st.ToString();
-      return st;
+    }
+    wal_seq_ = batch_seq;
+  }
+  wal_cv_.notify_all();
+
+  // Apply ticket: pages strictly in WAL order. Upserts are last-writer-
+  // wins, so batch N+1 (already fsyncing on its own leader's thread)
+  // must not reach a page before batch N.
+  {
+    std::unique_lock<std::mutex> apply_lock(apply_mu_);
+    apply_cv_.wait(apply_lock, [&] { return applied_seq_ + 1 == batch_seq; });
+  }
+  if (st.ok()) {
+    std::unique_lock<std::shared_mutex> state(state_mu_);
+    for (CommitRequest* r : batch) {
+      st = ApplyWorkspacePages(*r->ws);
+      if (!st.ok()) break;
+    }
+    if (!st.ok()) {
+      // Pages and WAL may now disagree about a half-applied batch; only
+      // WAL recovery at the next Open can reconcile them.
+      wedged_.store(true, std::memory_order_release);
+      ODE_LOG(kError) << "disk store: group commit batch " << batch_seq
+                      << " failed applying pages; store wedged until reopen: "
+                      << st.ToString();
     }
   }
-  workspaces_.erase(it);
+  {
+    std::lock_guard<std::mutex> apply_lock(apply_mu_);
+    applied_seq_ = batch_seq;
+  }
+  apply_cv_.notify_all();
+
+  // Ack the group with its shared outcome. Followers wake only here —
+  // after the fsync covering their kCommit AND page application — so a
+  // caller releasing its 2PL locks gets read-your-writes.
+  lock.lock();
+  for (CommitRequest* r : batch) {
+    if (r == &req) continue;
+    r->status = st;
+    r->done = true;
+  }
+  lock.unlock();
+  commit_cv_.notify_all();
+  if (st.ok()) {
+    tls_last_commit_batch = CommitBatchInfo{
+        batch_seq, static_cast<uint32_t>(batch.size()), /*leader=*/true};
+  }
+  return st;
+}
+
+Status DiskStorageManager::CommitTxn(TxnId txn) {
+  Workspace* ws = FindWorkspace(txn);
+  if (ws == nullptr) {
+    return Status::Internal("disk store: commit of unknown txn");
+  }
+  const bool read_only = ws->entries.empty() && ws->root_updates.empty();
+  if (!read_only) {
+    ODE_RETURN_NOT_OK(CheckWritable());
+    // On failure the workspace is kept (the caller may still AbortTxn),
+    // matching the pre-group-commit contract.
+    ODE_RETURN_NOT_OK(CommitThroughQueue(txn, ws));
+  }
+  std::lock_guard<std::mutex> lock(ws_mu_);
+  workspaces_.erase(txn);
   return Status::OK();
 }
 
 Status DiskStorageManager::AbortTxn(TxnId txn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(ws_mu_);
   // Allowed even wedged/salvaged: no-steal keeps aborts purely in-memory.
   workspaces_.erase(txn);
   return Status::OK();
 }
 
 Status DiskStorageManager::Checkpoint() {
-  std::lock_guard<std::mutex> lock(mu_);
-  ODE_RETURN_NOT_OK(CheckWritableLocked());
+  std::unique_lock<std::mutex> commit_lock(commit_mu_);
+  ODE_RETURN_NOT_OK(CheckWritable());
+  DrainCommitPipelineLocked();
+  // A draining batch may have wedged the store; checkpointing now would
+  // persist half-applied state and then truncate the log.
+  ODE_RETURN_NOT_OK(CheckWritable());
+  std::unique_lock<std::shared_mutex> state(state_mu_);
   return CheckpointLocked();
 }
 
 void DiskStorageManager::SimulateCrash() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> commit_lock(commit_mu_);
+  DrainCommitPipelineLocked();
+  std::unique_lock<std::shared_mutex> state(state_mu_);
+  std::lock_guard<std::mutex> ws_lock(ws_mu_);
   pool_.reset();  // dirty frames are dropped, not written
   wal_.reset();
   file_.reset();
@@ -873,13 +1078,11 @@ void DiskStorageManager::SimulateCrash() {
 }
 
 bool DiskStorageManager::salvage_mode() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return salvage_;
+  return salvage_.load(std::memory_order_acquire);
 }
 
 bool DiskStorageManager::wedged() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return wedged_;
+  return wedged_.load(std::memory_order_acquire);
 }
 
 Status DiskStorageManager::CheckpointLocked() {
@@ -891,7 +1094,7 @@ Status DiskStorageManager::CheckpointLocked() {
 }
 
 StorageStats DiskStorageManager::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> state(state_mu_);
   StorageStats s;
   s.objects = index_.size();
   s.pages = page_count_;

@@ -1,10 +1,14 @@
 #ifndef ODE_STORAGE_DISK_STORAGE_MANAGER_H_
 #define ODE_STORAGE_DISK_STORAGE_MANAGER_H_
 
+#include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <list>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -42,10 +46,10 @@ class BufferPool {
 
   Status FlushAll();
 
-  uint64_t reads() const { return reads_; }
-  uint64_t writes() const { return writes_; }
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
+  uint64_t reads() const { return reads_.load(std::memory_order_relaxed); }
+  uint64_t writes() const { return writes_.load(std::memory_order_relaxed); }
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
 
  private:
   struct Frame {
@@ -65,7 +69,9 @@ class BufferPool {
   // MRU at front.
   std::list<Frame> frames_;
   std::unordered_map<uint32_t, std::list<Frame>::iterator> index_;
-  uint64_t reads_ = 0, writes_ = 0, hits_ = 0, misses_ = 0;
+  // Relaxed: bumped under the storage manager's pool serialization, read
+  // by stats() without it.
+  std::atomic<uint64_t> reads_{0}, writes_{0}, hits_{0}, misses_{0};
 };
 
 /// Disk-based storage manager — the EOS analogue. Objects live in slotted
@@ -73,6 +79,15 @@ class BufferPool {
 /// oid -> (page, slot) index is rebuilt by scanning pages on open; a
 /// redo-only WAL plus no-steal transaction workspaces provide atomicity
 /// and crash recovery.
+///
+/// Commits run through a group-commit pipeline (docs/storage.md, "Group
+/// commit"): concurrent committers park in a queue, the first arrival
+/// becomes the leader, appends every member's kBegin..kCommit frame, and
+/// issues ONE fsync for the batch; pages are applied batch-by-batch in
+/// WAL order under a committed-state lock that readers share, so reads
+/// and BeginTxn never wait behind an fsync. A committer is acked only
+/// after the fsync covering its kCommit record (and the batch's page
+/// application) succeeded.
 ///
 /// Failure model (docs/storage.md has the full matrix):
 ///  - Transient I/O errors are retried with exponential backoff when
@@ -101,6 +116,19 @@ class DiskStorageManager final : public StorageManager {
     uint32_t io_retry_attempts = 0;
     /// First retry backoff (doubles per retry).
     uint32_t io_retry_backoff_us = 100;
+    /// Batch concurrent committers into one WAL fsync (group commit:
+    /// the first committer to arrive becomes the leader, appends every
+    /// waiting follower's records, and fsyncs once for the group). Off
+    /// means every committer appends and fsyncs alone, serialized on
+    /// the WAL-order lock — the pre-group-commit behaviour.
+    bool group_commit = true;
+    /// Upper bound on transactions folded into one group-commit batch.
+    size_t commit_batch_max_txns = 64;
+    /// How long a freshly elected leader lingers for more committers to
+    /// join its batch before it fsyncs (0 = never wait; batches still
+    /// form naturally from committers that queue up behind an in-flight
+    /// fsync). Mostly a test/benchmark knob.
+    uint32_t commit_batch_max_wait_us = 0;
   };
 
   explicit DiskStorageManager(std::string path)
@@ -144,6 +172,8 @@ class DiskStorageManager final : public StorageManager {
 
   StorageStats stats() const override;
 
+  CommitBatchInfo LastCommitBatch() const override;
+
   void BindMetrics(MetricsRegistry* registry) override;
 
  private:
@@ -154,11 +184,37 @@ class DiskStorageManager final : public StorageManager {
     uint16_t slot = 0;
   };
 
+  /// One committing transaction parked in the group-commit queue. Lives
+  /// on the committing thread's stack; the leader fills status/done under
+  /// commit_mu_ and the owner reads them under the same lock.
+  struct CommitRequest {
+    TxnId txn = 0;
+    Workspace* ws = nullptr;
+    Status status;
+    uint64_t batch_id = 0;
+    uint32_t batch_size = 0;
+    bool done = false;
+  };
+
   Workspace* FindWorkspace(TxnId txn);
 
-  // --- committed-state operations (mu_ held) ---
-  Status CheckWritableLocked() const;
+  /// Lock-free writability gate (atomics only).
+  Status CheckWritable() const;
+
+  /// The group-commit pipeline: park in the queue, become leader or get
+  /// carried by one, one fsync per batch, pages applied in WAL order.
+  Status CommitThroughQueue(TxnId txn, Workspace* ws);
+  /// Appends every batch member's kBegin..kCommit frame and issues the
+  /// single group fsync. Caller holds commit_mu_.
+  Status AppendBatchWal(const std::vector<CommitRequest*>& batch);
+  /// Waits (commit_mu_ held) until every numbered batch has applied its
+  /// pages, so the caller can take state_mu_ knowing the pipeline is idle.
+  void DrainCommitPipelineLocked();
+
+  // --- committed-state operations (state_mu_ exclusive held, except
+  // ReadCommitted which shared-mode readers call under pool_mu_) ---
   Status ReadCommitted(Oid oid, std::vector<char>* out);
+  Status ApplyWorkspacePages(Workspace& ws);
   Status ApplyUpsert(Oid oid, Slice image);
   Status ApplyFree(Oid oid);
   Status ApplyRoots();
@@ -174,26 +230,66 @@ class DiskStorageManager final : public StorageManager {
   Status ScanAndRebuild();
   Status ReplayWal();
   Status WriteHeader();
-  Status ApplyCommitLocked(TxnId txn, Workspace& ws);
   Status CheckpointLocked();
 
   std::string path_;
   Options options_;
   Env* env_ = nullptr;
-  bool open_ = false;
 
-  mutable std::mutex mu_;
+  // --- lock hierarchy (always acquired in this order) ---
+  //   commit_mu_ > wal_mu_ > apply_mu_ > state_mu_ > pool_mu_;
+  //   ws_mu_ is a leaf.
+  //
+  // commit_mu_ guards the commit queue and batch numbering: the first
+  // queued committer becomes the leader, claims everything waiting (up
+  // to commit_batch_max_txns) as one numbered batch, and releases the
+  // lock — so new committers enqueue freely while the batch is fsyncing
+  // and form the next batch. wal_mu_/wal_seq_ hand out WAL tickets:
+  // batches append + fsync strictly in batch order, so the durable log
+  // is a clean sequence of kBegin..kCommit frames and a wedge set by a
+  // failed batch is observed before any later batch touches the log.
+  // apply_mu_/applied_seq_ hand out apply tickets so batches reach pages
+  // in WAL order even though the next batch's fsync is already in
+  // flight. state_mu_ guards committed state (index_, space_map_,
+  // free_pages_, roots_, page_count_, the buffer pool): batch
+  // application and checkpoint/open/close take it exclusive; the read
+  // fast lane (Read/GetRoot/Exists/stats) takes it shared and never
+  // waits behind an fsync. pool_mu_ serializes buffer-pool LRU mutation
+  // among shared-mode readers (an exclusive state_mu_ holder owns the
+  // pool outright). ws_mu_ guards the workspaces_ map shape; a Workspace
+  // body is only touched by its owning transaction's thread — or by a
+  // commit leader while that owner is parked in the queue.
+  mutable std::mutex commit_mu_;
+  std::condition_variable commit_cv_;
+  std::deque<CommitRequest*> commit_queue_;  // under commit_mu_
+  uint64_t next_batch_seq_ = 1;              // under commit_mu_
+
+  std::mutex wal_mu_;
+  std::condition_variable wal_cv_;
+  uint64_t wal_seq_ = 0;  // under wal_mu_: last batch through the WAL
+
+  mutable std::mutex apply_mu_;
+  std::condition_variable apply_cv_;
+  uint64_t applied_seq_ = 0;  // under apply_mu_
+
+  mutable std::shared_mutex state_mu_;
+  mutable std::mutex pool_mu_;
+  mutable std::mutex ws_mu_;
+
   std::unique_ptr<RandomRWFile> file_;
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<Wal> wal_;
-  bool wedged_ = false;
-  bool salvage_ = false;
+  std::atomic<bool> open_{false};
+  std::atomic<bool> wedged_{false};
+  std::atomic<bool> salvage_{false};
   std::unordered_map<uint64_t, Loc> index_;
   std::map<uint32_t, size_t> space_map_;  // slotted page -> free bytes
   std::vector<uint32_t> free_pages_;
   std::map<std::string, Oid> roots_;
-  std::unordered_map<TxnId, Workspace> workspaces_;
-  uint64_t next_oid_ = 2;  // oid 1 is reserved for the roots directory
+  std::unordered_map<TxnId, Workspace> workspaces_;  // under ws_mu_
+  // oid 1 is reserved for the roots directory. Atomic so Allocate can
+  // mint oids without touching any state lock.
+  std::atomic<uint64_t> next_oid_{2};
   uint32_t page_count_ = 1;  // page 0 is the file header
 
   /// Retry policy shared by the WAL and buffer pool. BindMetrics updates
@@ -206,10 +302,15 @@ class DiskStorageManager final : public StorageManager {
   Counter* object_reads_ = nullptr;
   Counter* object_writes_ = nullptr;
   Counter* wal_records_ = nullptr;
+  Counter* commit_fsyncs_ = nullptr;
+  Counter* commit_fsyncs_saved_ = nullptr;
   Gauge* salvage_gauge_ = nullptr;
   Histogram* read_latency_ = nullptr;
   Histogram* write_latency_ = nullptr;
   Histogram* wal_append_latency_ = nullptr;
+  Histogram* wal_fsync_latency_ = nullptr;
+  Histogram* batch_size_hist_ = nullptr;
+  Histogram* leader_wait_latency_ = nullptr;
 };
 
 }  // namespace ode

@@ -86,6 +86,22 @@ class StorageManager {
 
   virtual StorageStats stats() const = 0;
 
+  /// Identity of the group-commit batch that carried a transaction's
+  /// commit record to the durable medium (see docs/storage.md, "Group
+  /// commit"). batch_id 0 means the store does not batch commits (or the
+  /// commit was read-only and never reached the log).
+  struct CommitBatchInfo {
+    uint64_t batch_id = 0;
+    uint32_t batch_size = 0;
+    bool leader = false;
+  };
+
+  /// Batch info for the most recent successful CommitTxn *on the calling
+  /// thread* (thread-local; stable until that thread's next commit). The
+  /// trigger runtime reads this from its post-commit hook — which runs on
+  /// the committing thread — to stamp trace events with batch ids.
+  virtual CommitBatchInfo LastCommitBatch() const { return {}; }
+
   /// Points the manager's counters and latency histograms at `registry`
   /// (the owning Database's, so storage metrics share its reporting
   /// surface). Implementations default to a private registry when

@@ -81,7 +81,7 @@ Status Wal::Append(const WalRecord& record) {
   ODE_RETURN_NOT_OK(RetryIo(retry_, "wal append", [&] {
     return file_->Append(Slice(framed.buffer().data(), framed.size()));
   }));
-  ++records_appended_;
+  records_appended_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 

@@ -1,6 +1,7 @@
 #ifndef ODE_STORAGE_WAL_H_
 #define ODE_STORAGE_WAL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -71,14 +72,18 @@ class Wal {
   /// Empties the log (after a checkpoint made its contents redundant).
   Status Truncate();
 
-  uint64_t records_appended() const { return records_appended_; }
+  uint64_t records_appended() const {
+    return records_appended_.load(std::memory_order_relaxed);
+  }
 
  private:
   std::string path_;
   Env* env_;
   const IoRetryPolicy* retry_;
   std::unique_ptr<WritableFile> file_;
-  uint64_t records_appended_ = 0;
+  // Relaxed: appended under the storage manager's WAL-order lock, but
+  // read by stats() off the lock.
+  std::atomic<uint64_t> records_appended_{0};
 };
 
 }  // namespace ode

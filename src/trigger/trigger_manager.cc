@@ -746,6 +746,17 @@ Status TriggerManager::PreAbort(Transaction* txn) {
 }
 
 Status TriggerManager::PostCommit(Transaction* txn) {
+  if (trace_ != nullptr) {
+    // Runs on the committing thread, so this is the batch that carried
+    // *this* transaction's kCommit record (zero for stores that do not
+    // batch commits, e.g. main-memory).
+    StorageManager::CommitBatchInfo info = db_->store()->LastCommitBatch();
+    if (info.batch_id != 0) {
+      Trace(TraceEvent::Kind::kCommitBatch, txn->id(), Oid(), Oid(),
+            /*symbol=*/0, static_cast<int32_t>(info.batch_id),
+            static_cast<int32_t>(info.batch_size));
+    }
+  }
   std::vector<PendingAction> dependent, independent;
   std::unique_ptr<TxnCtx> ctx;
   {

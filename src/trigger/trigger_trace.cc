@@ -27,6 +27,8 @@ const char* TraceEventKindToString(TraceEvent::Kind kind) {
       return "state-writeback";
     case TraceEvent::Kind::kAbortDiscard:
       return "abort-discard";
+    case TraceEvent::Kind::kCommitBatch:
+      return "commit-batch";
   }
   return "unknown";
 }
@@ -65,6 +67,9 @@ std::string TraceEvent::ToString() const {
     case Kind::kActionRan:
       add(std::snprintf(buf, sizeof(buf), " coupling %s",
                         CouplingModeToString(coupling)));
+      break;
+    case Kind::kCommitBatch:
+      add(std::snprintf(buf, sizeof(buf), " batch #%d size %d", a, b));
       break;
     default:
       break;

@@ -28,6 +28,8 @@ struct TraceEvent {
     kActionRan,        // action body executed under `coupling`
     kStateWriteBack,   // dirty cached TriggerState written back
     kAbortDiscard,     // txn aborted: dirty cached state discarded
+    kCommitBatch,      // txn committed: a = group-commit batch id (low
+                       //   bits), b = batch size (1 = committed alone)
   };
 
   uint64_t seq = 0;  // monotonically increasing per ring
@@ -43,6 +45,8 @@ struct TraceEvent {
   int32_t from_state() const { return a; }
   int32_t to_state() const { return b; }
   bool mask_result() const { return b != 0; }
+  int32_t batch_id() const { return a; }
+  int32_t batch_size() const { return b; }
 
   /// One-line rendering, e.g.
   ///   [12] txn 3 fsm-transition trig 41 anchor 17 ev CredCard::Buy 0 -> 2

@@ -43,6 +43,15 @@ class TransactionManager {
 
   /// Commits. May return kTransactionAborted if a deferred trigger aborted
   /// the transaction (in which case the transaction has been rolled back).
+  ///
+  /// Safe to call from many threads on distinct transactions: the
+  /// storage manager's CommitTxn may block inside its group-commit
+  /// pipeline (waiting on a leader's shared fsync) while this
+  /// transaction's 2PL locks are still held. Locks are released only
+  /// after CommitTxn returns OK — i.e. after the commit is durable and
+  /// applied — so a waiter acquiring a released lock always reads the
+  /// committed value. The post-commit hook runs on the committing
+  /// thread, after release.
   Status Commit(Transaction* txn);
 
   /// Rolls back. `explicit_request` distinguishes an O++ tabort (which

@@ -6,9 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/logging.h"
@@ -305,6 +307,106 @@ TEST_F(FaultEnvTest, CrashBetweenWalSyncAndPageWrites) {
       << "txn 1's WAL batch was fsynced before the crash: it is committed";
   EXPECT_EQ(out.size(), 9000u);
   ASSERT_TRUE(recovered.Close().ok());
+}
+
+// Builds a store whose commit leader lingers until four committers have
+// queued, so the four transactions below land in ONE group-commit batch
+// and the armed fault strikes inside the batched WAL/fsync window.
+TEST_F(FaultEnvTest, MidBatchTransientEioIsRetriedInvisibly) {
+  FaultInjectionEnv env;
+  MetricsRegistry registry;
+  DiskStorageManager::Options opts = WithEnv(&env, /*retries=*/5);
+  opts.commit_batch_max_txns = 4;
+  opts.commit_batch_max_wait_us = 500000;  // plenty for 4 threads to queue
+  DiskStorageManager store(path_, opts);
+  store.BindMetrics(&registry);
+  ASSERT_TRUE(store.Open().ok());
+  std::array<Oid, 4> oids;
+  for (TxnId t = 1; t <= 4; ++t) {
+    ASSERT_TRUE(store.BeginTxn(t).ok());
+    auto r = store.Allocate(t, Slice("member" + std::to_string(t)));
+    ASSERT_TRUE(r.ok());
+    oids[t - 1] = *r;
+  }
+  env.FailNextOps(2);  // transient: fewer than any one op's retry budget
+  std::array<Status, 4> results;
+  {
+    std::vector<std::thread> committers;
+    for (TxnId t = 1; t <= 4; ++t) {
+      committers.emplace_back(
+          [&store, &results, t] { results[t - 1] = store.CommitTxn(t); });
+    }
+    for (auto& th : committers) th.join();
+  }
+  for (TxnId t = 1; t <= 4; ++t) {
+    EXPECT_TRUE(results[t - 1].ok()) << "txn " << t << ": "
+                                     << results[t - 1].ToString();
+  }
+  EXPECT_FALSE(store.wedged());
+  EXPECT_GE(registry.GetCounter("ode_io_retries_total")->value(), 2u);
+  EXPECT_EQ(registry.GetCounter("ode_io_retry_exhausted_total")->value(), 0u);
+  // Every commit either paid an fsync or rode one: regardless of how the
+  // four split into batches, the identity fsyncs + saved == commits
+  // holds — and the linger should make it one batch (saved == 3).
+  const uint64_t fsyncs =
+      registry.GetCounter("ode_commit_fsyncs_total")->value();
+  const uint64_t saved =
+      registry.GetCounter("ode_commit_fsyncs_saved_total")->value();
+  EXPECT_EQ(fsyncs + saved, 4u);
+  EXPECT_EQ(saved, 3u) << "the lingering leader should fold all 4 txns "
+                          "into one batch";
+  ASSERT_TRUE(store.Close().ok());
+
+  DiskStorageManager reread(path_);
+  ASSERT_TRUE(reread.Open().ok());
+  ASSERT_TRUE(reread.BeginTxn(9).ok());
+  for (const Oid& oid : oids) {
+    std::vector<char> out;
+    EXPECT_TRUE(reread.Read(9, oid, &out).ok());
+  }
+  ASSERT_TRUE(reread.Close().ok());
+}
+
+TEST_F(FaultEnvTest, MidBatchHardFailureWedgesTheWholeGroup) {
+  FaultInjectionEnv env;
+  DiskStorageManager::Options opts = WithEnv(&env, /*retries=*/0);
+  opts.commit_batch_max_txns = 4;
+  opts.commit_batch_max_wait_us = 500000;
+  DiskStorageManager store(path_, opts);
+  ASSERT_TRUE(store.Open().ok());
+  for (TxnId t = 1; t <= 4; ++t) {
+    ASSERT_TRUE(store.BeginTxn(t).ok());
+    ASSERT_TRUE(store.Allocate(t, Slice("doomed" + std::to_string(t))).ok());
+  }
+  env.FailNextOps(1);  // no retry budget: the batch's first append dies
+  std::array<Status, 4> results;
+  {
+    std::vector<std::thread> committers;
+    for (TxnId t = 1; t <= 4; ++t) {
+      committers.emplace_back(
+          [&store, &results, t] { results[t - 1] = store.CommitTxn(t); });
+    }
+    for (auto& th : committers) th.join();
+  }
+  // One I/O failure inside the batch fails every member: followers must
+  // never be acked ahead of a durable kCommit, and the store wedges for
+  // the whole group exactly as for a solo commit.
+  for (TxnId t = 1; t <= 4; ++t) {
+    EXPECT_EQ(results[t - 1].code(), StatusCode::kIOError) << "txn " << t;
+  }
+  EXPECT_TRUE(store.wedged());
+  EXPECT_GE(env.faults_injected(), 1u);
+  for (TxnId t = 1; t <= 4; ++t) {
+    EXPECT_TRUE(store.AbortTxn(t).ok());
+  }
+
+  // Reopen: recovery finds no durable kCommit for any member.
+  store.SimulateCrash();
+  DiskStorageManager reopened(path_, WithEnv(&env));
+  ASSERT_TRUE(reopened.Open().ok());
+  EXPECT_FALSE(reopened.wedged());
+  EXPECT_EQ(reopened.stats().objects, 0u);
+  ASSERT_TRUE(reopened.Close().ok());
 }
 
 TEST_F(FaultEnvTest, RetryIoBacksOffAndGivesUp) {

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
 
 #include "objstore/database.h"
 #include "paper_example.h"
@@ -317,6 +318,45 @@ TEST_F(TriggerTraceTest, AbortedTransactionRecordsItsDiscards) {
   EXPECT_TRUE(HasKind(events, TraceEvent::Kind::kActionRan));
   EXPECT_TRUE(HasKind(events, TraceEvent::Kind::kAbortDiscard));
   EXPECT_FALSE(HasKind(events, TraceEvent::Kind::kStateWriteBack));
+}
+
+TEST_F(TriggerTraceTest, DiskCommitsRecordTheirGroupCommitBatch) {
+  // The MM store does not batch commits, so the fixture session must
+  // never emit commit-batch events...
+  ASSERT_TRUE(s_->WithTransaction([&](Transaction* txn) -> Status {
+                  return s_->New(txn, paper::CredCard{100, 0, 0, true})
+                      .status();
+                })
+                  .ok());
+  EXPECT_FALSE(HasKind(s_->triggers()->trace()->Events(),
+                       TraceEvent::Kind::kCommitBatch));
+
+  // ...while a disk-backed session attributes every committed write
+  // transaction to the group-commit batch whose fsync it shared.
+  const std::string path = ::testing::TempDir() + "/ode_trace_batch.db";
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+  Session::Options options;
+  options.trigger_trace_capacity = 256;
+  auto disk = Session::Open(StorageKind::kDisk, path, &schema_, options);
+  ASSERT_TRUE(disk.ok()) << disk.status().ToString();
+  ASSERT_TRUE((*disk)
+                  ->WithTransaction([&](Transaction* txn) -> Status {
+                    return (*disk)
+                        ->New(txn, paper::CredCard{100, 0, 0, true})
+                        .status();
+                  })
+                  .ok());
+  std::vector<TraceEvent> events = (*disk)->triggers()->trace()->Events();
+  auto it = std::find_if(events.begin(), events.end(), [](const TraceEvent& e) {
+    return e.kind == TraceEvent::Kind::kCommitBatch;
+  });
+  ASSERT_NE(it, events.end());
+  EXPECT_GT(it->batch_id(), 0);
+  EXPECT_GE(it->batch_size(), 1);
+  disk->reset();
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
 }
 
 TEST_F(TriggerTraceTest, DumpWithoutTracingExplainsItself) {
