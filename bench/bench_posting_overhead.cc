@@ -8,6 +8,8 @@
 //   * persistent objects with N active triggers: index lookup + N FSM
 //     advances (+ write-back of advanced TriggerStates).
 
+#include <chrono>
+
 #include "bench_common.h"
 
 namespace ode {
@@ -106,6 +108,29 @@ void BM_PersistentCall_MetricsToggle(benchmark::State& state) {
 }
 BENCHMARK(BM_PersistentCall_MetricsToggle)->Arg(0)->Arg(1);
 
+/// The tracing cost gate: the same 4-trigger posting loop with the span
+/// tracer at its default knobs (range(0)=1: 4096-slot ring, 1-in-32 txn
+/// sampling) vs fully disabled (range(0)=0: trace_span_capacity=0).
+/// Unsampled transactions pay one relaxed load plus a mask test per
+/// layer, so the two variants must stay within a few percent — the
+/// embedded tracing_overhead_pct context (below) is the tracked number.
+void BM_PersistentCall_TracingToggle(benchmark::State& state) {
+  Session::Options opts;
+  if (state.range(0) == 0) opts.trace_span_capacity = 0;
+  CounterHarness h(/*declared=*/4, /*active=*/4, "after Hit",
+                   CouplingMode::kImmediate, /*masked=*/false, opts);
+  auto txn = h.session->Begin();
+  BENCH_CHECK_OK(txn.status());
+  for (auto _ : state) {
+    BENCH_CHECK_OK(h.session->Invoke(*txn, h.counter, &Counter::Hit));
+  }
+  BENCH_CHECK_OK(h.session->Abort(*txn));
+  state.counters["tracing_enabled"] = state.range(0) != 0 ? 1 : 0;
+  state.counters["spans_recorded"] =
+      static_cast<double>(h.session->tracer()->total_recorded());
+}
+BENCHMARK(BM_PersistentCall_TracingToggle)->Arg(0)->Arg(1);
+
 /// Same with a masked expression — adds one predicate evaluation (an
 /// object load + user lambda) per posting per trigger.
 void BM_PersistentCall_MaskedTrigger(benchmark::State& state) {
@@ -201,6 +226,58 @@ void EmbedMetricsContext() {
                               std::to_string(post.Percentile(99)));
 }
 
+/// Measures the posting path with the span tracer disabled vs at its
+/// default knobs (1-in-32 txn sampling) and embeds the relative delta
+/// as `tracing_overhead_pct` context in BENCH_posting.json.
+/// run_bench.sh fails if the key ever goes missing; the acceptance
+/// gate is <= 5% at default sampling. The two configurations run as
+/// interleaved rounds so clock-frequency and cache drift hit both
+/// sides equally instead of biasing whichever ran second.
+void EmbedTracingOverheadContext() {
+  Session::Options off_opts;
+  off_opts.trace_span_capacity = 0;
+  CounterHarness off_h(/*declared=*/4, /*active=*/4, "after Hit",
+                       CouplingMode::kImmediate, /*masked=*/false, off_opts);
+  CounterHarness on_h(/*declared=*/4, /*active=*/4);  // default tracing
+  constexpr int kRounds = 8;
+  constexpr int kTxnsPerRound = 16;
+  constexpr int kPostsPerTxn = 512;
+  auto round_ns = [](CounterHarness& h) -> double {
+    const auto start = std::chrono::steady_clock::now();
+    for (int t = 0; t < kTxnsPerRound; ++t) {
+      BENCH_CHECK_OK(
+          h.session->WithTransaction([&](Transaction* txn) -> Status {
+            for (int i = 0; i < kPostsPerTxn; ++i) {
+              ODE_RETURN_NOT_OK(
+                  h.session->Invoke(txn, h.counter, &Counter::Hit));
+            }
+            return Status::OK();
+          }));
+    }
+    const auto end = std::chrono::steady_clock::now();
+    return static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+            .count());
+  };
+  round_ns(off_h);  // warmup: caches hot, sampling mask exercised
+  round_ns(on_h);
+  double off_total = 0, on_total = 0;
+  for (int r = 0; r < kRounds; ++r) {
+    off_total += round_ns(off_h);
+    on_total += round_ns(on_h);
+  }
+  constexpr double kPosts = 1.0 * kRounds * kTxnsPerRound * kPostsPerTxn;
+  const double off = off_total / kPosts;
+  const double on = on_total / kPosts;
+  const double pct = off > 0 ? (on - off) / off * 100.0 : 0.0;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", pct);
+  benchmark::AddCustomContext("tracing_off_ns_per_post",
+                              std::to_string(off));
+  benchmark::AddCustomContext("tracing_on_ns_per_post", std::to_string(on));
+  benchmark::AddCustomContext("tracing_overhead_pct", buf);
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace ode
@@ -209,6 +286,7 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   ode::bench::EmbedMetricsContext();
+  ode::bench::EmbedTracingOverheadContext();
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

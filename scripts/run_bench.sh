@@ -32,9 +32,12 @@ fi
 
 # The benchmark embeds metrics-registry readings (counter totals and
 # posting-latency percentiles from the session's own DumpMetricsText
-# surface) in the JSON context, and per-record counters carry cache hit
-# ratios. Fail loudly if that wiring ever regresses.
-for key in ode_trigger_posts_total ode_trigger_post_latency_p99_ns; do
+# surface) plus the span-tracer on/off delta (tracing_overhead_pct,
+# gated at <= 5% with default 1-in-32 sampling) in the JSON context,
+# and per-record counters carry cache hit ratios. Fail loudly if that
+# wiring ever regresses.
+for key in ode_trigger_posts_total ode_trigger_post_latency_p99_ns \
+           tracing_overhead_pct; do
   if ! grep -q "\"$key\"" "$out_json"; then
     echo "error: $out_json is missing embedded metric '$key'" >&2
     exit 1
@@ -57,7 +60,8 @@ fi
 # The commit benchmark's headline numbers are committed-txns/sec at 8
 # threads (group on vs off, sync on) and fsyncs_per_commit, which the
 # group-commit pipeline must amortize well below 1 under concurrency.
-for key in fsyncs_per_commit fsyncs_saved_total; do
+# It also embeds the commit-pipeline tracing_overhead_pct delta.
+for key in fsyncs_per_commit fsyncs_saved_total tracing_overhead_pct; do
   if ! grep -q "\"$key\"" "$commit_json"; then
     echo "error: $commit_json is missing counter '$key'" >&2
     exit 1

@@ -4,8 +4,10 @@
 #   scripts/run_checks.sh            # tier-1: configure + build + full ctest
 #   scripts/run_checks.sh faults     # only the fault-injection/crash-torture
 #                                    # suites (ctest -L faults)
-#   scripts/run_checks.sh asan       # fault + commit suites under ASan
-#   scripts/run_checks.sh tsan       # fault + commit suites under TSan
+#   scripts/run_checks.sh asan       # fault + commit + trace suites under
+#                                    # ASan
+#   scripts/run_checks.sh tsan       # fault + commit + trace suites under
+#                                    # TSan
 #   scripts/run_checks.sh bench-smoke # build + run every benchmark once
 #                                    # (one tiny repetition; catches bench
 #                                    # bit-rot without paying for real runs)
@@ -13,9 +15,10 @@
 #
 # Each sanitizer uses its own build tree (build-asan/, build-tsan/) so the
 # plain tier-1 tree is never reconfigured under it. The sanitizers run the
-# `faults` and `commit` ctest labels: crash torture, fault injection, and
-# the group-commit concurrency suites (the lock-split in the commit
-# pipeline is exactly what TSan is there to police).
+# `faults`, `commit`, and `trace` ctest labels: crash torture, fault
+# injection, the group-commit concurrency suites, and the span-tracer
+# concurrent-writer suites (the lock-split in the commit pipeline and the
+# tracer's multi-writer ring are exactly what TSan is there to police).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -42,9 +45,9 @@ faults_only() {
 
 sanitized() {
   local name="$1" flag="$2"
-  echo "== ${name}: fault-injection + commit suites under ${flag} =="
+  echo "== ${name}: fault-injection + commit + trace suites under ${flag} =="
   configure_and_build "build-${name}" "-DODE_${name^^}=ON"
-  ctest --test-dir "build-${name}" --output-on-failure -L 'faults|commit'
+  ctest --test-dir "build-${name}" --output-on-failure -L 'faults|commit|trace'
 }
 
 bench_smoke() {

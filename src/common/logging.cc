@@ -37,27 +37,33 @@ LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
 }
 
+std::optional<LogLevel> ParseLogLevel(const std::string& text) {
+  std::string value;
+  value.reserve(text.size());
+  for (char c : text) {
+    value += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (value == "debug") return LogLevel::kDebug;
+  if (value == "info") return LogLevel::kInfo;
+  if (value == "warn" || value == "warning") return LogLevel::kWarn;
+  if (value == "error") return LogLevel::kError;
+  if (value == "silence" || value == "off" || value == "none") {
+    return LogLevel::kSilence;
+  }
+  return std::nullopt;
+}
+
 void InitLogLevelFromEnv() {
   static std::once_flag once;
   std::call_once(once, [] {
     const char* raw = std::getenv("ODE_LOG_LEVEL");
     if (raw == nullptr || raw[0] == '\0') return;
-    std::string value;
-    for (const char* p = raw; *p != '\0'; ++p) {
-      value += static_cast<char>(
-          std::tolower(static_cast<unsigned char>(*p)));
-    }
-    if (value == "debug") {
-      SetLogLevel(LogLevel::kDebug);
-    } else if (value == "info") {
-      SetLogLevel(LogLevel::kInfo);
-    } else if (value == "warn" || value == "warning") {
-      SetLogLevel(LogLevel::kWarn);
-    } else if (value == "error") {
-      SetLogLevel(LogLevel::kError);
-    } else if (value == "silence" || value == "off" || value == "none") {
-      SetLogLevel(LogLevel::kSilence);
+    std::optional<LogLevel> parsed = ParseLogLevel(raw);
+    if (parsed.has_value()) {
+      SetLogLevel(*parsed);
     } else {
+      // Once per process by construction (call_once): a typo'd level
+      // should not spam every Open.
       std::fprintf(stderr,
                    "[WARN] unrecognized ODE_LOG_LEVEL '%s' "
                    "(expected debug|info|warn|error|off)\n",

@@ -1,6 +1,7 @@
 #ifndef ODE_COMMON_LOGGING_H_
 #define ODE_COMMON_LOGGING_H_
 
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -22,12 +23,18 @@ enum class LogLevel : int {
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
-/// Applies the ODE_LOG_LEVEL environment variable (debug|info|warn|error,
-/// case-insensitive) if set; unrecognized values are ignored with a
-/// warning. Runs its logic once per process no matter how often it is
-/// called — Session::Open calls it, so `ODE_LOG_LEVEL=debug ./app` works
-/// without code changes, while an explicit SetLogLevel made before the
-/// first Open still wins over an *unset* variable.
+/// The ODE_LOG_LEVEL parse table, case-insensitive:
+///   debug | info | warn/warning | error | off/none/silence
+/// nullopt for anything else (including empty) — the caller decides
+/// whether to warn or keep the current level.
+std::optional<LogLevel> ParseLogLevel(const std::string& text);
+
+/// Applies the ODE_LOG_LEVEL environment variable (see ParseLogLevel)
+/// if set; an unrecognized value leaves the level unchanged and prints
+/// one warning. Runs its logic once per process no matter how often it
+/// is called — Session::Open calls it, so `ODE_LOG_LEVEL=debug ./app`
+/// works without code changes, while an explicit SetLogLevel made
+/// before the first Open still wins over an *unset* variable.
 void InitLogLevelFromEnv();
 
 namespace internal {

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
+#include <map>
 
 namespace ode {
 
@@ -175,56 +176,156 @@ MetricsSnapshot MetricsSnapshot::Delta(const MetricsSnapshot& earlier) const {
   return out;
 }
 
+namespace {
+
+// Splits a full series name `family{k="v",...}` into the family and the
+// raw label body (no braces; empty when the series is unlabeled).
+void SplitSeriesName(const std::string& name, std::string* family,
+                     std::string* labels) {
+  const size_t brace = name.find('{');
+  if (brace == std::string::npos) {
+    *family = name;
+    labels->clear();
+    return;
+  }
+  *family = name.substr(0, brace);
+  const size_t close = name.rfind('}');
+  const size_t len = close != std::string::npos && close > brace
+                         ? close - brace - 1
+                         : std::string::npos;
+  *labels = name.substr(brace + 1, len);
+}
+
+// Escapes label VALUES per the Prometheus text exposition format:
+// backslash, double quote, and newline become \\, \", and \n. A value
+// is delimited by the quote after '=' and the quote before ',' (or end
+// of body); a quote anywhere else inside a value is literal data and
+// gets escaped rather than ending the value.
+std::string EscapeLabelBody(const std::string& body) {
+  std::string out;
+  out.reserve(body.size());
+  size_t i = 0;
+  while (i < body.size()) {
+    const char c = body[i];
+    if (c == '=' && i + 1 < body.size() && body[i + 1] == '"') {
+      out += "=\"";
+      i += 2;
+      while (i < body.size()) {
+        const char v = body[i];
+        const bool closing =
+            v == '"' && (i + 1 == body.size() || body[i + 1] == ',');
+        if (closing) break;
+        if (v == '\\') {
+          out += "\\\\";
+        } else if (v == '"') {
+          out += "\\\"";
+        } else if (v == '\n') {
+          out += "\\n";
+        } else {
+          out += v;
+        }
+        ++i;
+      }
+      if (i < body.size()) {
+        out += '"';
+        ++i;  // consume the closing quote
+      }
+      continue;
+    }
+    out += c;
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace
+
 std::string MetricsSnapshot::ToText() const {
+  // Group series by metric family (the name up to any '{') so each
+  // family gets exactly one `# TYPE` line with all its series beneath
+  // it, as the exposition format requires. Sorted-name iteration alone
+  // is not enough: "foobar" sorts between "foo" and "foo{...}" ('{' >
+  // any identifier character), which would split the foo family.
+  std::map<std::string, std::vector<const MetricValue*>> families;
+  std::string family, labels;
+  for (const MetricValue& m : metrics_) {
+    SplitSeriesName(m.name, &family, &labels);
+    families[family].push_back(&m);
+  }
+
   std::string out;
   char line[256];
   auto append = [&out, &line](int n) {
     out.append(line, n > 0 ? static_cast<size_t>(n) : 0);
   };
-  for (const MetricValue& m : metrics_) {
-    switch (m.kind) {
+  for (const auto& [fam, series] : families) {
+    const char* type = "untyped";
+    switch (series.front()->kind) {
       case MetricValue::Kind::kCounter:
-        append(std::snprintf(line, sizeof(line), "# TYPE %s counter\n",
-                             m.name.c_str()));
-        append(std::snprintf(line, sizeof(line), "%s %" PRIu64 "\n",
-                             m.name.c_str(), m.counter));
+        type = "counter";
         break;
       case MetricValue::Kind::kGauge:
-        append(std::snprintf(line, sizeof(line), "# TYPE %s gauge\n",
-                             m.name.c_str()));
-        append(std::snprintf(line, sizeof(line), "%s %" PRId64 "\n",
-                             m.name.c_str(), m.gauge));
+        type = "gauge";
         break;
-      case MetricValue::Kind::kHistogram: {
-        const HistogramData& h = m.histogram;
-        append(std::snprintf(line, sizeof(line), "# TYPE %s histogram\n",
-                             m.name.c_str()));
-        if (m.sample_every > 1) {
-          append(std::snprintf(line, sizeof(line),
-                               "# sampled 1 in %u operations\n",
-                               m.sample_every));
-        }
-        append(std::snprintf(
-            line, sizeof(line),
-            "# p50 %.0f p95 %.0f p99 %.0f max %" PRIu64 "\n", h.Percentile(50),
-            h.Percentile(95), h.Percentile(99), h.max));
-        uint64_t cumulative = 0;
-        for (size_t i = 0; i < h.buckets.size(); ++i) {
-          if (h.buckets[i] == 0) continue;
-          cumulative += h.buckets[i];
-          append(std::snprintf(line, sizeof(line),
-                               "%s_bucket{le=\"%" PRIu64 "\"} %" PRIu64 "\n",
-                               m.name.c_str(),
-                               metrics_internal::BucketUpper(i), cumulative));
-        }
-        append(std::snprintf(line, sizeof(line),
-                             "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n",
-                             m.name.c_str(), h.count));
-        append(std::snprintf(line, sizeof(line), "%s_sum %" PRIu64 "\n",
-                             m.name.c_str(), h.sum));
-        append(std::snprintf(line, sizeof(line), "%s_count %" PRIu64 "\n",
-                             m.name.c_str(), h.count));
+      case MetricValue::Kind::kHistogram:
+        type = "histogram";
         break;
+    }
+    append(std::snprintf(line, sizeof(line), "# TYPE %s %s\n", fam.c_str(),
+                         type));
+    for (const MetricValue* mp : series) {
+      const MetricValue& m = *mp;
+      SplitSeriesName(m.name, &family, &labels);
+      const std::string escaped = EscapeLabelBody(labels);
+      const std::string series_name =
+          escaped.empty() ? fam : fam + "{" + escaped + "}";
+      switch (m.kind) {
+        case MetricValue::Kind::kCounter:
+          out += series_name;
+          append(std::snprintf(line, sizeof(line), " %" PRIu64 "\n",
+                               m.counter));
+          break;
+        case MetricValue::Kind::kGauge:
+          out += series_name;
+          append(std::snprintf(line, sizeof(line), " %" PRId64 "\n",
+                               m.gauge));
+          break;
+        case MetricValue::Kind::kHistogram: {
+          const HistogramData& h = m.histogram;
+          if (m.sample_every > 1) {
+            append(std::snprintf(line, sizeof(line),
+                                 "# sampled 1 in %u operations\n",
+                                 m.sample_every));
+          }
+          append(std::snprintf(
+              line, sizeof(line),
+              "# p50 %.0f p95 %.0f p99 %.0f max %" PRIu64 "\n",
+              h.Percentile(50), h.Percentile(95), h.Percentile(99), h.max));
+          // A labeled histogram folds its own labels in front of `le`.
+          const std::string bucket_prefix =
+              fam + "_bucket{" + (escaped.empty() ? "" : escaped + ",");
+          const std::string suffix_labels =
+              escaped.empty() ? "" : "{" + escaped + "}";
+          uint64_t cumulative = 0;
+          for (size_t i = 0; i < h.buckets.size(); ++i) {
+            if (h.buckets[i] == 0) continue;
+            cumulative += h.buckets[i];
+            out += bucket_prefix;
+            append(std::snprintf(line, sizeof(line),
+                                 "le=\"%" PRIu64 "\"} %" PRIu64 "\n",
+                                 metrics_internal::BucketUpper(i),
+                                 cumulative));
+          }
+          out += bucket_prefix;
+          append(std::snprintf(line, sizeof(line),
+                               "le=\"+Inf\"} %" PRIu64 "\n", h.count));
+          out += fam + "_sum" + suffix_labels;
+          append(std::snprintf(line, sizeof(line), " %" PRIu64 "\n", h.sum));
+          out += fam + "_count" + suffix_labels;
+          append(std::snprintf(line, sizeof(line), " %" PRIu64 "\n",
+                               h.count));
+          break;
+        }
       }
     }
   }

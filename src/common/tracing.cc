@@ -1,0 +1,371 @@
+#include "common/tracing.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace ode {
+
+const char* SpanKindToString(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kTxnBegin:
+      return "txn-begin";
+    case SpanKind::kLockAcquire:
+      return "lock-acquire";
+    case SpanKind::kEventPosted:
+      return "event-posted";
+    case SpanKind::kFastPathSkip:
+      return "fast-path-skip";
+    case SpanKind::kFsmTransition:
+      return "fsm-transition";
+    case SpanKind::kMaskEval:
+      return "mask-eval";
+    case SpanKind::kAcceptReached:
+      return "accept-reached";
+    case SpanKind::kActionScheduled:
+      return "action-scheduled";
+    case SpanKind::kActionRun:
+      return "action-run";
+    case SpanKind::kStateWriteBack:
+      return "state-writeback";
+    case SpanKind::kAbortDiscard:
+      return "abort-discard";
+    case SpanKind::kPreCommit:
+      return "pre-commit";
+    case SpanKind::kWalAppend:
+      return "wal-append";
+    case SpanKind::kFsyncBatch:
+      return "fsync-batch";
+    case SpanKind::kPageApply:
+      return "page-apply";
+    case SpanKind::kCommitAck:
+      return "commit-ack";
+    case SpanKind::kTxnAbort:
+      return "txn-abort";
+  }
+  return "unknown";
+}
+
+std::string Span::ToString(
+    const std::function<std::string(uint32_t)>& symbol_namer) const {
+  char buf[256];
+  int n = std::snprintf(buf, sizeof(buf), "[%" PRIu64 "] txn %" PRIu64 " %-16s",
+                        seq, txn, SpanKindToString(kind));
+  std::string out(buf, n > 0 ? static_cast<size_t>(n) : 0);
+  auto add = [&out, &buf](int m) {
+    out.append(buf, m > 0 ? static_cast<size_t>(m) : 0);
+  };
+  if (!trigger.IsNull()) {
+    add(std::snprintf(buf, sizeof(buf), " trig %" PRIu64, trigger.value()));
+  }
+  if (!anchor.IsNull()) {
+    add(std::snprintf(buf, sizeof(buf), " anchor %" PRIu64, anchor.value()));
+  }
+  if (symbol != 0) {
+    if (symbol_namer) {
+      out += " ev ";
+      out += symbol_namer(symbol);
+    } else {
+      add(std::snprintf(buf, sizeof(buf), " ev #%u", symbol));
+    }
+  }
+  switch (kind) {
+    case SpanKind::kFsmTransition:
+      add(std::snprintf(buf, sizeof(buf), " state %" PRId64 " -> %" PRId64, a,
+                        b));
+      break;
+    case SpanKind::kMaskEval:
+      add(std::snprintf(buf, sizeof(buf), " mask#%" PRId64 " = %s", a,
+                        b != 0 ? "True" : "False"));
+      break;
+    case SpanKind::kAcceptReached:
+    case SpanKind::kStateWriteBack:
+    case SpanKind::kAbortDiscard:
+      add(std::snprintf(buf, sizeof(buf), " state %" PRId64, a));
+      break;
+    case SpanKind::kLockAcquire:
+      add(std::snprintf(buf, sizeof(buf), " waited %" PRId64 " ns", b));
+      break;
+    case SpanKind::kFsyncBatch:
+      add(std::snprintf(buf, sizeof(buf), " batch #%" PRId64 " size %" PRId64,
+                        a, b));
+      break;
+    default:
+      break;
+  }
+  if (!instant()) {
+    add(std::snprintf(buf, sizeof(buf), " dur %" PRIu64 " ns",
+                      end_ns - start_ns));
+  }
+  if (!detail.empty()) {
+    out += " (";
+    out += detail;
+    out += ')';
+  }
+  return out;
+}
+
+namespace {
+
+uint32_t SampleMask(uint32_t sample_every) {
+  return sample_every <= 1 ? 0 : std::bit_ceil(sample_every) - 1;
+}
+
+/// JSON string escaping (control chars, quote, backslash).
+void AppendJsonEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+Tracer::Tracer() : Tracer(Options{}) {}
+
+Tracer::Tracer(const Options& options) {
+  BindMetrics(nullptr);
+  Configure(options);
+}
+
+void Tracer::Configure(const Options& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = options.span_capacity == 0 ? 1 : options.span_capacity;
+  enabled_.store(options.span_capacity > 0, std::memory_order_relaxed);
+  sample_mask_ = SampleMask(options.sample_every_n_txns);
+  ring_.clear();
+  ring_.reserve(capacity_);
+  next_ = 0;
+}
+
+void Tracer::BindMetrics(MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    owned_metrics_ = std::make_unique<MetricsRegistry>();
+    registry = owned_metrics_.get();
+  } else {
+    owned_metrics_.reset();
+  }
+  spans_recorded_ = registry->GetCounter("ode_trace_spans_recorded_total");
+  spans_dropped_ = registry->GetCounter("ode_trace_spans_dropped_total");
+  flight_dumps_ = registry->GetCounter("ode_flight_recorder_dumps_total");
+}
+
+void Tracer::SetSymbolNamer(std::function<std::string(uint32_t)> namer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  symbol_namer_ = std::move(namer);
+}
+
+size_t Tracer::span_capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+void Tracer::Instant(Span span) {
+  uint64_t now = LatencyTimer::NowNanos();
+  span.start_ns = now;
+  span.end_ns = now;
+  Record(std::move(span));
+}
+
+void Tracer::Interval(Span span, uint64_t start_ns, uint64_t end_ns) {
+  span.start_ns = start_ns;
+  span.end_ns = end_ns < start_ns ? start_ns : end_ns;
+  Record(std::move(span));
+}
+
+void Tracer::Record(Span span) {
+  bool dropped;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    span.seq = seq_++;
+    dropped = ring_.size() >= capacity_;
+    if (!dropped) {
+      ring_.push_back(std::move(span));
+    } else {
+      ring_[next_] = std::move(span);
+    }
+    next_ = (next_ + 1) % capacity_;
+  }
+  spans_recorded_->Inc();
+  if (dropped) spans_dropped_->Inc();
+}
+
+std::vector<Span> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Span> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    // next_ is the oldest surviving span once the ring has wrapped.
+    for (size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(ring_[(next_ + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+std::vector<Span> Tracer::TxnSpans(TxnId txn) const {
+  std::vector<Span> all = Snapshot();
+  std::vector<Span> out;
+  for (Span& s : all) {
+    if (s.txn == txn) out.push_back(std::move(s));
+  }
+  return out;
+}
+
+uint64_t Tracer::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seq_;
+}
+
+uint64_t Tracer::total_dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seq_ > ring_.size() ? seq_ - ring_.size() : 0;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_ = 0;
+  // seq_ keeps counting: sequence numbers stay unique across Clear().
+}
+
+std::string Tracer::DumpTimeline(TxnId txn) const {
+  std::function<std::string(uint32_t)> namer;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    namer = symbol_namer_;
+  }
+  std::vector<Span> spans = TxnSpans(txn);
+  char header[128];
+  int n = std::snprintf(header, sizeof(header),
+                        "timeline txn %" PRIu64 ": %zu span(s)\n", txn,
+                        spans.size());
+  std::string out(header, n > 0 ? static_cast<size_t>(n) : 0);
+  if (spans.empty()) {
+    out += "  (no spans recorded — transaction not sampled, or already "
+           "overwritten by wraparound)\n";
+    return out;
+  }
+  uint64_t t0 = spans.front().start_ns;
+  for (const Span& s : spans) {
+    char off[48];
+    std::snprintf(off, sizeof(off), "  +%10.3f us  ",
+                  static_cast<double>(s.start_ns - t0) / 1000.0);
+    out += off;
+    out += s.ToString(namer);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Tracer::ToChromeTraceJson() const {
+  std::function<std::string(uint32_t)> namer;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    namer = symbol_namer_;
+  }
+  std::vector<Span> spans = Snapshot();
+  uint64_t t0 = 0;
+  for (const Span& s : spans) {
+    if (t0 == 0 || s.start_ns < t0) t0 = s.start_ns;
+  }
+  std::string out = "{\"traceEvents\":[";
+  char buf[256];
+  bool first = true;
+  for (const Span& s : spans) {
+    if (!first) out += ',';
+    first = false;
+    // Times are microseconds (Chrome's unit) relative to the oldest
+    // span; tid = transaction id, so each transaction gets a row.
+    double ts = static_cast<double>(s.start_ns - t0) / 1000.0;
+    out += "{\"name\":\"";
+    out += SpanKindToString(s.kind);
+    out += '"';
+    if (s.instant()) {
+      std::snprintf(buf, sizeof(buf),
+                    ",\"ph\":\"i\",\"s\":\"t\",\"ts\":%.3f", ts);
+    } else {
+      std::snprintf(buf, sizeof(buf), ",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f",
+                    ts, static_cast<double>(s.end_ns - s.start_ns) / 1000.0);
+    }
+    out += buf;
+    std::snprintf(buf, sizeof(buf),
+                  ",\"pid\":1,\"tid\":%" PRIu64 ",\"cat\":\"ode\",\"args\":{"
+                  "\"seq\":%" PRIu64,
+                  s.txn, s.seq);
+    out += buf;
+    if (!s.trigger.IsNull()) {
+      std::snprintf(buf, sizeof(buf), ",\"trigger\":%" PRIu64,
+                    s.trigger.value());
+      out += buf;
+    }
+    if (!s.anchor.IsNull()) {
+      std::snprintf(buf, sizeof(buf), ",\"anchor\":%" PRIu64,
+                    s.anchor.value());
+      out += buf;
+    }
+    if (s.symbol != 0) {
+      out += ",\"event\":\"";
+      AppendJsonEscaped(&out, namer ? namer(s.symbol)
+                                    : "#" + std::to_string(s.symbol));
+      out += '"';
+    }
+    std::snprintf(buf, sizeof(buf), ",\"a\":%" PRId64 ",\"b\":%" PRId64, s.a,
+                  s.b);
+    out += buf;
+    if (!s.detail.empty()) {
+      out += ",\"detail\":\"";
+      AppendJsonEscaped(&out, s.detail);
+      out += '"';
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+bool Tracer::DumpToFile(const std::string& path, const std::string& reason) {
+  // Chrome's JSON object form tolerates extra top-level keys, so the
+  // dump stays loadable in chrome://tracing while carrying its cause.
+  std::string json = ToChromeTraceJson();
+  std::string why = ",\"odeFlightRecorder\":{\"reason\":\"";
+  AppendJsonEscaped(&why, reason);
+  why += "\"}}";
+  json.replace(json.size() - 1, 1, why);
+  // Plain stdio on purpose: this runs when the store is wedged, in
+  // WAL-salvage mode, or from a fault-injection crash point — paths
+  // where the Env itself may be refusing or failing writes.
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) return false;
+  flight_dumps_->Inc();
+  return true;
+}
+
+}  // namespace ode

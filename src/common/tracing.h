@@ -1,0 +1,172 @@
+#ifndef ODE_COMMON_TRACING_H_
+#define ODE_COMMON_TRACING_H_
+
+#include <bit>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "objstore/oid.h"
+
+namespace ode {
+
+/// What one Span describes. Kinds are ordered roughly along a
+/// transaction's lifecycle; DumpTimeline renders them in recording
+/// (sequence) order, which for a single transaction is causal order.
+enum class SpanKind : uint8_t {
+  kTxnBegin,         // transaction minted
+  kLockAcquire,      // 2PL lock granted; b = nanoseconds blocked (0 =
+                     //   granted without waiting), detail = mode
+  kEventPosted,      // PostEvent entered: symbol posted to anchor
+  kFastPathSkip,     // footnote-3 short-circuit: no active triggers
+  kFsmTransition,    // a machine moved: a = from state, b = to state;
+                     //   detail = hex parameter bindings (if any)
+  kMaskEval,         // mask pseudo-event resolved: a = ordinal,
+                     //   b = 1 (True) / 0 (False)
+  kAcceptReached,    // machine entered an accept state (a = state)
+  kActionScheduled,  // non-immediate action queued (detail = coupling)
+  kActionRun,        // action body executed (interval; detail = coupling)
+  kStateWriteBack,   // dirty cached TriggerState written back (a = state)
+  kAbortDiscard,     // txn aborted: cached FSM advance thrown away
+  kPreCommit,        // deferred actions + tcomplete + write-back (interval)
+  kWalAppend,        // this txn's records appended to the WAL (interval)
+  kFsyncBatch,       // the group-commit fsync this txn rode (interval;
+                     //   a = batch ticket id, b = batch size)
+  kPageApply,        // workspace pages applied to the store (interval)
+  kCommitAck,        // commit acknowledged to the caller
+  kTxnAbort,         // transaction rolled back
+};
+
+const char* SpanKindToString(SpanKind kind);
+
+/// One structured span. Instant spans have end_ns == start_ns; interval
+/// spans cover [start_ns, end_ns]. `seq` is assigned under the tracer
+/// mutex, so for spans recorded by one transaction's thread (and across
+/// the commit pipeline's happens-before edges) sequence order is causal
+/// order even when start_ns ties at clock resolution.
+struct Span {
+  uint64_t seq = 0;
+  SpanKind kind = SpanKind::kTxnBegin;
+  TxnId txn = kNoTxn;
+  uint64_t start_ns = 0;  // LatencyTimer::NowNanos() timebase
+  uint64_t end_ns = 0;
+  Oid trigger;            // TriggerState oid; null when not applicable
+  Oid anchor;
+  uint32_t symbol = 0;    // event symbol (0 when not applicable)
+  int64_t a = 0;
+  int64_t b = 0;
+  std::string detail;     // kind-specific free text (see SpanKind)
+
+  bool instant() const { return end_ns == start_ns; }
+  /// One-line rendering used by Tracer::DumpTimeline.
+  std::string ToString(const std::function<std::string(uint32_t)>&
+                           symbol_namer = nullptr) const;
+};
+
+/// Per-database span store: a bounded, always-on flight recorder plus
+/// the sampling gate deciding which transactions get full timelines.
+///
+/// Concurrency: Record/Snapshot take a mutex; the mutex is a strict
+/// leaf in the lock order (no callback ever runs under it), so
+/// recording is safe from under the lock manager's table mutex, the
+/// WAL/apply stage mutexes, and the trigger manager's stripes. The
+/// hot-path cost for unsampled transactions is `Sampled()` — one
+/// relaxed load plus a mask test.
+///
+/// Sampling: transaction `t` is sampled iff tracing is enabled and
+/// `(t & (bit_ceil(sample_every) - 1)) == 0`. The mask form keeps the
+/// check branch-cheap and makes sampling deterministic per txn id, so
+/// every layer agrees on whether a transaction is traced without
+/// coordination. System (trigger-spawned) transactions inherit their
+/// own ids and sample on the same rule.
+class Tracer {
+ public:
+  struct Options {
+    size_t span_capacity = 4096;       // ring slots (0 = disable)
+    uint32_t sample_every_n_txns = 32; // rounded up to a power of two
+  };
+
+  Tracer();
+  explicit Tracer(const Options& options);
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Re-applies knobs (Session construction time). Clears the ring.
+  void Configure(const Options& options);
+
+  /// Points the recorded/dropped/dump counters at `registry`.
+  void BindMetrics(MetricsRegistry* registry);
+
+  /// Symbol -> "Class::event" resolver for rendering (the trigger
+  /// layer's EventRegistry; tracing itself must not depend on it).
+  void SetSymbolNamer(std::function<std::string(uint32_t)> namer);
+
+  /// True if spans for this transaction should be recorded. Callers
+  /// gate span construction on this so unsampled paths pay only the
+  /// check.
+  bool Sampled(TxnId txn) const {
+    if (!enabled_.load(std::memory_order_relaxed)) return false;
+    return (txn & sample_mask_) == 0;
+  }
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  uint32_t sample_every() const { return sample_mask_ + 1; }
+  size_t span_capacity() const;
+
+  /// Records an instant span (end == start == now).
+  void Instant(Span span);
+  /// Records an interval span [start_ns, end_ns] captured by the caller.
+  void Interval(Span span, uint64_t start_ns, uint64_t end_ns);
+  /// Low-level record: span.start_ns/end_ns already set.
+  void Record(Span span);
+
+  /// All surviving spans, oldest first (true chronological order across
+  /// ring wraparound).
+  std::vector<Span> Snapshot() const;
+  /// Surviving spans for one transaction, oldest first.
+  std::vector<Span> TxnSpans(TxnId txn) const;
+  /// Total spans ever recorded / overwritten by wraparound.
+  uint64_t total_recorded() const;
+  uint64_t total_dropped() const;
+
+  void Clear();
+
+  /// Human-readable per-transaction timeline: one line per span with
+  /// +offset microseconds from the transaction's first span.
+  std::string DumpTimeline(TxnId txn) const;
+
+  /// Whole ring as Chrome trace_event JSON (chrome://tracing, Perfetto).
+  /// Interval spans become "X" complete events, instants become "i"
+  /// thread-scoped instant events; tid = transaction id.
+  std::string ToChromeTraceJson() const;
+
+  /// Flight-recorder dump: writes ToChromeTraceJson() to `path` with a
+  /// leading "powered-down why" comment key. Uses plain stdio, not the
+  /// Env, so it works while the store is wedged or crash-injected.
+  /// Returns false if the file could not be written.
+  bool DumpToFile(const std::string& path, const std::string& reason);
+
+ private:
+  std::atomic<bool> enabled_{true};
+  uint32_t sample_mask_ = 31;
+
+  mutable std::mutex mu_;
+  size_t capacity_ = 4096;
+  std::vector<Span> ring_;
+  size_t next_ = 0;    // ring_ slot for the next span
+  uint64_t seq_ = 0;   // == total recorded
+  std::function<std::string(uint32_t)> symbol_namer_;
+
+  // Metrics (see BindMetrics).
+  std::unique_ptr<MetricsRegistry> owned_metrics_;
+  Counter* spans_recorded_ = nullptr;
+  Counter* spans_dropped_ = nullptr;
+  Counter* flight_dumps_ = nullptr;
+};
+
+}  // namespace ode
+
+#endif  // ODE_COMMON_TRACING_H_

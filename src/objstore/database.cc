@@ -25,13 +25,20 @@ Oid RootLockOid(const std::string& name) {
 }  // namespace
 
 Database::Database(std::unique_ptr<StorageManager> store)
-    : metrics_(std::make_unique<MetricsRegistry>()), store_(std::move(store)) {
+    : metrics_(std::make_unique<MetricsRegistry>()),
+      tracer_(std::make_unique<Tracer>()),
+      store_(std::move(store)) {
   txns_ = std::make_unique<TransactionManager>(store_.get(), &locks_);
+  tracer_->BindMetrics(metrics_.get());
   // Rebind every component from its private fallback registry to the
-  // database-wide one, so one snapshot covers all four layers.
+  // database-wide one, so one snapshot covers all four layers, and hand
+  // each layer the shared tracer so one snapshot yields full timelines.
   store_->BindMetrics(metrics_.get());
   locks_.BindMetrics(metrics_.get());
   txns_->BindMetrics(metrics_.get());
+  store_->BindTracer(tracer_.get());
+  locks_.BindTracer(tracer_.get());
+  txns_->BindTracer(tracer_.get());
 }
 
 Result<std::unique_ptr<Database>> Database::Open(StorageKind kind,

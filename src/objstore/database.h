@@ -10,6 +10,7 @@
 #include "common/metrics.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/tracing.h"
 #include "objstore/oid.h"
 #include "objstore/type_descriptor.h"
 #include "storage/lock_manager.h"
@@ -109,6 +110,9 @@ class Database {
   /// The database-wide metrics registry: storage, lock, transaction, and
   /// trigger metrics all land here (one reporting surface per database).
   MetricsRegistry* metrics() { return metrics_.get(); }
+  /// The database-wide span tracer / flight recorder: every layer records
+  /// its spans here, so one snapshot yields a full transaction timeline.
+  Tracer* tracer() { return tracer_.get(); }
 
  private:
   explicit Database(std::unique_ptr<StorageManager> store);
@@ -123,8 +127,10 @@ class Database {
                        std::map<std::string, uint64_t>* out);
 
   /// Declared first so the registry outlives every component whose
-  /// counters point into it.
+  /// counters point into it; the tracer likewise precedes every layer
+  /// that records spans through it.
   std::unique_ptr<MetricsRegistry> metrics_;
+  std::unique_ptr<Tracer> tracer_;
   std::unique_ptr<StorageManager> store_;
   LockManager locks_;
   std::unique_ptr<TransactionManager> txns_;

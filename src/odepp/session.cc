@@ -11,6 +11,13 @@ Session::Session(std::unique_ptr<Database> db, Schema* schema,
                  Options options)
     : db_(std::move(db)), schema_(schema), options_(options) {
   db_->metrics()->set_enabled(options.enable_metrics);
+  // Configure before the TriggerManager exists — no spans can be
+  // recorded concurrently yet, so the sampling knobs are published
+  // race-free.
+  Tracer::Options tropts;
+  tropts.span_capacity = options.trace_span_capacity;
+  tropts.sample_every_n_txns = options.trace_sample_every_n_txns;
+  db_->tracer()->Configure(tropts);
   TriggerManager::Options topts;
   topts.index_buckets = options.trigger_index_buckets;
   topts.state_cache_capacity = options.trigger_state_cache_entries;
@@ -372,6 +379,18 @@ MetricsSnapshot Session::MetricsSnapshot() const {
 
 std::string Session::DumpMetricsText() const {
   return db_->metrics()->DumpText();
+}
+
+std::string Session::DumpTimeline(TxnId txn) const {
+  return db_->tracer()->DumpTimeline(txn);
+}
+
+Result<FiringExplanation> Session::ExplainFiring(TriggerId id) const {
+  return ode::ExplainFiring(db_->tracer()->Snapshot(), id);
+}
+
+std::string Session::ExportChromeTrace() const {
+  return db_->tracer()->ToChromeTraceJson();
 }
 
 std::string Session::DumpTrace() const {

@@ -13,6 +13,7 @@
 #include "odepp/pref.h"
 #include "odepp/pset.h"
 #include "odepp/schema.h"
+#include "trigger/provenance.h"
 #include "trigger/trigger_manager.h"
 
 namespace ode {
@@ -70,6 +71,19 @@ class Session {
     /// mask verdict, accept, action, write-back, abort discard) is
     /// recorded; read it back with DumpTrace().
     size_t trigger_trace_capacity = 0;
+    /// Capacity of the database-wide transaction span ring (the flight
+    /// recorder; 0 turns span tracing off entirely). Unlike the trigger
+    /// trace ring this is ON by default — sampled spans cover the whole
+    /// transaction lifecycle (begin, locks, postings, FSM moves, WAL
+    /// append, the shared group-commit fsync, page apply, ack/abort) and
+    /// are auto-dumped to `<path>.flight.json` when the store wedges or
+    /// enters WAL-salvage mode. See DumpTimeline / ExportChromeTrace.
+    size_t trace_span_capacity = 4096;
+    /// Record spans for 1 of every N transactions (power of two
+    /// recommended; 1 = trace every transaction). Sampling keeps the
+    /// always-on recorder's overhead under the 5% budget measured by
+    /// bench_posting_overhead and bench_commit_throughput.
+    uint32_t trace_sample_every_n_txns = 32;
     /// Disk databases: retries per transient (kIOError) storage failure
     /// before giving up (0 = fail fast). Retried operations increment
     /// ode_io_retries_total; giving up increments
@@ -133,6 +147,31 @@ class Session {
   /// Human-readable dump of the trigger trace ring (oldest first).
   /// Returns a note instead if Options::trigger_trace_capacity was 0.
   std::string DumpTrace() const;
+
+  /// The database-wide span tracer (the flight recorder). Null never:
+  /// the tracer always exists, though Options::trace_span_capacity = 0
+  /// disables recording.
+  Tracer* tracer() { return db_->tracer(); }
+
+  /// Chronological rendering of every span recorded for `txn` — for a
+  /// committed disk transaction: begin, lock acquires, event postings
+  /// with their FSM transitions, WAL append, the group-commit fsync
+  /// batch it rode (with the batch ticket id), page apply, and the
+  /// commit ack. The transaction must have been sampled (see
+  /// Options::trace_sample_every_n_txns) and still be in the span ring.
+  std::string DumpTimeline(TxnId txn) const;
+
+  /// Reconstructs why trigger `id` did (or did not) fire from the span
+  /// ring: the chain of events that advanced its machine, each with the
+  /// prior state, the state entered, the mask verdicts consulted, and
+  /// the parameter bindings — the paper's relative(a,b,c) causal chain.
+  /// kNotFound if the ring holds no FSM activity for the trigger.
+  Result<FiringExplanation> ExplainFiring(TriggerId id) const;
+
+  /// Every recorded span as Chrome trace_event JSON — load the string
+  /// (saved to a file) in chrome://tracing or https://ui.perfetto.dev.
+  /// Tracks are keyed by transaction id.
+  std::string ExportChromeTrace() const;
 
   // --- transactions ---
 

@@ -165,6 +165,27 @@ void DiskStorageManager::BindMetrics(MetricsRegistry* registry) {
   env_->BindMetrics(registry);
 }
 
+void DiskStorageManager::BindTracer(Tracer* tracer) {
+  tracer_ = tracer;
+  // Open() ran before the Database could wire the tracer; if it left the
+  // store in salvage mode, the flight recorder still owes its dump.
+  if (tracer_ != nullptr && salvage_.load(std::memory_order_acquire)) {
+    DumpFlightRecorder("wal-salvage: mid-file WAL corruption at open");
+  }
+}
+
+void DiskStorageManager::DumpFlightRecorder(const std::string& reason) {
+  if (tracer_ == nullptr) return;
+  const std::string path = path_ + ".flight.json";
+  if (tracer_->DumpToFile(path, reason)) {
+    ODE_LOG(kError) << "disk store: flight recorder dumped to " << path
+                    << " (" << reason << ")";
+  } else {
+    ODE_LOG(kError) << "disk store: flight recorder dump to " << path
+                    << " failed";
+  }
+}
+
 DiskStorageManager::~DiskStorageManager() {
   if (open_) {
     Status st = Close();
@@ -813,9 +834,14 @@ Status DiskStorageManager::AppendBatchWal(
   // recovery protocol is unchanged — it redoes exactly the transactions
   // whose kCommit record survived, batched or not.
   const uint64_t records_before = wal_->records_appended();
+  // Span bookkeeping for sampled members: per-member append intervals
+  // now, one shared fsync-batch span after the group fsync below.
+  std::vector<std::pair<TxnId, std::pair<uint64_t, uint64_t>>> traced_appends;
   {
     LatencyTimer append_timer(wal_append_latency_);
     for (const CommitRequest* req : batch) {
+      const bool traced = tracer_ != nullptr && tracer_->Sampled(req->txn);
+      const uint64_t append_start = traced ? LatencyTimer::NowNanos() : 0;
       WalRecord begin{WalRecord::Type::kBegin, req->txn, Oid(), "", {}};
       ODE_RETURN_NOT_OK(wal_->Append(begin));
       for (const auto& [oid, entry] : req->ws->entries) {
@@ -840,16 +866,43 @@ Status DiskStorageManager::AppendBatchWal(
       }
       WalRecord commit{WalRecord::Type::kCommit, req->txn, Oid(), "", {}};
       ODE_RETURN_NOT_OK(wal_->Append(commit));
+      if (traced) {
+        traced_appends.emplace_back(
+            req->txn,
+            std::make_pair(append_start, LatencyTimer::NowNanos()));
+      }
     }
   }
   wal_records_->Inc(wal_->records_appended() - records_before);
+  for (const auto& [txn, window] : traced_appends) {
+    Span s;
+    s.kind = SpanKind::kWalAppend;
+    s.txn = txn;
+    tracer_->Interval(std::move(s), window.first, window.second);
+  }
   if (options_.sync_commits) {
     // The one fsync the whole group pays. Only after it returns may any
     // member be acked.
+    const uint64_t fsync_start =
+        traced_appends.empty() ? 0 : LatencyTimer::NowNanos();
     LatencyTimer fsync_timer(wal_fsync_latency_);
     ODE_RETURN_NOT_OK(wal_->Sync());
     commit_fsyncs_->Inc();
     commit_fsyncs_saved_->Inc(static_cast<uint64_t>(batch.size() - 1));
+    if (!traced_appends.empty()) {
+      // Every sampled member gets the SAME batch span (one fsync, many
+      // riders): a = the batch ticket id, b = how many rode it.
+      const uint64_t fsync_end = LatencyTimer::NowNanos();
+      for (const auto& [txn, window] : traced_appends) {
+        (void)window;
+        Span s;
+        s.kind = SpanKind::kFsyncBatch;
+        s.txn = txn;
+        s.a = static_cast<int64_t>(batch.front()->batch_id);
+        s.b = static_cast<int64_t>(batch.size());
+        tracer_->Interval(std::move(s), fsync_start, fsync_end);
+      }
+    }
   }
   return Status::OK();
 }
@@ -977,6 +1030,8 @@ Status DiskStorageManager::CommitThroughQueue(TxnId txn, Workspace* ws) {
                       << " txn(s)) failed in the WAL; store wedged until "
                          "reopen: "
                       << st.ToString();
+      DumpFlightRecorder("wedged: WAL stage failed for commit batch " +
+                         std::to_string(batch_seq) + ": " + st.ToString());
     }
     wal_seq_ = batch_seq;
   }
@@ -992,7 +1047,16 @@ Status DiskStorageManager::CommitThroughQueue(TxnId txn, Workspace* ws) {
   if (st.ok()) {
     std::unique_lock<std::shared_mutex> state(state_mu_);
     for (CommitRequest* r : batch) {
+      const bool traced = tracer_ != nullptr && tracer_->Sampled(r->txn);
+      const uint64_t apply_start = traced ? LatencyTimer::NowNanos() : 0;
       st = ApplyWorkspacePages(*r->ws);
+      if (traced && st.ok()) {
+        Span s;
+        s.kind = SpanKind::kPageApply;
+        s.txn = r->txn;
+        s.a = static_cast<int64_t>(r->ws->entries.size());
+        tracer_->Interval(std::move(s), apply_start, LatencyTimer::NowNanos());
+      }
       if (!st.ok()) break;
     }
     if (!st.ok()) {
@@ -1002,6 +1066,8 @@ Status DiskStorageManager::CommitThroughQueue(TxnId txn, Workspace* ws) {
       ODE_LOG(kError) << "disk store: group commit batch " << batch_seq
                       << " failed applying pages; store wedged until reopen: "
                       << st.ToString();
+      DumpFlightRecorder("wedged: page apply failed for commit batch " +
+                         std::to_string(batch_seq) + ": " + st.ToString());
     }
   }
   {

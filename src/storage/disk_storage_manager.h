@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/tracing.h"
 #include "storage/env.h"
 #include "storage/page.h"
 #include "storage/storage_manager.h"
@@ -176,6 +177,12 @@ class DiskStorageManager final : public StorageManager {
 
   void BindMetrics(MetricsRegistry* registry) override;
 
+  /// Commit-pipeline spans (WAL append, group fsync, page apply) for
+  /// sampled transactions, plus the flight-recorder dump hook. If the
+  /// store is already in salvage mode when the tracer arrives (Open runs
+  /// before Database wires the tracer), the dump fires immediately.
+  void BindTracer(Tracer* tracer) override;
+
  private:
   using Workspace = storage_internal::TxnWorkspace;
 
@@ -204,6 +211,9 @@ class DiskStorageManager final : public StorageManager {
   /// The group-commit pipeline: park in the queue, become leader or get
   /// carried by one, one fsync per batch, pages applied in WAL order.
   Status CommitThroughQueue(TxnId txn, Workspace* ws);
+  /// Dumps the tracer's span ring to `path_ + ".flight.json"` (plain
+  /// stdio, works while wedged). No-op without a bound tracer.
+  void DumpFlightRecorder(const std::string& reason);
   /// Appends every batch member's kBegin..kCommit frame and issues the
   /// single group fsync. Caller holds commit_mu_.
   Status AppendBatchWal(const std::vector<CommitRequest*>& batch);
@@ -311,6 +321,7 @@ class DiskStorageManager final : public StorageManager {
   Histogram* wal_fsync_latency_ = nullptr;
   Histogram* batch_size_hist_ = nullptr;
   Histogram* leader_wait_latency_ = nullptr;
+  Tracer* tracer_ = nullptr;  // see BindTracer
 };
 
 }  // namespace ode

@@ -85,6 +85,7 @@ Status FaultInjectionEnv::InjectLocked(const char* what) {
   }
   if (crash_at_ != 0 && ops_ >= crash_at_) {
     crashed_ = true;
+    just_crashed_what_ = what;
     CountFaultLocked();
     return CrashedError(what);
   }
@@ -112,84 +113,109 @@ Status FaultInjectionEnv::BeginReadOp(const char* what) {
 
 // ------------------------------------------------------------- file ops
 
+// Crash-capable entry points run their locked body in a lambda so
+// FireCrashCallbackIfPending can execute after mu_ is released.
+
 Status FaultInjectionEnv::DoAppend(const std::string& path,
                                    WritableFile* base, Slice data) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (crashed_) return CrashedError("append");
-  ++ops_;
-  FileState& fs = files_[path];
-  bool crash_now = crash_at_ != 0 && ops_ >= crash_at_;
-  if (crash_now && torn_writes_ && data.size() > 1) {
-    // The op that loses power mid-write leaves a prefix in the OS cache;
-    // whether any of it reaches the platter is DropUnsyncedData's coin.
-    size_t keep = rng_.Uniform(data.size());
-    if (keep > 0 && base->Append(Slice(data.data(), keep)).ok()) {
-      fs.append_size += keep;
+  Status result = [&]() -> Status {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (crashed_) return CrashedError("append");
+    ++ops_;
+    FileState& fs = files_[path];
+    bool crash_now = crash_at_ != 0 && ops_ >= crash_at_;
+    if (crash_now && torn_writes_ && data.size() > 1) {
+      // The op that loses power mid-write leaves a prefix in the OS
+      // cache; whether any of it reaches the platter is
+      // DropUnsyncedData's coin.
+      size_t keep = rng_.Uniform(data.size());
+      if (keep > 0 && base->Append(Slice(data.data(), keep)).ok()) {
+        fs.append_size += keep;
+      }
+      crashed_ = true;
+      just_crashed_what_ = "torn append";
+      CountFaultLocked();
+      return CrashedError("append");
     }
-    crashed_ = true;
-    CountFaultLocked();
-    return CrashedError("append");
-  }
-  ODE_RETURN_NOT_OK(InjectLocked("append"));
-  Status st = base->Append(data);
-  if (st.ok()) fs.append_size += data.size();
-  return st;
+    ODE_RETURN_NOT_OK(InjectLocked("append"));
+    Status st = base->Append(data);
+    if (st.ok()) fs.append_size += data.size();
+    return st;
+  }();
+  FireCrashCallbackIfPending();
+  return result;
 }
 
 Status FaultInjectionEnv::DoWritableSync(const std::string& path,
                                          WritableFile* base) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ODE_RETURN_NOT_OK(BeginMutatingOp("sync"));
-  ODE_RETURN_NOT_OK(base->Sync());
-  FileState& fs = files_[path];
-  fs.synced_size = fs.append_size;
-  if (crash_after_sync_) {
-    crash_after_sync_ = false;
-    crashed_ = true;
-    CountFaultLocked();
-  }
-  return Status::OK();
+  Status result = [&]() -> Status {
+    std::lock_guard<std::mutex> lock(mu_);
+    ODE_RETURN_NOT_OK(BeginMutatingOp("sync"));
+    ODE_RETURN_NOT_OK(base->Sync());
+    FileState& fs = files_[path];
+    fs.synced_size = fs.append_size;
+    if (crash_after_sync_) {
+      crash_after_sync_ = false;
+      crashed_ = true;
+      just_crashed_what_ = "post-sync crash";
+      CountFaultLocked();
+    }
+    return Status::OK();
+  }();
+  FireCrashCallbackIfPending();
+  return result;
 }
 
 Status FaultInjectionEnv::DoReadAt(RandomRWFile* base, uint64_t offset,
                                    size_t n, char* scratch) {
+  Status st;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    ODE_RETURN_NOT_OK(BeginReadOp("read"));
+    st = BeginReadOp("read");
   }
+  FireCrashCallbackIfPending();
+  ODE_RETURN_NOT_OK(st);
   return base->ReadAt(offset, n, scratch);
 }
 
 Status FaultInjectionEnv::DoWriteAt(const std::string& path,
                                     RandomRWFile* base, uint64_t offset,
                                     Slice data) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ODE_RETURN_NOT_OK(BeginMutatingOp("page write"));
-  FileState& fs = files_[path];
-  if (fs.unsynced_writes.find(offset) == fs.unsynced_writes.end()) {
-    // Pre-image of the region (zeros beyond the current EOF, matching
-    // what a filesystem exposes for never-written extents).
-    std::vector<char> pre(data.size(), 0);
-    Result<uint64_t> size = base->Size();
-    uint64_t fsize = size.ok() ? size.value() : 0;
-    if (offset < fsize) {
-      size_t in_bounds = static_cast<size_t>(
-          std::min<uint64_t>(data.size(), fsize - offset));
-      Status rst = base->ReadAt(offset, in_bounds, pre.data());
-      if (!rst.ok()) return rst;
+  Status result = [&]() -> Status {
+    std::lock_guard<std::mutex> lock(mu_);
+    ODE_RETURN_NOT_OK(BeginMutatingOp("page write"));
+    FileState& fs = files_[path];
+    if (fs.unsynced_writes.find(offset) == fs.unsynced_writes.end()) {
+      // Pre-image of the region (zeros beyond the current EOF, matching
+      // what a filesystem exposes for never-written extents).
+      std::vector<char> pre(data.size(), 0);
+      Result<uint64_t> size = base->Size();
+      uint64_t fsize = size.ok() ? size.value() : 0;
+      if (offset < fsize) {
+        size_t in_bounds = static_cast<size_t>(
+            std::min<uint64_t>(data.size(), fsize - offset));
+        Status rst = base->ReadAt(offset, in_bounds, pre.data());
+        if (!rst.ok()) return rst;
+      }
+      fs.unsynced_writes[offset] = std::move(pre);
     }
-    fs.unsynced_writes[offset] = std::move(pre);
-  }
-  return base->WriteAt(offset, data);
+    return base->WriteAt(offset, data);
+  }();
+  FireCrashCallbackIfPending();
+  return result;
 }
 
 Status FaultInjectionEnv::DoRWSync(const std::string& path,
                                    RandomRWFile* base) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ODE_RETURN_NOT_OK(BeginMutatingOp("file sync"));
-  ODE_RETURN_NOT_OK(base->Sync());
-  files_[path].unsynced_writes.clear();
-  return Status::OK();
+  Status result = [&]() -> Status {
+    std::lock_guard<std::mutex> lock(mu_);
+    ODE_RETURN_NOT_OK(BeginMutatingOp("file sync"));
+    ODE_RETURN_NOT_OK(base->Sync());
+    files_[path].unsynced_writes.clear();
+    return Status::OK();
+  }();
+  FireCrashCallbackIfPending();
+  return result;
 }
 
 // ------------------------------------------------------------ Env calls
@@ -238,35 +264,47 @@ Status FaultInjectionEnv::ReadFileToString(const std::string& path,
 
 Status FaultInjectionEnv::RenameFile(const std::string& from,
                                      const std::string& to) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ODE_RETURN_NOT_OK(BeginMutatingOp("rename"));
-  ODE_RETURN_NOT_OK(base_->RenameFile(from, to));
-  auto it = files_.find(from);
-  if (it != files_.end()) {
-    files_[to] = std::move(it->second);
-    files_.erase(it);
-  }
-  return Status::OK();
+  Status result = [&]() -> Status {
+    std::lock_guard<std::mutex> lock(mu_);
+    ODE_RETURN_NOT_OK(BeginMutatingOp("rename"));
+    ODE_RETURN_NOT_OK(base_->RenameFile(from, to));
+    auto it = files_.find(from);
+    if (it != files_.end()) {
+      files_[to] = std::move(it->second);
+      files_.erase(it);
+    }
+    return Status::OK();
+  }();
+  FireCrashCallbackIfPending();
+  return result;
 }
 
 Status FaultInjectionEnv::RemoveFile(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ODE_RETURN_NOT_OK(BeginMutatingOp("remove"));
-  ODE_RETURN_NOT_OK(base_->RemoveFile(path));
-  files_.erase(path);
-  return Status::OK();
+  Status result = [&]() -> Status {
+    std::lock_guard<std::mutex> lock(mu_);
+    ODE_RETURN_NOT_OK(BeginMutatingOp("remove"));
+    ODE_RETURN_NOT_OK(base_->RemoveFile(path));
+    files_.erase(path);
+    return Status::OK();
+  }();
+  FireCrashCallbackIfPending();
+  return result;
 }
 
 Status FaultInjectionEnv::TruncateFile(const std::string& path,
                                        uint64_t size) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ODE_RETURN_NOT_OK(BeginMutatingOp("truncate"));
-  ODE_RETURN_NOT_OK(base_->TruncateFile(path, size));
-  FileState& fs = files_[path];
-  fs.append_size = size;
-  fs.synced_size = size;
-  fs.unsynced_writes.clear();
-  return Status::OK();
+  Status result = [&]() -> Status {
+    std::lock_guard<std::mutex> lock(mu_);
+    ODE_RETURN_NOT_OK(BeginMutatingOp("truncate"));
+    ODE_RETURN_NOT_OK(base_->TruncateFile(path, size));
+    FileState& fs = files_[path];
+    fs.append_size = size;
+    fs.synced_size = size;
+    fs.unsynced_writes.clear();
+    return Status::OK();
+  }();
+  FireCrashCallbackIfPending();
+  return result;
 }
 
 bool FaultInjectionEnv::FileExists(const std::string& path) {
@@ -308,6 +346,25 @@ void FaultInjectionEnv::SetTransientFaultProbability(double p,
   std::lock_guard<std::mutex> lock(mu_);
   transient_p_ = p;
   rng_ = Random(seed);
+}
+
+void FaultInjectionEnv::SetCrashCallback(
+    std::function<void(const char*)> callback) {
+  std::lock_guard<std::mutex> lock(mu_);
+  crash_callback_ = std::move(callback);
+}
+
+void FaultInjectionEnv::FireCrashCallbackIfPending() {
+  std::function<void(const char*)> cb;
+  const char* what = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (just_crashed_what_ == nullptr) return;
+    what = just_crashed_what_;
+    just_crashed_what_ = nullptr;
+    cb = crash_callback_;  // copy so the callback may call SetCrashCallback
+  }
+  if (cb) cb(what);
 }
 
 void FaultInjectionEnv::SetTornWrites(bool on) {
@@ -359,6 +416,7 @@ void FaultInjectionEnv::ResetAfterCrash() {
   crash_at_ = 0;
   crash_after_sync_ = false;
   fail_next_ = 0;
+  just_crashed_what_ = nullptr;
 }
 
 }  // namespace ode

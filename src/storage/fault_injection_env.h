@@ -1,6 +1,7 @@
 #ifndef ODE_STORAGE_FAULT_INJECTION_ENV_H_
 #define ODE_STORAGE_FAULT_INJECTION_ENV_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -80,6 +81,13 @@ class FaultInjectionEnv final : public Env {
   /// Every faultable op fails with probability `p` (0 disables).
   void SetTransientFaultProbability(double p, uint64_t seed);
 
+  /// Invoked — outside the env mutex — at the moment a crash point
+  /// trips (SetCrashAtOp, ArmCrashAfterNextSync, or the torn mid-append
+  /// crash), with a short description of the op that "lost power".
+  /// Transient faults do not fire it. Wire it to Tracer::DumpToFile to
+  /// capture a flight-recorder snapshot at the instant of the crash.
+  void SetCrashCallback(std::function<void(const char*)> callback);
+
   /// When true (the default), DropUnsyncedData keeps a random torn
   /// prefix of an append file's unsynced tail; when false the whole
   /// unsynced tail is lost cleanly.
@@ -121,6 +129,11 @@ class FaultInjectionEnv final : public Env {
   void CountFaultLocked();
   Status InjectLocked(const char* what);
   Status CrashedError(const char* what) const;
+  /// Runs the crash callback if a crash point tripped since the last
+  /// call. Must be called WITHOUT mu_ held — entry points invoke it
+  /// after their locked region so the callback can reach back into the
+  /// env (or dump a trace) without deadlocking.
+  void FireCrashCallbackIfPending();
 
   // File-op implementations called by the wrapper handles.
   Status DoAppend(const std::string& path, WritableFile* base, Slice data);
@@ -147,6 +160,10 @@ class FaultInjectionEnv final : public Env {
   /// bound it is torn down and reopened around every crash), so
   /// faults_injected() must not read through faults_.
   uint64_t fault_count_ = 0;
+  /// Set (under mu_) by the crash sites, consumed by
+  /// FireCrashCallbackIfPending after the lock is released.
+  const char* just_crashed_what_ = nullptr;
+  std::function<void(const char*)> crash_callback_;
   Counter* faults_ = nullptr;
   std::unique_ptr<MetricsRegistry> owned_metrics_;
 };

@@ -99,6 +99,14 @@ Status LockManager::Acquire(TxnId txn, Oid oid, LockMode mode) {
   if (GrantableLocked(state, waiter)) {
     state.holders[txn] = mode;
     held_[txn].insert(oid);
+    if (tracer_ != nullptr && tracer_->Sampled(txn)) {
+      Span s;
+      s.kind = SpanKind::kLockAcquire;
+      s.txn = txn;
+      s.anchor = oid;
+      s.detail = mode == LockMode::kExclusive ? "X" : "S";
+      tracer_->Instant(std::move(s));  // b = 0: granted without waiting
+    }
     return Status::OK();
   }
 
@@ -144,6 +152,16 @@ Status LockManager::Acquire(TxnId txn, Oid oid, LockMode mode) {
   const uint64_t waited = LatencyTimer::NowNanos() - wait_start;
   wait_ns_total_->Inc(waited);
   wait_latency_->Record(waited);
+  if (tracer_ != nullptr && tracer_->Sampled(txn)) {
+    Span s;
+    s.kind = SpanKind::kLockAcquire;
+    s.txn = txn;
+    s.anchor = oid;
+    s.b = static_cast<int64_t>(waited);
+    s.detail = mode == LockMode::kExclusive ? "X" : "S";
+    if (!result.ok()) s.detail += result.IsDeadlock() ? " deadlock" : " timeout";
+    tracer_->Interval(std::move(s), wait_start, wait_start + waited);
+  }
 
   waiting_on_.erase(txn);
   LockState& st = table_[oid];

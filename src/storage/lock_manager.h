@@ -12,6 +12,7 @@
 
 #include "common/metrics.h"
 #include "common/status.h"
+#include "common/tracing.h"
 #include "objstore/oid.h"
 
 namespace ode {
@@ -58,6 +59,12 @@ class LockManager {
   /// keeps the accessors below per-instance. Call before first use.
   void BindMetrics(MetricsRegistry* registry);
 
+  /// Points this manager at the owning Database's span tracer: sampled
+  /// transactions get a lock-acquire span per grant, carrying the
+  /// nanoseconds they spent blocked. nullptr (the standalone default)
+  /// records nothing.
+  void BindTracer(Tracer* tracer) { tracer_ = tracer; }
+
   /// Number of Acquire calls that had to wait at least once.
   uint64_t conflicts() const { return conflicts_->value(); }
   /// Deadlock aborts: Acquire calls refused with kDeadlock (the requester
@@ -103,6 +110,7 @@ class LockManager {
   Counter* timeouts_ = nullptr;
   Counter* wait_ns_total_ = nullptr;
   Histogram* wait_latency_ = nullptr;
+  Tracer* tracer_ = nullptr;
 };
 
 }  // namespace ode

@@ -15,6 +15,7 @@
 namespace ode {
 
 class MetricsRegistry;
+class Tracer;
 
 /// Aggregate counters a storage manager exposes for benchmarks and tests.
 struct StorageStats {
@@ -108,6 +109,12 @@ class StorageManager {
   /// standalone; call before the first Read/Write. Default: no-op for
   /// implementations without metrics.
   virtual void BindMetrics(MetricsRegistry* registry) { (void)registry; }
+
+  /// Points the manager at the owning Database's span tracer so commit
+  /// pipeline stages (WAL append, group fsync, page apply) land on the
+  /// same per-transaction timelines as the upper layers. Default: no-op
+  /// for implementations that record no spans.
+  virtual void BindTracer(Tracer* tracer) { (void)tracer; }
 };
 
 namespace storage_internal {

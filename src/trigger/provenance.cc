@@ -1,0 +1,123 @@
+#include "trigger/provenance.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace ode {
+
+std::string FiringExplanation::ToString(
+    const std::function<std::string(uint32_t)>& symbol_namer) const {
+  char buf[192];
+  std::string out;
+  if (fired) {
+    std::snprintf(buf, sizeof(buf),
+                  "trigger %" PRIu64 " FIRED in txn %" PRIu64
+                  " (accept state %" PRId64 "), driven by %zu event(s):\n",
+                  trigger.value(), firing_txn, accept_state, steps.size());
+  } else {
+    std::snprintf(buf, sizeof(buf),
+                  "trigger %" PRIu64
+                  " has not fired; machine advanced by %zu event(s):\n",
+                  trigger.value(), steps.size());
+  }
+  out += buf;
+  for (size_t i = 0; i < steps.size(); ++i) {
+    const FiringStep& s = steps[i];
+    std::snprintf(buf, sizeof(buf), "  %zu. txn %" PRIu64 " ev ", i + 1,
+                  s.txn);
+    out += buf;
+    if (symbol_namer) {
+      out += symbol_namer(s.symbol);
+    } else {
+      std::snprintf(buf, sizeof(buf), "#%u", s.symbol);
+      out += buf;
+    }
+    std::snprintf(buf, sizeof(buf), " state %" PRId64 " -> %" PRId64,
+                  s.from_state, s.to_state);
+    out += buf;
+    for (const auto& [ordinal, verdict] : s.masks) {
+      std::snprintf(buf, sizeof(buf), " [mask#%" PRId64 "=%s]", ordinal,
+                    verdict ? "True" : "False");
+      out += buf;
+    }
+    if (!s.params.empty()) {
+      out += " params=";
+      out += s.params;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Result<FiringExplanation> ExplainFiring(const std::vector<Span>& spans,
+                                        Oid trigger) {
+  // One pass over the (oldest-first) snapshot, keeping only this
+  // trigger's FSM activity. Masks are recorded immediately before the
+  // transition they gate (PostEvent resolves the mask pseudo-event and
+  // then moves the machine), so pending mask spans attach to the next
+  // transition of the same machine. Accept spans mark chain boundaries.
+  // Note an accept state can be absorbing (relative(a,b,c) stays
+  // satisfied once its history exists), in which case a perpetual
+  // trigger re-fires on later events with no new transitions — the
+  // chain behind the latest firing is then still the run of
+  // transitions that originally drove the machine into accept.
+  std::vector<FiringStep> steps;
+  std::vector<std::pair<int64_t, bool>> pending_masks;
+  // steps.size() at each accept, paired with the accept span itself.
+  std::vector<std::pair<size_t, Span>> accepts;
+  for (const Span& s : spans) {
+    if (s.trigger != trigger) continue;
+    switch (s.kind) {
+      case SpanKind::kMaskEval:
+        pending_masks.emplace_back(s.a, s.b != 0);
+        break;
+      case SpanKind::kFsmTransition: {
+        FiringStep step;
+        step.seq = s.seq;
+        step.txn = s.txn;
+        step.symbol = s.symbol;
+        step.from_state = s.a;
+        step.to_state = s.b;
+        step.masks = std::move(pending_masks);
+        pending_masks.clear();
+        step.params = s.detail;
+        steps.push_back(std::move(step));
+        break;
+      }
+      case SpanKind::kAcceptReached:
+        accepts.emplace_back(steps.size(), s);
+        break;
+      default:
+        break;
+    }
+  }
+  if (steps.empty() && accepts.empty()) {
+    return Status::NotFound("no FSM activity recorded for trigger " +
+                            trigger.ToString() +
+                            " (not sampled, or overwritten by wraparound)");
+  }
+  FiringExplanation out;
+  out.trigger = trigger;
+  if (!accepts.empty()) {
+    const auto& [end, accept_span] = accepts.back();
+    out.fired = true;
+    out.firing_txn = accept_span.txn;
+    out.accept_state = accept_span.a;
+    // Start the chain at the most recent prior accept that actually has
+    // transitions between it and this firing. Accepts with the same step
+    // count are re-fires from an absorbing accept state, not new chains.
+    size_t begin = 0;
+    for (size_t k = accepts.size() - 1; k-- > 0;) {
+      if (accepts[k].first < end) {
+        begin = accepts[k].first;
+        break;
+      }
+    }
+    out.steps.assign(steps.begin() + begin, steps.begin() + end);
+  } else {
+    out.steps = std::move(steps);
+  }
+  return out;
+}
+
+}  // namespace ode

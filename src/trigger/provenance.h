@@ -1,0 +1,63 @@
+#ifndef ODE_TRIGGER_PROVENANCE_H_
+#define ODE_TRIGGER_PROVENANCE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/tracing.h"
+#include "objstore/oid.h"
+
+namespace ode {
+
+/// One FSM advance on the road to (or towards) an accept state: which
+/// basic event moved the machine, from where to where, in which
+/// transaction, and what the mask pseudo-events said along the way.
+struct FiringStep {
+  uint64_t seq = 0;        // tracer sequence number of the transition
+  TxnId txn = kNoTxn;      // transaction that posted the basic event
+  uint32_t symbol = 0;     // the basic event
+  int64_t from_state = 0;
+  int64_t to_state = 0;
+  /// Mask pseudo-events resolved for this machine immediately before the
+  /// transition, as (ordinal, verdict) pairs.
+  std::vector<std::pair<int64_t, bool>> masks;
+  /// Hex-encoded activation-parameter bindings carried by the machine
+  /// at this transition (empty if the trigger takes no parameters).
+  std::string params;
+};
+
+/// The reconstructed causal chain behind one trigger firing — the answer
+/// to the paper's "why did this perpetual trigger fire?". For a trigger
+/// over `relative(a, b, c)` the steps are exactly the a, b, c postings
+/// (possibly from different transactions) that drove the mask FSM to its
+/// accept state; for a machine still in flight (`fired == false`) they
+/// are the progress so far since the last firing.
+struct FiringExplanation {
+  Oid trigger;
+  bool fired = false;
+  TxnId firing_txn = kNoTxn;   // txn whose posting completed the chain
+  int64_t accept_state = 0;
+  std::vector<FiringStep> steps;
+
+  /// Multi-line human-readable rendering.
+  std::string ToString(const std::function<std::string(uint32_t)>&
+                           symbol_namer = nullptr) const;
+};
+
+/// Reconstructs the most recent firing (or in-flight progress) of
+/// `trigger` from a span snapshot (`Tracer::Snapshot()`). A perpetual
+/// trigger fires repeatedly; the chain returned covers the transitions
+/// since its previous accept, so each call explains the latest firing
+/// only. Returns NotFound if the snapshot holds no FSM activity for the
+/// trigger — not yet activated, never advanced, its spans already
+/// overwritten by ring wraparound, or its transactions unsampled.
+Result<FiringExplanation> ExplainFiring(const std::vector<Span>& spans,
+                                        Oid trigger);
+
+}  // namespace ode
+
+#endif  // ODE_TRIGGER_PROVENANCE_H_

@@ -4,8 +4,64 @@
 
 #include "common/coding.h"
 #include "common/logging.h"
+#include "trigger/event_registry.h"
 
 namespace ode {
+
+namespace {
+
+/// Trigger-ring kinds and span kinds correspond one-to-one except for
+/// kCommitBatch, which the storage layer records itself (as kFsyncBatch,
+/// with the real batch interval); returns false for kinds the span
+/// tracer skips.
+bool SpanKindFor(TraceEvent::Kind kind, SpanKind* out) {
+  switch (kind) {
+    case TraceEvent::Kind::kEventPosted:
+      *out = SpanKind::kEventPosted;
+      return true;
+    case TraceEvent::Kind::kFastPathSkip:
+      *out = SpanKind::kFastPathSkip;
+      return true;
+    case TraceEvent::Kind::kFsmTransition:
+      *out = SpanKind::kFsmTransition;
+      return true;
+    case TraceEvent::Kind::kMaskEvaluated:
+      *out = SpanKind::kMaskEval;
+      return true;
+    case TraceEvent::Kind::kAcceptReached:
+      *out = SpanKind::kAcceptReached;
+      return true;
+    case TraceEvent::Kind::kActionScheduled:
+      *out = SpanKind::kActionScheduled;
+      return true;
+    case TraceEvent::Kind::kActionRan:
+      *out = SpanKind::kActionRun;
+      return true;
+    case TraceEvent::Kind::kStateWriteBack:
+      *out = SpanKind::kStateWriteBack;
+      return true;
+    case TraceEvent::Kind::kAbortDiscard:
+      *out = SpanKind::kAbortDiscard;
+      return true;
+    case TraceEvent::Kind::kCommitBatch:
+      return false;
+  }
+  return false;
+}
+
+std::string HexEncode(const std::vector<char>& bytes) {
+  static const char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (char c : bytes) {
+    unsigned char b = static_cast<unsigned char>(c);
+    out += kHex[b >> 4];
+    out += kHex[b & 0xf];
+  }
+  return out;
+}
+
+}  // namespace
 
 TriggerManager::Stats TriggerManager::MakeStats(MetricsRegistry* registry) {
   return Stats{
@@ -50,7 +106,13 @@ TriggerManager::TriggerManager(Database* db, Options options)
                             /*sample=*/16);
   if (options_.trace_capacity > 0) {
     trace_ = std::make_unique<TriggerTraceRing>(options_.trace_capacity);
+    trace_->BindMetrics(metrics);
   }
+  tracer_ = db_->tracer();
+  // Give the tracer readable event names for timelines and exports
+  // (common/ cannot depend on the trigger layer's EventRegistry).
+  tracer_->SetSymbolNamer(
+      [](uint32_t symbol) { return EventRegistry::Global().NameOf(symbol); });
   size_t stripes = std::max<size_t>(1, options_.lock_stripes);
   count_shards_.reserve(stripes);
   ctx_shards_.reserve(stripes);
@@ -63,6 +125,34 @@ TriggerManager::TriggerManager(Database* db, Options options)
   txns->SetPreAbortHook([this](Transaction* t) { return PreAbort(t); });
   txns->SetPostCommitHook([this](Transaction* t) { return PostCommit(t); });
   txns->SetPostAbortHook([this](Transaction* t) { return PostAbort(t); });
+}
+
+void TriggerManager::TraceSpan(TraceEvent::Kind kind, TxnId txn, Oid trigger,
+                               Oid anchor, Symbol symbol, int32_t a, int32_t b,
+                               CouplingMode coupling,
+                               const std::vector<char>* params,
+                               uint64_t start_ns) {
+  SpanKind span_kind;
+  if (!SpanKindFor(kind, &span_kind)) return;
+  Span s;
+  s.kind = span_kind;
+  s.txn = txn;
+  s.trigger = trigger;
+  s.anchor = anchor;
+  s.symbol = symbol;
+  s.a = a;
+  s.b = b;
+  if (params != nullptr && !params->empty()) {
+    s.detail = HexEncode(*params);
+  } else if (kind == TraceEvent::Kind::kActionScheduled ||
+             kind == TraceEvent::Kind::kActionRan) {
+    s.detail = CouplingModeToString(coupling);
+  }
+  if (start_ns != 0) {
+    tracer_->Interval(std::move(s), start_ns, LatencyTimer::NowNanos());
+  } else {
+    tracer_->Instant(std::move(s));
+  }
 }
 
 void TriggerManager::RegisterType(const TypeDescriptor* type) {
@@ -492,7 +582,8 @@ Status TriggerManager::PostEvent(Transaction* txn, Oid obj,
 
     if (next != state->statenum) {
       Trace(TraceEvent::Kind::kFsmTransition, txn->id(), trig_id,
-            state->trigobj, symbol, state->statenum, next);
+            state->trigobj, symbol, state->statenum, next,
+            CouplingMode::kImmediate, &state->params);
       state->statenum = next;
       if (cached != nullptr) {
         // Deferred write-back: encoded and written once at pre-commit.
@@ -508,7 +599,8 @@ Status TriggerManager::PostEvent(Transaction* txn, Oid obj,
     // affecting the mask of another trigger" (§5.4.5).
     if (info.fsm.Accepting(next)) {
       Trace(TraceEvent::Kind::kAcceptReached, txn->id(), trig_id,
-            state->trigobj, symbol, next);
+            state->trigobj, symbol, next, 0, CouplingMode::kImmediate,
+            &state->params);
       ready.push_back(Ready{defining, &info, trig_id, 0, *state});
     }
   }
@@ -643,6 +735,10 @@ Status TriggerManager::RunAction(Transaction* txn,
   }
   TxnCtx* ctx = GetCtx(txn);
   ++ctx->processing_depth;
+  const uint64_t span_start =
+      tracer_ != nullptr && tracer_->Sampled(txn->id())
+          ? LatencyTimer::NowNanos()
+          : 0;
   Status st;
   {
     LatencyTimer timer(action_latency_[static_cast<int>(info.coupling)]);
@@ -651,7 +747,7 @@ Status TriggerManager::RunAction(Transaction* txn,
   --ctx->processing_depth;
   if (st.ok()) {
     Trace(TraceEvent::Kind::kActionRan, txn->id(), action.trigger_id,
-          action.anchor, 0, 0, 0, info.coupling);
+          action.anchor, 0, 0, 0, info.coupling, nullptr, span_start);
   }
   ODE_RETURN_NOT_OK(st);
   if (txn->abort_requested()) {

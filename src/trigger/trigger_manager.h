@@ -352,23 +352,41 @@ class TriggerManager {
   /// Resolves the Stats counter references out of `registry`.
   static Stats MakeStats(MetricsRegistry* registry);
 
-  /// Records a lifecycle event if tracing is on (one pointer test when
-  /// off). a/b are overloaded per kind — see TraceEvent.
+  /// Records a lifecycle event if tracing is on (one pointer test plus
+  /// the tracer's sampling check when off). a/b are overloaded per kind —
+  /// see TraceEvent. The same call feeds both surfaces: the flat
+  /// TriggerTraceRing (when Options::trace_capacity > 0) and, for
+  /// sampled transactions, the database-wide span tracer. `params` (the
+  /// machine's activation-parameter bindings) and `start_ns` (a span
+  /// start time, making the span an interval) only affect the tracer.
   void Trace(TraceEvent::Kind kind, TxnId txn, Oid trigger, Oid anchor,
              Symbol symbol, int32_t a = 0, int32_t b = 0,
-             CouplingMode coupling = CouplingMode::kImmediate) {
-    if (trace_ == nullptr) return;
-    TraceEvent e;
-    e.kind = kind;
-    e.coupling = coupling;
-    e.txn = txn;
-    e.trigger = trigger;
-    e.anchor = anchor;
-    e.symbol = symbol;
-    e.a = a;
-    e.b = b;
-    trace_->Record(e);
+             CouplingMode coupling = CouplingMode::kImmediate,
+             const std::vector<char>* params = nullptr,
+             uint64_t start_ns = 0) {
+    if (trace_ != nullptr) {
+      TraceEvent e;
+      e.kind = kind;
+      e.coupling = coupling;
+      e.txn = txn;
+      e.trigger = trigger;
+      e.anchor = anchor;
+      e.symbol = symbol;
+      e.a = a;
+      e.b = b;
+      trace_->Record(e);
+    }
+    if (tracer_ != nullptr && tracer_->Sampled(txn)) {
+      TraceSpan(kind, txn, trigger, anchor, symbol, a, b, coupling, params,
+                start_ns);
+    }
   }
+
+  /// Slow half of Trace(): builds and records the Span (out of line so
+  /// the unsampled hot path stays a branch).
+  void TraceSpan(TraceEvent::Kind kind, TxnId txn, Oid trigger, Oid anchor,
+                 Symbol symbol, int32_t a, int32_t b, CouplingMode coupling,
+                 const std::vector<char>* params, uint64_t start_ns);
 
   CountShard& CountShardFor(Oid obj) {
     return *count_shards_[OidHash{}(obj) % count_shards_.size()];
@@ -444,6 +462,7 @@ class TriggerManager {
   /// Indexed by CouplingMode.
   Histogram* action_latency_[4] = {nullptr, nullptr, nullptr, nullptr};
   std::unique_ptr<TriggerTraceRing> trace_;
+  Tracer* tracer_ = nullptr;  // the owning Database's span tracer
 
   static constexpr int kMaxFireDepth = 32;
   static constexpr int kMaxDeferredRounds = 64;

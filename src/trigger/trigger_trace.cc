@@ -80,17 +80,34 @@ std::string TraceEvent::ToString() const {
 TriggerTraceRing::TriggerTraceRing(size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity) {
   ring_.reserve(capacity_);
+  BindMetrics(nullptr);
+}
+
+void TriggerTraceRing::BindMetrics(MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    owned_metrics_ = std::make_unique<MetricsRegistry>();
+    registry = owned_metrics_.get();
+  } else {
+    owned_metrics_.reset();
+  }
+  dropped_metric_ = registry->GetCounter("ode_trigger_trace_dropped_total");
 }
 
 void TriggerTraceRing::Record(TraceEvent event) {
-  std::lock_guard<std::mutex> lock(mu_);
-  event.seq = seq_++;
-  if (ring_.size() < capacity_) {
-    ring_.push_back(event);
-  } else {
-    ring_[next_] = event;
+  bool overwrote;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    event.seq = seq_++;
+    overwrote = ring_.size() >= capacity_;
+    if (!overwrote) {
+      ring_.push_back(event);
+    } else {
+      ring_[next_] = event;
+      ++dropped_;
+    }
+    next_ = (next_ + 1) % capacity_;
   }
-  next_ = (next_ + 1) % capacity_;
+  if (overwrote) dropped_metric_->Inc();
 }
 
 std::vector<TraceEvent> TriggerTraceRing::Events() const {
@@ -113,6 +130,11 @@ uint64_t TriggerTraceRing::total_recorded() const {
   return seq_;
 }
 
+uint64_t TriggerTraceRing::total_dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
 void TriggerTraceRing::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   ring_.clear();
@@ -121,18 +143,30 @@ void TriggerTraceRing::Clear() {
 }
 
 std::string TriggerTraceRing::Dump() const {
-  std::vector<TraceEvent> events = Events();
-  uint64_t total;
+  // One critical section for both the events and the totals: taking the
+  // lock twice (Events() then seq_) could report a total that includes
+  // events recorded between the two, making shown/recorded/dropped
+  // disagree with each other.
+  std::vector<TraceEvent> events;
+  uint64_t total, dropped;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    events.reserve(ring_.size());
+    if (ring_.size() < capacity_) {
+      events = ring_;
+    } else {
+      for (size_t i = 0; i < ring_.size(); ++i) {
+        events.push_back(ring_[(next_ + i) % capacity_]);
+      }
+    }
     total = seq_;
+    dropped = dropped_;
   }
   char header[128];
   int n = std::snprintf(header, sizeof(header),
                         "trigger trace: %zu event(s) shown, %" PRIu64
                         " recorded (%" PRIu64 " dropped)\n",
-                        events.size(), total,
-                        total - static_cast<uint64_t>(events.size()));
+                        events.size(), total, dropped);
   std::string out(header, n > 0 ? static_cast<size_t>(n) : 0);
   for (const TraceEvent& e : events) {
     out += e.ToString();

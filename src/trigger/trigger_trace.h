@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "events/event_expr.h"
 #include "objstore/oid.h"
 #include "objstore/type_descriptor.h"
@@ -66,6 +67,11 @@ class TriggerTraceRing {
 
   void Record(TraceEvent event);
 
+  /// Points the `ode_trigger_trace_dropped_total` counter at `registry`
+  /// (the owning Database's); a standalone ring counts into a private
+  /// registry. Each wraparound overwrite increments it.
+  void BindMetrics(MetricsRegistry* registry);
+
   size_t capacity() const { return capacity_; }
 
   /// Events in recording order (oldest surviving entry first).
@@ -73,6 +79,10 @@ class TriggerTraceRing {
 
   /// Total events ever recorded, including overwritten ones.
   uint64_t total_recorded() const;
+
+  /// Events overwritten by wraparound since construction (Clear() does
+  /// not reset it — those events were surfaced, not lost).
+  uint64_t total_dropped() const;
 
   void Clear();
 
@@ -84,8 +94,13 @@ class TriggerTraceRing {
   const size_t capacity_;
   mutable std::mutex mu_;
   std::vector<TraceEvent> ring_;
-  size_t next_ = 0;     // ring_ slot for the next event
-  uint64_t seq_ = 0;    // == total recorded
+  size_t next_ = 0;       // ring_ slot for the next event
+  uint64_t seq_ = 0;      // == total recorded
+  uint64_t dropped_ = 0;  // overwritten by wraparound
+
+  // Metrics (see BindMetrics).
+  std::unique_ptr<MetricsRegistry> owned_metrics_;
+  Counter* dropped_metric_ = nullptr;
 };
 
 }  // namespace ode

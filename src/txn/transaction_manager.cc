@@ -25,6 +25,13 @@ Result<Transaction*> TransactionManager::Begin(bool system) {
   ODE_RETURN_NOT_OK(store_->BeginTxn(id));
   auto txn = std::make_unique<Transaction>(id, system);
   txn->begin_nanos_ = LatencyTimer::NowNanos();
+  if (tracer_ != nullptr && tracer_->Sampled(id)) {
+    Span s;
+    s.kind = SpanKind::kTxnBegin;
+    s.txn = id;
+    if (system) s.detail = "system";
+    tracer_->Instant(std::move(s));
+  }
   Transaction* raw = txn.get();
   lock.lock();
   live_[id] = std::move(txn);
@@ -38,9 +45,19 @@ Status TransactionManager::Commit(Transaction* txn) {
     return Status::Internal("commit of non-active transaction");
   }
 
+  const bool traced = tracer_ != nullptr && tracer_->Sampled(txn->id());
+
   // Deferred trigger work runs inside the transaction; it may tabort.
   if (pre_commit_) {
+    const uint64_t pre_start = traced ? LatencyTimer::NowNanos() : 0;
     Status st = pre_commit_(txn);
+    if (traced) {
+      Span s;
+      s.kind = SpanKind::kPreCommit;
+      s.txn = txn->id();
+      if (!st.ok()) s.detail = st.ToString();
+      tracer_->Interval(std::move(s), pre_start, LatencyTimer::NowNanos());
+    }
     if (st.IsTransactionAborted() || txn->abort_requested()) {
       // Deferred action executed tabort: the whole transaction aborts.
       // before-tabort events are NOT posted here: the abort came from
@@ -57,6 +74,12 @@ Status TransactionManager::Commit(Transaction* txn) {
   ODE_RETURN_NOT_OK(store_->CommitTxn(txn->id()));
   locks_->ReleaseAll(txn->id());
   txn->state_ = TxnState::kCommitted;
+  if (traced) {
+    Span s;
+    s.kind = SpanKind::kCommitAck;
+    s.txn = txn->id();
+    tracer_->Instant(std::move(s));
+  }
   if (txn->begin_nanos_ != 0 && commit_latency_->ShouldSample()) {
     commit_latency_->Record(LatencyTimer::NowNanos() - txn->begin_nanos_);
   }
@@ -96,6 +119,13 @@ Status TransactionManager::FinishAbort(Transaction* txn, bool run_pre_hook) {
   ODE_RETURN_NOT_OK(store_->AbortTxn(txn->id()));
   locks_->ReleaseAll(txn->id());
   txn->state_ = TxnState::kAborted;
+  if (tracer_ != nullptr && tracer_->Sampled(txn->id())) {
+    Span s;
+    s.kind = SpanKind::kTxnAbort;
+    s.txn = txn->id();
+    s.detail = txn->abort_reason();
+    tracer_->Instant(std::move(s));
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     outcomes_[txn->id()] = TxnState::kAborted;

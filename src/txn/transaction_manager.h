@@ -9,6 +9,7 @@
 #include "common/metrics.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/tracing.h"
 #include "storage/lock_manager.h"
 #include "storage/storage_manager.h"
 #include "txn/transaction.h"
@@ -74,6 +75,10 @@ class TransactionManager {
   /// accessors below per-instance. Call before the first Begin.
   void BindMetrics(MetricsRegistry* registry);
 
+  /// Points this manager at the owning Database's span tracer: sampled
+  /// transactions get begin / pre-commit / commit-ack / abort spans.
+  void BindTracer(Tracer* tracer) { tracer_ = tracer; }
+
   uint64_t commits() const { return commits_->value(); }
   uint64_t aborts() const { return aborts_->value(); }
 
@@ -96,6 +101,7 @@ class TransactionManager {
   Counter* aborts_ = nullptr;
   Gauge* active_ = nullptr;
   Histogram* commit_latency_ = nullptr;
+  Tracer* tracer_ = nullptr;
 };
 
 }  // namespace ode

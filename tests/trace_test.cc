@@ -1,0 +1,826 @@
+// Span tracer, firing provenance, and flight recorder tests:
+//
+//  - end-to-end timeline of a committed disk transaction (begin, locks,
+//    postings with FSM transitions, WAL append, the shared group-commit
+//    fsync batch, page apply, commit ack) in causal order;
+//  - ExplainFiring reconstructing the paper's relative(a,b,c) perpetual
+//    trigger chain across transactions;
+//  - Chrome trace_event JSON validity (checked by a small recursive-
+//    descent parser) and the flight-recorder dump on a wedged store;
+//  - FaultInjectionEnv crash callbacks;
+//  - concurrent-writer torture for both span rings (run under TSan via
+//    the `trace` ctest label);
+//  - TriggerTraceRing wraparound/drop accounting regression;
+//  - the ODE_LOG_LEVEL parse table;
+//  - Prometheus text exposition conformance of MetricsSnapshot::ToText.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/tracing.h"
+#include "odepp/session.h"
+#include "storage/disk_storage_manager.h"
+#include "storage/fault_injection_env.h"
+#include "trigger/provenance.h"
+#include "trigger/trigger_trace.h"
+
+namespace ode {
+namespace {
+
+// ------------------------------------------------------------ test schema
+
+struct Cell {
+  int32_t count = 0;
+  int32_t fired = 0;
+
+  void Bump() { ++count; }
+
+  void Encode(Encoder& enc) const {
+    enc.PutI32(count);
+    enc.PutI32(fired);
+  }
+  static Result<Cell> Decode(Decoder& dec) {
+    Cell c;
+    ODE_RETURN_NOT_OK(dec.GetI32(&c.count));
+    ODE_RETURN_NOT_OK(dec.GetI32(&c.fired));
+    return c;
+  }
+};
+
+// Declares Cell with the TripleBump perpetual composite trigger — the
+// paper's relative(a, b, c): every third Bump fires the action.
+void DeclareCellSchema(Schema* schema) {
+  schema->DeclareClass<Cell>("Cell")
+      .Event("after Bump")
+      .Method("Bump", &Cell::Bump)
+      .Trigger(
+          "TripleBump", "relative(after Bump, after Bump, after Bump)",
+          [](Cell& c, TriggerFireContext&) -> Status {
+            ++c.fired;
+            return Status::OK();
+          },
+          CouplingMode::kImmediate, /*perpetual=*/true);
+  ASSERT_TRUE(schema->Freeze().ok());
+}
+
+Session::Options TracedOptions() {
+  Session::Options opts;
+  opts.trace_sample_every_n_txns = 1;  // trace every transaction
+  return opts;
+}
+
+size_t IndexOfKind(const std::vector<Span>& spans, SpanKind kind) {
+  for (size_t i = 0; i < spans.size(); ++i) {
+    if (spans[i].kind == kind) return i;
+  }
+  return spans.size();
+}
+
+// ------------------------------------------- minimal JSON validity checker
+
+// Recursive-descent checker for the JSON grammar — enough to prove the
+// exporter's output would load in chrome://tracing / Perfetto.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (Peek() != ':') return false;
+      ++pos_;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool String() {
+    if (Peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      char c = s_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= s_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(s_[pos_]))) {
+              return false;
+            }
+          }
+        } else if (std::string("\"\\/bfnrt").find(e) == std::string::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool Number() {
+    size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Literal(const char* word) {
+    size_t len = std::string(word).size();
+    if (s_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  char Peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+// ------------------------------------------------------- session fixtures
+
+class TraceSessionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/ode_trace_test.db";
+    Cleanup();
+    DeclareCellSchema(&schema_);
+  }
+  void TearDown() override { Cleanup(); }
+
+  void Cleanup() {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".wal").c_str());
+    std::remove((path_ + ".flight.json").c_str());
+  }
+
+  Schema schema_;
+  std::string path_;
+};
+
+TEST_F(TraceSessionTest, DiskCommitTimelineOrdered) {
+  auto session =
+      Session::Open(StorageKind::kDisk, path_, &schema_, TracedOptions());
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  Session* s = session->get();
+
+  PRef<Cell> cell{Oid()};
+  TriggerId trig;
+  ASSERT_TRUE(s->WithTransaction([&](Transaction* txn) -> Status {
+                 ODE_ASSIGN_OR_RETURN(cell, s->New(txn, Cell{}));
+                 ODE_ASSIGN_OR_RETURN(trig,
+                                      s->Activate(txn, cell, "TripleBump"));
+                 return Status::OK();
+               }).ok());
+
+  auto txn = s->Begin();
+  ASSERT_TRUE(txn.ok());
+  const TxnId id = (*txn)->id();
+  ASSERT_TRUE(s->Invoke(*txn, cell, &Cell::Bump).ok());
+  ASSERT_TRUE(s->Commit(*txn).ok());
+
+  std::vector<Span> spans = s->tracer()->TxnSpans(id);
+  ASSERT_FALSE(spans.empty());
+
+  // Sequence numbers are strictly increasing (chronological order).
+  for (size_t i = 1; i < spans.size(); ++i) {
+    EXPECT_LT(spans[i - 1].seq, spans[i].seq);
+  }
+
+  // The full commit pipeline appears, in causal order: begin, the lock
+  // for the bump, the event posting and the FSM move it caused, the
+  // pre-commit stage, WAL append, the group-commit fsync batch the txn
+  // rode, page apply, and the ack.
+  const size_t begin = IndexOfKind(spans, SpanKind::kTxnBegin);
+  const size_t lock = IndexOfKind(spans, SpanKind::kLockAcquire);
+  const size_t posted = IndexOfKind(spans, SpanKind::kEventPosted);
+  const size_t moved = IndexOfKind(spans, SpanKind::kFsmTransition);
+  const size_t pre = IndexOfKind(spans, SpanKind::kPreCommit);
+  const size_t wal = IndexOfKind(spans, SpanKind::kWalAppend);
+  const size_t fsync = IndexOfKind(spans, SpanKind::kFsyncBatch);
+  const size_t apply = IndexOfKind(spans, SpanKind::kPageApply);
+  const size_t ack = IndexOfKind(spans, SpanKind::kCommitAck);
+  ASSERT_LT(begin, spans.size()) << "missing txn-begin";
+  ASSERT_LT(lock, spans.size()) << "missing lock-acquire";
+  ASSERT_LT(posted, spans.size()) << "missing event-posted";
+  ASSERT_LT(moved, spans.size()) << "missing fsm-transition";
+  ASSERT_LT(pre, spans.size()) << "missing pre-commit";
+  ASSERT_LT(wal, spans.size()) << "missing wal-append";
+  ASSERT_LT(fsync, spans.size()) << "missing fsync-batch";
+  ASSERT_LT(apply, spans.size()) << "missing page-apply";
+  ASSERT_LT(ack, spans.size()) << "missing commit-ack";
+  EXPECT_LT(begin, lock);
+  EXPECT_LT(lock, posted);
+  EXPECT_LT(posted, moved);
+  EXPECT_LT(moved, pre);
+  EXPECT_LT(pre, wal);
+  EXPECT_LT(wal, fsync);
+  EXPECT_LT(fsync, apply);
+  EXPECT_LT(apply, ack);
+  EXPECT_EQ(ack + 1, spans.size()) << "commit-ack must be the last span";
+
+  // The fsync span carries the batch ticket: a committed-alone txn rode
+  // a batch of size 1 with a positive ticket id.
+  EXPECT_GE(spans[fsync].b, 1);
+  EXPECT_GT(spans[fsync].a, 0);
+
+  // The FSM transition belongs to the activated trigger and moved the
+  // machine off its start state.
+  EXPECT_EQ(spans[moved].trigger, trig);
+  EXPECT_NE(spans[moved].a, spans[moved].b);
+
+  const std::string timeline = s->DumpTimeline(id);
+  EXPECT_NE(timeline.find("txn-begin"), std::string::npos);
+  EXPECT_NE(timeline.find("fsm-transition"), std::string::npos);
+  EXPECT_NE(timeline.find("wal-append"), std::string::npos);
+  EXPECT_NE(timeline.find("fsync-batch"), std::string::npos);
+  EXPECT_NE(timeline.find("commit-ack"), std::string::npos);
+  // The namer resolves event symbols to their declared names.
+  EXPECT_NE(timeline.find("after Bump"), std::string::npos) << timeline;
+}
+
+TEST_F(TraceSessionTest, UnsampledTransactionRecordsNothing) {
+  Session::Options opts;
+  opts.trace_sample_every_n_txns = 1 << 30;  // sample (nearly) nothing
+  auto session = Session::Open(StorageKind::kMainMemory, "", &schema_, opts);
+  ASSERT_TRUE(session.ok());
+  Session* s = session->get();
+
+  PRef<Cell> cell{Oid()};
+  ASSERT_TRUE(s->WithTransaction([&](Transaction* txn) -> Status {
+                 ODE_ASSIGN_OR_RETURN(cell, s->New(txn, Cell{}));
+                 return s->Activate(txn, cell, "TripleBump").status();
+               }).ok());
+
+  auto txn = s->Begin();
+  ASSERT_TRUE(txn.ok());
+  const TxnId id = (*txn)->id();
+  ASSERT_NE(id & ((1u << 30) - 1), 0u) << "txn id happened to sample";
+  ASSERT_TRUE(s->Invoke(*txn, cell, &Cell::Bump).ok());
+  ASSERT_TRUE(s->Commit(*txn).ok());
+
+  EXPECT_TRUE(s->tracer()->TxnSpans(id).empty());
+  EXPECT_NE(s->DumpTimeline(id).find("no spans recorded"),
+            std::string::npos);
+}
+
+TEST_F(TraceSessionTest, ExplainFiringRelativeChain) {
+  auto session = Session::Open(StorageKind::kMainMemory, "", &schema_,
+                               TracedOptions());
+  ASSERT_TRUE(session.ok());
+  Session* s = session->get();
+
+  PRef<Cell> cell{Oid()};
+  TriggerId trig;
+  ASSERT_TRUE(s->WithTransaction([&](Transaction* txn) -> Status {
+                 ODE_ASSIGN_OR_RETURN(cell, s->New(txn, Cell{}));
+                 ODE_ASSIGN_OR_RETURN(trig,
+                                      s->Activate(txn, cell, "TripleBump"));
+                 return Status::OK();
+               }).ok());
+
+  // An unfired machine with no postings yet has no FSM activity.
+  auto before = s->ExplainFiring(trig);
+  EXPECT_TRUE(!before.ok() && before.status().IsNotFound());
+
+  // Three bumps in three separate transactions drive relative(a,b,c)
+  // to its accept state.
+  std::vector<TxnId> bump_txns;
+  for (int i = 0; i < 3; ++i) {
+    auto txn = s->Begin();
+    ASSERT_TRUE(txn.ok());
+    bump_txns.push_back((*txn)->id());
+    ASSERT_TRUE(s->Invoke(*txn, cell, &Cell::Bump).ok());
+    ASSERT_TRUE(s->Commit(*txn).ok());
+  }
+  ASSERT_TRUE(s->WithTransaction([&](Transaction* txn) -> Status {
+                 ODE_ASSIGN_OR_RETURN(Cell c, s->Load(txn, cell));
+                 EXPECT_EQ(c.count, 3);
+                 EXPECT_EQ(c.fired, 1);
+                 return Status::OK();
+               }).ok());
+
+  auto explained = s->ExplainFiring(trig);
+  ASSERT_TRUE(explained.ok()) << explained.status().ToString();
+  const FiringExplanation& e = explained.value();
+  EXPECT_TRUE(e.fired);
+  EXPECT_EQ(e.trigger, trig);
+  ASSERT_EQ(e.steps.size(), 3u);
+  EXPECT_EQ(e.firing_txn, bump_txns[2]);
+  // The chain is connected: each step starts where the previous ended,
+  // and the last step enters the accept state.
+  for (size_t i = 0; i < e.steps.size(); ++i) {
+    EXPECT_EQ(e.steps[i].txn, bump_txns[i]);
+    EXPECT_NE(e.steps[i].symbol, 0u);
+    if (i > 0) {
+      EXPECT_EQ(e.steps[i].from_state, e.steps[i - 1].to_state);
+    }
+  }
+  EXPECT_EQ(e.steps.back().to_state, e.accept_state);
+  const std::string rendered = e.ToString();
+  EXPECT_NE(rendered.find("FIRED"), std::string::npos) << rendered;
+
+  // relative(a,b,c) is satisfied by history, so its accept state is
+  // absorbing: with the trigger perpetual, every later bump re-fires.
+  // The explanation tracks the latest firing's transaction but still
+  // attributes it to the three events that drove the machine into
+  // accept — there are no new transitions to report.
+  for (int i = 0; i < 3; ++i) {
+    auto txn = s->Begin();
+    ASSERT_TRUE(txn.ok());
+    bump_txns.push_back((*txn)->id());
+    ASSERT_TRUE(s->Invoke(*txn, cell, &Cell::Bump).ok());
+    ASSERT_TRUE(s->Commit(*txn).ok());
+  }
+  auto again = s->ExplainFiring(trig);
+  ASSERT_TRUE(again.ok());
+  ASSERT_EQ(again->steps.size(), 3u);
+  EXPECT_EQ(again->firing_txn, bump_txns[5]);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(again->steps[i].txn, bump_txns[i]);
+  }
+  EXPECT_EQ(again->steps.back().to_state, again->accept_state);
+
+  // A trigger with no recorded FSM activity is NotFound.
+  auto missing = s->ExplainFiring(TriggerId(999999));
+  EXPECT_TRUE(!missing.ok() && missing.status().IsNotFound());
+}
+
+TEST_F(TraceSessionTest, ChromeTraceJsonIsValidAndDumpable) {
+  auto session = Session::Open(StorageKind::kMainMemory, "", &schema_,
+                               TracedOptions());
+  ASSERT_TRUE(session.ok());
+  Session* s = session->get();
+
+  PRef<Cell> cell{Oid()};
+  ASSERT_TRUE(s->WithTransaction([&](Transaction* txn) -> Status {
+                 ODE_ASSIGN_OR_RETURN(cell, s->New(txn, Cell{}));
+                 ODE_RETURN_NOT_OK(
+                     s->Activate(txn, cell, "TripleBump").status());
+                 return s->Invoke(txn, cell, &Cell::Bump);
+               }).ok());
+
+  const std::string json = s->ExportChromeTrace();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json.substr(0, 400);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":"), std::string::npos);
+  EXPECT_NE(json.find("fsm-transition"), std::string::npos);
+
+  // The flight-recorder file form carries its reason and stays valid.
+  const std::string dump_path = path_ + ".flight.json";
+  ASSERT_TRUE(s->tracer()->DumpToFile(dump_path, "test \"dump\"\n"));
+  std::ifstream in(dump_path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string dumped = buffer.str();
+  EXPECT_TRUE(JsonChecker(dumped).Valid()) << dumped.substr(0, 400);
+  EXPECT_NE(dumped.find("odeFlightRecorder"), std::string::npos);
+  EXPECT_EQ(s->MetricsSnapshot().CounterValue(
+                "ode_flight_recorder_dumps_total"),
+            1u);
+}
+
+TEST_F(TraceSessionTest, FlightRecorderDumpsWhenStoreWedges) {
+  FaultInjectionEnv env;
+  DiskStorageManager::Options dopts;
+  dopts.env = &env;
+  auto session = Session::OpenWith(
+      std::make_unique<DiskStorageManager>(path_, dopts), &schema_,
+      TracedOptions());
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  Session* s = session->get();
+
+  PRef<Cell> cell{Oid()};
+  ASSERT_TRUE(s->WithTransaction([&](Transaction* txn) -> Status {
+                 ODE_ASSIGN_OR_RETURN(cell, s->New(txn, Cell{}));
+                 return Status::OK();
+               }).ok());
+
+  // Fail the commit's WAL stage: the store wedges mid-commit, which
+  // must auto-dump the flight recorder. The dump itself uses plain
+  // stdio, so the injected faults cannot block it.
+  SetLogLevel(LogLevel::kSilence);
+  env.FailNextOps(50);
+  auto txn = s->Begin();
+  ASSERT_TRUE(txn.ok());
+  ASSERT_TRUE(s->Invoke(*txn, cell, &Cell::Bump).ok());
+  EXPECT_FALSE(s->Commit(*txn).ok());
+  env.FailNextOps(0);
+  SetLogLevel(LogLevel::kWarn);
+
+  std::ifstream in(path_ + ".flight.json");
+  ASSERT_TRUE(in.good()) << "wedge did not produce a flight-recorder dump";
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string dumped = buffer.str();
+  EXPECT_TRUE(JsonChecker(dumped).Valid());
+  EXPECT_NE(dumped.find("wedged"), std::string::npos);
+  EXPECT_GE(s->MetricsSnapshot().CounterValue(
+                "ode_flight_recorder_dumps_total"),
+            1u);
+}
+
+// ------------------------------------------------ fault crash callbacks
+
+TEST(FaultCrashCallbackTest, FiresOncePerCrashPointOutsideTheMutex) {
+  const std::string path = ::testing::TempDir() + "/ode_cb_test";
+  std::remove(path.c_str());
+  FaultInjectionEnv env;
+  std::vector<std::string> fired;
+  // Calling back into the env here would deadlock if the callback ran
+  // under the env mutex; crashed() taking the lock proves it does not.
+  env.SetCrashCallback([&](const char* what) {
+    EXPECT_TRUE(env.crashed());
+    fired.push_back(what);
+  });
+
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(env.NewWritableFile(path, &file).ok());
+  ASSERT_TRUE(file->Append(Slice("hello", 5)).ok());
+  env.ArmCrashAfterNextSync();
+  ASSERT_TRUE(file->Sync().ok());  // sync succeeds, then the crash trips
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], "post-sync crash");
+
+  // Ops after the crash fail but do not re-fire the callback.
+  EXPECT_FALSE(file->Append(Slice("x", 1)).ok());
+  EXPECT_EQ(fired.size(), 1u);
+
+  // A crash-at-op point reports the op that lost power.
+  env.ResetAfterCrash();
+  env.SetTornWrites(false);
+  env.SetCrashAtOp(env.ops() + 1);
+  EXPECT_FALSE(file->Append(Slice("y", 1)).ok());
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[1], "append");
+  ASSERT_TRUE(file->Close().ok());
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------- concurrent writers (TSan)
+
+TEST(TracerConcurrencyTest, ParallelWritersNoTornSpans) {
+  Tracer::Options topts;
+  topts.span_capacity = 512;
+  topts.sample_every_n_txns = 1;
+  Tracer tracer(topts);
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        Span s;
+        s.kind = SpanKind::kEventPosted;
+        s.txn = static_cast<TxnId>(t + 1);
+        s.a = i;
+        s.b = static_cast<int64_t>(t + 1) * 1000003 + i;  // torn-write canary
+        s.detail = std::to_string(t + 1) + ":" + std::to_string(i);
+        tracer.Instant(std::move(s));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const std::vector<Span> spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 512u);
+  EXPECT_EQ(tracer.total_recorded(), uint64_t{kThreads} * kPerThread);
+  EXPECT_EQ(tracer.total_dropped(), uint64_t{kThreads} * kPerThread - 512);
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const Span& s = spans[i];
+    if (i > 0) {
+      EXPECT_LT(spans[i - 1].seq, s.seq);  // monotone, no duplicates
+    }
+    // Every surviving span is internally consistent — all fields from
+    // the same logical write.
+    EXPECT_EQ(s.b, static_cast<int64_t>(s.txn) * 1000003 + s.a);
+    EXPECT_EQ(s.detail, std::to_string(s.txn) + ":" + std::to_string(s.a));
+  }
+}
+
+TEST(TriggerTraceRingConcurrencyTest, ParallelWritersNoTornEvents) {
+  TriggerTraceRing ring(256);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&ring, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        TraceEvent e;
+        e.kind = TraceEvent::Kind::kEventPosted;
+        e.txn = static_cast<TxnId>(t + 1);
+        e.a = i;
+        e.b = (t + 1) * 100003 + i;  // torn-write canary
+        ring.Record(e);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const std::vector<TraceEvent> events = ring.Events();
+  ASSERT_EQ(events.size(), 256u);
+  EXPECT_EQ(ring.total_recorded(), uint64_t{kThreads} * kPerThread);
+  EXPECT_EQ(ring.total_dropped(), uint64_t{kThreads} * kPerThread - 256);
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    if (i > 0) {
+      EXPECT_LT(events[i - 1].seq, e.seq);
+    }
+    EXPECT_EQ(e.b, static_cast<int32_t>(e.txn) * 100003 + e.a);
+  }
+}
+
+// --------------------------------- trigger trace ring drop accounting
+
+TEST(TriggerTraceRingTest, WraparoundKeepsChronologicalOrder) {
+  TriggerTraceRing ring(4);
+  for (int i = 0; i < 10; ++i) {
+    TraceEvent e;
+    e.a = i;
+    ring.Record(e);
+  }
+  const std::vector<TraceEvent> events = ring.Events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first across the wraparound point: 6, 7, 8, 9.
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].a, static_cast<int32_t>(6 + i));
+    EXPECT_EQ(events[i].seq, 6 + i);
+  }
+}
+
+TEST(TriggerTraceRingTest, DropCounterTracksOverwritesNotClear) {
+  MetricsRegistry registry;
+  TriggerTraceRing ring(4);
+  ring.BindMetrics(&registry);
+  for (int i = 0; i < 10; ++i) {
+    TraceEvent e;
+    e.a = i;
+    ring.Record(e);
+  }
+  EXPECT_EQ(ring.total_recorded(), 10u);
+  EXPECT_EQ(ring.total_dropped(), 6u);
+  EXPECT_EQ(
+      registry.Snapshot().CounterValue("ode_trigger_trace_dropped_total"),
+      6u);
+  std::string dump = ring.Dump();
+  EXPECT_NE(dump.find("4 event(s) shown, 10 recorded (6 dropped)"),
+            std::string::npos)
+      << dump;
+
+  // Regression: after Clear(), surfaced-then-cleared events must not be
+  // re-reported as dropped (the old header computed total - shown).
+  ring.Clear();
+  ring.Record(TraceEvent{});
+  EXPECT_EQ(ring.total_dropped(), 6u);
+  dump = ring.Dump();
+  EXPECT_NE(dump.find("1 event(s) shown, 11 recorded (6 dropped)"),
+            std::string::npos)
+      << dump;
+}
+
+// ----------------------------------------------- ODE_LOG_LEVEL parsing
+
+TEST(LogLevelTest, ParseTable) {
+  EXPECT_EQ(ParseLogLevel("debug"), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("DEBUG"), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("info"), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("Info"), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("warn"), LogLevel::kWarn);
+  EXPECT_EQ(ParseLogLevel("warning"), LogLevel::kWarn);
+  EXPECT_EQ(ParseLogLevel("error"), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevel("ERROR"), LogLevel::kError);
+  // `off` and its aliases map to the silence threshold.
+  EXPECT_EQ(ParseLogLevel("off"), LogLevel::kSilence);
+  EXPECT_EQ(ParseLogLevel("OFF"), LogLevel::kSilence);
+  EXPECT_EQ(ParseLogLevel("none"), LogLevel::kSilence);
+  EXPECT_EQ(ParseLogLevel("silence"), LogLevel::kSilence);
+  // Unrecognized values parse to nothing — the env hook then warns once
+  // and leaves the level unchanged.
+  EXPECT_EQ(ParseLogLevel(""), std::nullopt);
+  EXPECT_EQ(ParseLogLevel("verbose"), std::nullopt);
+  EXPECT_EQ(ParseLogLevel("warn "), std::nullopt);
+  EXPECT_EQ(ParseLogLevel("2"), std::nullopt);
+}
+
+// -------------------------------------- Prometheus exposition conformance
+
+TEST(MetricsTextTest, TypeLineOncePerFamilyWithSeriesGrouped) {
+  MetricsRegistry registry;
+  registry.GetCounter("foo_total{shard=\"a\"}")->Inc(1);
+  registry.GetCounter("foo_total{shard=\"b\"}")->Inc(2);
+  // Sorts BETWEEN "foo_total" and "foo_total{...}" ('{' > 'x'), so naive
+  // sorted emission would split the foo_total family.
+  registry.GetCounter("foo_totalx")->Inc(3);
+
+  const std::string text = registry.Snapshot().ToText();
+  auto count = [&text](const std::string& needle) {
+    size_t n = 0;
+    for (size_t pos = text.find(needle); pos != std::string::npos;
+         pos = text.find(needle, pos + 1)) {
+      ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(count("# TYPE foo_total counter"), 1u) << text;
+  EXPECT_EQ(count("# TYPE foo_totalx counter"), 1u) << text;
+  EXPECT_NE(text.find("foo_total{shard=\"a\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("foo_total{shard=\"b\"} 2\n"), std::string::npos);
+  // Both series sit directly under their family's TYPE line.
+  const size_t type_pos = text.find("# TYPE foo_total counter");
+  const size_t type_x_pos = text.find("# TYPE foo_totalx counter");
+  const size_t series_a = text.find("foo_total{shard=\"a\"}");
+  const size_t series_b = text.find("foo_total{shard=\"b\"}");
+  EXPECT_LT(type_pos, series_a);
+  EXPECT_LT(series_a, series_b);
+  EXPECT_LT(series_b, type_x_pos) << text;
+}
+
+TEST(MetricsTextTest, LabelValuesAreEscaped) {
+  MetricsRegistry registry;
+  // Raw quote, backslash, and newline inside label values.
+  registry.GetCounter("esc_total{path=\"va\"lue\"}")->Inc(4);
+  registry.GetCounter(std::string("esc2_total{p=\"a\nb\\c\"}"))->Inc(5);
+
+  const std::string text = registry.Snapshot().ToText();
+  EXPECT_NE(text.find("esc_total{path=\"va\\\"lue\"} 4\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("esc2_total{p=\"a\\nb\\\\c\"} 5\n"),
+            std::string::npos)
+      << text;
+  // No raw newline may survive inside a series name.
+  const size_t line_start = text.find("esc2_total{");
+  ASSERT_NE(line_start, std::string::npos);
+  const size_t line_end = text.find('\n', line_start);
+  EXPECT_NE(text.substr(line_start, line_end - line_start).find("\\n"),
+            std::string::npos);
+}
+
+TEST(MetricsTextTest, LabeledHistogramFoldsLabelsBeforeLe) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("lat_ns{op=\"put\"}", 1);
+  h->Record(100);
+  h->Record(5000);
+
+  const std::string text = registry.Snapshot().ToText();
+  EXPECT_NE(text.find("# TYPE lat_ns histogram"), std::string::npos) << text;
+  EXPECT_NE(text.find("lat_ns_bucket{op=\"put\",le=\""), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("lat_ns_bucket{op=\"put\",le=\"+Inf\"} 2\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("lat_ns_sum{op=\"put\"} 5100\n"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("lat_ns_count{op=\"put\"} 2\n"), std::string::npos)
+      << text;
+}
+
+// --------------------------------------------------- tracer unit tests
+
+TEST(TracerTest, SamplingGate) {
+  Tracer::Options topts;
+  topts.span_capacity = 16;
+  topts.sample_every_n_txns = 4;
+  Tracer tracer(topts);
+  EXPECT_TRUE(tracer.enabled());
+  EXPECT_EQ(tracer.sample_every(), 4u);
+  EXPECT_TRUE(tracer.Sampled(4));
+  EXPECT_TRUE(tracer.Sampled(8));
+  EXPECT_FALSE(tracer.Sampled(3));
+  EXPECT_FALSE(tracer.Sampled(5));
+
+  // Non-power-of-two rounds up.
+  topts.sample_every_n_txns = 5;
+  tracer.Configure(topts);
+  EXPECT_EQ(tracer.sample_every(), 8u);
+
+  // Capacity 0 disables the tracer entirely.
+  topts.span_capacity = 0;
+  tracer.Configure(topts);
+  EXPECT_FALSE(tracer.enabled());
+  EXPECT_FALSE(tracer.Sampled(0));
+  EXPECT_FALSE(tracer.Sampled(4));
+}
+
+TEST(TracerTest, WraparoundSnapshotStaysChronological) {
+  Tracer::Options topts;
+  topts.span_capacity = 4;
+  topts.sample_every_n_txns = 1;
+  Tracer tracer(topts);
+  for (int i = 0; i < 11; ++i) {
+    Span s;
+    s.kind = SpanKind::kEventPosted;
+    s.a = i;
+    tracer.Instant(std::move(s));
+  }
+  const std::vector<Span> spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  for (size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(spans[i].a, static_cast<int64_t>(7 + i));
+    EXPECT_EQ(spans[i].seq, 7 + i);
+  }
+  EXPECT_EQ(tracer.total_recorded(), 11u);
+  EXPECT_EQ(tracer.total_dropped(), 7u);
+}
+
+}  // namespace
+}  // namespace ode
