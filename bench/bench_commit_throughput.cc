@@ -209,6 +209,97 @@ void EmbedTracingOverheadContext() {
   benchmark::AddCustomContext("tracing_overhead_pct", buf);
 }
 
+/// Same interleaved-rounds rig, but sweeping page checksums instead of
+/// tracing: verify_page_checksums off vs on (the default). CRC32C is
+/// stamped when a frame is written back and verified when a page is
+/// (re)read from the medium, so the rig runs a deliberately small
+/// buffer pool: the allocate stream continuously evicts, making every
+/// round pay the stamp on write-back — with sync off, close to the
+/// worst case per commit. run_bench.sh gates the embedded
+/// `checksum_overhead_pct` at <= 5%.
+struct ChecksumCommitRig {
+  explicit ChecksumCommitRig(bool verify)
+      : path(std::string(kPath) + (verify ? ".ck_on" : ".ck_off")) {
+    Remove();
+    DiskStorageManager::Options options;
+    options.sync_commits = false;
+    options.buffer_pool_pages = 32;
+    options.verify_page_checksums = verify;
+    store = std::make_unique<DiskStorageManager>(path, options);
+    BENCH_CHECK_OK(store->Open());
+  }
+  ~ChecksumCommitRig() {
+    BENCH_CHECK_OK(store->Close());
+    store.reset();
+    Remove();
+  }
+  void Remove() {
+    std::remove(path.c_str());
+    std::remove((path + ".wal").c_str());
+  }
+  double RoundNs(int txns) {
+    const std::string payload(64, 'x');
+    const auto start = std::chrono::steady_clock::now();
+    for (int t = 0; t < txns; ++t) {
+      TxnId txn = next++;
+      BENCH_CHECK_OK(store->BeginTxn(txn));
+      auto oid = store->Allocate(txn, Slice(payload));
+      BENCH_CHECK_OK(oid.status());
+      BENCH_CHECK_OK(store->CommitTxn(txn));
+    }
+    const auto end = std::chrono::steady_clock::now();
+    return static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+            .count());
+  }
+
+  std::string path;
+  std::unique_ptr<DiskStorageManager> store;
+  TxnId next = 1;
+};
+
+void EmbedChecksumOverheadContext() {
+  SetLogLevel(LogLevel::kSilence);
+  constexpr int kRounds = 32;
+  constexpr int kTxnsPerRound = 256;
+  auto median = [](std::vector<double>& v) {
+    std::sort(v.begin(), v.end());
+    return (v.size() % 2) != 0
+               ? v[v.size() / 2]
+               : 0.5 * (v[v.size() / 2 - 1] + v[v.size() / 2]);
+  };
+  std::vector<double> off_ns, on_ns, ratios;
+  {
+    ChecksumCommitRig off_rig(false);
+    ChecksumCommitRig on_rig(true);
+    off_rig.RoundNs(256);  // warmup
+    on_rig.RoundNs(256);
+    for (int r = 0; r < kRounds; ++r) {
+      double o, n;
+      if (r % 2 == 0) {
+        o = off_rig.RoundNs(kTxnsPerRound);
+        n = on_rig.RoundNs(kTxnsPerRound);
+      } else {
+        n = on_rig.RoundNs(kTxnsPerRound);
+        o = off_rig.RoundNs(kTxnsPerRound);
+      }
+      off_ns.push_back(o);
+      on_ns.push_back(n);
+      if (o > 0) ratios.push_back(n / o);
+    }
+  }
+  const double off = median(off_ns) / kTxnsPerRound;
+  const double on = median(on_ns) / kTxnsPerRound;
+  const double pct = ratios.empty() ? 0.0 : (median(ratios) - 1.0) * 100.0;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", pct);
+  benchmark::AddCustomContext("checksum_off_ns_per_commit",
+                              std::to_string(off));
+  benchmark::AddCustomContext("checksum_on_ns_per_commit",
+                              std::to_string(on));
+  benchmark::AddCustomContext("checksum_overhead_pct", buf);
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace ode
@@ -217,6 +308,7 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   ode::bench::EmbedTracingOverheadContext();
+  ode::bench::EmbedChecksumOverheadContext();
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

@@ -8,9 +8,12 @@
 //   * persistent objects with N active triggers: index lookup + N FSM
 //     advances (+ write-back of advanced TriggerStates).
 
+#include <algorithm>
 #include <chrono>
+#include <vector>
 
 #include "bench_common.h"
+#include "storage/disk_storage_manager.h"
 
 namespace ode {
 namespace bench {
@@ -278,6 +281,124 @@ void EmbedTracingOverheadContext() {
   benchmark::AddCustomContext("tracing_overhead_pct", buf);
 }
 
+/// Disk-backed posting harness for the page-checksum gate: the same
+/// 4-active-trigger Counter, but over a DiskStorageManager (sync off,
+/// tracing off) so TriggerState write-backs land on real pages. Each
+/// round ends in a Checkpoint — that is where the checksum work lives:
+/// CRC32C is stamped when dirty frames are written back and verified
+/// when pages are re-read from the medium, so a warm pool with no
+/// flushes would measure nothing.
+struct DiskPostingRig {
+  explicit DiskPostingRig(bool verify)
+      : path(std::string("/tmp/ode_bench_posting.db") +
+             (verify ? ".ck_on" : ".ck_off")) {
+    Remove();
+    DeclareCounter(&schema, /*num_triggers=*/4);
+    BENCH_CHECK_OK(schema.Freeze());
+    DiskStorageManager::Options dopts;
+    dopts.sync_commits = false;
+    dopts.verify_page_checksums = verify;
+    Session::Options options;
+    options.auto_cluster = false;
+    options.trace_span_capacity = 0;  // isolate the checksum delta
+    auto s = Session::OpenWith(
+        std::make_unique<DiskStorageManager>(path, dopts), &schema, options);
+    BENCH_CHECK_OK(s.status());
+    session = std::move(s).value();
+    BENCH_CHECK_OK(session->WithTransaction([&](Transaction* txn) -> Status {
+      auto r = session->New(txn, Counter{});
+      ODE_RETURN_NOT_OK(r.status());
+      counter = *r;
+      for (int i = 0; i < 4; ++i) {
+        ODE_RETURN_NOT_OK(
+            session->Activate(txn, counter, "T" + std::to_string(i))
+                .status());
+      }
+      return Status::OK();
+    }));
+  }
+  ~DiskPostingRig() {
+    session.reset();
+    Remove();
+  }
+  void Remove() {
+    std::remove(path.c_str());
+    std::remove((path + ".wal").c_str());
+    std::remove((path + ".flight.json").c_str());
+  }
+  double RoundNs(int txns, int posts_per_txn) {
+    const auto start = std::chrono::steady_clock::now();
+    for (int t = 0; t < txns; ++t) {
+      BENCH_CHECK_OK(
+          session->WithTransaction([&](Transaction* txn) -> Status {
+            for (int i = 0; i < posts_per_txn; ++i) {
+              ODE_RETURN_NOT_OK(session->Invoke(txn, counter, &Counter::Hit));
+            }
+            return Status::OK();
+          }));
+    }
+    BENCH_CHECK_OK(session->db()->store()->Checkpoint());
+    const auto end = std::chrono::steady_clock::now();
+    return static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+            .count());
+  }
+
+  std::string path;
+  Schema schema;
+  std::unique_ptr<Session> session;
+  PRef<Counter> counter;
+};
+
+/// Measures the disk-backed posting+checkpoint round with page checksums
+/// off vs on (the default) and embeds the delta as
+/// `checksum_overhead_pct` context in BENCH_posting.json. run_bench.sh
+/// fails if the key goes missing; the acceptance gate is <= 5%.
+/// Interleaved rounds + median-of-ratios, as in the commit benchmark's
+/// checksum gate: each time-adjacent pair cancels clock and writeback
+/// drift, and the median shrugs off single-round fsync stalls.
+void EmbedChecksumOverheadContext() {
+  constexpr int kRounds = 16;
+  constexpr int kTxnsPerRound = 8;
+  constexpr int kPostsPerTxn = 128;
+  auto median = [](std::vector<double>& v) {
+    std::sort(v.begin(), v.end());
+    return (v.size() % 2) != 0
+               ? v[v.size() / 2]
+               : 0.5 * (v[v.size() / 2 - 1] + v[v.size() / 2]);
+  };
+  std::vector<double> off_ns, on_ns, ratios;
+  {
+    DiskPostingRig off_rig(false);
+    DiskPostingRig on_rig(true);
+    off_rig.RoundNs(kTxnsPerRound, kPostsPerTxn);  // warmup
+    on_rig.RoundNs(kTxnsPerRound, kPostsPerTxn);
+    for (int r = 0; r < kRounds; ++r) {
+      double o, n;
+      if (r % 2 == 0) {
+        o = off_rig.RoundNs(kTxnsPerRound, kPostsPerTxn);
+        n = on_rig.RoundNs(kTxnsPerRound, kPostsPerTxn);
+      } else {
+        n = on_rig.RoundNs(kTxnsPerRound, kPostsPerTxn);
+        o = off_rig.RoundNs(kTxnsPerRound, kPostsPerTxn);
+      }
+      off_ns.push_back(o);
+      on_ns.push_back(n);
+      if (o > 0) ratios.push_back(n / o);
+    }
+  }
+  constexpr double kPosts = 1.0 * kTxnsPerRound * kPostsPerTxn;
+  const double off = median(off_ns) / kPosts;
+  const double on = median(on_ns) / kPosts;
+  const double pct = ratios.empty() ? 0.0 : (median(ratios) - 1.0) * 100.0;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", pct);
+  benchmark::AddCustomContext("checksum_off_ns_per_post",
+                              std::to_string(off));
+  benchmark::AddCustomContext("checksum_on_ns_per_post", std::to_string(on));
+  benchmark::AddCustomContext("checksum_overhead_pct", buf);
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace ode
@@ -287,6 +408,7 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   ode::bench::EmbedMetricsContext();
   ode::bench::EmbedTracingOverheadContext();
+  ode::bench::EmbedChecksumOverheadContext();
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

@@ -19,6 +19,25 @@ build_dir="${1:-$repo_root/build}"
 out_json="${2:-$repo_root/BENCH_posting.json}"
 commit_json="${3:-$repo_root/BENCH_commit.json}"
 
+# Extracts an embedded `"key": "<number>"` context value from a benchmark
+# JSON and fails if it is missing or exceeds the budget (in percent).
+# Used for the silent-corruption defense gate: page-checksum verification
+# must stay within 5% on both the posting and the commit path.
+check_overhead() {
+  local json="$1" key="$2" limit="$3"
+  local val
+  val="$(sed -n 's/.*"'"$key"'": "\(-\{0,1\}[0-9.]*\)".*/\1/p' "$json" | head -n1)"
+  if [[ -z "$val" ]]; then
+    echo "error: $json is missing embedded metric '$key'" >&2
+    exit 1
+  fi
+  if ! awk -v v="$val" -v lim="$limit" 'BEGIN { exit !(v <= lim) }'; then
+    echo "error: $json: $key = $val% exceeds the ${limit}% budget" >&2
+    exit 1
+  fi
+  echo "$json: $key = $val% (budget ${limit}%)"
+}
+
 bench_bin="$build_dir/bench/bench_posting_overhead"
 if [[ ! -x "$bench_bin" ]]; then
   echo "error: $bench_bin not built (run: cmake -B build -S . && cmake --build build -j)" >&2
@@ -43,6 +62,7 @@ for key in ode_trigger_posts_total ode_trigger_post_latency_p99_ns \
     exit 1
   fi
 done
+check_overhead "$out_json" checksum_overhead_pct 5
 
 echo "wrote $out_json (with embedded registry metrics)"
 
@@ -67,5 +87,6 @@ for key in fsyncs_per_commit fsyncs_saved_total tracing_overhead_pct; do
     exit 1
   fi
 done
+check_overhead "$commit_json" checksum_overhead_pct 5
 
 echo "wrote $commit_json (group-commit throughput + fsync amortization)"

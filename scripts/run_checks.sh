@@ -15,10 +15,11 @@
 #
 # Each sanitizer uses its own build tree (build-asan/, build-tsan/) so the
 # plain tier-1 tree is never reconfigured under it. The sanitizers run the
-# `faults`, `commit`, and `trace` ctest labels: crash torture, fault
-# injection, the group-commit concurrency suites, and the span-tracer
-# concurrent-writer suites (the lock-split in the commit pipeline and the
-# tracer's multi-writer ring are exactly what TSan is there to police).
+# `faults`, `commit`, `trace`, and `scrub` ctest labels: crash torture,
+# fault injection, the group-commit concurrency suites, the span-tracer
+# concurrent-writer suites, and the silent-corruption suites (page
+# validation against hostile slot directories is exactly what ASan is
+# there to police).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -47,7 +48,7 @@ sanitized() {
   local name="$1" flag="$2"
   echo "== ${name}: fault-injection + commit + trace suites under ${flag} =="
   configure_and_build "build-${name}" "-DODE_${name^^}=ON"
-  ctest --test-dir "build-${name}" --output-on-failure -L 'faults|commit|trace'
+  ctest --test-dir "build-${name}" --output-on-failure -L 'faults|commit|trace|scrub'
 }
 
 bench_smoke() {

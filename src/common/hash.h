@@ -14,6 +14,15 @@ uint64_t Hash64(const void* data, size_t size, uint64_t seed = 14695981039346656
 /// such as Oids.
 uint64_t MixU64(uint64_t x);
 
+/// CRC32C (Castagnoli, polynomial 0x1EDC6F41) over a byte range —
+/// the page-checksum algorithm (software slicing-by-4 tables; no CPU
+/// intrinsics). `seed` lets a checksum be computed over disjoint
+/// ranges: pass the previous call's result to continue. Unlike FNV-1a
+/// (Hash64), CRC32C guarantees detection of any single-bit flip and any
+/// burst error up to 32 bits, which is why the storage layer uses it
+/// for media-corruption defense rather than reusing Hash64.
+uint32_t Crc32c(const void* data, size_t size, uint32_t seed = 0);
+
 }  // namespace ode
 
 #endif  // ODE_COMMON_HASH_H_

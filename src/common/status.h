@@ -75,6 +75,7 @@ class Status {
   const std::string& message() const { return message_; }
 
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
   bool IsDeadlock() const { return code_ == StatusCode::kDeadlock; }
   bool IsTransactionAborted() const {
     return code_ == StatusCode::kTransactionAborted;

@@ -41,6 +41,10 @@ const char* SpanKindToString(SpanKind kind) {
       return "commit-ack";
     case SpanKind::kTxnAbort:
       return "txn-abort";
+    case SpanKind::kScrub:
+      return "scrub";
+    case SpanKind::kPageRepair:
+      return "page-repair";
   }
   return "unknown";
 }

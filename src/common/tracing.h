@@ -38,6 +38,9 @@ enum class SpanKind : uint8_t {
   kPageApply,        // workspace pages applied to the store (interval)
   kCommitAck,        // commit acknowledged to the caller
   kTxnAbort,         // transaction rolled back
+  kScrub,            // integrity sweep over the page file (interval;
+                     //   a = pages scanned, b = bad pages found)
+  kPageRepair,       // corrupt page rebuilt from WAL redo (a = page id)
 };
 
 const char* SpanKindToString(SpanKind kind);

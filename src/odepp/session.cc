@@ -52,6 +52,7 @@ Result<std::unique_ptr<Session>> Session::Open(StorageKind kind,
     dopts.group_commit = options.group_commit;
     dopts.commit_batch_max_txns = options.commit_batch_max_txns;
     dopts.commit_batch_max_wait_us = options.commit_batch_max_wait_us;
+    dopts.verify_page_checksums = options.verify_page_checksums;
     return OpenWith(std::make_unique<DiskStorageManager>(path, dopts),
                     schema, options);
   }
@@ -391,6 +392,10 @@ Result<FiringExplanation> Session::ExplainFiring(TriggerId id) const {
 
 std::string Session::ExportChromeTrace() const {
   return db_->tracer()->ToChromeTraceJson();
+}
+
+Result<ScrubReport> Session::VerifyIntegrity() {
+  return db_->store()->VerifyIntegrity();
 }
 
 std::string Session::DumpTrace() const {

@@ -103,6 +103,12 @@ class Session {
     /// join its batch before fsyncing (0 = never wait; batches still
     /// form from committers that queue up behind an in-flight fsync).
     uint32_t commit_batch_max_wait_us = 0;
+    /// Disk databases: stamp a CRC32C on every page written and verify
+    /// it on every page read back from disk (silent-corruption defense;
+    /// see docs/storage.md). Off is a benchmark-only knob, like
+    /// sync_commits: structural validation still runs, but bit rot on
+    /// the medium goes undetected.
+    bool verify_page_checksums = true;
   };
 
   /// Opens a database using the given (frozen) schema.
@@ -172,6 +178,14 @@ class Session {
   /// (saved to a file) in chrome://tracing or https://ui.perfetto.dev.
   /// Tracks are keyed by transaction id.
   std::string ExportChromeTrace() const;
+
+  /// Sweeps the underlying store for silent corruption: verifies every
+  /// page checksum, repairs bad pages from WAL redo where possible, and
+  /// quarantines the rest (see docs/storage.md, "Silent corruption").
+  /// Blocks commits for the duration; a clean() report means every
+  /// committed object is readable and intact. Main-memory databases
+  /// have no durable medium and always report clean.
+  Result<ScrubReport> VerifyIntegrity();
 
   // --- transactions ---
 

@@ -1,5 +1,6 @@
 #include "storage/disk_storage_manager.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 
@@ -18,11 +19,20 @@ constexpr uint16_t kOverflowMarker = 0xffff;  // in a page's slot-count field
 constexpr char kInlineFlag = 0;
 constexpr char kOverflowFlag = 1;
 
-// Overflow page layout offsets (see disk_storage_manager.h).
-constexpr size_t kOvfNextOff = 8;
-constexpr size_t kOvfLenOff = 12;
-constexpr size_t kOvfDataOff = 16;
+// Overflow page layout offsets. Bytes [8..12) hold the page CRC32C
+// (shared with slotted pages — PageChecksum skips that range), so the
+// chain link and length start at 12.
+constexpr size_t kOvfNextOff = 12;
+constexpr size_t kOvfLenOff = 16;
+constexpr size_t kOvfDataOff = 20;
 constexpr size_t kOvfCapacity = kPageSize - kOvfDataOff;
+
+// CRC check over a raw kPageSize buffer (any page flavor).
+bool RawPageChecksumOk(const char* buf) {
+  uint32_t stored;
+  std::memcpy(&stored, buf + 8, 4);
+  return stored == PageChecksum(buf);
+}
 
 Status ReadPageFrom(RandomRWFile* file, const IoRetryPolicy* retry,
                     uint32_t page_id, char* buf) {
@@ -45,8 +55,11 @@ Status WritePageTo(RandomRWFile* file, const IoRetryPolicy* retry,
 // ---------------------------------------------------------------- BufferPool
 
 BufferPool::BufferPool(RandomRWFile* file, size_t capacity,
-                       const IoRetryPolicy* retry)
-    : file_(file), capacity_(capacity == 0 ? 1 : capacity), retry_(retry) {}
+                       const IoRetryPolicy* retry, bool verify_checksums)
+    : file_(file),
+      capacity_(capacity == 0 ? 1 : capacity),
+      retry_(retry),
+      verify_(verify_checksums) {}
 
 BufferPool::Frame* BufferPool::Touch(uint32_t page_id) {
   auto it = index_.find(page_id);
@@ -56,8 +69,9 @@ BufferPool::Frame* BufferPool::Touch(uint32_t page_id) {
   return &frames_.front();
 }
 
-Status BufferPool::WriteFrame(const Frame& frame) {
+Status BufferPool::WriteFrame(Frame& frame) {
   writes_.fetch_add(1, std::memory_order_relaxed);
+  if (verify_) frame.page.UpdateChecksum();
   return WritePageTo(file_, retry_, frame.page_id, frame.page.data());
 }
 
@@ -86,6 +100,26 @@ Status BufferPool::Get(uint32_t page_id, Page** out) {
   reads_.fetch_add(1, std::memory_order_relaxed);
   ODE_RETURN_NOT_OK(
       ReadPageFrom(file_, retry_, page_id, frame.page.mutable_data()));
+  // Verify BEFORE caching: a frame that fails never enters the pool, so
+  // a transient garbage read is not sticky — the next Get re-reads disk.
+  if (verify_) {
+    if (!frame.page.VerifyChecksum()) {
+      return Status::Corruption("page " + std::to_string(page_id) +
+                                ": checksum mismatch");
+    }
+    if (frame.page.page_id() != page_id) {
+      return Status::Corruption("page " + std::to_string(page_id) +
+                                ": stamped id " +
+                                std::to_string(frame.page.page_id()) +
+                                " (misdirected write?)");
+    }
+  }
+  // Structural validation is unconditional — it is what keeps a
+  // malformed slot directory from ever indexing outside the page buffer.
+  // Overflow pages (0xffff in the slot-count field) have no directory.
+  if (frame.page.slot_count() != kOverflowMarker) {
+    ODE_RETURN_NOT_OK(frame.page.ValidateStructure());
+  }
   frames_.push_front(std::move(frame));
   index_[page_id] = frames_.begin();
   *out = &frames_.front().page;
@@ -158,6 +192,10 @@ void DiskStorageManager::BindMetrics(MetricsRegistry* registry) {
   commit_fsyncs_ = registry->GetCounter("ode_commit_fsyncs_total");
   commit_fsyncs_saved_ =
       registry->GetCounter("ode_commit_fsyncs_saved_total");
+  quarantined_gauge_ = registry->GetGauge("ode_quarantined_pages");
+  scrub_pages_ = registry->GetCounter("ode_scrub_pages_total");
+  scrub_repaired_ = registry->GetCounter("ode_scrub_repaired_total");
+  scrub_lost_ = registry->GetCounter("ode_scrub_lost_objects_total");
   // Updated in place: the Wal and BufferPool hold &retry_policy_, so a
   // registry rebind (Database adoption) reaches them without a reopen.
   retry_policy_.retries = registry->GetCounter("ode_io_retries_total");
@@ -226,7 +264,8 @@ Status DiskStorageManager::Open() {
   ODE_ASSIGN_OR_RETURN(uint64_t size, file_->Size());
   pool_ = std::make_unique<BufferPool>(file_.get(),
                                        options_.buffer_pool_pages,
-                                       &retry_policy_);
+                                       &retry_policy_,
+                                       options_.verify_page_checksums);
   wal_ = std::make_unique<Wal>(path_ + ".wal", env_, &retry_policy_);
 
   index_.clear();
@@ -234,11 +273,17 @@ Status DiskStorageManager::Open() {
   free_pages_.clear();
   roots_.clear();
   workspaces_.clear();
+  quarantined_pages_.clear();
+  lost_oids_.clear();
+  quarantine_oids_.clear();
+  unknown_losses_ = false;
+  roots_lost_ = false;
   next_oid_ = 2;
   page_count_ = 1;
   wedged_ = false;
   salvage_ = false;
 
+  bool header_salvaged = false;
   if (size == 0) {
     ODE_RETURN_NOT_OK(WriteHeader());
   } else {
@@ -249,10 +294,26 @@ Status DiskStorageManager::Open() {
     if (magic != kFileMagic) {
       return Status::Corruption("bad file magic in " + path_);
     }
-    std::memcpy(&page_count_, header + 4, 4);
-    uint64_t stored_next_oid;
-    std::memcpy(&stored_next_oid, header + 8, 8);
-    next_oid_.store(stored_next_oid, std::memory_order_relaxed);
+    if (!options_.verify_page_checksums || RawPageChecksumOk(header)) {
+      std::memcpy(&page_count_, header + 4, 4);
+      uint64_t stored_next_oid;
+      std::memcpy(&stored_next_oid, header + 12, 8);
+      next_oid_.store(stored_next_oid, std::memory_order_relaxed);
+    } else {
+      // Header-salvage path: the magic is intact but the header page is
+      // corrupt, so page_count_/next_oid_ cannot be trusted. The page
+      // count is re-derived from the file size (pages are written
+      // whole); next_oid_ is re-derived from the page scan + WAL replay
+      // below. Caveat: if the highest-numbered object was freed, its oid
+      // can be re-minted — the WAL window is the only protection.
+      header_salvaged = true;
+      page_count_ = static_cast<uint32_t>(size / kPageSize);
+      if (page_count_ == 0) page_count_ = 1;
+      ODE_LOG(kError) << "disk store " << path_
+                      << ": file header checksum mismatch; salvaging page "
+                         "count from the file size ("
+                      << page_count_ << " page(s)) and next oid from a scan";
+    }
     ODE_RETURN_NOT_OK(ScanAndRebuild());
   }
   // Load the roots directory (object with reserved oid 1) before WAL
@@ -270,14 +331,38 @@ Status DiskStorageManager::Open() {
       ODE_RETURN_NOT_OK(dec.GetU64(&oid));
       roots_[name] = Oid(oid);
     }
+  } else if (st.code() == StatusCode::kCorruption &&
+             (lost_oids_.count(kRootsOid) != 0 || unknown_losses_ ||
+              !quarantined_pages_.empty())) {
+    // The roots directory itself sat on a corrupt page. WAL replay below
+    // can restore the recently-updated names; anything older is gone, so
+    // every miss in GetRoot must stay suspect.
+    roots_lost_ = true;
+    ODE_LOG(kError) << "disk store " << path_
+                    << ": roots directory lost to a corrupt page; names "
+                       "outside the WAL window are unrecoverable";
   } else if (!st.IsNotFound()) {
     return st;
   }
 
   ODE_RETURN_NOT_OK(wal_->Open());
   ODE_RETURN_NOT_OK(ReplayWal());
+  ReconcileQuarantineLocked();
 
   open_ = true;
+  if (header_salvaged && !salvage_) {
+    // The rewritten header (checkpoint below) makes the salvage stick.
+    ODE_LOG(kWarn) << "disk store " << path_
+                   << ": salvaged header will be rewritten by checkpoint";
+  }
+  if (!quarantined_pages_.empty() || unknown_losses_) {
+    ODE_LOG(kError) << "disk store " << path_ << " opened DEGRADED: "
+                    << quarantined_pages_.size()
+                    << " quarantined page(s), " << lost_oids_.size()
+                    << " known-lost object(s)"
+                    << (unknown_losses_ ? ", losses not fully enumerable"
+                                        : "");
+  }
   if (salvage_) {
     salvage_gauge_->Set(1);
     ODE_LOG(kError) << "disk store " << path_
@@ -332,25 +417,128 @@ Status DiskStorageManager::CheckWritable() const {
 
 Status DiskStorageManager::ScanAndRebuild() {
   uint64_t max_oid = 1;
+  // Healthy overflow pages: id -> (next link, chunk length), collected in
+  // the single pass so chains can be verified without re-reading disk.
+  std::unordered_map<uint32_t, std::pair<uint32_t, uint32_t>> ovf;
+  std::unordered_set<uint32_t> bad_ovf;
+  // Overflow references found in healthy slotted records.
+  struct OvfRef {
+    uint64_t oid;
+    uint32_t first;
+    uint64_t len;
+  };
+  std::vector<OvfRef> ovf_refs;
   for (uint32_t p = 1; p < page_count_; ++p) {
     char buf[kPageSize];
     ODE_RETURN_NOT_OK(ReadPage(p, buf));
+    const bool crc_ok =
+        !options_.verify_page_checksums || RawPageChecksumOk(buf);
     uint16_t slot_count;
     std::memcpy(&slot_count, buf + 4, 2);
-    if (slot_count == kOverflowMarker) continue;  // overflow page, in use
+    if (slot_count == kOverflowMarker) {
+      if (!crc_ok) {
+        // Ownership is resolved by the chain walk below; the walk that
+        // dead-ends here names the lost object.
+        quarantined_pages_.insert(p);
+        bad_ovf.insert(p);
+        continue;
+      }
+      uint32_t next, len;
+      std::memcpy(&next, buf + kOvfNextOff, 4);
+      std::memcpy(&len, buf + kOvfLenOff, 4);
+      ovf[p] = {next, len};
+      continue;
+    }
     Page page;
     page.Load(buf);
+    Status structure = page.ValidateStructure();
+    if (!crc_ok || !structure.ok()) {
+      quarantined_pages_.insert(p);
+      if (structure.ok()) {
+        // CRC failed but the directory still parses: enumerate what
+        // lived here, best-effort — a flipped bit may have landed in an
+        // oid field, which is why AbsentOidStatus stays conservative
+        // while any page is quarantined.
+        std::vector<uint64_t>& named = quarantine_oids_[p];
+        page.ForEach([&](uint16_t, uint64_t oid, Slice) {
+          named.push_back(oid);
+          lost_oids_.insert(oid);
+          // Bumping from an untrusted oid only wastes id space; NOT
+          // bumping could re-mint a real object's id.
+          if (oid > max_oid) max_oid = oid;
+        });
+      } else {
+        unknown_losses_ = true;
+      }
+      ODE_LOG(kError) << "disk store " << path_ << ": page " << p
+                      << " failed verification ("
+                      << (crc_ok ? structure.ToString() : "checksum mismatch")
+                      << "); quarantined pending WAL repair";
+      continue;
+    }
     bool any = false;
-    page.ForEach([&](uint16_t slot, uint64_t oid, Slice) {
+    page.ForEach([&](uint16_t slot, uint64_t oid, Slice payload) {
       index_[oid] = Loc{p, slot};
       if (oid > max_oid) max_oid = oid;
       any = true;
+      if (!payload.empty() && payload[0] == kOverflowFlag) {
+        Decoder dec(Slice(payload.data() + 1, payload.size() - 1));
+        uint32_t first;
+        uint64_t total;
+        if (dec.GetU32(&first).ok() && dec.GetU64(&total).ok()) {
+          ovf_refs.push_back(OvfRef{oid, first, total});
+        }
+      }
     });
     if (any) {
       space_map_[p] = page.FreeSpaceForInsert();
     } else {
       free_pages_.push_back(p);
     }
+  }
+  // Verify every overflow chain end-to-end. A chain that dead-ends in a
+  // quarantined page (or loops, or totals the wrong length) means the
+  // object's committed image is gone: drop its healthy slotted record,
+  // reclaim the surviving chain prefix, and mark it lost — WAL replay
+  // may still resurrect it.
+  for (const OvfRef& ref : ovf_refs) {
+    std::vector<uint32_t> walk;
+    std::unordered_set<uint32_t> seen;
+    uint64_t got = 0;
+    uint32_t bad_page = 0;
+    bool broken = false;
+    uint32_t q = ref.first;
+    while (q != 0) {
+      auto it = ovf.find(q);
+      if (it == ovf.end() || !seen.insert(q).second) {
+        broken = true;
+        if (bad_ovf.count(q) != 0) bad_page = q;
+        break;
+      }
+      walk.push_back(q);
+      got += it->second.second;
+      q = it->second.first;
+    }
+    if (!broken && got != ref.len) broken = true;
+    if (!broken) continue;
+    auto iit = index_.find(ref.oid);
+    if (iit != index_.end()) {
+      Page* pg;
+      ODE_RETURN_NOT_OK(pool_->Get(iit->second.page, &pg));
+      (void)pg->Delete(iit->second.slot);
+      pool_->MarkDirty(iit->second.page);
+      space_map_[iit->second.page] = pg->FreeSpaceForInsert();
+      index_.erase(iit);
+    }
+    for (uint32_t w : walk) {
+      ovf.erase(w);
+      ReleasePage(w);
+    }
+    lost_oids_.insert(ref.oid);
+    if (bad_page != 0) quarantine_oids_[bad_page].push_back(ref.oid);
+    ODE_LOG(kError) << "disk store " << path_ << ": object " << ref.oid
+                    << " lost its overflow chain (first page " << ref.first
+                    << "); marked lost pending WAL repair";
   }
   if (max_oid + 1 > next_oid_) next_oid_ = max_oid + 1;
   return Status::OK();
@@ -409,12 +597,19 @@ Status DiskStorageManager::ReplayWal() {
 }
 
 Status DiskStorageManager::WriteHeader() {
+  // Header layout: magic [0..4), page count [4..8), CRC32C [8..12) —
+  // the same offset every page flavor uses — next oid [12..20).
   char buf[kPageSize];
   std::memset(buf, 0, sizeof(buf));
   std::memcpy(buf, &kFileMagic, 4);
   std::memcpy(buf + 4, &page_count_, 4);
   const uint64_t next_oid = next_oid_.load(std::memory_order_relaxed);
-  std::memcpy(buf + 8, &next_oid, 8);
+  std::memcpy(buf + 12, &next_oid, 8);
+  // Always stamped (one CRC per checkpoint is free) even when the
+  // verify knob is off, so turning verification back on later does not
+  // instantly salvage-open over a stale header checksum.
+  const uint32_t crc = PageChecksum(buf);
+  std::memcpy(buf + 8, &crc, 4);
   return WritePage(0, buf);
 }
 
@@ -519,10 +714,29 @@ Status DiskStorageManager::FreeOverflowChain(uint32_t first_page) {
 
 // -------------------------------------------------- committed-state access
 
+Status DiskStorageManager::AbsentOidStatus(Oid oid) const {
+  if (lost_oids_.count(oid.value()) != 0) {
+    return Status::Corruption("object " + oid.ToString() +
+                              " was lost to a quarantined page");
+  }
+  if (unknown_losses_ || !quarantined_pages_.empty()) {
+    // The lost-object enumeration from a corrupt page cannot be trusted
+    // (the corruption may have hit an oid field), so while anything is
+    // quarantined a miss must not be reported as a clean "never
+    // existed" — that would be exactly the silent wrong answer page
+    // checksums exist to prevent.
+    return Status::Corruption(
+        "object " + oid.ToString() +
+        " not found, but the store is degraded (quarantined pages); it "
+        "may be among the lost");
+  }
+  return Status::NotFound("no object " + oid.ToString());
+}
+
 Status DiskStorageManager::ReadCommitted(Oid oid, std::vector<char>* out) {
   auto it = index_.find(oid.value());
   if (it == index_.end()) {
-    return Status::NotFound("no object " + oid.ToString());
+    return AbsentOidStatus(oid);
   }
   Page* page;
   ODE_RETURN_NOT_OK(pool_->Get(it->second.page, &page));
@@ -586,6 +800,9 @@ Status DiskStorageManager::InsertRecord(Oid oid, Slice image) {
 }
 
 Status DiskStorageManager::ApplyUpsert(Oid oid, Slice image) {
+  // A committed upsert of a lost object IS its repair: the WAL replay
+  // (or a fresh application-level write) supersedes the unreadable page.
+  lost_oids_.erase(oid.value());
   auto it = index_.find(oid.value());
   if (it == index_.end()) {
     return InsertRecord(oid, image);
@@ -636,6 +853,9 @@ Status DiskStorageManager::ApplyUpsert(Oid oid, Slice image) {
 Status DiskStorageManager::ApplyFree(Oid oid) {
   auto it = index_.find(oid.value());
   if (it == index_.end()) {
+    // Freeing a lost object resolves it: the caller (WAL replay or an
+    // application explicitly dropping the casualty) declared it gone.
+    if (lost_oids_.erase(oid.value()) > 0) return Status::OK();
     return Status::NotFound("no object " + oid.ToString());
   }
   Loc loc = it->second;
@@ -733,8 +953,11 @@ Status DiskStorageManager::Write(TxnId txn, Oid oid, Slice data) {
   }
   {
     std::shared_lock<std::shared_mutex> state(state_mu_);
-    if (index_.find(oid.value()) == index_.end()) {
-      return Status::NotFound("no object " + oid.ToString());
+    if (index_.find(oid.value()) == index_.end() &&
+        lost_oids_.count(oid.value()) == 0) {
+      // A known-lost oid stays writable: committing a fresh image is the
+      // application-level repair path.
+      return AbsentOidStatus(oid);
     }
   }
   Workspace::Entry entry;
@@ -758,8 +981,11 @@ Status DiskStorageManager::Free(TxnId txn, Oid oid) {
   }
   {
     std::shared_lock<std::shared_mutex> state(state_mu_);
-    if (index_.find(oid.value()) == index_.end()) {
-      return Status::NotFound("no object " + oid.ToString());
+    if (index_.find(oid.value()) == index_.end() &&
+        lost_oids_.count(oid.value()) == 0) {
+      // Freeing a known-lost oid is allowed too: it lets the
+      // application explicitly discard the casualty.
+      return AbsentOidStatus(oid);
     }
   }
   Workspace::Entry entry;
@@ -774,7 +1000,10 @@ bool DiskStorageManager::Exists(TxnId txn, Oid oid) {
     if (it != ws->entries.end()) return !it->second.freed;
   }
   std::shared_lock<std::shared_mutex> state(state_mu_);
-  return index_.find(oid.value()) != index_.end();
+  // A lost object still exists — it is unreadable, not absent. Reads of
+  // it fail with kCorruption rather than pretending it was never there.
+  return index_.find(oid.value()) != index_.end() ||
+         lost_oids_.count(oid.value()) != 0;
 }
 
 Status DiskStorageManager::SetRoot(TxnId txn, const std::string& name,
@@ -797,7 +1026,15 @@ Result<Oid> DiskStorageManager::GetRoot(TxnId txn, const std::string& name) {
   }
   std::shared_lock<std::shared_mutex> state(state_mu_);
   auto it = roots_.find(name);
-  if (it == roots_.end()) return Status::NotFound("no root '" + name + "'");
+  if (it == roots_.end()) {
+    if (roots_lost_) {
+      return Status::Corruption(
+          "root '" + name +
+          "' not found, but the roots directory was lost to a corrupt "
+          "page; the name may be among the casualties");
+    }
+    return Status::NotFound("no root '" + name + "'");
+  }
   return it->second;
 }
 
@@ -1138,9 +1375,29 @@ void DiskStorageManager::SimulateCrash() {
   wal_.reset();
   file_.reset();
   workspaces_.clear();
+  quarantined_pages_.clear();
+  lost_oids_.clear();
+  quarantine_oids_.clear();
+  unknown_losses_ = false;
+  roots_lost_ = false;
   wedged_ = false;
   salvage_ = false;
   open_ = false;
+}
+
+bool DiskStorageManager::degraded() const {
+  std::shared_lock<std::shared_mutex> state(state_mu_);
+  return !quarantined_pages_.empty() || unknown_losses_;
+}
+
+std::vector<Oid> DiskStorageManager::LostObjects() const {
+  std::shared_lock<std::shared_mutex> state(state_mu_);
+  std::vector<Oid> out;
+  out.reserve(lost_oids_.size());
+  for (uint64_t oid : lost_oids_) out.emplace_back(oid);
+  std::sort(out.begin(), out.end(),
+            [](Oid a, Oid b) { return a.value() < b.value(); });
+  return out;
 }
 
 bool DiskStorageManager::salvage_mode() const {
@@ -1149,6 +1406,270 @@ bool DiskStorageManager::salvage_mode() const {
 
 bool DiskStorageManager::wedged() const {
   return wedged_.load(std::memory_order_acquire);
+}
+
+void DiskStorageManager::ReformatCorruptPage(uint32_t page_id) {
+  space_map_.erase(page_id);
+  pool_->Discard(page_id);
+  Page* frame;
+  Status st = pool_->Create(page_id, &frame);
+  if (!st.ok()) {
+    ODE_LOG(kError) << "reformat of corrupt page " << page_id
+                    << " failed: " << st.ToString();
+    return;
+  }
+  // The page may already be on the free list (a corrupted free page is
+  // "repaired" by the reformat alone).
+  if (std::find(free_pages_.begin(), free_pages_.end(), page_id) ==
+      free_pages_.end()) {
+    free_pages_.push_back(page_id);
+  }
+}
+
+void DiskStorageManager::ReconcileQuarantineLocked() {
+  for (auto it = quarantine_oids_.begin(); it != quarantine_oids_.end();) {
+    bool resolved = true;
+    for (uint64_t oid : it->second) {
+      if (lost_oids_.count(oid) != 0) {
+        resolved = false;
+        break;
+      }
+    }
+    if (!resolved) {
+      ++it;
+      continue;
+    }
+    // Every object enumerated from this page has been re-homed by WAL
+    // redo (or explicitly freed): nothing committed lives here anymore,
+    // so the page can rejoin the free list.
+    ReformatCorruptPage(it->first);
+    quarantined_pages_.erase(it->first);
+    scrub_repaired_->Inc();
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      Span s;
+      s.kind = SpanKind::kPageRepair;
+      s.a = static_cast<int64_t>(it->first);
+      tracer_->Instant(std::move(s));
+    }
+    ODE_LOG(kWarn) << "disk store " << path_ << ": quarantined page "
+                   << it->first << " fully repaired from WAL redo";
+    it = quarantine_oids_.erase(it);
+  }
+  quarantined_gauge_->Set(
+      static_cast<int64_t>(quarantined_pages_.size()));
+}
+
+Result<ScrubReport> DiskStorageManager::VerifyIntegrity() {
+  std::unique_lock<std::mutex> commit_lock(commit_mu_);
+  if (!open_.load(std::memory_order_acquire)) {
+    return Status::Internal("disk store not open");
+  }
+  if (wedged_.load(std::memory_order_acquire)) {
+    return Status::IOError(
+        "disk store wedged by a mid-commit I/O failure; reopen to recover");
+  }
+  DrainCommitPipelineLocked();
+  std::unique_lock<std::shared_mutex> state(state_mu_);
+  const uint64_t scrub_start = LatencyTimer::NowNanos();
+  // In salvage mode the WAL is the only trustworthy copy of recent
+  // history and the data file must not be mutated: scan and quarantine
+  // only, never rewrite.
+  const bool read_only = salvage_.load(std::memory_order_acquire);
+
+  ScrubReport report;
+  // Stamp and flush dirty frames first, so the raw sweep compares the
+  // medium against current state instead of flagging pages that are
+  // simply newer in memory.
+  if (!read_only) ODE_RETURN_NOT_OK(pool_->FlushAll());
+
+  // Pass 1: sweep the medium for pages that fail checksum or structural
+  // verification. Corrupt frames are discarded from the pool so nothing
+  // downstream serves the stale copy.
+  std::unordered_set<uint32_t> bad;
+  for (uint32_t p = 1; p < page_count_; ++p) {
+    if (quarantined_pages_.count(p) != 0) continue;  // already known bad
+    char buf[kPageSize];
+    ODE_RETURN_NOT_OK(ReadPage(p, buf));
+    ++report.pages_scanned;
+    scrub_pages_->Inc();
+    bool ok = !options_.verify_page_checksums || RawPageChecksumOk(buf);
+    if (ok) {
+      uint16_t slot_count;
+      std::memcpy(&slot_count, buf + 4, 2);
+      if (slot_count != kOverflowMarker) {
+        Page pg;
+        pg.Load(buf);
+        ok = pg.ValidateStructure().ok();
+      }
+    }
+    if (!ok) {
+      bad.insert(p);
+      ++report.bad_pages;
+      pool_->Discard(p);
+      // Pull the page out of the allocation structures immediately: the
+      // repair path below re-homes victim images via ApplyUpsert, which
+      // must never place them on a still-corrupt page. Repaired pages
+      // rejoin the free list when ReformatCorruptPage runs.
+      space_map_.erase(p);
+      free_pages_.erase(std::remove(free_pages_.begin(), free_pages_.end(),
+                                    static_cast<uint32_t>(p)),
+                        free_pages_.end());
+    }
+  }
+
+  if (!bad.empty()) {
+    // Attribute each bad page to the committed objects it carries. At
+    // runtime the oid index is authoritative, so — unlike the open-time
+    // scan — this enumeration is exact and losses are never "unknown".
+    struct Victim {
+      uint64_t oid = 0;
+      uint32_t home_page = 0;
+      uint16_t slot = 0;
+      bool home_bad = false;               // slotted record itself gone
+      std::vector<uint32_t> chain_healthy; // reclaimable chain prefix
+    };
+    std::unordered_map<uint32_t, std::vector<Victim>> affected;
+    for (const auto& [oid, loc] : index_) {
+      if (bad.count(loc.page) != 0) {
+        affected[loc.page].push_back(
+            Victim{oid, loc.page, loc.slot, /*home_bad=*/true, {}});
+        continue;
+      }
+      Page* pg;
+      ODE_RETURN_NOT_OK(pool_->Get(loc.page, &pg));
+      uint64_t stored_oid;
+      std::vector<char> payload;
+      ODE_RETURN_NOT_OK(pg->Read(loc.slot, &stored_oid, &payload));
+      if (payload.empty() || payload[0] != kOverflowFlag) continue;
+      Decoder dec(Slice(payload.data() + 1, payload.size() - 1));
+      uint32_t q;
+      uint64_t total;
+      ODE_RETURN_NOT_OK(dec.GetU32(&q));
+      ODE_RETURN_NOT_OK(dec.GetU64(&total));
+      // Walk the chain raw; a bad link attributes the object to that
+      // page and ends the walk (pages past it are unreachable anyway).
+      Victim v{oid, loc.page, loc.slot, /*home_bad=*/false, {}};
+      std::unordered_set<uint32_t> seen;
+      uint32_t bad_link = 0;
+      while (q != 0 && q < page_count_ && seen.insert(q).second) {
+        if (bad.count(q) != 0) {
+          bad_link = q;
+          break;
+        }
+        v.chain_healthy.push_back(q);
+        char link[kPageSize];
+        ODE_RETURN_NOT_OK(ReadPage(q, link));
+        std::memcpy(&q, link + kOvfNextOff, 4);
+      }
+      if (bad_link != 0) affected[bad_link].push_back(std::move(v));
+    }
+
+    // Last committed image per oid still covered by the log. Empty after
+    // a checkpoint truncated it — then nothing is repairable.
+    std::unordered_map<uint64_t, const WalRecord*> redo;
+    std::vector<WalRecord> records;
+    Status wal_status = wal_->ReadAll(&records);
+    if (wal_status.ok()) {
+      std::unordered_map<TxnId, bool> committed;
+      for (const WalRecord& r : records) {
+        if (r.type == WalRecord::Type::kCommit) committed[r.txn] = true;
+      }
+      for (const WalRecord& r : records) {
+        if (!committed.count(r.txn)) continue;
+        if (r.type == WalRecord::Type::kUpsert) {
+          redo[r.oid.value()] = &r;
+        } else if (r.type == WalRecord::Type::kFree) {
+          redo.erase(r.oid.value());
+        }
+      }
+    }
+
+    for (uint32_t p : bad) {
+      std::vector<Victim> victims;
+      auto ait = affected.find(p);
+      if (ait != affected.end()) victims = std::move(ait->second);
+      bool all_repaired = true;
+      std::vector<uint64_t> named;
+      for (Victim& v : victims) {
+        named.push_back(v.oid);
+        if (!read_only) {
+          // Detach the casualty: drop its healthy slotted record (the
+          // chain behind it is gone), reclaim the surviving chain
+          // prefix, and unhook it from the index.
+          if (!v.home_bad) {
+            Page* pg;
+            ODE_RETURN_NOT_OK(pool_->Get(v.home_page, &pg));
+            (void)pg->Delete(v.slot);
+            pool_->MarkDirty(v.home_page);
+            space_map_[v.home_page] = pg->FreeSpaceForInsert();
+          }
+          for (uint32_t w : v.chain_healthy) ReleasePage(w);
+        }
+        index_.erase(v.oid);
+        auto rit = redo.find(v.oid);
+        if (!read_only && rit != redo.end()) {
+          // WAL redo still covers this object: reinsert its last
+          // committed image on a healthy page.
+          ODE_RETURN_NOT_OK(ApplyUpsert(Oid(v.oid), Slice(rit->second->image)));
+          if (tracer_ != nullptr && tracer_->enabled()) {
+            Span s;
+            s.kind = SpanKind::kPageRepair;
+            s.a = static_cast<int64_t>(p);
+            tracer_->Instant(std::move(s));
+          }
+        } else {
+          all_repaired = false;
+          lost_oids_.insert(v.oid);
+          scrub_lost_->Inc();
+          ODE_LOG(kError) << "disk store " << path_ << ": object " << v.oid
+                          << " on corrupt page " << p
+                          << " is not covered by the WAL; marked lost";
+        }
+      }
+      if (all_repaired && !read_only) {
+        // Every object re-homed (or the page carried none — a free or
+        // orphaned page): reformat it and put it back in service.
+        ReformatCorruptPage(p);
+        ++report.repaired_pages;
+        scrub_repaired_->Inc();
+        ODE_LOG(kWarn) << "disk store " << path_ << ": corrupt page " << p
+                       << " repaired"
+                       << (victims.empty() ? " (no committed objects on it)"
+                                           : " from WAL redo");
+      } else {
+        quarantined_pages_.insert(p);
+        quarantine_oids_[p] = std::move(named);
+        space_map_.erase(p);
+        free_pages_.erase(
+            std::remove(free_pages_.begin(), free_pages_.end(), p),
+            free_pages_.end());
+      }
+    }
+    // Make the repairs durable now: a later checkpoint truncates the WAL
+    // images they came from.
+    if (!read_only) {
+      ODE_RETURN_NOT_OK(pool_->FlushAll());
+      ODE_RETURN_NOT_OK(RetryIo(&retry_policy_, "data file sync",
+                                [&] { return file_->Sync(); }));
+    }
+  }
+
+  report.quarantined_pages = quarantined_pages_.size();
+  report.unknown_losses = unknown_losses_;
+  std::vector<uint64_t> lost(lost_oids_.begin(), lost_oids_.end());
+  std::sort(lost.begin(), lost.end());
+  report.lost_oids.reserve(lost.size());
+  for (uint64_t oid : lost) report.lost_oids.emplace_back(oid);
+  quarantined_gauge_->Set(
+      static_cast<int64_t>(quarantined_pages_.size()));
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    Span s;
+    s.kind = SpanKind::kScrub;
+    s.a = static_cast<int64_t>(report.pages_scanned);
+    s.b = static_cast<int64_t>(report.bad_pages);
+    tracer_->Interval(std::move(s), scrub_start, LatencyTimer::NowNanos());
+  }
+  return report;
 }
 
 Status DiskStorageManager::CheckpointLocked() {

@@ -11,6 +11,7 @@
 #include <shared_mutex>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/metrics.h"
@@ -28,10 +29,19 @@ namespace ode {
 /// access. Page I/O goes through the given RandomRWFile (and optional
 /// transient-error retry policy), so a FaultInjectionEnv sees every read
 /// and write-back.
+///
+/// Corruption defense: with `verify_checksums` on, every frame read from
+/// disk has its CRC32C verified (and its page id cross-checked against
+/// the requested id), and every write-back restamps the checksum. A page
+/// that fails verification — or whose slot directory fails structural
+/// validation, which is checked unconditionally — is NOT cached: Get
+/// returns kCorruption and leaves the pool untouched, so a transient
+/// garbage read cannot poison the pool and a retry sees the real bytes.
 class BufferPool {
  public:
   BufferPool(RandomRWFile* file, size_t capacity,
-             const IoRetryPolicy* retry = nullptr);
+             const IoRetryPolicy* retry = nullptr,
+             bool verify_checksums = true);
 
   /// Returns the frame for `page_id`, reading it from disk on a miss.
   Status Get(uint32_t page_id, Page** out);
@@ -59,7 +69,9 @@ class BufferPool {
     Page page;
   };
 
-  Status WriteFrame(const Frame& frame);
+  /// Restamps the frame's checksum (when verification is on) and writes
+  /// it back.
+  Status WriteFrame(Frame& frame);
   Status EvictIfFull();
   // Moves the frame to MRU position and returns it.
   Frame* Touch(uint32_t page_id);
@@ -67,6 +79,7 @@ class BufferPool {
   RandomRWFile* file_;
   size_t capacity_;
   const IoRetryPolicy* retry_;
+  bool verify_;
   // MRU at front.
   std::list<Frame> frames_;
   std::unordered_map<uint32_t, std::list<Frame>::iterator> index_;
@@ -130,6 +143,11 @@ class DiskStorageManager final : public StorageManager {
     /// form naturally from committers that queue up behind an in-flight
     /// fsync). Mostly a test/benchmark knob.
     uint32_t commit_batch_max_wait_us = 0;
+    /// If false, skip stamping AND verifying page CRC32Cs (benchmarks
+    /// only, like sync_commits=false: a store written this way carries
+    /// stale checksums and will fail a later verifying open).
+    /// Slot-directory structural validation stays on regardless.
+    bool verify_page_checksums = true;
   };
 
   explicit DiskStorageManager(std::string path)
@@ -170,6 +188,23 @@ class DiskStorageManager final : public StorageManager {
   /// True after a mid-commit I/O failure left pages and WAL possibly
   /// disagreeing; reopen to recover.
   bool wedged() const;
+
+  /// Scrub pass: verifies every page's checksum + structure, repairs
+  /// corrupt pages whose objects the WAL still covers, quarantines the
+  /// rest. Drains the commit pipeline and holds the state lock exclusive
+  /// for the sweep. See StorageManager::VerifyIntegrity.
+  Result<ScrubReport> VerifyIntegrity() override;
+
+  /// True while any page is quarantined (or losses are unenumerable):
+  /// the store serves intact objects normally, refuses reads of lost
+  /// ones with kCorruption, and — because the lost-object enumeration
+  /// from a corrupt page is best-effort — reports kCorruption instead
+  /// of kNotFound for ANY absent oid.
+  bool degraded() const;
+
+  /// Oids known lost to quarantined pages (best-effort when degraded()
+  /// came from an open-time scan; exact for a runtime scrub).
+  std::vector<Oid> LostObjects() const;
 
   StorageStats stats() const override;
 
@@ -241,6 +276,16 @@ class DiskStorageManager final : public StorageManager {
   Status ReplayWal();
   Status WriteHeader();
   Status CheckpointLocked();
+  /// What a lookup miss means: kNotFound normally, kCorruption for a
+  /// known-lost oid or while the store is degraded (the lost-object list
+  /// is best-effort, so any miss is suspect). Caller holds state_mu_.
+  Status AbsentOidStatus(Oid oid) const;
+  /// Post-replay: releases quarantined pages whose every enumerated
+  /// object was resolved (repaired by WAL redo or explicitly freed).
+  void ReconcileQuarantineLocked();
+  /// Reformats a corrupt page as empty and returns it to the free list
+  /// (dropping any stale pool frame / space-map entry first).
+  void ReformatCorruptPage(uint32_t page_id);
 
   std::string path_;
   Options options_;
@@ -296,6 +341,24 @@ class DiskStorageManager final : public StorageManager {
   std::map<uint32_t, size_t> space_map_;  // slotted page -> free bytes
   std::vector<uint32_t> free_pages_;
   std::map<std::string, Oid> roots_;
+  // --- silent-corruption quarantine (under state_mu_) ---
+  // Pages whose checksum/structure failed and which WAL redo could not
+  // repair. Never allocated from, never read through the pool.
+  std::unordered_set<uint32_t> quarantined_pages_;
+  // Objects whose committed image lived on a quarantined page
+  // (best-effort enumeration; see AbsentOidStatus).
+  std::unordered_set<uint64_t> lost_oids_;
+  // Quarantined page -> the oids enumerated from it, kept so a later
+  // repair of all of them lets ReconcileQuarantineLocked free the page.
+  // Pages too mangled to enumerate have no entry (and set
+  // unknown_losses_ instead).
+  std::unordered_map<uint32_t, std::vector<uint64_t>> quarantine_oids_;
+  // A quarantined page could not be parsed at all, so lost_oids_ may be
+  // incomplete. Sticky until a clean reopen.
+  bool unknown_losses_ = false;
+  // The roots directory object (oid 1) was lost: name lookups that miss
+  // return kCorruption, since the mapping may simply be unreadable.
+  bool roots_lost_ = false;
   std::unordered_map<TxnId, Workspace> workspaces_;  // under ws_mu_
   // oid 1 is reserved for the roots directory. Atomic so Allocate can
   // mint oids without touching any state lock.
@@ -314,7 +377,11 @@ class DiskStorageManager final : public StorageManager {
   Counter* wal_records_ = nullptr;
   Counter* commit_fsyncs_ = nullptr;
   Counter* commit_fsyncs_saved_ = nullptr;
+  Counter* scrub_pages_ = nullptr;
+  Counter* scrub_repaired_ = nullptr;
+  Counter* scrub_lost_ = nullptr;
   Gauge* salvage_gauge_ = nullptr;
+  Gauge* quarantined_gauge_ = nullptr;
   Histogram* read_latency_ = nullptr;
   Histogram* write_latency_ = nullptr;
   Histogram* wal_append_latency_ = nullptr;

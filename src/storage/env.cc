@@ -74,21 +74,41 @@ class PosixRandomRWFile final : public RandomRWFile {
 
   Status ReadAt(uint64_t offset, size_t n, char* scratch) override {
     if (fd_ < 0) return Status::Internal("file closed");
-    ssize_t got = pread(fd_, scratch, n, static_cast<off_t>(offset));
-    if (got != static_cast<ssize_t>(n)) {
-      return Status::IOError("short pread at offset " +
-                             std::to_string(offset));
+    // pread may legally return short (page cache pressure, NFS, signals);
+    // a short transfer is resumed where it stopped and EINTR is retried —
+    // neither is an I/O error. Only got == 0 before `n` bytes (true EOF)
+    // and real errno failures surface.
+    size_t done = 0;
+    while (done < n) {
+      ssize_t got = pread(fd_, scratch + done, n - done,
+                          static_cast<off_t>(offset + done));
+      if (got < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError(ErrnoMessage("pread at offset " +
+                                            std::to_string(offset + done)));
+      }
+      if (got == 0) {
+        return Status::IOError("short pread at offset " +
+                               std::to_string(offset + done) +
+                               " (unexpected EOF)");
+      }
+      done += static_cast<size_t>(got);
     }
     return Status::OK();
   }
 
   Status WriteAt(uint64_t offset, Slice data) override {
     if (fd_ < 0) return Status::Internal("file closed");
-    ssize_t put =
-        pwrite(fd_, data.data(), data.size(), static_cast<off_t>(offset));
-    if (put != static_cast<ssize_t>(data.size())) {
-      return Status::IOError(ErrnoMessage("short pwrite at offset " +
-                                          std::to_string(offset)));
+    size_t done = 0;
+    while (done < data.size()) {
+      ssize_t put = pwrite(fd_, data.data() + done, data.size() - done,
+                           static_cast<off_t>(offset + done));
+      if (put < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError(ErrnoMessage("pwrite at offset " +
+                                            std::to_string(offset + done)));
+      }
+      done += static_cast<size_t>(put);
     }
     return Status::OK();
   }

@@ -34,8 +34,9 @@ class RandomRWFile {
  public:
   virtual ~RandomRWFile() = default;
 
-  /// Reads exactly `n` bytes at `offset` into `scratch`; IOError on a
-  /// short read.
+  /// Reads exactly `n` bytes at `offset` into `scratch`. Implementations
+  /// retry EINTR and resume short transfers; IOError only on a real error
+  /// or end-of-file before `n` bytes.
   virtual Status ReadAt(uint64_t offset, size_t n, char* scratch) = 0;
   virtual Status WriteAt(uint64_t offset, Slice data) = 0;
   virtual Status Sync() = 0;

@@ -169,13 +169,33 @@ Status FaultInjectionEnv::DoWritableSync(const std::string& path,
 Status FaultInjectionEnv::DoReadAt(RandomRWFile* base, uint64_t offset,
                                    size_t n, char* scratch) {
   Status st;
+  uint64_t garbage_seed = 0;
+  bool garbage = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     st = BeginReadOp("read");
+    if (st.ok() && garbage_read_p_ > 0.0 &&
+        garbage_rng_.Bernoulli(garbage_read_p_)) {
+      garbage = true;
+      garbage_seed = garbage_rng_.Next();
+      CountFaultLocked();
+    }
   }
   FireCrashCallbackIfPending();
   ODE_RETURN_NOT_OK(st);
-  return base->ReadAt(offset, n, scratch);
+  ODE_RETURN_NOT_OK(base->ReadAt(offset, n, scratch));
+  if (garbage) {
+    // The read "succeeds" but hands back scrambled bytes — a misdirected
+    // or garbage read the drive did not flag. The on-disk file is intact;
+    // only this transfer is wrong, so a checksum-verifying caller that
+    // refuses to cache the frame will see good data on retry.
+    Random scramble(garbage_seed);
+    for (size_t i = 0; i < n; ++i) {
+      scratch[i] = static_cast<char>(scratch[i] ^
+                                     static_cast<char>(scramble.Next() | 1));
+    }
+  }
+  return Status::OK();
 }
 
 Status FaultInjectionEnv::DoWriteAt(const std::string& path,
@@ -346,6 +366,34 @@ void FaultInjectionEnv::SetTransientFaultProbability(double p,
   std::lock_guard<std::mutex> lock(mu_);
   transient_p_ = p;
   rng_ = Random(seed);
+}
+
+Status FaultInjectionEnv::FlipBitAt(const std::string& path, uint64_t offset,
+                                    uint32_t bit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Result<uint64_t> size = base_->GetFileSize(path);
+  ODE_RETURN_NOT_OK(size.status());
+  if (offset >= size.value()) {
+    return Status::InvalidArgument("bit-flip offset past end of " + path);
+  }
+  // Read-modify-write one byte through the base env: the flip lands on
+  // the "platter", invisible to the durability bookkeeping, exactly like
+  // a decay the drive never reported.
+  std::unique_ptr<RandomRWFile> file;
+  ODE_RETURN_NOT_OK(base_->NewRandomRWFile(path, &file));
+  char byte;
+  ODE_RETURN_NOT_OK(file->ReadAt(offset, 1, &byte));
+  byte = static_cast<char>(byte ^ (1u << (bit & 7)));
+  ODE_RETURN_NOT_OK(file->WriteAt(offset, Slice(&byte, 1)));
+  ODE_RETURN_NOT_OK(file->Close());
+  CountFaultLocked();
+  return Status::OK();
+}
+
+void FaultInjectionEnv::SetGarbageReadProbability(double p, uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  garbage_read_p_ = p;
+  garbage_rng_ = Random(seed);
 }
 
 void FaultInjectionEnv::SetCrashCallback(

@@ -81,6 +81,19 @@ class FaultInjectionEnv final : public Env {
   /// Every faultable op fails with probability `p` (0 disables).
   void SetTransientFaultProbability(double p, uint64_t seed);
 
+  /// Silent-corruption injection: flips one bit of the on-disk file at
+  /// `path` (byte `offset`, bit 0-7), writing through the base env so the
+  /// flip persists across reopen — the model of a medium/firmware error
+  /// the drive did not report. Counted as an injected fault. Unlike the
+  /// crash controls this leaves the env fully operational: the whole
+  /// point is that the *store* must notice via page checksums.
+  Status FlipBitAt(const std::string& path, uint64_t offset, uint32_t bit);
+
+  /// Every page read succeeds but returns scrambled bytes with
+  /// probability `p` (0 disables) — a transient misdirected/garbage read
+  /// the storage layer must detect (checksum) and must not cache.
+  void SetGarbageReadProbability(double p, uint64_t seed);
+
   /// Invoked — outside the env mutex — at the moment a crash point
   /// trips (SetCrashAtOp, ArmCrashAfterNextSync, or the torn mid-append
   /// crash), with a short description of the op that "lost power".
@@ -154,7 +167,9 @@ class FaultInjectionEnv final : public Env {
   bool crash_after_sync_ = false;
   bool torn_writes_ = true;
   double transient_p_ = 0.0;
+  double garbage_read_p_ = 0.0;
   Random rng_{1};
+  Random garbage_rng_{1};
   /// Authoritative count. The registry counter is only a mirror: the env
   /// outlives whatever registry it was last bound to (the store that
   /// bound it is torn down and reopened around every crash), so

@@ -2,19 +2,65 @@
 
 #include <cstring>
 
+#include "common/hash.h"
 #include "common/logging.h"
 
 namespace ode {
+
+uint32_t PageChecksum(const char* page_bytes) {
+  // Bytes [0..8) (id, slot count, free ptr), then everything after the
+  // checksum field.
+  uint32_t crc = Crc32c(page_bytes, 8);
+  return Crc32c(page_bytes + kPageHeaderSize, kPageSize - kPageHeaderSize,
+                crc);
+}
 
 void Page::Format(uint32_t page_id) {
   std::memset(data_.data(), 0, kPageSize);
   WriteU32(0, page_id);
   set_slot_count(0);
-  set_free_ptr(8);
+  set_free_ptr(kPageHeaderSize);
 }
 
 void Page::Load(const char* bytes) {
   std::memcpy(data_.data(), bytes, kPageSize);
+}
+
+void Page::UpdateChecksum() { WriteU32(8, PageChecksum(data_.data())); }
+
+bool Page::VerifyChecksum() const {
+  return stored_checksum() == PageChecksum(data_.data());
+}
+
+Status Page::ValidateStructure() const {
+  const size_t count = slot_count();
+  if (kPageHeaderSize + 4 * count > kPageSize) {
+    return Status::Corruption("page " + std::to_string(page_id()) +
+                              ": slot count " + std::to_string(count) +
+                              " overruns the page");
+  }
+  const size_t dir_top = kPageSize - 4 * count;
+  const size_t fp = free_ptr();
+  if (fp < kPageHeaderSize || fp > dir_top) {
+    return Status::Corruption("page " + std::to_string(page_id()) +
+                              ": free pointer " + std::to_string(fp) +
+                              " out of bounds");
+  }
+  for (uint16_t s = 0; s < count; ++s) {
+    const uint16_t off = ReadU16(SlotOffset(s));
+    if (off == kDeadSlot) continue;
+    const uint16_t len = ReadU16(SlotOffset(s) + 2);
+    // The record (8-byte oid + payload) must sit entirely between the
+    // header and the slot directory; anything else would let Read /
+    // ForEach index outside the page buffer.
+    if (off < kPageHeaderSize ||
+        static_cast<size_t>(off) + 8 + len > dir_top) {
+      return Status::Corruption("page " + std::to_string(page_id()) +
+                                ": slot " + std::to_string(s) +
+                                " points outside the record area");
+    }
+  }
+  return Status::OK();
 }
 
 uint16_t Page::ReadU16(size_t off) const {
@@ -48,7 +94,7 @@ size_t Page::FreeSpaceForInsert() const {
       dir_top > free_ptr() ? dir_top - free_ptr() : 0;
   // Count holes from dead/shrunk records too: a compaction can recover
   // them, so report total reclaimable space minus the new slot entry.
-  size_t live = 8;
+  size_t live = kPageHeaderSize;
   for (uint16_t s = 0; s < slot_count(); ++s) {
     uint16_t off = ReadU16(SlotOffset(s));
     if (off == kDeadSlot) continue;
@@ -156,8 +202,8 @@ void Page::ForEach(
 
 void Page::Compact() {
   std::vector<char> scratch(kPageSize);
-  std::memcpy(scratch.data(), data_.data(), 8);  // header
-  uint16_t write_off = 8;
+  std::memcpy(scratch.data(), data_.data(), kPageHeaderSize);  // header
+  uint16_t write_off = kPageHeaderSize;
   for (uint16_t s = 0; s < slot_count(); ++s) {
     uint16_t off = ReadU16(SlotOffset(s));
     if (off == kDeadSlot) continue;
@@ -168,8 +214,9 @@ void Page::Compact() {
   }
   // Copy relocated records and new header over, keep the slot directory
   // (already updated in place).
-  std::memcpy(data_.data() + 8, scratch.data() + 8,
-              static_cast<size_t>(write_off) - 8);
+  std::memcpy(data_.data() + kPageHeaderSize,
+              scratch.data() + kPageHeaderSize,
+              static_cast<size_t>(write_off) - kPageHeaderSize);
   set_free_ptr(write_off);
 }
 

@@ -13,6 +13,12 @@ namespace ode {
 
 inline constexpr size_t kPageSize = 4096;
 
+/// Size of the fixed page header. Bytes [8..12) hold a CRC32C over the
+/// rest of the page (stamped on every write-back, verified on every
+/// buffer-pool read), so a flipped bit on the medium is detected instead
+/// of being decoded into a bogus object image.
+inline constexpr size_t kPageHeaderSize = 12;
+
 /// A slotted data page, as used by the disk storage manager (the EOS
 /// analogue). Records grow from the top (after the header); the slot
 /// directory grows from the bottom. Each record carries the owning Oid so
@@ -22,7 +28,8 @@ inline constexpr size_t kPageSize = 4096;
 ///   [0..4)   page id
 ///   [4..6)   slot count
 ///   [6..8)   free pointer (offset of first unused byte in the record area)
-///   [8..)    records, each: oid (8 bytes) + payload
+///   [8..12)  CRC32C of the page with this field skipped
+///   [12..)   records, each: oid (8 bytes) + payload
 ///   ...      free space
 ///   [end)    slot directory, 4 bytes per slot: offset (2) + length (2);
 ///            offset 0xffff marks a dead slot. `length` covers payload only.
@@ -30,7 +37,7 @@ class Page {
  public:
   static constexpr uint16_t kDeadSlot = 0xffff;
   /// Largest payload a single record can hold on an empty page.
-  static constexpr size_t kMaxPayload = kPageSize - 8 /*header*/ -
+  static constexpr size_t kMaxPayload = kPageSize - kPageHeaderSize -
                                         4 /*slot entry*/ - 8 /*oid*/;
 
   Page() : data_(kPageSize, 0) {}
@@ -43,6 +50,24 @@ class Page {
 
   uint32_t page_id() const { return ReadU32(0); }
   uint16_t slot_count() const { return ReadU16(4); }
+
+  /// Recomputes the CRC32C over the page (header fields + records + slot
+  /// directory, the checksum field itself skipped) and stores it at
+  /// [8..12). Call immediately before writing the page to disk.
+  void UpdateChecksum();
+
+  /// True if the stored checksum matches the page contents. A freshly
+  /// Format()ted page verifies only after UpdateChecksum().
+  bool VerifyChecksum() const;
+
+  uint32_t stored_checksum() const { return ReadU32(8); }
+
+  /// Validates the slot directory against the page bounds: slot count and
+  /// free pointer in range, every live slot's record fully inside
+  /// [header, directory). A page that passes can be read (ForEach/Read)
+  /// without any out-of-bounds access even if its contents are garbage;
+  /// a page that fails must not be handed to the record accessors.
+  Status ValidateStructure() const;
 
   /// Bytes available for one more record (accounts for a new slot entry).
   size_t FreeSpaceForInsert() const;
@@ -90,6 +115,12 @@ class Page {
 
   std::vector<char> data_;
 };
+
+/// CRC32C of an arbitrary kPageSize buffer with the checksum field at
+/// [8..12) skipped — the same rule Page::UpdateChecksum applies. Shared
+/// with the overflow-page and file-header paths, which stamp raw buffers
+/// rather than going through Page's record accessors.
+uint32_t PageChecksum(const char* page_bytes);
 
 }  // namespace ode
 

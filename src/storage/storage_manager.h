@@ -34,6 +34,29 @@ struct StorageStats {
   uint64_t object_writes = 0;
 };
 
+/// Result of an integrity sweep (see StorageManager::VerifyIntegrity).
+struct ScrubReport {
+  uint64_t pages_scanned = 0;
+  /// Pages whose checksum or structure failed verification this sweep.
+  uint64_t bad_pages = 0;
+  /// Bad pages rebuilt from WAL redo — their objects are fine.
+  uint64_t repaired_pages = 0;
+  /// Bad pages the log no longer covers, now quarantined (cumulative:
+  /// includes pages quarantined by an earlier degraded open).
+  uint64_t quarantined_pages = 0;
+  /// Objects known lost to quarantined pages (enumerated best-effort).
+  std::vector<Oid> lost_oids;
+  /// True when a quarantined page was too mangled to enumerate its
+  /// objects, so lost_oids may be incomplete. Readers treat every
+  /// lookup miss as suspect (kCorruption) while this is set.
+  bool unknown_losses = false;
+
+  bool clean() const {
+    return bad_pages == 0 && quarantined_pages == 0 && lost_oids.empty() &&
+           !unknown_losses;
+  }
+};
+
 /// Abstract storage manager — the layer EOS (disk) and Dali (main-memory)
 /// provide under the Ode object manager. Both implementations here follow a
 /// no-steal/redo-log discipline: a transaction's writes accumulate in a
@@ -102,6 +125,15 @@ class StorageManager {
   /// trigger runtime reads this from its post-commit hook — which runs on
   /// the committing thread — to stamp trace events with batch ids.
   virtual CommitBatchInfo LastCommitBatch() const { return {}; }
+
+  /// Sweeps the durable medium for silent corruption: verifies every
+  /// page's checksum and structure, repairs what WAL redo still covers,
+  /// and quarantines the rest (see docs/storage.md, "Silent corruption").
+  /// A clean report means every committed object is readable and intact.
+  /// Default: a volatile store has no medium to scrub — always clean.
+  virtual Result<ScrubReport> VerifyIntegrity() {
+    return ScrubReport{};
+  }
 
   /// Points the manager's counters and latency histograms at `registry`
   /// (the owning Database's, so storage metrics share its reporting

@@ -103,6 +103,74 @@ TEST_F(BufferPoolTest, UpdatesSurviveEvictionAndReopen) {
   }
 }
 
+// A frame whose on-disk bytes fail checksum verification is rejected
+// with kCorruption and — crucially — never enters the pool, so a
+// transient bad read is not sticky: once the medium is healthy again
+// the same page reads fine.
+TEST_F(BufferPoolTest, CorruptedFrameIsRejectedAndNotCached) {
+  auto store = OpenTinyPool(2);
+  std::vector<Oid> oids;
+  ASSERT_TRUE(store->BeginTxn(1).ok());
+  for (int i = 0; i < 50; ++i) {
+    std::string data = "obj-" + std::to_string(i) +
+                       std::string(900, static_cast<char>('a' + i % 26));
+    auto oid = store->Allocate(1, Slice(data));
+    ASSERT_TRUE(oid.ok());
+    oids.push_back(*oid);
+  }
+  ASSERT_TRUE(store->CommitTxn(1).ok());
+  // Push every dirty frame to disk so our corruption below cannot be
+  // overwritten by a later eviction.
+  ASSERT_TRUE(store->Checkpoint().ok());
+
+  // Flip one bit in the middle of data page 1, out from under the store.
+  const long kOffset = static_cast<long>(kPageSize) + 2048;
+  auto flip = [&] {
+    FILE* f = std::fopen(path_.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, kOffset, SEEK_SET), 0);
+    int byte = std::fgetc(f);
+    ASSERT_NE(byte, EOF);
+    ASSERT_EQ(std::fseek(f, kOffset, SEEK_SET), 0);
+    ASSERT_NE(std::fputc(byte ^ 0x40, f), EOF);
+    ASSERT_EQ(std::fclose(f), 0);
+  };
+  flip();
+
+  // The tiny pool (2 frames) guarantees page 1 is evicted while we walk
+  // 50 objects spread over ~15 pages, so its next read comes from the
+  // corrupted medium. Every object must be served correctly or rejected
+  // as kCorruption — never silently wrong.
+  ASSERT_TRUE(store->BeginTxn(2).ok());
+  int corrupt_reads = 0;
+  for (int i = 49; i >= 0; --i) {  // reverse: page 1 reads come last,
+                                   // after the 2-frame pool has churned
+    std::vector<char> out;
+    Status st = store->Read(2, oids[i], &out);
+    if (st.IsCorruption()) {
+      ++corrupt_reads;
+      continue;
+    }
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    std::string prefix = "obj-" + std::to_string(i);
+    ASSERT_GE(out.size(), prefix.size());
+    EXPECT_EQ(std::string(out.begin(), out.begin() + prefix.size()), prefix);
+  }
+  EXPECT_GT(corrupt_reads, 0) << "page 1 held at least one object";
+  ASSERT_TRUE(store->CommitTxn(2).ok());
+
+  // Heal the medium; because the rejected frame was never cached, the
+  // same reads now succeed without reopening the store.
+  flip();
+  ASSERT_TRUE(store->BeginTxn(3).ok());
+  for (int i = 0; i < 50; ++i) {
+    std::vector<char> out;
+    ASSERT_TRUE(store->Read(3, oids[i], &out).ok()) << "oid " << i;
+  }
+  ASSERT_TRUE(store->CommitTxn(3).ok());
+  ASSERT_TRUE(store->Close().ok());
+}
+
 TEST_F(BufferPoolTest, HitRateImprovesWithLargerPool) {
   auto workload = [&](size_t pool_pages) -> double {
     Cleanup();

@@ -26,6 +26,8 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/logging.h"
@@ -417,6 +419,251 @@ TEST_F(CrashTortureTest, ConcurrentCommittersNeverLoseAckedCommits) {
   }
   EXPECT_GE(crashed_runs, 50)
       << "the sweep must actually crash inside the commit pipeline";
+}
+
+// ---- silent-corruption torture: bit-flip and garbage-read sweeps --------
+//
+// The corruption invariant is weaker than the crash invariant (rotten
+// bits genuinely destroy data) but just as sharp: after any single
+// flipped bit, every committed object is either served with its exact
+// committed image or refused with an explicit error (kCorruption, a
+// degraded open, or a failed open). Silently serving a wrong image at
+// any sweep point is the bug this harness exists to catch.
+
+std::string SlurpFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return "";
+  std::string out;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+void DumpFile(const std::string& path, const std::string& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  if (!bytes.empty()) {
+    ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  }
+  ASSERT_EQ(std::fclose(f), 0);
+}
+
+TEST_F(CrashTortureTest, BitFlipSweepNeverServesSilentlyWrongData) {
+  // Clean run; Close() flushes everything, so the page file alone holds
+  // the final committed state.
+  FaultInjectionEnv ref_env;
+  std::vector<std::string> snaps;
+  RunResult ref = RunWorkload(&ref_env, &snaps);
+  ASSERT_TRUE(ref.completed);
+
+  // Reference per-object images from the pristine store.
+  std::unordered_map<uint64_t, std::pair<int32_t, int32_t>> expect;
+  {
+    FaultInjectionEnv env;
+    auto session = OpenSession(&env, 0, nullptr);
+    ASSERT_TRUE(session.ok()) << session.status().ToString();
+    Session* s = session->get();
+    Status st = s->WithTransaction([&](Transaction* txn) -> Status {
+      ODE_ASSIGN_OR_RETURN(std::vector<PRef<TCell>> refs,
+                           s->Cluster<TCell>(txn));
+      for (PRef<TCell> r : refs) {
+        ODE_ASSIGN_OR_RETURN(TCell c, s->Load(txn, r));
+        expect[r.oid().value()] = {c.count, c.fired};
+      }
+      return Status::OK();
+    });
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    ASSERT_TRUE(s->Close().ok());
+  }
+  ASSERT_EQ(expect.size(), static_cast<size_t>(kCells));
+
+  const std::string pristine_db = SlurpFile(path_);
+  const std::string pristine_wal = SlurpFile(path_ + ".wal");
+  ASSERT_GE(pristine_db.size(), 2 * kPageSize);
+  const size_t pages = pristine_db.size() / kPageSize;
+
+  int swept = 0, explicit_failures = 0, clean_reads = 0;
+  for (size_t page = 0; page < pages; ++page) {
+    for (size_t off : {size_t{2}, size_t{9}, size_t{700}, size_t{4090}}) {
+      DumpFile(path_, pristine_db);
+      DumpFile(path_ + ".wal", pristine_wal);
+      FaultInjectionEnv env;
+      ASSERT_TRUE(
+          env.FlipBitAt(path_, page * kPageSize + off, /*bit=*/5).ok());
+      ++swept;
+
+      DiskStorageManager* store = nullptr;
+      auto session = OpenSession(&env, 0, &store);
+      if (!session.ok()) {
+        // A failed open is an explicit refusal, never silent damage
+        // (e.g. the flipped bit hit the file-header magic).
+        ++explicit_failures;
+        continue;
+      }
+      Session* s = session->get();
+      bool any_corrupt = store->degraded();
+      bool all_correct = true;
+      Status st = s->WithTransaction([&](Transaction* txn) -> Status {
+        for (const auto& [oid, want] : expect) {
+          auto cell = s->Load(txn, PRef<TCell>(Oid(oid)));
+          if (!cell.ok()) {
+            EXPECT_TRUE(cell.status().IsCorruption())
+                << "page " << page << " off " << off
+                << ": a damaged object must fail with kCorruption, got "
+                << cell.status().ToString();
+            any_corrupt = true;
+            all_correct = false;
+            continue;
+          }
+          EXPECT_EQ(cell->count, want.first)
+              << "page " << page << " off " << off << " oid " << oid
+              << ": SILENTLY WRONG image served";
+          EXPECT_EQ(cell->fired, want.second)
+              << "page " << page << " off " << off << " oid " << oid
+              << ": SILENTLY WRONG image served";
+        }
+        return Status::OK();
+      });
+      if (!st.ok()) {
+        // The transaction machinery itself tripped on the rot (e.g. a
+        // lost catalog): explicit, acceptable.
+        any_corrupt = true;
+      }
+      if (any_corrupt) {
+        ++explicit_failures;
+      } else if (all_correct) {
+        ++clean_reads;
+      }
+      (void)s->Close();
+      if (HasFatalFailure()) return;
+    }
+  }
+  // The sweep must have exercised both outcomes: flips that land in live
+  // data get refused, flips in dead space are absorbed.
+  EXPECT_GT(explicit_failures, 0) << "swept " << swept << " points";
+  EXPECT_GT(clean_reads, 0) << "swept " << swept << " points";
+}
+
+TEST_F(CrashTortureTest, BitFlipOnWalCoveredPagesAlwaysRepairsOnReopen) {
+  FaultInjectionEnv env;
+  DiskStorageManager::Options opts;
+  opts.env = &env;
+  constexpr int kObjects = 40;
+  std::vector<Oid> oids;
+  {
+    DiskStorageManager store(path_, opts);
+    ASSERT_TRUE(store.Open().ok());
+    ASSERT_TRUE(store.BeginTxn(1).ok());
+    for (int i = 0; i < kObjects; ++i) {
+      auto oid = store.Allocate(1, Slice(std::string(300, 'c')));
+      ASSERT_TRUE(oid.ok());
+      oids.push_back(*oid);
+    }
+    ASSERT_TRUE(store.CommitTxn(1).ok());
+    // Checkpoint persists the pages and truncates the WAL; the update
+    // txn below then re-covers every object with a fresh WAL image.
+    ASSERT_TRUE(store.Checkpoint().ok());
+    ASSERT_TRUE(store.BeginTxn(2).ok());
+    for (int i = 0; i < kObjects; ++i) {
+      ASSERT_TRUE(
+          store.Write(2, oids[i], Slice("r-" + std::to_string(i))).ok());
+    }
+    ASSERT_TRUE(store.CommitTxn(2).ok());
+    store.SimulateCrash();  // pages on disk keep the pre-update images
+  }
+  const std::string dirty_db = SlurpFile(path_);
+  const std::string dirty_wal = SlurpFile(path_ + ".wal");
+  ASSERT_FALSE(dirty_wal.empty()) << "the update txn must live in the WAL";
+  const size_t pages = dirty_db.size() / kPageSize;
+  ASSERT_GE(pages, 4u);
+
+  // Rot every data page in turn: recovery must repair each one from WAL
+  // redo with zero losses.
+  int repaired_sweeps = 0;
+  for (size_t page = 1; page < pages; ++page) {
+    DumpFile(path_, dirty_db);
+    DumpFile(path_ + ".wal", dirty_wal);
+    ASSERT_TRUE(
+        env.FlipBitAt(path_, page * kPageSize + 77, /*bit=*/2).ok());
+
+    DiskStorageManager recovered(path_, opts);
+    ASSERT_TRUE(recovered.Open().ok()) << "page " << page;
+    EXPECT_FALSE(recovered.degraded())
+        << "page " << page << ": WAL redo covers everything, no quarantine";
+    EXPECT_TRUE(recovered.LostObjects().empty()) << "page " << page;
+    ASSERT_TRUE(recovered.BeginTxn(9).ok());
+    for (int i = 0; i < kObjects; ++i) {
+      std::vector<char> out;
+      ASSERT_TRUE(recovered.Read(9, oids[i], &out).ok())
+          << "page " << page << " oid " << i;
+      EXPECT_EQ(std::string(out.begin(), out.end()),
+                "r-" + std::to_string(i));
+    }
+    ASSERT_TRUE(recovered.CommitTxn(9).ok());
+    ASSERT_TRUE(recovered.Close().ok());
+    ++repaired_sweeps;
+    if (HasFatalFailure()) return;
+  }
+  EXPECT_GE(repaired_sweeps, 3);
+}
+
+TEST_F(CrashTortureTest, GarbageReadsAreRejectedNotServed) {
+  FaultInjectionEnv env;
+  DiskStorageManager::Options opts;
+  opts.env = &env;
+  opts.buffer_pool_pages = 2;  // constant re-reads from the medium
+  DiskStorageManager store(path_, opts);
+  ASSERT_TRUE(store.Open().ok());
+
+  constexpr int kObjects = 30;
+  std::vector<Oid> oids;
+  ASSERT_TRUE(store.BeginTxn(1).ok());
+  for (int i = 0; i < kObjects; ++i) {
+    auto oid = store.Allocate(
+        1, Slice("g-" + std::to_string(i) + std::string(700, 'g')));
+    ASSERT_TRUE(oid.ok());
+    oids.push_back(*oid);
+  }
+  ASSERT_TRUE(store.CommitTxn(1).ok());
+  ASSERT_TRUE(store.Checkpoint().ok());
+
+  // 30% of page reads now return scrambled bytes. Every object read must
+  // either return the exact committed image or kCorruption.
+  env.SetGarbageReadProbability(0.3, /*seed=*/7);
+  ASSERT_TRUE(store.BeginTxn(2).ok());
+  int rejected = 0;
+  for (int round = 0; round < 6; ++round) {
+    for (int i = 0; i < kObjects; ++i) {
+      std::vector<char> out;
+      Status st = store.Read(2, oids[i], &out);
+      if (st.IsCorruption()) {
+        ++rejected;
+        continue;
+      }
+      ASSERT_TRUE(st.ok()) << st.ToString();
+      std::string prefix = "g-" + std::to_string(i);
+      ASSERT_GE(out.size(), prefix.size());
+      EXPECT_EQ(std::string(out.begin(), out.begin() + prefix.size()),
+                prefix)
+          << "round " << round << ": garbage served as data";
+    }
+  }
+  ASSERT_TRUE(store.CommitTxn(2).ok());
+  EXPECT_GT(rejected, 0) << "the garbage injection must actually fire";
+  EXPECT_GT(env.faults_injected(), 0u);
+
+  // The rejection is transient, not sticky: with a healthy medium every
+  // object reads back perfectly — no corrupt frame was ever cached.
+  env.SetGarbageReadProbability(0.0, /*seed=*/7);
+  ASSERT_TRUE(store.BeginTxn(3).ok());
+  for (int i = 0; i < kObjects; ++i) {
+    std::vector<char> out;
+    ASSERT_TRUE(store.Read(3, oids[i], &out).ok()) << "oid " << i;
+  }
+  ASSERT_TRUE(store.CommitTxn(3).ok());
+  ASSERT_TRUE(store.Close().ok());
 }
 
 TEST_F(CrashTortureTest, TransientNoiseWithRetriesRunsToCompletion) {

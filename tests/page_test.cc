@@ -8,6 +8,7 @@
 #include <map>
 #include <string>
 
+#include "common/hash.h"
 #include "common/random.h"
 
 namespace ode {
@@ -162,6 +163,90 @@ TEST(Page, SurvivesSerializationRoundTrip) {
   EXPECT_EQ(copy.page_id(), 3u);
   EXPECT_EQ(PayloadOf(copy, *a), "abc");
   EXPECT_EQ(PayloadOf(copy, *b), "defgh");
+}
+
+// --- checksums and structural validation (silent-corruption defense) ---
+
+TEST(Crc32c, KnownVector) {
+  // The CRC32C check value: crc of the ASCII digits "123456789".
+  const char digits[] = "123456789";
+  EXPECT_EQ(Crc32c(digits, 9), 0xE3069283u);
+}
+
+TEST(Crc32c, SeedChainsIncrementally) {
+  const char data[] = "hello, page checksums";
+  uint32_t whole = Crc32c(data, sizeof(data) - 1);
+  uint32_t part = Crc32c(data, 5);
+  part = Crc32c(data + 5, sizeof(data) - 1 - 5, part);
+  EXPECT_EQ(part, whole);
+}
+
+TEST(PageChecksum, RoundTripAndFlippedBitDetection) {
+  Page page;
+  page.Format(11);
+  ASSERT_TRUE(page.Insert(1, Slice(std::string("payload"))).ok());
+  page.UpdateChecksum();
+  EXPECT_TRUE(page.VerifyChecksum());
+  EXPECT_EQ(page.stored_checksum(), PageChecksum(page.data()));
+
+  // Any single flipped bit — payload, header, or slot directory — is
+  // detected.
+  for (size_t off : {size_t{0}, size_t{20}, kPageSize - 3}) {
+    page.mutable_data()[off] ^= 0x10;
+    EXPECT_FALSE(page.VerifyChecksum()) << "offset " << off;
+    page.mutable_data()[off] ^= 0x10;
+  }
+  EXPECT_TRUE(page.VerifyChecksum());
+
+  // A flip inside the stored checksum field itself is detected too.
+  page.mutable_data()[9] ^= 0x01;
+  EXPECT_FALSE(page.VerifyChecksum());
+}
+
+TEST(PageValidate, AcceptsWellFormedPages) {
+  Page page;
+  page.Format(1);
+  EXPECT_TRUE(page.ValidateStructure().ok());
+  ASSERT_TRUE(page.Insert(1, Slice(std::string("aaa"))).ok());
+  ASSERT_TRUE(page.Insert(2, Slice(std::string(900, 'b'))).ok());
+  EXPECT_TRUE(page.ValidateStructure().ok());
+}
+
+TEST(PageValidate, RejectsMalformedSlotDirectory) {
+  auto make_page = [] {
+    Page page;
+    page.Format(1);
+    EXPECT_TRUE(page.Insert(7, Slice(std::string("record"))).ok());
+    return page;
+  };
+
+  {  // Slot count larger than the page could possibly hold.
+    Page page = make_page();
+    page.mutable_data()[4] = static_cast<char>(0xff);
+    page.mutable_data()[5] = static_cast<char>(0xff);
+    Status st = page.ValidateStructure();
+    EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+  }
+  {  // Free pointer pointing inside the header.
+    Page page = make_page();
+    page.mutable_data()[6] = 2;
+    page.mutable_data()[7] = 0;
+    EXPECT_TRUE(page.ValidateStructure().IsCorruption());
+  }
+  {  // Slot offset sends the record past the directory.
+    Page page = make_page();
+    size_t dir = kPageSize - 4;
+    page.mutable_data()[dir] = static_cast<char>(0xf0);
+    page.mutable_data()[dir + 1] = static_cast<char>(0x0f);
+    EXPECT_TRUE(page.ValidateStructure().IsCorruption());
+  }
+  {  // Slot length overruns the record area.
+    Page page = make_page();
+    size_t dir = kPageSize - 4;
+    page.mutable_data()[dir + 2] = static_cast<char>(0xff);
+    page.mutable_data()[dir + 3] = static_cast<char>(0x0f);
+    EXPECT_TRUE(page.ValidateStructure().IsCorruption());
+  }
 }
 
 // Property test: random insert/update/delete against a reference map.

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <set>
 
 #include "common/random.h"
 #include "storage/disk_storage_manager.h"
@@ -290,6 +291,193 @@ TEST_F(RecoveryTest, CrashBetweenWalSyncAndPageWrites) {
   EXPECT_EQ(out.size(), 9000u);
   ASSERT_TRUE(recovered.CommitTxn(3).ok());
   ASSERT_TRUE(recovered.Close().ok());
+}
+
+// --- silent corruption: flipped bits on the page file ---
+
+// XORs one bit of `path` at `offset` (decayed medium, not a torn write).
+void FlipBit(const std::string& path, long offset, int bit = 3) {
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, offset, SEEK_SET), 0);
+  int byte = std::fgetc(f);
+  ASSERT_NE(byte, EOF);
+  ASSERT_EQ(std::fseek(f, offset, SEEK_SET), 0);
+  ASSERT_NE(std::fputc(byte ^ (1 << bit), f), EOF);
+  ASSERT_EQ(std::fclose(f), 0);
+}
+
+TEST_F(RecoveryTest, FlippedBitOnDataPageIsRepairedFromWalRedo) {
+  std::vector<Oid> oids;
+  {
+    auto store = OpenStore();
+    ASSERT_TRUE(store->BeginTxn(1).ok());
+    for (int i = 0; i < 8; ++i) {
+      auto oid = store->Allocate(1, Slice(std::string(300, 'o')));
+      ASSERT_TRUE(oid.ok());
+      oids.push_back(*oid);
+    }
+    ASSERT_TRUE(store->CommitTxn(1).ok());
+    ASSERT_TRUE(store->Checkpoint().ok());
+    // Update every object after the checkpoint so the WAL suffix holds a
+    // fresh image of everything the corrupted page can lose.
+    ASSERT_TRUE(store->BeginTxn(2).ok());
+    for (size_t i = 0; i < oids.size(); ++i) {
+      ASSERT_TRUE(
+          store->Write(2, oids[i], Slice("new-" + std::to_string(i))).ok());
+    }
+    ASSERT_TRUE(store->CommitTxn(2).ok());
+    Crash(std::move(store));
+  }
+  // Rot a bit in the first data page (it still holds the checkpointed
+  // pre-update images — the post-checkpoint updates live only in the WAL).
+  FlipBit(path_, static_cast<long>(kPageSize) + 100);
+
+  auto recovered = OpenStore();
+  EXPECT_FALSE(recovered->degraded())
+      << "WAL redo covers every object on the rotten page";
+  EXPECT_TRUE(recovered->LostObjects().empty());
+  ASSERT_TRUE(recovered->BeginTxn(3).ok());
+  for (size_t i = 0; i < oids.size(); ++i) {
+    std::vector<char> out;
+    ASSERT_TRUE(recovered->Read(3, oids[i], &out).ok()) << "oid " << i;
+    EXPECT_EQ(std::string(out.begin(), out.end()),
+              "new-" + std::to_string(i));
+  }
+  ASSERT_TRUE(recovered->CommitTxn(3).ok());
+  ASSERT_TRUE(recovered->Close().ok());
+}
+
+TEST_F(RecoveryTest, FlippedBitPastWalCoverageQuarantinesTheObjects) {
+  std::vector<Oid> oids;
+  {
+    auto store = OpenStore();
+    ASSERT_TRUE(store->BeginTxn(1).ok());
+    for (int i = 0; i < 30; ++i) {
+      auto oid = store->Allocate(1, Slice(std::string(500, 'q')));
+      ASSERT_TRUE(oid.ok());
+      oids.push_back(*oid);
+    }
+    ASSERT_TRUE(store->CommitTxn(1).ok());
+    // Checkpoint truncates the WAL: nothing covers the pages any more.
+    ASSERT_TRUE(store->Checkpoint().ok());
+    ASSERT_TRUE(store->Close().ok());
+  }
+  FlipBit(path_, static_cast<long>(kPageSize) + 200);
+
+  auto recovered = OpenStore();
+  EXPECT_TRUE(recovered->degraded());
+  std::vector<Oid> lost = recovered->LostObjects();
+  ASSERT_FALSE(lost.empty());
+  std::set<uint64_t> lost_set;
+  for (Oid o : lost) lost_set.insert(o.value());
+
+  ASSERT_TRUE(recovered->BeginTxn(2).ok());
+  int explicit_losses = 0;
+  for (Oid oid : oids) {
+    std::vector<char> out;
+    Status st = recovered->Read(2, oid, &out);
+    if (lost_set.count(oid.value()) != 0) {
+      EXPECT_TRUE(st.IsCorruption())
+          << "lost objects must fail loudly: " << st.ToString();
+      EXPECT_TRUE(recovered->Exists(2, oid))
+          << "lost, not vanished: Exists stays true";
+      ++explicit_losses;
+    } else {
+      ASSERT_TRUE(st.ok()) << st.ToString();
+      EXPECT_EQ(out.size(), 500u);
+    }
+  }
+  EXPECT_GT(explicit_losses, 0);
+
+  // A lost object can be rewritten — that is the application-level
+  // repair path — after which it reads normally again.
+  ASSERT_TRUE(
+      recovered->Write(2, lost[0], Slice(std::string("restored"))).ok());
+  std::vector<char> out;
+  ASSERT_TRUE(recovered->Read(2, lost[0], &out).ok());
+  EXPECT_EQ(std::string(out.begin(), out.end()), "restored");
+  ASSERT_TRUE(recovered->CommitTxn(2).ok());
+  ASSERT_TRUE(recovered->Close().ok());
+}
+
+TEST_F(RecoveryTest, FlippedBitOnRootsObjectPageFailsRootLookupsLoudly) {
+  Oid target;
+  {
+    auto store = OpenStore();
+    ASSERT_TRUE(store->BeginTxn(1).ok());
+    auto oid = store->Allocate(1, Slice(std::string("pointed-at")));
+    ASSERT_TRUE(oid.ok());
+    target = *oid;
+    ASSERT_TRUE(store->SetRoot(1, "r", target).ok());
+    ASSERT_TRUE(store->CommitTxn(1).ok());
+    ASSERT_TRUE(store->Checkpoint().ok());
+    ASSERT_TRUE(store->Close().ok());
+  }
+  // The roots directory (reserved oid 1) sits on the first data page.
+  FlipBit(path_, static_cast<long>(kPageSize) + 64);
+
+  auto recovered = OpenStore();
+  EXPECT_TRUE(recovered->degraded());
+  ASSERT_TRUE(recovered->BeginTxn(2).ok());
+  auto root = recovered->GetRoot(2, "r");
+  ASSERT_FALSE(root.ok());
+  EXPECT_TRUE(root.status().IsCorruption())
+      << "a lost roots directory must not masquerade as 'no such root': "
+      << root.status().ToString();
+  ASSERT_TRUE(recovered->CommitTxn(2).ok());
+  ASSERT_TRUE(recovered->Close().ok());
+}
+
+TEST_F(RecoveryTest, FlippedBitMidOverflowChainLosesOnlyThatObject) {
+  std::string big(30000, 'B');
+  Oid big_oid, small_oid;
+  {
+    auto store = OpenStore();
+    ASSERT_TRUE(store->BeginTxn(1).ok());
+    auto a = store->Allocate(1, Slice(big));
+    auto b = store->Allocate(1, Slice(std::string("bystander")));
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    big_oid = *a;
+    small_oid = *b;
+    ASSERT_TRUE(store->CommitTxn(1).ok());
+    ASSERT_TRUE(store->Checkpoint().ok());
+    ASSERT_TRUE(store->Close().ok());
+  }
+  // Find an overflow page (marker 0xffff where a slot count would be)
+  // and rot a byte in its data area.
+  long ovf_offset = -1;
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char buf[8];
+    for (long page = 1;; ++page) {
+      if (std::fseek(f, page * static_cast<long>(kPageSize), SEEK_SET) != 0)
+        break;
+      if (std::fread(buf, 1, sizeof(buf), f) != sizeof(buf)) break;
+      if (static_cast<unsigned char>(buf[4]) == 0xff &&
+          static_cast<unsigned char>(buf[5]) == 0xff) {
+        ovf_offset = page * static_cast<long>(kPageSize);
+        break;
+      }
+    }
+    std::fclose(f);
+  }
+  ASSERT_GT(ovf_offset, 0) << "a 30 KB object must use overflow pages";
+  FlipBit(path_, ovf_offset + 1000);
+
+  auto recovered = OpenStore();
+  EXPECT_TRUE(recovered->degraded());
+  ASSERT_TRUE(recovered->BeginTxn(2).ok());
+  std::vector<char> out;
+  Status st = recovered->Read(2, big_oid, &out);
+  EXPECT_TRUE(st.IsCorruption())
+      << "an unreadable overflow chain must fail loudly: " << st.ToString();
+  ASSERT_TRUE(recovered->Read(2, small_oid, &out).ok());
+  EXPECT_EQ(std::string(out.begin(), out.end()), "bystander");
+  ASSERT_TRUE(recovered->CommitTxn(2).ok());
+  ASSERT_TRUE(recovered->Close().ok());
 }
 
 class RecoveryFuzz : public ::testing::TestWithParam<uint64_t> {};
