@@ -281,6 +281,69 @@ void EmbedTracingOverheadContext() {
   benchmark::AddCustomContext("tracing_overhead_pct", buf);
 }
 
+/// Measures the posting path with the trigger-containment layer
+/// (cascade budgets, failure windows, watchdog branch, admission gauge)
+/// off vs on and embeds the relative delta as `containment_overhead_pct`
+/// context in BENCH_posting.json. run_bench.sh gates it at <= 5%: the
+/// guardrails may only tax the no-fault hot path by branch checks and
+/// one shared-budget increment per action. Span tracing is off on BOTH
+/// sides so the number isolates containment. Interleaved rounds with a
+/// median-of-ratios, as elsewhere, to cancel clock/cache drift.
+void EmbedContainmentOverheadContext() {
+  Session::Options off_opts;
+  off_opts.trace_span_capacity = 0;
+  off_opts.trigger_containment = false;
+  Session::Options on_opts;
+  on_opts.trace_span_capacity = 0;  // defaults otherwise: containment on
+  CounterHarness off_h(/*declared=*/4, /*active=*/4, "after Hit",
+                       CouplingMode::kImmediate, /*masked=*/false, off_opts);
+  CounterHarness on_h(/*declared=*/4, /*active=*/4, "after Hit",
+                      CouplingMode::kImmediate, /*masked=*/false, on_opts);
+  constexpr int kRounds = 9;
+  constexpr int kTxnsPerRound = 16;
+  constexpr int kPostsPerTxn = 512;
+  auto round_ns = [](CounterHarness& h) -> double {
+    const auto start = std::chrono::steady_clock::now();
+    for (int t = 0; t < kTxnsPerRound; ++t) {
+      BENCH_CHECK_OK(
+          h.session->WithTransaction([&](Transaction* txn) -> Status {
+            for (int i = 0; i < kPostsPerTxn; ++i) {
+              ODE_RETURN_NOT_OK(
+                  h.session->Invoke(txn, h.counter, &Counter::Hit));
+            }
+            return Status::OK();
+          }));
+    }
+    const auto end = std::chrono::steady_clock::now();
+    return static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+            .count());
+  };
+  round_ns(off_h);  // warmup
+  round_ns(on_h);
+  std::vector<double> ratios;
+  double off_total = 0, on_total = 0;
+  for (int r = 0; r < kRounds; ++r) {
+    const double off = round_ns(off_h);
+    const double on = round_ns(on_h);
+    off_total += off;
+    on_total += on;
+    if (off > 0) ratios.push_back(on / off);
+  }
+  std::sort(ratios.begin(), ratios.end());
+  const double median_ratio =
+      ratios.empty() ? 1.0 : ratios[ratios.size() / 2];
+  const double pct = (median_ratio - 1.0) * 100.0;
+  constexpr double kPosts = 1.0 * kRounds * kTxnsPerRound * kPostsPerTxn;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", pct);
+  benchmark::AddCustomContext("containment_off_ns_per_post",
+                              std::to_string(off_total / kPosts));
+  benchmark::AddCustomContext("containment_on_ns_per_post",
+                              std::to_string(on_total / kPosts));
+  benchmark::AddCustomContext("containment_overhead_pct", buf);
+}
+
 /// Disk-backed posting harness for the page-checksum gate: the same
 /// 4-active-trigger Counter, but over a DiskStorageManager (sync off,
 /// tracing off) so TriggerState write-backs land on real pages. Each
@@ -408,6 +471,7 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   ode::bench::EmbedMetricsContext();
   ode::bench::EmbedTracingOverheadContext();
+  ode::bench::EmbedContainmentOverheadContext();
   ode::bench::EmbedChecksumOverheadContext();
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -56,13 +56,17 @@ fi
 # and per-record counters carry cache hit ratios. Fail loudly if that
 # wiring ever regresses.
 for key in ode_trigger_posts_total ode_trigger_post_latency_p99_ns \
-           tracing_overhead_pct; do
+           tracing_overhead_pct containment_overhead_pct; do
   if ! grep -q "\"$key\"" "$out_json"; then
     echo "error: $out_json is missing embedded metric '$key'" >&2
     exit 1
   fi
 done
 check_overhead "$out_json" checksum_overhead_pct 5
+# The containment layer (cascade budgets, failure windows, admission
+# gauge) rides the trigger hot path; its no-fault overhead is gated at
+# the same 5% budget as checksums and tracing.
+check_overhead "$out_json" containment_overhead_pct 5
 
 echo "wrote $out_json (with embedded registry metrics)"
 

@@ -46,9 +46,9 @@ faults_only() {
 
 sanitized() {
   local name="$1" flag="$2"
-  echo "== ${name}: fault-injection + commit + trace suites under ${flag} =="
+  echo "== ${name}: fault-injection + commit + trace + cascade suites under ${flag} =="
   configure_and_build "build-${name}" "-DODE_${name^^}=ON"
-  ctest --test-dir "build-${name}" --output-on-failure -L 'faults|commit|trace|scrub'
+  ctest --test-dir "build-${name}" --output-on-failure -L 'faults|commit|trace|scrub|cascade'
 }
 
 bench_smoke() {

@@ -28,6 +28,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "internal";
     case StatusCode::kParseError:
       return "parse error";
+    case StatusCode::kCascadeOverflow:
+      return "cascade overflow";
   }
   return "unknown";
 }

@@ -22,6 +22,7 @@ enum class StatusCode : int {
   kNotSupported,
   kInternal,
   kParseError,
+  kCascadeOverflow,
 };
 
 /// Returns the canonical lowercase name of a status code ("ok", "io error"…).
@@ -69,6 +70,11 @@ class Status {
   static Status ParseError(std::string msg) {
     return Status(StatusCode::kParseError, std::move(msg));
   }
+  /// A trigger cascade exhausted its firing budget (depth or total action
+  /// count) and was cut — see TriggerManager::Options::max_cascade_depth.
+  static Status CascadeOverflow(std::string msg) {
+    return Status(StatusCode::kCascadeOverflow, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -77,8 +83,12 @@ class Status {
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
   bool IsDeadlock() const { return code_ == StatusCode::kDeadlock; }
+  bool IsLockTimeout() const { return code_ == StatusCode::kLockTimeout; }
   bool IsTransactionAborted() const {
     return code_ == StatusCode::kTransactionAborted;
+  }
+  bool IsCascadeOverflow() const {
+    return code_ == StatusCode::kCascadeOverflow;
   }
 
   /// "ok" or "<code>: <message>".

@@ -45,6 +45,12 @@ const char* SpanKindToString(SpanKind kind) {
       return "scrub";
     case SpanKind::kPageRepair:
       return "page-repair";
+    case SpanKind::kCascadeCut:
+      return "cascade-cut";
+    case SpanKind::kQuarantine:
+      return "quarantine";
+    case SpanKind::kActionRetry:
+      return "action-retry";
   }
   return "unknown";
 }
@@ -92,6 +98,16 @@ std::string Span::ToString(
     case SpanKind::kFsyncBatch:
       add(std::snprintf(buf, sizeof(buf), " batch #%" PRId64 " size %" PRId64,
                         a, b));
+      break;
+    case SpanKind::kCascadeCut:
+      add(std::snprintf(buf, sizeof(buf),
+                        " depth %" PRId64 " actions %" PRId64, a, b));
+      break;
+    case SpanKind::kQuarantine:
+      add(std::snprintf(buf, sizeof(buf), " failures %" PRId64, a));
+      break;
+    case SpanKind::kActionRetry:
+      add(std::snprintf(buf, sizeof(buf), " attempt %" PRId64, a));
       break;
     default:
       break;

@@ -41,6 +41,12 @@ enum class SpanKind : uint8_t {
   kScrub,            // integrity sweep over the page file (interval;
                      //   a = pages scanned, b = bad pages found)
   kPageRepair,       // corrupt page rebuilt from WAL redo (a = page id)
+  kCascadeCut,       // trigger cascade hit its firing budget and was cut
+                     //   (a = chain depth, b = actions spent; detail = why)
+  kQuarantine,       // trigger auto-deactivated after consecutive failures
+                     //   (a = failure count; detail = reason + provenance)
+  kActionRetry,      // detached action txn aborted retryably and will be
+                     //   re-run (a = attempt number; detail = status)
 };
 
 const char* SpanKindToString(SpanKind kind);

@@ -24,6 +24,15 @@ Session::Session(std::unique_ptr<Database> db, Schema* schema,
   topts.lookup_cache_capacity = options.trigger_lookup_cache_entries;
   topts.lock_stripes = options.trigger_lock_stripes;
   topts.trace_capacity = options.trigger_trace_capacity;
+  topts.containment = options.trigger_containment;
+  topts.max_cascade_depth = options.max_cascade_depth;
+  topts.max_cascade_actions = options.max_cascade_actions;
+  topts.failure_threshold = options.trigger_failure_threshold;
+  topts.action_timeout_us = options.trigger_action_timeout_us;
+  topts.action_retry_attempts = options.action_retry_attempts;
+  topts.action_retry_backoff_us = options.action_retry_backoff_us;
+  topts.dead_letter_capacity = options.dead_letter_capacity;
+  topts.max_inflight_system_actions = options.max_inflight_system_actions;
   triggers_ = std::make_unique<TriggerManager>(db_.get(), topts);
   for (const TypeDescriptor* type : schema_->descriptors()) {
     triggers_->RegisterType(type);
@@ -36,10 +45,34 @@ Result<std::unique_ptr<Session>> Session::Open(StorageKind kind,
   return Open(kind, path, schema, Options());
 }
 
+Status Session::ValidateOptions(const Options& options) {
+  // A misconfigured zero here is almost never "disable": it would
+  // divide-by-zero a hash, livelock a batch, or (for the containment
+  // knobs) silently disarm a guardrail the caller thinks is on. Knobs
+  // where 0 IS a documented disable (the caches, trace capacities,
+  // retries, watchdog, action budget, dead-letter ring, shedding)
+  // are deliberately absent.
+  auto bad = [](const char* field) {
+    return Status::InvalidArgument(std::string("Session::Options::") +
+                                   field + " must be nonzero");
+  };
+  if (options.trigger_index_buckets == 0) return bad("trigger_index_buckets");
+  if (options.trigger_lock_stripes == 0) return bad("trigger_lock_stripes");
+  if (options.commit_batch_max_txns == 0) return bad("commit_batch_max_txns");
+  if (options.trace_sample_every_n_txns == 0) {
+    return bad("trace_sample_every_n_txns");
+  }
+  if (options.trigger_containment) {
+    if (options.max_cascade_depth == 0) return bad("max_cascade_depth");
+  }
+  return Status::OK();
+}
+
 Result<std::unique_ptr<Session>> Session::Open(StorageKind kind,
                                                const std::string& path,
                                                Schema* schema,
                                                Options options) {
+  ODE_RETURN_NOT_OK(ValidateOptions(options));
   if (kind == StorageKind::kDisk) {
     if (path.empty()) {
       return Status::InvalidArgument("disk database needs a path");
@@ -72,6 +105,7 @@ Result<std::unique_ptr<Session>> Session::Open(StorageKind kind,
 
 Result<std::unique_ptr<Session>> Session::OpenWith(
     std::unique_ptr<StorageManager> store, Schema* schema, Options options) {
+  ODE_RETURN_NOT_OK(ValidateOptions(options));
   InitLogLevelFromEnv();
   if (!schema->frozen()) {
     return Status::InvalidArgument("schema must be frozen before Open");
@@ -396,6 +430,29 @@ std::string Session::ExportChromeTrace() const {
 
 Result<ScrubReport> Session::VerifyIntegrity() {
   return db_->store()->VerifyIntegrity();
+}
+
+Result<std::vector<TriggerManager::QuarantinedTrigger>>
+Session::QuarantinedTriggers() {
+  ODE_ASSIGN_OR_RETURN(Transaction * txn, Begin());
+  auto result = triggers_->ListQuarantined(txn);
+  if (!result.ok()) {
+    (void)Abort(txn);
+    return result.status();
+  }
+  ODE_RETURN_NOT_OK(Commit(txn));
+  return result;
+}
+
+Result<std::vector<TriggerManager::DeadLetter>> Session::DeadLetters() {
+  ODE_ASSIGN_OR_RETURN(Transaction * txn, Begin());
+  auto result = triggers_->DeadLetters(txn);
+  if (!result.ok()) {
+    (void)Abort(txn);
+    return result.status();
+  }
+  ODE_RETURN_NOT_OK(Commit(txn));
+  return result;
 }
 
 std::string Session::DumpTrace() const {

@@ -109,7 +109,57 @@ class Session {
     /// sync_commits: structural validation still runs, but bit rot on
     /// the medium goes undetected.
     bool verify_page_checksums = true;
+    /// Master switch for the trigger-runtime containment layer: cascade
+    /// budgets, poisoned-trigger quarantine, deadlock-abort retry, and
+    /// !dependent admission backpressure (see docs/architecture.md,
+    /// "Trigger runtime guardrails"). Off restores the pre-containment
+    /// runtime: unbounded detached cascades, warn-and-drop on system-
+    /// transaction failure.
+    bool trigger_containment = true;
+    /// Max trigger-cascade depth per root transaction: immediate
+    /// re-posting recursion AND the chain of detached system
+    /// transactions each count one level. Exceeding it cuts the cascade
+    /// with kCascadeOverflow (immediate) or diverts the batch to the
+    /// dead-letter ring (detached).
+    size_t max_cascade_depth = 32;
+    /// Max trigger actions charged to one root transaction's cascade
+    /// across every detached link. 0 = unlimited actions (depth still
+    /// bounds the chain).
+    size_t max_cascade_actions = 4096;
+    /// Consecutive terminal action failures (action error, tabort,
+    /// cascade overflow, watchdog timeout — retryable deadlock/timeout
+    /// aborts never count) before a trigger is quarantined:
+    /// auto-deactivated, recorded in the persistent quarantine table,
+    /// and re-armable only by an explicit Activate. 0 disables
+    /// quarantine.
+    uint32_t trigger_failure_threshold = 3;
+    /// Watchdog budget per trigger action, microseconds (0 = no watchdog).
+    /// Actions cannot be preempted mid-flight; an overrun is charged to
+    /// the trigger's failure window after the fact.
+    uint64_t trigger_action_timeout_us = 0;
+    /// Attempts per detached system-transaction batch when it aborts
+    /// with kDeadlock/kLockTimeout (capped exponential backoff with
+    /// jitter between attempts). Exhaustion sends the batch to the
+    /// dead-letter ring.
+    uint32_t action_retry_attempts = 3;
+    /// Backoff before the first retry; doubles per attempt, capped at
+    /// 100ms, plus up to 50% jitter.
+    uint32_t action_retry_backoff_us = 100;
+    /// Entries kept in the persistent dead-letter ring (oldest evicted
+    /// first). 0 disables the ring: diverted/shed/exhausted firings are
+    /// dropped after the warn log.
+    size_t dead_letter_capacity = 64;
+    /// Admission high-water mark: while this many detached system
+    /// transactions are in flight, new !dependent batches are shed to
+    /// the dead-letter ring instead of piling onto an overloaded store.
+    /// Dependent batches are never shed. 0 disables shedding.
+    size_t max_inflight_system_actions = 8;
   };
+
+  /// Rejects incoherent option combinations (kInvalidArgument naming the
+  /// offending field) before any storage is touched. Open and OpenWith
+  /// call this; it is public so tools can pre-validate configs.
+  static Status ValidateOptions(const Options& options);
 
   /// Opens a database using the given (frozen) schema.
   static Result<std::unique_ptr<Session>> Open(StorageKind kind,
@@ -186,6 +236,20 @@ class Session {
   /// committed object is readable and intact. Main-memory databases
   /// have no durable medium and always report clean.
   Result<ScrubReport> VerifyIntegrity();
+
+  /// The persistent quarantine table: triggers auto-deactivated after
+  /// Options::trigger_failure_threshold consecutive terminal failures,
+  /// with the failure count and last reason. Re-arm one by calling
+  /// Activate on the same object/trigger again. Runs its own read-only
+  /// transaction.
+  Result<std::vector<TriggerManager::QuarantinedTrigger>>
+  QuarantinedTriggers();
+
+  /// The persistent dead-letter ring (oldest first): trigger firings
+  /// that were diverted (quarantined trigger), shed (admission
+  /// backpressure), depth-cut, or dropped after retry exhaustion, with
+  /// the reason. Bounded by Options::dead_letter_capacity.
+  Result<std::vector<TriggerManager::DeadLetter>> DeadLetters();
 
   // --- transactions ---
 

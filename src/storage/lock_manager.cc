@@ -60,25 +60,39 @@ void LockManager::CollectBlockersLocked(
   }
 }
 
-bool LockManager::WouldDeadlockLocked(TxnId start, Oid oid) const {
-  // DFS over the wait-for graph starting from the transactions that would
-  // block `start` on `oid`; a path back to `start` is a cycle.
-  std::unordered_set<TxnId> frontier;
-  CollectBlockersLocked(start, oid, &frontier);
-  std::unordered_set<TxnId> visited;
-  std::deque<TxnId> stack(frontier.begin(), frontier.end());
-  while (!stack.empty()) {
-    TxnId t = stack.back();
-    stack.pop_back();
-    if (t == start) return true;
-    if (!visited.insert(t).second) continue;
-    auto wit = waiting_on_.find(t);
-    if (wit == waiting_on_.end()) continue;
-    std::unordered_set<TxnId> next;
-    CollectBlockersLocked(t, wit->second, &next);
-    for (TxnId n : next) stack.push_back(n);
+bool LockManager::WouldDeadlockLocked(TxnId start, Oid oid,
+                                      TxnId* closing_blocker) const {
+  // DFS over the wait-for graph, one direct blocker of `start` at a
+  // time, so that when a path leads back to `start` the edge that closed
+  // the cycle (start -> oid -> blocker) is known and can be reported.
+  std::unordered_set<TxnId> blockers;
+  CollectBlockersLocked(start, oid, &blockers);
+  for (TxnId blocker : blockers) {
+    std::unordered_set<TxnId> visited;
+    std::deque<TxnId> stack{blocker};
+    while (!stack.empty()) {
+      TxnId t = stack.back();
+      stack.pop_back();
+      if (t == start) {
+        if (closing_blocker != nullptr) *closing_blocker = blocker;
+        return true;
+      }
+      if (!visited.insert(t).second) continue;
+      auto wit = waiting_on_.find(t);
+      if (wit == waiting_on_.end()) continue;
+      std::unordered_set<TxnId> next;
+      CollectBlockersLocked(t, wit->second, &next);
+      for (TxnId n : next) stack.push_back(n);
+    }
   }
   return false;
+}
+
+std::string LockManager::DeadlockMessage(TxnId victim, Oid oid,
+                                         TxnId blocker) {
+  return "wait-for cycle: victim txn " + std::to_string(victim) +
+         " waits for " + oid.ToString() + " held by txn " +
+         std::to_string(blocker);
 }
 
 Status LockManager::Acquire(TxnId txn, Oid oid, LockMode mode) {
@@ -111,9 +125,10 @@ Status LockManager::Acquire(TxnId txn, Oid oid, LockMode mode) {
   }
 
   conflicts_->Inc();
-  if (WouldDeadlockLocked(txn, oid)) {
+  TxnId blocker = 0;
+  if (WouldDeadlockLocked(txn, oid, &blocker)) {
     deadlocks_->Inc();
-    return Status::Deadlock("acquiring " + oid.ToString());
+    return Status::Deadlock(DeadlockMessage(txn, oid, blocker));
   }
 
   // Upgraders jump the queue (ahead of plain requests, behind other
@@ -138,9 +153,9 @@ Status LockManager::Acquire(TxnId txn, Oid oid, LockMode mode) {
       held_[txn].insert(oid);
       break;
     }
-    if (WouldDeadlockLocked(txn, oid)) {
+    if (WouldDeadlockLocked(txn, oid, &blocker)) {
       deadlocks_->Inc();
-      result = Status::Deadlock("waiting for " + oid.ToString());
+      result = Status::Deadlock(DeadlockMessage(txn, oid, blocker));
       break;
     }
     if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {

@@ -89,9 +89,17 @@ class LockManager {
 
   // All Locked() helpers require mu_ held.
   bool GrantableLocked(const LockState& state, const Waiter& waiter) const;
-  bool WouldDeadlockLocked(TxnId waiter, Oid oid) const;
+  /// True if `waiter` blocking on `oid` would close a wait-for cycle.
+  /// On detection, `*closing_blocker` is the direct blocker (holder or
+  /// queued-ahead exclusive waiter) whose wait chain leads back to
+  /// `waiter` — the edge reported in the kDeadlock message.
+  bool WouldDeadlockLocked(TxnId waiter, Oid oid,
+                           TxnId* closing_blocker) const;
   void CollectBlockersLocked(TxnId txn, Oid oid,
                              std::unordered_set<TxnId>* out) const;
+  /// "wait-for cycle: victim txn V waits for oid(N) held by txn H" — the
+  /// actionable edge for deadlock-retry logs and spans.
+  static std::string DeadlockMessage(TxnId victim, Oid oid, TxnId blocker);
 
   Options options_;
   mutable std::mutex mu_;

@@ -1,10 +1,14 @@
 #include "trigger/trigger_manager.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <thread>
 
 #include "common/coding.h"
 #include "common/logging.h"
 #include "trigger/event_registry.h"
+#include "trigger/provenance.h"
 
 namespace ode {
 
@@ -77,6 +81,10 @@ TriggerManager::Stats TriggerManager::MakeStats(MetricsRegistry* registry) {
       *registry->GetCounter("ode_trigger_lookup_cache_hits_total"),
       *registry->GetCounter("ode_trigger_lookup_cache_misses_total"),
       *registry->GetCounter("ode_trigger_state_writebacks_total"),
+      *registry->GetCounter("ode_cascade_overflows_total"),
+      *registry->GetCounter("ode_action_retries_total"),
+      *registry->GetCounter("ode_action_retries_exhausted_total"),
+      *registry->GetCounter("ode_trigger_actions_shed_total"),
   };
 }
 
@@ -108,6 +116,9 @@ TriggerManager::TriggerManager(Database* db, Options options)
     trace_ = std::make_unique<TriggerTraceRing>(options_.trace_capacity);
     trace_->BindMetrics(metrics);
   }
+  quarantined_gauge_ = metrics->GetGauge("ode_trigger_quarantined");
+  deadletter_gauge_ = metrics->GetGauge("ode_deadletter_depth");
+  inflight_gauge_ = metrics->GetGauge("ode_system_actions_inflight");
   tracer_ = db_->tracer();
   // Give the tracer readable event names for timelines and exports
   // (common/ cannot depend on the trigger layer's EventRegistry).
@@ -194,6 +205,9 @@ Status TriggerManager::PrimeActiveCounts(Transaction* txn) {
     CountShard& shard = CountShardFor(obj);
     std::lock_guard<std::mutex> lock(shard.mu);
     shard.counts[obj] = count;
+  }
+  if (options_.containment) {
+    ODE_RETURN_NOT_OK(LoadContainmentState(txn));
   }
   return Status::OK();
 }
@@ -296,6 +310,13 @@ Result<TriggerId> TriggerManager::ActivateGroup(
     ++ctx->count_delta[anchor];
     // The cached lookup (if any) no longer reflects the index bucket.
     InvalidateLookup(ctx, anchor);
+  }
+  // An explicit re-activation re-arms a quarantined trigger: matching
+  // quarantine-table entries are erased in this same transaction.
+  if (options_.containment &&
+      quarantine_set_size_.load(std::memory_order_relaxed) != 0) {
+    ODE_RETURN_NOT_OK(ClearQuarantineMatches(txn, ctx, anchors,
+                                             defining->name(), info->name));
   }
   stats_.activations.Inc();
   return id;
@@ -686,10 +707,21 @@ Status TriggerManager::PostEvent(Transaction* txn, Oid obj,
 
     switch (r.info->coupling) {
       case CouplingMode::kImmediate: {
-        if (++ctx->fire_depth > kMaxFireDepth) {
+        const int depth_limit =
+            options_.containment ? static_cast<int>(options_.max_cascade_depth)
+                                 : kMaxFireDepth;
+        if (++ctx->fire_depth > depth_limit) {
           --ctx->fire_depth;
-          return Status::Internal("immediate trigger cascade exceeded depth " +
-                                  std::to_string(kMaxFireDepth));
+          if (options_.containment) {
+            RecordCascadeCut(
+                ctx->budget != nullptr ? ctx->budget->root : txn->id(),
+                action, ctx->fire_depth,
+                ctx->budget != nullptr ? ctx->budget->actions : 0,
+                "immediate re-posting depth limit");
+          }
+          return Status::CascadeOverflow(
+              "immediate trigger cascade exceeded depth " +
+              std::to_string(depth_limit));
         }
         Status st = RunAction(txn, action);
         --ctx->fire_depth;
@@ -734,9 +766,36 @@ Status TriggerManager::RunAction(Transaction* txn,
     return Status::Internal("trigger " + info.name + " has no action");
   }
   TxnCtx* ctx = GetCtx(txn);
+  if (options_.containment && options_.max_cascade_actions > 0) {
+    // Charge the cascade's shared action budget before running. The
+    // budget follows the chain: created at the root, handed to every
+    // system transaction the chain spawns (see RunDetached). Only
+    // cascade links are charged — actions fired from inside another
+    // action, or from a detached chain transaction. A depth-0
+    // immediate/deferred action is flat fan-out bounded by the user's
+    // own transaction, not a runaway.
+    if (ctx->budget == nullptr) {
+      ctx->budget = std::make_shared<CascadeBudget>();
+      ctx->budget->root = txn->id();
+    }
+    if ((ctx->processing_depth > 0 || ctx->detach_depth > 0) &&
+        ++ctx->budget->actions > options_.max_cascade_actions) {
+      RecordCascadeCut(ctx->budget->root, action, ctx->detach_depth,
+                       ctx->budget->actions - 1,
+                       "cascade action budget exhausted");
+      return Status::CascadeOverflow(
+          "cascade rooted at txn " + std::to_string(ctx->budget->root) +
+          " exceeded " + std::to_string(options_.max_cascade_actions) +
+          " actions");
+    }
+  }
   ++ctx->processing_depth;
   const uint64_t span_start =
       tracer_ != nullptr && tracer_->Sampled(txn->id())
+          ? LatencyTimer::NowNanos()
+          : 0;
+  const uint64_t watchdog_start =
+      options_.containment && options_.action_timeout_us > 0
           ? LatencyTimer::NowNanos()
           : 0;
   Status st;
@@ -748,6 +807,24 @@ Status TriggerManager::RunAction(Transaction* txn,
   if (st.ok()) {
     Trace(TraceEvent::Kind::kActionRan, txn->id(), action.trigger_id,
           action.anchor, 0, 0, 0, info.coupling, nullptr, span_start);
+  }
+  // Watchdog: an overrunning action counts toward quarantine even when
+  // it succeeds — it cannot be interrupted, only contained next time.
+  bool overran = false;
+  if (watchdog_start != 0) {
+    const uint64_t ran_us =
+        (LatencyTimer::NowNanos() - watchdog_start) / 1000;
+    if (ran_us > options_.action_timeout_us) {
+      overran = true;
+      NoteActionFailure(action, "action-timeout",
+                        "ran " + std::to_string(ran_us) + "us against a " +
+                            std::to_string(options_.action_timeout_us) +
+                            "us deadline");
+    }
+  }
+  if (options_.containment && !overran && st.ok() &&
+      !txn->abort_requested()) {
+    NoteActionSuccess(action.trigger_id);
   }
   ODE_RETURN_NOT_OK(st);
   if (txn->abort_requested()) {
@@ -806,7 +883,9 @@ Status TriggerManager::PreCommit(Transaction* txn) {
   // a fixpoint (bounded).
   while (true) {
     if (++rounds > kMaxDeferredRounds) {
-      return Status::Internal("deferred trigger cascade did not quiesce");
+      return Status::CascadeOverflow(
+          "deferred trigger cascade did not quiesce after " +
+          std::to_string(kMaxDeferredRounds) + " rounds");
     }
     if (!ctx->end_list.empty()) {
       std::vector<PendingAction> batch = std::move(ctx->end_list);
@@ -854,6 +933,9 @@ Status TriggerManager::PostCommit(Transaction* txn) {
     }
   }
   std::vector<PendingAction> dependent, independent;
+  std::vector<Oid> unquarantined;
+  std::shared_ptr<CascadeBudget> budget;
+  int depth = 1;
   std::unique_ptr<TxnCtx> ctx;
   {
     CtxShard& shard = CtxShardFor(txn->id());
@@ -876,13 +958,35 @@ Status TriggerManager::PostCommit(Transaction* txn) {
     }
     dependent = std::move(ctx->dependent_list);
     independent = std::move(ctx->independent_list);
+    unquarantined = std::move(ctx->unquarantined);
+    budget = std::move(ctx->budget);
+    depth = ctx->detach_depth + 1;
   }
-  ODE_RETURN_NOT_OK(RunDetached(dependent, "dependent"));
-  return RunDetached(independent, "!dependent");
+  if (!unquarantined.empty()) ApplyUnquarantine(unquarantined);
+  // A root that ran no action of its own (dependent-only triggers) has
+  // no budget yet; create it here so the chain is attributed to the
+  // user's root transaction, not the first system transaction.
+  if (budget == nullptr && options_.containment &&
+      (!dependent.empty() || !independent.empty())) {
+    budget = std::make_shared<CascadeBudget>();
+    budget->root = txn->id();
+  }
+  Status dep_st =
+      RunDetached(std::move(dependent), "dependent", budget, depth);
+  Status ind_st =
+      dep_st.ok()
+          ? RunDetached(std::move(independent), "!dependent", budget, depth)
+          : Status::OK();
+  // Safe point: the transaction's locks are gone and no action is on the
+  // stack, so staged quarantines/dead letters can be persisted now.
+  DrainContainment();
+  return dep_st.ok() ? ind_st : dep_st;
 }
 
 Status TriggerManager::PostAbort(Transaction* txn) {
   std::vector<PendingAction> independent;
+  std::shared_ptr<CascadeBudget> budget;
+  int depth = 1;
   std::unique_ptr<TxnCtx> ctx;
   {
     CtxShard& shard = CtxShardFor(txn->id());
@@ -908,29 +1012,627 @@ Status TriggerManager::PostAbort(Transaction* txn) {
       }
     }
     independent = std::move(ctx->independent_list);
+    // ctx->unquarantined is discarded: the table erase rolled back.
+    budget = std::move(ctx->budget);
+    depth = ctx->detach_depth + 1;
   }
   // "The function handling transaction abort ... checks if the
   // !dependent list is non-empty after finishing all the tasks it
   // normally performs for roll-back" (§5.5).
-  return RunDetached(independent, "!dependent");
+  if (budget == nullptr && options_.containment && !independent.empty()) {
+    budget = std::make_shared<CascadeBudget>();
+    budget->root = txn->id();
+  }
+  Status st = RunDetached(std::move(independent), "!dependent", budget, depth);
+  DrainContainment();
+  return st;
 }
 
-Status TriggerManager::RunDetached(const std::vector<PendingAction>& actions,
-                                   const char* what) {
+Status TriggerManager::RunDetached(std::vector<PendingAction> actions,
+                                   const char* what,
+                                   std::shared_ptr<CascadeBudget> budget,
+                                   int depth) {
   if (actions.empty()) return Status::OK();
-  // One system transaction scans the whole list (§5.5).
-  ODE_ASSIGN_OR_RETURN(Transaction * txn,
-                       db_->txns()->Begin(/*system=*/true));
-  for (const PendingAction& a : actions) {
-    Status st = RunAction(txn, a);
-    if (!st.ok()) {
-      ODE_LOG(kWarn) << what << " trigger action failed: " << st.ToString();
-      Status ast = db_->txns()->Abort(txn, /*explicit_request=*/false);
-      if (!ast.ok()) return ast;
+  const bool independent = what[0] == '!';
+  if (options_.containment) {
+    // Firings queued before their trigger was quarantined are diverted
+    // to the dead-letter ring instead of running a known-poisoned action.
+    if (quarantine_set_size_.load(std::memory_order_relaxed) != 0) {
+      std::vector<PendingAction> diverted;
+      {
+        std::lock_guard<std::mutex> lock(containment_mu_);
+        auto keep_end = std::stable_partition(
+            actions.begin(), actions.end(), [&](const PendingAction& a) {
+              return a.trigger_id.IsNull() ||
+                     quarantined_or_pending_.count(a.trigger_id) == 0;
+            });
+        diverted.assign(std::make_move_iterator(keep_end),
+                        std::make_move_iterator(actions.end()));
+        actions.erase(keep_end, actions.end());
+      }
+      for (const PendingAction& a : diverted) {
+        EnqueueDeadLetter(a, what, "trigger quarantined");
+      }
+      if (actions.empty()) return Status::OK();
+    }
+    // Cascade depth budget: a runaway re-posting chain ends here, with
+    // the offending batch preserved for inspection.
+    if (depth > static_cast<int>(options_.max_cascade_depth)) {
+      const std::string why = "detached cascade depth budget (" +
+                              std::to_string(options_.max_cascade_depth) +
+                              ") exhausted";
+      for (const PendingAction& a : actions) {
+        RecordCascadeCut(budget != nullptr ? budget->root : kNoTxn, a,
+                         depth, budget != nullptr ? budget->actions : 0,
+                         why);
+        EnqueueDeadLetter(a, what, why);
+      }
+      return Status::OK();
+    }
+    // Admission backpressure: only !dependent batches are sheddable —
+    // they are fire-and-forget by construction. Dependent actions are
+    // part of their root transaction's committed semantics and always
+    // admitted.
+    if (independent && options_.max_inflight_system_actions > 0 &&
+        inflight_actions_.load(std::memory_order_relaxed) >=
+            static_cast<int64_t>(options_.max_inflight_system_actions)) {
+      stats_.actions_shed.Inc(actions.size());
+      for (const PendingAction& a : actions) {
+        EnqueueDeadLetter(a, what,
+                          "shed: system-action pipeline at high-water mark");
+      }
       return Status::OK();
     }
   }
-  return db_->txns()->Commit(txn);
+
+  const uint32_t attempts =
+      options_.containment
+          ? std::max<uint32_t>(1, options_.action_retry_attempts)
+          : 1;
+  Random jitter(reinterpret_cast<uintptr_t>(actions.data()) ^
+                (static_cast<uint64_t>(depth) << 32) ^ actions.size());
+  Status last;
+  const PendingAction* culprit = nullptr;
+  for (uint32_t attempt = 1; attempt <= attempts; ++attempt) {
+    culprit = nullptr;
+    // One system transaction scans the whole list (§5.5).
+    ODE_ASSIGN_OR_RETURN(Transaction * txn,
+                         db_->txns()->Begin(/*system=*/true));
+    const TxnId tid = txn->id();
+    inflight_actions_.fetch_add(1, std::memory_order_relaxed);
+    if (inflight_gauge_ != nullptr) inflight_gauge_->Add(1);
+    {
+      // Hand the cascade's shared budget and chain position to this
+      // link, so re-postings it makes are charged to the same root.
+      TxnCtx* ctx = GetCtx(txn);
+      ctx->budget = budget;
+      ctx->detach_depth = depth;
+    }
+    Status st;
+    for (const PendingAction& a : actions) {
+      st = RunAction(txn, a);
+      if (!st.ok()) {
+        culprit = &a;
+        break;
+      }
+    }
+    bool txn_gone = false;
+    if (st.ok()) {
+      st = db_->txns()->Commit(txn);
+      // Commit's kTransactionAborted path (a deferred action tabort'ed
+      // during commit processing) has already destroyed the transaction;
+      // other commit failures leave it live with locks held.
+      txn_gone = !st.ok() && st.IsTransactionAborted();
+    }
+    inflight_actions_.fetch_sub(1, std::memory_order_relaxed);
+    if (inflight_gauge_ != nullptr) inflight_gauge_->Sub(1);
+    if (st.ok()) return Status::OK();
+    if (!txn_gone) {
+      Status ast = db_->txns()->Abort(txn, /*explicit_request=*/false);
+      if (!ast.ok()) return ast;
+    }
+    last = st;
+    if (!options_.containment) {
+      // Pre-containment behavior: warn and drop the batch.
+      ODE_LOG(kWarn) << what << " trigger action failed: " << st.ToString();
+      return Status::OK();
+    }
+    const bool retryable = st.IsDeadlock() || st.IsLockTimeout();
+    if (!retryable || attempt == attempts) break;
+    stats_.action_retries.Inc();
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      Span s;
+      s.kind = SpanKind::kActionRetry;
+      s.txn = tid;
+      s.trigger = culprit != nullptr ? culprit->trigger_id : TriggerId();
+      s.anchor = culprit != nullptr ? culprit->anchor : Oid();
+      s.a = static_cast<int64_t>(attempt);
+      s.detail = st.ToString();
+      tracer_->Instant(std::move(s));
+    }
+    SleepBackoff(attempt, &jitter);
+  }
+
+  // Terminal failure: the batch is preserved in the dead-letter ring,
+  // and (for non-contention failures) the culprit's window advances.
+  if (last.IsDeadlock() || last.IsLockTimeout()) {
+    stats_.action_retries_exhausted.Inc();
+  } else if (culprit != nullptr && !last.IsCascadeOverflow()) {
+    // Overflow was already charged by RecordCascadeCut at the cut site.
+    NoteActionFailure(*culprit, "action-failure", last.ToString());
+  }
+  ODE_LOG(kWarn) << what << " trigger batch failed terminally: "
+                 << last.ToString();
+  for (const PendingAction& a : actions) {
+    EnqueueDeadLetter(a, what, last.ToString());
+  }
+  return Status::OK();
+}
+
+// ------------------------------------------------------------ containment
+
+namespace {
+constexpr const char* kQuarantineRoot = "ode.quarantine";
+constexpr const char* kQuarantineHeader = "__odeqt";
+constexpr const char* kDeadLetterRoot = "ode.deadletter";
+constexpr const char* kDeadLetterHeader = "__odedl";
+}  // namespace
+
+void TriggerManager::NoteActionSuccess(TriggerId id) {
+  if (id.IsNull()) return;
+  if (failure_window_count_.load(std::memory_order_relaxed) == 0) return;
+  std::lock_guard<std::mutex> lock(containment_mu_);
+  auto it = failure_windows_.find(id);
+  if (it == failure_windows_.end() || it->second.sticky) return;
+  failure_windows_.erase(it);
+  failure_window_count_.store(failure_windows_.size(),
+                              std::memory_order_relaxed);
+}
+
+void TriggerManager::NoteActionFailure(const PendingAction& action,
+                                       const char* why,
+                                       const std::string& detail) {
+  if (!options_.containment || options_.failure_threshold == 0) return;
+  // Local triggers die with their transaction; nothing to quarantine.
+  if (action.trigger_id.IsNull()) return;
+  std::lock_guard<std::mutex> lock(containment_mu_);
+  if (quarantined_or_pending_.count(action.trigger_id) != 0) return;
+  FailureWindow& window = failure_windows_[action.trigger_id];
+  ++window.count;
+  if (std::strcmp(why, "cascade-overflow") == 0) window.sticky = true;
+  if (window.count < options_.failure_threshold) {
+    failure_window_count_.store(failure_windows_.size(),
+                                std::memory_order_relaxed);
+    return;
+  }
+  // Threshold reached: stage the quarantine for the next safe point.
+  const TriggerInfo& info = action.type->triggers()[action.triggernum];
+  PendingQuarantine q;
+  q.id = action.trigger_id;
+  q.anchor = action.anchor;
+  q.trigger_name = info.name;
+  q.defining_class = action.type->name();
+  q.failures = window.count;
+  q.reason = std::string(why) + ": " + detail;
+  failure_windows_.erase(action.trigger_id);
+  failure_window_count_.store(failure_windows_.size(),
+                              std::memory_order_relaxed);
+  quarantined_or_pending_.insert(action.trigger_id);
+  quarantine_set_size_.store(quarantined_or_pending_.size(),
+                             std::memory_order_relaxed);
+  pending_quarantine_.push_back(std::move(q));
+  containment_pending_.store(true, std::memory_order_relaxed);
+}
+
+void TriggerManager::RecordCascadeCut(TxnId root, const PendingAction& action,
+                                      int depth, uint64_t actions_spent,
+                                      const std::string& why) {
+  stats_.cascade_overflows.Inc();
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    // Deliberately unsampled: a cut cascade is an anomaly worth a flight-
+    // recorder slot no matter which transaction rooted it.
+    Span s;
+    s.kind = SpanKind::kCascadeCut;
+    s.txn = root;
+    s.trigger = action.trigger_id;
+    s.anchor = action.anchor;
+    s.a = depth;
+    s.b = static_cast<int64_t>(actions_spent);
+    s.detail = why;
+    tracer_->Instant(std::move(s));
+  }
+  NoteActionFailure(action, "cascade-overflow", why);
+}
+
+void TriggerManager::EnqueueDeadLetter(const PendingAction& action,
+                                       const char* what,
+                                       const std::string& reason) {
+  if (!options_.containment || options_.dead_letter_capacity == 0) return;
+  const TriggerInfo& info = action.type->triggers()[action.triggernum];
+  DeadLetter dl;
+  dl.trigger = action.trigger_id;
+  dl.anchor = action.anchor;
+  dl.trigger_name = info.name;
+  dl.coupling = what;
+  dl.reason = reason;
+  std::lock_guard<std::mutex> lock(containment_mu_);
+  pending_dead_letters_.push_back(std::move(dl));
+  containment_pending_.store(true, std::memory_order_relaxed);
+}
+
+void TriggerManager::SleepBackoff(uint32_t attempt, Random* jitter) {
+  uint64_t backoff_us = static_cast<uint64_t>(options_.action_retry_backoff_us)
+                        << (attempt - 1);
+  backoff_us = std::min<uint64_t>(backoff_us, 100000);  // 100ms cap
+  backoff_us += jitter->Uniform(backoff_us / 2 + 1);
+  if (backoff_us == 0) return;
+  std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+}
+
+void TriggerManager::DrainContainment() {
+  if (!options_.containment) return;
+  if (!containment_pending_.load(std::memory_order_relaxed)) return;
+  // The drain's own commit re-enters the post-commit hook (and thus this
+  // function); the guard makes that re-entry a no-op.
+  thread_local bool draining = false;
+  if (draining) return;
+  std::vector<PendingQuarantine> quarantines;
+  std::vector<DeadLetter> letters;
+  {
+    std::lock_guard<std::mutex> lock(containment_mu_);
+    quarantines.swap(pending_quarantine_);
+    letters.swap(pending_dead_letters_);
+    containment_pending_.store(false, std::memory_order_relaxed);
+  }
+  if (quarantines.empty() && letters.empty()) return;
+  draining = true;
+  size_t table_size = SIZE_MAX, ring_size = SIZE_MAX;
+  Status st;
+  Random jitter(reinterpret_cast<uintptr_t>(&quarantines) ^
+                0x9e3779b97f4a7c15ULL);
+  for (uint32_t attempt = 1;; ++attempt) {
+    st = ApplyContainment(quarantines, letters, &table_size, &ring_size);
+    if (st.ok() || !(st.IsDeadlock() || st.IsLockTimeout()) ||
+        attempt > options_.action_retry_attempts) {
+      break;
+    }
+    SleepBackoff(attempt, &jitter);
+  }
+  draining = false;
+  if (!st.ok()) {
+    // Re-stage and retry at the next safe point; nothing is lost.
+    ODE_LOG(kWarn) << "containment write deferred: " << st.ToString();
+    std::lock_guard<std::mutex> lock(containment_mu_);
+    pending_quarantine_.insert(pending_quarantine_.begin(),
+                               std::make_move_iterator(quarantines.begin()),
+                               std::make_move_iterator(quarantines.end()));
+    pending_dead_letters_.insert(pending_dead_letters_.begin(),
+                                 std::make_move_iterator(letters.begin()),
+                                 std::make_move_iterator(letters.end()));
+    containment_pending_.store(true, std::memory_order_relaxed);
+    return;
+  }
+  if (table_size != SIZE_MAX) {
+    if (quarantined_gauge_ != nullptr) {
+      quarantined_gauge_->Set(static_cast<int64_t>(table_size));
+    }
+  }
+  if (ring_size != SIZE_MAX && deadletter_gauge_ != nullptr) {
+    deadletter_gauge_->Set(static_cast<int64_t>(ring_size));
+  }
+  for (const PendingQuarantine& q : quarantines) {
+    ODE_LOG(kWarn) << "trigger " << q.defining_class << "::"
+                   << q.trigger_name << " on " << q.anchor.ToString()
+                   << " quarantined after " << q.failures
+                   << " consecutive failures (" << q.reason << ")";
+    RecordQuarantineSpan(q);
+  }
+}
+
+Status TriggerManager::ApplyContainment(
+    const std::vector<PendingQuarantine>& quarantines,
+    const std::vector<DeadLetter>& letters, size_t* table_size,
+    size_t* ring_size) {
+  ODE_ASSIGN_OR_RETURN(Transaction * txn,
+                       db_->txns()->Begin(/*system=*/true));
+  auto body = [&]() -> Status {
+    if (!quarantines.empty()) {
+      Oid holder;
+      ODE_ASSIGN_OR_RETURN(
+          std::vector<QuarantinedTrigger> table,
+          ReadQuarantineTable(txn, &holder, /*for_update=*/true));
+      for (const PendingQuarantine& q : quarantines) {
+        // Deactivate the poisoned trigger (unless a user transaction got
+        // there first); the table entry records it either way.
+        std::vector<char> image;
+        Status rst = db_->ReadObjectForUpdate(txn, q.id, &image);
+        if (rst.ok()) {
+          ODE_ASSIGN_OR_RETURN(TriggerState state,
+                               TriggerState::Decode(image));
+          ODE_RETURN_NOT_OK(DeactivateInternal(txn, q.id, state));
+        } else if (!rst.IsNotFound()) {
+          return rst;
+        }
+        QuarantinedTrigger entry;
+        entry.id = q.id;
+        entry.anchor = q.anchor;
+        entry.trigger_name = q.trigger_name;
+        entry.defining_class = q.defining_class;
+        entry.failures = q.failures;
+        entry.reason = q.reason;
+        table.push_back(std::move(entry));
+      }
+      ODE_RETURN_NOT_OK(WriteQuarantineTable(txn, holder, table));
+      *table_size = table.size();
+    }
+    if (!letters.empty()) {
+      Oid holder;
+      ODE_ASSIGN_OR_RETURN(
+          DeadLetterRing ring,
+          ReadDeadLetterRing(txn, &holder, /*for_update=*/true));
+      for (const DeadLetter& dl : letters) {
+        ring.entries.push_back(dl);
+        ring.entries.back().seq = ring.next_seq++;
+      }
+      if (ring.entries.size() > options_.dead_letter_capacity) {
+        ring.entries.erase(
+            ring.entries.begin(),
+            ring.entries.end() - options_.dead_letter_capacity);
+      }
+      ODE_RETURN_NOT_OK(WriteDeadLetterRing(txn, holder, ring));
+      *ring_size = ring.entries.size();
+    }
+    return Status::OK();
+  };
+  Status st = body();
+  if (st.ok()) {
+    st = db_->txns()->Commit(txn);
+    // kTransactionAborted from Commit means the txn is already gone.
+    if (st.ok() || st.IsTransactionAborted()) return st;
+  }
+  Status ast = db_->txns()->Abort(txn, /*explicit_request=*/false);
+  if (!ast.ok()) {
+    ODE_LOG(kWarn) << "containment abort failed: " << ast.ToString();
+  }
+  return st;
+}
+
+void TriggerManager::RecordQuarantineSpan(const PendingQuarantine& q) {
+  if (tracer_ == nullptr || !tracer_->enabled()) return;
+  Span s;
+  s.kind = SpanKind::kQuarantine;
+  s.trigger = q.id;
+  s.anchor = q.anchor;
+  s.a = static_cast<int64_t>(q.failures);
+  s.detail = q.defining_class + "::" + q.trigger_name + " " + q.reason;
+  // Attach the causal chain behind the trigger's last firing — the
+  // "why was this trigger even running" answer — while the ring still
+  // holds it.
+  auto expl = ode::ExplainFiring(tracer_->Snapshot(), q.id);
+  if (expl.ok()) {
+    std::string chain = expl->ToString();
+    if (chain.size() > 2048) chain.resize(2048);
+    s.detail += "\n" + chain;
+  }
+  tracer_->Instant(std::move(s));
+}
+
+Status TriggerManager::ClearQuarantineMatches(
+    Transaction* txn, TxnCtx* ctx, const std::vector<Oid>& anchors,
+    const std::string& defining_class, const std::string& trigger_name) {
+  Oid holder;
+  ODE_ASSIGN_OR_RETURN(
+      std::vector<QuarantinedTrigger> table,
+      ReadQuarantineTable(txn, &holder, /*for_update=*/true));
+  bool changed = false;
+  for (auto it = table.begin(); it != table.end();) {
+    if (it->trigger_name == trigger_name &&
+        it->defining_class == defining_class &&
+        std::find(anchors.begin(), anchors.end(), it->anchor) !=
+            anchors.end()) {
+      ctx->unquarantined.push_back(it->id);
+      it = table.erase(it);
+      changed = true;
+    } else {
+      ++it;
+    }
+  }
+  if (!changed) return Status::OK();
+  return WriteQuarantineTable(txn, holder, table);
+}
+
+void TriggerManager::ApplyUnquarantine(const std::vector<Oid>& ids) {
+  size_t removed = 0;
+  {
+    std::lock_guard<std::mutex> lock(containment_mu_);
+    for (Oid id : ids) {
+      removed += quarantined_or_pending_.erase(id);
+      failure_windows_.erase(id);
+    }
+    failure_window_count_.store(failure_windows_.size(),
+                                std::memory_order_relaxed);
+    quarantine_set_size_.store(quarantined_or_pending_.size(),
+                               std::memory_order_relaxed);
+  }
+  if (removed != 0 && quarantined_gauge_ != nullptr) {
+    quarantined_gauge_->Sub(static_cast<int64_t>(removed));
+  }
+}
+
+Status TriggerManager::LoadContainmentState(Transaction* txn) {
+  Oid holder;
+  ODE_ASSIGN_OR_RETURN(
+      std::vector<QuarantinedTrigger> table,
+      ReadQuarantineTable(txn, &holder, /*for_update=*/false));
+  {
+    std::lock_guard<std::mutex> lock(containment_mu_);
+    failure_windows_.clear();
+    quarantined_or_pending_.clear();
+    for (const QuarantinedTrigger& entry : table) {
+      quarantined_or_pending_.insert(entry.id);
+    }
+    failure_window_count_.store(0, std::memory_order_relaxed);
+    quarantine_set_size_.store(quarantined_or_pending_.size(),
+                               std::memory_order_relaxed);
+  }
+  if (quarantined_gauge_ != nullptr) {
+    quarantined_gauge_->Set(static_cast<int64_t>(table.size()));
+  }
+  Oid dl_holder;
+  ODE_ASSIGN_OR_RETURN(
+      DeadLetterRing ring,
+      ReadDeadLetterRing(txn, &dl_holder, /*for_update=*/false));
+  if (deadletter_gauge_ != nullptr) {
+    deadletter_gauge_->Set(static_cast<int64_t>(ring.entries.size()));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<TriggerManager::QuarantinedTrigger>>
+TriggerManager::ListQuarantined(Transaction* txn) {
+  Oid holder;
+  return ReadQuarantineTable(txn, &holder, /*for_update=*/false);
+}
+
+Result<std::vector<TriggerManager::DeadLetter>> TriggerManager::DeadLetters(
+    Transaction* txn) {
+  Oid holder;
+  ODE_ASSIGN_OR_RETURN(
+      DeadLetterRing ring,
+      ReadDeadLetterRing(txn, &holder, /*for_update=*/false));
+  return std::move(ring.entries);
+}
+
+Result<std::vector<TriggerManager::QuarantinedTrigger>>
+TriggerManager::ReadQuarantineTable(Transaction* txn, Oid* holder,
+                                    bool for_update) {
+  std::vector<QuarantinedTrigger> table;
+  auto root = db_->GetRoot(txn, kQuarantineRoot);
+  if (!root.ok()) {
+    if (root.status().IsNotFound()) {
+      *holder = Oid::Null();
+      return table;
+    }
+    return root.status();
+  }
+  *holder = root.value();
+  std::vector<char> image;
+  ODE_RETURN_NOT_OK(for_update
+                        ? db_->ReadObjectForUpdate(txn, *holder, &image)
+                        : db_->ReadObject(txn, *holder, &image));
+  Decoder dec(image);
+  std::string header;
+  ODE_RETURN_NOT_OK(dec.GetString(&header));
+  if (header != kQuarantineHeader) {
+    return Status::Corruption("quarantine table: bad header");
+  }
+  uint64_t n;
+  ODE_RETURN_NOT_OK(dec.GetVarint(&n));
+  if (n * 20 > dec.remaining()) {
+    return Status::Corruption("quarantine table: bad entry count");
+  }
+  table.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    QuarantinedTrigger entry;
+    uint64_t id, anchor;
+    ODE_RETURN_NOT_OK(dec.GetU64(&id));
+    ODE_RETURN_NOT_OK(dec.GetU64(&anchor));
+    entry.id = Oid(id);
+    entry.anchor = Oid(anchor);
+    ODE_RETURN_NOT_OK(dec.GetString(&entry.trigger_name));
+    ODE_RETURN_NOT_OK(dec.GetString(&entry.defining_class));
+    ODE_RETURN_NOT_OK(dec.GetU32(&entry.failures));
+    ODE_RETURN_NOT_OK(dec.GetString(&entry.reason));
+    table.push_back(std::move(entry));
+  }
+  return table;
+}
+
+Status TriggerManager::WriteQuarantineTable(
+    Transaction* txn, Oid holder,
+    const std::vector<QuarantinedTrigger>& table) {
+  Encoder enc;
+  enc.PutString(kQuarantineHeader);
+  enc.PutVarint(table.size());
+  for (const QuarantinedTrigger& entry : table) {
+    enc.PutU64(entry.id.value());
+    enc.PutU64(entry.anchor.value());
+    enc.PutString(entry.trigger_name);
+    enc.PutString(entry.defining_class);
+    enc.PutU32(entry.failures);
+    enc.PutString(entry.reason);
+  }
+  if (holder.IsNull()) {
+    ODE_ASSIGN_OR_RETURN(Oid oid, db_->NewObject(txn, Slice(enc.buffer())));
+    return db_->SetRoot(txn, kQuarantineRoot, oid);
+  }
+  return db_->WriteObject(txn, holder, Slice(enc.buffer()));
+}
+
+Result<TriggerManager::DeadLetterRing> TriggerManager::ReadDeadLetterRing(
+    Transaction* txn, Oid* holder, bool for_update) {
+  DeadLetterRing ring;
+  auto root = db_->GetRoot(txn, kDeadLetterRoot);
+  if (!root.ok()) {
+    if (root.status().IsNotFound()) {
+      *holder = Oid::Null();
+      return ring;
+    }
+    return root.status();
+  }
+  *holder = root.value();
+  std::vector<char> image;
+  ODE_RETURN_NOT_OK(for_update
+                        ? db_->ReadObjectForUpdate(txn, *holder, &image)
+                        : db_->ReadObject(txn, *holder, &image));
+  Decoder dec(image);
+  std::string header;
+  ODE_RETURN_NOT_OK(dec.GetString(&header));
+  if (header != kDeadLetterHeader) {
+    return Status::Corruption("dead-letter ring: bad header");
+  }
+  ODE_RETURN_NOT_OK(dec.GetU64(&ring.next_seq));
+  uint64_t n;
+  ODE_RETURN_NOT_OK(dec.GetVarint(&n));
+  if (n * 27 > dec.remaining()) {
+    return Status::Corruption("dead-letter ring: bad entry count");
+  }
+  ring.entries.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    DeadLetter dl;
+    uint64_t trigger, anchor;
+    ODE_RETURN_NOT_OK(dec.GetU64(&dl.seq));
+    ODE_RETURN_NOT_OK(dec.GetU64(&trigger));
+    ODE_RETURN_NOT_OK(dec.GetU64(&anchor));
+    dl.trigger = Oid(trigger);
+    dl.anchor = Oid(anchor);
+    ODE_RETURN_NOT_OK(dec.GetString(&dl.trigger_name));
+    ODE_RETURN_NOT_OK(dec.GetString(&dl.coupling));
+    ODE_RETURN_NOT_OK(dec.GetString(&dl.reason));
+    ring.entries.push_back(std::move(dl));
+  }
+  return ring;
+}
+
+Status TriggerManager::WriteDeadLetterRing(Transaction* txn, Oid holder,
+                                           const DeadLetterRing& ring) {
+  Encoder enc;
+  enc.PutString(kDeadLetterHeader);
+  enc.PutU64(ring.next_seq);
+  enc.PutVarint(ring.entries.size());
+  for (const DeadLetter& dl : ring.entries) {
+    enc.PutU64(dl.seq);
+    enc.PutU64(dl.trigger.value());
+    enc.PutU64(dl.anchor.value());
+    enc.PutString(dl.trigger_name);
+    enc.PutString(dl.coupling);
+    enc.PutString(dl.reason);
+  }
+  if (holder.IsNull()) {
+    ODE_ASSIGN_OR_RETURN(Oid oid, db_->NewObject(txn, Slice(enc.buffer())));
+    return db_->SetRoot(txn, kDeadLetterRoot, oid);
+  }
+  return db_->WriteObject(txn, holder, Slice(enc.buffer()));
 }
 
 }  // namespace ode

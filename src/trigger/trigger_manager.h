@@ -6,9 +6,11 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/random.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "objstore/database.h"
@@ -146,6 +148,42 @@ class TriggerManager {
     /// disables tracing — the hot path then pays one null-pointer test
     /// per would-be trace point.
     size_t trace_capacity = 0;
+    /// Master switch for the trigger-runtime containment layer: cascade
+    /// budgets, poisoned-trigger quarantine, detached-action retry, and
+    /// overload shedding. Off restores the pre-containment behavior
+    /// (unbounded budgets except kMaxFireDepth/kMaxDeferredRounds, failed
+    /// detached batches warned and dropped).
+    bool containment = true;
+    /// Maximum trigger-cascade depth per root transaction: immediate
+    /// re-posting depth within a transaction, and the length of the
+    /// dependent/!dependent re-posting chain across the system
+    /// transactions it spawns. Exceeding it cuts the cascade with
+    /// kCascadeOverflow.
+    size_t max_cascade_depth = 32;
+    /// Maximum trigger actions run on behalf of one root transaction
+    /// (summed across the whole detached chain).
+    size_t max_cascade_actions = 4096;
+    /// Consecutive failures (detached action error/tabort, cascade
+    /// overflow, watchdog timeout) after which a trigger is quarantined:
+    /// auto-deactivated into a persisted table, re-armable by Activate.
+    uint32_t failure_threshold = 3;
+    /// Soft per-action deadline in microseconds (0 = no watchdog). An
+    /// action that overruns counts one failure toward quarantine; it is
+    /// not interrupted (actions are arbitrary C++).
+    uint64_t action_timeout_us = 0;
+    /// Attempts per detached (dependent/!dependent) action batch whose
+    /// system transaction aborts with kDeadlock or kLockTimeout.
+    uint32_t action_retry_attempts = 3;
+    /// Backoff before the first retry; doubles per attempt (plus jitter,
+    /// capped at 100ms).
+    uint32_t action_retry_backoff_us = 100;
+    /// Capacity of the persisted dead-letter ring holding actions that
+    /// were cut, shed, quarantined, or failed terminally.
+    size_t dead_letter_capacity = 64;
+    /// Admission high-water mark: new !dependent batches are shed to the
+    /// dead-letter ring while this many detached system-action batches
+    /// are already in flight.
+    size_t max_inflight_system_actions = 8;
   };
 
   /// Monitoring counters, backed by the database's MetricsRegistry (the
@@ -168,6 +206,12 @@ class TriggerManager {
     Counter& lookup_cache_hits;
     Counter& lookup_cache_misses;
     Counter& state_writebacks;  // deferred encode+writes
+    // Containment (see Options::containment).
+    Counter& cascade_overflows;         // firing budgets hit (cuts)
+    Counter& action_retries;            // detached batches re-run
+    Counter& action_retries_exhausted;  // gave up after the last attempt
+    Counter& actions_shed;              // !dependent actions dropped at
+                                        //   the admission high-water mark
   };
 
   explicit TriggerManager(Database* db, Options options);
@@ -238,6 +282,38 @@ class TriggerManager {
   /// FSM states.
   Result<std::vector<ActiveTrigger>> ListActive(Transaction* txn, Oid obj);
 
+  /// A trigger auto-deactivated by the containment layer after
+  /// Options::failure_threshold consecutive failures. The entry persists
+  /// (and survives recovery) until the trigger is re-armed by an explicit
+  /// Activate of the same trigger on the same anchor.
+  struct QuarantinedTrigger {
+    TriggerId id;          // the deactivated TriggerState's oid
+    Oid anchor;
+    std::string trigger_name;
+    std::string defining_class;
+    uint32_t failures = 0;
+    std::string reason;    // last failure, e.g. "action-failure: ..."
+  };
+
+  /// A detached action the containment layer refused to run (cascade cut,
+  /// overload shed, quarantined trigger) or gave up on (retry exhausted,
+  /// terminal failure). Kept in a persisted bounded ring, oldest evicted
+  /// first; `seq` is a monotone id that survives eviction and recovery.
+  struct DeadLetter {
+    uint64_t seq = 0;
+    TriggerId trigger;     // null for transient (local) triggers
+    Oid anchor;
+    std::string trigger_name;
+    std::string coupling;  // "dependent" or "!dependent"
+    std::string reason;
+  };
+
+  /// The persisted quarantine table (empty if nothing is quarantined).
+  Result<std::vector<QuarantinedTrigger>> ListQuarantined(Transaction* txn);
+
+  /// The persisted dead-letter ring, oldest first.
+  Result<std::vector<DeadLetter>> DeadLetters(Transaction* txn);
+
   /// Posts a basic event to an object — the PostEvent of §5.4.5. Advances
   /// every active trigger's FSM (masks resolved as pseudo-events), then
   /// fires/queues the triggers whose machines reached an accept state.
@@ -306,6 +382,33 @@ class TriggerManager {
     bool deleted = false;  // deactivated in this txn; skip write-back
   };
 
+  /// Firing budget shared by every transaction in one cascade: the root
+  /// transaction and the chain of system transactions its triggers spawn.
+  /// The chain runs sequentially on one thread (RunDetached commits one
+  /// link before the next begins), so plain fields suffice.
+  struct CascadeBudget {
+    TxnId root = kNoTxn;   // the user transaction that rooted the cascade
+    uint64_t actions = 0;  // actions run so far across the whole chain
+  };
+
+  /// A quarantine staged by failure accounting, waiting for a safe point
+  /// (no locks held, no transaction on the stack) to be persisted.
+  struct PendingQuarantine {
+    TriggerId id;
+    Oid anchor;
+    std::string trigger_name;
+    std::string defining_class;
+    uint32_t failures = 0;
+    std::string reason;
+  };
+
+  /// Persisted dead-letter ring image: a monotone sequence counter plus
+  /// the surviving entries, oldest first.
+  struct DeadLetterRing {
+    uint64_t next_seq = 1;
+    std::vector<DeadLetter> entries;
+  };
+
   /// Per-transaction trigger context (discarded at txn end — which is
   /// also what deallocates local triggers, as the paper prescribes).
   /// Owned by the ctx-shard map; reached lock-free through the owning
@@ -327,6 +430,15 @@ class TriggerManager {
     uint64_t next_local_id = 1;
     int fire_depth = 0;
     int processing_depth = 0;  // any trigger action on the stack
+    /// The cascade this transaction belongs to (created lazily by the
+    /// first action; inherited by the system transactions it spawns).
+    std::shared_ptr<CascadeBudget> budget;
+    /// 0 for user transactions; a system transaction's position in the
+    /// detached chain (its spawned lists run at detach_depth + 1).
+    int detach_depth = 0;
+    /// Quarantine-table ids erased by re-activation in this transaction;
+    /// applied to the in-memory quarantine set if the commit sticks.
+    std::vector<Oid> unquarantined;
   };
 
   /// A stripe of the committed object->active-trigger-count map.
@@ -437,9 +549,75 @@ class TriggerManager {
   /// Posts the given transaction event to every interested object.
   Status PostTxnEvent(Transaction* txn, EventKind kind);
 
-  /// Runs a list of pending actions in one fresh system transaction.
-  Status RunDetached(const std::vector<PendingAction>& actions,
-                     const char* what);
+  /// Runs a list of pending actions in one fresh system transaction at
+  /// position `depth` of the cascade owning `budget` (either may be
+  /// null/default for legacy callers). With containment on this is where
+  /// depth cuts, overload shedding, quarantine diversion, and
+  /// deadlock/timeout retry happen; a batch that cannot be run or
+  /// retried lands in the dead-letter ring instead of being lost.
+  Status RunDetached(std::vector<PendingAction> actions, const char* what,
+                     std::shared_ptr<CascadeBudget> budget, int depth);
+
+  // --- containment (see Options::containment) ---
+
+  /// Clears a trigger's failure window after a clean action run. One
+  /// relaxed load when no window is open anywhere.
+  void NoteActionSuccess(TriggerId id);
+
+  /// Advances the trigger's consecutive-failure window; at
+  /// Options::failure_threshold the trigger is staged for quarantine
+  /// (persisted at the next DrainContainment safe point).
+  void NoteActionFailure(const PendingAction& action, const char* why,
+                         const std::string& detail);
+
+  /// Records a cascade cut: counter, flight-recorder span, and one
+  /// failure against the offending trigger.
+  void RecordCascadeCut(TxnId root, const PendingAction& action, int depth,
+                        uint64_t actions_spent, const std::string& why);
+
+  /// Stages one action for the persisted dead-letter ring.
+  void EnqueueDeadLetter(const PendingAction& action, const char* what,
+                         const std::string& reason);
+
+  /// Persists staged quarantines and dead letters in a fresh system
+  /// transaction (retried on deadlock, re-staged on failure). Runs at
+  /// safe points — after post-commit/post-abort hook work — and is
+  /// reentrancy-guarded, since its own commit re-enters the hooks.
+  void DrainContainment();
+  Status ApplyContainment(const std::vector<PendingQuarantine>& quarantines,
+                          const std::vector<DeadLetter>& letters,
+                          size_t* table_size, size_t* ring_size);
+
+  /// Emits the kQuarantine span, with the firing provenance of the
+  /// quarantined trigger (ExplainFiring) attached as detail.
+  void RecordQuarantineSpan(const PendingQuarantine& q);
+
+  /// Removes re-activated triggers from the quarantine table (matched by
+  /// anchor + defining class + trigger name); the erased ids land in
+  /// ctx->unquarantined for post-commit set maintenance.
+  Status ClearQuarantineMatches(Transaction* txn, TxnCtx* ctx,
+                                const std::vector<Oid>& anchors,
+                                const std::string& defining_class,
+                                const std::string& trigger_name);
+
+  /// Applies a committed unquarantine to the in-memory set and gauges.
+  void ApplyUnquarantine(const std::vector<Oid>& ids);
+
+  /// Primes the in-memory quarantine set and gauges from the persisted
+  /// tables (PrimeActiveCounts tail).
+  Status LoadContainmentState(Transaction* txn);
+
+  Result<std::vector<QuarantinedTrigger>> ReadQuarantineTable(
+      Transaction* txn, Oid* holder, bool for_update);
+  Status WriteQuarantineTable(Transaction* txn, Oid holder,
+                              const std::vector<QuarantinedTrigger>& table);
+  Result<DeadLetterRing> ReadDeadLetterRing(Transaction* txn, Oid* holder,
+                                            bool for_update);
+  Status WriteDeadLetterRing(Transaction* txn, Oid holder,
+                             const DeadLetterRing& ring);
+
+  /// Exponential backoff with jitter before retry `attempt` (1-based).
+  void SleepBackoff(uint32_t attempt, Random* jitter);
 
   Database* db_;
   Options options_;
@@ -463,6 +641,36 @@ class TriggerManager {
   Histogram* action_latency_[4] = {nullptr, nullptr, nullptr, nullptr};
   std::unique_ptr<TriggerTraceRing> trace_;
   Tracer* tracer_ = nullptr;  // the owning Database's span tracer
+
+  // --- containment state ---
+  //
+  // containment_mu_ is a leaf lock guarding the failure windows, the
+  // quarantine set, and the staging queues. The atomics alongside it
+  // mirror emptiness so the hot paths (action success, detached
+  // dispatch, activation) pay one relaxed load when containment has
+  // nothing to say.
+  std::mutex containment_mu_;
+  /// Consecutive-failure window per trigger. `sticky` marks windows
+  /// advanced by a cascade overflow: a runaway trigger's intermediate
+  /// links succeed by construction, so those successes must not clear
+  /// the overflow evidence.
+  struct FailureWindow {
+    uint32_t count = 0;
+    bool sticky = false;
+  };
+  std::unordered_map<Oid, FailureWindow, OidHash> failure_windows_;
+  /// Triggers quarantined (persisted) or staged for quarantine.
+  std::unordered_set<Oid, OidHash> quarantined_or_pending_;
+  std::vector<PendingQuarantine> pending_quarantine_;
+  std::vector<DeadLetter> pending_dead_letters_;
+  std::atomic<size_t> failure_window_count_{0};
+  std::atomic<size_t> quarantine_set_size_{0};
+  std::atomic<bool> containment_pending_{false};
+  /// Detached system-action batches currently executing (admission gauge).
+  std::atomic<int64_t> inflight_actions_{0};
+  Gauge* quarantined_gauge_ = nullptr;  // ode_trigger_quarantined
+  Gauge* deadletter_gauge_ = nullptr;   // ode_deadletter_depth
+  Gauge* inflight_gauge_ = nullptr;     // ode_system_actions_inflight
 
   static constexpr int kMaxFireDepth = 32;
   static constexpr int kMaxDeferredRounds = 64;

@@ -1,0 +1,550 @@
+// Trigger-runtime containment: cascade budgets, poisoned-trigger
+// quarantine, deadlock-abort retry, admission backpressure, and the
+// dead-letter ring. The centerpiece is a multi-threaded torture run
+// mixing a perpetually self-re-posting trigger and a permanently
+// tabort'ing trigger with a well-behaved one: the store must stay
+// live, the bad triggers must end up quarantined (with the failure
+// provenance recorded), and the good trigger must keep firing.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "odepp/session.h"
+
+namespace ode {
+namespace {
+
+struct RCell {
+  int32_t hits = 0;
+  int32_t fires = 0;
+
+  void Hit() { ++hits; }
+  void Ping() {}
+
+  void Encode(Encoder& enc) const {
+    enc.PutI32(hits);
+    enc.PutI32(fires);
+  }
+  static Result<RCell> Decode(Decoder& dec) {
+    RCell c;
+    ODE_RETURN_NOT_OK(dec.GetI32(&c.hits));
+    ODE_RETURN_NOT_OK(dec.GetI32(&c.fires));
+    return c;
+  }
+};
+
+using CellAction = std::function<Status(RCell&, TriggerFireContext&)>;
+
+/// Re-posts "after Hit" to the action's own anchor: a dependent
+/// trigger with this action forms a perpetual detached cascade, an
+/// immediate one recurses in place.
+Status RepostHit(RCell&, TriggerFireContext& ctx) {
+  auto* type = ctx.triggers()->FindType("RCell");
+  const EventDecl* decl = type->FindEvent("after Hit");
+  return ctx.triggers()->PostEvent(ctx.txn(), ctx.anchor(), type,
+                                   decl->symbol);
+}
+
+CellAction CountFires() {
+  return [](RCell& c, TriggerFireContext&) -> Status {
+    ++c.fires;
+    return Status::OK();
+  };
+}
+
+/// Schema with one RCell class; triggers are appended by each test.
+class CascadeHarness {
+ public:
+  struct TriggerSpec {
+    std::string name;
+    std::string expr;
+    CellAction action;
+    CouplingMode coupling = CouplingMode::kDependent;
+  };
+
+  CascadeHarness(std::vector<TriggerSpec> specs, Session::Options options,
+                 size_t cells = 1) {
+    auto builder = schema_.DeclareClass<RCell>("RCell")
+                       .Event("after Hit")
+                       .Event("after Ping")
+                       .Method("Hit", &RCell::Hit)
+                       .Method("Ping", &RCell::Ping);
+    for (TriggerSpec& spec : specs) {
+      builder.Trigger(spec.name, spec.expr, std::move(spec.action),
+                      spec.coupling, /*perpetual=*/true);
+    }
+    Status st = schema_.Freeze();
+    ODE_CHECK(st.ok()) << st.ToString();
+    auto session =
+        Session::Open(StorageKind::kMainMemory, "", &schema_, options);
+    ODE_CHECK(session.ok()) << session.status().ToString();
+    session_ = std::move(session).value();
+    st = session_->WithTransaction([&](Transaction* txn) -> Status {
+      for (size_t i = 0; i < cells; ++i) {
+        auto r = session_->New(txn, RCell{});
+        ODE_RETURN_NOT_OK(r.status());
+        cells_.push_back(*r);
+      }
+      return Status::OK();
+    });
+    ODE_CHECK(st.ok()) << st.ToString();
+  }
+
+  Session& session() { return *session_; }
+  PRef<RCell> cell(size_t i = 0) const { return cells_[i]; }
+
+  Status Activate(size_t cell, const std::string& trigger) {
+    return session_->WithTransaction([&](Transaction* txn) -> Status {
+      return session_->Activate(txn, cells_[cell], trigger).status();
+    });
+  }
+
+  Status Hit(size_t cell) {
+    return session_->WithTransaction([&](Transaction* txn) -> Status {
+      return session_->Invoke(txn, cells_[cell], &RCell::Hit);
+    });
+  }
+
+  Status Ping(size_t cell) {
+    return session_->WithTransaction([&](Transaction* txn) -> Status {
+      return session_->Invoke(txn, cells_[cell], &RCell::Ping);
+    });
+  }
+
+  RCell Load(size_t cell) {
+    RCell out;
+    Status st = session_->WithTransaction([&](Transaction* txn) -> Status {
+      auto c = session_->Load(txn, cells_[cell]);
+      ODE_RETURN_NOT_OK(c.status());
+      out = *c;
+      return Status::OK();
+    });
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    return out;
+  }
+
+  uint64_t Counter(const std::string& name) {
+    return session_->metrics()->GetCounter(name)->value();
+  }
+  int64_t Gauge(const std::string& name) {
+    return session_->metrics()->GetGauge(name)->value();
+  }
+
+ private:
+  Schema schema_;
+  std::unique_ptr<Session> session_;
+  std::vector<PRef<RCell>> cells_;
+};
+
+Session::Options FastContainment() {
+  Session::Options o;
+  o.max_cascade_depth = 5;
+  o.trigger_failure_threshold = 3;
+  o.action_retry_attempts = 2;
+  o.action_retry_backoff_us = 10;
+  o.dead_letter_capacity = 32;
+  return o;
+}
+
+// ------------------------------------------------------------- torture
+
+TEST(CascadeTorture, PoisonedTriggersQuarantineWhileTheStoreStaysLive) {
+  // Cell 0: "Runaway" re-posts itself forever (cut by the depth budget,
+  // each cut charging its failure window). Cell 1: "Veto" taborts its
+  // system transaction every time. Cell 2: "Good" just counts.
+  Session::Options opts = FastContainment();
+  CascadeHarness h(
+      {{"Runaway", "after Hit", RepostHit},
+       {"Veto", "after Hit",
+        [](RCell&, TriggerFireContext& ctx) -> Status {
+          ctx.Tabort("poisoned: always vetoes");
+          return Status::OK();
+        }},
+       {"Good", "after Hit", CountFires()}},
+      opts, /*cells=*/3);
+  ASSERT_TRUE(h.Activate(0, "Runaway").ok());
+  ASSERT_TRUE(h.Activate(1, "Veto").ok());
+  ASSERT_TRUE(h.Activate(2, "Good").ok());
+  {
+    auto q = h.session().QuarantinedTriggers();
+    ASSERT_TRUE(q.ok()) << q.status().ToString();
+    EXPECT_TRUE(q->empty()) << "fresh database: nothing quarantined yet";
+  }
+
+  constexpr int kThreads = 4;
+  constexpr int kIters = 18;  // round-robin: each cell hit 6x per thread
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        Status st = h.Hit(static_cast<size_t>((t + i) % 3));
+        // Every user transaction must succeed: the poison is contained
+        // in detached system transactions, never billed to the caller.
+        if (!st.ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // The store survived and still serves reads and writes.
+  EXPECT_GT(h.Load(0).hits, 0);
+  ASSERT_TRUE(h.Hit(2).ok());
+
+  // Both poisoned triggers are quarantined, with provenance; the good
+  // one is not, and kept firing after its neighbors were contained.
+  auto q = h.session().QuarantinedTriggers();
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->size(), 2u);
+  bool saw_runaway = false, saw_veto = false;
+  for (const auto& entry : *q) {
+    EXPECT_EQ(entry.defining_class, "RCell");
+    EXPECT_GE(entry.failures, opts.trigger_failure_threshold);
+    EXPECT_FALSE(entry.reason.empty());
+    if (entry.trigger_name == "Runaway") {
+      saw_runaway = true;
+      EXPECT_NE(entry.reason.find("cascade-overflow"), std::string::npos)
+          << entry.reason;
+    } else if (entry.trigger_name == "Veto") {
+      saw_veto = true;
+      EXPECT_NE(entry.reason.find("action-failure"), std::string::npos)
+          << entry.reason;
+    }
+  }
+  EXPECT_TRUE(saw_runaway);
+  EXPECT_TRUE(saw_veto);
+  EXPECT_GT(h.Load(2).fires, 0);
+  EXPECT_EQ(h.Gauge("ode_trigger_quarantined"), 2);
+  EXPECT_GT(h.Counter("ode_cascade_overflows_total"), 0u);
+
+  // The cut and diverted firings landed in the dead-letter ring, in
+  // order, bounded by capacity.
+  auto letters = h.session().DeadLetters();
+  ASSERT_TRUE(letters.ok()) << letters.status().ToString();
+  ASSERT_FALSE(letters->empty());
+  EXPECT_LE(letters->size(), opts.dead_letter_capacity);
+  for (size_t i = 1; i < letters->size(); ++i) {
+    EXPECT_LT((*letters)[i - 1].seq, (*letters)[i].seq);
+  }
+  EXPECT_EQ(h.Gauge("ode_deadletter_depth"),
+            static_cast<int64_t>(letters->size()));
+
+  // Quarantined triggers are deactivated: hitting cell 0 no longer
+  // starts a cascade.
+  const uint64_t cuts = h.Counter("ode_cascade_overflows_total");
+  ASSERT_TRUE(h.Hit(0).ok());
+  EXPECT_EQ(h.Counter("ode_cascade_overflows_total"), cuts);
+}
+
+// ------------------------------------------------------ cascade budgets
+
+TEST(CascadeBudgets, DepthCutQuarantinesAfterRepeatedOverflowsThenRearms) {
+  Session::Options opts = FastContainment();
+  CascadeHarness h({{"Loop", "after Hit", RepostHit}}, opts);
+  ASSERT_TRUE(h.Activate(0, "Loop").ok());
+
+  for (uint32_t i = 0; i < opts.trigger_failure_threshold; ++i) {
+    ASSERT_TRUE(h.Hit(0).ok()) << "user transactions never see the cut";
+  }
+  EXPECT_GE(h.Counter("ode_cascade_overflows_total"),
+            static_cast<uint64_t>(opts.trigger_failure_threshold));
+  auto q = h.session().QuarantinedTriggers();
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->size(), 1u);
+  EXPECT_EQ((*q)[0].trigger_name, "Loop");
+  auto letters = h.session().DeadLetters();
+  ASSERT_TRUE(letters.ok());
+  ASSERT_FALSE(letters->empty());
+  EXPECT_NE(letters->front().reason.find("depth budget"), std::string::npos)
+      << letters->front().reason;
+
+  // Explicit re-activation is the re-arm: it clears the quarantine
+  // entry (and the gauge) in the same transaction.
+  ASSERT_TRUE(h.Activate(0, "Loop").ok());
+  q = h.session().QuarantinedTriggers();
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->empty());
+  EXPECT_EQ(h.Gauge("ode_trigger_quarantined"), 0);
+}
+
+TEST(CascadeBudgets, ActionBudgetBoundsTotalWorkPerRoot) {
+  Session::Options opts = FastContainment();
+  opts.max_cascade_depth = 1000;  // depth alone would allow a long chain
+  opts.max_cascade_actions = 8;
+  CascadeHarness h({{"Loop", "after Hit", RepostHit}}, opts);
+  ASSERT_TRUE(h.Activate(0, "Loop").ok());
+  ASSERT_TRUE(h.Hit(0).ok());
+  EXPECT_GT(h.Counter("ode_cascade_overflows_total"), 0u);
+  auto letters = h.session().DeadLetters();
+  ASSERT_TRUE(letters.ok());
+  ASSERT_FALSE(letters->empty());
+  EXPECT_NE(letters->front().reason.find("cascade"), std::string::npos);
+}
+
+// ------------------------------------------------------- retry / backoff
+
+TEST(ActionRetry, TransientDeadlockAbortsAreRetriedToSuccess) {
+  auto attempts = std::make_shared<std::atomic<int>>(0);
+  Session::Options opts = FastContainment();
+  opts.action_retry_attempts = 3;
+  CascadeHarness h({{"Flaky", "after Hit",
+                     [attempts](RCell& c, TriggerFireContext&) -> Status {
+                       if (attempts->fetch_add(1) < 2) {
+                         return Status::Deadlock("synthetic wait-for cycle");
+                       }
+                       ++c.fires;
+                       return Status::OK();
+                     }}},
+                   opts);
+  ASSERT_TRUE(h.Activate(0, "Flaky").ok());
+  ASSERT_TRUE(h.Hit(0).ok());
+  EXPECT_EQ(attempts->load(), 3);
+  EXPECT_EQ(h.Load(0).fires, 1) << "third attempt committed";
+  EXPECT_EQ(h.Counter("ode_action_retries_total"), 2u);
+  EXPECT_EQ(h.Counter("ode_action_retries_exhausted_total"), 0u);
+  // Contention is not poison: no window advanced, nothing quarantined.
+  auto q = h.session().QuarantinedTriggers();
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->empty());
+}
+
+TEST(ActionRetry, ExhaustionDeadLettersWithoutQuarantining) {
+  Session::Options opts = FastContainment();
+  opts.action_retry_attempts = 2;
+  CascadeHarness h({{"Contended", "after Hit",
+                     [](RCell&, TriggerFireContext&) -> Status {
+                       return Status::Deadlock("synthetic wait-for cycle");
+                     }}},
+                   opts);
+  ASSERT_TRUE(h.Activate(0, "Contended").ok());
+  ASSERT_TRUE(h.Hit(0).ok()) << "exhaustion is absorbed, not propagated";
+  EXPECT_EQ(h.Load(0).fires, 0);
+  EXPECT_GE(h.Counter("ode_action_retries_exhausted_total"), 1u);
+  auto letters = h.session().DeadLetters();
+  ASSERT_TRUE(letters.ok());
+  ASSERT_EQ(letters->size(), 1u);
+  EXPECT_NE(letters->front().reason.find("deadlock"), std::string::npos);
+  // Deadlock victims are innocent: the trigger stays armed.
+  auto q = h.session().QuarantinedTriggers();
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->empty());
+}
+
+// ------------------------------------------------------------ watchdog
+
+TEST(Watchdog, OverrunningActionsAreQuarantinedAfterTheFact) {
+  Session::Options opts = FastContainment();
+  opts.trigger_action_timeout_us = 200;
+  opts.trigger_failure_threshold = 2;
+  CascadeHarness h({{"Slow", "after Hit",
+                     [](RCell& c, TriggerFireContext&) -> Status {
+                       std::this_thread::sleep_for(
+                           std::chrono::milliseconds(3));
+                       ++c.fires;
+                       return Status::OK();
+                     }}},
+                   opts);
+  ASSERT_TRUE(h.Activate(0, "Slow").ok());
+  // The action cannot be preempted, so each overrun still commits; the
+  // second one trips the window.
+  ASSERT_TRUE(h.Hit(0).ok());
+  ASSERT_TRUE(h.Hit(0).ok());
+  EXPECT_EQ(h.Load(0).fires, 2);
+  auto q = h.session().QuarantinedTriggers();
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->size(), 1u);
+  EXPECT_EQ((*q)[0].trigger_name, "Slow");
+  EXPECT_NE((*q)[0].reason.find("action-timeout"), std::string::npos)
+      << (*q)[0].reason;
+}
+
+// ------------------------------------------------------- backpressure
+
+TEST(Backpressure, IndependentBatchesShedAtTheHighWaterMark) {
+  struct Gate {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool open = false;
+  };
+  auto gate = std::make_shared<Gate>();
+  Session::Options opts = FastContainment();
+  opts.max_inflight_system_actions = 1;
+  CascadeHarness h({{"Notify", "after Ping",
+                     [gate](RCell& c, TriggerFireContext&) -> Status {
+                       std::unique_lock<std::mutex> lock(gate->mu);
+                       gate->cv.wait(lock, [&] { return gate->open; });
+                       ++c.fires;
+                       return Status::OK();
+                     },
+                     CouplingMode::kIndependent}},
+                   opts, /*cells=*/2);
+  ASSERT_TRUE(h.Activate(0, "Notify").ok());
+  ASSERT_TRUE(h.Activate(1, "Notify").ok());
+
+  // Thread A's !dependent action parks inside its system transaction,
+  // pinning the in-flight gauge at the high-water mark.
+  std::thread blocked([&] { EXPECT_TRUE(h.Ping(0).ok()); });
+  for (int spin = 0; h.Gauge("ode_system_actions_inflight") < 1; ++spin) {
+    ASSERT_LT(spin, 5000) << "first system action never started";
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // A second !dependent batch arriving now is shed, not queued.
+  ASSERT_TRUE(h.Ping(1).ok());
+  EXPECT_EQ(h.Counter("ode_trigger_actions_shed_total"), 1u);
+  auto letters = h.session().DeadLetters();
+  ASSERT_TRUE(letters.ok());
+  ASSERT_EQ(letters->size(), 1u);
+  EXPECT_NE(letters->front().reason.find("shed"), std::string::npos);
+  EXPECT_EQ(letters->front().coupling, "!dependent");
+
+  {
+    std::lock_guard<std::mutex> lock(gate->mu);
+    gate->open = true;
+  }
+  gate->cv.notify_all();
+  blocked.join();
+  EXPECT_EQ(h.Load(0).fires, 1) << "admitted action ran to completion";
+  EXPECT_EQ(h.Load(1).fires, 0) << "shed action never ran";
+  EXPECT_EQ(h.Gauge("ode_system_actions_inflight"), 0);
+}
+
+// -------------------------------------------- local triggers + aborts
+
+TEST(LocalTriggers, ActivateDeactivateRaceAbortingCascades) {
+  // Four threads churn transient local rules on their own cells while a
+  // persistent dependent trigger cascades (bounded by the depth budget)
+  // and half the transactions abort. Exercises the TxnCtx teardown
+  // paths (commit, abort, local dealloc) against the containment
+  // bookkeeping under TSan.
+  Session::Options opts = FastContainment();
+  opts.trigger_failure_threshold = 0;  // churn forever, never quarantine
+  CascadeHarness h({{"Chain", "after Hit", RepostHit},
+                    {"Local", "after Hit", CountFires(),
+                     CouplingMode::kImmediate}},
+                   opts, /*cells=*/4);
+  for (size_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(h.Activate(i, "Chain").ok());
+  }
+
+  std::atomic<int> unexpected{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      Session& s = h.session();
+      for (int i = 0; i < 25; ++i) {
+        auto txn = s.Begin();
+        if (!txn.ok()) {
+          unexpected.fetch_add(1);
+          continue;
+        }
+        auto local = s.ActivateLocal(*txn, h.cell(t), "Local");
+        if (!local.ok()) {
+          unexpected.fetch_add(1);
+          (void)s.Abort(*txn);
+          continue;
+        }
+        Status st = s.Invoke(*txn, h.cell(t), &RCell::Hit);
+        if (!st.ok()) {
+          unexpected.fetch_add(1);
+          (void)s.Abort(*txn);
+          continue;
+        }
+        if (i % 3 == 0) {
+          st = s.DeactivateLocal(*txn, *local);
+          if (!st.ok()) unexpected.fetch_add(1);
+        }
+        if (i % 2 == 0) {
+          if (!s.Abort(*txn).ok()) unexpected.fetch_add(1);
+        } else {
+          if (!s.Commit(*txn).ok()) unexpected.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(unexpected.load(), 0);
+  // The store is live and every committed Hit stuck.
+  for (size_t i = 0; i < 4; ++i) {
+    RCell c = h.Load(i);
+    EXPECT_GT(c.hits, 0);
+    EXPECT_LE(c.fires, c.hits) << "local fires roll back with their txns";
+  }
+}
+
+// ------------------------------------------------------ option hygiene
+
+TEST(OptionsValidation, ZeroedStructuralKnobsAreRejectedByName) {
+  Schema schema;
+  schema.DeclareClass<RCell>("RCell")
+      .Event("after Hit")
+      .Method("Hit", &RCell::Hit);
+  ASSERT_TRUE(schema.Freeze().ok());
+
+  struct Case {
+    const char* field;
+    std::function<void(Session::Options&)> poison;
+  };
+  const std::vector<Case> cases = {
+      {"trigger_index_buckets",
+       [](Session::Options& o) { o.trigger_index_buckets = 0; }},
+      {"trigger_lock_stripes",
+       [](Session::Options& o) { o.trigger_lock_stripes = 0; }},
+      {"commit_batch_max_txns",
+       [](Session::Options& o) { o.commit_batch_max_txns = 0; }},
+      {"trace_sample_every_n_txns",
+       [](Session::Options& o) { o.trace_sample_every_n_txns = 0; }},
+      {"max_cascade_depth",
+       [](Session::Options& o) { o.max_cascade_depth = 0; }},
+  };
+  for (const Case& c : cases) {
+    Session::Options opts;
+    c.poison(opts);
+    auto session = Session::Open(StorageKind::kMainMemory, "", &schema, opts);
+    ASSERT_FALSE(session.ok()) << c.field;
+    EXPECT_EQ(session.status().code(), StatusCode::kInvalidArgument)
+        << c.field;
+    EXPECT_NE(session.status().message().find(c.field), std::string::npos)
+        << "message must name the offending field: "
+        << session.status().ToString();
+  }
+
+  // Zero depth is only incoherent while containment is on; with the
+  // layer off it is never consulted.
+  Session::Options off;
+  off.trigger_containment = false;
+  off.max_cascade_depth = 0;
+  EXPECT_TRUE(Session::ValidateOptions(off).ok());
+  EXPECT_TRUE(Session::ValidateOptions(Session::Options()).ok());
+}
+
+TEST(OptionsValidation, ContainmentOffRestoresLegacyDepthBehavior) {
+  // With the layer off, an immediate runaway is still stopped by the
+  // legacy recursion guard (billed to the caller), but nothing is
+  // counted, quarantined, or dead-lettered.
+  Session::Options opts;
+  opts.trigger_containment = false;
+  CascadeHarness h({{"Loop", "after Hit", RepostHit,
+                     CouplingMode::kImmediate}},
+                   opts);
+  ASSERT_TRUE(h.Activate(0, "Loop").ok());
+  Status st = h.Hit(0);
+  EXPECT_TRUE(st.IsCascadeOverflow()) << st.ToString();
+  EXPECT_EQ(h.Counter("ode_cascade_overflows_total"), 0u);
+  auto q = h.session().QuarantinedTriggers();
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->empty());
+  auto letters = h.session().DeadLetters();
+  ASSERT_TRUE(letters.ok());
+  EXPECT_TRUE(letters->empty());
+}
+
+}  // namespace
+}  // namespace ode

@@ -723,5 +723,137 @@ TEST_F(CrashTortureTest, TransientNoiseWithRetriesRunsToCompletion) {
   ASSERT_TRUE(s->Close().ok());
 }
 
+// ---- containment state under crash torture ------------------------------
+//
+// A poisoned dependent trigger drives the containment layer on a disk
+// database: after trigger_failure_threshold firings it is quarantined,
+// and every failed batch lands in the dead-letter ring — both through
+// committed system transactions. Crashing at every mutating I/O op and
+// reopening must find that state exactly-or-empty: both tables read
+// back cleanly (never torn or corrupt), a recovered quarantine entry
+// can only describe the poisoned trigger with a full failure window,
+// and dead-letter sequence numbers are strictly increasing.
+
+TEST_F(CrashTortureTest, QuarantineAndDeadLettersSurviveCrashRecovery) {
+  Schema schema;
+  schema.DeclareClass<TCell>("TCell")
+      .Event("after Bump")
+      .Method("Bump", &TCell::Bump)
+      .Trigger(
+          "Poison", "after Bump",
+          [](TCell&, TriggerFireContext&) -> Status {
+            return Status::Internal("poisoned action");
+          },
+          CouplingMode::kDependent, /*perpetual=*/true);
+  ASSERT_TRUE(schema.Freeze().ok());
+
+  Session::Options sopts;
+  sopts.trigger_failure_threshold = 2;
+  sopts.action_retry_attempts = 1;
+  sopts.dead_letter_capacity = 8;
+
+  auto open = [&](FaultInjectionEnv* env) {
+    DiskStorageManager::Options dopts;
+    dopts.env = env;
+    dopts.io_retry_backoff_us = 1;
+    return Session::OpenWith(
+        std::make_unique<DiskStorageManager>(path_, dopts), &schema, sopts);
+  };
+
+  // Returns true iff the workload ran to the end; `acked` counts commits
+  // acknowledged before the crash.
+  auto workload = [&](FaultInjectionEnv* env, int* acked) {
+    *acked = 0;
+    auto session = open(env);
+    if (!session.ok()) return false;
+    Session* s = session->get();
+    PRef<TCell> cell;
+    Status st = s->WithTransaction([&](Transaction* txn) -> Status {
+      ODE_ASSIGN_OR_RETURN(cell, s->New(txn, TCell{}));
+      return s->Activate(txn, cell, "Poison").status();
+    });
+    if (!st.ok()) return false;
+    ++*acked;
+    for (int t = 0; t < 6; ++t) {
+      st = s->WithTransaction([&](Transaction* txn) -> Status {
+        return s->Invoke(txn, cell, &TCell::Bump);
+      });
+      if (!st.ok()) return false;
+      ++*acked;
+    }
+    return s->Close().ok();
+  };
+
+  // Clean reference run: the trigger ends quarantined with both failed
+  // batches dead-lettered.
+  FaultInjectionEnv ref_env;
+  int ref_acked = 0;
+  ASSERT_TRUE(workload(&ref_env, &ref_acked));
+  {
+    FaultInjectionEnv env;
+    auto session = open(&env);
+    ASSERT_TRUE(session.ok()) << session.status().ToString();
+    auto q = (*session)->QuarantinedTriggers();
+    ASSERT_TRUE(q.ok()) << q.status().ToString();
+    ASSERT_EQ(q->size(), 1u);
+    EXPECT_EQ((*q)[0].trigger_name, "Poison");
+    auto letters = (*session)->DeadLetters();
+    ASSERT_TRUE(letters.ok()) << letters.status().ToString();
+    EXPECT_EQ(letters->size(), 2u);
+    ASSERT_TRUE((*session)->Close().ok());
+  }
+  const uint64_t total_ops = ref_env.ops();
+  ASSERT_GT(total_ops, 0u);
+
+  for (uint64_t k = 1; k <= total_ops; ++k) {
+    Cleanup();
+    FaultInjectionEnv env;
+    env.SetTornWrites(true);
+    env.SetCrashAtOp(k);
+    int acked = 0;
+    bool completed = workload(&env, &acked);
+    ASSERT_TRUE(env.crashed()) << "crash point " << k << " never reached";
+    ASSERT_FALSE(completed);
+    ASSERT_TRUE(env.DropUnsyncedData(/*seed=*/7000 + k).ok());
+    env.ResetAfterCrash();
+
+    auto session = open(&env);
+    if (!session.ok()) {
+      EXPECT_EQ(acked, 0)
+          << "crash op " << k
+          << ": store with acked commits failed to reopen (containment "
+             "tables must never wedge recovery): "
+          << session.status().ToString();
+      continue;
+    }
+    Session* s = session->get();
+    auto q = s->QuarantinedTriggers();
+    ASSERT_TRUE(q.ok()) << "crash op " << k << ": " << q.status().ToString();
+    ASSERT_LE(q->size(), 1u) << "crash op " << k;
+    for (const auto& entry : *q) {
+      EXPECT_EQ(entry.trigger_name, "Poison") << "crash op " << k;
+      EXPECT_EQ(entry.defining_class, "TCell") << "crash op " << k;
+      EXPECT_GE(entry.failures, sopts.trigger_failure_threshold)
+          << "crash op " << k;
+      EXPECT_FALSE(entry.reason.empty()) << "crash op " << k;
+    }
+    auto letters = s->DeadLetters();
+    ASSERT_TRUE(letters.ok())
+        << "crash op " << k << ": " << letters.status().ToString();
+    EXPECT_LE(letters->size(), sopts.dead_letter_capacity)
+        << "crash op " << k;
+    for (size_t i = 0; i < letters->size(); ++i) {
+      EXPECT_EQ((*letters)[i].trigger_name, "Poison") << "crash op " << k;
+      EXPECT_EQ((*letters)[i].coupling, "dependent") << "crash op " << k;
+      if (i > 0) {
+        EXPECT_LT((*letters)[i - 1].seq, (*letters)[i].seq)
+            << "crash op " << k;
+      }
+    }
+    (void)s->Close();
+    if (HasFatalFailure()) return;
+  }
+}
+
 }  // namespace
 }  // namespace ode

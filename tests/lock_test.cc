@@ -71,6 +71,16 @@ TEST(LockManager, DeadlockDetected) {
   // Txn 2 requesting A closes the cycle: it must be chosen as victim.
   Status st = locks.Acquire(2, kA, LockMode::kExclusive);
   EXPECT_TRUE(st.IsDeadlock()) << st.ToString();
+  // The message names the wait-for edge that closed the cycle: the
+  // victim, the contended oid, and the holder whose chain leads back.
+  EXPECT_NE(st.message().find("wait-for cycle"), std::string::npos)
+      << st.ToString();
+  EXPECT_NE(st.message().find("victim txn 2"), std::string::npos)
+      << st.ToString();
+  EXPECT_NE(st.message().find(kA.ToString()), std::string::npos)
+      << st.ToString();
+  EXPECT_NE(st.message().find("held by txn 1"), std::string::npos)
+      << st.ToString();
   EXPECT_GE(locks.deadlocks(), 1u);
   locks.ReleaseAll(2);
   t.join();
@@ -90,6 +100,12 @@ TEST(LockManager, UpgradeDeadlockDetected) {
   std::this_thread::sleep_for(std::chrono::milliseconds(50));
   Status st = locks.Acquire(2, kA, LockMode::kExclusive);
   EXPECT_TRUE(st.IsDeadlock()) << st.ToString();
+  EXPECT_NE(st.message().find("wait-for cycle"), std::string::npos)
+      << st.ToString();
+  EXPECT_NE(st.message().find("victim txn 2"), std::string::npos)
+      << st.ToString();
+  EXPECT_NE(st.message().find("held by txn 1"), std::string::npos)
+      << st.ToString();
   locks.ReleaseAll(2);
   t.join();
 }

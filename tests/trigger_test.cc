@@ -628,7 +628,7 @@ TEST(Semantics, ImmediateCascadeDepthLimited) {
   st = s.WithTransaction([&](Transaction* txn) -> Status {
     return s.Invoke(txn, ref, &Widget::Hit);
   });
-  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  EXPECT_EQ(st.code(), StatusCode::kCascadeOverflow);
   EXPECT_NE(st.message().find("depth"), std::string::npos);
 }
 
