@@ -8,18 +8,27 @@
 #                                    # ASan
 #   scripts/run_checks.sh tsan       # fault + commit + trace suites under
 #                                    # TSan
+#   scripts/run_checks.sh ubsan      # same label set under UBSan
+#   scripts/run_checks.sh ranks      # Debug build (runtime lock-rank
+#                                    # validator compiled in) + full ctest
+#   scripts/run_checks.sh thread-safety # clang -Wthread-safety as errors
+#                                    # (skipped when clang++ is absent)
+#   scripts/run_checks.sh tidy       # clang-tidy over src/ using the
+#                                    # .clang-tidy config (skipped when
+#                                    # clang-tidy is absent)
 #   scripts/run_checks.sh bench-smoke # build + run every benchmark once
 #                                    # (one tiny repetition; catches bench
 #                                    # bit-rot without paying for real runs)
-#   scripts/run_checks.sh all        # tier-1, asan, tsan, bench-smoke
+#   scripts/run_checks.sh all        # tier-1, ranks, asan, tsan, ubsan,
+#                                    # thread-safety, tidy, bench-smoke
 #
-# Each sanitizer uses its own build tree (build-asan/, build-tsan/) so the
+# Each lane uses its own build tree (build-asan/, build-tsan/, ...) so the
 # plain tier-1 tree is never reconfigured under it. The sanitizers run the
-# `faults`, `commit`, `trace`, and `scrub` ctest labels: crash torture,
-# fault injection, the group-commit concurrency suites, the span-tracer
-# concurrent-writer suites, and the silent-corruption suites (page
-# validation against hostile slot directories is exactly what ASan is
-# there to police).
+# `faults`, `commit`, `trace`, `scrub`, `cascade`, and `ranks` ctest
+# labels: crash torture, fault injection, the group-commit concurrency
+# suites, the span-tracer concurrent-writer suites, the silent-corruption
+# suites, and the lock-rank validator death tests (the validator is
+# compiled into every sanitizer tree).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -46,9 +55,50 @@ faults_only() {
 
 sanitized() {
   local name="$1" flag="$2"
-  echo "== ${name}: fault-injection + commit + trace + cascade suites under ${flag} =="
+  echo "== ${name}: fault + commit + trace + cascade + ranks suites under ${flag} =="
   configure_and_build "build-${name}" "-DODE_${name^^}=ON"
-  ctest --test-dir "build-${name}" --output-on-failure -L 'faults|commit|trace|scrub|cascade'
+  ctest --test-dir "build-${name}" --output-on-failure \
+        -L 'faults|commit|trace|scrub|cascade|ranks'
+}
+
+ranks() {
+  echo "== ranks: Debug build with the runtime lock-rank validator, full suite =="
+  configure_and_build build-debug -DCMAKE_BUILD_TYPE=Debug
+  ctest --test-dir build-debug --output-on-failure -j "$JOBS"
+}
+
+thread_safety() {
+  echo "== thread-safety: clang -Wthread-safety -Werror=thread-safety =="
+  local cxx=""
+  for c in clang++ clang++-20 clang++-19 clang++-18 clang++-17 clang++-16 \
+           clang++-15 clang++-14; do
+    if command -v "$c" > /dev/null 2>&1; then cxx="$c"; break; fi
+  done
+  if [[ -z "$cxx" ]]; then
+    echo "SKIP: no clang++ on PATH; thread-safety annotations are no-ops" \
+         "under this compiler and cannot be checked"
+    return 0
+  fi
+  configure_and_build build-tsa "-DCMAKE_CXX_COMPILER=${cxx}" \
+                      -DODE_THREAD_SAFETY=ON
+}
+
+tidy() {
+  echo "== tidy: clang-tidy over src/ =="
+  local ct=""
+  for c in clang-tidy clang-tidy-20 clang-tidy-19 clang-tidy-18 \
+           clang-tidy-17 clang-tidy-16 clang-tidy-15 clang-tidy-14; do
+    if command -v "$c" > /dev/null 2>&1; then ct="$c"; break; fi
+  done
+  if [[ -z "$ct" ]]; then
+    echo "SKIP: no clang-tidy on PATH"
+    return 0
+  fi
+  # The tier-1 tree exports compile_commands.json (CMakeLists sets
+  # CMAKE_EXPORT_COMPILE_COMMANDS ON).
+  configure_and_build build
+  find src -name '*.cc' -print0 \
+    | xargs -0 -P "$JOBS" -n 8 "$ct" -p build --quiet
 }
 
 bench_smoke() {
@@ -72,10 +122,23 @@ case "${1:-tier1}" in
   faults) faults_only ;;
   asan)   sanitized asan ODE_ASAN ;;
   tsan)   sanitized tsan ODE_TSAN ;;
+  ubsan)  sanitized ubsan ODE_UBSAN ;;
+  ranks)  ranks ;;
+  thread-safety) thread_safety ;;
+  tidy)   tidy ;;
   bench-smoke) bench_smoke ;;
-  all)    tier1; sanitized asan ODE_ASAN; sanitized tsan ODE_TSAN; bench_smoke ;;
+  all)
+    tier1
+    ranks
+    sanitized asan ODE_ASAN
+    sanitized tsan ODE_TSAN
+    sanitized ubsan ODE_UBSAN
+    thread_safety
+    tidy
+    bench_smoke
+    ;;
   *)
-    echo "usage: $0 [tier1|faults|asan|tsan|bench-smoke|all]" >&2
+    echo "usage: $0 [tier1|faults|asan|tsan|ubsan|ranks|thread-safety|tidy|bench-smoke|all]" >&2
     exit 2
     ;;
 esac

@@ -7,9 +7,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/ordered_mutex.h"
+#include "common/thread_annotations.h"
 
 namespace ode {
 
@@ -264,10 +266,15 @@ class MetricsRegistry {
 
  private:
   std::atomic<bool> enabled_{true};
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  // Deepest rank in the table: Get* is called from BindMetrics paths
+  // that hold the fault env's mu_, and instrument cells returned from
+  // here are lock-free atomics, so mu_ never nests under anything else.
+  mutable OrderedMutex mu_{lock_rank::kMetrics, "metrics.mu"};
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      ODE_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ ODE_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      ODE_GUARDED_BY(mu_);
 };
 
 /// Scoped latency recorder: reads the clock only when the histogram

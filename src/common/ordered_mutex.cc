@@ -1,0 +1,59 @@
+#include "common/ordered_mutex.h"
+
+#include <vector>
+
+#include "common/logging.h"
+
+namespace ode {
+namespace rank_internal {
+namespace {
+
+struct Held {
+  uint16_t rank;
+  const void* mu;
+  const char* name;
+};
+
+/// The held-rank stack. Thread-local (each thread validates only its own
+/// acquisition order — that is the whole deadlock argument), built
+/// lazily on a thread's first ranked acquisition. Strictly increasing in
+/// rank by construction: every push is checked against the back, and a
+/// non-LIFO release (erasing from the middle) preserves sortedness.
+thread_local std::vector<Held> tls_held;
+
+}  // namespace
+
+void NoteAcquire(uint16_t rank, const void* mu, const char* name) {
+  if (!tls_held.empty()) {
+    const Held& top = tls_held.back();
+    ODE_CHECK(rank > top.rank)
+        << "lock-rank violation: thread acquiring '" << name << "' (rank "
+        << rank << ") while already holding '" << top.name << "' (rank "
+        << top.rank << "); acquisition order must be strictly increasing "
+        << "in rank — see docs/concurrency.md for the rank table"
+        << (rank == top.rank && mu == top.mu
+                ? " [same mutex: recursive lock or shared->exclusive "
+                  "upgrade attempt]"
+                : "");
+  }
+  tls_held.push_back(Held{rank, mu, name});
+}
+
+void NoteRelease(const void* mu, const char* name) {
+  // Search newest-first: releases are almost always LIFO, but e.g. a
+  // scoped lock outliving a manually unlocked one is legal and must
+  // still resolve to the right entry.
+  for (size_t i = tls_held.size(); i > 0; --i) {
+    if (tls_held[i - 1].mu == mu) {
+      tls_held.erase(tls_held.begin() + static_cast<long>(i - 1));
+      return;
+    }
+  }
+  ODE_CHECK(false) << "lock-rank bookkeeping: thread releasing '" << name
+                   << "' which it does not hold";
+}
+
+size_t HeldCount() { return tls_held.size(); }
+
+}  // namespace rank_internal
+}  // namespace ode

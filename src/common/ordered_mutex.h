@@ -1,0 +1,293 @@
+#ifndef ODE_COMMON_ORDERED_MUTEX_H_
+#define ODE_COMMON_ORDERED_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/thread_annotations.h"
+
+/// Ranked, annotated mutexes — the enforcement half of the lock
+/// discipline that docs/concurrency.md documents.
+///
+/// Every mutex in the four layers is an OrderedMutex (or
+/// OrderedSharedMutex) carrying a static rank from ode::lock_rank. Two
+/// enforcement mechanisms share the one declaration:
+///
+///  1. Compile time (Clang only): the ODE_CAPABILITY annotation plus the
+///     ODE_GUARDED_BY/ODE_REQUIRES sweep lets `-Wthread-safety` prove
+///     that guarded members are only touched with the right lock held.
+///  2. Run time (debug/sanitizer builds): a thread-local stack of held
+///     ranks CHECK-fails the instant any thread acquires a mutex whose
+///     rank is not strictly greater than the highest rank it already
+///     holds — out-of-order acquisition, duplicate-rank acquisition
+///     (which also catches shared→exclusive upgrade attempts and
+///     holding two same-rank stripes at once), and self-deadlock all
+///     abort with both lock names in the message, *before* blocking.
+///
+/// The runtime validator is compiled in only when ODE_LOCK_RANK_CHECKS
+/// is 1 (CMake turns it on for Debug, ODE_ASAN, ODE_TSAN, ODE_UBSAN and
+/// explicit -DODE_RANK_CHECKS=ON builds). In Release builds lock() is a
+/// straight inline call to std::mutex::lock() — zero added work.
+
+#if !defined(ODE_LOCK_RANK_CHECKS)
+#define ODE_LOCK_RANK_CHECKS 0
+#endif
+
+namespace ode {
+
+/// The global acquisition order: a thread may only acquire a mutex whose
+/// rank is STRICTLY GREATER than every rank it already holds. Lower rank
+/// = outer lock. Gaps are deliberate — new mutexes slot in between
+/// without renumbering. docs/concurrency.md carries the full table (one
+/// row per mutex: what it guards, what may be acquired under it);
+/// keep both in sync.
+namespace lock_rank {
+
+// -- Trigger runtime (outermost: held across storage/txn-manager calls
+//    in bounded, audited spots) --
+inline constexpr uint16_t kTriggerIndexDir = 110;    // TriggerIndex::dir_mu_
+inline constexpr uint16_t kTriggerTypes = 120;       // TriggerManager::types_mu_
+inline constexpr uint16_t kTriggerCtxShard = 130;    // TriggerManager ctx stripes
+inline constexpr uint16_t kTriggerCountShard = 140;  // TriggerManager count stripes
+inline constexpr uint16_t kTriggerContainment = 150; // TriggerManager::containment_mu_
+
+// -- Storage commit pipeline (the documented hierarchy
+//    commit > wal > apply > state > pool; ws is the workspace-map leaf) --
+inline constexpr uint16_t kStorageCommit = 300;      // DiskStorageManager::commit_mu_
+inline constexpr uint16_t kStorageWal = 310;         // DiskStorageManager::wal_mu_
+inline constexpr uint16_t kStorageApply = 320;       // DiskStorageManager::apply_mu_
+inline constexpr uint16_t kStorageState = 330;       // DiskStorageManager::state_mu_
+inline constexpr uint16_t kStoragePool = 340;        // DiskStorageManager::pool_mu_
+inline constexpr uint16_t kStorageWorkspaces = 350;  // DiskStorageManager::ws_mu_
+inline constexpr uint16_t kMmStore = 360;            // MMStorageManager::mu_
+
+// -- Cross-layer services --
+inline constexpr uint16_t kLockTable = 400;          // LockManager::mu_
+// Deeper than kTriggerIndexDir: TriggerIndex::LoadDirectory checks the
+// directory creator's outcome (TransactionManager::Outcome) under
+// dir_mu_. The manager's mu_ is leaf-like otherwise (never held across
+// calls into any other subsystem).
+inline constexpr uint16_t kTxnManager = 420;         // TransactionManager::mu_
+
+// -- Infrastructure leaves (acquirable from under any of the above) --
+inline constexpr uint16_t kFaultEnv = 500;           // FaultInjectionEnv::mu_
+inline constexpr uint16_t kTriggerTraceRing = 520;   // TriggerTraceRing::mu_
+inline constexpr uint16_t kTracer = 530;             // Tracer::mu_
+inline constexpr uint16_t kEventRegistry = 540;      // EventRegistry::mu_
+inline constexpr uint16_t kMetrics = 560;            // MetricsRegistry::mu_
+
+}  // namespace lock_rank
+
+namespace rank_internal {
+
+/// Validates (then records) acquiring `mu` at `rank` on this thread;
+/// CHECK-fails on any rank not strictly above the thread's current top.
+/// Called BEFORE blocking on the lock, so a would-deadlock acquisition
+/// aborts with a diagnostic instead of hanging.
+void NoteAcquire(uint16_t rank, const void* mu, const char* name);
+/// Records releasing `mu`; CHECK-fails if this thread never acquired it.
+void NoteRelease(const void* mu, const char* name);
+/// Number of ranked locks the calling thread currently holds (tests).
+size_t HeldCount();
+
+}  // namespace rank_internal
+
+/// std::mutex with a static rank and thread-safety annotations.
+class ODE_CAPABILITY("mutex") OrderedMutex {
+ public:
+  OrderedMutex(uint16_t rank, const char* name) : rank_(rank), name_(name) {}
+
+  OrderedMutex(const OrderedMutex&) = delete;
+  OrderedMutex& operator=(const OrderedMutex&) = delete;
+
+  void lock() ODE_ACQUIRE() {
+#if ODE_LOCK_RANK_CHECKS
+    rank_internal::NoteAcquire(rank_, this, name_);
+#endif
+    mu_.lock();
+  }
+
+  void unlock() ODE_RELEASE() {
+    mu_.unlock();
+#if ODE_LOCK_RANK_CHECKS
+    rank_internal::NoteRelease(this, name_);
+#endif
+  }
+
+  uint16_t rank() const { return rank_; }
+  const char* name() const { return name_; }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+  const uint16_t rank_;
+  const char* const name_;
+};
+
+/// std::shared_mutex with a static rank and thread-safety annotations.
+/// Shared and exclusive acquisitions use the same rank, so the
+/// duplicate-rank check also refuses an in-place shared→exclusive
+/// upgrade attempt (which std::shared_mutex would deadlock on).
+class ODE_CAPABILITY("shared_mutex") OrderedSharedMutex {
+ public:
+  OrderedSharedMutex(uint16_t rank, const char* name)
+      : rank_(rank), name_(name) {}
+
+  OrderedSharedMutex(const OrderedSharedMutex&) = delete;
+  OrderedSharedMutex& operator=(const OrderedSharedMutex&) = delete;
+
+  void lock() ODE_ACQUIRE() {
+#if ODE_LOCK_RANK_CHECKS
+    rank_internal::NoteAcquire(rank_, this, name_);
+#endif
+    mu_.lock();
+  }
+
+  void unlock() ODE_RELEASE() {
+    mu_.unlock();
+#if ODE_LOCK_RANK_CHECKS
+    rank_internal::NoteRelease(this, name_);
+#endif
+  }
+
+  void lock_shared() ODE_ACQUIRE_SHARED() {
+#if ODE_LOCK_RANK_CHECKS
+    rank_internal::NoteAcquire(rank_, this, name_);
+#endif
+    mu_.lock_shared();
+  }
+
+  void unlock_shared() ODE_RELEASE_SHARED() {
+    mu_.unlock_shared();
+#if ODE_LOCK_RANK_CHECKS
+    rank_internal::NoteRelease(this, name_);
+#endif
+  }
+
+  uint16_t rank() const { return rank_; }
+  const char* name() const { return name_; }
+
+ private:
+  std::shared_mutex mu_;
+  const uint16_t rank_;
+  const char* const name_;
+};
+
+/// RAII exclusive lock on an OrderedMutex. Used instead of
+/// std::lock_guard because the standard guards carry no thread-safety
+/// annotations, so Clang could not see the acquisition.
+class ODE_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(OrderedMutex* mu) ODE_ACQUIRE(mu) : mu_(mu) {
+    mu_->lock();
+  }
+  ~MutexLock() ODE_RELEASE() { mu_->unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  OrderedMutex* const mu_;
+};
+
+/// RAII shared (reader) lock on an OrderedSharedMutex.
+class ODE_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(OrderedSharedMutex* mu) ODE_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_->lock_shared();
+  }
+  ~ReaderMutexLock() ODE_RELEASE() { mu_->unlock_shared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  OrderedSharedMutex* const mu_;
+};
+
+/// RAII exclusive (writer) lock on an OrderedSharedMutex.
+class ODE_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(OrderedSharedMutex* mu) ODE_ACQUIRE(mu) : mu_(mu) {
+    mu_->lock();
+  }
+  ~WriterMutexLock() ODE_RELEASE() { mu_->unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  OrderedSharedMutex* const mu_;
+};
+
+/// Condition variable over OrderedMutex. std::condition_variable needs a
+/// raw std::mutex, so this wraps condition_variable_any with an adapter
+/// that routes the wait's internal unlock/relock through the annotated
+/// (and rank-tracked) lock()/unlock() — the held-rank stack stays
+/// correct across the wait, and a relock that would violate the order
+/// (impossible today, but cheap to keep checked) still aborts.
+///
+/// Wait-with-predicate callers annotate the predicate lambda
+/// ODE_NO_THREAD_SAFETY_ANALYSIS: Clang analyzes a lambda body as a
+/// free function, so it cannot see that the wait holds the mutex around
+/// every predicate call.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(OrderedMutex& mu) ODE_REQUIRES(mu) {
+    LockAdapter adapter(mu);
+    cv_.wait(adapter);
+  }
+
+  template <typename Pred>
+  void Wait(OrderedMutex& mu, Pred pred) ODE_REQUIRES(mu) {
+    LockAdapter adapter(mu);
+    cv_.wait(adapter, std::move(pred));
+  }
+
+  template <typename Rep, typename Period, typename Pred>
+  bool WaitFor(OrderedMutex& mu, std::chrono::duration<Rep, Period> timeout,
+               Pred pred) ODE_REQUIRES(mu) {
+    LockAdapter adapter(mu);
+    return cv_.wait_for(adapter, timeout, std::move(pred));
+  }
+
+  template <typename Clock, typename Duration>
+  std::cv_status WaitUntil(OrderedMutex& mu,
+                           std::chrono::time_point<Clock, Duration> deadline)
+      ODE_REQUIRES(mu) {
+    LockAdapter adapter(mu);
+    return cv_.wait_until(adapter, deadline);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  /// BasicLockable view of an OrderedMutex for condition_variable_any.
+  /// NO_TSA: these run inside the wait with the capability state Clang
+  /// cannot track (released-while-waiting); rank bookkeeping is intact
+  /// because they delegate to the tracked lock()/unlock().
+  class LockAdapter {
+   public:
+    explicit LockAdapter(OrderedMutex& mu) : mu_(mu) {}
+    void lock() ODE_NO_THREAD_SAFETY_ANALYSIS { mu_.lock(); }
+    void unlock() ODE_NO_THREAD_SAFETY_ANALYSIS { mu_.unlock(); }
+
+   private:
+    OrderedMutex& mu_;
+  };
+
+  std::condition_variable_any cv_;
+};
+
+}  // namespace ode
+
+#endif  // ODE_COMMON_ORDERED_MUTEX_H_

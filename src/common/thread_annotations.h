@@ -1,0 +1,104 @@
+#ifndef ODE_COMMON_THREAD_ANNOTATIONS_H_
+#define ODE_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang Thread Safety Analysis annotations (Abseil-style macro spelling).
+///
+/// These macros let the compiler machine-check the lock discipline that
+/// docs/concurrency.md documents in prose: which mutex guards which
+/// member (`ODE_GUARDED_BY`), which functions must be called with a lock
+/// held (`ODE_REQUIRES` — the `*Locked()` helper convention), and which
+/// functions acquire/release a lock for their caller
+/// (`ODE_ACQUIRE`/`ODE_RELEASE`). Under Clang the `ODE_THREAD_SAFETY`
+/// CMake lane turns violations into hard errors
+/// (`-Wthread-safety -Werror=thread-safety`); under other compilers every
+/// macro expands to nothing, so the annotations are pure documentation
+/// with zero code-generation effect.
+///
+/// See https://clang.llvm.org/docs/ThreadSafetyAnalysis.html for the
+/// semantics of each attribute.
+
+#if defined(__clang__)
+#define ODE_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define ODE_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op
+#endif
+
+/// Marks a class as a lockable capability ("mutex" is the diagnostic
+/// noun Clang uses when reporting violations).
+#define ODE_CAPABILITY(x) ODE_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor
+/// releases a capability (our MutexLock family).
+#define ODE_SCOPED_CAPABILITY \
+  ODE_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+/// Data member may only be accessed while the named mutex is held.
+#define ODE_GUARDED_BY(x) ODE_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+/// Pointer member: the pointee (not the pointer) is guarded.
+#define ODE_PT_GUARDED_BY(x) \
+  ODE_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+/// Declares a static acquisition-order edge between two mutexes.
+#define ODE_ACQUIRED_BEFORE(...) \
+  ODE_THREAD_ANNOTATION_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+#define ODE_ACQUIRED_AFTER(...) \
+  ODE_THREAD_ANNOTATION_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+
+/// Function requires the capability held exclusively (not acquired by
+/// the function itself) — the `*Locked()` helper annotation.
+#define ODE_REQUIRES(...) \
+  ODE_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+/// As ODE_REQUIRES, but shared (reader) mode suffices.
+#define ODE_REQUIRES_SHARED(...) \
+  ODE_THREAD_ANNOTATION_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability and holds it past return.
+#define ODE_ACQUIRE(...) \
+  ODE_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+#define ODE_ACQUIRE_SHARED(...) \
+  ODE_THREAD_ANNOTATION_ATTRIBUTE__(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability (held on entry).
+#define ODE_RELEASE(...) \
+  ODE_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+#define ODE_RELEASE_SHARED(...) \
+  ODE_THREAD_ANNOTATION_ATTRIBUTE__(release_shared_capability(__VA_ARGS__))
+/// Releases a capability acquired in either exclusive or shared mode
+/// (destructors of guards that serve both).
+#define ODE_RELEASE_GENERIC(...) \
+  ODE_THREAD_ANNOTATION_ATTRIBUTE__(release_generic_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `ret`.
+#define ODE_TRY_ACQUIRE(...) \
+  ODE_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+#define ODE_TRY_ACQUIRE_SHARED(...) \
+  ODE_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_shared_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (deadlock prevention for
+/// functions that acquire it themselves).
+#define ODE_EXCLUDES(...) \
+  ODE_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (teaches the analysis
+/// a fact it cannot derive).
+#define ODE_ASSERT_CAPABILITY(x) \
+  ODE_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+#define ODE_ASSERT_SHARED_CAPABILITY(x) \
+  ODE_THREAD_ANNOTATION_ATTRIBUTE__(assert_shared_capability(x))
+
+/// Function returns a reference to the named capability.
+#define ODE_RETURN_CAPABILITY(x) \
+  ODE_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+/// Turns the analysis off for one function (or lambda). Used only where
+/// the analysis cannot model the code — condition-variable wait
+/// predicates (the wait releases and reacquires the mutex behind the
+/// analysis's back) and the group-commit leader/follower handoff —
+/// always with a comment saying why; the runtime lock-rank validator
+/// still covers these paths in debug builds.
+#define ODE_NO_THREAD_SAFETY_ANALYSIS \
+  ODE_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+#endif  // ODE_COMMON_THREAD_ANNOTATIONS_H_

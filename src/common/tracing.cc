@@ -171,7 +171,7 @@ Tracer::Tracer(const Options& options) {
 }
 
 void Tracer::Configure(const Options& options) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   capacity_ = options.span_capacity == 0 ? 1 : options.span_capacity;
   enabled_.store(options.span_capacity > 0, std::memory_order_relaxed);
   sample_mask_ = SampleMask(options.sample_every_n_txns);
@@ -193,12 +193,12 @@ void Tracer::BindMetrics(MetricsRegistry* registry) {
 }
 
 void Tracer::SetSymbolNamer(std::function<std::string(uint32_t)> namer) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   symbol_namer_ = std::move(namer);
 }
 
 size_t Tracer::span_capacity() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return capacity_;
 }
 
@@ -218,7 +218,7 @@ void Tracer::Interval(Span span, uint64_t start_ns, uint64_t end_ns) {
 void Tracer::Record(Span span) {
   bool dropped;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     span.seq = seq_++;
     dropped = ring_.size() >= capacity_;
     if (!dropped) {
@@ -233,7 +233,7 @@ void Tracer::Record(Span span) {
 }
 
 std::vector<Span> Tracer::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<Span> out;
   out.reserve(ring_.size());
   if (ring_.size() < capacity_) {
@@ -257,17 +257,17 @@ std::vector<Span> Tracer::TxnSpans(TxnId txn) const {
 }
 
 uint64_t Tracer::total_recorded() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return seq_;
 }
 
 uint64_t Tracer::total_dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return seq_ > ring_.size() ? seq_ - ring_.size() : 0;
 }
 
 void Tracer::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ring_.clear();
   next_ = 0;
   // seq_ keeps counting: sequence numbers stay unique across Clear().
@@ -276,7 +276,7 @@ void Tracer::Clear() {
 std::string Tracer::DumpTimeline(TxnId txn) const {
   std::function<std::string(uint32_t)> namer;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     namer = symbol_namer_;
   }
   std::vector<Span> spans = TxnSpans(txn);
@@ -305,7 +305,7 @@ std::string Tracer::DumpTimeline(TxnId txn) const {
 std::string Tracer::ToChromeTraceJson() const {
   std::function<std::string(uint32_t)> namer;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     namer = symbol_namer_;
   }
   std::vector<Span> spans = Snapshot();

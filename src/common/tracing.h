@@ -4,11 +4,12 @@
 #include <bit>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/ordered_mutex.h"
+#include "common/thread_annotations.h"
 #include "objstore/oid.h"
 
 namespace ode {
@@ -162,12 +163,15 @@ class Tracer {
   std::atomic<bool> enabled_{true};
   uint32_t sample_mask_ = 31;
 
-  mutable std::mutex mu_;
-  size_t capacity_ = 4096;
-  std::vector<Span> ring_;
-  size_t next_ = 0;    // ring_ slot for the next span
-  uint64_t seq_ = 0;   // == total recorded
-  std::function<std::string(uint32_t)> symbol_namer_;
+  // Deep rank: Instant/Interval are called with WAL, lock-table, or
+  // trigger locks held; the tracer never calls out while holding mu_
+  // (symbol_namer_ is copied out before invocation).
+  mutable OrderedMutex mu_{lock_rank::kTracer, "tracer.mu"};
+  size_t capacity_ ODE_GUARDED_BY(mu_) = 4096;
+  std::vector<Span> ring_ ODE_GUARDED_BY(mu_);
+  size_t next_ ODE_GUARDED_BY(mu_) = 0;   // ring_ slot for the next span
+  uint64_t seq_ ODE_GUARDED_BY(mu_) = 0;  // == total recorded
+  std::function<std::string(uint32_t)> symbol_namer_ ODE_GUARDED_BY(mu_);
 
   // Metrics (see BindMetrics).
   std::unique_ptr<MetricsRegistry> owned_metrics_;

@@ -248,10 +248,12 @@ Status DiskStorageManager::Open() {
   // Nothing else can be running (open_ is false), but take the full
   // exclusive stack anyway so a misuse shows up as a deadlock in tests
   // rather than a silent race.
-  std::lock_guard<std::mutex> commit_lock(commit_mu_);
-  std::unique_lock<std::shared_mutex> state(state_mu_);
-  std::lock_guard<std::mutex> ws_lock(ws_mu_);
-  if (open_) return Status::Internal("disk store already open");
+  MutexLock commit_lock(&commit_mu_);
+  WriterMutexLock state(&state_mu_);
+  MutexLock ws_lock(&ws_mu_);
+  if (open_.load(std::memory_order_relaxed)) {
+    return Status::Internal("disk store already open");
+  }
   if (!options_.sync_commits) {
     ODE_LOG(kWarn) << "disk store " << path_
                    << " opened with sync_commits=false: commits are NOT "
@@ -278,10 +280,13 @@ Status DiskStorageManager::Open() {
   quarantine_oids_.clear();
   unknown_losses_ = false;
   roots_lost_ = false;
-  next_oid_ = 2;
+  // Relaxed: these resets happen-before the open_ release-store below,
+  // whose pairing acquire-loads (CheckWritable/BeginTxn/...) make them
+  // visible to every thread that observes the store as open.
+  next_oid_.store(2, std::memory_order_relaxed);
   page_count_ = 1;
-  wedged_ = false;
-  salvage_ = false;
+  wedged_.store(false, std::memory_order_relaxed);
+  salvage_.store(false, std::memory_order_relaxed);
 
   bool header_salvaged = false;
   if (size == 0) {
@@ -349,8 +354,10 @@ Status DiskStorageManager::Open() {
   ODE_RETURN_NOT_OK(ReplayWal());
   ReconcileQuarantineLocked();
 
-  open_ = true;
-  if (header_salvaged && !salvage_) {
+  // Release: publishes every reset above to the acquire-loads in
+  // CheckWritable/Read/GetRoot/BeginTxn/VerifyIntegrity.
+  open_.store(true, std::memory_order_release);
+  if (header_salvaged && !salvage_.load(std::memory_order_relaxed)) {
     // The rewritten header (checkpoint below) makes the salvage stick.
     ODE_LOG(kWarn) << "disk store " << path_
                    << ": salvaged header will be rewritten by checkpoint";
@@ -363,7 +370,7 @@ Status DiskStorageManager::Open() {
                     << (unknown_losses_ ? ", losses not fully enumerable"
                                         : "");
   }
-  if (salvage_) {
+  if (salvage_.load(std::memory_order_relaxed)) {
     salvage_gauge_->Set(1);
     ODE_LOG(kError) << "disk store " << path_
                     << " opened in READ-ONLY salvage mode: the WAL is "
@@ -377,14 +384,15 @@ Status DiskStorageManager::Open() {
 }
 
 Status DiskStorageManager::Close() {
-  std::unique_lock<std::mutex> commit_lock(commit_mu_);
-  if (!open_) return Status::OK();
+  MutexLock commit_lock(&commit_mu_);
+  if (!open_.load(std::memory_order_relaxed)) return Status::OK();
   // Let in-flight batches finish applying before we take the state lock
   // and truncate the WAL they are recorded in.
   DrainCommitPipelineLocked();
-  std::unique_lock<std::shared_mutex> state(state_mu_);
+  WriterMutexLock state(&state_mu_);
   Status st = Status::OK();
-  if (!wedged_ && !salvage_) {
+  if (!wedged_.load(std::memory_order_relaxed) &&
+      !salvage_.load(std::memory_order_relaxed)) {
     st = CheckpointLocked();
   }
   // A wedged or salvaged store must NOT checkpoint: the WAL is the only
@@ -395,18 +403,26 @@ Status DiskStorageManager::Close() {
     if (st.ok() && wst.ok()) wst = fst;
   }
   file_.reset();
-  open_ = false;
+  open_.store(false, std::memory_order_release);
   return st.ok() ? wst : st;
 }
 
 Status DiskStorageManager::CheckWritable() const {
+  // Acquire: pairs with the release-store of open_ at the end of Open()
+  // (publishing the recovered state) and in Close()/SimulateCrash.
   if (!open_.load(std::memory_order_acquire)) {
     return Status::Internal("disk store not open");
   }
+  // Acquire: pairs with the release-store in CommitThroughQueue's WAL
+  // and page-apply failure paths, so a thread that observes the wedge
+  // also observes the error logged before it.
   if (wedged_.load(std::memory_order_acquire)) {
     return Status::IOError(
         "disk store wedged by a mid-commit I/O failure; reopen to recover");
   }
+  // Acquire: pairs with the relaxed store in ReplayWal, published by
+  // open_'s release-store (salvage_ is only ever set during Open, with
+  // every lock held exclusive).
   if (salvage_.load(std::memory_order_acquire)) {
     return Status::Corruption(
         "disk store is in read-only WAL-salvage mode (corrupt log " +
@@ -540,7 +556,11 @@ Status DiskStorageManager::ScanAndRebuild() {
                     << " lost its overflow chain (first page " << ref.first
                     << "); marked lost pending WAL repair";
   }
-  if (max_oid + 1 > next_oid_) next_oid_ = max_oid + 1;
+  // Relaxed: Open() is single-threaded (exclusive locks held); the
+  // open_ release-store publishes the final value.
+  if (max_oid + 1 > next_oid_.load(std::memory_order_relaxed)) {
+    next_oid_.store(max_oid + 1, std::memory_order_relaxed);
+  }
   return Status::OK();
 }
 
@@ -551,7 +571,9 @@ Status DiskStorageManager::ReplayWal() {
     // Mid-file damage with intact records beyond it: replay the intact
     // prefix below, then serve it read-only (salvage mode). Truncating
     // the log here would silently drop committed transactions.
-    salvage_ = true;
+    // Relaxed: only runs during Open (exclusive locks held); published
+    // by open_'s release-store, read by CheckWritable/salvage_mode.
+    salvage_.store(true, std::memory_order_relaxed);
   } else if (!read_status.ok()) {
     return read_status;
   }
@@ -567,7 +589,10 @@ Status DiskStorageManager::ReplayWal() {
     switch (r.type) {
       case WalRecord::Type::kUpsert: {
         ODE_RETURN_NOT_OK(ApplyUpsert(r.oid, Slice(r.image)));
-        if (r.oid.value() >= next_oid_) next_oid_ = r.oid.value() + 1;
+        // Relaxed: replay runs during Open, single-threaded.
+        if (r.oid.value() >= next_oid_.load(std::memory_order_relaxed)) {
+          next_oid_.store(r.oid.value() + 1, std::memory_order_relaxed);
+        }
         break;
       }
       case WalRecord::Type::kFree: {
@@ -893,7 +918,7 @@ Status DiskStorageManager::ApplyRoots() {
 // ----------------------------------------------------------- public methods
 
 DiskStorageManager::Workspace* DiskStorageManager::FindWorkspace(TxnId txn) {
-  std::lock_guard<std::mutex> lock(ws_mu_);
+  MutexLock lock(&ws_mu_);
   auto it = workspaces_.find(txn);
   // Stable across other transactions' begin/commit: unordered_map never
   // invalidates pointers to other nodes.
@@ -914,6 +939,7 @@ Result<Oid> DiskStorageManager::Allocate(TxnId txn, Slice data) {
 
 Status DiskStorageManager::Read(TxnId txn, Oid oid, std::vector<char>* out) {
   LatencyTimer timer(read_latency_);
+  // Acquire: pairs with the wedge release-stores in CommitThroughQueue.
   if (wedged_.load(std::memory_order_acquire)) {
     return Status::IOError(
         "disk store wedged by a mid-commit I/O failure; reopen to recover");
@@ -932,8 +958,8 @@ Status DiskStorageManager::Read(TxnId txn, Oid oid, std::vector<char>* out) {
   // Fast lane: committed reads share state_mu_, so they only ever wait
   // for page application — never for a WAL fsync. pool_mu_ serializes
   // the buffer pool's LRU bookkeeping among concurrent readers.
-  std::shared_lock<std::shared_mutex> state(state_mu_);
-  std::lock_guard<std::mutex> pool_lock(pool_mu_);
+  ReaderMutexLock state(&state_mu_);
+  MutexLock pool_lock(&pool_mu_);
   return ReadCommitted(oid, out);
 }
 
@@ -952,7 +978,7 @@ Status DiskStorageManager::Write(TxnId txn, Oid oid, Slice data) {
     return Status::OK();
   }
   {
-    std::shared_lock<std::shared_mutex> state(state_mu_);
+    ReaderMutexLock state(&state_mu_);
     if (index_.find(oid.value()) == index_.end() &&
         lost_oids_.count(oid.value()) == 0) {
       // A known-lost oid stays writable: committing a fresh image is the
@@ -980,7 +1006,7 @@ Status DiskStorageManager::Free(TxnId txn, Oid oid) {
     return Status::OK();
   }
   {
-    std::shared_lock<std::shared_mutex> state(state_mu_);
+    ReaderMutexLock state(&state_mu_);
     if (index_.find(oid.value()) == index_.end() &&
         lost_oids_.count(oid.value()) == 0) {
       // Freeing a known-lost oid is allowed too: it lets the
@@ -999,7 +1025,7 @@ bool DiskStorageManager::Exists(TxnId txn, Oid oid) {
     auto it = ws->entries.find(oid);
     if (it != ws->entries.end()) return !it->second.freed;
   }
-  std::shared_lock<std::shared_mutex> state(state_mu_);
+  ReaderMutexLock state(&state_mu_);
   // A lost object still exists — it is unreadable, not absent. Reads of
   // it fail with kCorruption rather than pretending it was never there.
   return index_.find(oid.value()) != index_.end() ||
@@ -1024,7 +1050,7 @@ Result<Oid> DiskStorageManager::GetRoot(TxnId txn, const std::string& name) {
     auto it = ws->root_updates.find(name);
     if (it != ws->root_updates.end()) return it->second;
   }
-  std::shared_lock<std::shared_mutex> state(state_mu_);
+  ReaderMutexLock state_lk(&state_mu_);
   auto it = roots_.find(name);
   if (it == roots_.end()) {
     if (roots_lost_) {
@@ -1048,7 +1074,7 @@ Status DiskStorageManager::BeginTxn(TxnId txn) {
     return Status::IOError(
         "disk store wedged by a mid-commit I/O failure; reopen to recover");
   }
-  std::lock_guard<std::mutex> lock(ws_mu_);
+  MutexLock lock(&ws_mu_);
   auto [it, inserted] = workspaces_.try_emplace(txn);
   (void)it;
   if (!inserted) return Status::Internal("disk store: txn already begun");
@@ -1171,9 +1197,10 @@ Status DiskStorageManager::ApplyWorkspacePages(Workspace& ws) {
 void DiskStorageManager::DrainCommitPipelineLocked() {
   // commit_mu_ is held, so no new batch can be numbered; wait until the
   // last numbered batch has finished applying its pages.
-  std::unique_lock<std::mutex> apply_lock(apply_mu_);
-  apply_cv_.wait(apply_lock,
-                 [this] { return applied_seq_ + 1 == next_batch_seq_; });
+  MutexLock apply_lock(&apply_mu_);
+  apply_cv_.Wait(apply_mu_, [this]() ODE_NO_THREAD_SAFETY_ANALYSIS {
+    return applied_seq_ + 1 == next_batch_seq_;
+  });
 }
 
 Status DiskStorageManager::CommitThroughQueue(TxnId txn, Workspace* ws) {
@@ -1181,14 +1208,14 @@ Status DiskStorageManager::CommitThroughQueue(TxnId txn, Workspace* ws) {
   req.txn = txn;
   req.ws = ws;
 
-  std::unique_lock<std::mutex> lock(commit_mu_);
+  commit_mu_.lock();
   commit_queue_.push_back(&req);
-  commit_cv_.notify_all();  // a lingering leader recounts its batch
+  commit_cv_.NotifyAll();  // a lingering leader recounts its batch
   {
     // Time parked in the commit queue (for followers: until their whole
     // batch is durable and applied).
     LatencyTimer wait_timer(leader_wait_latency_);
-    commit_cv_.wait(lock, [&] {
+    commit_cv_.Wait(commit_mu_, [&]() ODE_NO_THREAD_SAFETY_ANALYSIS {
       return req.done ||
              (!commit_queue_.empty() && commit_queue_.front() == &req);
     });
@@ -1196,11 +1223,12 @@ Status DiskStorageManager::CommitThroughQueue(TxnId txn, Workspace* ws) {
   if (req.done) {
     // A leader carried this transaction: its kCommit is fsynced and its
     // pages are applied (or the whole group failed together).
-    if (req.status.ok()) {
-      tls_last_commit_batch =
-          CommitBatchInfo{req.batch_id, req.batch_size, /*leader=*/false};
-    }
-    return req.status;
+    const Status follower_status = req.status;
+    const CommitBatchInfo follower_info{req.batch_id, req.batch_size,
+                                        /*leader=*/false};
+    commit_mu_.unlock();
+    if (follower_status.ok()) tls_last_commit_batch = follower_info;
+    return follower_status;
   }
 
   // This thread is the leader-elect. Do NOT form the batch yet: wait
@@ -1212,12 +1240,14 @@ Status DiskStorageManager::CommitThroughQueue(TxnId txn, Workspace* ws) {
   // batches never need commit_mu_ to finish their WAL stage, so this
   // wait cannot deadlock with a drain holding commit_mu_.
   const uint64_t prev_formed = next_batch_seq_ - 1;
-  lock.unlock();
+  commit_mu_.unlock();
   {
-    std::unique_lock<std::mutex> wal_lock(wal_mu_);
-    wal_cv_.wait(wal_lock, [&] { return wal_seq_ >= prev_formed; });
+    MutexLock wal_lock(&wal_mu_);
+    wal_cv_.Wait(wal_mu_, [&]() ODE_NO_THREAD_SAFETY_ANALYSIS {
+      return wal_seq_ >= prev_formed;
+    });
   }
-  lock.lock();
+  commit_mu_.lock();
 
   // Optionally linger so more committers can join; the queue front
   // stays this request throughout, so no second leader can emerge while
@@ -1228,9 +1258,12 @@ Status DiskStorageManager::CommitThroughQueue(TxnId txn, Workspace* ws) {
           : 1;
   if (options_.group_commit && options_.commit_batch_max_wait_us > 0 &&
       commit_queue_.size() < max_txns) {
-    commit_cv_.wait_for(
-        lock, std::chrono::microseconds(options_.commit_batch_max_wait_us),
-        [&] { return commit_queue_.size() >= max_txns; });
+    commit_cv_.WaitFor(
+        commit_mu_,
+        std::chrono::microseconds(options_.commit_batch_max_wait_us),
+        [&]() ODE_NO_THREAD_SAFETY_ANALYSIS {
+          return commit_queue_.size() >= max_txns;
+        });
   }
   // Claim the batch and its sequence number, then get off commit_mu_ so
   // the next leader-elect can start accumulating its own batch.
@@ -1247,8 +1280,8 @@ Status DiskStorageManager::CommitThroughQueue(TxnId txn, Workspace* ws) {
   if (batch_size_hist_->ShouldSample()) {
     batch_size_hist_->Record(batch.size());
   }
-  if (!commit_queue_.empty()) commit_cv_.notify_all();  // next leader
-  lock.unlock();
+  if (!commit_queue_.empty()) commit_cv_.NotifyAll();  // next leader
+  commit_mu_.unlock();
 
   // WAL ticket: batches append + fsync strictly in sequence order. The
   // wedge check must happen under the ticket — after a failed batch left
@@ -1256,11 +1289,15 @@ Status DiskStorageManager::CommitThroughQueue(TxnId txn, Workspace* ws) {
   // (discarded by recovery) into mid-file corruption (salvage mode).
   Status st;
   {
-    std::unique_lock<std::mutex> wal_lock(wal_mu_);
-    wal_cv_.wait(wal_lock, [&] { return wal_seq_ + 1 == batch_seq; });
+    MutexLock wal_lock(&wal_mu_);
+    wal_cv_.Wait(wal_mu_, [&]() ODE_NO_THREAD_SAFETY_ANALYSIS {
+      return wal_seq_ + 1 == batch_seq;
+    });
     st = CheckWritable();
     if (st.ok()) st = AppendBatchWal(batch);
     if (!st.ok() && !wedged_.load(std::memory_order_acquire)) {
+      // Release: publishes the torn WAL tail to the acquire loads in
+      // CheckWritable/Read/GetRoot/BeginTxn before they observe wedged_.
       wedged_.store(true, std::memory_order_release);
       ODE_LOG(kError) << "disk store: group commit batch " << batch_seq
                       << " (" << batch.size()
@@ -1272,17 +1309,19 @@ Status DiskStorageManager::CommitThroughQueue(TxnId txn, Workspace* ws) {
     }
     wal_seq_ = batch_seq;
   }
-  wal_cv_.notify_all();
+  wal_cv_.NotifyAll();
 
   // Apply ticket: pages strictly in WAL order. Upserts are last-writer-
   // wins, so batch N+1 (already fsyncing on its own leader's thread)
   // must not reach a page before batch N.
   {
-    std::unique_lock<std::mutex> apply_lock(apply_mu_);
-    apply_cv_.wait(apply_lock, [&] { return applied_seq_ + 1 == batch_seq; });
+    MutexLock apply_lock(&apply_mu_);
+    apply_cv_.Wait(apply_mu_, [&]() ODE_NO_THREAD_SAFETY_ANALYSIS {
+      return applied_seq_ + 1 == batch_seq;
+    });
   }
   if (st.ok()) {
-    std::unique_lock<std::shared_mutex> state(state_mu_);
+    WriterMutexLock state(&state_mu_);
     for (CommitRequest* r : batch) {
       const bool traced = tracer_ != nullptr && tracer_->Sampled(r->txn);
       const uint64_t apply_start = traced ? LatencyTimer::NowNanos() : 0;
@@ -1298,7 +1337,8 @@ Status DiskStorageManager::CommitThroughQueue(TxnId txn, Workspace* ws) {
     }
     if (!st.ok()) {
       // Pages and WAL may now disagree about a half-applied batch; only
-      // WAL recovery at the next Open can reconcile them.
+      // WAL recovery at the next Open can reconcile them. Release: pairs
+      // with the acquire loads in CheckWritable/Read/GetRoot/BeginTxn.
       wedged_.store(true, std::memory_order_release);
       ODE_LOG(kError) << "disk store: group commit batch " << batch_seq
                       << " failed applying pages; store wedged until reopen: "
@@ -1308,22 +1348,22 @@ Status DiskStorageManager::CommitThroughQueue(TxnId txn, Workspace* ws) {
     }
   }
   {
-    std::lock_guard<std::mutex> apply_lock(apply_mu_);
+    MutexLock apply_lock(&apply_mu_);
     applied_seq_ = batch_seq;
   }
-  apply_cv_.notify_all();
+  apply_cv_.NotifyAll();
 
   // Ack the group with its shared outcome. Followers wake only here —
   // after the fsync covering their kCommit AND page application — so a
   // caller releasing its 2PL locks gets read-your-writes.
-  lock.lock();
+  commit_mu_.lock();
   for (CommitRequest* r : batch) {
     if (r == &req) continue;
     r->status = st;
     r->done = true;
   }
-  lock.unlock();
-  commit_cv_.notify_all();
+  commit_mu_.unlock();
+  commit_cv_.NotifyAll();
   if (st.ok()) {
     tls_last_commit_batch = CommitBatchInfo{
         batch_seq, static_cast<uint32_t>(batch.size()), /*leader=*/true};
@@ -1343,34 +1383,34 @@ Status DiskStorageManager::CommitTxn(TxnId txn) {
     // matching the pre-group-commit contract.
     ODE_RETURN_NOT_OK(CommitThroughQueue(txn, ws));
   }
-  std::lock_guard<std::mutex> lock(ws_mu_);
+  MutexLock lock(&ws_mu_);
   workspaces_.erase(txn);
   return Status::OK();
 }
 
 Status DiskStorageManager::AbortTxn(TxnId txn) {
-  std::lock_guard<std::mutex> lock(ws_mu_);
+  MutexLock lock(&ws_mu_);
   // Allowed even wedged/salvaged: no-steal keeps aborts purely in-memory.
   workspaces_.erase(txn);
   return Status::OK();
 }
 
 Status DiskStorageManager::Checkpoint() {
-  std::unique_lock<std::mutex> commit_lock(commit_mu_);
+  MutexLock commit_lock(&commit_mu_);
   ODE_RETURN_NOT_OK(CheckWritable());
   DrainCommitPipelineLocked();
   // A draining batch may have wedged the store; checkpointing now would
   // persist half-applied state and then truncate the log.
   ODE_RETURN_NOT_OK(CheckWritable());
-  std::unique_lock<std::shared_mutex> state(state_mu_);
+  WriterMutexLock state(&state_mu_);
   return CheckpointLocked();
 }
 
 void DiskStorageManager::SimulateCrash() {
-  std::unique_lock<std::mutex> commit_lock(commit_mu_);
+  MutexLock commit_lock(&commit_mu_);
   DrainCommitPipelineLocked();
-  std::unique_lock<std::shared_mutex> state(state_mu_);
-  std::lock_guard<std::mutex> ws_lock(ws_mu_);
+  WriterMutexLock state(&state_mu_);
+  MutexLock ws_lock(&ws_mu_);
   pool_.reset();  // dirty frames are dropped, not written
   wal_.reset();
   file_.reset();
@@ -1380,18 +1420,20 @@ void DiskStorageManager::SimulateCrash() {
   quarantine_oids_.clear();
   unknown_losses_ = false;
   roots_lost_ = false;
-  wedged_ = false;
-  salvage_ = false;
-  open_ = false;
+  // Relaxed: the release store on open_ below orders these for any
+  // thread that later observes the store closed via its acquire load.
+  wedged_.store(false, std::memory_order_relaxed);
+  salvage_.store(false, std::memory_order_relaxed);
+  open_.store(false, std::memory_order_release);
 }
 
 bool DiskStorageManager::degraded() const {
-  std::shared_lock<std::shared_mutex> state(state_mu_);
+  ReaderMutexLock state(&state_mu_);
   return !quarantined_pages_.empty() || unknown_losses_;
 }
 
 std::vector<Oid> DiskStorageManager::LostObjects() const {
-  std::shared_lock<std::shared_mutex> state(state_mu_);
+  ReaderMutexLock state(&state_mu_);
   std::vector<Oid> out;
   out.reserve(lost_oids_.size());
   for (uint64_t oid : lost_oids_) out.emplace_back(oid);
@@ -1460,16 +1502,18 @@ void DiskStorageManager::ReconcileQuarantineLocked() {
 }
 
 Result<ScrubReport> DiskStorageManager::VerifyIntegrity() {
-  std::unique_lock<std::mutex> commit_lock(commit_mu_);
+  MutexLock commit_lock(&commit_mu_);
+  // Acquire: pairs with the release store at the end of Open().
   if (!open_.load(std::memory_order_acquire)) {
     return Status::Internal("disk store not open");
   }
+  // Acquire: pairs with the wedge release-stores in CommitThroughQueue.
   if (wedged_.load(std::memory_order_acquire)) {
     return Status::IOError(
         "disk store wedged by a mid-commit I/O failure; reopen to recover");
   }
   DrainCommitPipelineLocked();
-  std::unique_lock<std::shared_mutex> state(state_mu_);
+  WriterMutexLock state(&state_mu_);
   const uint64_t scrub_start = LatencyTimer::NowNanos();
   // In salvage mode the WAL is the only trustworthy copy of recent
   // history and the data file must not be mutated: scan and quarantine
@@ -1681,7 +1725,7 @@ Status DiskStorageManager::CheckpointLocked() {
 }
 
 StorageStats DiskStorageManager::stats() const {
-  std::shared_lock<std::shared_mutex> state(state_mu_);
+  ReaderMutexLock state(&state_mu_);
   StorageStats s;
   s.objects = index_.size();
   s.pages = page_count_;

@@ -2,19 +2,18 @@
 #define ODE_STORAGE_DISK_STORAGE_MANAGER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/ordered_mutex.h"
+#include "common/thread_annotations.h"
 #include "common/tracing.h"
 #include "storage/env.h"
 #include "storage/page.h"
@@ -26,7 +25,11 @@ namespace ode {
 /// Buffer pool over the data file: a fixed number of page frames with LRU
 /// replacement. Dirty frames are written back on eviction, FlushAll, or
 /// checkpoint. Not thread-safe by itself; the storage manager serializes
-/// access. Page I/O goes through the given RandomRWFile (and optional
+/// access (lock-rank exemption: the pool deliberately has no mutex of
+/// its own — every entry point is reached either with the manager's
+/// state_mu_ held exclusive, or with state_mu_ shared plus pool_mu_,
+/// so annotating members here would mis-state the ownership).
+/// Page I/O goes through the given RandomRWFile (and optional
 /// transient-error retry policy), so a FaultInjectionEnv sees every read
 /// and write-back.
 ///
@@ -245,47 +248,60 @@ class DiskStorageManager final : public StorageManager {
 
   /// The group-commit pipeline: park in the queue, become leader or get
   /// carried by one, one fsync per batch, pages applied in WAL order.
-  Status CommitThroughQueue(TxnId txn, Workspace* ws);
+  /// NO_TSA: the leader/follower handoff locks and unlocks commit_mu_
+  /// several times along one control path (accumulate → form batch →
+  /// WAL ticket → apply ticket → ack), which the static analysis cannot
+  /// model; the runtime lock-rank validator still checks every acquire.
+  Status CommitThroughQueue(TxnId txn,
+                            Workspace* ws) ODE_NO_THREAD_SAFETY_ANALYSIS;
   /// Dumps the tracer's span ring to `path_ + ".flight.json"` (plain
   /// stdio, works while wedged). No-op without a bound tracer.
   void DumpFlightRecorder(const std::string& reason);
   /// Appends every batch member's kBegin..kCommit frame and issues the
-  /// single group fsync. Caller holds commit_mu_.
-  Status AppendBatchWal(const std::vector<CommitRequest*>& batch);
-  /// Waits (commit_mu_ held) until every numbered batch has applied its
-  /// pages, so the caller can take state_mu_ knowing the pipeline is idle.
-  void DrainCommitPipelineLocked();
+  /// single group fsync. Runs under the caller's WAL ticket.
+  Status AppendBatchWal(const std::vector<CommitRequest*>& batch)
+      ODE_REQUIRES(wal_mu_);
+  /// Waits (commit_mu_ held, so no new batch can be numbered) until
+  /// every numbered batch has applied its pages, so the caller can take
+  /// state_mu_ knowing the pipeline is idle.
+  void DrainCommitPipelineLocked() ODE_REQUIRES(commit_mu_);
 
-  // --- committed-state operations (state_mu_ exclusive held, except
-  // ReadCommitted which shared-mode readers call under pool_mu_) ---
-  Status ReadCommitted(Oid oid, std::vector<char>* out);
-  Status ApplyWorkspacePages(Workspace& ws);
-  Status ApplyUpsert(Oid oid, Slice image);
-  Status ApplyFree(Oid oid);
-  Status ApplyRoots();
-  Status InsertRecord(Oid oid, Slice image);
-  Status FreeOverflowChain(uint32_t first_page);
-  Status WriteOverflowChain(Slice image, uint32_t* first_page);
+  // --- committed-state operations. Mutators require state_mu_
+  // exclusive; the read-path trio (ReadCommitted / ReadOverflowChain /
+  // AbsentOidStatus) is also called with state_mu_ shared, in which
+  // case the caller serializes buffer-pool access via pool_mu_ (an
+  // exclusive state_mu_ holder owns the pool outright — see pool_). ---
+  Status ReadCommitted(Oid oid, std::vector<char>* out)
+      ODE_REQUIRES_SHARED(state_mu_);
+  Status ApplyWorkspacePages(Workspace& ws) ODE_REQUIRES(state_mu_);
+  Status ApplyUpsert(Oid oid, Slice image) ODE_REQUIRES(state_mu_);
+  Status ApplyFree(Oid oid) ODE_REQUIRES(state_mu_);
+  Status ApplyRoots() ODE_REQUIRES(state_mu_);
+  Status InsertRecord(Oid oid, Slice image) ODE_REQUIRES(state_mu_);
+  Status FreeOverflowChain(uint32_t first_page) ODE_REQUIRES(state_mu_);
+  Status WriteOverflowChain(Slice image, uint32_t* first_page)
+      ODE_REQUIRES(state_mu_);
   Status ReadOverflowChain(uint32_t first_page, uint64_t total_len,
-                           std::vector<char>* out);
-  uint32_t AllocPage();
-  void ReleasePage(uint32_t page_id);
+                           std::vector<char>* out)
+      ODE_REQUIRES_SHARED(state_mu_);
+  uint32_t AllocPage() ODE_REQUIRES(state_mu_);
+  void ReleasePage(uint32_t page_id) ODE_REQUIRES(state_mu_);
   Status ReadPage(uint32_t page_id, char* buf);
   Status WritePage(uint32_t page_id, const char* buf);
-  Status ScanAndRebuild();
-  Status ReplayWal();
-  Status WriteHeader();
-  Status CheckpointLocked();
+  Status ScanAndRebuild() ODE_REQUIRES(state_mu_);
+  Status ReplayWal() ODE_REQUIRES(state_mu_);
+  Status WriteHeader() ODE_REQUIRES(state_mu_);
+  Status CheckpointLocked() ODE_REQUIRES(state_mu_);
   /// What a lookup miss means: kNotFound normally, kCorruption for a
   /// known-lost oid or while the store is degraded (the lost-object list
-  /// is best-effort, so any miss is suspect). Caller holds state_mu_.
-  Status AbsentOidStatus(Oid oid) const;
+  /// is best-effort, so any miss is suspect).
+  Status AbsentOidStatus(Oid oid) const ODE_REQUIRES_SHARED(state_mu_);
   /// Post-replay: releases quarantined pages whose every enumerated
   /// object was resolved (repaired by WAL redo or explicitly freed).
-  void ReconcileQuarantineLocked();
+  void ReconcileQuarantineLocked() ODE_REQUIRES(state_mu_);
   /// Reformats a corrupt page as empty and returns it to the free list
   /// (dropping any stale pool frame / space-map entry first).
-  void ReformatCorruptPage(uint32_t page_id);
+  void ReformatCorruptPage(uint32_t page_id) ODE_REQUIRES(state_mu_);
 
   std::string path_;
   Options options_;
@@ -294,6 +310,11 @@ class DiskStorageManager final : public StorageManager {
   // --- lock hierarchy (always acquired in this order) ---
   //   commit_mu_ > wal_mu_ > apply_mu_ > state_mu_ > pool_mu_;
   //   ws_mu_ is a leaf.
+  //
+  // The order is machine-enforced: each mutex carries its lock_rank
+  // (kStorageCommit < kStorageWal < ... < kStorageWorkspaces), so a
+  // debug/sanitizer build aborts on any out-of-order acquire, and Clang
+  // -Wthread-safety checks the ODE_GUARDED_BY/ODE_REQUIRES annotations.
   //
   // commit_mu_ guards the commit queue and batch numbering: the first
   // queued committer becomes the leader, claims everything waiting (up
@@ -314,56 +335,70 @@ class DiskStorageManager final : public StorageManager {
   // pool outright). ws_mu_ guards the workspaces_ map shape; a Workspace
   // body is only touched by its owning transaction's thread — or by a
   // commit leader while that owner is parked in the queue.
-  mutable std::mutex commit_mu_;
-  std::condition_variable commit_cv_;
-  std::deque<CommitRequest*> commit_queue_;  // under commit_mu_
-  uint64_t next_batch_seq_ = 1;              // under commit_mu_
+  mutable OrderedMutex commit_mu_{lock_rank::kStorageCommit,
+                                  "disk.commit_mu"};
+  CondVar commit_cv_;
+  std::deque<CommitRequest*> commit_queue_ ODE_GUARDED_BY(commit_mu_);
+  uint64_t next_batch_seq_ ODE_GUARDED_BY(commit_mu_) = 1;
 
-  std::mutex wal_mu_;
-  std::condition_variable wal_cv_;
-  uint64_t wal_seq_ = 0;  // under wal_mu_: last batch through the WAL
+  OrderedMutex wal_mu_{lock_rank::kStorageWal, "disk.wal_mu"};
+  CondVar wal_cv_;
+  // Last batch through the WAL.
+  uint64_t wal_seq_ ODE_GUARDED_BY(wal_mu_) = 0;
 
-  mutable std::mutex apply_mu_;
-  std::condition_variable apply_cv_;
-  uint64_t applied_seq_ = 0;  // under apply_mu_
+  mutable OrderedMutex apply_mu_{lock_rank::kStorageApply, "disk.apply_mu"};
+  CondVar apply_cv_;
+  uint64_t applied_seq_ ODE_GUARDED_BY(apply_mu_) = 0;
 
-  mutable std::shared_mutex state_mu_;
-  mutable std::mutex pool_mu_;
-  mutable std::mutex ws_mu_;
+  mutable OrderedSharedMutex state_mu_{lock_rank::kStorageState,
+                                       "disk.state_mu"};
+  mutable OrderedMutex pool_mu_{lock_rank::kStoragePool, "disk.pool_mu"};
+  mutable OrderedMutex ws_mu_{lock_rank::kStorageWorkspaces, "disk.ws_mu"};
 
+  // file_/pool_/wal_ carry no ODE_GUARDED_BY (annotation exemption):
+  // the unique_ptrs are set/reset only inside Open/Close/SimulateCrash
+  // (full exclusive stack held), but the pointees are used under the
+  // dual pool discipline documented above — state_mu_ exclusive OR
+  // state_mu_ shared + pool_mu_ for the pool, wal_mu_ for wal_ appends
+  // plus state_mu_ exclusive for replay/truncate — which a single
+  // guarded_by attribute cannot express.
   std::unique_ptr<RandomRWFile> file_;
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<Wal> wal_;
+  // Lock-free gate flags; every lock-free load carries an explicit
+  // memory order naming its pairing store (see CheckWritable).
   std::atomic<bool> open_{false};
   std::atomic<bool> wedged_{false};
   std::atomic<bool> salvage_{false};
-  std::unordered_map<uint64_t, Loc> index_;
-  std::map<uint32_t, size_t> space_map_;  // slotted page -> free bytes
-  std::vector<uint32_t> free_pages_;
-  std::map<std::string, Oid> roots_;
+  std::unordered_map<uint64_t, Loc> index_ ODE_GUARDED_BY(state_mu_);
+  // Slotted page -> free bytes.
+  std::map<uint32_t, size_t> space_map_ ODE_GUARDED_BY(state_mu_);
+  std::vector<uint32_t> free_pages_ ODE_GUARDED_BY(state_mu_);
+  std::map<std::string, Oid> roots_ ODE_GUARDED_BY(state_mu_);
   // --- silent-corruption quarantine (under state_mu_) ---
   // Pages whose checksum/structure failed and which WAL redo could not
   // repair. Never allocated from, never read through the pool.
-  std::unordered_set<uint32_t> quarantined_pages_;
+  std::unordered_set<uint32_t> quarantined_pages_ ODE_GUARDED_BY(state_mu_);
   // Objects whose committed image lived on a quarantined page
   // (best-effort enumeration; see AbsentOidStatus).
-  std::unordered_set<uint64_t> lost_oids_;
+  std::unordered_set<uint64_t> lost_oids_ ODE_GUARDED_BY(state_mu_);
   // Quarantined page -> the oids enumerated from it, kept so a later
   // repair of all of them lets ReconcileQuarantineLocked free the page.
   // Pages too mangled to enumerate have no entry (and set
   // unknown_losses_ instead).
-  std::unordered_map<uint32_t, std::vector<uint64_t>> quarantine_oids_;
+  std::unordered_map<uint32_t, std::vector<uint64_t>> quarantine_oids_
+      ODE_GUARDED_BY(state_mu_);
   // A quarantined page could not be parsed at all, so lost_oids_ may be
   // incomplete. Sticky until a clean reopen.
-  bool unknown_losses_ = false;
+  bool unknown_losses_ ODE_GUARDED_BY(state_mu_) = false;
   // The roots directory object (oid 1) was lost: name lookups that miss
   // return kCorruption, since the mapping may simply be unreadable.
-  bool roots_lost_ = false;
-  std::unordered_map<TxnId, Workspace> workspaces_;  // under ws_mu_
+  bool roots_lost_ ODE_GUARDED_BY(state_mu_) = false;
+  std::unordered_map<TxnId, Workspace> workspaces_ ODE_GUARDED_BY(ws_mu_);
   // oid 1 is reserved for the roots directory. Atomic so Allocate can
   // mint oids without touching any state lock.
   std::atomic<uint64_t> next_oid_{2};
-  uint32_t page_count_ = 1;  // page 0 is the file header
+  uint32_t page_count_ ODE_GUARDED_BY(state_mu_) = 1;  // page 0 = header
 
   /// Retry policy shared by the WAL and buffer pool. BindMetrics updates
   /// its counter pointers in place, so the Wal/BufferPool (which hold a

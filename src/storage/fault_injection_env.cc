@@ -59,7 +59,7 @@ FaultInjectionEnv::FaultInjectionEnv(Env* base) : base_(base) {
 }
 
 void FaultInjectionEnv::BindMetrics(MetricsRegistry* registry) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   // nullptr = unbind (the registry we were mirroring into is going
   // away); revert to the env's own registry so the mirror stays valid.
   if (registry == nullptr) registry = owned_metrics_.get();
@@ -119,7 +119,7 @@ Status FaultInjectionEnv::BeginReadOp(const char* what) {
 Status FaultInjectionEnv::DoAppend(const std::string& path,
                                    WritableFile* base, Slice data) {
   Status result = [&]() -> Status {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (crashed_) return CrashedError("append");
     ++ops_;
     FileState& fs = files_[path];
@@ -149,7 +149,7 @@ Status FaultInjectionEnv::DoAppend(const std::string& path,
 Status FaultInjectionEnv::DoWritableSync(const std::string& path,
                                          WritableFile* base) {
   Status result = [&]() -> Status {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     ODE_RETURN_NOT_OK(BeginMutatingOp("sync"));
     ODE_RETURN_NOT_OK(base->Sync());
     FileState& fs = files_[path];
@@ -172,7 +172,7 @@ Status FaultInjectionEnv::DoReadAt(RandomRWFile* base, uint64_t offset,
   uint64_t garbage_seed = 0;
   bool garbage = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     st = BeginReadOp("read");
     if (st.ok() && garbage_read_p_ > 0.0 &&
         garbage_rng_.Bernoulli(garbage_read_p_)) {
@@ -202,7 +202,7 @@ Status FaultInjectionEnv::DoWriteAt(const std::string& path,
                                     RandomRWFile* base, uint64_t offset,
                                     Slice data) {
   Status result = [&]() -> Status {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     ODE_RETURN_NOT_OK(BeginMutatingOp("page write"));
     FileState& fs = files_[path];
     if (fs.unsynced_writes.find(offset) == fs.unsynced_writes.end()) {
@@ -228,7 +228,7 @@ Status FaultInjectionEnv::DoWriteAt(const std::string& path,
 Status FaultInjectionEnv::DoRWSync(const std::string& path,
                                    RandomRWFile* base) {
   Status result = [&]() -> Status {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     ODE_RETURN_NOT_OK(BeginMutatingOp("file sync"));
     ODE_RETURN_NOT_OK(base->Sync());
     files_[path].unsynced_writes.clear();
@@ -244,7 +244,7 @@ Status FaultInjectionEnv::NewWritableFile(const std::string& path,
                                           std::unique_ptr<WritableFile>* out) {
   std::unique_ptr<WritableFile> base;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (crashed_) return CrashedError("open");
     ODE_RETURN_NOT_OK(base_->NewWritableFile(path, &base));
     auto [it, fresh] = files_.try_emplace(path);
@@ -264,7 +264,7 @@ Status FaultInjectionEnv::NewRandomRWFile(const std::string& path,
                                           std::unique_ptr<RandomRWFile>* out) {
   std::unique_ptr<RandomRWFile> base;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (crashed_) return CrashedError("open");
     ODE_RETURN_NOT_OK(base_->NewRandomRWFile(path, &base));
     files_.try_emplace(path);
@@ -276,7 +276,7 @@ Status FaultInjectionEnv::NewRandomRWFile(const std::string& path,
 Status FaultInjectionEnv::ReadFileToString(const std::string& path,
                                            std::string* out) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (crashed_) return CrashedError("read file");
   }
   return base_->ReadFileToString(path, out);
@@ -285,7 +285,7 @@ Status FaultInjectionEnv::ReadFileToString(const std::string& path,
 Status FaultInjectionEnv::RenameFile(const std::string& from,
                                      const std::string& to) {
   Status result = [&]() -> Status {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     ODE_RETURN_NOT_OK(BeginMutatingOp("rename"));
     ODE_RETURN_NOT_OK(base_->RenameFile(from, to));
     auto it = files_.find(from);
@@ -301,7 +301,7 @@ Status FaultInjectionEnv::RenameFile(const std::string& from,
 
 Status FaultInjectionEnv::RemoveFile(const std::string& path) {
   Status result = [&]() -> Status {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     ODE_RETURN_NOT_OK(BeginMutatingOp("remove"));
     ODE_RETURN_NOT_OK(base_->RemoveFile(path));
     files_.erase(path);
@@ -314,7 +314,7 @@ Status FaultInjectionEnv::RemoveFile(const std::string& path) {
 Status FaultInjectionEnv::TruncateFile(const std::string& path,
                                        uint64_t size) {
   Status result = [&]() -> Status {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     ODE_RETURN_NOT_OK(BeginMutatingOp("truncate"));
     ODE_RETURN_NOT_OK(base_->TruncateFile(path, size));
     FileState& fs = files_[path];
@@ -342,35 +342,35 @@ void FaultInjectionEnv::SleepMicros(uint64_t micros) {
 // -------------------------------------------------------- fault controls
 
 uint64_t FaultInjectionEnv::ops() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return ops_;
 }
 
 void FaultInjectionEnv::SetCrashAtOp(uint64_t op) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   crash_at_ = op;
 }
 
 void FaultInjectionEnv::ArmCrashAfterNextSync() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   crash_after_sync_ = true;
 }
 
 void FaultInjectionEnv::FailNextOps(uint32_t n) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   fail_next_ = n;
 }
 
 void FaultInjectionEnv::SetTransientFaultProbability(double p,
                                                      uint64_t seed) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   transient_p_ = p;
   rng_ = Random(seed);
 }
 
 Status FaultInjectionEnv::FlipBitAt(const std::string& path, uint64_t offset,
                                     uint32_t bit) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Result<uint64_t> size = base_->GetFileSize(path);
   ODE_RETURN_NOT_OK(size.status());
   if (offset >= size.value()) {
@@ -391,14 +391,14 @@ Status FaultInjectionEnv::FlipBitAt(const std::string& path, uint64_t offset,
 }
 
 void FaultInjectionEnv::SetGarbageReadProbability(double p, uint64_t seed) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   garbage_read_p_ = p;
   garbage_rng_ = Random(seed);
 }
 
 void FaultInjectionEnv::SetCrashCallback(
     std::function<void(const char*)> callback) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   crash_callback_ = std::move(callback);
 }
 
@@ -406,7 +406,7 @@ void FaultInjectionEnv::FireCrashCallbackIfPending() {
   std::function<void(const char*)> cb;
   const char* what = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (just_crashed_what_ == nullptr) return;
     what = just_crashed_what_;
     just_crashed_what_ = nullptr;
@@ -416,22 +416,22 @@ void FaultInjectionEnv::FireCrashCallbackIfPending() {
 }
 
 void FaultInjectionEnv::SetTornWrites(bool on) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   torn_writes_ = on;
 }
 
 bool FaultInjectionEnv::crashed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return crashed_;
 }
 
 uint64_t FaultInjectionEnv::faults_injected() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return fault_count_;
 }
 
 Status FaultInjectionEnv::DropUnsyncedData(uint64_t seed) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Random rng(seed);
   for (auto& [path, fs] : files_) {
     if (fs.append_size > fs.synced_size) {
@@ -459,7 +459,7 @@ Status FaultInjectionEnv::DropUnsyncedData(uint64_t seed) {
 }
 
 void FaultInjectionEnv::ResetAfterCrash() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   crashed_ = false;
   crash_at_ = 0;
   crash_after_sync_ = false;

@@ -4,12 +4,13 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/ordered_mutex.h"
 #include "common/random.h"
+#include "common/thread_annotations.h"
 #include "storage/env.h"
 
 namespace ode {
@@ -139,8 +140,8 @@ class FaultInjectionEnv final : public Env {
   Status BeginReadOp(const char* what);
   /// Bumps the authoritative fault count and mirrors it to the bound
   /// registry counter.
-  void CountFaultLocked();
-  Status InjectLocked(const char* what);
+  void CountFaultLocked() ODE_REQUIRES(mu_);
+  Status InjectLocked(const char* what) ODE_REQUIRES(mu_);
   Status CrashedError(const char* what) const;
   /// Runs the crash callback if a crash point tripped since the last
   /// call. Must be called WITHOUT mu_ held — entry points invoke it
@@ -158,26 +159,28 @@ class FaultInjectionEnv final : public Env {
   Status DoRWSync(const std::string& path, RandomRWFile* base);
 
   Env* base_;
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, FileState> files_;
-  uint64_t ops_ = 0;
-  uint64_t crash_at_ = 0;
-  uint32_t fail_next_ = 0;
-  bool crashed_ = false;
-  bool crash_after_sync_ = false;
-  bool torn_writes_ = true;
-  double transient_p_ = 0.0;
-  double garbage_read_p_ = 0.0;
-  Random rng_{1};
-  Random garbage_rng_{1};
+  // Below the storage layer's locks (ranked deeper than wal_mu_/pool_mu_
+  // etc.): the env is called from inside WAL appends and page I/O.
+  mutable OrderedMutex mu_{lock_rank::kFaultEnv, "fault_env.mu"};
+  std::unordered_map<std::string, FileState> files_ ODE_GUARDED_BY(mu_);
+  uint64_t ops_ ODE_GUARDED_BY(mu_) = 0;
+  uint64_t crash_at_ ODE_GUARDED_BY(mu_) = 0;
+  uint32_t fail_next_ ODE_GUARDED_BY(mu_) = 0;
+  bool crashed_ ODE_GUARDED_BY(mu_) = false;
+  bool crash_after_sync_ ODE_GUARDED_BY(mu_) = false;
+  bool torn_writes_ ODE_GUARDED_BY(mu_) = true;
+  double transient_p_ ODE_GUARDED_BY(mu_) = 0.0;
+  double garbage_read_p_ ODE_GUARDED_BY(mu_) = 0.0;
+  Random rng_ ODE_GUARDED_BY(mu_){1};
+  Random garbage_rng_ ODE_GUARDED_BY(mu_){1};
   /// Authoritative count. The registry counter is only a mirror: the env
   /// outlives whatever registry it was last bound to (the store that
   /// bound it is torn down and reopened around every crash), so
   /// faults_injected() must not read through faults_.
-  uint64_t fault_count_ = 0;
+  uint64_t fault_count_ ODE_GUARDED_BY(mu_) = 0;
   /// Set (under mu_) by the crash sites, consumed by
   /// FireCrashCallbackIfPending after the lock is released.
-  const char* just_crashed_what_ = nullptr;
+  const char* just_crashed_what_ ODE_GUARDED_BY(mu_) = nullptr;
   std::function<void(const char*)> crash_callback_;
   Counter* faults_ = nullptr;
   std::unique_ptr<MetricsRegistry> owned_metrics_;

@@ -96,7 +96,7 @@ std::string LockManager::DeadlockMessage(TxnId victim, Oid oid,
 }
 
 Status LockManager::Acquire(TxnId txn, Oid oid, LockMode mode) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   LockState& state = table_[oid];
 
   auto holder = state.holders.find(txn);
@@ -158,7 +158,7 @@ Status LockManager::Acquire(TxnId txn, Oid oid, LockMode mode) {
       result = Status::Deadlock(DeadlockMessage(txn, oid, blocker));
       break;
     }
-    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+    if (cv_.WaitUntil(mu_, deadline) == std::cv_status::timeout) {
       timeouts_->Inc();
       result = Status::LockTimeout("waiting for " + oid.ToString());
       break;
@@ -184,12 +184,12 @@ Status LockManager::Acquire(TxnId txn, Oid oid, LockMode mode) {
                           [&](const Waiter& w) { return w.txn == txn; });
   if (qit != st.queue.end()) st.queue.erase(qit);
   // Our departure (grant or failure) may unblock others.
-  cv_.notify_all();
+  cv_.NotifyAll();
   return result;
 }
 
 void LockManager::ReleaseAll(TxnId txn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = held_.find(txn);
   if (it == held_.end()) return;
   for (Oid oid : it->second) {
@@ -201,11 +201,11 @@ void LockManager::ReleaseAll(TxnId txn) {
     }
   }
   held_.erase(it);
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 bool LockManager::Holds(TxnId txn, Oid oid, LockMode mode) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = table_.find(oid);
   if (it == table_.end()) return false;
   auto hit = it->second.holders.find(txn);
@@ -215,7 +215,7 @@ bool LockManager::Holds(TxnId txn, Oid oid, LockMode mode) const {
 }
 
 size_t LockManager::LocksHeld(TxnId txn) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = held_.find(txn);
   return it == held_.end() ? 0 : it->second.size();
 }

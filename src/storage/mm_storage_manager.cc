@@ -29,7 +29,7 @@ void MMStorageManager::BindMetrics(MetricsRegistry* registry) {
 }
 
 Status MMStorageManager::Open() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (open_) return Status::Internal("mm store already open");
   objects_.clear();
   roots_.clear();
@@ -79,7 +79,7 @@ Status MMStorageManager::Open() {
 }
 
 Status MMStorageManager::Close() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!open_) return Status::OK();
   Status st = path_.empty() ? Status::OK() : CheckpointLocked();
   open_ = false;
@@ -92,7 +92,7 @@ MMStorageManager::Workspace* MMStorageManager::FindWorkspace(TxnId txn) {
 }
 
 Result<Oid> MMStorageManager::Allocate(TxnId txn, Slice data) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Workspace* ws = FindWorkspace(txn);
   if (ws == nullptr) return Status::Internal("mm store: unknown txn");
   Oid oid(next_oid_++);
@@ -105,7 +105,7 @@ Result<Oid> MMStorageManager::Allocate(TxnId txn, Slice data) {
 
 Status MMStorageManager::Read(TxnId txn, Oid oid, std::vector<char>* out) {
   LatencyTimer timer(read_latency_);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   object_reads_->Inc();
   if (Workspace* ws = FindWorkspace(txn)) {
     auto it = ws->entries.find(oid);
@@ -127,7 +127,7 @@ Status MMStorageManager::Read(TxnId txn, Oid oid, std::vector<char>* out) {
 
 Status MMStorageManager::Write(TxnId txn, Oid oid, Slice data) {
   LatencyTimer timer(write_latency_);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   object_writes_->Inc();
   Workspace* ws = FindWorkspace(txn);
   if (ws == nullptr) return Status::Internal("mm store: unknown txn");
@@ -149,7 +149,7 @@ Status MMStorageManager::Write(TxnId txn, Oid oid, Slice data) {
 }
 
 Status MMStorageManager::Free(TxnId txn, Oid oid) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Workspace* ws = FindWorkspace(txn);
   if (ws == nullptr) return Status::Internal("mm store: unknown txn");
   auto it = ws->entries.find(oid);
@@ -171,7 +171,7 @@ Status MMStorageManager::Free(TxnId txn, Oid oid) {
 }
 
 bool MMStorageManager::Exists(TxnId txn, Oid oid) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (Workspace* ws = FindWorkspace(txn)) {
     auto it = ws->entries.find(oid);
     if (it != ws->entries.end()) return !it->second.freed;
@@ -181,7 +181,7 @@ bool MMStorageManager::Exists(TxnId txn, Oid oid) {
 
 Status MMStorageManager::SetRoot(TxnId txn, const std::string& name,
                                  Oid oid) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Workspace* ws = FindWorkspace(txn);
   if (ws == nullptr) return Status::Internal("mm store: unknown txn");
   ws->root_updates[name] = oid;
@@ -189,7 +189,7 @@ Status MMStorageManager::SetRoot(TxnId txn, const std::string& name,
 }
 
 Result<Oid> MMStorageManager::GetRoot(TxnId txn, const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (Workspace* ws = FindWorkspace(txn)) {
     auto it = ws->root_updates.find(name);
     if (it != ws->root_updates.end()) return it->second;
@@ -200,7 +200,7 @@ Result<Oid> MMStorageManager::GetRoot(TxnId txn, const std::string& name) {
 }
 
 Status MMStorageManager::BeginTxn(TxnId txn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!open_) return Status::Internal("mm store not open");
   auto [it, inserted] = workspaces_.try_emplace(txn);
   (void)it;
@@ -209,7 +209,7 @@ Status MMStorageManager::BeginTxn(TxnId txn) {
 }
 
 Status MMStorageManager::CommitTxn(TxnId txn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = workspaces_.find(txn);
   if (it == workspaces_.end()) {
     return Status::Internal("mm store: commit of unknown txn");
@@ -233,7 +233,7 @@ Status MMStorageManager::CommitTxn(TxnId txn) {
 }
 
 Status MMStorageManager::AbortTxn(TxnId txn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   // Dropping the workspace is the whole rollback — this is what makes
   // trigger-state rollback (paper §5.5) automatic.
   workspaces_.erase(txn);
@@ -241,7 +241,7 @@ Status MMStorageManager::AbortTxn(TxnId txn) {
 }
 
 Status MMStorageManager::Checkpoint() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (path_.empty()) return Status::OK();
   return CheckpointLocked();
 }
@@ -276,7 +276,7 @@ Status MMStorageManager::CheckpointLocked() {
 }
 
 StorageStats MMStorageManager::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   StorageStats s;
   s.objects = objects_.size();
   for (const auto& [oid, image] : objects_) {

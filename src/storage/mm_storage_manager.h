@@ -3,12 +3,13 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/ordered_mutex.h"
+#include "common/thread_annotations.h"
 #include "storage/storage_manager.h"
 
 namespace ode {
@@ -50,18 +51,18 @@ class MMStorageManager final : public StorageManager {
  private:
   using Workspace = storage_internal::TxnWorkspace;
 
-  // Requires mu_ held.
-  Workspace* FindWorkspace(TxnId txn);
-  Status CheckpointLocked();
+  Workspace* FindWorkspace(TxnId txn) ODE_REQUIRES(mu_);
+  Status CheckpointLocked() ODE_REQUIRES(mu_);
 
   std::string path_;
-  bool open_ = false;
 
-  mutable std::mutex mu_;
-  std::unordered_map<Oid, std::vector<char>, OidHash> objects_;
-  std::map<std::string, Oid> roots_;
-  std::unordered_map<TxnId, Workspace> workspaces_;
-  uint64_t next_oid_ = 1;
+  mutable OrderedMutex mu_{lock_rank::kMmStore, "mm.mu"};
+  bool open_ ODE_GUARDED_BY(mu_) = false;
+  std::unordered_map<Oid, std::vector<char>, OidHash> objects_
+      ODE_GUARDED_BY(mu_);
+  std::map<std::string, Oid> roots_ ODE_GUARDED_BY(mu_);
+  std::unordered_map<TxnId, Workspace> workspaces_ ODE_GUARDED_BY(mu_);
+  uint64_t next_oid_ ODE_GUARDED_BY(mu_) = 1;
 
   // Metrics (see StorageManager::BindMetrics).
   std::unique_ptr<MetricsRegistry> owned_metrics_;

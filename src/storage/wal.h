@@ -77,12 +77,17 @@ class Wal {
   }
 
  private:
+  // Lock-rank exemption: the Wal has no mutex of its own. All mutating
+  // calls are externally serialized by the disk storage manager's
+  // wal_mu_ (rank kStorageWal); records_appended_ below is the only
+  // member read off that lock.
   std::string path_;
   Env* env_;
   const IoRetryPolicy* retry_;
   std::unique_ptr<WritableFile> file_;
   // Relaxed: appended under the storage manager's WAL-order lock, but
-  // read by stats() off the lock.
+  // read by stats() off the lock (a monotonic counter — staleness is
+  // harmless, no ordering is implied).
   std::atomic<uint64_t> records_appended_{0};
 };
 

@@ -12,7 +12,7 @@ EventRegistry& EventRegistry::Global() {
 Symbol EventRegistry::Intern(const std::string& type_name,
                              const std::string& event_name) {
   std::string key = type_name + "::" + event_name;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = table_.find(key);
   if (it != table_.end()) return it->second;
   Symbol symbol = next_++;
@@ -23,13 +23,13 @@ Symbol EventRegistry::Intern(const std::string& type_name,
 
 Symbol EventRegistry::Find(const std::string& type_name,
                            const std::string& event_name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = table_.find(type_name + "::" + event_name);
   return it == table_.end() ? 0 : it->second;
 }
 
 std::string EventRegistry::NameOf(Symbol symbol) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (symbol < kFirstEventSymbol ||
       symbol - kFirstEventSymbol >= names_.size()) {
     return "ev" + std::to_string(symbol);
@@ -38,7 +38,7 @@ std::string EventRegistry::NameOf(Symbol symbol) const {
 }
 
 size_t EventRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return names_.size();
 }
 

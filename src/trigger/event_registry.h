@@ -1,11 +1,12 @@
 #ifndef ODE_TRIGGER_EVENT_REGISTRY_H_
 #define ODE_TRIGGER_EVENT_REGISTRY_H_
 
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/ordered_mutex.h"
+#include "common/thread_annotations.h"
 #include "events/event_expr.h"
 
 namespace ode {
@@ -46,10 +47,13 @@ class EventRegistry {
   size_t size() const;
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, Symbol> table_;
-  std::vector<std::string> names_;  // index: symbol - kFirstEventSymbol
-  Symbol next_ = kFirstEventSymbol;
+  // Deep rank: interning happens under type-registration and posting
+  // paths but never calls back out while holding mu_.
+  mutable OrderedMutex mu_{lock_rank::kEventRegistry, "event_registry.mu"};
+  std::unordered_map<std::string, Symbol> table_ ODE_GUARDED_BY(mu_);
+  // index: symbol - kFirstEventSymbol
+  std::vector<std::string> names_ ODE_GUARDED_BY(mu_);
+  Symbol next_ ODE_GUARDED_BY(mu_) = kFirstEventSymbol;
 };
 
 }  // namespace ode

@@ -15,7 +15,7 @@ constexpr const char* kIndexRoot = "ode.trigger_index";
 Result<std::vector<Oid>> TriggerIndex::LoadDirectory(Transaction* txn,
                                                      bool create) {
   {
-    std::lock_guard<std::mutex> lock(dir_mu_);
+    MutexLock lock(&dir_mu_);
     if (!cached_dir_.empty()) return cached_dir_;
   }
   auto root = db_->GetRoot(txn, kIndexRoot);
@@ -36,7 +36,7 @@ Result<std::vector<Oid>> TriggerIndex::LoadDirectory(Transaction* txn,
     // pre-existed this process, or its creating transaction committed.
     // (A load by the still-active creating transaction must not poison
     // the cache — the creation could yet roll back.)
-    std::lock_guard<std::mutex> lock(dir_mu_);
+    MutexLock lock(&dir_mu_);
     if (creator_txn_ == 0 ||
         db_->txns()->Outcome(creator_txn_) == TxnState::kCommitted) {
       cached_dir_ = buckets;
@@ -61,7 +61,7 @@ Result<std::vector<Oid>> TriggerIndex::LoadDirectory(Transaction* txn,
   ODE_ASSIGN_OR_RETURN(Oid dir_oid, db_->NewObject(txn, Slice(dir.buffer())));
   ODE_RETURN_NOT_OK(db_->SetRoot(txn, kIndexRoot, dir_oid));
   {
-    std::lock_guard<std::mutex> lock(dir_mu_);
+    MutexLock lock(&dir_mu_);
     creator_txn_ = txn->id();
   }
   return buckets;

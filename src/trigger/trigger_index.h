@@ -1,12 +1,13 @@
 #ifndef ODE_TRIGGER_TRIGGER_INDEX_H_
 #define ODE_TRIGGER_TRIGGER_INDEX_H_
 
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/ordered_mutex.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "objstore/database.h"
 #include "objstore/oid.h"
 
@@ -66,9 +67,13 @@ class TriggerIndex {
   // operation. The cache is only populated once the creating transaction
   // (if it ran in this process) is known to have committed, so an
   // aborted first-use never leaves a stale directory behind.
-  mutable std::mutex dir_mu_;
-  std::vector<Oid> cached_dir_;
-  TxnId creator_txn_ = 0;
+  //
+  // Outermost trigger-layer rank: LoadDirectory queries the transaction
+  // manager's Outcome() (rank kTxnManager) while holding dir_mu_.
+  mutable OrderedMutex dir_mu_{lock_rank::kTriggerIndexDir,
+                               "trigger_index.dir_mu"};
+  std::vector<Oid> cached_dir_ ODE_GUARDED_BY(dir_mu_);
+  TxnId creator_txn_ ODE_GUARDED_BY(dir_mu_) = 0;
 };
 
 }  // namespace ode

@@ -167,12 +167,12 @@ void TriggerManager::TraceSpan(TraceEvent::Kind kind, TxnId txn, Oid trigger,
 }
 
 void TriggerManager::RegisterType(const TypeDescriptor* type) {
-  std::lock_guard<std::mutex> lock(types_mu_);
+  MutexLock lock(&types_mu_);
   types_[type->name()] = type;
 }
 
 const TypeDescriptor* TriggerManager::FindType(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(types_mu_);
+  MutexLock lock(&types_mu_);
   auto it = types_.find(name);
   return it == types_.end() ? nullptr : it->second;
 }
@@ -184,7 +184,7 @@ TriggerManager::TxnCtx* TriggerManager::GetCtx(Transaction* txn) {
     return static_cast<TxnCtx*>(scratch);
   }
   CtxShard& shard = CtxShardFor(txn->id());
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   auto& slot = shard.contexts[txn->id()];
   if (slot == nullptr) slot = std::make_unique<TxnCtx>();
   txn->set_trigger_scratch(slot.get());
@@ -198,12 +198,12 @@ Status TriggerManager::PrimeActiveCounts(Transaction* txn) {
     ++counts[obj];
   }));
   for (auto& shard : count_shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(&shard->mu);
     shard->counts.clear();
   }
   for (const auto& [obj, count] : counts) {
     CountShard& shard = CountShardFor(obj);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     shard.counts[obj] = count;
   }
   if (options_.containment) {
@@ -214,7 +214,7 @@ Status TriggerManager::PrimeActiveCounts(Transaction* txn) {
 
 int64_t TriggerManager::CommittedCount(Oid obj) {
   CountShard& shard = CountShardFor(obj);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   auto it = shard.counts.find(obj);
   return it == shard.counts.end() ? 0 : it->second;
 }
@@ -232,7 +232,7 @@ int64_t TriggerManager::ActiveCount(Transaction* txn, Oid obj) {
 Result<const TypeDescriptor*> TriggerManager::ResolveMetatype(
     Transaction* txn, uint32_t metatype_id) {
   {
-    std::lock_guard<std::mutex> lock(types_mu_);
+    MutexLock lock(&types_mu_);
     auto it = metatype_cache_.find(metatype_id);
     if (it != metatype_cache_.end()) return it->second;
   }
@@ -243,7 +243,7 @@ Result<const TypeDescriptor*> TriggerManager::ResolveMetatype(
                             "' has persistent triggers but is not "
                             "registered in this program");
   }
-  std::lock_guard<std::mutex> lock(types_mu_);
+  MutexLock lock(&types_mu_);
   metatype_cache_.emplace(metatype_id, type);
   return type;
 }
@@ -291,7 +291,7 @@ Result<TriggerId> TriggerManager::ActivateGroup(
   ODE_ASSIGN_OR_RETURN(uint32_t metatype_id,
                        db_->MetatypeId(txn, defining->name()));
   {
-    std::lock_guard<std::mutex> lock(types_mu_);
+    MutexLock lock(&types_mu_);
     metatype_cache_.emplace(metatype_id, defining);
   }
 
@@ -939,7 +939,7 @@ Status TriggerManager::PostCommit(Transaction* txn) {
   std::unique_ptr<TxnCtx> ctx;
   {
     CtxShard& shard = CtxShardFor(txn->id());
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     auto it = shard.contexts.find(txn->id());
     if (it != shard.contexts.end()) {
       ctx = std::move(it->second);
@@ -951,7 +951,7 @@ Status TriggerManager::PostCommit(Transaction* txn) {
     for (const auto& [oid, delta] : ctx->count_delta) {
       if (delta == 0) continue;
       CountShard& shard = CountShardFor(oid);
-      std::lock_guard<std::mutex> lock(shard.mu);
+      MutexLock lock(&shard.mu);
       int64_t& slot = shard.counts[oid];
       slot += delta;
       if (slot <= 0) shard.counts.erase(oid);
@@ -990,7 +990,7 @@ Status TriggerManager::PostAbort(Transaction* txn) {
   std::unique_ptr<TxnCtx> ctx;
   {
     CtxShard& shard = CtxShardFor(txn->id());
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     auto it = shard.contexts.find(txn->id());
     if (it != shard.contexts.end()) {
       // count_delta discarded: activations/deactivations rolled back.
@@ -1040,7 +1040,7 @@ Status TriggerManager::RunDetached(std::vector<PendingAction> actions,
     if (quarantine_set_size_.load(std::memory_order_relaxed) != 0) {
       std::vector<PendingAction> diverted;
       {
-        std::lock_guard<std::mutex> lock(containment_mu_);
+        MutexLock lock(&containment_mu_);
         auto keep_end = std::stable_partition(
             actions.begin(), actions.end(), [&](const PendingAction& a) {
               return a.trigger_id.IsNull() ||
@@ -1181,7 +1181,7 @@ constexpr const char* kDeadLetterHeader = "__odedl";
 void TriggerManager::NoteActionSuccess(TriggerId id) {
   if (id.IsNull()) return;
   if (failure_window_count_.load(std::memory_order_relaxed) == 0) return;
-  std::lock_guard<std::mutex> lock(containment_mu_);
+  MutexLock lock(&containment_mu_);
   auto it = failure_windows_.find(id);
   if (it == failure_windows_.end() || it->second.sticky) return;
   failure_windows_.erase(it);
@@ -1195,7 +1195,7 @@ void TriggerManager::NoteActionFailure(const PendingAction& action,
   if (!options_.containment || options_.failure_threshold == 0) return;
   // Local triggers die with their transaction; nothing to quarantine.
   if (action.trigger_id.IsNull()) return;
-  std::lock_guard<std::mutex> lock(containment_mu_);
+  MutexLock lock(&containment_mu_);
   if (quarantined_or_pending_.count(action.trigger_id) != 0) return;
   FailureWindow& window = failure_windows_[action.trigger_id];
   ++window.count;
@@ -1255,7 +1255,7 @@ void TriggerManager::EnqueueDeadLetter(const PendingAction& action,
   dl.trigger_name = info.name;
   dl.coupling = what;
   dl.reason = reason;
-  std::lock_guard<std::mutex> lock(containment_mu_);
+  MutexLock lock(&containment_mu_);
   pending_dead_letters_.push_back(std::move(dl));
   containment_pending_.store(true, std::memory_order_relaxed);
 }
@@ -1279,7 +1279,7 @@ void TriggerManager::DrainContainment() {
   std::vector<PendingQuarantine> quarantines;
   std::vector<DeadLetter> letters;
   {
-    std::lock_guard<std::mutex> lock(containment_mu_);
+    MutexLock lock(&containment_mu_);
     quarantines.swap(pending_quarantine_);
     letters.swap(pending_dead_letters_);
     containment_pending_.store(false, std::memory_order_relaxed);
@@ -1302,7 +1302,7 @@ void TriggerManager::DrainContainment() {
   if (!st.ok()) {
     // Re-stage and retry at the next safe point; nothing is lost.
     ODE_LOG(kWarn) << "containment write deferred: " << st.ToString();
-    std::lock_guard<std::mutex> lock(containment_mu_);
+    MutexLock lock(&containment_mu_);
     pending_quarantine_.insert(pending_quarantine_.begin(),
                                std::make_move_iterator(quarantines.begin()),
                                std::make_move_iterator(quarantines.end()));
@@ -1444,7 +1444,7 @@ Status TriggerManager::ClearQuarantineMatches(
 void TriggerManager::ApplyUnquarantine(const std::vector<Oid>& ids) {
   size_t removed = 0;
   {
-    std::lock_guard<std::mutex> lock(containment_mu_);
+    MutexLock lock(&containment_mu_);
     for (Oid id : ids) {
       removed += quarantined_or_pending_.erase(id);
       failure_windows_.erase(id);
@@ -1465,7 +1465,7 @@ Status TriggerManager::LoadContainmentState(Transaction* txn) {
       std::vector<QuarantinedTrigger> table,
       ReadQuarantineTable(txn, &holder, /*for_update=*/false));
   {
-    std::lock_guard<std::mutex> lock(containment_mu_);
+    MutexLock lock(&containment_mu_);
     failure_windows_.clear();
     quarantined_or_pending_.clear();
     for (const QuarantinedTrigger& entry : table) {

@@ -3,16 +3,17 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/ordered_mutex.h"
 #include "common/random.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "objstore/database.h"
 #include "objstore/type_descriptor.h"
 #include "trigger/trigger_index.h"
@@ -441,18 +442,22 @@ class TriggerManager {
     std::vector<Oid> unquarantined;
   };
 
-  /// A stripe of the committed object->active-trigger-count map.
+  /// A stripe of the committed object->active-trigger-count map. All
+  /// stripes share one rank: stripe locks are never nested (each Oid
+  /// maps to exactly one stripe), and the validator's duplicate-rank
+  /// check enforces exactly that.
   struct CountShard {
-    std::mutex mu;
-    std::unordered_map<Oid, int64_t, OidHash> counts;
+    OrderedMutex mu{lock_rank::kTriggerCountShard, "trigger.count_shard"};
+    std::unordered_map<Oid, int64_t, OidHash> counts ODE_GUARDED_BY(mu);
   };
 
   /// A stripe of the per-transaction context map. The mutex guards the
   /// map structure only; the pointed-to TxnCtx objects are single-owner
   /// (see TxnCtx).
   struct CtxShard {
-    std::mutex mu;
-    std::unordered_map<TxnId, std::unique_ptr<TxnCtx>> contexts;
+    OrderedMutex mu{lock_rank::kTriggerCtxShard, "trigger.ctx_shard"};
+    std::unordered_map<TxnId, std::unique_ptr<TxnCtx>> contexts
+        ODE_GUARDED_BY(mu);
   };
 
   static Options MakeOptions(size_t index_buckets) {
@@ -625,9 +630,12 @@ class TriggerManager {
 
   /// Guards the type registry and metatype cache only (cold paths: type
   /// registration and first-time metatype resolution).
-  mutable std::mutex types_mu_;
-  std::unordered_map<std::string, const TypeDescriptor*> types_;
-  std::unordered_map<uint32_t, const TypeDescriptor*> metatype_cache_;
+  mutable OrderedMutex types_mu_{lock_rank::kTriggerTypes,
+                                 "trigger.types_mu"};
+  std::unordered_map<std::string, const TypeDescriptor*> types_
+      ODE_GUARDED_BY(types_mu_);
+  std::unordered_map<uint32_t, const TypeDescriptor*> metatype_cache_
+      ODE_GUARDED_BY(types_mu_);
 
   /// Striped replacements for the former single `mu_`: committed counts
   /// keyed by anchor Oid, transaction contexts keyed by TxnId. Sessions
@@ -649,7 +657,8 @@ class TriggerManager {
   // mirror emptiness so the hot paths (action success, detached
   // dispatch, activation) pay one relaxed load when containment has
   // nothing to say.
-  std::mutex containment_mu_;
+  OrderedMutex containment_mu_{lock_rank::kTriggerContainment,
+                               "trigger.containment_mu"};
   /// Consecutive-failure window per trigger. `sticky` marks windows
   /// advanced by a cascade overflow: a runaway trigger's intermediate
   /// links succeed by construction, so those successes must not clear
@@ -658,11 +667,15 @@ class TriggerManager {
     uint32_t count = 0;
     bool sticky = false;
   };
-  std::unordered_map<Oid, FailureWindow, OidHash> failure_windows_;
+  std::unordered_map<Oid, FailureWindow, OidHash> failure_windows_
+      ODE_GUARDED_BY(containment_mu_);
   /// Triggers quarantined (persisted) or staged for quarantine.
-  std::unordered_set<Oid, OidHash> quarantined_or_pending_;
-  std::vector<PendingQuarantine> pending_quarantine_;
-  std::vector<DeadLetter> pending_dead_letters_;
+  std::unordered_set<Oid, OidHash> quarantined_or_pending_
+      ODE_GUARDED_BY(containment_mu_);
+  std::vector<PendingQuarantine> pending_quarantine_
+      ODE_GUARDED_BY(containment_mu_);
+  std::vector<DeadLetter> pending_dead_letters_
+      ODE_GUARDED_BY(containment_mu_);
   std::atomic<size_t> failure_window_count_{0};
   std::atomic<size_t> quarantine_set_size_{0};
   std::atomic<bool> containment_pending_{false};

@@ -96,7 +96,7 @@ void TriggerTraceRing::BindMetrics(MetricsRegistry* registry) {
 void TriggerTraceRing::Record(TraceEvent event) {
   bool overwrote;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     event.seq = seq_++;
     overwrote = ring_.size() >= capacity_;
     if (!overwrote) {
@@ -111,7 +111,7 @@ void TriggerTraceRing::Record(TraceEvent event) {
 }
 
 std::vector<TraceEvent> TriggerTraceRing::Events() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<TraceEvent> out;
   out.reserve(ring_.size());
   if (ring_.size() < capacity_) {
@@ -126,17 +126,17 @@ std::vector<TraceEvent> TriggerTraceRing::Events() const {
 }
 
 uint64_t TriggerTraceRing::total_recorded() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return seq_;
 }
 
 uint64_t TriggerTraceRing::total_dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return dropped_;
 }
 
 void TriggerTraceRing::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ring_.clear();
   next_ = 0;
   // seq_ keeps counting: sequence numbers stay unique across Clear().
@@ -150,7 +150,7 @@ std::string TriggerTraceRing::Dump() const {
   std::vector<TraceEvent> events;
   uint64_t total, dropped;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     events.reserve(ring_.size());
     if (ring_.size() < capacity_) {
       events = ring_;

@@ -3,11 +3,12 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/ordered_mutex.h"
+#include "common/thread_annotations.h"
 #include "events/event_expr.h"
 #include "objstore/oid.h"
 #include "objstore/type_descriptor.h"
@@ -92,11 +93,14 @@ class TriggerTraceRing {
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> ring_;
-  size_t next_ = 0;       // ring_ slot for the next event
-  uint64_t seq_ = 0;      // == total recorded
-  uint64_t dropped_ = 0;  // overwritten by wraparound
+  // Deep rank: Record() is called from trigger paths that may hold
+  // stripe or containment locks; never calls out while held.
+  mutable OrderedMutex mu_{lock_rank::kTriggerTraceRing,
+                           "trigger_trace.mu"};
+  std::vector<TraceEvent> ring_ ODE_GUARDED_BY(mu_);
+  size_t next_ ODE_GUARDED_BY(mu_) = 0;       // ring_ slot for next event
+  uint64_t seq_ ODE_GUARDED_BY(mu_) = 0;      // == total recorded
+  uint64_t dropped_ ODE_GUARDED_BY(mu_) = 0;  // overwritten by wraparound
 
   // Metrics (see BindMetrics).
   std::unique_ptr<MetricsRegistry> owned_metrics_;

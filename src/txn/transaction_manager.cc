@@ -19,9 +19,11 @@ void TransactionManager::BindMetrics(MetricsRegistry* registry) {
 }
 
 Result<Transaction*> TransactionManager::Begin(bool system) {
-  std::unique_lock<std::mutex> lock(mu_);
-  TxnId id = next_id_++;
-  lock.unlock();
+  TxnId id;
+  {
+    MutexLock lock(&mu_);
+    id = next_id_++;
+  }
   ODE_RETURN_NOT_OK(store_->BeginTxn(id));
   auto txn = std::make_unique<Transaction>(id, system);
   txn->begin_nanos_ = LatencyTimer::NowNanos();
@@ -33,8 +35,10 @@ Result<Transaction*> TransactionManager::Begin(bool system) {
     tracer_->Instant(std::move(s));
   }
   Transaction* raw = txn.get();
-  lock.lock();
-  live_[id] = std::move(txn);
+  {
+    MutexLock lock(&mu_);
+    live_[id] = std::move(txn);
+  }
   active_->Add(1);
   return raw;
 }
@@ -84,7 +88,7 @@ Status TransactionManager::Commit(Transaction* txn) {
     commit_latency_->Record(LatencyTimer::NowNanos() - txn->begin_nanos_);
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     outcomes_[txn->id()] = TxnState::kCommitted;
     commits_->Inc();
     active_->Sub(1);
@@ -93,7 +97,7 @@ Status TransactionManager::Commit(Transaction* txn) {
   Status post = Status::OK();
   if (post_commit_) post = post_commit_(txn);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     live_.erase(txn->id());  // destroys *txn
   }
   return post;
@@ -127,7 +131,7 @@ Status TransactionManager::FinishAbort(Transaction* txn, bool run_pre_hook) {
     tracer_->Instant(std::move(s));
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     outcomes_[txn->id()] = TxnState::kAborted;
     aborts_->Inc();
     active_->Sub(1);
@@ -135,14 +139,14 @@ Status TransactionManager::FinishAbort(Transaction* txn, bool run_pre_hook) {
   Status post = Status::OK();
   if (post_abort_) post = post_abort_(txn);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     live_.erase(txn->id());
   }
   return post;
 }
 
 TxnState TransactionManager::Outcome(TxnId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = outcomes_.find(id);
   return it == outcomes_.end() ? TxnState::kActive : it->second;
 }

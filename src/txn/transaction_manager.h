@@ -3,10 +3,11 @@
 
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
 #include "common/metrics.h"
+#include "common/ordered_mutex.h"
+#include "common/thread_annotations.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "common/tracing.h"
@@ -90,10 +91,14 @@ class TransactionManager {
 
   Hook pre_commit_, pre_abort_, post_commit_, post_abort_;
 
-  mutable std::mutex mu_;
-  std::unordered_map<TxnId, std::unique_ptr<Transaction>> live_;
-  std::unordered_map<TxnId, TxnState> outcomes_;
-  TxnId next_id_ = 1;
+  // Leaf-like: never held across storage/lock/trigger calls, so it ranks
+  // deeper than TriggerIndex::dir_mu_, whose LoadDirectory queries
+  // Outcome() while holding dir_mu_.
+  mutable OrderedMutex mu_{lock_rank::kTxnManager, "txn_manager.mu"};
+  std::unordered_map<TxnId, std::unique_ptr<Transaction>> live_
+      ODE_GUARDED_BY(mu_);
+  std::unordered_map<TxnId, TxnState> outcomes_ ODE_GUARDED_BY(mu_);
+  TxnId next_id_ ODE_GUARDED_BY(mu_) = 1;
 
   // Metrics (see BindMetrics).
   std::unique_ptr<MetricsRegistry> owned_metrics_;

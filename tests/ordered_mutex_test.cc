@@ -1,0 +1,238 @@
+// Tests for the ranked-mutex runtime validator (src/common/ordered_mutex.h).
+//
+// The death tests only exist in builds where ODE_LOCK_RANK_CHECKS is 1
+// (Debug and every sanitizer lane — see the top-level CMakeLists); in a
+// Release tree the validator is compiled out and those tests GTEST_SKIP.
+
+#include "common/ordered_mutex.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace ode {
+namespace {
+
+// Private ranks so these tests cannot collide with real subsystem locks
+// acquired by other code on the same thread.
+constexpr uint16_t kOuter = 1000;
+constexpr uint16_t kMiddle = 1100;
+constexpr uint16_t kInner = 1200;
+
+TEST(OrderedMutexTest, IncreasingRankOrderPasses) {
+  OrderedMutex outer(kOuter, "test.outer");
+  OrderedMutex middle(kMiddle, "test.middle");
+  OrderedMutex inner(kInner, "test.inner");
+  MutexLock a(&outer);
+  MutexLock b(&middle);
+  MutexLock c(&inner);
+#if ODE_LOCK_RANK_CHECKS
+  EXPECT_EQ(rank_internal::HeldCount(), 3u);
+#endif
+}
+
+TEST(OrderedMutexTest, NonLifoReleaseIsLegal) {
+  OrderedMutex outer(kOuter, "test.outer");
+  OrderedMutex inner(kInner, "test.inner");
+  outer.lock();
+  inner.lock();
+  outer.unlock();  // release the OUTER lock first
+  inner.unlock();
+#if ODE_LOCK_RANK_CHECKS
+  EXPECT_EQ(rank_internal::HeldCount(), 0u);
+#endif
+}
+
+TEST(OrderedMutexTest, ReacquireAfterReleaseAtSameRank) {
+  // Sequential (not nested) same-rank acquisition is fine — the rule
+  // constrains only what is held simultaneously.
+  OrderedMutex stripe_a(kMiddle, "test.stripe_a");
+  OrderedMutex stripe_b(kMiddle, "test.stripe_b");
+  { MutexLock a(&stripe_a); }
+  { MutexLock b(&stripe_b); }
+}
+
+TEST(OrderedMutexDeathTest, OutOfOrderAcquireAborts) {
+#if !ODE_LOCK_RANK_CHECKS
+  GTEST_SKIP() << "rank validator compiled out (ODE_LOCK_RANK_CHECKS=0)";
+#else
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  OrderedMutex outer(kOuter, "test.outer");
+  OrderedMutex inner(kInner, "test.inner");
+  EXPECT_DEATH(
+      {
+        MutexLock a(&inner);
+        MutexLock b(&outer);  // rank 1000 while holding 1200
+      },
+      "lock-rank violation");
+#endif
+}
+
+TEST(OrderedMutexDeathTest, DuplicateRankAcquireAborts) {
+  // Two same-rank stripes held at once — the nesting the stripe design
+  // promises never happens.
+#if !ODE_LOCK_RANK_CHECKS
+  GTEST_SKIP() << "rank validator compiled out (ODE_LOCK_RANK_CHECKS=0)";
+#else
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  OrderedMutex stripe_a(kMiddle, "test.stripe_a");
+  OrderedMutex stripe_b(kMiddle, "test.stripe_b");
+  EXPECT_DEATH(
+      {
+        MutexLock a(&stripe_a);
+        MutexLock b(&stripe_b);
+      },
+      "lock-rank violation");
+#endif
+}
+
+TEST(OrderedMutexDeathTest, SelfDeadlockAbortsInsteadOfHanging) {
+  // NoteAcquire runs BEFORE blocking, so a recursive lock() aborts with
+  // a diagnostic instead of deadlocking the test binary.
+#if !ODE_LOCK_RANK_CHECKS
+  GTEST_SKIP() << "rank validator compiled out (ODE_LOCK_RANK_CHECKS=0)";
+#else
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  OrderedMutex mu(kOuter, "test.mu");
+  EXPECT_DEATH(
+      {
+        mu.lock();
+        mu.lock();  // same mutex: rank not strictly greater
+      },
+      "recursive lock or shared->exclusive");
+#endif
+}
+
+TEST(OrderedMutexDeathTest, SharedThenExclusiveUpgradeAborts) {
+  // std::shared_mutex deadlocks on an in-place upgrade; the validator
+  // turns that hang into an abort (shared and exclusive share a rank).
+#if !ODE_LOCK_RANK_CHECKS
+  GTEST_SKIP() << "rank validator compiled out (ODE_LOCK_RANK_CHECKS=0)";
+#else
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  OrderedSharedMutex mu(kMiddle, "test.shared");
+  EXPECT_DEATH(
+      {
+        mu.lock_shared();
+        mu.lock();
+      },
+      "lock-rank violation");
+#endif
+}
+
+TEST(OrderedMutexTest, SharedAcquisitionsTrackAndRelease) {
+  OrderedSharedMutex mu(kMiddle, "test.shared");
+  {
+    ReaderMutexLock r(&mu);
+#if ODE_LOCK_RANK_CHECKS
+    EXPECT_EQ(rank_internal::HeldCount(), 1u);
+#endif
+  }
+  {
+    WriterMutexLock w(&mu);
+#if ODE_LOCK_RANK_CHECKS
+    EXPECT_EQ(rank_internal::HeldCount(), 1u);
+#endif
+  }
+#if ODE_LOCK_RANK_CHECKS
+  EXPECT_EQ(rank_internal::HeldCount(), 0u);
+#endif
+}
+
+TEST(OrderedMutexTest, HeldStackIsPerThread) {
+  // The validator must not confuse one thread's held set with
+  // another's: both threads hold their own out-of-rank-order PAIR of
+  // locks relative to each other, which is fine — order is per-thread.
+  OrderedMutex outer(kOuter, "test.outer");
+  OrderedMutex inner(kInner, "test.inner");
+  std::atomic<bool> t1_has_inner{false};
+  std::atomic<bool> t2_done{false};
+
+  std::thread t1([&] {
+    MutexLock a(&inner);  // holds ONLY the high-rank lock
+    t1_has_inner.store(true);
+    while (!t2_done.load()) std::this_thread::yield();
+  });
+  std::thread t2([&] {
+    while (!t1_has_inner.load()) std::this_thread::yield();
+    // This thread's stack is empty, so taking the low-rank lock is
+    // legal even though t1 currently holds a higher rank.
+    MutexLock b(&outer);
+#if ODE_LOCK_RANK_CHECKS
+    EXPECT_EQ(rank_internal::HeldCount(), 1u);
+#endif
+    t2_done.store(true);
+  });
+  t1.join();
+  t2.join();
+#if ODE_LOCK_RANK_CHECKS
+  EXPECT_EQ(rank_internal::HeldCount(), 0u);
+#endif
+}
+
+TEST(OrderedMutexTest, CondVarWaitKeepsRankBookkeeping) {
+  // The wait releases and reacquires through the tracked adapter; after
+  // it returns the thread must still be recorded as holding the mutex.
+  OrderedMutex mu(kOuter, "test.cv_mu");
+  CondVar cv;
+  bool ready = false;
+
+  std::thread waker([&] {
+    MutexLock lock(&mu);
+    ready = true;
+    cv.NotifyAll();
+  });
+
+  {
+    MutexLock lock(&mu);
+    cv.Wait(mu, [&]() ODE_NO_THREAD_SAFETY_ANALYSIS { return ready; });
+#if ODE_LOCK_RANK_CHECKS
+    EXPECT_EQ(rank_internal::HeldCount(), 1u);
+#endif
+    // Still holding mu: a deeper lock must be acquirable...
+    OrderedMutex inner(kInner, "test.cv_inner");
+    MutexLock deep(&inner);
+  }
+  waker.join();
+#if ODE_LOCK_RANK_CHECKS
+  EXPECT_EQ(rank_internal::HeldCount(), 0u);
+#endif
+}
+
+TEST(OrderedMutexTest, CondVarWaitForTimesOut) {
+  OrderedMutex mu(kOuter, "test.cv_mu");
+  CondVar cv;
+  MutexLock lock(&mu);
+  EXPECT_FALSE(cv.WaitFor(mu, std::chrono::milliseconds(5),
+                          []() ODE_NO_THREAD_SAFETY_ANALYSIS { return false; }));
+#if ODE_LOCK_RANK_CHECKS
+  EXPECT_EQ(rank_internal::HeldCount(), 1u);
+#endif
+}
+
+TEST(OrderedMutexTest, ManyThreadsContendWithoutFalsePositives) {
+  // TSan-friendly stress: threads hammer a correct outer->inner order;
+  // the validator must stay silent and the thread-local stacks must not
+  // interfere.
+  OrderedMutex outer(kOuter, "test.outer");
+  OrderedMutex inner(kInner, "test.inner");
+  int counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 200; ++i) {
+        MutexLock a(&outer);
+        MutexLock b(&inner);
+        ++counter;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  MutexLock a(&outer);
+  EXPECT_EQ(counter, 8 * 200);
+}
+
+}  // namespace
+}  // namespace ode
